@@ -1,0 +1,118 @@
+//! Ablations over the design choices DESIGN.md calls out:
+//!
+//! * stretch solve mode — gap-preserving (Riot's conservative stretch)
+//!   vs design-rule (full REST re-compaction);
+//! * connection specification — name-matched bus connection vs
+//!   individual connector picks;
+//! * the one-to-many restriction — assembling a row via a finished
+//!   subcell (the paper's workaround) vs pairwise connections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot::core::{AbutOptions, Editor, Library};
+use riot::geom::{Point, LAMBDA};
+use riot::rest::{stretch_with_mode, SolveMode};
+use riot_bench::stretch_workload;
+
+fn bench_solve_mode_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/solve_mode");
+    for n in [16usize, 64] {
+        let (cell, spec) = stretch_workload(n, 31);
+        for (label, mode) in [
+            ("preserve_gaps", SolveMode::PreserveGaps),
+            ("design_rules", SolveMode::DesignRules),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(cell.clone(), spec.clone(), mode),
+                |b, (cell, spec, mode)| {
+                    b.iter(|| stretch_with_mode(cell, spec, *mode).expect("feasible"))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn row_library(n: usize) -> Library {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    let _ = n;
+    lib
+}
+
+/// Chain `n` stages with individual connect + abut per stage.
+fn chain_individual(n: usize) {
+    let mut lib = row_library(n);
+    let sr = lib.find("shiftcell").unwrap();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let mut prev = ed.create_instance(sr).unwrap();
+    for k in 1..n {
+        let next = ed.create_instance(sr).unwrap();
+        ed.translate_instance(next, Point::new(k as i64 * 60 * LAMBDA, 0))
+            .unwrap();
+        ed.connect(next, "SI", prev, "SO").unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        prev = next;
+    }
+}
+
+/// Chain `n` stages with a bus connection per stage.
+fn chain_bus(n: usize) {
+    let mut lib = row_library(n);
+    let sr = lib.find("shiftcell").unwrap();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let mut prev = ed.create_instance(sr).unwrap();
+    for k in 1..n {
+        let next = ed.create_instance(sr).unwrap();
+        ed.translate_instance(next, Point::new(k as i64 * 60 * LAMBDA, 0))
+            .unwrap();
+        ed.connect_bus(next, prev).unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        prev = next;
+    }
+}
+
+/// Chain via array replication (one instance, the subcell workaround).
+fn chain_array(n: usize) {
+    let mut lib = row_library(n);
+    let sr = lib.find("shiftcell").unwrap();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let i = ed.create_instance(sr).unwrap();
+    ed.replicate_instance(i, n as u32, 1).unwrap();
+    ed.finish().unwrap();
+}
+
+fn bench_connection_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/chain_style");
+    g.sample_size(30);
+    for n in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("individual", n), &n, |b, &n| {
+            b.iter(|| chain_individual(n))
+        });
+        g.bench_with_input(BenchmarkId::new("bus", n), &n, |b, &n| {
+            b.iter(|| chain_bus(n))
+        });
+        g.bench_with_input(BenchmarkId::new("array", n), &n, |b, &n| {
+            b.iter(|| chain_array(n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    // Extraction cost on the flattened filter tree (the verification
+    // path added over the paper).
+    let logic = riot::filter::build_logic(4, riot::filter::LogicStyle::Stretched).expect("logic");
+    let flat = riot::extract::flatten_to_sticks(&logic.lib, &logic.cell).expect("flatten");
+    c.bench_function("ablation/extract_flat_logic", |b| {
+        b.iter(|| riot::extract::extract(std::hint::black_box(&flat)).expect("extracts"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_solve_mode_ablation,
+    bench_connection_styles,
+    bench_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 4 (connection by abutment): abut and bus-connection costs as
+//! connector counts grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot::core::{AbutOptions, Editor, Library};
+use riot::geom::{Point, LAMBDA};
+
+/// Two facing combs with n pins each, ready to connect.
+fn comb_pair(n: usize) -> Library {
+    let mut lib = Library::new();
+    let right = riot::cells::parametric::comb("combR", riot::geom::Side::Right, n, 6);
+    let left = riot::cells::parametric::comb("combL", riot::geom::Side::Left, n, 6);
+    lib.add_sticks_cell(right).unwrap();
+    lib.add_sticks_cell(left).unwrap();
+    lib
+}
+
+fn bench_abut(c: &mut Criterion) {
+    let mut g = c.benchmark_group("abut/pins");
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || comb_pair(n),
+                |mut lib| {
+                    let r = lib.find("combR").unwrap();
+                    let l = lib.find("combL").unwrap();
+                    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+                    let a = ed.create_instance(r).unwrap();
+                    let bi = ed.create_instance(l).unwrap();
+                    ed.translate_instance(bi, Point::new(100 * LAMBDA, 0)).unwrap();
+                    for i in 0..n {
+                        ed.connect(bi, &format!("P{i}"), a, &format!("P{i}")).unwrap();
+                    }
+                    ed.abut(AbutOptions::default()).unwrap();
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_connect_bus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("connect_bus/pins");
+    for n in [8usize, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || comb_pair(n),
+                |mut lib| {
+                    let r = lib.find("combR").unwrap();
+                    let l = lib.find("combL").unwrap();
+                    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+                    let a = ed.create_instance(r).unwrap();
+                    let bi = ed.create_instance(l).unwrap();
+                    ed.translate_instance(bi, Point::new(100 * LAMBDA, 0)).unwrap();
+                    ed.connect_bus(bi, a).unwrap()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_world_connectors(c: &mut Criterion) {
+    // Array connector enumeration (the screen redraw hot path).
+    let mut lib = Library::new();
+    let sr = lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let i = ed.create_instance(sr).unwrap();
+    ed.replicate_instance(i, 64, 1).unwrap();
+    c.bench_function("world_connectors/64x1_array", |b| {
+        b.iter(|| ed.world_connectors(std::hint::black_box(i)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_abut, bench_connect_bus, bench_world_connectors);
+criterion_main!(benches);

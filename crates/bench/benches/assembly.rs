@@ -1,0 +1,36 @@
+//! Figures 9 and 10: the logical-filter assembly, routed vs stretched,
+//! across filter sizes — the paper's headline comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot::filter::{build_chip, build_logic, LogicStyle};
+
+fn bench_logic_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assembly/logic");
+    g.sample_size(20);
+    for bits in [4usize, 8, 16] {
+        for style in [LogicStyle::Routed, LogicStyle::Stretched] {
+            g.bench_with_input(
+                BenchmarkId::new(style.name(), bits),
+                &(bits, style),
+                |b, &(bits, style)| b.iter(|| build_logic(bits, style).expect("assembles")),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_full_chip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("assembly/chip");
+    g.sample_size(10);
+    for style in [LogicStyle::Routed, LogicStyle::Stretched] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(style.name()),
+            &style,
+            |b, &style| b.iter(|| build_chip(4, style).expect("assembles")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_logic_styles, bench_full_chip);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! CIF interface throughput: parse, write, flatten — the format every
+//! Riot session reads leaf cells through and writes masks to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use riot_bench::cif_workload;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cif/parse");
+    for (cells, shapes) in [(10usize, 50usize), (50, 200), (200, 200)] {
+        let text = cif_workload(cells, shapes, 21);
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cells}x{shapes}")),
+            &text,
+            |b, text| b.iter(|| riot::cif::parse(std::hint::black_box(text)).expect("parses")),
+        );
+    }
+    g.finish();
+}
+
+fn bench_write(c: &mut Criterion) {
+    let file = riot::cif::parse(&cif_workload(50, 200, 22)).expect("parses");
+    c.bench_function("cif/write", |b| {
+        b.iter(|| riot::cif::to_text(std::hint::black_box(&file)))
+    });
+}
+
+fn bench_flatten(c: &mut Criterion) {
+    let file = riot::cif::parse(&cif_workload(50, 200, 23)).expect("parses");
+    c.bench_function("cif/flatten", |b| {
+        b.iter(|| riot::cif::flatten(std::hint::black_box(&file)).expect("flattens"))
+    });
+}
+
+fn bench_chip_export(c: &mut Criterion) {
+    // The real path: export the assembled filter chip to CIF text.
+    let chip = riot::filter::build_chip(4, riot::filter::LogicStyle::Stretched).expect("chip");
+    c.bench_function("cif/export_chip", |b| {
+        b.iter(|| {
+            let f = riot::core::export::to_cif(&chip.lib, &chip.cell).expect("export");
+            riot::cif::to_text(&f)
+        })
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_write, bench_flatten, bench_chip_export);
+criterion_main!(benches);

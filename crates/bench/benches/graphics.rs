@@ -1,0 +1,55 @@
+//! Figures 1–3: the graphics pipeline on both terminal models and the
+//! pen plotter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use riot::core::Editor;
+use riot::graphics::device::{charles, gigi};
+use riot::graphics::plotter;
+
+/// The figure-9a display list: the routed filter on screen.
+fn filter_list() -> riot::graphics::DisplayList {
+    let logic = riot::filter::build_logic(4, riot::filter::LogicStyle::Routed).expect("logic");
+    let mut lib = logic.lib;
+    let ed = Editor::open(&mut lib, &logic.cell).expect("open");
+    riot::ui::render::editor_ops(&ed, Default::default()).expect("ops")
+}
+
+fn bench_devices(c: &mut Criterion) {
+    let list = filter_list();
+    let mut g = c.benchmark_group("graphics/device_render");
+    for device in [charles(), gigi()] {
+        g.bench_function(device.name(), |b| {
+            b.iter(|| device.render(std::hint::black_box(&list)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_plotter(c: &mut Criterion) {
+    let list = filter_list();
+    c.bench_function("graphics/hp7221a_plot", |b| {
+        b.iter(|| plotter::plot(std::hint::black_box(&list)))
+    });
+}
+
+fn bench_svg(c: &mut Criterion) {
+    let list = filter_list();
+    c.bench_function("graphics/svg", |b| {
+        b.iter(|| riot::graphics::svg::to_svg(std::hint::black_box(&list)))
+    });
+}
+
+fn bench_mask_plot(c: &mut Criterion) {
+    // Figure 10: full flattened chip geometry on the Charles terminal.
+    let chip = riot::filter::build_chip(4, riot::filter::LogicStyle::Stretched).expect("chip");
+    let cif = riot::core::export::to_cif(&chip.lib, &chip.cell).expect("export");
+    let flat = riot::cif::flatten(&cif).expect("flatten");
+    let list = riot::ui::render::flat_cif_ops(&flat);
+    let dev = charles();
+    c.bench_function("graphics/chip_mask_render", |b| {
+        b.iter(|| dev.render(std::hint::black_box(&list)))
+    });
+}
+
+criterion_group!(benches, bench_devices, bench_plotter, bench_svg, bench_mask_plot);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! The REPLAY mechanism: journal serialization and session re-runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot::core::{replay, AbutOptions, Editor, Journal, Library};
+use riot::geom::{Point, LAMBDA};
+
+/// Records a session that chains `n` shift-register stages one by one
+/// (create + connect + abut per stage).
+fn chain_journal(n: usize) -> Journal {
+    let mut lib = Library::new();
+    let sr = lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let mut prev = ed.create_instance(sr).unwrap();
+    for k in 1..n {
+        let next = ed.create_instance(sr).unwrap();
+        ed.translate_instance(next, Point::new((k as i64) * 60 * LAMBDA, 5 * LAMBDA))
+            .unwrap();
+        ed.connect(next, "SI", prev, "SO").unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        prev = next;
+    }
+    ed.finish().unwrap();
+    ed.journal().clone()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay/stages");
+    for n in [4usize, 16, 64] {
+        let journal = chain_journal(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &journal, |b, journal| {
+            b.iter_batched(
+                || {
+                    let mut lib = Library::new();
+                    lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+                    lib
+                },
+                |mut lib| replay(journal, &mut lib).expect("replays"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_journal_text(c: &mut Criterion) {
+    let journal = chain_journal(64);
+    c.bench_function("replay/journal_to_text", |b| {
+        b.iter(|| std::hint::black_box(&journal).to_text())
+    });
+    let text = journal.to_text();
+    c.bench_function("replay/journal_parse", |b| {
+        b.iter(|| Journal::parse(std::hint::black_box(&text)).expect("parses"))
+    });
+}
+
+criterion_group!(benches, bench_replay, bench_journal_text);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5 (connection by routing): river-router performance across
+//! net counts, jog densities and channel capacities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot::route::river_route;
+use riot_bench::{route_problem, route_problem_with_capacity};
+
+fn bench_net_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("river_route/nets");
+    for n in [8usize, 32, 128, 512] {
+        let p = route_problem(n, 40, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| river_route(std::hint::black_box(p)).expect("routable"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_jog_density(c: &mut Criterion) {
+    let mut g = c.benchmark_group("river_route/shift");
+    for shift in [0i64, 20, 100, 400] {
+        let p = route_problem(64, shift, 6);
+        g.bench_with_input(BenchmarkId::from_parameter(shift), &p, |b, p| {
+            b.iter(|| river_route(std::hint::black_box(p)).expect("routable"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel_overflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("river_route/capacity");
+    for cap in [2usize, 4, 8, 16] {
+        let p = route_problem_with_capacity(64, 300, cap, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &p, |b, p| {
+            b.iter(|| river_route(std::hint::black_box(p)).expect("routable"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_route_cell_generation(c: &mut Criterion) {
+    let p = route_problem(64, 40, 8);
+    let route = river_route(&p).expect("routable");
+    c.bench_function("river_route/to_sticks_cell", |b| {
+        b.iter(|| std::hint::black_box(&route).to_sticks_cell("rc"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_net_count,
+    bench_jog_density,
+    bench_channel_overflow,
+    bench_route_cell_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 6 (connection by stretching): REST solver performance across
+//! pin counts and solve modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use riot::rest::{compact, stretch, stretch_with_mode, Axis, SolveMode};
+use riot_bench::stretch_workload;
+
+fn bench_stretch_pins(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stretch/pins");
+    for n in [4usize, 16, 64, 256] {
+        let (cell, spec) = stretch_workload(n, 11);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(cell, spec), |b, (cell, spec)| {
+            b.iter(|| stretch(std::hint::black_box(cell), std::hint::black_box(spec)).expect("feasible"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solve_modes(c: &mut Criterion) {
+    let (cell, spec) = stretch_workload(64, 12);
+    let mut g = c.benchmark_group("stretch/mode");
+    g.bench_function("preserve_gaps", |b| {
+        b.iter(|| stretch_with_mode(&cell, &spec, SolveMode::PreserveGaps).expect("feasible"))
+    });
+    g.bench_function("design_rules", |b| {
+        b.iter(|| stretch_with_mode(&cell, &spec, SolveMode::DesignRules).expect("feasible"))
+    });
+    g.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compact/pins");
+    for n in [16usize, 128] {
+        let (cell, _) = stretch_workload(n, 13);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cell, |b, cell| {
+            b.iter(|| compact(std::hint::black_box(cell), Axis::Y).expect("compactable"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gate_stretch(c: &mut Criterion) {
+    // The actual figure-6 case: a NAND re-pinned to wider inputs.
+    let nand = riot::cells::nand2();
+    let spec = riot::rest::StretchSpec::new(Axis::X)
+        .target("A", 5)
+        .target("B", 25);
+    c.bench_function("stretch/nand2_to_taps", |b| {
+        b.iter(|| stretch(std::hint::black_box(&nand), std::hint::black_box(&spec)).expect("feasible"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stretch_pins,
+    bench_solve_modes,
+    bench_compaction,
+    bench_gate_stretch
+);
+criterion_main!(benches);

@@ -1,0 +1,323 @@
+//! Regenerates every figure of the paper and prints the measured
+//! numbers recorded in EXPERIMENTS.md.
+//!
+//! Run with `cargo run -p riot-bench --bin figures`. Artifacts land in
+//! `out/figures/`.
+
+use riot::core::{Editor, Library};
+use riot::filter::{build_chip, build_logic, LogicStyle};
+use riot::geom::{Point, LAMBDA};
+use riot::graphics::device::{charles, gigi};
+use riot::graphics::svg::to_svg;
+use riot::route::river_route;
+use riot::ui::render::{editor_ops, flat_cif_ops, leaf_geometry_ops, RenderOptions};
+use riot::ui::{GraphicalCommand, InteractiveSession};
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("out/figures");
+    std::fs::create_dir_all(dir)?;
+    fig1(dir)?;
+    fig2(dir)?;
+    fig3(dir)?;
+    fig4(dir)?;
+    fig5(dir)?;
+    fig6(dir)?;
+    fig7(dir)?;
+    fig8(dir)?;
+    fig9(dir)?;
+    fig10(dir)?;
+    verify()?;
+    println!("\nall figures regenerated under {}", dir.display());
+    Ok(())
+}
+
+/// Beyond the paper: DRC and electrical verification of the assembly.
+fn verify() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== verification (paper's future work) ==");
+    for style in [LogicStyle::Routed, LogicStyle::Stretched] {
+        let logic = build_logic(4, style)?;
+        let cif = riot::core::export::to_cif(&logic.lib, &logic.cell)?;
+        let flat = riot::cif::flatten(&cif)?;
+        let violations = riot::drc::check(&flat, &riot::drc::RuleSet::nmos());
+        println!(
+            "  DRC {:<10} {} violation(s){}",
+            style.name(),
+            violations.len(),
+            if violations.is_empty() { " — clean" } else { "" }
+        );
+    }
+    // Switch-level truth tables of the generated gates.
+    use riot::extract::sim::{simulate, Level};
+    let nl = riot::extract::extract(&riot::cells::nand2())?;
+    let mut row = String::from("  NAND truth table:");
+    for (a, b) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
+        let lv = |v: u8| if v == 1 { Level::High } else { Level::Low };
+        let r = simulate(
+            &nl,
+            &[
+                ("PWRL", Level::High),
+                ("GNDL", Level::Low),
+                ("A", lv(a)),
+                ("B", lv(b)),
+            ],
+        )?;
+        row.push_str(&format!(" {a}{b}->{}", r.pin("OUT")));
+    }
+    println!("{row}");
+    Ok(())
+}
+
+/// Figure 1: the two workstation configurations, exercised by pushing
+/// the same display list through both device models.
+fn fig1(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 1: workstation configurations ==");
+    let logic = build_logic(4, LogicStyle::Routed)?;
+    let mut lib = logic.lib;
+    let ed = Editor::open(&mut lib, &logic.cell)?;
+    let list = editor_ops(&ed, RenderOptions::default())?;
+    for device in [charles(), gigi()] {
+        let fb = device.render(&list);
+        let file = dir.join(format!("fig1_{}.ppm", device.name().to_lowercase()));
+        std::fs::write(&file, fb.to_ppm())?;
+        println!(
+            "  {:<8} {}x{} pixels, {:>2} colors, {:>6} lit -> {}",
+            device.name(),
+            device.width(),
+            device.height(),
+            device.palette().len(),
+            fb.lit_pixels(),
+            file.display()
+        );
+    }
+    Ok(())
+}
+
+/// Figure 2: the display organization — a live screen with both menus.
+fn fig2(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 2: display organization ==");
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::shift_register())?;
+    lib.add_sticks_cell(riot::cells::nand2())?;
+    lib.add_sticks_cell(riot::cells::or2())?;
+    let ed = Editor::open(&mut lib, "EDIT")?;
+    let mut s = InteractiveSession::new(ed, 512, 480);
+    s.click_cell("shiftcell")?;
+    s.click_command(GraphicalCommand::Create)?;
+    s.click_world(Point::new(10 * LAMBDA, 10 * LAMBDA))?;
+    s.fit_view();
+    let fb = s.render();
+    let file = dir.join("fig2_screen.ppm");
+    std::fs::write(&file, fb.to_ppm())?;
+    println!(
+        "  editing area {:?}, cell menu {:?}, command menu {:?}",
+        s.layout().editing_area(),
+        s.layout().cell_menu_area(),
+        s.layout().command_menu_area()
+    );
+    println!("  -> {}", file.display());
+    Ok(())
+}
+
+/// Figure 3: Riot's view of a cell instance — bounding box, connector
+/// crosses sized by width and colored by layer, names on.
+fn fig3(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 3: instance view ==");
+    let mut lib = Library::new();
+    let sr = lib.add_sticks_cell(riot::cells::shift_register())?;
+    let mut ed = Editor::open(&mut lib, "VIEW")?;
+    let i = ed.create_instance(sr)?;
+    let mut list = riot::graphics::DisplayList::new();
+    riot::ui::render::instance_ops(
+        &ed,
+        i,
+        RenderOptions {
+            cell_names: true,
+            connector_names: true,
+        },
+        &mut list,
+    )?;
+    let file = dir.join("fig3_instance.svg");
+    std::fs::write(&file, to_svg(&list))?;
+    println!(
+        "  {} connectors drawn as crosses -> {}",
+        ed.world_connectors(i)?.len(),
+        file.display()
+    );
+    Ok(())
+}
+
+/// Figure 4: connection by abutment — measured: connectors coincide
+/// after ABUT; the overlap option shares a rail.
+fn fig4(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 4: connection by abutment ==");
+    let mut lib = Library::new();
+    let nand = lib.add_sticks_cell(riot::cells::nand2())?;
+    let mut ed = Editor::open(&mut lib, "ABUT")?;
+    let a = ed.create_instance(nand)?;
+    let b = ed.create_instance(nand)?;
+    ed.translate_instance(b, Point::new(60 * LAMBDA, 9 * LAMBDA))?;
+    let before = ed.instance_bbox(b)?;
+    ed.connect(b, "PWRL", a, "PWRR")?;
+    ed.abut(Default::default())?;
+    let after = ed.instance_bbox(b)?;
+    println!(
+        "  from instance moved {} -> {}; rails touch: {}",
+        before.lower_left(),
+        after.lower_left(),
+        ed.world_connector(b, "PWRL")?.location == ed.world_connector(a, "PWRR")?.location
+    );
+    let list = editor_ops(&ed, RenderOptions::default())?;
+    let file = dir.join("fig4_abut.svg");
+    std::fs::write(&file, to_svg(&list))?;
+    println!("  -> {}", file.display());
+    Ok(())
+}
+
+/// Figure 5: connection by routing — the channel-count/height series.
+fn fig5(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 5: connection by routing ==");
+    println!("  {:>5} {:>6} {:>7} {:>9}", "nets", "shift", "tracks", "height/λ");
+    for (n, shift) in [(4usize, 0i64), (4, 30), (16, 30), (16, 150), (64, 300)] {
+        let p = riot_bench::route_problem(n, shift, 5);
+        let r = river_route(&p)?;
+        println!("  {n:>5} {shift:>6} {:>7} {:>9}", r.tracks(), r.height());
+    }
+    println!("  channel overflow (64 nets, shift 300):");
+    println!("  {:>9} {:>9} {:>9}", "capacity", "channels", "height/λ");
+    for cap in [2usize, 4, 8, 16] {
+        let p = riot_bench::route_problem_with_capacity(64, 300, cap, 7);
+        let r = river_route(&p)?;
+        println!("  {cap:>9} {:>9} {:>9}", r.channels(), r.height());
+    }
+    // Render one route cell.
+    let p = riot_bench::route_problem(8, 40, 5);
+    let route = river_route(&p)?;
+    let cell = route.to_sticks_cell("fig5route");
+    let mut lib = Library::new();
+    let id = lib.add_sticks_cell(cell)?;
+    let list = leaf_geometry_ops(&lib, id);
+    let file = dir.join("fig5_route.svg");
+    std::fs::write(&file, to_svg(&list))?;
+    println!("  -> {}", file.display());
+    Ok(())
+}
+
+/// Figure 6: connection by stretching — the NAND re-solved to tap
+/// pitch.
+fn fig6(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 6: connection by stretching ==");
+    let nand = riot::cells::nand2();
+    let spec = riot::rest::StretchSpec::new(riot::rest::Axis::X)
+        .target("A", 5)
+        .target("B", 25);
+    let stretched = riot::rest::stretch(&nand, &spec)?;
+    println!(
+        "  nand2 {}λ wide (pins 6λ apart) -> {}λ wide (pins 20λ apart)",
+        nand.bbox().width(),
+        stretched.bbox().width()
+    );
+    let mut lib = Library::new();
+    let id = lib.add_sticks_cell(stretched)?;
+    let list = leaf_geometry_ops(&lib, id);
+    let file = dir.join("fig6_stretched_nand.svg");
+    std::fs::write(&file, to_svg(&list))?;
+    println!("  -> {}", file.display());
+    Ok(())
+}
+
+/// Figure 7: the rough floorplan — reported as the row structure the
+/// assembly follows.
+fn fig7(_dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 7: rough floorplan ==");
+    println!("  row 0: shiftcell x4 (abutting array)");
+    println!("  row 1: nand2 x2 (AND of taps)");
+    println!("  row 2: or2 x1 (the filter output)");
+    println!("  pads: padin (serial in, left), padout (serial out, right)");
+    Ok(())
+}
+
+/// Figure 8: the leaf-cell gallery.
+fn fig8(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 8: leaf cells ==");
+    let mut lib = Library::new();
+    lib.load_cif(&riot::cells::pads_cif())?;
+    lib.add_sticks_cell(riot::cells::shift_register())?;
+    lib.add_sticks_cell(riot::cells::nand2())?;
+    lib.add_sticks_cell(riot::cells::or2())?;
+    for (id, cell) in lib.iter().map(|(id, c)| (id, c.clone())).collect::<Vec<_>>() {
+        let list = leaf_geometry_ops(&lib, id);
+        let file = dir.join(format!("fig8_{}.svg", cell.name));
+        std::fs::write(&file, to_svg(&list))?;
+        println!(
+            "  {:<10} {:>4}λ x {:>4}λ, {} connectors -> {}",
+            cell.name,
+            cell.bbox.width() / LAMBDA,
+            cell.bbox.height() / LAMBDA,
+            cell.connectors.len(),
+            file.display()
+        );
+    }
+    Ok(())
+}
+
+/// Figure 9: the headline comparison — routed vs stretched logic.
+fn fig9(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 9: routed vs stretched filter logic ==");
+    println!(
+        "  {:>4} {:<10} {:>8} {:>9} {:>12} {:>9} {:>9}",
+        "bits", "style", "width/λ", "height/λ", "area/λ²", "routes", "routing%"
+    );
+    for bits in [4usize, 8, 16] {
+        for style in [LogicStyle::Routed, LogicStyle::Stretched] {
+            let logic = build_logic(bits, style)?;
+            let r = &logic.report;
+            let l2 = (LAMBDA as i128) * (LAMBDA as i128);
+            println!(
+                "  {bits:>4} {:<10} {:>8} {:>9} {:>12} {:>9} {:>8.1}%",
+                style.name(),
+                r.bbox.width() / LAMBDA,
+                r.bbox.height() / LAMBDA,
+                r.total_area / l2,
+                r.route_instances,
+                100.0 * r.routing_fraction()
+            );
+            if bits == 4 {
+                let mut lib = logic.lib;
+                let ed = Editor::open(&mut lib, &logic.cell)?;
+                let list = editor_ops(&ed, RenderOptions::default())?;
+                let file = dir.join(format!("fig9_{}.svg", style.name()));
+                std::fs::write(&file, to_svg(&list))?;
+            }
+        }
+    }
+    println!("  -> fig9_routed.svg, fig9_stretched.svg");
+    Ok(())
+}
+
+/// Figure 10: the completed chip geometry.
+fn fig10(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== figure 10: completed chip ==");
+    for style in [LogicStyle::Routed, LogicStyle::Stretched] {
+        let chip = build_chip(4, style)?;
+        let (w, h) = chip.report.size_microns();
+        let cif = riot::core::export::to_cif(&chip.lib, &chip.cell)?;
+        let flat = riot::cif::flatten(&cif)?;
+        println!(
+            "  {:<10} {:>5.0} x {:>4.0} µm, {} instances, {} mask shapes",
+            style.name(),
+            w,
+            h,
+            chip.report.instances,
+            flat.len()
+        );
+        if style == LogicStyle::Stretched {
+            let file = dir.join("fig10_chip.svg");
+            std::fs::write(&file, to_svg(&flat_cif_ops(&flat)))?;
+            let cif_file = dir.join("fig10_chip.cif");
+            std::fs::write(&cif_file, riot::cif::to_text(&cif))?;
+            println!("  -> {} and {}", file.display(), cif_file.display());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Shared workload generators for the benchmarks and the `figures`
+//! regeneration binary.
+//!
+//! Workloads are deterministic (seeded [`rand::rngs::StdRng`]) so bench
+//! runs and EXPERIMENTS.md numbers are reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use riot::geom::Layer;
+use riot::route::{RouteProblem, RouterOptions, Terminal};
+
+/// A deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// An order-preserving metal route problem with `n` nets: both edges
+/// get increasing offsets with random design-rule-respecting gaps, and
+/// the top edge is shifted right by `shift` lambda (bigger shifts mean
+/// more overlapping jog spans, hence more tracks).
+pub fn route_problem(n: usize, shift: i64, seed: u64) -> RouteProblem {
+    let mut r = rng(seed);
+    let mut bottom = Vec::with_capacity(n);
+    let mut top = Vec::with_capacity(n);
+    let (mut xb, mut xt) = (0i64, shift);
+    for i in 0..n {
+        xb += 6 + r.gen_range(0..8);
+        xt += 6 + r.gen_range(0..8);
+        bottom.push(Terminal::new(format!("n{i}"), xb, Layer::Metal, 3));
+        top.push(Terminal::new(format!("n{i}"), xt, Layer::Metal, 3));
+    }
+    RouteProblem::new(bottom, top)
+}
+
+/// The same problem with a given channel capacity.
+pub fn route_problem_with_capacity(n: usize, shift: i64, cap: usize, seed: u64) -> RouteProblem {
+    route_problem(n, shift, seed).with_options(RouterOptions {
+        tracks_per_channel: cap,
+        ..RouterOptions::new()
+    })
+}
+
+/// A comb cell with `n` left-edge pins for stretch benchmarks, plus a
+/// stretch spec that moves every pin to a random (monotone) target.
+pub fn stretch_workload(
+    n: usize,
+    seed: u64,
+) -> (riot::sticks::SticksCell, riot::rest::StretchSpec) {
+    let mut r = rng(seed);
+    let cell = riot::cells::parametric::comb("bench", riot::geom::Side::Left, n, 6);
+    // The comb's pins are at pitch 6; targets grow each gap by 0..8.
+    let mut spec = riot::rest::StretchSpec::new(riot::rest::Axis::Y);
+    let mut cum = 0;
+    for i in 0..n {
+        cum += r.gen_range(0..8);
+        let original = 6 * (i as i64 + 1);
+        spec.push_target(format!("P{i}"), original + cum);
+    }
+    (cell, spec)
+}
+
+/// CIF text for a synthetic chip with `cells` definitions of `shapes`
+/// boxes each, and one top-level call per definition.
+pub fn cif_workload(cells: usize, shapes: usize, seed: u64) -> String {
+    let mut r = rng(seed);
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for c in 1..=cells {
+        let _ = writeln!(out, "DS {c} 1 1;");
+        let _ = writeln!(out, "9 cell{c};");
+        let _ = writeln!(out, "L NM;");
+        for _ in 0..shapes {
+            let x = r.gen_range(0..100_000);
+            let y = r.gen_range(0..100_000);
+            let w = 2 * r.gen_range(1..200);
+            let h = 2 * r.gen_range(1..200);
+            let _ = writeln!(out, "B {w} {h} {x} {y};");
+        }
+        let _ = writeln!(out, "94 P{c} 0 0 NM 250;");
+        let _ = writeln!(out, "DF;");
+    }
+    for c in 1..=cells {
+        let _ = writeln!(out, "C {c} T {} {};", (c as i64) * 1000, 0);
+    }
+    out.push_str("E\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_workloads_always_route() {
+        for n in [4, 32] {
+            for shift in [0, 50] {
+                let p = route_problem(n, shift, 42);
+                let r = riot::route::river_route(&p).expect("workload routable");
+                assert_eq!(r.wires().len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn workloads_deterministic() {
+        assert_eq!(route_problem(16, 10, 7), route_problem(16, 10, 7));
+        assert_eq!(cif_workload(3, 5, 1), cif_workload(3, 5, 1));
+    }
+
+    #[test]
+    fn stretch_workload_feasible() {
+        let (cell, spec) = stretch_workload(8, 3);
+        let out = riot::rest::stretch(&cell, &spec).expect("monotone targets");
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn cif_workload_parses() {
+        let f = riot::cif::parse(&cif_workload(4, 10, 9)).unwrap();
+        assert_eq!(f.cells().len(), 4);
+        assert_eq!(f.top_calls().len(), 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! The logical-filter leaf cells (paper figure 8), in Sticks form.
+//!
+//! All three cells share the gate-row discipline that makes the
+//! paper's assembly work:
+//!
+//! * metal power at the **top rail** (y = height−2) and ground at the
+//!   **bottom rail** (y = 2), exposed on both left and right edges so a
+//!   row of gates abuts into continuous rails;
+//! * logic inputs enter on **bottom** poly pins, outputs leave on
+//!   **top** poly pins, so rows stack with routing or stretching in
+//!   between.
+
+use riot_geom::{Layer, Orientation, Path, Point, Rect, Side};
+use riot_sticks::{Contact, ContactKind, Device, DeviceKind, Pin, SticksCell, SymWire};
+
+fn pin(name: &str, side: Side, layer: Layer, x: i64, y: i64, width: i64) -> Pin {
+    Pin {
+        name: name.into(),
+        side,
+        layer,
+        position: Point::new(x, y),
+        width,
+    }
+}
+
+fn wire(layer: Layer, width: i64, pts: &[(i64, i64)]) -> SymWire {
+    SymWire {
+        layer,
+        width,
+        path: Path::from_points(pts.iter().map(|&(x, y)| Point::new(x, y)))
+            .expect("generator paths are Manhattan"),
+    }
+}
+
+fn rails(cell: &mut SticksCell, width: i64, height: i64) {
+    // Rails sit 3λ inside the cell so vertically stacked rows keep the
+    // 3λ metal spacing rule between one row's power and the next's
+    // ground.
+    cell.push_pin(pin("PWRL", Side::Left, Layer::Metal, 0, height - 3, 3));
+    cell.push_pin(pin("PWRR", Side::Right, Layer::Metal, width, height - 3, 3));
+    cell.push_pin(pin("GNDL", Side::Left, Layer::Metal, 0, 3, 3));
+    cell.push_pin(pin("GNDR", Side::Right, Layer::Metal, width, 3, 3));
+    cell.push_wire(wire(Layer::Metal, 3, &[(0, height - 3), (width, height - 3)]));
+    cell.push_wire(wire(Layer::Metal, 3, &[(0, 3), (width, 3)]));
+}
+
+/// The shift-register stage: serial data in on the left, out on the
+/// right, and a `TAP` of the stored bit on the **top** edge feeding the
+/// NAND row above. Abutting a row of these makes "the shift register
+/// chain connections as well as power and ground connections".
+pub fn shift_register() -> SticksCell {
+    let (w, h) = (20, 24);
+    let mut c = SticksCell::new("shiftcell", Rect::new(0, 0, w, h));
+    rails(&mut c, w, h);
+    // Serial chain in metal so the pad ring can route straight to it.
+    c.push_pin(pin("SI", Side::Left, Layer::Metal, 0, 12, 3));
+    c.push_pin(pin("SO", Side::Right, Layer::Metal, w, 12, 3));
+    c.push_pin(pin("TAP", Side::Top, Layer::Poly, 10, h, 2));
+    c.push_wire(wire(Layer::Metal, 3, &[(0, 12), (w, 12)]));
+    c.push_device(Device {
+        kind: DeviceKind::Enhancement,
+        position: Point::new(3, 12),
+        orient: Orientation::R90,
+    });
+    c.push_device(Device {
+        kind: DeviceKind::Depletion,
+        position: Point::new(3, 18),
+        orient: Orientation::R90,
+    });
+    // Tap runs up from the stored node to the top edge (a metal-poly
+    // contact joins it to the chain).
+    c.push_contact(Contact {
+        kind: ContactKind::MetalPoly,
+        position: Point::new(10, 12),
+    });
+    c.push_wire(wire(Layer::Poly, 2, &[(10, 12), (10, h)]));
+    // Pull-up to the power rail.
+    c.push_wire(wire(Layer::Diffusion, 2, &[(3, 14), (3, 16)]));
+    c.push_contact(Contact {
+        kind: ContactKind::MetalDiffusion,
+        position: Point::new(3, 20),
+    });
+    c
+}
+
+/// A two-input NAND with bottom inputs `A` (x=5) and `B` (x=9) and a
+/// top output `OUT` (x=8). Series pull-down; electrically complete and
+/// clean under the NMOS design rules.
+pub fn nand2() -> SticksCell {
+    gate_cell("nand2", 16, &[5, 9], 8, true)
+}
+
+/// A two-input OR gate cell with bottom inputs `A` (x=4), `B` (x=12)
+/// and a top output `OUT` (x=8). Its NMOS topology is parallel
+/// pull-downs — a NOR; the paper's "OR gate" in the filter is used the
+/// same way. The wider input pitch keeps the R90 gates apart.
+pub fn or2() -> SticksCell {
+    gate_cell("or2", 16, &[4, 12], 8, false)
+}
+
+/// Shared gate body: `inputs` are bottom-pin x positions, `out_x` the
+/// top output pin. `series` picks a NAND-like stacked pull-down
+/// (parallel pull-downs otherwise, i.e. a NOR).
+///
+/// The pull path is electrically complete: ground rail → contact →
+/// diffusion through the enhancement channels → output node →
+/// depletion load → contact → power rail, so connectivity extraction
+/// and switch-level simulation see the real gate.
+fn gate_cell(name: &str, width: i64, inputs: &[i64], out_x: i64, series: bool) -> SticksCell {
+    let h = 24;
+    let node_x = width - 2; // output diffusion column
+    let mut c = SticksCell::new(name, Rect::new(0, 0, width, h));
+    rails(&mut c, width, h);
+    if series {
+        // One diffusion run from the ground contact through every gate
+        // in series to the output node.
+        c.push_contact(Contact {
+            kind: ContactKind::MetalDiffusion,
+            position: Point::new(4, 4),
+        });
+        c.push_wire(wire(Layer::Diffusion, 2, &[(4, 4), (4, 8), (node_x, 8)]));
+        for (i, &x) in inputs.iter().enumerate() {
+            let label = char::from(b'A' + i as u8).to_string();
+            c.push_pin(pin(&label, Side::Bottom, Layer::Poly, x, 0, 2));
+            // The input stops a lambda short of the channel row; the
+            // gate rectangle bridges the rest.
+            c.push_wire(wire(Layer::Poly, 2, &[(x, 0), (x, 7)]));
+            c.push_device(Device {
+                kind: DeviceKind::Enhancement,
+                position: Point::new(x, 8),
+                orient: Orientation::R0,
+            });
+        }
+        c.push_wire(wire(Layer::Diffusion, 2, &[(node_x, 8), (node_x, 12)]));
+    } else {
+        // A parallel pull-down branch per input, joined at the output
+        // node.
+        for (i, &x) in inputs.iter().enumerate() {
+            let label = char::from(b'A' + i as u8).to_string();
+            c.push_pin(pin(&label, Side::Bottom, Layer::Poly, x, 0, 2));
+            c.push_wire(wire(Layer::Poly, 2, &[(x, 0), (x, 7)]));
+            c.push_contact(Contact {
+                kind: ContactKind::MetalDiffusion,
+                position: Point::new(x, 4),
+            });
+            c.push_wire(wire(Layer::Diffusion, 2, &[(x, 4), (x, 5)]));
+            c.push_device(Device {
+                kind: DeviceKind::Enhancement,
+                position: Point::new(x, 8),
+                orient: Orientation::R90,
+            });
+            c.push_wire(wire(Layer::Diffusion, 2, &[(x, 11), (x, 12), (node_x, 12)]));
+        }
+    }
+    // The depletion load from the output node up to the power rail.
+    c.push_device(Device {
+        kind: DeviceKind::Depletion,
+        position: Point::new(node_x, 15),
+        orient: Orientation::R90,
+    });
+    c.push_wire(wire(Layer::Diffusion, 2, &[(node_x, 18), (node_x, 20)]));
+    c.push_contact(Contact {
+        kind: ContactKind::MetalDiffusion,
+        position: Point::new(node_x, 20),
+    });
+    // Gate of the load ties to its source (the output node).
+    c.push_contact(Contact {
+        kind: ContactKind::Buried,
+        position: Point::new(node_x, 13),
+    });
+    c.push_wire(wire(Layer::Poly, 2, &[(node_x, 13), (node_x, 14)]));
+    // The output leaves in poly from the node to the top-edge pin,
+    // jogging at y=13 to clear the input gates' poly.
+    c.push_pin(pin("OUT", Side::Top, Layer::Poly, out_x, h, 2));
+    c.push_wire(wire(
+        Layer::Poly,
+        2,
+        &[
+            (node_x, 14),
+            (out_x - 4, 14),
+            (out_x - 4, 20),
+            (out_x, 20),
+            (out_x, h),
+        ],
+    ));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_gates_validate() {
+        for cell in [shift_register(), nand2(), or2()] {
+            cell.validate().unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+        }
+    }
+
+    #[test]
+    fn rails_line_up_for_row_abutment() {
+        // PWRR of one gate must meet PWRL of the next at the same height
+        // and width when cells abut left-right.
+        for cell in [nand2(), or2()] {
+            let l = cell.pin("PWRL").unwrap();
+            let r = cell.pin("PWRR").unwrap();
+            assert_eq!(l.position.y, r.position.y, "{}", cell.name());
+            assert_eq!(l.width, r.width);
+            let g = cell.pin("GNDL").unwrap();
+            assert_eq!(g.position.y, 3);
+        }
+    }
+
+    #[test]
+    fn shift_register_chain_pins_match() {
+        let sr = shift_register();
+        let si = sr.pin("SI").unwrap();
+        let so = sr.pin("SO").unwrap();
+        assert_eq!(si.position.y, so.position.y);
+        assert_eq!(si.layer, so.layer);
+        assert_eq!(si.side, Side::Left);
+        assert_eq!(so.side, Side::Right);
+    }
+
+    #[test]
+    fn gate_io_discipline() {
+        for cell in [nand2(), or2()] {
+            assert_eq!(cell.pin("A").unwrap().side, Side::Bottom);
+            assert_eq!(cell.pin("B").unwrap().side, Side::Bottom);
+            assert_eq!(cell.pin("OUT").unwrap().side, Side::Top);
+            assert_eq!(cell.pin("A").unwrap().layer, Layer::Poly);
+        }
+    }
+
+    #[test]
+    fn cells_round_trip_through_sticks_text() {
+        for cell in [shift_register(), nand2(), or2()] {
+            let text = riot_sticks::to_text(&cell);
+            let again = riot_sticks::parse(&text).unwrap();
+            assert_eq!(cell, again);
+        }
+    }
+
+    #[test]
+    fn cells_generate_mask_geometry() {
+        for cell in [shift_register(), nand2(), or2()] {
+            let cif = riot_sticks::mask::to_cif_cell(&cell, 1);
+            assert!(!cif.shapes.is_empty());
+            assert_eq!(cif.connectors.len(), cell.pins().len());
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The I/O pad library, as CIF text.
+//!
+//! "The input and output pads were taken from a library of CIF cells.
+//! … the pads cannot be stretched by Riot and all connections to them
+//! will have to be made by routing." These pads are plain mask
+//! geometry: a large metal bonding area with an overglass opening, a
+//! diffusion guard ring on the cell perimeter, and a signal connector
+//! on the inner edge (plus power/ground rail stubs for the pad ring).
+
+use riot_geom::LAMBDA;
+use std::fmt::Write as _;
+
+/// CIF text defining two pad cells, `padin` (signal connector `OUT` on
+/// its right edge) and `padout` (signal connector `IN` on its left
+/// edge).
+///
+/// Dimensions are the classic MPC-era 100λ pad pitch; the painted
+/// geometry spans the full 100λ × 100λ cell so pads abut into a ring.
+pub fn pads_cif() -> String {
+    let mut out = String::new();
+    let l = LAMBDA;
+    // Symbol 1: input pad, signal leaves on the right (inner) edge.
+    pad_body(&mut out, 1, "padin", false);
+    let _ = writeln!(out, "94 OUT {} {} NM {};", 100 * l, 50 * l, 3 * l);
+    let _ = writeln!(out, "94 PWR {} {} NM {};", 100 * l, 90 * l, 3 * l);
+    let _ = writeln!(out, "94 GND {} {} NM {};", 100 * l, 10 * l, 3 * l);
+    out.push_str("DF;\n");
+    // Symbol 2: output pad, signal enters on the left (inner) edge.
+    pad_body(&mut out, 2, "padout", true);
+    let _ = writeln!(out, "94 IN 0 {} NM {};", 50 * l, 3 * l);
+    let _ = writeln!(out, "94 PWR 0 {} NM {};", 90 * l, 3 * l);
+    let _ = writeln!(out, "94 GND 0 {} NM {};", 10 * l, 3 * l);
+    out.push_str("DF;\nE\n");
+    out
+}
+
+fn pad_body(out: &mut String, symbol: u32, name: &str, mirror: bool) {
+    let l = LAMBDA;
+    // Wires are drawn with centerlines inset by half their width so the
+    // painted extent lands exactly on the 0..100λ cell boundary.
+    let m_half = 3 * l / 2;
+    let (x0, x1) = (m_half, 100 * l - m_half);
+    let bond_cx = if mirror { 60 * l } else { 40 * l };
+    let _ = writeln!(out, "DS {symbol} 1 1;");
+    let _ = writeln!(out, "9 {name};");
+    let _ = writeln!(out, "L NM;");
+    // 60λ bonding square, biased toward the outer edge.
+    let _ = writeln!(out, "B {} {} {} {};", 60 * l, 60 * l, bond_cx, 50 * l);
+    // Signal finger from the bond area to the inner edge.
+    if mirror {
+        let _ = writeln!(out, "W {} {} {} {} {};", 3 * l, x0, 50 * l, 40 * l, 50 * l);
+    } else {
+        let _ = writeln!(out, "W {} {} {} {} {};", 3 * l, 60 * l, 50 * l, x1, 50 * l);
+    }
+    // Power and ground rail stubs across the cell.
+    let _ = writeln!(out, "W {} {} {} {} {};", 3 * l, x0, 90 * l, x1, 90 * l);
+    let _ = writeln!(out, "W {} {} {} {} {};", 3 * l, x0, 10 * l, x1, 10 * l);
+    // Overglass opening over the bond area.
+    let _ = writeln!(out, "L NG;");
+    let _ = writeln!(out, "B {} {} {} {};", 50 * l, 50 * l, bond_cx, 50 * l);
+    // Diffusion guard ring around the whole cell perimeter.
+    let _ = writeln!(out, "L ND;");
+    let _ = writeln!(
+        out,
+        "W {} {} {} {} {} {} {} {} {} {} {};",
+        2 * l,
+        l,
+        l,
+        99 * l,
+        l,
+        99 * l,
+        99 * l,
+        l,
+        99 * l,
+        l,
+        l
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_geom::{Layer, Point};
+
+    #[test]
+    fn pads_parse_as_cif() {
+        let file = riot_cif::parse(&pads_cif()).unwrap();
+        assert_eq!(file.cells().len(), 2);
+        assert!(file.cell_by_name("padin").is_some());
+        assert!(file.cell_by_name("padout").is_some());
+    }
+
+    #[test]
+    fn pad_connectors_on_inner_edges() {
+        let file = riot_cif::parse(&pads_cif()).unwrap();
+        let padin = file.cell_by_name("padin").unwrap();
+        let out = padin.connector("OUT").unwrap();
+        assert_eq!(out.layer, Layer::Metal);
+        assert_eq!(out.location, Point::new(100 * LAMBDA, 50 * LAMBDA));
+        let padout = file.cell_by_name("padout").unwrap();
+        assert_eq!(padout.connector("IN").unwrap().location.x, 0);
+    }
+
+    #[test]
+    fn pads_have_bond_glass() {
+        let file = riot_cif::parse(&pads_cif()).unwrap();
+        for cell in file.cells() {
+            assert!(
+                cell.shapes.iter().any(|s| s.layer == Layer::Glass),
+                "pad without overglass opening"
+            );
+        }
+    }
+
+    #[test]
+    fn pad_geometry_spans_full_pitch() {
+        let file = riot_cif::parse(&pads_cif()).unwrap();
+        for name in ["padin", "padout"] {
+            let cell = file.cell_by_name(name).unwrap();
+            let bb = cell.local_bounding_box().unwrap();
+            assert_eq!(bb.width(), 100 * LAMBDA, "{name}");
+            assert_eq!(bb.height(), 100 * LAMBDA, "{name}");
+            assert_eq!(bb.x0, 0);
+            assert_eq!(bb.y0, 0);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Pipe fittings: corner cells for power, ground and clock routing.
+//!
+//! "Pre-defined pipe fittings aid complex routes for power, ground and
+//! clock lines." A pipe corner takes a wire in on one edge and turns it
+//! 90° onto an adjacent edge; instances are oriented to produce any of
+//! the four corners.
+
+use riot_geom::{Layer, Path, Point, Rect, Side};
+use riot_sticks::{Pin, SticksCell, SymWire};
+
+/// A corner fitting: wire enters on the **left** edge (`A`) and leaves
+/// on the **bottom** edge (`B`). Rotate/mirror the instance for other
+/// corners.
+///
+/// `layer` and `width` (lambda) follow the line being turned; the cell
+/// is sized to `width + 2·spacing` so corners abut cleanly.
+///
+/// # Panics
+///
+/// Panics when `width` is not positive.
+pub fn pipe_corner(layer: Layer, width: i64) -> SticksCell {
+    assert!(width > 0, "pipe width must be positive");
+    let margin = 3;
+    let size = width + 2 * margin;
+    let mid = size / 2;
+    let mut c = SticksCell::new(
+        format!("pipe{}{}", layer.cif_name().to_ascii_lowercase(), width),
+        Rect::new(0, 0, size, size),
+    );
+    c.push_pin(Pin {
+        name: "A".into(),
+        side: Side::Left,
+        layer,
+        position: Point::new(0, mid),
+        width,
+    });
+    c.push_pin(Pin {
+        name: "B".into(),
+        side: Side::Bottom,
+        layer,
+        position: Point::new(mid, 0),
+        width,
+    });
+    c.push_wire(SymWire {
+        layer,
+        width,
+        path: Path::from_points([
+            Point::new(0, mid),
+            Point::new(mid, mid),
+            Point::new(mid, 0),
+        ])
+        .expect("L-shaped Manhattan path"),
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_validates() {
+        for (layer, width) in [(Layer::Metal, 3), (Layer::Poly, 2), (Layer::Metal, 6)] {
+            let c = pipe_corner(layer, width);
+            c.validate().unwrap();
+            assert_eq!(c.pin("A").unwrap().layer, layer);
+        }
+    }
+
+    #[test]
+    fn corner_turns_ninety_degrees() {
+        let c = pipe_corner(Layer::Metal, 3);
+        assert_eq!(c.pin("A").unwrap().side, Side::Left);
+        assert_eq!(c.pin("B").unwrap().side, Side::Bottom);
+        assert_eq!(c.wires()[0].path.corner_count(), 1);
+    }
+
+    #[test]
+    fn names_encode_layer_and_width() {
+        assert_eq!(pipe_corner(Layer::Metal, 3).name(), "pipenm3");
+        assert_eq!(pipe_corner(Layer::Poly, 2).name(), "pipenp2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        let _ = pipe_corner(Layer::Metal, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Command-level CIF syntax tree.
+
+use riot_geom::Point;
+
+/// A single CIF transform primitive, as written after a `C` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformPrimitive {
+    /// `T x y` — translate.
+    Translate(Point),
+    /// `M X` — mirror in x (negate x).
+    MirrorX,
+    /// `M Y` — mirror in y (negate y).
+    MirrorY,
+    /// `R a b` — rotate so the x axis points along `(a, b)`.
+    Rotate(i64, i64),
+}
+
+/// One CIF command.
+///
+/// The parser produces a flat command list; [`crate::model`] folds the
+/// `DS`/`DF` brackets into a cell hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CifCommand {
+    /// `DS id a b;` — start definition, with scale factor `a/b`.
+    DefStart {
+        /// Symbol number.
+        id: u32,
+        /// Scale numerator.
+        a: i64,
+        /// Scale denominator.
+        b: i64,
+    },
+    /// `DF;` — finish definition.
+    DefFinish,
+    /// `DD id;` — delete definitions numbered >= id.
+    DefDelete(u32),
+    /// `C id <transforms>;` — call (instantiate) a symbol.
+    Call {
+        /// Symbol number of the called cell.
+        id: u32,
+        /// Transform primitives, applied left to right.
+        transforms: Vec<TransformPrimitive>,
+    },
+    /// `L name;` — select the current layer.
+    Layer(String),
+    /// `B length width cx cy [dx dy];` — box.
+    BoxCmd {
+        /// Extent along the direction vector.
+        length: i64,
+        /// Extent perpendicular to the direction vector.
+        width: i64,
+        /// Box center.
+        center: Point,
+        /// Direction of the length axis; `None` means `(1, 0)`.
+        direction: Option<(i64, i64)>,
+    },
+    /// `P p1 p2 ... pn;` — polygon.
+    Polygon(Vec<Point>),
+    /// `W width p1 ... pn;` — wire.
+    Wire {
+        /// Wire width.
+        width: i64,
+        /// Centerline vertices.
+        points: Vec<Point>,
+    },
+    /// `R diameter cx cy;` — round flash.
+    RoundFlash {
+        /// Flash diameter.
+        diameter: i64,
+        /// Flash center.
+        center: Point,
+    },
+    /// `<digit> raw-text;` — user extension. Digit 9 names cells, 94 is
+    /// the Riot connector extension; both are also kept raw here.
+    UserExtension {
+        /// The extension digit (the full leading number, e.g. 94).
+        code: u32,
+        /// Uninterpreted body text (trimmed).
+        text: String,
+    },
+    /// `E` — end of file.
+    End,
+}
+
+impl CifCommand {
+    /// True for the commands that may only appear inside a definition in
+    /// Riot's separated hierarchy (geometry and layer selection).
+    pub fn is_geometry(&self) -> bool {
+        matches!(
+            self,
+            CifCommand::BoxCmd { .. }
+                | CifCommand::Polygon(_)
+                | CifCommand::Wire { .. }
+                | CifCommand::RoundFlash { .. }
+        )
+    }
+}

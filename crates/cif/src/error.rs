@@ -1,0 +1,101 @@
+//! CIF parse and semantic errors.
+
+use std::fmt;
+
+/// Error produced while lexing, parsing or semantically resolving CIF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCifError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// Categories of CIF errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The input ended in the middle of a command.
+    UnexpectedEnd,
+    /// A character that cannot start or continue the current command.
+    UnexpectedChar(char),
+    /// An integer was required.
+    ExpectedInteger,
+    /// A command needed more numeric arguments than were supplied.
+    MissingArguments(&'static str),
+    /// `DF` without a matching `DS`, nested `DS`, or trailing open `DS`.
+    UnbalancedDefinition,
+    /// A `C` call referenced a symbol number never defined.
+    UndefinedSymbol(u32),
+    /// The same symbol number was defined twice.
+    DuplicateSymbol(u32),
+    /// An `R` rotation that is not one of the four Manhattan directions.
+    NonManhattanRotation(i64, i64),
+    /// A `B` box direction that is not Manhattan.
+    NonManhattanBoxDirection(i64, i64),
+    /// A layer short name not in the NMOS layer set.
+    UnknownLayer(String),
+    /// Geometry appeared before any `L` layer command.
+    NoCurrentLayer,
+    /// A connector extension (`94`) that could not be parsed.
+    BadConnector(String),
+    /// A negative or zero dimension where a positive one is required.
+    NonPositiveDimension(&'static str, i64),
+    /// A polygon with fewer than three vertices.
+    DegeneratePolygon,
+    /// A wire path with no vertices.
+    EmptyWire,
+    /// Commands after the `E` end command.
+    TrailingAfterEnd,
+}
+
+impl fmt::Display for ParseCifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CIF line {}: {}", self.line, self.kind)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::UnexpectedEnd => f.write_str("unexpected end of input"),
+            ErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
+            ErrorKind::ExpectedInteger => f.write_str("expected an integer"),
+            ErrorKind::MissingArguments(cmd) => {
+                write!(f, "missing arguments for `{cmd}` command")
+            }
+            ErrorKind::UnbalancedDefinition => {
+                f.write_str("unbalanced DS/DF definition structure")
+            }
+            ErrorKind::UndefinedSymbol(id) => write!(f, "call of undefined symbol {id}"),
+            ErrorKind::DuplicateSymbol(id) => write!(f, "symbol {id} defined twice"),
+            ErrorKind::NonManhattanRotation(a, b) => {
+                write!(f, "rotation direction ({a}, {b}) is not Manhattan")
+            }
+            ErrorKind::NonManhattanBoxDirection(a, b) => {
+                write!(f, "box direction ({a}, {b}) is not Manhattan")
+            }
+            ErrorKind::UnknownLayer(name) => write!(f, "unknown layer `{name}`"),
+            ErrorKind::NoCurrentLayer => {
+                f.write_str("geometry before any L layer command")
+            }
+            ErrorKind::BadConnector(text) => {
+                write!(f, "malformed connector extension `94 {text}`")
+            }
+            ErrorKind::NonPositiveDimension(what, v) => {
+                write!(f, "non-positive {what} {v}")
+            }
+            ErrorKind::DegeneratePolygon => f.write_str("polygon with fewer than 3 vertices"),
+            ErrorKind::EmptyWire => f.write_str("wire with no path vertices"),
+            ErrorKind::TrailingAfterEnd => f.write_str("commands after E end marker"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCifError {}
+
+impl ParseCifError {
+    /// Builds an error at a given input line.
+    pub fn new(line: usize, kind: ErrorKind) -> Self {
+        ParseCifError { line, kind }
+    }
+}

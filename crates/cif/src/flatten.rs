@@ -1,0 +1,233 @@
+//! Hierarchy flattening: instantiate every call down to painted shapes.
+//!
+//! Riot renders and measures cells by walking the hierarchy; the
+//! flattener produces the fully-instantiated shape list used for
+//! plotting, mask generation checks and area accounting.
+
+use crate::error::{ErrorKind, ParseCifError};
+use crate::model::{CifFile, Geometry};
+use riot_geom::{Layer, Path, Point, Rect, Transform};
+
+/// A shape instantiated into top-level coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatShape {
+    /// Mask layer.
+    pub layer: Layer,
+    /// Geometry in absolute coordinates.
+    pub geometry: Geometry,
+    /// Instantiation depth (0 = drawn at top level).
+    pub depth: usize,
+}
+
+/// Flattens the file's top-level content (shapes and calls) into
+/// absolute-coordinate shapes.
+///
+/// # Errors
+///
+/// Returns an error if a call references an undefined symbol or the
+/// hierarchy is deeper than 64 levels (which in a well-formed separated
+/// hierarchy means a definition cycle).
+pub fn flatten(file: &CifFile) -> Result<Vec<FlatShape>, ParseCifError> {
+    let mut out = Vec::new();
+    for shape in file.top_shapes() {
+        out.push(FlatShape {
+            layer: shape.layer,
+            geometry: shape.geometry.clone(),
+            depth: 0,
+        });
+    }
+    for call in file.top_calls() {
+        flatten_cell(file, call.cell, call.transform, 1, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Flattens one definition (and everything below it) under `transform`.
+///
+/// # Errors
+///
+/// Same conditions as [`flatten`].
+pub fn flatten_cell(
+    file: &CifFile,
+    id: u32,
+    transform: Transform,
+    depth: usize,
+    out: &mut Vec<FlatShape>,
+) -> Result<(), ParseCifError> {
+    const MAX_DEPTH: usize = 64;
+    if depth > MAX_DEPTH {
+        return Err(ParseCifError::new(0, ErrorKind::UnbalancedDefinition));
+    }
+    let cell = file
+        .cell(id)
+        .ok_or_else(|| ParseCifError::new(0, ErrorKind::UndefinedSymbol(id)))?;
+    for shape in &cell.shapes {
+        out.push(FlatShape {
+            layer: shape.layer,
+            geometry: transform_geometry(&shape.geometry, transform),
+            depth,
+        });
+    }
+    for call in &cell.calls {
+        flatten_cell(file, call.cell, call.transform.then(transform), depth + 1, out)?;
+    }
+    Ok(())
+}
+
+/// Maps geometry through a Manhattan transform.
+pub fn transform_geometry(g: &Geometry, t: Transform) -> Geometry {
+    match g {
+        Geometry::Box(r) => Geometry::Box(t.apply_rect(*r)),
+        Geometry::Polygon(pts) => Geometry::Polygon(pts.iter().map(|&p| t.apply(p)).collect()),
+        Geometry::Wire { width, path } => {
+            let pts: Vec<Point> = path.points().iter().map(|&p| t.apply(p)).collect();
+            Geometry::Wire {
+                width: *width,
+                path: Path::from_points(pts)
+                    .expect("Manhattan transform preserves Manhattan paths"),
+            }
+        }
+        Geometry::Flash { diameter, center } => Geometry::Flash {
+            diameter: *diameter,
+            center: t.apply(*center),
+        },
+    }
+}
+
+/// Bounding box of a cell **including** everything it instantiates.
+///
+/// # Errors
+///
+/// Same conditions as [`flatten`]. Returns `Ok(None)` for a cell that
+/// paints nothing anywhere in its subtree.
+pub fn deep_bounding_box(file: &CifFile, id: u32) -> Result<Option<Rect>, ParseCifError> {
+    let mut shapes = Vec::new();
+    flatten_cell(file, id, Transform::IDENTITY, 1, &mut shapes)?;
+    Ok(bounding_box_of(&shapes))
+}
+
+/// Bounding box of a flattened shape list.
+pub fn bounding_box_of(shapes: &[FlatShape]) -> Option<Rect> {
+    let mut bb: Option<Rect> = None;
+    for s in shapes {
+        let b = s.geometry.bounding_box();
+        bb = Some(match bb {
+            Some(acc) => acc.union(b),
+            None => b,
+        });
+    }
+    bb
+}
+
+/// Sum of painted bounding-box areas per layer, for area accounting.
+/// Overlaps are counted twice; Riot-era area comparisons used cell
+/// bounding boxes, so this is a diagnostic, not a mask-area integral.
+pub fn painted_area_by_layer(shapes: &[FlatShape]) -> Vec<(Layer, i128)> {
+    let mut totals: Vec<(Layer, i128)> = Vec::new();
+    for s in shapes {
+        let area = s.geometry.bounding_box().area();
+        match totals.iter_mut().find(|(l, _)| *l == s.layer) {
+            Some((_, t)) => *t += area,
+            None => totals.push((s.layer, area)),
+        }
+    }
+    totals.sort_by_key(|&(l, _)| l);
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const HIER: &str = "\
+DS 1;
+L NM; B 10 10 5 5;
+DF;
+DS 2;
+C 1 T 0 0;
+C 1 T 20 0;
+DF;
+C 2 T 100 100;
+E";
+
+    #[test]
+    fn flattens_two_levels() {
+        let f = parse(HIER).unwrap();
+        let shapes = flatten(&f).unwrap();
+        assert_eq!(shapes.len(), 2);
+        assert_eq!(shapes[0].depth, 2);
+        assert_eq!(
+            shapes[0].geometry.bounding_box(),
+            Rect::new(100, 100, 110, 110)
+        );
+        assert_eq!(
+            shapes[1].geometry.bounding_box(),
+            Rect::new(120, 100, 130, 110)
+        );
+    }
+
+    #[test]
+    fn deep_bbox() {
+        let f = parse(HIER).unwrap();
+        assert_eq!(
+            deep_bounding_box(&f, 2).unwrap(),
+            Some(Rect::new(0, 0, 30, 10))
+        );
+        assert_eq!(
+            deep_bounding_box(&f, 1).unwrap(),
+            Some(Rect::new(0, 0, 10, 10))
+        );
+    }
+
+    #[test]
+    fn empty_cell_has_no_bbox() {
+        let f = parse("DS 1;DF;E").unwrap();
+        assert_eq!(deep_bounding_box(&f, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn rotation_applies_through_hierarchy() {
+        let text = "DS 1;L NM;B 10 4 5 2;DF;DS 2;C 1 R 0 1;DF;C 2;E";
+        let f = parse(text).unwrap();
+        let shapes = flatten(&f).unwrap();
+        // The 10x4 box rotated 90° becomes 4x10.
+        let bb = shapes[0].geometry.bounding_box();
+        assert_eq!(bb.width(), 4);
+        assert_eq!(bb.height(), 10);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // A cycle cannot be written in strict CIF (definition before
+        // call), but the model can be constructed programmatically.
+        use crate::model::{CifCall, CifCell, CifFile};
+        let mut f = CifFile::new();
+        f.insert_cell(CifCell {
+            id: 1,
+            calls: vec![CifCall {
+                cell: 1,
+                transform: Transform::IDENTITY,
+            }],
+            ..CifCell::default()
+        });
+        f.push_top_call(CifCall {
+            cell: 1,
+            transform: Transform::IDENTITY,
+        });
+        assert!(flatten(&f).is_err());
+    }
+
+    #[test]
+    fn area_by_layer() {
+        let f = parse("DS 1;L NM;B 10 10 5 5;L NP;B 2 2 1 1;B 2 2 5 5;DF;C 1;E").unwrap();
+        let shapes = flatten(&f).unwrap();
+        let areas = painted_area_by_layer(&shapes);
+        assert_eq!(areas.len(), 2);
+        let poly = areas
+            .iter()
+            .find(|(l, _)| *l == Layer::Poly)
+            .map(|&(_, a)| a);
+        assert_eq!(poly, Some(8));
+    }
+}

@@ -1,0 +1,253 @@
+//! The CIF character-level lexer.
+//!
+//! CIF's lexical rules are unusual: the only significant characters are
+//! digits, upper-case letters, `-`, `(`, `)` and `;`. *Everything else —
+//! including lower-case letters — is blank.* So `Box 25 60 80 40;` is the
+//! same command as `B 25 60 80 40;`. Comments are parenthesized and nest.
+
+use crate::error::{ErrorKind, ParseCifError};
+
+/// A cursor over CIF text that skips blanks and comments and hands out
+/// significant characters and integers.
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `text`.
+    pub fn new(text: &'a str) -> Self {
+        Lexer {
+            src: text.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Current 1-based line number (for error reporting).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Builds an error at the current line.
+    pub fn error(&self, kind: ErrorKind) -> ParseCifError {
+        ParseCifError::new(self.line, kind)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn peek_raw(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn is_significant(c: u8) -> bool {
+        c.is_ascii_digit() || c.is_ascii_uppercase() || matches!(c, b'-' | b'(' | b')' | b';')
+    }
+
+    /// Skips blanks and (nested) comments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unbalanced `)` left lying around — the
+    /// caller sees it as an unexpected character instead, so this only
+    /// fails on a comment that never closes.
+    pub fn skip_blanks(&mut self) -> Result<(), ParseCifError> {
+        loop {
+            match self.peek_raw() {
+                Some(b'(') => {
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.bump() {
+                            Some(b'(') => depth += 1,
+                            Some(b')') => depth -= 1,
+                            Some(_) => {}
+                            None => return Err(self.error(ErrorKind::UnexpectedEnd)),
+                        }
+                    }
+                }
+                Some(c) if !Self::is_significant(c) => {
+                    self.bump();
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Peeks the next significant character without consuming it.
+    pub fn peek(&mut self) -> Result<Option<char>, ParseCifError> {
+        self.skip_blanks()?;
+        Ok(self.peek_raw().map(|c| c as char))
+    }
+
+    /// Consumes and returns the next significant character.
+    pub fn next_char(&mut self) -> Result<Option<char>, ParseCifError> {
+        self.skip_blanks()?;
+        Ok(self.bump().map(|c| c as char))
+    }
+
+    /// Reads a (possibly signed) integer. Digits must be contiguous.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the next significant character does not start an
+    /// integer.
+    pub fn integer(&mut self) -> Result<i64, ParseCifError> {
+        self.skip_blanks()?;
+        let mut neg = false;
+        if self.peek_raw() == Some(b'-') {
+            neg = true;
+            self.bump();
+        }
+        let start = self.pos;
+        while matches!(self.peek_raw(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error(ErrorKind::ExpectedInteger));
+        }
+        let digits = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        let mut v: i64 = 0;
+        for d in digits.bytes() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((d - b'0') as i64))
+                .ok_or_else(|| self.error(ErrorKind::ExpectedInteger))?;
+        }
+        Ok(if neg { -v } else { v })
+    }
+
+    /// True when the next significant characters begin an integer.
+    pub fn at_integer(&mut self) -> Result<bool, ParseCifError> {
+        self.skip_blanks()?;
+        Ok(matches!(self.peek_raw(), Some(c) if c.is_ascii_digit() || c == b'-'))
+    }
+
+    /// Reads a CIF short name: up to four digits/upper-case characters,
+    /// contiguous.
+    pub fn short_name(&mut self) -> Result<String, ParseCifError> {
+        self.skip_blanks()?;
+        let mut name = String::new();
+        while name.len() < 4 {
+            match self.peek_raw() {
+                Some(c) if c.is_ascii_digit() || c.is_ascii_uppercase() => {
+                    name.push(c as char);
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        if name.is_empty() {
+            return Err(self.error(ErrorKind::UnexpectedEnd));
+        }
+        Ok(name)
+    }
+
+    /// Peeks the immediately next raw character, without skipping blanks
+    /// or comments. Used where contiguity matters (multi-digit user
+    /// extension codes).
+    pub fn peek_raw_char(&self) -> Option<char> {
+        self.peek_raw().map(|c| c as char)
+    }
+
+    /// Consumes raw text (blanks significant, comments *not* interpreted)
+    /// until the terminating `;`, which is consumed. Used for user
+    /// extensions, whose body CIF leaves uninterpreted.
+    pub fn raw_until_semicolon(&mut self) -> Result<String, ParseCifError> {
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some(b';') => break,
+                Some(c) => text.push(c as char),
+                None => return Err(self.error(ErrorKind::UnexpectedEnd)),
+            }
+        }
+        Ok(text.trim().to_owned())
+    }
+
+    /// Consumes the `;` ending the current command.
+    ///
+    /// # Errors
+    ///
+    /// Fails when something other than `;` appears first.
+    pub fn expect_semicolon(&mut self) -> Result<(), ParseCifError> {
+        match self.next_char()? {
+            Some(';') => Ok(()),
+            Some(c) => Err(self.error(ErrorKind::UnexpectedChar(c))),
+            None => Err(self.error(ErrorKind::UnexpectedEnd)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase_is_blank() {
+        let mut lx = Lexer::new("Box 25 60;");
+        assert_eq!(lx.next_char().unwrap(), Some('B'));
+        assert_eq!(lx.integer().unwrap(), 25);
+        assert_eq!(lx.integer().unwrap(), 60);
+        lx.expect_semicolon().unwrap();
+    }
+
+    #[test]
+    fn nested_comments_skipped() {
+        let mut lx = Lexer::new("(outer (inner) still) B 1;");
+        assert_eq!(lx.next_char().unwrap(), Some('B'));
+        assert_eq!(lx.integer().unwrap(), 1);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let mut lx = Lexer::new("(never closes B 1;");
+        assert!(lx.next_char().is_err());
+    }
+
+    #[test]
+    fn negative_integers() {
+        let mut lx = Lexer::new(" -42 7 -0;");
+        assert_eq!(lx.integer().unwrap(), -42);
+        assert_eq!(lx.integer().unwrap(), 7);
+        assert_eq!(lx.integer().unwrap(), 0);
+    }
+
+    #[test]
+    fn integer_requires_digits() {
+        let mut lx = Lexer::new("- ;");
+        assert!(lx.integer().is_err());
+    }
+
+    #[test]
+    fn line_tracking() {
+        let mut lx = Lexer::new("\n\nB 1;");
+        lx.next_char().unwrap();
+        assert_eq!(lx.line(), 3);
+    }
+
+    #[test]
+    fn short_name_max_four() {
+        let mut lx = Lexer::new("NMXYZ");
+        assert_eq!(lx.short_name().unwrap(), "NMXY");
+    }
+
+    #[test]
+    fn raw_until_semicolon_preserves_case() {
+        let mut lx = Lexer::new("9 MyCell ;rest");
+        assert_eq!(lx.next_char().unwrap(), Some('9'));
+        assert_eq!(lx.raw_until_semicolon().unwrap(), "MyCell");
+        assert_eq!(lx.next_char().unwrap(), None); // 'rest' is all blanks
+    }
+}

@@ -1,0 +1,364 @@
+//! CIF parser: text to command list to semantic model.
+
+use crate::ast::{CifCommand, TransformPrimitive};
+use crate::error::{ErrorKind, ParseCifError};
+use crate::lex::Lexer;
+use crate::model::CifFile;
+use riot_geom::Point;
+
+/// Parses CIF text into a semantic [`CifFile`].
+///
+/// # Errors
+///
+/// Returns [`ParseCifError`] on any lexical, syntactic or semantic
+/// violation (unknown layer, undefined symbol, non-Manhattan rotation…).
+pub fn parse(text: &str) -> Result<CifFile, ParseCifError> {
+    let commands = parse_commands(text)?;
+    CifFile::from_commands(commands)
+}
+
+/// Parses CIF text into its raw command list, without semantic checks.
+///
+/// # Errors
+///
+/// Returns [`ParseCifError`] on lexical or syntactic violations.
+pub fn parse_commands(text: &str) -> Result<Vec<CifCommand>, ParseCifError> {
+    let mut lx = Lexer::new(text);
+    let mut commands = Vec::new();
+    let mut ended = false;
+    loop {
+        let Some(c) = lx.next_char()? else {
+            break;
+        };
+        if ended {
+            return Err(lx.error(ErrorKind::TrailingAfterEnd));
+        }
+        match c {
+            ';' => {} // null command
+            'B' => commands.push(parse_box(&mut lx)?),
+            'P' => commands.push(parse_polygon(&mut lx)?),
+            'W' => commands.push(parse_wire(&mut lx)?),
+            'R' => commands.push(parse_round_flash(&mut lx)?),
+            'L' => {
+                let name = lx.short_name()?;
+                lx.expect_semicolon()?;
+                commands.push(CifCommand::Layer(name));
+            }
+            'D' => commands.push(parse_definition(&mut lx)?),
+            'C' => commands.push(parse_call(&mut lx)?),
+            'E' => {
+                commands.push(CifCommand::End);
+                ended = true;
+            }
+            '0'..='9' | '-' => {
+                // User extension: the command "letter" is the leading
+                // number itself.
+                let code = parse_extension_code(&mut lx, c)?;
+                let text = lx.raw_until_semicolon()?;
+                commands.push(CifCommand::UserExtension { code, text });
+            }
+            other => return Err(lx.error(ErrorKind::UnexpectedChar(other))),
+        }
+    }
+    Ok(commands)
+}
+
+fn parse_extension_code(lx: &mut Lexer<'_>, first: char) -> Result<u32, ParseCifError> {
+    if first == '-' {
+        return Err(lx.error(ErrorKind::UnexpectedChar('-')));
+    }
+    let mut code = first.to_digit(10).expect("digit") as u32;
+    // Extend the command number with *contiguous* digits only (`94`),
+    // peeking raw so the uninterpreted extension body — where lower-case
+    // text is meaningful — is left untouched.
+    while let Some(c) = lx.peek_raw_char() {
+        match c.to_digit(10) {
+            Some(d) if code < 10 => {
+                lx.next_char()?;
+                code = code * 10 + d;
+            }
+            _ => break,
+        }
+    }
+    Ok(code)
+}
+
+fn parse_point(lx: &mut Lexer<'_>) -> Result<Point, ParseCifError> {
+    let x = lx.integer()?;
+    let y = lx.integer()?;
+    Ok(Point::new(x, y))
+}
+
+fn parse_box(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
+    let length = lx.integer()?;
+    let width = lx.integer()?;
+    let center = parse_point(lx)?;
+    let direction = if lx.at_integer()? {
+        let dx = lx.integer()?;
+        let dy = lx.integer()?;
+        Some((dx, dy))
+    } else {
+        None
+    };
+    lx.expect_semicolon()?;
+    if length < 0 {
+        return Err(lx.error(ErrorKind::NonPositiveDimension("box length", length)));
+    }
+    if width < 0 {
+        return Err(lx.error(ErrorKind::NonPositiveDimension("box width", width)));
+    }
+    Ok(CifCommand::BoxCmd {
+        length,
+        width,
+        center,
+        direction,
+    })
+}
+
+fn parse_polygon(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
+    let mut points = Vec::new();
+    while lx.at_integer()? {
+        points.push(parse_point(lx)?);
+    }
+    lx.expect_semicolon()?;
+    if points.len() < 3 {
+        return Err(lx.error(ErrorKind::DegeneratePolygon));
+    }
+    Ok(CifCommand::Polygon(points))
+}
+
+fn parse_wire(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
+    let width = lx.integer()?;
+    if width <= 0 {
+        return Err(lx.error(ErrorKind::NonPositiveDimension("wire width", width)));
+    }
+    let mut points = Vec::new();
+    while lx.at_integer()? {
+        points.push(parse_point(lx)?);
+    }
+    lx.expect_semicolon()?;
+    if points.is_empty() {
+        return Err(lx.error(ErrorKind::EmptyWire));
+    }
+    Ok(CifCommand::Wire { width, points })
+}
+
+fn parse_round_flash(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
+    let diameter = lx.integer()?;
+    if diameter <= 0 {
+        return Err(lx.error(ErrorKind::NonPositiveDimension("flash diameter", diameter)));
+    }
+    let center = parse_point(lx)?;
+    lx.expect_semicolon()?;
+    Ok(CifCommand::RoundFlash { diameter, center })
+}
+
+fn parse_definition(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
+    match lx.next_char()? {
+        Some('S') => {
+            let id = lx.integer()?;
+            let (a, b) = if lx.at_integer()? {
+                let a = lx.integer()?;
+                let b = lx.integer()?;
+                (a, b)
+            } else {
+                (1, 1)
+            };
+            lx.expect_semicolon()?;
+            if id < 0 || a <= 0 || b <= 0 {
+                return Err(lx.error(ErrorKind::MissingArguments("DS")));
+            }
+            Ok(CifCommand::DefStart { id: id as u32, a, b })
+        }
+        Some('F') => {
+            lx.expect_semicolon()?;
+            Ok(CifCommand::DefFinish)
+        }
+        Some('D') => {
+            let id = lx.integer()?;
+            lx.expect_semicolon()?;
+            if id < 0 {
+                return Err(lx.error(ErrorKind::MissingArguments("DD")));
+            }
+            Ok(CifCommand::DefDelete(id as u32))
+        }
+        Some(c) => Err(lx.error(ErrorKind::UnexpectedChar(c))),
+        None => Err(lx.error(ErrorKind::UnexpectedEnd)),
+    }
+}
+
+fn parse_call(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
+    let id = lx.integer()?;
+    if id < 0 {
+        return Err(lx.error(ErrorKind::MissingArguments("C")));
+    }
+    let mut transforms = Vec::new();
+    loop {
+        match lx.peek()? {
+            Some('T') => {
+                lx.next_char()?;
+                transforms.push(TransformPrimitive::Translate(parse_point(lx)?));
+            }
+            Some('M') => {
+                lx.next_char()?;
+                match lx.next_char()? {
+                    Some('X') => transforms.push(TransformPrimitive::MirrorX),
+                    Some('Y') => transforms.push(TransformPrimitive::MirrorY),
+                    Some(c) => return Err(lx.error(ErrorKind::UnexpectedChar(c))),
+                    None => return Err(lx.error(ErrorKind::UnexpectedEnd)),
+                }
+            }
+            Some('R') => {
+                lx.next_char()?;
+                let a = lx.integer()?;
+                let b = lx.integer()?;
+                transforms.push(TransformPrimitive::Rotate(a, b));
+            }
+            Some(';') => {
+                lx.next_char()?;
+                break;
+            }
+            Some(c) => return Err(lx.error(ErrorKind::UnexpectedChar(c))),
+            None => return Err(lx.error(ErrorKind::UnexpectedEnd)),
+        }
+    }
+    Ok(CifCommand::Call {
+        id: id as u32,
+        transforms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_box_with_and_without_direction() {
+        let cmds = parse_commands("B 25 60 80 40; B 10 20 0 0 0 1;").unwrap();
+        assert_eq!(
+            cmds[0],
+            CifCommand::BoxCmd {
+                length: 25,
+                width: 60,
+                center: Point::new(80, 40),
+                direction: None
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            CifCommand::BoxCmd {
+                length: 10,
+                width: 20,
+                center: Point::new(0, 0),
+                direction: Some((0, 1))
+            }
+        );
+    }
+
+    #[test]
+    fn parses_call_transforms_in_order() {
+        let cmds = parse_commands("C 7 T 10 20 M X R 0 -1;").unwrap();
+        assert_eq!(
+            cmds[0],
+            CifCommand::Call {
+                id: 7,
+                transforms: vec![
+                    TransformPrimitive::Translate(Point::new(10, 20)),
+                    TransformPrimitive::MirrorX,
+                    TransformPrimitive::Rotate(0, -1),
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn parses_wire_and_polygon() {
+        let cmds = parse_commands("W 250 0 0 0 100 50 100; P 0 0 10 0 10 10;").unwrap();
+        match &cmds[0] {
+            CifCommand::Wire { width, points } => {
+                assert_eq!(*width, 250);
+                assert_eq!(points.len(), 3);
+            }
+            other => panic!("expected wire, got {other:?}"),
+        }
+        match &cmds[1] {
+            CifCommand::Polygon(points) => assert_eq!(points.len(), 3),
+            other => panic!("expected polygon, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_polygon() {
+        let err = parse_commands("P 0 0 10 0;").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DegeneratePolygon);
+    }
+
+    #[test]
+    fn rejects_zero_width_wire() {
+        assert!(parse_commands("W 0 0 0 5 5;").is_err());
+    }
+
+    #[test]
+    fn definition_brackets() {
+        let cmds = parse_commands("DS 1 100 1; DF; DD 5;").unwrap();
+        assert_eq!(cmds[0], CifCommand::DefStart { id: 1, a: 100, b: 1 });
+        assert_eq!(cmds[1], CifCommand::DefFinish);
+        assert_eq!(cmds[2], CifCommand::DefDelete(5));
+    }
+
+    #[test]
+    fn ds_scale_defaults_to_unity() {
+        let cmds = parse_commands("DS 3; DF;").unwrap();
+        assert_eq!(cmds[0], CifCommand::DefStart { id: 3, a: 1, b: 1 });
+    }
+
+    #[test]
+    fn user_extension_two_digits() {
+        let cmds = parse_commands("94 VDD 0 10 NM 250;").unwrap();
+        assert_eq!(
+            cmds[0],
+            CifCommand::UserExtension {
+                code: 94,
+                text: "VDD 0 10 NM 250".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn user_extension_single_digit_name() {
+        let cmds = parse_commands("9 shiftcell;").unwrap();
+        assert_eq!(
+            cmds[0],
+            CifCommand::UserExtension {
+                code: 9,
+                text: "shiftcell".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_commands_after_end() {
+        let err = parse_commands("E B 1 1 0 0;").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TrailingAfterEnd);
+    }
+
+    #[test]
+    fn null_commands_and_comments_ignored() {
+        let cmds = parse_commands("; (hello) ;; B 2 2 0 0; E").unwrap();
+        assert_eq!(cmds.len(), 2);
+    }
+
+    #[test]
+    fn lowercase_noise_tolerated() {
+        // CIF blanks include lower-case letters.
+        let cmds = parse_commands("Box 4 4 1 1; Call 2 Translated 5 5;").unwrap();
+        assert_eq!(cmds.len(), 2);
+        match &cmds[1] {
+            CifCommand::Call { id, transforms } => {
+                assert_eq!(*id, 2);
+                assert_eq!(transforms.len(), 1);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! CIF writer: semantic model (or raw commands) back to CIF text.
+
+use crate::ast::{CifCommand, TransformPrimitive};
+use crate::model::{CifFile, Geometry, Shape};
+use riot_geom::{Orientation, Transform};
+use std::fmt::Write as _;
+
+/// Renders a semantic [`CifFile`] as canonical CIF text.
+///
+/// Definitions are written in symbol-number order with unit scale,
+/// followed by top-level geometry and calls, and the `E` end marker.
+/// The output parses back to an equal model (round-trip property tested).
+pub fn to_text(file: &CifFile) -> String {
+    let mut out = String::new();
+    for cell in file.cells() {
+        let _ = writeln!(out, "DS {} 1 1;", cell.id);
+        if let Some(name) = &cell.name {
+            let _ = writeln!(out, "9 {name};");
+        }
+        write_shapes(&mut out, &cell.shapes);
+        for conn in &cell.connectors {
+            let _ = writeln!(
+                out,
+                "94 {} {} {} {} {};",
+                conn.name, conn.location.x, conn.location.y, conn.layer, conn.width
+            );
+        }
+        for call in &cell.calls {
+            let _ = writeln!(out, "C {}{};", call.cell, transform_text(call.transform));
+        }
+        let _ = writeln!(out, "DF;");
+    }
+    write_shapes(&mut out, file.top_shapes());
+    for call in file.top_calls() {
+        let _ = writeln!(out, "C {}{};", call.cell, transform_text(call.transform));
+    }
+    out.push_str("E\n");
+    out
+}
+
+/// Renders a raw command list as CIF text.
+pub fn write_commands(commands: &[CifCommand]) -> String {
+    let mut out = String::new();
+    for cmd in commands {
+        match cmd {
+            CifCommand::DefStart { id, a, b } => {
+                let _ = writeln!(out, "DS {id} {a} {b};");
+            }
+            CifCommand::DefFinish => out.push_str("DF;\n"),
+            CifCommand::DefDelete(id) => {
+                let _ = writeln!(out, "DD {id};");
+            }
+            CifCommand::Call { id, transforms } => {
+                let _ = write!(out, "C {id}");
+                for t in transforms {
+                    match t {
+                        TransformPrimitive::Translate(p) => {
+                            let _ = write!(out, " T {} {}", p.x, p.y);
+                        }
+                        TransformPrimitive::MirrorX => out.push_str(" M X"),
+                        TransformPrimitive::MirrorY => out.push_str(" M Y"),
+                        TransformPrimitive::Rotate(a, b) => {
+                            let _ = write!(out, " R {a} {b}");
+                        }
+                    }
+                }
+                out.push_str(";\n");
+            }
+            CifCommand::Layer(name) => {
+                let _ = writeln!(out, "L {name};");
+            }
+            CifCommand::BoxCmd {
+                length,
+                width,
+                center,
+                direction,
+            } => {
+                let _ = write!(out, "B {length} {width} {} {}", center.x, center.y);
+                if let Some((dx, dy)) = direction {
+                    let _ = write!(out, " {dx} {dy}");
+                }
+                out.push_str(";\n");
+            }
+            CifCommand::Polygon(points) => {
+                out.push('P');
+                for p in points {
+                    let _ = write!(out, " {} {}", p.x, p.y);
+                }
+                out.push_str(";\n");
+            }
+            CifCommand::Wire { width, points } => {
+                let _ = write!(out, "W {width}");
+                for p in points {
+                    let _ = write!(out, " {} {}", p.x, p.y);
+                }
+                out.push_str(";\n");
+            }
+            CifCommand::RoundFlash { diameter, center } => {
+                let _ = writeln!(out, "R {diameter} {} {};", center.x, center.y);
+            }
+            CifCommand::UserExtension { code, text } => {
+                let _ = writeln!(out, "{code} {text};");
+            }
+            CifCommand::End => out.push_str("E\n"),
+        }
+    }
+    out
+}
+
+fn write_shapes(out: &mut String, shapes: &[Shape]) {
+    let mut current: Option<riot_geom::Layer> = None;
+    for s in shapes {
+        if current != Some(s.layer) {
+            let _ = writeln!(out, "L {};", s.layer);
+            current = Some(s.layer);
+        }
+        match &s.geometry {
+            Geometry::Box(r) => {
+                let c = r.center();
+                // Centers round down, so rebuild from the exact corners
+                // when the extent is odd: emit via length/width/center
+                // only when exact, else as a 4-point polygon.
+                if (r.width() % 2 == 0 || r.x0 + r.x1 == 2 * c.x)
+                    && (r.height() % 2 == 0 || r.y0 + r.y1 == 2 * c.y)
+                    && r.x0 + r.x1 == 2 * c.x
+                    && r.y0 + r.y1 == 2 * c.y
+                {
+                    let _ = writeln!(out, "B {} {} {} {};", r.width(), r.height(), c.x, c.y);
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "P {} {} {} {} {} {} {} {};",
+                        r.x0, r.y0, r.x1, r.y0, r.x1, r.y1, r.x0, r.y1
+                    );
+                }
+            }
+            Geometry::Polygon(points) => {
+                out.push('P');
+                for p in points {
+                    let _ = write!(out, " {} {}", p.x, p.y);
+                }
+                out.push_str(";\n");
+            }
+            Geometry::Wire { width, path } => {
+                let _ = write!(out, "W {width}");
+                for p in path.points() {
+                    let _ = write!(out, " {} {}", p.x, p.y);
+                }
+                out.push_str(";\n");
+            }
+            Geometry::Flash { diameter, center } => {
+                let _ = writeln!(out, "R {diameter} {} {};", center.x, center.y);
+            }
+        }
+    }
+}
+
+fn transform_text(t: Transform) -> String {
+    let mut s = String::new();
+    match t.orient {
+        Orientation::R0 => {}
+        Orientation::R90 => s.push_str(" R 0 1"),
+        Orientation::R180 => s.push_str(" R -1 0"),
+        Orientation::R270 => s.push_str(" R 0 -1"),
+        Orientation::MX => s.push_str(" M X"),
+        Orientation::MX90 => s.push_str(" M X R 0 1"),
+        Orientation::MY => s.push_str(" M Y"),
+        Orientation::MY90 => s.push_str(" M Y R 0 1"),
+    }
+    if t.offset != riot_geom::Point::ORIGIN {
+        let _ = write!(s, " T {} {}", t.offset.x, t.offset.y);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CifCall, CifCell, CifConnector};
+    use crate::parse::parse;
+    use riot_geom::{Layer, Point, Rect};
+
+    fn sample_file() -> CifFile {
+        let mut f = CifFile::new();
+        f.insert_cell(CifCell {
+            id: 1,
+            name: Some("leaf".to_owned()),
+            shapes: vec![Shape {
+                layer: Layer::Metal,
+                geometry: Geometry::Box(Rect::new(0, 0, 100, 40)),
+            }],
+            calls: vec![],
+            connectors: vec![CifConnector {
+                name: "in".to_owned(),
+                location: Point::new(0, 20),
+                layer: Layer::Metal,
+                width: 250,
+            }],
+        });
+        f.insert_cell(CifCell {
+            id: 2,
+            name: None,
+            shapes: vec![],
+            calls: vec![CifCall {
+                cell: 1,
+                transform: Transform::new(Orientation::R90, Point::new(500, 0)),
+            }],
+            connectors: vec![],
+        });
+        f.push_top_call(CifCall {
+            cell: 2,
+            transform: Transform::IDENTITY,
+        });
+        f
+    }
+
+    #[test]
+    fn round_trip_model() {
+        let f = sample_file();
+        let text = to_text(&f);
+        let again = parse(&text).unwrap();
+        assert_eq!(f, again);
+    }
+
+    #[test]
+    fn every_orientation_round_trips() {
+        for o in Orientation::ALL {
+            let mut f = CifFile::new();
+            f.insert_cell(CifCell {
+                id: 1,
+                ..CifCell::default()
+            });
+            f.push_top_call(CifCall {
+                cell: 1,
+                transform: Transform::new(o, Point::new(17, -9)),
+            });
+            let again = parse(&to_text(&f)).unwrap();
+            assert_eq!(f, again, "orientation {o}");
+        }
+    }
+
+    #[test]
+    fn odd_extent_box_written_as_polygon() {
+        let mut f = CifFile::new();
+        f.insert_cell(CifCell {
+            id: 1,
+            shapes: vec![Shape {
+                layer: Layer::Poly,
+                geometry: Geometry::Box(Rect::new(0, 0, 5, 4)),
+            }],
+            ..CifCell::default()
+        });
+        let text = to_text(&f);
+        let again = parse(&text).unwrap();
+        let bb = again.cell(1).unwrap().local_bounding_box().unwrap();
+        assert_eq!(bb, Rect::new(0, 0, 5, 4));
+    }
+
+    #[test]
+    fn writes_layer_switch_once_per_run() {
+        let mut f = CifFile::new();
+        f.insert_cell(CifCell {
+            id: 1,
+            shapes: vec![
+                Shape {
+                    layer: Layer::Metal,
+                    geometry: Geometry::Box(Rect::new(0, 0, 2, 2)),
+                },
+                Shape {
+                    layer: Layer::Metal,
+                    geometry: Geometry::Box(Rect::new(4, 0, 6, 2)),
+                },
+            ],
+            ..CifCell::default()
+        });
+        let text = to_text(&f);
+        assert_eq!(text.matches("L NM;").count(), 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Robustness: the CIF parser never panics, whatever bytes arrive, and
+//! always either parses or reports a located error.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC*") {
+        let _ = riot_cif::parse(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_cif_like_soup(
+        text in "(DS|DF|DD|C|B|P|W|R|L|E|T|M|X|Y|NM|NP|94|9|;|\\(|\\)|-| |[0-9]{1,5}|\n){0,64}"
+    ) {
+        let _ = riot_cif::parse(&text);
+    }
+
+    #[test]
+    fn errors_carry_a_line_number(garbage in "[a-z ]{0,20}&[a-z ]{0,20}") {
+        // `&` is never a legal significant character.
+        if let Err(e) = riot_cif::parse(&format!("B 2 2 0 0;\n{garbage};")) {
+            prop_assert!(e.line >= 1);
+        }
+    }
+
+    #[test]
+    fn overflow_sized_integers_error_cleanly(digits in "[1-9][0-9]{18,40}") {
+        // Larger than i64: must be a clean error, not a panic.
+        let text = format!("B {digits} 2 0 0;");
+        prop_assert!(riot_cif::parse(&text).is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests: generated CIF models survive write→parse round trips.
+
+use proptest::prelude::*;
+use riot_cif::model::{CifCall, CifCell, CifConnector, CifFile};
+use riot_cif::{flatten, parse, to_text, Geometry, Shape};
+use riot_geom::{Layer, Orientation, Path, Point, Rect, Transform};
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop::sample::select(Layer::ALL.to_vec())
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-100_000i64..100_000, -100_000i64..100_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_even_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 1i64..500, 1i64..500).prop_map(|(c, w2, h2)| {
+        Rect::from_center(Point::new(c.x, c.y), w2 * 2, h2 * 2)
+    })
+}
+
+fn arb_manhattan_path() -> impl Strategy<Value = Path> {
+    (arb_point(), prop::collection::vec((-400i64..400, prop::bool::ANY), 1..6)).prop_map(
+        |(start, steps)| {
+            let mut path = Path::new(start);
+            for (d, horiz) in steps {
+                let d = if d == 0 { 10 } else { d };
+                let last = path.end();
+                let next = if horiz {
+                    Point::new(last.x + d, last.y)
+                } else {
+                    Point::new(last.x, last.y + d)
+                };
+                path.push(next).expect("axis-aligned step");
+            }
+            path
+        },
+    )
+}
+
+fn arb_geometry() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        arb_even_rect().prop_map(Geometry::Box),
+        (arb_manhattan_path(), 1i64..300).prop_map(|(path, w)| Geometry::Wire {
+            width: w * 2,
+            path
+        }),
+        (arb_point(), 1i64..200).prop_map(|(c, d)| Geometry::Flash {
+            diameter: d * 2,
+            center: c
+        }),
+        prop::collection::vec(arb_point(), 3..8).prop_map(Geometry::Polygon),
+    ]
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (arb_layer(), arb_geometry()).prop_map(|(layer, geometry)| Shape { layer, geometry })
+}
+
+fn arb_connector(i: usize) -> impl Strategy<Value = CifConnector> {
+    (arb_point(), prop::sample::select(Layer::ROUTABLE.to_vec()), 1i64..300).prop_map(
+        move |(p, layer, w)| CifConnector {
+            name: format!("C{i}"),
+            location: p,
+            layer,
+            width: w,
+        },
+    )
+}
+
+fn arb_cell(id: u32) -> impl Strategy<Value = CifCell> {
+    (
+        prop::collection::vec(arb_shape(), 0..6),
+        prop::collection::vec((0usize..4).prop_flat_map(arb_connector), 0..3),
+        prop::option::of("[A-Za-z][A-Za-z0-9]{0,8}"),
+    )
+        .prop_map(move |(shapes, mut connectors, name)| {
+            // Connector names must be unique within a cell.
+            connectors.dedup_by(|a, b| a.name == b.name);
+            connectors.sort_by(|a, b| a.name.cmp(&b.name));
+            connectors.dedup_by(|a, b| a.name == b.name);
+            CifCell {
+                id,
+                name,
+                shapes,
+                calls: vec![],
+                connectors,
+            }
+        })
+}
+
+fn arb_orientation() -> impl Strategy<Value = Orientation> {
+    prop::sample::select(Orientation::ALL.to_vec())
+}
+
+fn arb_file() -> impl Strategy<Value = CifFile> {
+    (
+        prop::collection::vec(arb_cell(0), 1..4),
+        prop::collection::vec((arb_orientation(), arb_point()), 0..4),
+    )
+        .prop_map(|(cells, calls)| {
+            let mut file = CifFile::new();
+            let mut ids = Vec::new();
+            for c in cells {
+                ids.push(file.add_cell(c));
+            }
+            for (i, (o, p)) in calls.into_iter().enumerate() {
+                file.push_top_call(CifCall {
+                    cell: ids[i % ids.len()],
+                    transform: Transform::new(o, p),
+                });
+            }
+            file
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_round_trip(file in arb_file()) {
+        let text = to_text(&file);
+        let reparsed = parse(&text).expect("writer output must parse");
+        prop_assert_eq!(&file, &reparsed);
+    }
+
+    #[test]
+    fn flatten_is_stable_across_round_trip(file in arb_file()) {
+        let reparsed = parse(&to_text(&file)).expect("writer output must parse");
+        let a = flatten(&file).expect("flatten original");
+        let b = flatten(&reparsed).expect("flatten reparsed");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flattened_shapes_within_transformed_bbox(file in arb_file()) {
+        let shapes = flatten(&file).expect("flatten");
+        if let Some(bb) = riot_cif::flatten::bounding_box_of(&shapes) {
+            for s in &shapes {
+                prop_assert!(bb.contains_rect(s.geometry.bounding_box()));
+            }
+        }
+    }
+}

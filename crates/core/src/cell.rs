@@ -1,0 +1,268 @@
+//! Cells: the things the menu holds and instances reference.
+//!
+//! "There are two kinds of cells in Riot: leaf cells on the leaves of
+//! the hierarchical tree, consisting of primitive geometry or Sticks …;
+//! and composition cells in the interior of the tree, which consist
+//! only of instances of other cells."
+
+use crate::instance::Instance;
+use riot_geom::{Layer, Point, Rect, Side, LAMBDA};
+use riot_sticks::SticksCell;
+use std::fmt;
+
+/// Index of a cell in the [`crate::Library`] (the cell menu).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// The raw index (stable for the life of the library).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A connection point on a cell: "a location on or inside the bounding
+/// box of the cell, and the layer and width of the wire that makes that
+/// connection". Coordinates and widths in centimicrons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connector {
+    /// Connector name, unique within the cell.
+    pub name: String,
+    /// Location in cell coordinates.
+    pub location: Point,
+    /// Wire layer.
+    pub layer: Layer,
+    /// Wire width.
+    pub width: i64,
+}
+
+impl Connector {
+    /// Which bounding-box side the connector sits on, or `None` for an
+    /// interior connector.
+    pub fn side_in(&self, bbox: Rect) -> Option<Side> {
+        bbox.side_of(self.location)
+    }
+}
+
+/// What a leaf cell is made of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafSource {
+    /// Mask geometry imported from CIF — fixed shape, not stretchable.
+    Cif {
+        /// Flattened painted shapes in cell coordinates.
+        shapes: Vec<riot_cif::Shape>,
+    },
+    /// Symbolic layout — stretchable through REST.
+    Sticks(SticksCell),
+}
+
+/// The contents of a composition cell: only instances.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Composition {
+    /// Instance slots; deleted instances leave `None` so ids stay
+    /// stable within a session.
+    pub(crate) instances: Vec<Option<Instance>>,
+}
+
+impl Composition {
+    /// Iterates over the live instances with their ids.
+    pub fn instances(&self) -> impl Iterator<Item = (crate::InstanceId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|inst| (crate::InstanceId(i), inst)))
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.instances.iter().flatten().count()
+    }
+
+    /// True when no live instances remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Leaf or composition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellKind {
+    /// A leaf cell.
+    Leaf(LeafSource),
+    /// A composition cell.
+    Composition(Composition),
+}
+
+/// One cell in the menu.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Cell name as shown in the menu.
+    pub name: String,
+    /// Bounding box in cell coordinates (centimicrons).
+    pub bbox: Rect,
+    /// The cell's connectors.
+    pub connectors: Vec<Connector>,
+    /// Leaf geometry or composition contents.
+    pub kind: CellKind,
+}
+
+impl Cell {
+    /// Builds a leaf cell from a flattened CIF definition.
+    ///
+    /// `shapes` must already be flattened into the cell's coordinates
+    /// (see [`riot_cif::flatten::flatten_cell`]); [`crate::Library`]
+    /// does this when importing files.
+    pub fn from_cif_shapes(
+        name: impl Into<String>,
+        shapes: Vec<riot_cif::Shape>,
+        connectors: Vec<Connector>,
+    ) -> Cell {
+        let mut bbox: Option<Rect> = None;
+        for s in &shapes {
+            let b = s.geometry.bounding_box();
+            bbox = Some(match bbox {
+                Some(acc) => acc.union(b),
+                None => b,
+            });
+        }
+        for c in &connectors {
+            let b = Rect::at_point(c.location);
+            bbox = Some(match bbox {
+                Some(acc) => acc.union(b),
+                None => b,
+            });
+        }
+        Cell {
+            name: name.into(),
+            bbox: bbox.unwrap_or(Rect::new(0, 0, 0, 0)),
+            connectors,
+            kind: CellKind::Leaf(LeafSource::Cif { shapes }),
+        }
+    }
+
+    /// Builds a leaf cell from a symbolic Sticks cell. Pins become
+    /// connectors at lambda × λ centimicron positions.
+    pub fn from_sticks(cell: SticksCell) -> Cell {
+        let bbox = riot_sticks::mask::mask_bbox(&cell);
+        let connectors = cell
+            .pins()
+            .iter()
+            .map(|p| Connector {
+                name: p.name.clone(),
+                location: Point::new(p.position.x * LAMBDA, p.position.y * LAMBDA),
+                layer: p.layer,
+                width: p.width * LAMBDA,
+            })
+            .collect();
+        Cell {
+            name: cell.name().to_owned(),
+            bbox,
+            connectors,
+            kind: CellKind::Leaf(LeafSource::Sticks(cell)),
+        }
+    }
+
+    /// Builds an empty composition cell.
+    pub fn new_composition(name: impl Into<String>) -> Cell {
+        Cell {
+            name: name.into(),
+            bbox: Rect::new(0, 0, 0, 0),
+            connectors: Vec::new(),
+            kind: CellKind::Composition(Composition::default()),
+        }
+    }
+
+    /// True for leaf cells.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, CellKind::Leaf(_))
+    }
+
+    /// True for composition cells.
+    pub fn is_composition(&self) -> bool {
+        matches!(self.kind, CellKind::Composition(_))
+    }
+
+    /// The Sticks source, if this leaf is symbolic (stretchable).
+    pub fn sticks(&self) -> Option<&SticksCell> {
+        match &self.kind {
+            CellKind::Leaf(LeafSource::Sticks(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The composition contents, if any.
+    pub fn composition(&self) -> Option<&Composition> {
+        match &self.kind {
+            CellKind::Composition(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable composition contents, if any.
+    pub(crate) fn composition_mut(&mut self) -> Option<&mut Composition> {
+        match &mut self.kind {
+            CellKind::Composition(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Looks up a connector by name.
+    pub fn connector(&self, name: &str) -> Option<&Connector> {
+        self.connectors.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sticks_scales_connectors() {
+        let text = "sticks t\nbbox 0 0 10 8\npin A left NM 0 4 3\nend\n";
+        let cell = Cell::from_sticks(riot_sticks::parse(text).unwrap());
+        assert_eq!(cell.bbox, Rect::new(0, 0, 10 * LAMBDA, 8 * LAMBDA));
+        let c = cell.connector("A").unwrap();
+        assert_eq!(c.location, Point::new(0, 4 * LAMBDA));
+        assert_eq!(c.width, 3 * LAMBDA);
+        assert!(cell.is_leaf());
+        assert!(cell.sticks().is_some());
+    }
+
+    #[test]
+    fn cif_leaf_bbox_from_shapes() {
+        let shapes = vec![riot_cif::Shape {
+            layer: Layer::Metal,
+            geometry: riot_cif::Geometry::Box(Rect::new(0, 0, 500, 250)),
+        }];
+        let cell = Cell::from_cif_shapes("pad", shapes, vec![]);
+        assert_eq!(cell.bbox, Rect::new(0, 0, 500, 250));
+        assert!(cell.sticks().is_none());
+    }
+
+    #[test]
+    fn connector_sides() {
+        let bbox = Rect::new(0, 0, 100, 100);
+        let mk = |x, y| Connector {
+            name: "c".into(),
+            location: Point::new(x, y),
+            layer: Layer::Metal,
+            width: 250,
+        };
+        assert_eq!(mk(0, 50).side_in(bbox), Some(Side::Left));
+        assert_eq!(mk(100, 50).side_in(bbox), Some(Side::Right));
+        assert_eq!(mk(50, 50).side_in(bbox), None);
+    }
+
+    #[test]
+    fn composition_starts_empty() {
+        let cell = Cell::new_composition("TOP");
+        assert!(cell.is_composition());
+        assert!(cell.composition().unwrap().is_empty());
+    }
+}

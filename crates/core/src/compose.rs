@@ -1,0 +1,287 @@
+//! The composition format: saving and restoring an editing session.
+//!
+//! "The composition format is used by Riot to save an editing session.
+//! It contains a description of composition cells including the
+//! hierarchy description, locations of instances, locations of
+//! connectors on the composition cells, and references to files which
+//! contain the leaf cells used in those compositions."
+
+use crate::cell::{Cell, CellKind, Connector, LeafSource};
+use crate::error::RiotError;
+use crate::instance::Instance;
+use crate::library::Library;
+use riot_geom::{Point, Rect, Transform};
+use std::fmt::Write as _;
+
+/// Serializes every composition cell of the library, with leaf-cell
+/// references by name and format (the leaf geometry itself lives in its
+/// own CIF/Sticks files, as the paper describes).
+pub fn save(lib: &Library) -> String {
+    let mut out = String::from("riot composition v1\n");
+    for (_, cell) in lib.iter() {
+        if let CellKind::Leaf(source) = &cell.kind {
+            let kind = match source {
+                LeafSource::Cif { .. } => "cif",
+                LeafSource::Sticks(_) => "sticks",
+            };
+            let _ = writeln!(out, "leafref {} {kind}", cell.name);
+        }
+    }
+    for (_, cell) in lib.iter() {
+        let CellKind::Composition(comp) = &cell.kind else {
+            continue;
+        };
+        if comp.is_empty() && cell.connectors.is_empty() && cell.name.starts_with("(deleted") {
+            continue;
+        }
+        let _ = writeln!(out, "cell {}", cell.name);
+        let bb = cell.bbox;
+        let _ = writeln!(out, "bbox {} {} {} {}", bb.x0, bb.y0, bb.x1, bb.y1);
+        for c in &cell.connectors {
+            let _ = writeln!(
+                out,
+                "connector {} {} {} {} {}",
+                c.name, c.location.x, c.location.y, c.layer, c.width
+            );
+        }
+        for (_, inst) in comp.instances() {
+            let cell_name = lib
+                .cell(inst.cell)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|_| "?".to_owned());
+            let _ = writeln!(
+                out,
+                "instance {} {} {} {} {} {} {} {} {}",
+                inst.name,
+                cell_name,
+                inst.transform.orient,
+                inst.transform.offset.x,
+                inst.transform.offset.y,
+                inst.cols,
+                inst.rows,
+                inst.col_spacing,
+                inst.row_spacing
+            );
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Restores composition cells into a library already holding the leaf
+/// cells they reference (load the CIF/Sticks files first, exactly as
+/// Riot's session restore required).
+///
+/// Returns the ids of the composition cells created, in file order.
+///
+/// # Errors
+///
+/// [`RiotError::Parse`] for malformed text, [`RiotError::UnknownCell`]
+/// when a referenced leaf is absent, [`RiotError::DuplicateCell`] when
+/// a composition name is taken.
+pub fn load(text: &str, lib: &mut Library) -> Result<Vec<crate::CellId>, RiotError> {
+    let mut lines = text.lines().enumerate();
+    let perr = |line: usize, msg: String| RiotError::Parse {
+        line: line + 1,
+        message: msg,
+    };
+    match lines.next() {
+        Some((_, h)) if h.trim() == "riot composition v1" => {}
+        _ => {
+            return Err(perr(0, "missing `riot composition v1` header".into()));
+        }
+    }
+    let mut created = Vec::new();
+    let mut current: Option<(String, Cell)> = None;
+    for (n, raw) in lines {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split_whitespace().collect();
+        match f[0] {
+            "leafref" => {
+                if f.len() != 3 {
+                    return Err(perr(n, "leafref wants name and format".into()));
+                }
+                if lib.find(f[1]).is_none() {
+                    return Err(RiotError::UnknownCell(f[1].to_owned()));
+                }
+            }
+            "cell" => {
+                if f.len() != 2 {
+                    return Err(perr(n, "cell wants a name".into()));
+                }
+                if current.is_some() {
+                    return Err(perr(n, "cell before previous end".into()));
+                }
+                current = Some((f[1].to_owned(), Cell::new_composition(f[1].to_owned())));
+            }
+            "bbox" => {
+                let (_, cell) =
+                    current.as_mut().ok_or_else(|| perr(n, "bbox outside cell".into()))?;
+                if f.len() != 5 {
+                    return Err(perr(n, "bbox wants 4 coordinates".into()));
+                }
+                let v: Vec<i64> = f[1..]
+                    .iter()
+                    .map(|s| s.parse().map_err(|_| perr(n, format!("bad integer `{s}`"))))
+                    .collect::<Result<_, _>>()?;
+                cell.bbox = Rect::new(v[0], v[1], v[2], v[3]);
+            }
+            "connector" => {
+                let (_, cell) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(n, "connector outside cell".into()))?;
+                if f.len() != 6 {
+                    return Err(perr(n, "connector wants name x y layer width".into()));
+                }
+                cell.connectors.push(Connector {
+                    name: f[1].to_owned(),
+                    location: Point::new(
+                        f[2].parse().map_err(|_| perr(n, "bad x".into()))?,
+                        f[3].parse().map_err(|_| perr(n, "bad y".into()))?,
+                    ),
+                    layer: f[4].parse().map_err(|_| perr(n, "bad layer".into()))?,
+                    width: f[5].parse().map_err(|_| perr(n, "bad width".into()))?,
+                });
+            }
+            "instance" => {
+                if f.len() != 10 {
+                    return Err(perr(
+                        n,
+                        "instance wants name cell orient tx ty cols rows colsp rowsp".into(),
+                    ));
+                }
+                let cell_id = lib
+                    .find(f[2])
+                    .ok_or_else(|| RiotError::UnknownCell(f[2].to_owned()))?;
+                let inst = Instance {
+                    name: f[1].to_owned(),
+                    cell: cell_id,
+                    transform: Transform::new(
+                        f[3].parse().map_err(|_| perr(n, "bad orientation".into()))?,
+                        Point::new(
+                            f[4].parse().map_err(|_| perr(n, "bad tx".into()))?,
+                            f[5].parse().map_err(|_| perr(n, "bad ty".into()))?,
+                        ),
+                    ),
+                    cols: f[6].parse().map_err(|_| perr(n, "bad cols".into()))?,
+                    rows: f[7].parse().map_err(|_| perr(n, "bad rows".into()))?,
+                    col_spacing: f[8].parse().map_err(|_| perr(n, "bad col spacing".into()))?,
+                    row_spacing: f[9].parse().map_err(|_| perr(n, "bad row spacing".into()))?,
+                };
+                let (_, cell) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(n, "instance outside cell".into()))?;
+                cell.composition_mut()
+                    .expect("new_composition")
+                    .instances
+                    .push(Some(inst));
+            }
+            "end" => {
+                let (_, cell) =
+                    current.take().ok_or_else(|| perr(n, "end outside cell".into()))?;
+                created.push(lib.add_cell(cell)?);
+            }
+            other => return Err(perr(n, format!("unknown directive `{other}`"))),
+        }
+    }
+    if current.is_some() {
+        return Err(perr(text.lines().count(), "missing final end".into()));
+    }
+    Ok(created)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::editor::{AbutOptions, Editor};
+    use riot_geom::LAMBDA;
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 6 4
+wire NP 2 6 10 12 10
+end
+";
+
+    fn build_session() -> Library {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let a = ed.create_instance(gate).unwrap();
+        let b = ed.create_instance(gate).unwrap();
+        ed.translate_instance(b, Point::new(30 * LAMBDA, 6 * LAMBDA))
+            .unwrap();
+        ed.connect(b, "A", a, "OUT").unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        ed.finish().unwrap();
+        lib
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let lib = build_session();
+        let text = save(&lib);
+        // Reload into a library with the same leafs.
+        let mut lib2 = Library::new();
+        lib2.load_sticks(GATE).unwrap();
+        let ids = load(&text, &mut lib2).unwrap();
+        assert_eq!(ids.len(), 1);
+        let top = lib2.cell(ids[0]).unwrap();
+        let orig = lib.cell(lib.find("TOP").unwrap()).unwrap();
+        assert_eq!(top.bbox, orig.bbox);
+        assert_eq!(top.connectors, orig.connectors);
+        assert_eq!(
+            top.composition().unwrap().len(),
+            orig.composition().unwrap().len()
+        );
+        // Instance placements survive exactly.
+        let inst_orig: Vec<_> = orig.composition().unwrap().instances().collect();
+        let inst_new: Vec<_> = top.composition().unwrap().instances().collect();
+        for (a, b) in inst_orig.iter().zip(&inst_new) {
+            assert_eq!(a.1.name, b.1.name);
+            assert_eq!(a.1.transform, b.1.transform);
+        }
+    }
+
+    #[test]
+    fn load_requires_leaf_cells() {
+        let lib = build_session();
+        let text = save(&lib);
+        let mut empty = Library::new();
+        assert!(matches!(
+            load(&text, &mut empty),
+            Err(RiotError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut lib = Library::new();
+        assert!(matches!(
+            load("nonsense", &mut lib),
+            Err(RiotError::Parse { .. })
+        ));
+        assert!(matches!(
+            load("riot composition v1\nfrob x\n", &mut lib),
+            Err(RiotError::Parse { .. })
+        ));
+        assert!(matches!(
+            load("riot composition v1\ncell A\n", &mut lib),
+            Err(RiotError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn save_lists_leafrefs() {
+        let lib = build_session();
+        let text = save(&lib);
+        assert!(text.contains("leafref gate sticks"));
+        assert!(text.contains("cell TOP"));
+    }
+}

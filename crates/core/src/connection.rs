@@ -1,0 +1,53 @@
+//! The pending connection list and world-space connectors.
+//!
+//! "The connection operations require that Riot keep a list of pending
+//! connections. The list is shown on the screen constantly, and the
+//! user may add to and delete from this list."
+
+use crate::instance::InstanceId;
+use riot_geom::{Layer, Point, Side};
+use std::fmt;
+
+/// A connector as seen from the composition cell: instance-relative
+/// name (array connectors carry an `[col,row]` suffix), world location,
+/// and the world side it faces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldConnector {
+    /// Name of the owning instance.
+    pub instance_name: String,
+    /// Exposed connector name.
+    pub name: String,
+    /// Location in the composition cell's coordinates.
+    pub location: Point,
+    /// Wire layer.
+    pub layer: Layer,
+    /// Wire width in centimicrons.
+    pub width: i64,
+    /// World-space side of the instance bounding box, or `None` for an
+    /// interior connector.
+    pub side: Option<Side>,
+}
+
+/// One entry of the pending connection list: "a link from a connector
+/// on one instance to a connector on another instance".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingConnection {
+    /// The instance that will move/stretch.
+    pub from: InstanceId,
+    /// Connector name on the from instance.
+    pub from_connector: String,
+    /// The instance connected to.
+    pub to: InstanceId,
+    /// Connector name on the to instance.
+    pub to_connector: String,
+}
+
+impl fmt::Display for PendingConnection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} -> {}.{}",
+            self.from, self.from_connector, self.to, self.to_connector
+        )
+    }
+}

@@ -1,0 +1,204 @@
+//! Errors raised by the assembly tool.
+
+use riot_geom::{Layer, Side};
+use std::fmt;
+
+/// Everything that can go wrong while assembling a chip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RiotError {
+    /// A cell name is not in the cell menu.
+    UnknownCell(String),
+    /// A cell id is stale or out of range.
+    BadCellId(usize),
+    /// Adding a cell under a name that already exists.
+    DuplicateCell(String),
+    /// An instance id is stale (deleted) or out of range.
+    BadInstance(usize),
+    /// An instance name is not in the edited cell.
+    UnknownInstance(String),
+    /// A named connector does not exist on an instance.
+    UnknownConnector {
+        /// The instance's name.
+        instance: String,
+        /// The missing connector.
+        connector: String,
+    },
+    /// The cell under edit must be a composition cell.
+    NotComposition(String),
+    /// The operation needs a leaf cell.
+    NotLeaf(String),
+    /// A connection joining two different layers.
+    LayerMismatch {
+        /// From-connector layer.
+        from: Layer,
+        /// To-connector layer.
+        to: Layer,
+    },
+    /// A connection whose connectors are not opposed (and overlap was
+    /// not requested).
+    NotOpposed {
+        /// From-connector side.
+        from: Option<Side>,
+        /// To-connector side.
+        to: Option<Side>,
+    },
+    /// The pending list mixes more than one *from* instance — Riot's
+    /// connections are one-to-many.
+    MultipleFromInstances(String, String),
+    /// The pending connection list is empty but the command needs it.
+    NothingPending,
+    /// The *from* and *to* instance of a connection are the same.
+    SelfConnection(String),
+    /// Connecting to an instance currently being moved (the *from*).
+    FromInToList(String),
+    /// Stretch requires the from instance's cell in Sticks form — pads
+    /// and other CIF cells "cannot be stretched by Riot".
+    NotStretchable(String),
+    /// The to-side connectors do not line up on a single channel edge.
+    RaggedChannelEdge {
+        /// Expected edge coordinate.
+        expected: i64,
+        /// The coordinate that disagreed.
+        found: i64,
+    },
+    /// Underlying routing failure.
+    Route(riot_route::RouteError),
+    /// Underlying stretch failure.
+    Stretch(riot_rest::SolveRestError),
+    /// Parse failure in the composition format or a replay file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// Underlying CIF failure (import/export).
+    Cif(riot_cif::ParseCifError),
+    /// Underlying Sticks failure (import).
+    Sticks(String),
+    /// Array replication parameters out of range.
+    BadReplication {
+        /// Requested columns.
+        cols: u32,
+        /// Requested rows.
+        rows: u32,
+    },
+    /// The channel between the instances cannot hold the route without
+    /// moving the from instance.
+    ChannelTooTight {
+        /// Lambda the route needs.
+        needed: i64,
+        /// Lambda available between the instances.
+        available: i64,
+    },
+}
+
+impl fmt::Display for RiotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiotError::UnknownCell(name) => write!(f, "no cell named `{name}` in the menu"),
+            RiotError::BadCellId(id) => write!(f, "stale cell id {id}"),
+            RiotError::DuplicateCell(name) => write!(f, "cell `{name}` already exists"),
+            RiotError::BadInstance(id) => write!(f, "stale instance id {id}"),
+            RiotError::UnknownInstance(name) => write!(f, "no instance named `{name}`"),
+            RiotError::UnknownConnector {
+                instance,
+                connector,
+            } => write!(f, "instance `{instance}` has no connector `{connector}`"),
+            RiotError::NotComposition(name) => {
+                write!(f, "cell `{name}` is not a composition cell")
+            }
+            RiotError::NotLeaf(name) => write!(f, "cell `{name}` is not a leaf cell"),
+            RiotError::LayerMismatch { from, to } => {
+                write!(f, "connectors on different layers: {from} vs {to}")
+            }
+            RiotError::NotOpposed { from, to } => write!(
+                f,
+                "connectors are not opposed ({} vs {})",
+                opt_side(from),
+                opt_side(to)
+            ),
+            RiotError::MultipleFromInstances(a, b) => write!(
+                f,
+                "pending list has two from instances (`{a}` and `{b}`); connections are one-to-many"
+            ),
+            RiotError::NothingPending => f.write_str("no pending connections"),
+            RiotError::SelfConnection(name) => {
+                write!(f, "instance `{name}` cannot connect to itself")
+            }
+            RiotError::FromInToList(name) => {
+                write!(f, "instance `{name}` is both from and to")
+            }
+            RiotError::NotStretchable(name) => write!(
+                f,
+                "cell `{name}` has no Sticks form and cannot be stretched"
+            ),
+            RiotError::RaggedChannelEdge { expected, found } => write!(
+                f,
+                "to-connectors not on one channel edge: {found} vs {expected}"
+            ),
+            RiotError::Route(e) => write!(f, "route failed: {e}"),
+            RiotError::Stretch(e) => write!(f, "stretch failed: {e}"),
+            RiotError::Parse { line, message } => {
+                write!(f, "composition line {line}: {message}")
+            }
+            RiotError::Cif(e) => write!(f, "CIF: {e}"),
+            RiotError::Sticks(e) => write!(f, "sticks: {e}"),
+            RiotError::BadReplication { cols, rows } => {
+                write!(f, "bad replication {cols} x {rows}")
+            }
+            RiotError::ChannelTooTight { needed, available } => write!(
+                f,
+                "route needs {needed} lambda but only {available} available without moving the from instance"
+            ),
+        }
+    }
+}
+
+fn opt_side(s: &Option<Side>) -> String {
+    match s {
+        Some(side) => side.to_string(),
+        None => "interior".to_owned(),
+    }
+}
+
+impl std::error::Error for RiotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RiotError::Route(e) => Some(e),
+            RiotError::Stretch(e) => Some(e),
+            RiotError::Cif(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<riot_route::RouteError> for RiotError {
+    fn from(e: riot_route::RouteError) -> Self {
+        RiotError::Route(e)
+    }
+}
+
+impl From<riot_rest::SolveRestError> for RiotError {
+    fn from(e: riot_rest::SolveRestError) -> Self {
+        RiotError::Stretch(e)
+    }
+}
+
+impl From<riot_cif::ParseCifError> for RiotError {
+    fn from(e: riot_cif::ParseCifError) -> Self {
+        RiotError::Cif(e)
+    }
+}
+
+impl From<riot_sticks::ParseSticksError> for RiotError {
+    fn from(e: riot_sticks::ParseSticksError) -> Self {
+        RiotError::Sticks(e.to_string())
+    }
+}
+
+impl From<riot_sticks::ValidateSticksError> for RiotError {
+    fn from(e: riot_sticks::ValidateSticksError) -> Self {
+        RiotError::Sticks(e.to_string())
+    }
+}

@@ -1,0 +1,157 @@
+//! CIF export: composition cells to mask geometry.
+//!
+//! "Riot writes composition format files which are converted to CIF for
+//! mask generation." Leaf CIF cells pass through; Sticks leafs go
+//! through mask generation; composition cells become CIF symbols whose
+//! calls expand the array replication.
+
+use crate::cell::{Cell, CellKind, LeafSource};
+use crate::error::RiotError;
+use crate::library::Library;
+use riot_cif::model::{CifCall, CifCell, CifConnector, CifFile};
+use riot_geom::Transform;
+
+/// Exports the whole library as one CIF file, with a top-level call of
+/// `top` (a cell name). Symbol numbers are assigned in menu order
+/// (library index + 1).
+///
+/// # Errors
+///
+/// [`RiotError::UnknownCell`] when `top` is not in the menu.
+pub fn to_cif(lib: &Library, top: &str) -> Result<CifFile, RiotError> {
+    let top_id = lib
+        .find(top)
+        .ok_or_else(|| RiotError::UnknownCell(top.to_owned()))?;
+    let mut file = CifFile::new();
+    for (id, cell) in lib.iter() {
+        let symbol = id.index() as u32 + 1;
+        file.insert_cell(cif_cell_for(lib, cell, symbol));
+    }
+    file.push_top_call(CifCall {
+        cell: top_id.index() as u32 + 1,
+        transform: Transform::IDENTITY,
+    });
+    Ok(file)
+}
+
+fn cif_cell_for(lib: &Library, cell: &Cell, symbol: u32) -> CifCell {
+    let connectors = cell
+        .connectors
+        .iter()
+        .map(|c| CifConnector {
+            name: c.name.clone(),
+            location: c.location,
+            layer: c.layer,
+            width: c.width,
+        })
+        .collect();
+    match &cell.kind {
+        CellKind::Leaf(LeafSource::Cif { shapes }) => CifCell {
+            id: symbol,
+            name: Some(cell.name.clone()),
+            shapes: shapes.clone(),
+            calls: vec![],
+            connectors,
+        },
+        CellKind::Leaf(LeafSource::Sticks(sticks)) => {
+            let mut out = riot_sticks::mask::to_cif_cell(sticks, symbol);
+            out.name = Some(cell.name.clone());
+            out
+        }
+        CellKind::Composition(comp) => {
+            let mut calls = Vec::new();
+            for (_, inst) in comp.instances() {
+                let callee = inst.cell.index() as u32 + 1;
+                if lib.cell(inst.cell).is_err() {
+                    continue;
+                }
+                for c in 0..inst.cols {
+                    for r in 0..inst.rows {
+                        calls.push(CifCall {
+                            cell: callee,
+                            transform: inst.element_transform(c, r),
+                        });
+                    }
+                }
+            }
+            CifCell {
+                id: symbol,
+                name: Some(cell.name.clone()),
+                shapes: vec![],
+                calls,
+                connectors,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::editor::Editor;
+    use riot_geom::{Point, LAMBDA};
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+wire NP 2 0 4 12 4
+end
+";
+
+    fn session() -> Library {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let i = ed.create_instance(gate).unwrap();
+        ed.replicate_instance(i, 2, 1).unwrap();
+        ed.translate_instance(i, Point::new(5 * LAMBDA, 0)).unwrap();
+        ed.finish().unwrap();
+        lib
+    }
+
+    #[test]
+    fn export_has_all_cells_and_top_call() {
+        let lib = session();
+        let file = to_cif(&lib, "TOP").unwrap();
+        assert_eq!(file.cells().len(), 2);
+        assert_eq!(file.top_calls().len(), 1);
+        let top = file.cell_by_name("TOP").unwrap();
+        // 2x1 array expands into two calls.
+        assert_eq!(top.calls.len(), 2);
+        assert!(top.shapes.is_empty(), "separated hierarchy: no geometry");
+    }
+
+    #[test]
+    fn export_parses_back() {
+        let lib = session();
+        let file = to_cif(&lib, "TOP").unwrap();
+        let text = riot_cif::to_text(&file);
+        let again = riot_cif::parse(&text).unwrap();
+        assert_eq!(file, again);
+        // And flattens without error.
+        let flat = riot_cif::flatten(&again).unwrap();
+        assert!(!flat.is_empty());
+    }
+
+    #[test]
+    fn unknown_top_rejected() {
+        let lib = session();
+        assert!(matches!(
+            to_cif(&lib, "NOPE"),
+            Err(RiotError::UnknownCell(_))
+        ));
+    }
+
+    #[test]
+    fn array_elements_at_spacing() {
+        let lib = session();
+        let file = to_cif(&lib, "TOP").unwrap();
+        let flat = riot_cif::flatten(&file).unwrap();
+        // Two wires, 12λ apart (default column spacing = cell width).
+        assert_eq!(flat.len(), 2);
+        let bb0 = flat[0].geometry.bounding_box();
+        let bb1 = flat[1].geometry.bounding_box();
+        assert_eq!((bb1.x0 - bb0.x0).abs(), 12 * LAMBDA);
+    }
+}

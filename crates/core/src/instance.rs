@@ -1,0 +1,284 @@
+//! Instances: a cell placed with a transform and array replication.
+//!
+//! "Internally, Riot keeps an instance as a pointer to the defining
+//! cell with a transformation, replication counts, and replication
+//! spacings."
+
+use crate::cell::Cell;
+use crate::connection::WorldConnector;
+use riot_geom::{Point, Rect, Side, Transform};
+use std::fmt;
+
+/// Index of an instance within its composition cell. Stable for the
+/// life of an editing session (deletion leaves a tombstone).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub(crate) usize);
+
+impl InstanceId {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+/// An instance of a cell inside a composition cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance name ("I0", "I1", … unless renamed) — replay keys on it.
+    pub name: String,
+    /// The defining cell.
+    pub cell: crate::CellId,
+    /// Placement of array element (0,0).
+    pub transform: Transform,
+    /// Columns of the array (x replication).
+    pub cols: u32,
+    /// Rows of the array (y replication).
+    pub rows: u32,
+    /// Column pitch in centimicrons (defaults to the cell width, so
+    /// "array elements must connect properly by abutment").
+    pub col_spacing: i64,
+    /// Row pitch in centimicrons (defaults to the cell height).
+    pub row_spacing: i64,
+}
+
+impl Instance {
+    /// Creates a 1×1 instance of `cell` with identity placement.
+    pub fn new(name: impl Into<String>, cell: crate::CellId, cell_bbox: Rect) -> Self {
+        Instance {
+            name: name.into(),
+            cell,
+            transform: Transform::IDENTITY,
+            cols: 1,
+            rows: 1,
+            col_spacing: cell_bbox.width(),
+            row_spacing: cell_bbox.height(),
+        }
+    }
+
+    /// True when the instance is an array (replicated in x or y).
+    pub fn is_array(&self) -> bool {
+        self.cols > 1 || self.rows > 1
+    }
+
+    /// Local (pre-transform) bounding box: the cell bbox unioned over
+    /// every array element.
+    pub fn local_bbox(&self, cell_bbox: Rect) -> Rect {
+        let last = cell_bbox.translated(Point::new(
+            (self.cols as i64 - 1) * self.col_spacing,
+            (self.rows as i64 - 1) * self.row_spacing,
+        ));
+        cell_bbox.union(last)
+    }
+
+    /// Bounding box in the parent's coordinates.
+    pub fn world_bbox(&self, cell: &Cell) -> Rect {
+        self.transform.apply_rect(self.local_bbox(cell.bbox))
+    }
+
+    /// The transform of array element `(col, row)`.
+    pub fn element_transform(&self, col: u32, row: u32) -> Transform {
+        Transform::translate(Point::new(
+            col as i64 * self.col_spacing,
+            row as i64 * self.row_spacing,
+        ))
+        .then(self.transform)
+    }
+
+    /// The world-space side a cell-local side faces after this
+    /// instance's orientation.
+    pub fn world_side(&self, local: Side) -> Side {
+        let n = self.transform.orient.apply(local.normal());
+        match (n.x, n.y) {
+            (-1, 0) => Side::Left,
+            (1, 0) => Side::Right,
+            (0, -1) => Side::Bottom,
+            (0, 1) => Side::Top,
+            _ => unreachable!("orientation of a unit normal is a unit normal"),
+        }
+    }
+
+    /// The connectors this instance exposes to the composition, in
+    /// world coordinates.
+    ///
+    /// For arrays, only connectors on the **outside edges** are exposed
+    /// ("Riot allows no access to interior connectors on arrays"), and
+    /// their names gain an `[col,row]` suffix. Interior connectors of
+    /// the cell are exposed only on 1×1 instances.
+    pub fn world_connectors(&self, cell: &Cell) -> Vec<WorldConnector> {
+        let mut out = Vec::new();
+        let single = !self.is_array();
+        for conn in &cell.connectors {
+            let local_side = conn.side_in(cell.bbox);
+            // Which array elements expose this connector?
+            let elements: Vec<(u32, u32)> = if single {
+                vec![(0, 0)]
+            } else {
+                match local_side {
+                    Some(Side::Left) => (0..self.rows).map(|r| (0, r)).collect(),
+                    Some(Side::Right) => (0..self.rows).map(|r| (self.cols - 1, r)).collect(),
+                    Some(Side::Bottom) => (0..self.cols).map(|c| (c, 0)).collect(),
+                    Some(Side::Top) => (0..self.cols).map(|c| (c, self.rows - 1)).collect(),
+                    None => Vec::new(), // interior connectors are hidden on arrays
+                }
+            };
+            for (c, r) in elements {
+                let t = self.element_transform(c, r);
+                let name = if single {
+                    conn.name.clone()
+                } else {
+                    format!("{}[{c},{r}]", conn.name)
+                };
+                out.push(WorldConnector {
+                    instance_name: self.name.clone(),
+                    name,
+                    location: t.apply(conn.location),
+                    layer: conn.layer,
+                    width: conn.width,
+                    side: local_side.map(|s| self.world_side(s)),
+                });
+            }
+        }
+        // A connector is only *usable* if it still lies on the array's
+        // outer bounding box after replication (left-side connectors of
+        // column 0 do; a left connector that ended up interior because
+        // of overlapping spacing does not — keep them, Riot shows them).
+        out
+    }
+
+    /// Finds one world connector by its exposed (possibly suffixed)
+    /// name.
+    pub fn world_connector(&self, cell: &Cell, name: &str) -> Option<WorldConnector> {
+        self.world_connectors(cell)
+            .into_iter()
+            .find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellId, Connector};
+    use riot_geom::{Layer, Orientation};
+
+    fn leaf() -> Cell {
+        Cell::from_cif_shapes(
+            "leaf",
+            vec![riot_cif::Shape {
+                layer: Layer::Metal,
+                geometry: riot_cif::Geometry::Box(Rect::new(0, 0, 1000, 500)),
+            }],
+            vec![
+                Connector {
+                    name: "L".into(),
+                    location: Point::new(0, 250),
+                    layer: Layer::Metal,
+                    width: 250,
+                },
+                Connector {
+                    name: "R".into(),
+                    location: Point::new(1000, 250),
+                    layer: Layer::Metal,
+                    width: 250,
+                },
+                Connector {
+                    name: "MID".into(),
+                    location: Point::new(500, 250),
+                    layer: Layer::Poly,
+                    width: 100,
+                },
+            ],
+        )
+    }
+
+    fn inst() -> Instance {
+        Instance::new("I0", CellId(0), leaf().bbox)
+    }
+
+    #[test]
+    fn default_spacing_abuts() {
+        let i = inst();
+        assert_eq!(i.col_spacing, 1000);
+        assert_eq!(i.row_spacing, 500);
+        assert!(!i.is_array());
+    }
+
+    #[test]
+    fn world_bbox_with_orientation() {
+        let mut i = inst();
+        i.transform = Transform::new(Orientation::R90, Point::new(2000, 0));
+        let bb = i.world_bbox(&leaf());
+        assert_eq!(bb, Rect::new(1500, 0, 2000, 1000));
+    }
+
+    #[test]
+    fn array_bbox_spans_replication() {
+        let mut i = inst();
+        i.cols = 3;
+        let bb = i.world_bbox(&leaf());
+        assert_eq!(bb, Rect::new(0, 0, 3000, 500));
+    }
+
+    #[test]
+    fn single_instance_exposes_all_connectors() {
+        let conns = inst().world_connectors(&leaf());
+        assert_eq!(conns.len(), 3);
+        let l = conns.iter().find(|c| c.name == "L").unwrap();
+        assert_eq!(l.side, Some(Side::Left));
+        let mid = conns.iter().find(|c| c.name == "MID").unwrap();
+        assert_eq!(mid.side, None);
+    }
+
+    #[test]
+    fn array_hides_interior_and_inner_edges() {
+        let mut i = inst();
+        i.cols = 3;
+        let conns = i.world_connectors(&leaf());
+        // L exposed on column 0 only, R on column 2 only; MID hidden.
+        let names: Vec<&str> = conns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["L[0,0]", "R[2,0]"]);
+        let r = &conns[1];
+        assert_eq!(r.location, Point::new(3000, 250));
+    }
+
+    #[test]
+    fn mirrored_instance_swaps_sides() {
+        let mut i = inst();
+        i.transform = Transform::orient(Orientation::MX);
+        let conns = i.world_connectors(&leaf());
+        let l = conns.iter().find(|c| c.name == "L").unwrap();
+        assert_eq!(l.side, Some(Side::Right));
+        assert_eq!(l.location, Point::new(0, 250));
+    }
+
+    #[test]
+    fn rotated_sides() {
+        let i = inst();
+        assert_eq!(i.world_side(Side::Left), Side::Left);
+        let mut r = inst();
+        r.transform = Transform::orient(Orientation::R90);
+        assert_eq!(r.world_side(Side::Left), Side::Bottom);
+        assert_eq!(r.world_side(Side::Top), Side::Left);
+    }
+
+    #[test]
+    fn element_transform_composition() {
+        let mut i = inst();
+        i.cols = 2;
+        i.transform = Transform::new(Orientation::R0, Point::new(100, 200));
+        let t = i.element_transform(1, 0);
+        assert_eq!(t.apply(Point::ORIGIN), Point::new(1100, 200));
+    }
+
+    #[test]
+    fn world_connector_lookup() {
+        let i = inst();
+        assert!(i.world_connector(&leaf(), "L").is_some());
+        assert!(i.world_connector(&leaf(), "NOPE").is_none());
+    }
+}

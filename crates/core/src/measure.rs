@@ -1,0 +1,141 @@
+//! Area accounting for the paper's figure-9 comparison.
+//!
+//! "In figure 9, the shaded areas are routing areas. … The important
+//! space savings is in the vertical direction since no routing channels
+//! are needed to connect the NAND and OR gates." This module measures
+//! exactly those quantities: total bounding-box area, the area occupied
+//! by route cells (the shaded channel area), and the cell extents.
+
+use crate::cell::CellKind;
+use crate::error::RiotError;
+use crate::library::Library;
+use riot_geom::Rect;
+
+/// Area statistics of one composition cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AreaReport {
+    /// The composition cell's name.
+    pub cell: String,
+    /// Bounding box of the assembly.
+    pub bbox: Rect,
+    /// Bounding-box area in square centimicrons.
+    pub total_area: i128,
+    /// Area covered by route-cell instances (the shaded routing area).
+    pub routing_area: i128,
+    /// Number of live instances.
+    pub instances: usize,
+    /// Number of route-cell instances among them.
+    pub route_instances: usize,
+}
+
+impl AreaReport {
+    /// Routing area as a fraction of the total (0 when empty).
+    pub fn routing_fraction(&self) -> f64 {
+        if self.total_area == 0 {
+            0.0
+        } else {
+            self.routing_area as f64 / self.total_area as f64
+        }
+    }
+
+    /// Width and height of the assembly in microns.
+    pub fn size_microns(&self) -> (f64, f64) {
+        (
+            self.bbox.width() as f64 / 100.0,
+            self.bbox.height() as f64 / 100.0,
+        )
+    }
+}
+
+/// Measures a composition cell. Route cells are identified by their
+/// menu names (`route…`), exactly how the session created them.
+///
+/// # Errors
+///
+/// [`RiotError::UnknownCell`] / [`RiotError::NotComposition`].
+pub fn measure(lib: &Library, cell_name: &str) -> Result<AreaReport, RiotError> {
+    let id = lib
+        .find(cell_name)
+        .ok_or_else(|| RiotError::UnknownCell(cell_name.to_owned()))?;
+    let cell = lib.cell(id)?;
+    let CellKind::Composition(comp) = &cell.kind else {
+        return Err(RiotError::NotComposition(cell_name.to_owned()));
+    };
+    let mut bbox: Option<Rect> = None;
+    let mut routing_area: i128 = 0;
+    let mut instances = 0usize;
+    let mut route_instances = 0usize;
+    for (_, inst) in comp.instances() {
+        let sub = lib.cell(inst.cell)?;
+        let wb = inst.world_bbox(sub);
+        bbox = Some(match bbox {
+            Some(acc) => acc.union(wb),
+            None => wb,
+        });
+        instances += 1;
+        if sub.name.starts_with("route") {
+            route_instances += 1;
+            routing_area += wb.area();
+        }
+    }
+    let bbox = bbox.unwrap_or(Rect::new(0, 0, 0, 0));
+    Ok(AreaReport {
+        cell: cell_name.to_owned(),
+        bbox,
+        total_area: bbox.area(),
+        routing_area,
+        instances,
+        route_instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::editor::{Editor, RouteOptions};
+    use riot_geom::{Point, LAMBDA};
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 6 4
+wire NP 2 6 10 12 10
+end
+";
+
+    #[test]
+    fn measures_routing_share() {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let a = ed.create_instance(gate).unwrap();
+        let b = ed.create_instance(gate).unwrap();
+        ed.translate_instance(b, Point::new(40 * LAMBDA, 2 * LAMBDA))
+            .unwrap();
+        ed.connect(b, "A", a, "OUT").unwrap();
+        ed.route(RouteOptions::default()).unwrap();
+        ed.finish().unwrap();
+        let report = measure(&lib, "TOP").unwrap();
+        assert_eq!(report.instances, 3);
+        assert_eq!(report.route_instances, 1);
+        assert!(report.routing_area > 0);
+        assert!(report.routing_fraction() > 0.0 && report.routing_fraction() < 1.0);
+        assert!(report.total_area >= report.routing_area);
+    }
+
+    #[test]
+    fn leaf_cell_rejected() {
+        let mut lib = Library::new();
+        lib.load_sticks(GATE).unwrap();
+        assert!(matches!(
+            measure(&lib, "gate"),
+            Err(RiotError::NotComposition(_))
+        ));
+        assert!(matches!(
+            measure(&lib, "NOPE"),
+            Err(RiotError::UnknownCell(_))
+        ));
+    }
+}

@@ -1,0 +1,326 @@
+//! Maintained logical connections — the paper's stated future work.
+//!
+//! Riot's "fundamental problem" was that "once the instances are
+//! positioned to make the connection, the fact that the two pieces are
+//! connected is lost … The replay mitigates the problem of logical
+//! connection being destroyed during editing, but does not solve it.
+//! The replay is not an acceptable long-term solution to this important
+//! problem — connections must be preserved. … Without further
+//! investigation, we can say that a tool of this type must maintain
+//! logical connections."
+//!
+//! This module is that successor feature: a [`ConnectionLedger`] records
+//! every connection a connection command completes, keyed by instance
+//! and connector **names** (so it survives stretch cell swaps), and
+//! [`ConnectionLedger::check`] re-verifies all of them geometrically —
+//! the "extensive checking" Riot's users had to do by hand, made
+//! instant.
+
+use crate::editor::Editor;
+use crate::error::RiotError;
+use riot_geom::Point;
+use std::fmt;
+
+/// One maintained logical connection, by names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintainedConnection {
+    /// From instance name.
+    pub from_instance: String,
+    /// From connector name.
+    pub from_connector: String,
+    /// To instance name.
+    pub to_instance: String,
+    /// To connector name.
+    pub to_connector: String,
+}
+
+impl fmt::Display for MaintainedConnection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} = {}.{}",
+            self.from_instance, self.from_connector, self.to_instance, self.to_connector
+        )
+    }
+}
+
+/// A broken maintained connection found by [`ConnectionLedger::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectionViolation {
+    /// The connectors no longer coincide.
+    Separated {
+        /// The connection that came apart.
+        connection: MaintainedConnection,
+        /// Current from-connector location.
+        from_at: Point,
+        /// Current to-connector location.
+        to_at: Point,
+    },
+    /// An endpoint vanished (instance deleted, connector renamed away,
+    /// or hidden by array replication).
+    Missing {
+        /// The connection whose endpoint is gone.
+        connection: MaintainedConnection,
+        /// Which endpoint: the missing instance or connector name.
+        what: String,
+    },
+}
+
+impl fmt::Display for ConnectionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectionViolation::Separated {
+                connection,
+                from_at,
+                to_at,
+            } => write!(
+                f,
+                "connection {connection} separated: {from_at} vs {to_at}"
+            ),
+            ConnectionViolation::Missing { connection, what } => {
+                write!(f, "connection {connection} lost its endpoint `{what}`")
+            }
+        }
+    }
+}
+
+/// The ledger of logical connections made so far in a session.
+///
+/// Record into it after every successful connection command (the
+/// [`Editor`] does this when asked via [`Editor::abut`]-family methods
+/// plus [`record_pending`]); check it after any editing you suspect.
+///
+/// [`record_pending`]: ConnectionLedger::record_pending
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConnectionLedger {
+    connections: Vec<MaintainedConnection>,
+}
+
+impl ConnectionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        ConnectionLedger::default()
+    }
+
+    /// The maintained connections, in the order they were made.
+    pub fn connections(&self) -> &[MaintainedConnection] {
+        &self.connections
+    }
+
+    /// Number of maintained connections.
+    pub fn len(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// True when nothing is maintained yet.
+    pub fn is_empty(&self) -> bool {
+        self.connections.is_empty()
+    }
+
+    /// Records one connection by names.
+    pub fn record(&mut self, connection: MaintainedConnection) {
+        if !self.connections.contains(&connection) {
+            self.connections.push(connection);
+        }
+    }
+
+    /// Snapshots the editor's **pending** list into the ledger — call
+    /// immediately *before* the connection command consumes it.
+    ///
+    /// # Errors
+    ///
+    /// Lookup errors for stale pending entries.
+    pub fn record_pending(&mut self, ed: &Editor<'_>) -> Result<(), RiotError> {
+        for p in ed.pending() {
+            let from = ed.instance(p.from)?.name.clone();
+            let to = ed.instance(p.to)?.name.clone();
+            self.record(MaintainedConnection {
+                from_instance: from,
+                from_connector: p.from_connector.clone(),
+                to_instance: to,
+                to_connector: p.to_connector.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Verifies every maintained connection against current geometry.
+    /// Returns all violations (empty = everything still connected).
+    pub fn check(&self, ed: &Editor<'_>) -> Vec<ConnectionViolation> {
+        let mut violations = Vec::new();
+        for c in &self.connections {
+            let resolve = |inst_name: &str, conn_name: &str| -> Result<Point, String> {
+                let id = ed
+                    .find_instance(inst_name)
+                    .ok_or_else(|| inst_name.to_owned())?;
+                let wc = ed
+                    .world_connector(id, conn_name)
+                    .map_err(|_| format!("{inst_name}.{conn_name}"))?;
+                Ok(wc.location)
+            };
+            match (
+                resolve(&c.from_instance, &c.from_connector),
+                resolve(&c.to_instance, &c.to_connector),
+            ) {
+                (Ok(from_at), Ok(to_at)) => {
+                    if from_at != to_at {
+                        violations.push(ConnectionViolation::Separated {
+                            connection: c.clone(),
+                            from_at,
+                            to_at,
+                        });
+                    }
+                }
+                (Err(what), _) | (_, Err(what)) => {
+                    violations.push(ConnectionViolation::Missing {
+                        connection: c.clone(),
+                        what,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Drops maintained connections touching an instance (when the
+    /// user deletes it deliberately).
+    pub fn forget_instance(&mut self, name: &str) {
+        self.connections
+            .retain(|c| c.from_instance != name && c.to_instance != name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::editor::AbutOptions;
+    use crate::library::Library;
+    use riot_geom::LAMBDA;
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 12 4
+end
+";
+
+    fn connected_session(lib: &mut Library) -> (Editor<'_>, ConnectionLedger) {
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(lib, "TOP").unwrap();
+        let a = ed.create_instance(gate).unwrap();
+        let b = ed.create_instance(gate).unwrap();
+        ed.translate_instance(b, Point::new(40 * LAMBDA, 3 * LAMBDA))
+            .unwrap();
+        ed.connect(b, "A", a, "OUT").unwrap();
+        let mut ledger = ConnectionLedger::new();
+        ledger.record_pending(&ed).unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        (ed, ledger)
+    }
+
+    #[test]
+    fn intact_connections_check_clean() {
+        let mut lib = Library::new();
+        let (ed, ledger) = connected_session(&mut lib);
+        assert_eq!(ledger.len(), 1);
+        assert!(ledger.check(&ed).is_empty());
+    }
+
+    #[test]
+    fn moving_an_instance_breaks_the_connection() {
+        let mut lib = Library::new();
+        let (mut ed, ledger) = connected_session(&mut lib);
+        // The exact failure mode the paper describes: a later edit
+        // "easily (perhaps accidentally)" destroys the connection.
+        let b = ed.find_instance("I1").unwrap();
+        ed.translate_instance(b, Point::new(5 * LAMBDA, 0)).unwrap();
+        let violations = ledger.check(&ed);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            ConnectionViolation::Separated { from_at, to_at, .. }
+                if from_at.x - to_at.x == 5 * LAMBDA
+        ));
+        // Moving it back heals the check.
+        ed.translate_instance(b, Point::new(-5 * LAMBDA, 0)).unwrap();
+        assert!(ledger.check(&ed).is_empty());
+    }
+
+    #[test]
+    fn deleting_an_endpoint_is_reported_missing() {
+        let mut lib = Library::new();
+        let (mut ed, ledger) = connected_session(&mut lib);
+        let a = ed.find_instance("I0").unwrap();
+        ed.delete_instance(a).unwrap();
+        let violations = ledger.check(&ed);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            &violations[0],
+            ConnectionViolation::Missing { what, .. } if what == "I0"
+        ));
+    }
+
+    #[test]
+    fn forget_instance_drops_its_connections() {
+        let mut lib = Library::new();
+        let (mut ed, mut ledger) = connected_session(&mut lib);
+        let a = ed.find_instance("I0").unwrap();
+        ed.delete_instance(a).unwrap();
+        ledger.forget_instance("I0");
+        assert!(ledger.is_empty());
+        assert!(ledger.check(&ed).is_empty());
+    }
+
+    #[test]
+    fn duplicate_records_collapse() {
+        let mut lib = Library::new();
+        let (ed, mut ledger) = connected_session(&mut lib);
+        let again = ledger.connections()[0].clone();
+        ledger.record(again);
+        assert_eq!(ledger.len(), 1);
+        let _ = ed;
+    }
+
+    #[test]
+    fn survives_stretch_cell_swap() {
+        // Connections key on names, so the from instance swapping to a
+        // stretched cell keeps the ledger valid.
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let driver = lib
+            .load_sticks(
+                "sticks drv\nbbox 0 0 10 24\npin X right NP 10 4 2\npin Y right NP 10 14 2\nwire NP 2 0 4 10 4\nwire NP 2 0 14 10 14\nend\n",
+            )
+            .unwrap();
+        let receiver = lib
+            .load_sticks(
+                "sticks rcv\nbbox 0 0 12 24\npin A left NP 0 4 2\npin B left NP 0 10 2\nwire NP 2 0 4 8 4\nwire NP 2 0 10 8 10\nend\n",
+            )
+            .unwrap();
+        let _ = gate;
+        let mut ed = Editor::open(&mut lib, "SWAP").unwrap();
+        let d = ed.create_instance(driver).unwrap();
+        let r = ed.create_instance(receiver).unwrap();
+        ed.translate_instance(r, Point::new(40 * LAMBDA, 0)).unwrap();
+        ed.connect(r, "A", d, "X").unwrap();
+        ed.connect(r, "B", d, "Y").unwrap();
+        let mut ledger = ConnectionLedger::new();
+        ledger.record_pending(&ed).unwrap();
+        ed.stretch(Default::default()).unwrap();
+        assert!(ledger.check(&ed).is_empty(), "{:?}", ledger.check(&ed));
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let mut lib = Library::new();
+        let (mut ed, ledger) = connected_session(&mut lib);
+        let b = ed.find_instance("I1").unwrap();
+        ed.translate_instance(b, Point::new(LAMBDA, 0)).unwrap();
+        let v = ledger.check(&ed);
+        let text = v[0].to_string();
+        assert!(text.contains("I1.A"));
+        assert!(text.contains("separated"));
+    }
+}

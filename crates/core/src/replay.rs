@@ -1,0 +1,525 @@
+//! REPLAY: the command journal.
+//!
+//! "Riot saves the commands given by the user and can re-run an editing
+//! session if some of the input files have changed. The replay file uses
+//! instance names and connector names to identify connections, and the
+//! positions are re-calculated, thereby avoiding the problems with
+//! differently-shaped cells. The replay also enables users to recover an
+//! abnormally-terminated editing session or an accidentally-deleted
+//! file."
+
+use crate::editor::{AbutOptions, Editor, RouteOptions, StretchOptions};
+use crate::error::RiotError;
+use crate::library::Library;
+use riot_geom::{Orientation, Point, Side};
+use std::fmt::Write as _;
+
+/// One journaled command, keyed by names rather than positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayCommand {
+    /// Begin editing a composition cell.
+    Edit {
+        /// Composition cell name.
+        cell: String,
+    },
+    /// CREATE an instance of a cell.
+    Create {
+        /// Defining cell's name.
+        cell: String,
+        /// New instance's name.
+        instance: String,
+    },
+    /// MOVE an instance.
+    Translate {
+        /// Instance name.
+        instance: String,
+        /// Displacement.
+        d: Point,
+    },
+    /// ROTATE/MIRROR an instance.
+    Orient {
+        /// Instance name.
+        instance: String,
+        /// Orientation composed onto the instance.
+        orient: Orientation,
+    },
+    /// Array replication.
+    Replicate {
+        /// Instance name.
+        instance: String,
+        /// Columns.
+        cols: u32,
+        /// Rows.
+        rows: u32,
+    },
+    /// Array spacing override.
+    Spacing {
+        /// Instance name.
+        instance: String,
+        /// Column pitch.
+        col: i64,
+        /// Row pitch.
+        row: i64,
+    },
+    /// DELETE an instance.
+    Delete {
+        /// Instance name.
+        instance: String,
+    },
+    /// Add a pending connection.
+    Connect {
+        /// From instance.
+        from: String,
+        /// Connector on the from instance.
+        from_connector: String,
+        /// To instance.
+        to: String,
+        /// Connector on the to instance.
+        to_connector: String,
+    },
+    /// The ABUT connection command.
+    Abut {
+        /// Overlap option.
+        overlap: bool,
+    },
+    /// Edge abutment of two instances without connectors.
+    AbutInstances {
+        /// From instance.
+        from: String,
+        /// To instance.
+        to: String,
+    },
+    /// The ROUTE connection command.
+    Route {
+        /// Whether the from instance moves against the route.
+        move_from: bool,
+    },
+    /// The STRETCH connection command.
+    Stretch,
+    /// Bring connectors out to the composition boundary.
+    BringOut {
+        /// Instance name.
+        instance: String,
+        /// Connector names.
+        connectors: Vec<String>,
+        /// Side being brought out.
+        side: Side,
+    },
+    /// Finish the cell.
+    Finish,
+}
+
+/// An ordered journal of commands, savable as text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Journal {
+    commands: Vec<ReplayCommand>,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends one command.
+    pub fn record(&mut self, cmd: ReplayCommand) {
+        self.commands.push(cmd);
+    }
+
+    /// The commands in order.
+    pub fn commands(&self) -> &[ReplayCommand] {
+        &self.commands
+    }
+
+    /// Serializes to the replay file format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("riot replay v1\n");
+        for cmd in &self.commands {
+            match cmd {
+                ReplayCommand::Edit { cell } => {
+                    let _ = writeln!(out, "edit {cell}");
+                }
+                ReplayCommand::Create { cell, instance } => {
+                    let _ = writeln!(out, "create {cell} {instance}");
+                }
+                ReplayCommand::Translate { instance, d } => {
+                    let _ = writeln!(out, "translate {instance} {} {}", d.x, d.y);
+                }
+                ReplayCommand::Orient { instance, orient } => {
+                    let _ = writeln!(out, "orient {instance} {orient}");
+                }
+                ReplayCommand::Replicate {
+                    instance,
+                    cols,
+                    rows,
+                } => {
+                    let _ = writeln!(out, "replicate {instance} {cols} {rows}");
+                }
+                ReplayCommand::Spacing { instance, col, row } => {
+                    let _ = writeln!(out, "spacing {instance} {col} {row}");
+                }
+                ReplayCommand::Delete { instance } => {
+                    let _ = writeln!(out, "delete {instance}");
+                }
+                ReplayCommand::Connect {
+                    from,
+                    from_connector,
+                    to,
+                    to_connector,
+                } => {
+                    let _ = writeln!(out, "connect {from} {from_connector} {to} {to_connector}");
+                }
+                ReplayCommand::Abut { overlap } => {
+                    let _ = writeln!(out, "abut {}", if *overlap { "overlap" } else { "touch" });
+                }
+                ReplayCommand::AbutInstances { from, to } => {
+                    let _ = writeln!(out, "abutinst {from} {to}");
+                }
+                ReplayCommand::Route { move_from } => {
+                    let _ = writeln!(out, "route {}", if *move_from { "move" } else { "stay" });
+                }
+                ReplayCommand::Stretch => out.push_str("stretch\n"),
+                ReplayCommand::BringOut {
+                    instance,
+                    connectors,
+                    side,
+                } => {
+                    let _ = write!(out, "bringout {instance} {side}");
+                    for c in connectors {
+                        let _ = write!(out, " {c}");
+                    }
+                    out.push('\n');
+                }
+                ReplayCommand::Finish => out.push_str("finish\n"),
+            }
+        }
+        out
+    }
+
+    /// Parses a replay file.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::Parse`] with the offending line.
+    pub fn parse(text: &str) -> Result<Journal, RiotError> {
+        let mut lines = text.lines().enumerate();
+        let perr = |line: usize, msg: &str| RiotError::Parse {
+            line: line + 1,
+            message: msg.to_owned(),
+        };
+        match lines.next() {
+            Some((_, header)) if header.trim() == "riot replay v1" => {}
+            _ => return Err(perr(0, "missing `riot replay v1` header")),
+        }
+        let mut journal = Journal::new();
+        for (n, raw) in lines {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split_whitespace().collect();
+            let need = |k: usize| -> Result<(), RiotError> {
+                if f.len() == k {
+                    Ok(())
+                } else {
+                    Err(perr(n, &format!("`{}` needs {} fields", f[0], k - 1)))
+                }
+            };
+            let cmd = match f[0] {
+                "edit" => {
+                    need(2)?;
+                    ReplayCommand::Edit { cell: f[1].into() }
+                }
+                "create" => {
+                    need(3)?;
+                    ReplayCommand::Create {
+                        cell: f[1].into(),
+                        instance: f[2].into(),
+                    }
+                }
+                "translate" => {
+                    need(4)?;
+                    ReplayCommand::Translate {
+                        instance: f[1].into(),
+                        d: Point::new(
+                            f[2].parse().map_err(|_| perr(n, "bad integer"))?,
+                            f[3].parse().map_err(|_| perr(n, "bad integer"))?,
+                        ),
+                    }
+                }
+                "orient" => {
+                    need(3)?;
+                    ReplayCommand::Orient {
+                        instance: f[1].into(),
+                        orient: f[2].parse().map_err(|_| perr(n, "bad orientation"))?,
+                    }
+                }
+                "replicate" => {
+                    need(4)?;
+                    ReplayCommand::Replicate {
+                        instance: f[1].into(),
+                        cols: f[2].parse().map_err(|_| perr(n, "bad count"))?,
+                        rows: f[3].parse().map_err(|_| perr(n, "bad count"))?,
+                    }
+                }
+                "spacing" => {
+                    need(4)?;
+                    ReplayCommand::Spacing {
+                        instance: f[1].into(),
+                        col: f[2].parse().map_err(|_| perr(n, "bad pitch"))?,
+                        row: f[3].parse().map_err(|_| perr(n, "bad pitch"))?,
+                    }
+                }
+                "delete" => {
+                    need(2)?;
+                    ReplayCommand::Delete {
+                        instance: f[1].into(),
+                    }
+                }
+                "connect" => {
+                    need(5)?;
+                    ReplayCommand::Connect {
+                        from: f[1].into(),
+                        from_connector: f[2].into(),
+                        to: f[3].into(),
+                        to_connector: f[4].into(),
+                    }
+                }
+                "abut" => {
+                    need(2)?;
+                    ReplayCommand::Abut {
+                        overlap: match f[1] {
+                            "overlap" => true,
+                            "touch" => false,
+                            _ => return Err(perr(n, "abut wants overlap|touch")),
+                        },
+                    }
+                }
+                "abutinst" => {
+                    need(3)?;
+                    ReplayCommand::AbutInstances {
+                        from: f[1].into(),
+                        to: f[2].into(),
+                    }
+                }
+                "route" => {
+                    need(2)?;
+                    ReplayCommand::Route {
+                        move_from: match f[1] {
+                            "move" => true,
+                            "stay" => false,
+                            _ => return Err(perr(n, "route wants move|stay")),
+                        },
+                    }
+                }
+                "stretch" => {
+                    need(1)?;
+                    ReplayCommand::Stretch
+                }
+                "bringout" => {
+                    if f.len() < 4 {
+                        return Err(perr(n, "bringout wants instance side connectors…"));
+                    }
+                    ReplayCommand::BringOut {
+                        instance: f[1].into(),
+                        side: f[2].parse().map_err(|_| perr(n, "bad side"))?,
+                        connectors: f[3..].iter().map(|s| (*s).to_owned()).collect(),
+                    }
+                }
+                "finish" => {
+                    need(1)?;
+                    ReplayCommand::Finish
+                }
+                other => return Err(perr(n, &format!("unknown command `{other}`"))),
+            };
+            journal.record(cmd);
+        }
+        Ok(journal)
+    }
+}
+
+/// Re-runs a journal against a library whose leaf cells may have
+/// changed shape. Positions of connections are recomputed from names.
+/// Returns the warnings the re-run produced.
+///
+/// # Errors
+///
+/// Any editor error the re-run hits (unknown cells/instances, routing
+/// failures…). The journal must begin with an `edit` command.
+pub fn replay(journal: &Journal, lib: &mut Library) -> Result<Vec<String>, RiotError> {
+    let mut commands = journal.commands().iter();
+    let first = commands.next().ok_or(RiotError::Parse {
+        line: 0,
+        message: "empty journal".into(),
+    })?;
+    let ReplayCommand::Edit { cell } = first else {
+        return Err(RiotError::Parse {
+            line: 1,
+            message: "journal must start with `edit`".into(),
+        });
+    };
+    let mut ed = Editor::open(lib, cell)?;
+
+    let find_inst = |ed: &Editor<'_>, name: &str| -> Result<crate::InstanceId, RiotError> {
+        ed.find_instance(name)
+            .ok_or_else(|| RiotError::UnknownInstance(name.to_owned()))
+    };
+
+    for cmd in commands {
+        match cmd {
+            ReplayCommand::Edit { .. } => {
+                return Err(RiotError::Parse {
+                    line: 0,
+                    message: "nested `edit` in journal".into(),
+                })
+            }
+            ReplayCommand::Create { cell, instance } => {
+                let id = ed
+                    .library()
+                    .find(cell)
+                    .ok_or_else(|| RiotError::UnknownCell(cell.clone()))?;
+                ed.create_named_instance(id, instance.clone())?;
+            }
+            ReplayCommand::Translate { instance, d } => {
+                let id = find_inst(&ed, instance)?;
+                ed.translate_instance(id, *d)?;
+            }
+            ReplayCommand::Orient { instance, orient } => {
+                let id = find_inst(&ed, instance)?;
+                ed.orient_instance(id, *orient)?;
+            }
+            ReplayCommand::Replicate {
+                instance,
+                cols,
+                rows,
+            } => {
+                let id = find_inst(&ed, instance)?;
+                ed.replicate_instance(id, *cols, *rows)?;
+            }
+            ReplayCommand::Spacing { instance, col, row } => {
+                let id = find_inst(&ed, instance)?;
+                ed.set_spacing(id, *col, *row)?;
+            }
+            ReplayCommand::Delete { instance } => {
+                let id = find_inst(&ed, instance)?;
+                ed.delete_instance(id)?;
+            }
+            ReplayCommand::Connect {
+                from,
+                from_connector,
+                to,
+                to_connector,
+            } => {
+                let f = find_inst(&ed, from)?;
+                let t = find_inst(&ed, to)?;
+                ed.connect(f, from_connector, t, to_connector)?;
+            }
+            ReplayCommand::Abut { overlap } => {
+                ed.abut(AbutOptions { overlap: *overlap })?;
+            }
+            ReplayCommand::AbutInstances { from, to } => {
+                let f = find_inst(&ed, from)?;
+                let t = find_inst(&ed, to)?;
+                ed.abut_instances(f, t)?;
+            }
+            ReplayCommand::Route { move_from } => {
+                ed.route(RouteOptions {
+                    move_from: *move_from,
+                    ..RouteOptions::default()
+                })?;
+            }
+            ReplayCommand::Stretch => {
+                ed.stretch(StretchOptions::default())?;
+            }
+            ReplayCommand::BringOut {
+                instance,
+                connectors,
+                side,
+            } => {
+                let id = find_inst(&ed, instance)?;
+                let names: Vec<&str> = connectors.iter().map(String::as_str).collect();
+                ed.bring_out(id, &names, *side)?;
+            }
+            ReplayCommand::Finish => {
+                ed.finish()?;
+            }
+        }
+    }
+    Ok(ed.take_warnings())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> Journal {
+        let mut j = Journal::new();
+        j.record(ReplayCommand::Edit { cell: "TOP".into() });
+        j.record(ReplayCommand::Create {
+            cell: "gate".into(),
+            instance: "I0".into(),
+        });
+        j.record(ReplayCommand::Translate {
+            instance: "I0".into(),
+            d: Point::new(-100, 2500),
+        });
+        j.record(ReplayCommand::Orient {
+            instance: "I0".into(),
+            orient: Orientation::MX90,
+        });
+        j.record(ReplayCommand::Connect {
+            from: "I0".into(),
+            from_connector: "A".into(),
+            to: "I1".into(),
+            to_connector: "X".into(),
+        });
+        j.record(ReplayCommand::Abut { overlap: true });
+        j.record(ReplayCommand::Route { move_from: false });
+        j.record(ReplayCommand::BringOut {
+            instance: "I0".into(),
+            connectors: vec!["A".into(), "B".into()],
+            side: Side::Left,
+        });
+        j.record(ReplayCommand::Finish);
+        j
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let j = sample_journal();
+        let text = j.to_text();
+        let again = Journal::parse(&text).unwrap();
+        assert_eq!(j, again);
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        assert!(matches!(
+            Journal::parse("not a replay\n"),
+            Err(RiotError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_command() {
+        let err = Journal::parse("riot replay v1\nfrobnicate I0\n").unwrap_err();
+        assert!(matches!(err, RiotError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn parse_tolerates_comments_and_blanks() {
+        let j = Journal::parse("riot replay v1\n# nothing\n\nfinish\n").unwrap();
+        assert_eq!(j.commands(), &[ReplayCommand::Finish]);
+    }
+
+    #[test]
+    fn replay_requires_edit_first() {
+        let mut lib = Library::new();
+        let mut j = Journal::new();
+        j.record(ReplayCommand::Finish);
+        assert!(matches!(
+            replay(&j, &mut lib),
+            Err(RiotError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the composition format and the library: random
+//! sessions always round-trip through save/load with identical
+//! geometry, and exports always reparse.
+
+use proptest::prelude::*;
+use riot_core::{compose, Editor, Library};
+use riot_geom::{Orientation, Point, LAMBDA};
+
+const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 12 4
+wire NP 2 6 4 6 10
+wire NP 2 6 10 12 10
+end
+";
+
+const TALL: &str = "\
+sticks tall
+bbox 0 0 8 30
+pin T top NM 4 30 3
+pin B bottom NM 4 0 3
+wire NM 3 4 0 4 30
+end
+";
+
+/// One random placement action.
+#[derive(Debug, Clone)]
+struct Placement {
+    cell: bool, // false = gate, true = tall
+    at: Point,
+    orient: usize,
+    cols: u32,
+    rows: u32,
+}
+
+fn arb_placement() -> impl Strategy<Value = Placement> {
+    (
+        prop::bool::ANY,
+        (-50i64..50, -50i64..50),
+        0usize..8,
+        1u32..4,
+        1u32..3,
+    )
+        .prop_map(|(cell, (x, y), orient, cols, rows)| Placement {
+            cell,
+            at: Point::new(x * LAMBDA, y * LAMBDA),
+            orient,
+            cols,
+            rows,
+        })
+}
+
+fn build(placements: &[Placement]) -> Library {
+    let mut lib = Library::new();
+    let gate = lib.load_sticks(GATE).unwrap();
+    let tall = lib.load_sticks(TALL).unwrap();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    for p in placements {
+        let id = ed
+            .create_instance(if p.cell { tall } else { gate })
+            .unwrap();
+        ed.translate_instance(id, p.at).unwrap();
+        ed.orient_instance(id, Orientation::ALL[p.orient]).unwrap();
+        ed.replicate_instance(id, p.cols, p.rows).unwrap();
+    }
+    ed.finish().unwrap();
+    lib
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn composition_save_load_round_trips(placements in prop::collection::vec(arb_placement(), 1..8)) {
+        let lib = build(&placements);
+        let text = compose::save(&lib);
+        let mut lib2 = Library::new();
+        lib2.load_sticks(GATE).unwrap();
+        lib2.load_sticks(TALL).unwrap();
+        compose::load(&text, &mut lib2).unwrap();
+        let a = lib.cell(lib.find("TOP").unwrap()).unwrap();
+        let b = lib2.cell(lib2.find("TOP").unwrap()).unwrap();
+        prop_assert_eq!(a.bbox, b.bbox);
+        prop_assert_eq!(&a.connectors, &b.connectors);
+        let ia: Vec<_> = a.composition().unwrap().instances().map(|(_, i)| i.clone()).collect();
+        let ib: Vec<_> = b.composition().unwrap().instances().map(|(_, i)| i.clone()).collect();
+        prop_assert_eq!(ia.len(), ib.len());
+        for (x, y) in ia.iter().zip(&ib) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(x.transform, y.transform);
+            prop_assert_eq!((x.cols, x.rows), (y.cols, y.rows));
+            prop_assert_eq!((x.col_spacing, x.row_spacing), (y.col_spacing, y.row_spacing));
+        }
+    }
+
+    #[test]
+    fn exports_always_reparse_and_flatten(placements in prop::collection::vec(arb_placement(), 1..6)) {
+        let lib = build(&placements);
+        let cif = riot_core::export::to_cif(&lib, "TOP").unwrap();
+        let text = riot_cif::to_text(&cif);
+        let again = riot_cif::parse(&text).unwrap();
+        prop_assert_eq!(&cif, &again);
+        let flat = riot_cif::flatten(&again).unwrap();
+        // Every placement contributes its geometry (3 wires per gate,
+        // 1 per tall), replicated by the array factors.
+        let expect: usize = placements
+            .iter()
+            .map(|p| (if p.cell { 1 } else { 3 }) * (p.cols * p.rows) as usize)
+            .sum();
+        prop_assert_eq!(flat.len(), expect);
+    }
+
+    #[test]
+    fn finish_bbox_contains_every_world_connector(placements in prop::collection::vec(arb_placement(), 1..6)) {
+        let mut lib = build(&placements);
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let bbox = ed.cell().bbox;
+        for (id, _) in ed.instances() {
+            for wc in ed.world_connectors(id).unwrap() {
+                prop_assert!(bbox.contains(wc.location), "{} outside {}", wc.location, bbox);
+            }
+        }
+        let _ = ed.take_warnings();
+    }
+
+    #[test]
+    fn measure_is_stable_across_round_trip(placements in prop::collection::vec(arb_placement(), 1..6)) {
+        let lib = build(&placements);
+        let before = riot_core::measure::measure(&lib, "TOP").unwrap();
+        let text = compose::save(&lib);
+        let mut lib2 = Library::new();
+        lib2.load_sticks(GATE).unwrap();
+        lib2.load_sticks(TALL).unwrap();
+        compose::load(&text, &mut lib2).unwrap();
+        let after = riot_core::measure::measure(&lib2, "TOP").unwrap();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,384 @@
+//! Geometric design-rule checking over flattened mask geometry.
+//!
+//! The paper's users had to "verify connections with extensive
+//! checking" because Riot guarantees only the connections it makes.
+//! This crate is that checking pass for the geometric rules: every
+//! shape wide enough, every same-layer pair either connected (touching)
+//! or a full design-rule space apart.
+//!
+//! Rules follow the Mead & Conway NMOS set this reproduction uses
+//! throughout ([`RuleSet::nmos`]); widths and spaces are in
+//! centimicrons, matching [`riot_cif`] geometry.
+//!
+//! # Example
+//!
+//! ```
+//! use riot_drc::{check, RuleSet};
+//! use riot_cif::FlatShape;
+//! use riot_geom::{Layer, Rect, LAMBDA};
+//!
+//! let shapes = vec![
+//!     FlatShape {
+//!         layer: Layer::Metal,
+//!         geometry: riot_cif::Geometry::Box(Rect::new(0, 0, 10 * LAMBDA, 3 * LAMBDA)),
+//!         depth: 0,
+//!     },
+//!     // A second metal box only 1λ away: a spacing violation.
+//!     FlatShape {
+//!         layer: Layer::Metal,
+//!         geometry: riot_cif::Geometry::Box(Rect::new(0, 4 * LAMBDA, 10 * LAMBDA, 7 * LAMBDA)),
+//!         depth: 0,
+//!     },
+//! ];
+//! let violations = check(&shapes, &RuleSet::nmos());
+//! assert_eq!(violations.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use riot_cif::{FlatShape, Geometry};
+use riot_geom::{Layer, Rect, LAMBDA};
+use std::fmt;
+
+/// Minimum width and same-layer spacing for one layer, centimicrons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerRule {
+    /// Minimum feature width.
+    pub min_width: i64,
+    /// Minimum space between unconnected same-layer features.
+    pub min_space: i64,
+}
+
+/// The rule deck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleSet {
+    rules: Vec<(Layer, LayerRule)>,
+}
+
+impl RuleSet {
+    /// The Mead & Conway NMOS rules at λ = 2.5 µm: 2λ/3λ diffusion,
+    /// 2λ/2λ poly, 3λ/3λ metal, 2λ/2λ contact cuts. Implant, buried
+    /// and glass carry no width/space checks here.
+    pub fn nmos() -> Self {
+        RuleSet {
+            rules: vec![
+                (
+                    Layer::Diffusion,
+                    LayerRule {
+                        min_width: 2 * LAMBDA,
+                        min_space: 3 * LAMBDA,
+                    },
+                ),
+                (
+                    Layer::Poly,
+                    LayerRule {
+                        min_width: 2 * LAMBDA,
+                        min_space: 2 * LAMBDA,
+                    },
+                ),
+                (
+                    Layer::Metal,
+                    LayerRule {
+                        min_width: 3 * LAMBDA,
+                        min_space: 3 * LAMBDA,
+                    },
+                ),
+                (
+                    Layer::Contact,
+                    LayerRule {
+                        min_width: 2 * LAMBDA,
+                        min_space: 2 * LAMBDA,
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// The rule for a layer, if it is checked at all.
+    pub fn rule(&self, layer: Layer) -> Option<LayerRule> {
+        self.rules
+            .iter()
+            .find(|(l, _)| *l == layer)
+            .map(|&(_, r)| r)
+    }
+}
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A feature narrower than the layer's minimum width.
+    Width {
+        /// Offending layer.
+        layer: Layer,
+        /// Bounding box of the feature.
+        at: Rect,
+        /// Measured width.
+        measured: i64,
+        /// Required minimum.
+        required: i64,
+    },
+    /// Two unconnected same-layer features closer than minimum space.
+    Spacing {
+        /// Offending layer.
+        layer: Layer,
+        /// First feature's bounding box.
+        a: Rect,
+        /// Second feature's bounding box.
+        b: Rect,
+        /// Measured separation (the larger axis gap).
+        measured: i64,
+        /// Required minimum.
+        required: i64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Width {
+                layer,
+                at,
+                measured,
+                required,
+            } => write!(
+                f,
+                "{layer} feature at {at} is {measured} wide; rule needs {required}"
+            ),
+            Violation::Spacing {
+                layer,
+                a,
+                b,
+                measured,
+                required,
+            } => write!(
+                f,
+                "{layer} features at {a} and {b} are {measured} apart; rule needs {required}"
+            ),
+        }
+    }
+}
+
+/// The primitive rectangles a shape paints (wires one per segment).
+fn painted_rects(shape: &FlatShape) -> Vec<Rect> {
+    match &shape.geometry {
+        Geometry::Box(r) => vec![*r],
+        Geometry::Polygon(pts) => {
+            // Conservative: the polygon's bounding box.
+            let mut bb = Rect::at_point(pts[0]);
+            for &p in &pts[1..] {
+                bb = bb.union_point(p);
+            }
+            vec![bb]
+        }
+        Geometry::Wire { width, path } => path
+            .segments()
+            .map(|(a, b)| Rect::from_points(a, b).inflated(width / 2))
+            .collect(),
+        Geometry::Flash { diameter, center } => {
+            vec![Rect::from_center(*center, *diameter, *diameter)]
+        }
+    }
+}
+
+/// Checks flattened geometry against the rules, returning every
+/// violation found. Touching features count as connected and are not
+/// spacing-checked against each other.
+pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Width checks per shape.
+    for s in shapes {
+        let Some(rule) = rules.rule(s.layer) else {
+            continue;
+        };
+        let measured = match &s.geometry {
+            Geometry::Wire { width, .. } => *width,
+            other => {
+                let bb = other.bounding_box();
+                bb.width().min(bb.height())
+            }
+        };
+        if measured < rule.min_width {
+            violations.push(Violation::Width {
+                layer: s.layer,
+                at: s.geometry.bounding_box(),
+                measured,
+                required: rule.min_width,
+            });
+        }
+    }
+
+    // Spacing checks: merge touching same-layer geometry into connected
+    // components first (abutted rails are one conductor, not two close
+    // shapes), then require full spacing between different components.
+    let mut by_layer: Vec<(Layer, Vec<Rect>)> = Vec::new();
+    for s in shapes {
+        if rules.rule(s.layer).is_none() {
+            continue;
+        }
+        let entry = match by_layer.iter_mut().find(|(l, _)| *l == s.layer) {
+            Some(e) => e,
+            None => {
+                by_layer.push((s.layer, Vec::new()));
+                by_layer.last_mut().expect("just pushed")
+            }
+        };
+        entry.1.extend(painted_rects(s));
+    }
+    for (layer, rects) in &by_layer {
+        let space = rules.rule(*layer).expect("filtered above").min_space;
+        let comp = components(rects);
+        let mut reported = std::collections::HashSet::new();
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                if comp[i] == comp[j] {
+                    continue; // one conductor
+                }
+                let (a, b) = (rects[i], rects[j]);
+                let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
+                let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
+                let measured = dx.max(dy);
+                if dx < space && dy < space && reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j]))) {
+                    violations.push(Violation::Spacing {
+                        layer: *layer,
+                        a,
+                        b,
+                        measured,
+                        required: space,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Connected-component labels for touching rectangles.
+fn components(rects: &[Rect]) -> Vec<usize> {
+    let mut parent: Vec<usize> = (0..rects.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..rects.len() {
+        for j in i + 1..rects.len() {
+            if rects[i].touches(rects[j]) {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    (0..rects.len()).map(|i| find(&mut parent, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(layer: Layer, r: Rect) -> FlatShape {
+        FlatShape {
+            layer,
+            geometry: Geometry::Box(r),
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn clean_geometry_passes() {
+        let shapes = vec![
+            boxed(Layer::Metal, Rect::new(0, 0, 10 * LAMBDA, 3 * LAMBDA)),
+            boxed(Layer::Metal, Rect::new(0, 6 * LAMBDA, 10 * LAMBDA, 9 * LAMBDA)),
+        ];
+        assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+
+    #[test]
+    fn narrow_feature_flagged() {
+        let shapes = vec![boxed(Layer::Metal, Rect::new(0, 0, 10 * LAMBDA, LAMBDA))];
+        let v = check(&shapes, &RuleSet::nmos());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Width { measured, .. } if measured == LAMBDA));
+    }
+
+    #[test]
+    fn close_features_flagged_touching_allowed() {
+        let a = boxed(Layer::Poly, Rect::new(0, 0, 4 * LAMBDA, 2 * LAMBDA));
+        let close = boxed(Layer::Poly, Rect::new(0, 3 * LAMBDA, 4 * LAMBDA, 5 * LAMBDA));
+        let touching = boxed(Layer::Poly, Rect::new(0, 2 * LAMBDA, 4 * LAMBDA, 4 * LAMBDA));
+        let v = check(&[a.clone(), close], &RuleSet::nmos());
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Spacing { measured, .. } if measured == LAMBDA));
+        assert!(check(&[a, touching], &RuleSet::nmos()).is_empty());
+    }
+
+    #[test]
+    fn different_layers_do_not_interact() {
+        let shapes = vec![
+            boxed(Layer::Metal, Rect::new(0, 0, 10 * LAMBDA, 3 * LAMBDA)),
+            boxed(Layer::Poly, Rect::new(0, 4 * LAMBDA, 10 * LAMBDA, 6 * LAMBDA)),
+        ];
+        assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+
+    #[test]
+    fn connected_components_are_exempt_transitively() {
+        // Three boxes: a-b touch, b-c touch, a and c are 1λ apart in
+        // the corner sense — but all one conductor, so no violation.
+        let shapes = vec![
+            boxed(Layer::Metal, Rect::new(0, 0, 4 * LAMBDA, 3 * LAMBDA)),
+            boxed(Layer::Metal, Rect::new(4 * LAMBDA, 0, 8 * LAMBDA, 3 * LAMBDA)),
+            boxed(Layer::Metal, Rect::new(8 * LAMBDA, 0, 12 * LAMBDA, 3 * LAMBDA)),
+        ];
+        assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+
+    #[test]
+    fn diagonal_proximity_flagged() {
+        let shapes = vec![
+            boxed(Layer::Metal, Rect::new(0, 0, 3 * LAMBDA, 3 * LAMBDA)),
+            boxed(
+                Layer::Metal,
+                Rect::new(4 * LAMBDA, 4 * LAMBDA, 7 * LAMBDA, 7 * LAMBDA),
+            ),
+        ];
+        let v = check(&shapes, &RuleSet::nmos());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn wire_segments_of_one_wire_exempt() {
+        let path = riot_geom::Path::from_points([
+            riot_geom::Point::new(0, 0),
+            riot_geom::Point::new(10 * LAMBDA, 0),
+            riot_geom::Point::new(10 * LAMBDA, 2 * LAMBDA),
+            riot_geom::Point::new(0, 2 * LAMBDA),
+        ])
+        .unwrap();
+        let shapes = vec![FlatShape {
+            layer: Layer::Metal,
+            geometry: Geometry::Wire {
+                width: 3 * LAMBDA,
+                path,
+            },
+            depth: 0,
+        }];
+        // The U-turn brings the wire near itself; same-shape pairs are
+        // exempt (a real DRC would merge the polygon first).
+        assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+
+    #[test]
+    fn unchecked_layers_ignored() {
+        let shapes = vec![
+            boxed(Layer::Implant, Rect::new(0, 0, LAMBDA, LAMBDA)),
+            boxed(Layer::Glass, Rect::new(0, 0, LAMBDA, LAMBDA)),
+        ];
+        assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the design-rule checker: well-spaced random
+//! layouts always pass; every planted violation is found.
+
+use proptest::prelude::*;
+use riot_cif::{FlatShape, Geometry};
+use riot_drc::{check, RuleSet, Violation};
+use riot_geom::{Layer, Rect, LAMBDA};
+
+fn boxed(layer: Layer, r: Rect) -> FlatShape {
+    FlatShape {
+        layer,
+        geometry: Geometry::Box(r),
+        depth: 0,
+    }
+}
+
+/// A grid of metal boxes placed at pitch `>= size + min_space`.
+fn arb_clean_grid() -> impl Strategy<Value = Vec<FlatShape>> {
+    (2i64..6, 2i64..6, 0i64..4).prop_map(|(cols, rows, slack)| {
+        let size = 3 * LAMBDA;
+        let pitch = size + 3 * LAMBDA + slack * LAMBDA;
+        let mut shapes = Vec::new();
+        for c in 0..cols {
+            for r in 0..rows {
+                let x = c * pitch;
+                let y = r * pitch;
+                shapes.push(boxed(Layer::Metal, Rect::new(x, y, x + size, y + size)));
+            }
+        }
+        shapes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn well_spaced_grids_pass(shapes in arb_clean_grid()) {
+        prop_assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+
+    #[test]
+    fn planted_spacing_violation_found(
+        shapes in arb_clean_grid(),
+        gap in 1i64..3,
+    ) {
+        // Plant one intruder a sub-rule gap to the right of shape 0.
+        let Geometry::Box(r0) = shapes[0].geometry.clone() else { unreachable!() };
+        let intruder = boxed(
+            Layer::Metal,
+            Rect::new(
+                r0.x1 + gap * LAMBDA,
+                r0.y0,
+                r0.x1 + gap * LAMBDA + 3 * LAMBDA,
+                r0.y1,
+            ),
+        );
+        let mut all = shapes;
+        // Only add it when it does not land on/too close to another
+        // grid column (pitch >= 6λ guarantees gap<3 collides only with
+        // shape 0 when slack >= gap... easiest: just require at least
+        // one violation).
+        all.push(intruder);
+        let v = check(&all, &RuleSet::nmos());
+        prop_assert!(
+            v.iter().any(|x| matches!(x, Violation::Spacing { .. })),
+            "planted gap {} lambda not reported",
+            gap
+        );
+    }
+
+    #[test]
+    fn planted_width_violation_found(shapes in arb_clean_grid(), w in 1i64..3) {
+        let mut all = shapes;
+        all.push(boxed(
+            Layer::Metal,
+            Rect::new(1_000_000, 1_000_000, 1_000_000 + 20 * LAMBDA, 1_000_000 + w * LAMBDA),
+        ));
+        let v = check(&all, &RuleSet::nmos());
+        let found = v
+            .iter()
+            .any(|x| matches!(x, Violation::Width { measured, .. } if *measured == w * LAMBDA));
+        prop_assert!(found, "planted width {} lambda not reported", w);
+    }
+
+    #[test]
+    fn check_is_deterministic(shapes in arb_clean_grid()) {
+        prop_assert_eq!(
+            check(&shapes, &RuleSet::nmos()),
+            check(&shapes, &RuleSet::nmos())
+        );
+    }
+
+    #[test]
+    fn touching_chains_never_flag(n in 2usize..8) {
+        // A long chain of touching boxes is one conductor.
+        let shapes: Vec<FlatShape> = (0..n as i64)
+            .map(|i| {
+                boxed(
+                    Layer::Metal,
+                    Rect::new(i * 3 * LAMBDA, 0, (i + 1) * 3 * LAMBDA, 3 * LAMBDA),
+                )
+            })
+            .collect();
+        prop_assert!(check(&shapes, &RuleSet::nmos()).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Extract and print the NAND gate's netlist, then simulate it — the
+//! "Sticks as input to simulation" path.
+//!
+//! Run with `cargo run -p riot-extract --example extract_netlist`.
+
+use riot_extract::sim::{simulate, Level};
+
+fn main() {
+    let nand = riot_cells::nand2();
+    let nl = riot_extract::extract(&nand).expect("nand2 extracts");
+    println!("nets:");
+    for (i, n) in nl.nets().iter().enumerate() {
+        println!("  net{i}: {:?}", n.pins);
+    }
+    println!("devices:");
+    for d in nl.devices() {
+        println!("  {d:?}");
+    }
+    println!("truth table:");
+    for (a, b) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+        let lv = |v| if v == 1 { Level::High } else { Level::Low };
+        let r = simulate(
+            &nl,
+            &[
+                ("PWRL", Level::High),
+                ("GNDL", Level::Low),
+                ("A", lv(a)),
+                ("B", lv(b)),
+            ],
+        )
+        .expect("simulates");
+        println!("  NAND({a}, {b}) = {}", r.pin("OUT"));
+    }
+}

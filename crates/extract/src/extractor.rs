@@ -1,0 +1,313 @@
+//! The extraction pass: Sticks elements to an electrical netlist.
+
+use crate::grid::PaintGrid;
+use crate::netlist::{ExtractError, ExtractedDevice, Net, NetId, Netlist};
+use riot_geom::{Layer, Point, Rect, Transform};
+use riot_sticks::{ContactKind, SticksCell};
+use std::collections::HashMap;
+
+/// The conducting layers extraction cares about.
+const LAYERS: [Layer; 3] = [Layer::Diffusion, Layer::Poly, Layer::Metal];
+
+/// Extracts the connectivity of a symbolic cell.
+///
+/// Wires, device bodies and contact landing pads become conductors;
+/// transistor channels cut the diffusion, so the two sides of a switch
+/// are distinct nets; contacts merge layers; pins and device terminals
+/// attach to the nets under them.
+///
+/// # Errors
+///
+/// [`ExtractError::InvalidCell`] when the cell fails validation,
+/// [`ExtractError::FloatingPin`] /
+/// [`ExtractError::FloatingDeviceTerminal`] for elements over empty
+/// space.
+pub fn extract(cell: &SticksCell) -> Result<Netlist, ExtractError> {
+    extract_with_probes(cell, &[])
+}
+
+/// Like [`extract`], with extra named **probe points** attached as
+/// pins: `(name, lambda position, layer)`. Probes reach internal nets
+/// (power rails of instances deep inside a flattened assembly) that the
+/// cell's own pins cannot name.
+///
+/// # Errors
+///
+/// As [`extract`]; a probe over empty space is a
+/// [`ExtractError::FloatingPin`] under its probe name.
+pub fn extract_with_probes(
+    cell: &SticksCell,
+    probes: &[(String, Point, Layer)],
+) -> Result<Netlist, ExtractError> {
+    cell.validate()
+        .map_err(|e| ExtractError::InvalidCell(e.to_string()))?;
+
+    let mut grids: HashMap<Layer, PaintGrid> =
+        LAYERS.iter().map(|&l| (l, PaintGrid::new())).collect();
+
+    // Wires.
+    for w in cell.wires() {
+        let Some(grid) = grids.get_mut(&w.layer) else {
+            continue; // implant/glass wires carry no signal
+        };
+        for (a, b) in w.path.segments() {
+            let base = Rect::new(4 * a.x, 4 * a.y, 4 * b.x, 4 * b.y);
+            grid.paint_rect_quarter(base.inflated(2 * w.width));
+        }
+    }
+
+    // Devices: gate poly, diffusion body, channel cut.
+    for d in cell.devices() {
+        let t = Transform::new(d.orient, d.position);
+        let gate = t.apply_rect(Rect::new(-1, -3, 1, 3));
+        let diff = t.apply_rect(Rect::new(-3, -1, 3, 1));
+        let channel = t.apply_rect(Rect::new(-1, -1, 1, 1));
+        grids
+            .get_mut(&Layer::Poly)
+            .expect("poly grid")
+            .paint_rect_lambda(gate);
+        let dgrid = grids.get_mut(&Layer::Diffusion).expect("diff grid");
+        dgrid.paint_rect_lambda(diff);
+        dgrid.block_rect_quarter(Rect::new(
+            4 * channel.x0,
+            4 * channel.y0,
+            4 * channel.x1,
+            4 * channel.y1,
+        ));
+    }
+
+    // Contacts: landing pads on both joined layers.
+    for c in cell.contacts() {
+        let pad = Rect::from_center(c.position, 4, 4);
+        let (a, b) = c.kind.layers();
+        for layer in [a, b] {
+            grids
+                .get_mut(&layer)
+                .expect("routable layer grid")
+                .paint_rect_lambda(pad);
+        }
+        let _ = matches!(c.kind, ContactKind::Buried);
+    }
+
+    // Per-layer components, then a union-find across layers.
+    let mut labels: HashMap<Layer, HashMap<(i64, i64), usize>> = HashMap::new();
+    let mut offsets: HashMap<Layer, usize> = HashMap::new();
+    let mut total = 0usize;
+    for &layer in &LAYERS {
+        let (label, count) = grids[&layer].components();
+        offsets.insert(layer, total);
+        total += count;
+        labels.insert(layer, label);
+    }
+    let mut uf = UnionFind::new(total);
+
+    let comp_at = |layer: Layer, p: Point| -> Option<usize> {
+        labels[&layer]
+            .get(&PaintGrid::anchor(p))
+            .map(|&c| offsets[&layer] + c)
+    };
+
+    for c in cell.contacts() {
+        let (a, b) = c.kind.layers();
+        if let (Some(x), Some(y)) = (comp_at(a, c.position), comp_at(b, c.position)) {
+            uf.union(x, y);
+        }
+    }
+
+    // Resolve nets.
+    let mut net_ids: HashMap<usize, usize> = HashMap::new();
+    let mut nets: Vec<Net> = Vec::new();
+    let mut net_of = |root: usize, nets: &mut Vec<Net>| -> NetId {
+        let next = nets.len();
+        let id = *net_ids.entry(root).or_insert_with(|| {
+            nets.push(Net::default());
+            next
+        });
+        NetId(id)
+    };
+
+    // Pins, then probe points.
+    let mut pin_results: Vec<(String, NetId)> = Vec::new();
+    for pin in cell.pins() {
+        let comp = comp_at(pin.layer, pin.position)
+            .ok_or_else(|| ExtractError::FloatingPin(pin.name.clone()))?;
+        let root = uf.find(comp);
+        let id = net_of(root, &mut nets);
+        pin_results.push((pin.name.clone(), id));
+    }
+    for (name, position, layer) in probes {
+        let comp = comp_at(*layer, *position)
+            .ok_or_else(|| ExtractError::FloatingPin(name.clone()))?;
+        let root = uf.find(comp);
+        let id = net_of(root, &mut nets);
+        pin_results.push((name.clone(), id));
+    }
+
+    // Device terminals.
+    let mut devices = Vec::new();
+    for (i, d) in cell.devices().iter().enumerate() {
+        let t = Transform::new(d.orient, d.position);
+        let gate_comp = comp_at(Layer::Poly, t.apply(Point::ORIGIN)).ok_or(
+            ExtractError::FloatingDeviceTerminal {
+                device: i,
+                terminal: "gate",
+            },
+        )?;
+        let source_comp = comp_at(Layer::Diffusion, t.apply(Point::new(-2, 0))).ok_or(
+            ExtractError::FloatingDeviceTerminal {
+                device: i,
+                terminal: "source",
+            },
+        )?;
+        let drain_comp = comp_at(Layer::Diffusion, t.apply(Point::new(2, 0))).ok_or(
+            ExtractError::FloatingDeviceTerminal {
+                device: i,
+                terminal: "drain",
+            },
+        )?;
+        let gate = net_of(uf.find(gate_comp), &mut nets);
+        let source = net_of(uf.find(source_comp), &mut nets);
+        let drain = net_of(uf.find(drain_comp), &mut nets);
+        devices.push(ExtractedDevice {
+            kind: d.kind,
+            gate,
+            source,
+            drain,
+        });
+    }
+
+    for (name, id) in pin_results {
+        nets[id.index()].pins.push(name);
+    }
+
+    Ok(Netlist { nets, devices })
+}
+
+/// Minimal union-find.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_geom::Side;
+    use riot_sticks::{parse, Pin, SymWire};
+
+    #[test]
+    fn straight_wire_joins_its_pins() {
+        let cell = parse(
+            "sticks w\nbbox 0 0 10 4\npin A left NM 0 2 3\npin B right NM 10 2 3\nwire NM 3 0 2 10 2\nend\n",
+        )
+        .unwrap();
+        let nl = extract(&cell).unwrap();
+        assert!(nl.connected("A", "B"));
+        assert_eq!(nl.net_count(), 1);
+    }
+
+    #[test]
+    fn different_layers_do_not_join_without_contact() {
+        let cell = parse(
+            "sticks x\nbbox 0 0 10 4\npin A left NM 0 2 3\npin B right NP 10 2 2\nwire NM 3 0 2 10 2\nwire NP 2 0 2 10 2\nend\n",
+        )
+        .unwrap();
+        let nl = extract(&cell).unwrap();
+        assert!(!nl.connected("A", "B"));
+        assert_eq!(nl.net_count(), 2);
+    }
+
+    #[test]
+    fn contact_joins_layers() {
+        let cell = parse(
+            "sticks x\nbbox 0 0 10 4\npin A left NM 0 2 3\npin B right NP 10 2 2\nwire NM 3 0 2 10 2\nwire NP 2 0 2 10 2\ncontact mp 5 2\nend\n",
+        )
+        .unwrap();
+        let nl = extract(&cell).unwrap();
+        assert!(nl.connected("A", "B"));
+    }
+
+    #[test]
+    fn channel_cuts_diffusion() {
+        // A diffusion wire through a transistor channel is two nets.
+        let cell = parse(
+            "sticks t\nbbox 0 0 20 10\npin S left ND 0 5 2\npin D right ND 20 5 2\nwire ND 2 0 5 20 5\nwire NP 2 10 0 10 5\npin G bottom NP 10 0 2\ndev enh 10 5\nend\n",
+        )
+        .unwrap();
+        let nl = extract(&cell).unwrap();
+        assert!(!nl.connected("S", "D"), "channel must cut the wire");
+        assert_eq!(nl.devices().len(), 1);
+        let d = nl.devices()[0];
+        assert_eq!(nl.net_of_pin("G"), Some(d.gate));
+        let s = nl.net_of_pin("S").unwrap();
+        let dd = nl.net_of_pin("D").unwrap();
+        assert!((d.source == s && d.drain == dd) || (d.source == dd && d.drain == s));
+    }
+
+    #[test]
+    fn floating_pin_detected() {
+        let mut cell = SticksCell::new("f", Rect::new(0, 0, 10, 10));
+        cell.push_pin(Pin {
+            name: "X".into(),
+            side: Side::Left,
+            layer: Layer::Metal,
+            position: Point::new(0, 5),
+            width: 3,
+        });
+        assert!(matches!(
+            extract(&cell),
+            Err(ExtractError::FloatingPin(name)) if name == "X"
+        ));
+    }
+
+    #[test]
+    fn crossing_wires_on_one_layer_connect() {
+        let mut cell = SticksCell::new("c", Rect::new(0, 0, 10, 10));
+        for pts in [[Point::new(0, 5), Point::new(10, 5)], [Point::new(5, 0), Point::new(5, 10)]] {
+            cell.push_wire(SymWire {
+                layer: Layer::Metal,
+                width: 3,
+                path: riot_geom::Path::from_points(pts).unwrap(),
+            });
+        }
+        cell.push_pin(Pin {
+            name: "A".into(),
+            side: Side::Left,
+            layer: Layer::Metal,
+            position: Point::new(0, 5),
+            width: 3,
+        });
+        cell.push_pin(Pin {
+            name: "B".into(),
+            side: Side::Top,
+            layer: Layer::Metal,
+            position: Point::new(5, 10),
+            width: 3,
+        });
+        let nl = extract(&cell).unwrap();
+        assert!(nl.connected("A", "B"));
+    }
+}

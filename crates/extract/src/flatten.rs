@@ -1,0 +1,242 @@
+//! Flattening an assembled composition cell into one symbolic cell, so
+//! the extractor and simulator can verify the *assembly* — that the
+//! abutments, routes and stretches Riot made really produce the
+//! intended circuit.
+
+use riot_core::{CellKind, LeafSource, Library};
+use riot_geom::{Path, Point, Rect, Transform, LAMBDA};
+use riot_sticks::{Contact, Device, Pin, SticksCell, SymWire};
+use std::fmt;
+
+/// Flattening failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlattenError {
+    /// The named cell is not in the library.
+    UnknownCell(String),
+    /// The target must be a composition cell.
+    NotComposition(String),
+    /// A leaf defined only as CIF mask geometry cannot join a symbolic
+    /// flatten (the paper's pads are like this).
+    CifLeaf(String),
+    /// An instance placement is off the lambda grid.
+    OffGrid {
+        /// The offending instance.
+        instance: String,
+        /// Its offset in centimicrons.
+        offset: Point,
+    },
+    /// The hierarchy is deeper than 64 levels (a cycle).
+    TooDeep,
+    /// A composition connector does not sit on the bounding box.
+    InteriorConnector(String),
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlattenError::UnknownCell(n) => write!(f, "no cell `{n}`"),
+            FlattenError::NotComposition(n) => write!(f, "cell `{n}` is not a composition"),
+            FlattenError::CifLeaf(n) => {
+                write!(f, "leaf `{n}` is CIF-only and cannot flatten symbolically")
+            }
+            FlattenError::OffGrid { instance, offset } => {
+                write!(f, "instance `{instance}` placed off-grid at {offset}")
+            }
+            FlattenError::TooDeep => f.write_str("hierarchy too deep (cycle?)"),
+            FlattenError::InteriorConnector(n) => {
+                write!(f, "connector `{n}` is interior; cannot become a pin")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// Flattens a finished composition cell into a single [`SticksCell`]:
+/// every symbolic element of every (transitively) instantiated Sticks
+/// leaf, transformed into the composition's lambda coordinates, with
+/// the composition's connectors as the pins.
+///
+/// # Errors
+///
+/// See [`FlattenError`] — notably [`FlattenError::CifLeaf`] when the
+/// assembly instantiates mask-only leaves (pads).
+pub fn flatten_to_sticks(lib: &Library, cell_name: &str) -> Result<SticksCell, FlattenError> {
+    let id = lib
+        .find(cell_name)
+        .ok_or_else(|| FlattenError::UnknownCell(cell_name.to_owned()))?;
+    let cell = lib.cell(id).map_err(|_| FlattenError::UnknownCell(cell_name.to_owned()))?;
+    if !cell.is_composition() {
+        return Err(FlattenError::NotComposition(cell_name.to_owned()));
+    }
+    let bbox_cm = cell.bbox;
+    let bbox = Rect::new(
+        div_lambda(bbox_cm.x0)?,
+        div_lambda(bbox_cm.y0)?,
+        div_lambda(bbox_cm.x1)?,
+        div_lambda(bbox_cm.y1)?,
+    );
+    let mut out = SticksCell::new(format!("{cell_name}_flat"), bbox);
+    walk(lib, id, Transform::IDENTITY, 0, &mut out)?;
+    for conn in &cell.connectors {
+        let position = Point::new(div_lambda(conn.location.x)?, div_lambda(conn.location.y)?);
+        let side = bbox
+            .side_of(position)
+            .ok_or_else(|| FlattenError::InteriorConnector(conn.name.clone()))?;
+        out.push_pin(Pin {
+            name: conn.name.clone(),
+            side,
+            layer: conn.layer,
+            position,
+            width: (conn.width / LAMBDA).max(1),
+        });
+    }
+    Ok(out)
+}
+
+fn div_lambda(v: i64) -> Result<i64, FlattenError> {
+    if v % LAMBDA != 0 {
+        return Err(FlattenError::OffGrid {
+            instance: "<coordinate>".into(),
+            offset: Point::new(v, 0),
+        });
+    }
+    Ok(v / LAMBDA)
+}
+
+fn walk(
+    lib: &Library,
+    id: riot_core::CellId,
+    outer: Transform, // in lambda units
+    depth: usize,
+    out: &mut SticksCell,
+) -> Result<(), FlattenError> {
+    if depth > 64 {
+        return Err(FlattenError::TooDeep);
+    }
+    let cell = lib.cell(id).map_err(|_| FlattenError::TooDeep)?;
+    match &cell.kind {
+        CellKind::Leaf(LeafSource::Sticks(sticks)) => {
+            emit(sticks, outer, out);
+            Ok(())
+        }
+        CellKind::Leaf(LeafSource::Cif { .. }) => Err(FlattenError::CifLeaf(cell.name.clone())),
+        CellKind::Composition(comp) => {
+            for (_, inst) in comp.instances() {
+                if inst.transform.offset.x % LAMBDA != 0 || inst.transform.offset.y % LAMBDA != 0 {
+                    return Err(FlattenError::OffGrid {
+                        instance: inst.name.clone(),
+                        offset: inst.transform.offset,
+                    });
+                }
+                for c in 0..inst.cols {
+                    for r in 0..inst.rows {
+                        let t_cm = inst.element_transform(c, r);
+                        let t_lambda = Transform::new(
+                            t_cm.orient,
+                            Point::new(div_lambda(t_cm.offset.x)?, div_lambda(t_cm.offset.y)?),
+                        );
+                        walk(lib, inst.cell, t_lambda.then(outer), depth + 1, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn emit(sticks: &SticksCell, t: Transform, out: &mut SticksCell) {
+    for w in sticks.wires() {
+        let pts: Vec<Point> = w.path.points().iter().map(|&p| t.apply(p)).collect();
+        out.push_wire(SymWire {
+            layer: w.layer,
+            width: w.width,
+            path: Path::from_points(pts).expect("Manhattan transform keeps Manhattan paths"),
+        });
+    }
+    for d in sticks.devices() {
+        out.push_device(Device {
+            kind: d.kind,
+            position: t.apply(d.position),
+            orient: d.orient.then(t.orient),
+        });
+    }
+    for c in sticks.contacts() {
+        out.push_contact(Contact {
+            kind: c.kind,
+            position: t.apply(c.position),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_core::{AbutOptions, Editor};
+    use riot_geom::LAMBDA;
+
+    #[test]
+    fn flattens_an_abutted_pair() {
+        let mut lib = Library::new();
+        let sr = lib.add_sticks_cell(riot_cells::shift_register()).unwrap();
+        let mut ed = Editor::open(&mut lib, "PAIR").unwrap();
+        let a = ed.create_instance(sr).unwrap();
+        let b = ed.create_instance(sr).unwrap();
+        ed.translate_instance(b, Point::new(60 * LAMBDA, 0)).unwrap();
+        ed.connect(b, "SI", a, "SO").unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        ed.finish().unwrap();
+        let flat = flatten_to_sticks(&lib, "PAIR").unwrap();
+        flat.validate().unwrap();
+        let one = riot_cells::shift_register();
+        assert_eq!(flat.wires().len(), 2 * one.wires().len());
+        assert_eq!(flat.devices().len(), 2 * one.devices().len());
+        // The serial chain is continuous across the abutment.
+        let nl = crate::extract(&flat).unwrap();
+        assert!(nl.connected("SI", "SO"));
+    }
+
+    #[test]
+    fn rejects_cif_leaves() {
+        let mut lib = Library::new();
+        lib.load_cif(&riot_cells::pads_cif()).unwrap();
+        let pad = lib.find("padin").unwrap();
+        let mut ed = Editor::open(&mut lib, "P").unwrap();
+        ed.create_instance(pad).unwrap();
+        ed.finish().unwrap();
+        assert!(matches!(
+            flatten_to_sticks(&lib, "P"),
+            Err(FlattenError::CifLeaf(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_and_leaf_targets() {
+        let mut lib = Library::new();
+        lib.add_sticks_cell(riot_cells::nand2()).unwrap();
+        assert!(matches!(
+            flatten_to_sticks(&lib, "nope"),
+            Err(FlattenError::UnknownCell(_))
+        ));
+        assert!(matches!(
+            flatten_to_sticks(&lib, "nand2"),
+            Err(FlattenError::NotComposition(_))
+        ));
+    }
+
+    #[test]
+    fn arrays_flatten_every_element() {
+        let mut lib = Library::new();
+        let sr = lib.add_sticks_cell(riot_cells::shift_register()).unwrap();
+        let mut ed = Editor::open(&mut lib, "ARR").unwrap();
+        let i = ed.create_instance(sr).unwrap();
+        ed.replicate_instance(i, 4, 1).unwrap();
+        ed.finish().unwrap();
+        let flat = flatten_to_sticks(&lib, "ARR").unwrap();
+        let one = riot_cells::shift_register();
+        assert_eq!(flat.devices().len(), 4 * one.devices().len());
+        // Chain continuity across all four elements.
+        let nl = crate::extract(&flat).unwrap();
+        assert!(nl.connected("SI[0,0]", "SO[3,0]"));
+    }
+}

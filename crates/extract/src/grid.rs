@@ -1,0 +1,155 @@
+//! The quarter-lambda paint grid and its flood fill.
+//!
+//! Sticks elements sit on the lambda grid with whole-lambda widths, so
+//! painted extents land on **half**-lambda boundaries. The grid stores
+//! points at **quarter**-lambda pitch: two shapes that genuinely touch
+//! share a painted point, while shapes half a lambda apart leave an
+//! unpainted row between them — adjacency in the flood fill then means
+//! real electrical contact, never mere proximity.
+
+use riot_geom::{Point, Rect};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A set of painted quarter-lambda points with component labelling.
+#[derive(Debug, Clone, Default)]
+pub struct PaintGrid {
+    points: HashSet<(i64, i64)>,
+    blocked: HashSet<(i64, i64)>,
+}
+
+impl PaintGrid {
+    /// An empty grid.
+    pub fn new() -> Self {
+        PaintGrid::default()
+    }
+
+    /// Paints a closed rectangle given in **quarter-lambda**
+    /// coordinates (multiply lambda by 4, half-lambda by 2). Every
+    /// integer point inside is painted, so unit-step adjacency in the
+    /// flood fill means the shapes genuinely overlap or touch.
+    pub fn paint_rect_quarter(&mut self, r: Rect) {
+        for x in r.x0..=r.x1 {
+            for y in r.y0..=r.y1 {
+                self.points.insert((x, y));
+            }
+        }
+    }
+
+    /// Paints a rectangle given in lambda coordinates.
+    pub fn paint_rect_lambda(&mut self, r: Rect) {
+        self.paint_rect_quarter(Rect::new(4 * r.x0, 4 * r.y0, 4 * r.x1, 4 * r.y1));
+    }
+
+    /// Blocks a quarter-lambda rectangle: the points stop conducting
+    /// (transistor channels cut the diffusion).
+    pub fn block_rect_quarter(&mut self, r: Rect) {
+        for x in r.x0..=r.x1 {
+            for y in r.y0..=r.y1 {
+                self.blocked.insert((x, y));
+            }
+        }
+    }
+
+    /// True when a quarter-lambda point is painted and conducting.
+    pub fn conducts(&self, p: (i64, i64)) -> bool {
+        self.points.contains(&p) && !self.blocked.contains(&p)
+    }
+
+    /// Number of conducting points.
+    pub fn conducting_count(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| !self.blocked.contains(*p))
+            .count()
+    }
+
+    /// Labels 4-connected conducting components; returns the
+    /// point→component map and the component count.
+    pub fn components(&self) -> (HashMap<(i64, i64), usize>, usize) {
+        let mut label: HashMap<(i64, i64), usize> = HashMap::new();
+        let mut next = 0usize;
+        for &start in &self.points {
+            if self.blocked.contains(&start) || label.contains_key(&start) {
+                continue;
+            }
+            let id = next;
+            next += 1;
+            let mut queue = VecDeque::from([start]);
+            label.insert(start, id);
+            while let Some((x, y)) = queue.pop_front() {
+                for n in [(x + 1, y), (x - 1, y), (x, y + 1), (x, y - 1)] {
+                    if self.conducts(n) && !label.contains_key(&n) {
+                        label.insert(n, id);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        (label, next)
+    }
+
+    /// The quarter-lambda point for a lambda-grid location.
+    pub fn anchor(p: Point) -> (i64, i64) {
+        (4 * p.x, 4 * p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paint_and_conduct() {
+        let mut g = PaintGrid::new();
+        g.paint_rect_lambda(Rect::new(0, 0, 2, 0));
+        assert!(g.conducts((0, 0)));
+        assert!(g.conducts((8, 0)));
+        assert!(!g.conducts((10, 0)));
+    }
+
+    #[test]
+    fn touching_rects_share_component() {
+        let mut g = PaintGrid::new();
+        g.paint_rect_lambda(Rect::new(0, 0, 2, 1));
+        g.paint_rect_lambda(Rect::new(2, 0, 4, 1)); // shares the x=2λ edge
+        let (label, count) = g.components();
+        assert_eq!(count, 1);
+        assert_eq!(label[&(0, 0)], label[&(16, 4)]);
+    }
+
+    #[test]
+    fn half_lambda_gap_is_two_components() {
+        // The regression behind the quarter grid: shapes 0.5λ apart
+        // (e.g. a rail edge at 23.5λ and a pad at 24λ) must NOT merge.
+        let mut g = PaintGrid::new();
+        g.paint_rect_quarter(Rect::new(0, 0, 20, 94)); // top edge at 23.5λ
+        g.paint_rect_quarter(Rect::new(0, 96, 20, 120)); // bottom at 24λ
+        let (_, count) = g.components();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn separated_rects_are_two_components() {
+        let mut g = PaintGrid::new();
+        g.paint_rect_lambda(Rect::new(0, 0, 1, 1));
+        g.paint_rect_lambda(Rect::new(3, 0, 4, 1));
+        let (_, count) = g.components();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn blocking_splits_a_wire() {
+        let mut g = PaintGrid::new();
+        g.paint_rect_lambda(Rect::new(0, 0, 10, 0));
+        g.block_rect_quarter(Rect::new(20, -2, 22, 2));
+        let (label, count) = g.components();
+        assert_eq!(count, 2);
+        assert_ne!(label[&(0, 0)], label[&(40, 0)]);
+        assert!(!g.conducts((20, 0)));
+    }
+
+    #[test]
+    fn anchor_scales_by_four() {
+        assert_eq!(PaintGrid::anchor(Point::new(3, 5)), (12, 20));
+    }
+}

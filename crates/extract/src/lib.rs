@@ -1,0 +1,49 @@
+//! Connectivity extraction and switch-level simulation for Sticks
+//! cells — the interface the paper mentions in passing: "Sticks, a
+//! symbolic layout format, … is also used as input to simulation."
+//!
+//! The paper's Caltech simulators are gone, so this crate provides the
+//! pipeline they sat behind:
+//!
+//! 1. **Extraction** ([`extract`]): paint every element of a
+//!    [`riot_sticks::SticksCell`] onto a half-lambda grid per layer,
+//!    cut transistor channels out of the diffusion, flood-fill the
+//!    conductors, join layers at contacts, and attach pins and device
+//!    terminals — producing a [`Netlist`].
+//! 2. **Simulation** ([`sim`]): a three-valued switch-level NMOS
+//!    evaluator over that netlist (enhancement devices switch on their
+//!    gate net; depletion loads always conduct; ground paths dominate
+//!    supply paths), good enough to verify that the generated gate
+//!    cells really compute NAND and NOR.
+//!
+//! # Example
+//!
+//! ```
+//! use riot_extract::{extract, sim::{simulate, Level}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nand = riot_cells::nand2();
+//! let netlist = extract(&nand)?;
+//! // A and B drive the same gate? No — distinct nets.
+//! assert_ne!(netlist.net_of_pin("A"), netlist.net_of_pin("B"));
+//! let out = simulate(
+//!     &netlist,
+//!     &[("PWRL", Level::High), ("GNDL", Level::Low), ("A", Level::High), ("B", Level::High)],
+//! )?;
+//! assert_eq!(out.pin("OUT"), Level::Low); // NAND(1,1) = 0
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extractor;
+pub mod flatten;
+pub mod grid;
+pub mod netlist;
+pub mod sim;
+
+pub use extractor::extract;
+pub use flatten::{flatten_to_sticks, FlattenError};
+pub use netlist::{ExtractError, ExtractedDevice, Net, NetId, Netlist};

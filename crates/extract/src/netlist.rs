@@ -1,0 +1,141 @@
+//! The extracted netlist: nets, pins and switch devices.
+
+use riot_sticks::DeviceKind;
+use std::fmt;
+
+/// Index of a net in its [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net{}", self.0)
+    }
+}
+
+/// One electrical net: a connected set of conductors with the pins
+/// attached to it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Net {
+    /// Names of the cell pins on this net.
+    pub pins: Vec<String>,
+}
+
+/// A transistor as the simulator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractedDevice {
+    /// Enhancement (switch) or depletion (always-on load).
+    pub kind: DeviceKind,
+    /// The net controlling the channel.
+    pub gate: NetId,
+    /// One channel terminal.
+    pub source: NetId,
+    /// The other channel terminal.
+    pub drain: NetId,
+}
+
+/// Extraction failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// A pin location has no conductor painted under it on its layer.
+    FloatingPin(String),
+    /// A device terminal sampled empty space (malformed cell).
+    FloatingDeviceTerminal {
+        /// Index of the device in the cell.
+        device: usize,
+        /// Which terminal: "gate", "source" or "drain".
+        terminal: &'static str,
+    },
+    /// The cell failed validation before extraction.
+    InvalidCell(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::FloatingPin(name) => {
+                write!(f, "pin `{name}` has no conductor under it")
+            }
+            ExtractError::FloatingDeviceTerminal { device, terminal } => {
+                write!(f, "device #{device} has a floating {terminal}")
+            }
+            ExtractError::InvalidCell(msg) => write!(f, "invalid cell: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// The extracted circuit of one cell.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Netlist {
+    pub(crate) nets: Vec<Net>,
+    pub(crate) devices: Vec<ExtractedDevice>,
+}
+
+impl Netlist {
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[ExtractedDevice] {
+        &self.devices
+    }
+
+    /// The net a named pin sits on.
+    pub fn net_of_pin(&self, pin: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.pins.iter().any(|p| p == pin))
+            .map(NetId)
+    }
+
+    /// True when two pins are on the same conductor (DC-connected
+    /// without passing through any transistor channel).
+    pub fn connected(&self, a: &str, b: &str) -> bool {
+        match (self.net_of_pin(a), self.net_of_pin(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_lookup() {
+        let nl = Netlist {
+            nets: vec![
+                Net {
+                    pins: vec!["A".into(), "B".into()],
+                },
+                Net {
+                    pins: vec!["C".into()],
+                },
+            ],
+            devices: vec![],
+        };
+        assert_eq!(nl.net_of_pin("A"), Some(NetId(0)));
+        assert_eq!(nl.net_of_pin("C"), Some(NetId(1)));
+        assert_eq!(nl.net_of_pin("Z"), None);
+        assert!(nl.connected("A", "B"));
+        assert!(!nl.connected("A", "C"));
+        assert!(!nl.connected("A", "Z"));
+    }
+}

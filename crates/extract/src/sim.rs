@@ -1,0 +1,270 @@
+//! A three-valued switch-level NMOS simulator over extracted netlists.
+//!
+//! The model of the era: enhancement transistors are switches closed
+//! when their gate is high; depletion transistors conduct always (the
+//! pull-up loads); a path to ground dominates a path to supply
+//! (ratioed NMOS logic). Gate values feed back, so evaluation iterates
+//! to a fixpoint — enough for the combinational cells Riot assembles.
+
+use crate::netlist::{NetId, Netlist};
+use riot_sticks::DeviceKind;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A three-valued signal level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Level {
+    /// Driven low (ground path).
+    Low,
+    /// Driven/pulled high.
+    High,
+    /// Not determined.
+    #[default]
+    Unknown,
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Level::Low => "0",
+            Level::High => "1",
+            Level::Unknown => "X",
+        })
+    }
+}
+
+/// Simulation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An assignment names a pin the netlist does not have.
+    UnknownPin(String),
+    /// Two assignments drive one net to different levels.
+    ConflictingDrivers {
+        /// The twice-driven net.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownPin(p) => write!(f, "no pin `{p}` in the netlist"),
+            SimError::ConflictingDrivers { net } => {
+                write!(f, "{net} driven to both levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A steady-state solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimResult<'a> {
+    netlist: &'a Netlist,
+    levels: Vec<Level>,
+}
+
+impl SimResult<'_> {
+    /// The level of a net.
+    pub fn net(&self, id: NetId) -> Level {
+        self.levels[id.index()]
+    }
+
+    /// The level at a named pin ([`Level::Unknown`] for unknown pins).
+    pub fn pin(&self, name: &str) -> Level {
+        self.netlist
+            .net_of_pin(name)
+            .map(|id| self.net(id))
+            .unwrap_or(Level::Unknown)
+    }
+
+    /// All net levels, indexed by net.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+}
+
+/// Solves the netlist with the given pin assignments (inputs **and**
+/// rails — name the power pins `High` and ground pins `Low`).
+///
+/// # Errors
+///
+/// [`SimError::UnknownPin`] / [`SimError::ConflictingDrivers`].
+pub fn simulate<'a>(
+    netlist: &'a Netlist,
+    assignments: &[(&str, Level)],
+) -> Result<SimResult<'a>, SimError> {
+    let n = netlist.net_count();
+    let mut fixed: Vec<Option<Level>> = vec![None; n];
+    for (pin, level) in assignments {
+        let id = netlist
+            .net_of_pin(pin)
+            .ok_or_else(|| SimError::UnknownPin((*pin).to_owned()))?;
+        match fixed[id.index()] {
+            Some(existing) if existing != *level => {
+                return Err(SimError::ConflictingDrivers { net: id })
+            }
+            _ => fixed[id.index()] = Some(*level),
+        }
+    }
+
+    let mut levels: Vec<Level> = fixed
+        .iter()
+        .map(|f| f.unwrap_or(Level::Unknown))
+        .collect();
+
+    // Iterate: channel conduction depends on gate levels, which depend
+    // on conduction. The netlist is finite, so n+1 rounds suffice for
+    // feed-forward logic; loop until stable with that bound.
+    for _ in 0..=n {
+        let reach_low = reach(netlist, &levels, &fixed, Level::Low);
+        let reach_high = reach(netlist, &levels, &fixed, Level::High);
+        let mut next = levels.clone();
+        for i in 0..n {
+            next[i] = match fixed[i] {
+                Some(l) => l,
+                None => {
+                    if reach_low[i] {
+                        Level::Low // ground paths dominate (ratioed NMOS)
+                    } else if reach_high[i] {
+                        Level::High
+                    } else {
+                        Level::Unknown
+                    }
+                }
+            };
+        }
+        if next == levels {
+            break;
+        }
+        levels = next;
+    }
+
+    Ok(SimResult { netlist, levels })
+}
+
+/// Nets reachable from any net fixed at `from` through conducting
+/// channels.
+fn reach(netlist: &Netlist, levels: &[Level], fixed: &[Option<Level>], from: Level) -> Vec<bool> {
+    let n = netlist.net_count();
+    let mut seen = vec![false; n];
+    let mut queue: VecDeque<usize> = (0..n)
+        .filter(|&i| fixed[i] == Some(from))
+        .collect();
+    for &i in &queue {
+        seen[i] = true;
+    }
+    while let Some(i) = queue.pop_front() {
+        // Externally-driven nets are sources, not conduits: a path may
+        // end at the supply rail but never continue through it into
+        // another gate's pull-up.
+        if fixed[i].is_some() && fixed[i] != Some(from) {
+            continue;
+        }
+        for d in netlist.devices() {
+            let conducting = match d.kind {
+                DeviceKind::Depletion => true,
+                DeviceKind::Enhancement => levels[d.gate.index()] == Level::High,
+            };
+            if !conducting {
+                continue;
+            }
+            let (s, t) = (d.source.index(), d.drain.index());
+            let other = if s == i {
+                t
+            } else if t == i {
+                s
+            } else {
+                continue;
+            };
+            if !seen[other] {
+                seen[other] = true;
+                queue.push_back(other);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::extract;
+
+    fn rails(extra: &[(&'static str, Level)]) -> Vec<(&'static str, Level)> {
+        let mut v = vec![
+            ("PWRL", Level::High),
+            ("GNDL", Level::Low),
+        ];
+        v.extend_from_slice(extra);
+        v
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        let nl = extract(&riot_cells::nand2()).unwrap();
+        for (a, b, expect) in [
+            (Level::Low, Level::Low, Level::High),
+            (Level::Low, Level::High, Level::High),
+            (Level::High, Level::Low, Level::High),
+            (Level::High, Level::High, Level::Low),
+        ] {
+            let r = simulate(&nl, &rails(&[("A", a), ("B", b)])).unwrap();
+            assert_eq!(r.pin("OUT"), expect, "NAND({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        // `or2` carries the paper's cell name; its NMOS topology is a
+        // NOR (parallel pull-downs) — see the cells crate docs.
+        let nl = extract(&riot_cells::or2()).unwrap();
+        for (a, b, expect) in [
+            (Level::Low, Level::Low, Level::High),
+            (Level::Low, Level::High, Level::Low),
+            (Level::High, Level::Low, Level::Low),
+            (Level::High, Level::High, Level::Low),
+        ] {
+            let r = simulate(&nl, &rails(&[("A", a), ("B", b)])).unwrap();
+            assert_eq!(r.pin("OUT"), expect, "NOR({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn unknown_inputs_leave_output_pulled_up_or_unknown() {
+        let nl = extract(&riot_cells::nand2()).unwrap();
+        // A=0 cuts the series chain regardless of B: OUT pulls high.
+        let r = simulate(&nl, &rails(&[("A", Level::Low)])).unwrap();
+        assert_eq!(r.pin("OUT"), Level::High);
+    }
+
+    #[test]
+    fn conflicting_rails_rejected() {
+        let nl = extract(&riot_cells::nand2()).unwrap();
+        // PWRL and PWRR share the rail net.
+        let err = simulate(
+            &nl,
+            &[("PWRL", Level::High), ("PWRR", Level::Low)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::ConflictingDrivers { .. }));
+    }
+
+    #[test]
+    fn unknown_pin_rejected() {
+        let nl = extract(&riot_cells::nand2()).unwrap();
+        assert!(matches!(
+            simulate(&nl, &[("NOPE", Level::High)]),
+            Err(SimError::UnknownPin(_))
+        ));
+    }
+
+    #[test]
+    fn rails_are_shared_nets() {
+        let nl = extract(&riot_cells::nand2()).unwrap();
+        assert!(nl.connected("PWRL", "PWRR"));
+        assert!(nl.connected("GNDL", "GNDR"));
+        assert!(!nl.connected("PWRL", "GNDL"));
+    }
+}

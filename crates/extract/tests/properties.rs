@@ -1,0 +1,120 @@
+//! Property tests for extraction: route cells always connect their
+//! ends, combs never short their fingers, and extraction is a pure
+//! function of the cell.
+
+use proptest::prelude::*;
+use riot_extract::extract;
+use riot_geom::{Layer, Side};
+use riot_route::{river_route, RouteProblem, Terminal};
+
+fn arb_route_problem() -> impl Strategy<Value = RouteProblem> {
+    prop::collection::vec((0i64..12, 0i64..12), 1..7).prop_map(|gaps| {
+        let (mut xb, mut xt) = (0i64, 0i64);
+        let mut bottom = Vec::new();
+        let mut top = Vec::new();
+        for (i, (gb, gt)) in gaps.iter().enumerate() {
+            xb += 7 + gb;
+            xt += 7 + gt;
+            bottom.push(Terminal::new(format!("n{i}"), xb, Layer::Metal, 3));
+            top.push(Terminal::new(format!("n{i}"), xt, Layer::Metal, 3));
+        }
+        RouteProblem::new(bottom, top)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn route_cells_connect_each_net_end_to_end(p in arb_route_problem()) {
+        let route = river_route(&p).expect("routable");
+        let cell = route.to_sticks_cell("rc");
+        let nl = extract(&cell).expect("extracts");
+        // Every bottom pin connects to its own top pin and to no other
+        // net's pins.
+        for (i, w) in route.wires().iter().enumerate() {
+            let bottom = w.name.clone();
+            let top = format!("{}'", w.name);
+            prop_assert!(
+                nl.connected(&bottom, &top),
+                "net {i} broken in the route cell"
+            );
+            for (j, other) in route.wires().iter().enumerate() {
+                if i != j {
+                    prop_assert!(
+                        !nl.connected(&bottom, &other.name),
+                        "nets {i} and {j} shorted"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comb_fingers_never_short(n in 1usize..8, pitch in 4i64..10) {
+        let comb = riot_cells::parametric::comb("c", Side::Left, n, pitch);
+        let nl = extract(&comb).expect("extracts");
+        prop_assert_eq!(nl.net_count(), n);
+        for i in 0..n {
+            for j in i + 1..n {
+                let (a, b) = (format!("P{i}"), format!("P{j}"));
+                prop_assert!(!nl.connected(&a, &b), "{} shorted to {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic(p in arb_route_problem()) {
+        let cell = river_route(&p).expect("routable").to_sticks_cell("rc");
+        let a = extract(&cell).expect("extracts");
+        let b = extract(&cell).expect("extracts");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stretching_preserves_connectivity(grow in prop::collection::vec(0i64..8, 2..6)) {
+        // Stretch a comb; fingers stay separate, pins stay attached.
+        let n = grow.len();
+        let comb = riot_cells::parametric::comb("c", Side::Left, n, 6);
+        let mut spec = riot_rest::StretchSpec::new(riot_rest::Axis::Y);
+        let mut cum = 0;
+        for (i, g) in grow.iter().enumerate() {
+            cum += g;
+            spec.push_target(format!("P{i}"), 6 * (i as i64 + 1) + cum);
+        }
+        let stretched = riot_rest::stretch(&comb, &spec).expect("feasible");
+        let before = extract(&comb).expect("extracts");
+        let after = extract(&stretched).expect("extracts");
+        prop_assert_eq!(before.net_count(), after.net_count());
+        for i in 0..n {
+            let pin = format!("P{i}");
+            prop_assert!(after.net_of_pin(&pin).is_some(), "pin {pin} floated");
+        }
+    }
+}
+
+#[test]
+fn filter_leaf_cells_all_extract() {
+    for cell in [
+        riot_cells::shift_register(),
+        riot_cells::nand2(),
+        riot_cells::or2(),
+    ] {
+        let nl = extract(&cell).unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+        assert!(nl.net_count() >= 3, "{}", cell.name());
+        // Rails must be continuous but never shorted together.
+        assert!(nl.connected("PWRL", "PWRR"), "{}", cell.name());
+        assert!(nl.connected("GNDL", "GNDR"), "{}", cell.name());
+        assert!(!nl.connected("PWRL", "GNDL"), "{}", cell.name());
+    }
+}
+
+#[test]
+fn shift_register_chain_is_one_net_per_stage() {
+    let sr = riot_cells::shift_register();
+    let nl = extract(&sr).unwrap();
+    // The serial chain runs straight through the stage in metal.
+    assert!(nl.connected("SI", "SO"));
+    // The tap hangs off the chain through the metal-poly contact.
+    assert!(nl.connected("SI", "TAP"));
+}

@@ -1,0 +1,182 @@
+//! Mask layers for the NMOS process Riot's cells were drawn in.
+//!
+//! Riot's connectors carry "the layer and width of the wire that makes
+//! that connection inside the cell", and its display colors connector
+//! crosses by layer. The cells of the era (Mead & Conway NMOS) use the
+//! seven CIF layers below.
+
+use std::fmt;
+
+/// An NMOS mask layer with its standard CIF short name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// `ND` — diffusion (green).
+    Diffusion,
+    /// `NP` — polysilicon (red).
+    Poly,
+    /// `NM` — metal (blue).
+    Metal,
+    /// `NC` — contact cut (black).
+    Contact,
+    /// `NI` — depletion-mode implant (yellow).
+    Implant,
+    /// `NB` — buried contact (brown).
+    Buried,
+    /// `NG` — overglass openings (gray).
+    Glass,
+}
+
+impl Layer {
+    /// All layers, in conventional mask order.
+    pub const ALL: [Layer; 7] = [
+        Layer::Diffusion,
+        Layer::Poly,
+        Layer::Metal,
+        Layer::Contact,
+        Layer::Implant,
+        Layer::Buried,
+        Layer::Glass,
+    ];
+
+    /// The layers wires may run on (and hence connectors may use).
+    pub const ROUTABLE: [Layer; 3] = [Layer::Diffusion, Layer::Poly, Layer::Metal];
+
+    /// The CIF `L` command short name for the layer.
+    pub fn cif_name(self) -> &'static str {
+        match self {
+            Layer::Diffusion => "ND",
+            Layer::Poly => "NP",
+            Layer::Metal => "NM",
+            Layer::Contact => "NC",
+            Layer::Implant => "NI",
+            Layer::Buried => "NB",
+            Layer::Glass => "NG",
+        }
+    }
+
+    /// Parses a CIF layer short name (case-insensitive).
+    pub fn from_cif_name(name: &str) -> Option<Layer> {
+        let up = name.to_ascii_uppercase();
+        Layer::ALL.into_iter().find(|l| l.cif_name() == up)
+    }
+
+    /// The conventional Mead & Conway display color as RGB.
+    pub fn color(self) -> (u8, u8, u8) {
+        match self {
+            Layer::Diffusion => (0, 160, 0),
+            Layer::Poly => (220, 0, 0),
+            Layer::Metal => (64, 64, 255),
+            Layer::Contact => (16, 16, 16),
+            Layer::Implant => (200, 180, 0),
+            Layer::Buried => (139, 90, 43),
+            Layer::Glass => (150, 150, 150),
+        }
+    }
+
+    /// Default minimum wire width on the layer, centimicrons
+    /// (Mead & Conway rules at lambda = 2.5 µm: 2λ for every wire, 3λ for
+    /// metal).
+    pub fn default_width(self) -> i64 {
+        use crate::units::LAMBDA;
+        match self {
+            Layer::Metal => 3 * LAMBDA,
+            _ => 2 * LAMBDA,
+        }
+    }
+
+    /// Minimum spacing to another wire on the same layer, centimicrons
+    /// (2λ diffusion/poly, 3λ metal).
+    pub fn min_spacing(self) -> i64 {
+        use crate::units::LAMBDA;
+        match self {
+            Layer::Metal => 3 * LAMBDA,
+            _ => 2 * LAMBDA,
+        }
+    }
+
+    /// True for layers a connector/wire may legally use.
+    pub fn is_routable(self) -> bool {
+        Layer::ROUTABLE.contains(&self)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cif_name())
+    }
+}
+
+impl std::str::FromStr for Layer {
+    type Err = ParseLayerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Layer::from_cif_name(s).ok_or_else(|| ParseLayerError {
+            found: s.to_owned(),
+        })
+    }
+}
+
+/// Error returned when parsing a [`Layer`] from its CIF name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayerError {
+    found: String,
+}
+
+impl fmt::Display for ParseLayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown CIF layer name `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParseLayerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cif_name_round_trip() {
+        for l in Layer::ALL {
+            assert_eq!(Layer::from_cif_name(l.cif_name()), Some(l));
+            assert_eq!(l.cif_name().parse::<Layer>().unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(Layer::from_cif_name("nm"), Some(Layer::Metal));
+        assert_eq!(Layer::from_cif_name("Nd"), Some(Layer::Diffusion));
+    }
+
+    #[test]
+    fn unknown_name() {
+        assert_eq!(Layer::from_cif_name("XX"), None);
+        assert!("XX".parse::<Layer>().is_err());
+    }
+
+    #[test]
+    fn routable_subset() {
+        assert!(Layer::Metal.is_routable());
+        assert!(Layer::Poly.is_routable());
+        assert!(Layer::Diffusion.is_routable());
+        assert!(!Layer::Contact.is_routable());
+        assert!(!Layer::Glass.is_routable());
+    }
+
+    #[test]
+    fn widths_positive() {
+        for l in Layer::ALL {
+            assert!(l.default_width() > 0);
+            assert!(l.min_spacing() > 0);
+        }
+        assert!(Layer::Metal.default_width() > Layer::Poly.default_width());
+    }
+
+    #[test]
+    fn colors_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for l in Layer::ALL {
+            assert!(seen.insert(l.color()), "duplicate color for {l}");
+        }
+    }
+}

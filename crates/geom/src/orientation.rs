@@ -1,0 +1,274 @@
+//! The eight Manhattan orientations (dihedral group D4).
+//!
+//! Riot lets the user rotate instances by multiples of 90 degrees and
+//! mirror them, so an instance orientation is one of the eight elements
+//! of D4. Orientations compose (instance-in-instance transforms) and
+//! invert (hit testing back into cell coordinates).
+
+use crate::point::Point;
+use std::fmt;
+
+/// One of the eight Manhattan orientations.
+///
+/// The mirrored variants mirror about the **y axis first** (negating x),
+/// then rotate counter-clockwise; e.g. [`Orientation::MX90`] is "mirror in
+/// x, then rotate 90°".
+///
+/// # Example
+///
+/// ```
+/// use riot_geom::{Orientation, Point};
+/// let p = Point::new(2, 1);
+/// assert_eq!(Orientation::R90.apply(p), Point::new(-1, 2));
+/// assert_eq!(Orientation::MX.apply(p), Point::new(-2, 1));
+/// let o = Orientation::R90.then(Orientation::R270);
+/// assert_eq!(o, Orientation::R0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// Rotate 90° counter-clockwise.
+    R90,
+    /// Rotate 180°.
+    R180,
+    /// Rotate 270° counter-clockwise.
+    R270,
+    /// Mirror about the y axis (x := -x).
+    MX,
+    /// Mirror about the y axis, then rotate 90° counter-clockwise.
+    MX90,
+    /// Mirror about the x axis (y := -y); equal to MX followed by R180.
+    MY,
+    /// Mirror about the x axis, then rotate 90° counter-clockwise.
+    MY90,
+}
+
+/// 2x2 signed-permutation matrix (row-major: `[a, b, c, d]` maps
+/// `(x, y)` to `(a x + b y, c x + d y)`).
+type Mat = [i8; 4];
+
+impl Orientation {
+    /// All eight orientations, identity first.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MX,
+        Orientation::MX90,
+        Orientation::MY,
+        Orientation::MY90,
+    ];
+
+    fn matrix(self) -> Mat {
+        match self {
+            Orientation::R0 => [1, 0, 0, 1],
+            Orientation::R90 => [0, -1, 1, 0],
+            Orientation::R180 => [-1, 0, 0, -1],
+            Orientation::R270 => [0, 1, -1, 0],
+            Orientation::MX => [-1, 0, 0, 1],
+            Orientation::MX90 => [0, -1, -1, 0],
+            Orientation::MY => [1, 0, 0, -1],
+            Orientation::MY90 => [0, 1, 1, 0],
+        }
+    }
+
+    fn from_matrix(m: Mat) -> Orientation {
+        for o in Orientation::ALL {
+            if o.matrix() == m {
+                return o;
+            }
+        }
+        unreachable!("matrix {m:?} is not a signed permutation from D4")
+    }
+
+    /// Applies the orientation to a point about the origin.
+    pub fn apply(self, p: Point) -> Point {
+        let [a, b, c, d] = self.matrix();
+        Point::new(
+            a as i64 * p.x + b as i64 * p.y,
+            c as i64 * p.x + d as i64 * p.y,
+        )
+    }
+
+    /// The orientation equivalent to applying `self` first, then `next`.
+    pub fn then(self, next: Orientation) -> Orientation {
+        let s = self.matrix();
+        let n = next.matrix();
+        // next * self, row-major multiply.
+        Orientation::from_matrix([
+            n[0] * s[0] + n[1] * s[2],
+            n[0] * s[1] + n[1] * s[3],
+            n[2] * s[0] + n[3] * s[2],
+            n[2] * s[1] + n[3] * s[3],
+        ])
+    }
+
+    /// The inverse orientation: `o.then(o.inverse()) == Orientation::R0`.
+    pub fn inverse(self) -> Orientation {
+        let [a, b, c, d] = self.matrix();
+        // Signed permutation matrices are orthogonal: inverse = transpose.
+        Orientation::from_matrix([a, c, b, d])
+    }
+
+    /// True for the four mirrored orientations.
+    pub fn is_mirrored(self) -> bool {
+        let [a, b, c, d] = self.matrix();
+        // Determinant -1 means a reflection.
+        a * d - b * c == -1
+    }
+
+    /// True when the orientation exchanges the x and y axes (so a cell's
+    /// width and height swap).
+    pub fn swaps_axes(self) -> bool {
+        self.matrix()[0] == 0
+    }
+
+    /// Rotate a further 90° counter-clockwise (the Riot `ROTATE` command).
+    pub fn rotated_ccw(self) -> Orientation {
+        self.then(Orientation::R90)
+    }
+
+    /// Mirror in x on top of the current orientation (the Riot `MIRROR`
+    /// command).
+    pub fn mirrored_x(self) -> Orientation {
+        self.then(Orientation::MX)
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::MX => "MX",
+            Orientation::MX90 => "MX90",
+            Orientation::MY => "MY",
+            Orientation::MY90 => "MY90",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Orientation {
+    type Err = ParseOrientationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "R0" => Ok(Orientation::R0),
+            "R90" => Ok(Orientation::R90),
+            "R180" => Ok(Orientation::R180),
+            "R270" => Ok(Orientation::R270),
+            "MX" => Ok(Orientation::MX),
+            "MX90" => Ok(Orientation::MX90),
+            "MY" => Ok(Orientation::MY),
+            "MY90" => Ok(Orientation::MY90),
+            _ => Err(ParseOrientationError {
+                found: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Error returned when parsing an [`Orientation`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOrientationError {
+    found: String,
+}
+
+impl fmt::Display for ParseOrientationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown orientation `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParseOrientationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_closure_and_identity() {
+        for a in Orientation::ALL {
+            assert_eq!(a.then(Orientation::R0), a);
+            assert_eq!(Orientation::R0.then(a), a);
+            for b in Orientation::ALL {
+                // then() must always land on one of the eight (no panic).
+                let _ = a.then(b);
+            }
+        }
+    }
+
+    #[test]
+    fn inverses() {
+        for o in Orientation::ALL {
+            assert_eq!(o.then(o.inverse()), Orientation::R0, "{o}");
+            assert_eq!(o.inverse().then(o), Orientation::R0, "{o}");
+        }
+    }
+
+    #[test]
+    fn rotation_cycle() {
+        let mut o = Orientation::R0;
+        for _ in 0..4 {
+            o = o.rotated_ccw();
+        }
+        assert_eq!(o, Orientation::R0);
+        assert_eq!(Orientation::R0.rotated_ccw(), Orientation::R90);
+    }
+
+    #[test]
+    fn mirror_involution() {
+        for o in Orientation::ALL {
+            assert_eq!(o.mirrored_x().mirrored_x(), o);
+        }
+    }
+
+    #[test]
+    fn apply_matches_composition() {
+        let p = Point::new(3, 5);
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                assert_eq!(a.then(b).apply(p), b.apply(a.apply(p)), "{a} then {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_detection() {
+        assert!(!Orientation::R90.is_mirrored());
+        assert!(Orientation::MX.is_mirrored());
+        assert!(Orientation::MY90.is_mirrored());
+        let mirrored: Vec<_> = Orientation::ALL.iter().filter(|o| o.is_mirrored()).collect();
+        assert_eq!(mirrored.len(), 4);
+    }
+
+    #[test]
+    fn axis_swap() {
+        assert!(Orientation::R90.swaps_axes());
+        assert!(Orientation::MY90.swaps_axes());
+        assert!(!Orientation::MX.swaps_axes());
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for o in Orientation::ALL {
+            let parsed: Orientation = o.to_string().parse().unwrap();
+            assert_eq!(parsed, o);
+        }
+        assert!("R45".parse::<Orientation>().is_err());
+    }
+
+    #[test]
+    fn my_equals_mx_r180() {
+        assert_eq!(
+            Orientation::MX.then(Orientation::R180),
+            Orientation::MY
+        );
+    }
+}

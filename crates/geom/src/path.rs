@@ -1,0 +1,249 @@
+//! Manhattan wire paths.
+
+use crate::point::{Coord, Point};
+use crate::rect::Rect;
+use std::fmt;
+
+/// A polyline wire centerline, as used by CIF `W` (wire) commands and by
+/// the river router's output.
+///
+/// Paths in this system are **Manhattan**: every segment is horizontal or
+/// vertical. [`Path::push`] enforces this.
+///
+/// # Example
+///
+/// ```
+/// use riot_geom::{Path, Point};
+/// let mut p = Path::new(Point::new(0, 0));
+/// p.push(Point::new(0, 50)).unwrap();
+/// p.push(Point::new(30, 50)).unwrap();
+/// assert_eq!(p.length(), 80);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    points: Vec<Point>,
+}
+
+impl Path {
+    /// Starts a path at `start`.
+    pub fn new(start: Point) -> Self {
+        Path {
+            points: vec![start],
+        }
+    }
+
+    /// Builds a path from a point list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError`] if the list is empty or any segment is
+    /// diagonal.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Result<Self, PathError> {
+        let mut it = points.into_iter();
+        let first = it.next().ok_or(PathError::Empty)?;
+        let mut path = Path::new(first);
+        for p in it {
+            path.push(p)?;
+        }
+        Ok(path)
+    }
+
+    /// Appends a vertex.
+    ///
+    /// Collinear repeats are merged; a repeated identical point is
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PathError::Diagonal`] if the new segment is neither
+    /// horizontal nor vertical.
+    pub fn push(&mut self, p: Point) -> Result<(), PathError> {
+        let last = *self.points.last().expect("path is never empty");
+        if p == last {
+            return Ok(());
+        }
+        if p.x != last.x && p.y != last.y {
+            return Err(PathError::Diagonal { from: last, to: p });
+        }
+        // Merge collinear continuation.
+        if self.points.len() >= 2 {
+            let prev = self.points[self.points.len() - 2];
+            let collinear = (prev.x == last.x && last.x == p.x && (p.y - last.y).signum() == (last.y - prev.y).signum())
+                || (prev.y == last.y && last.y == p.y && (p.x - last.x).signum() == (last.x - prev.x).signum());
+            if collinear {
+                *self.points.last_mut().expect("nonempty") = p;
+                return Ok(());
+            }
+        }
+        self.points.push(p);
+        Ok(())
+    }
+
+    /// The vertices, in order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// First vertex.
+    pub fn start(&self) -> Point {
+        self.points[0]
+    }
+
+    /// Last vertex.
+    pub fn end(&self) -> Point {
+        *self.points.last().expect("path is never empty")
+    }
+
+    /// Number of segments (vertices - 1).
+    pub fn segment_count(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Total Manhattan length of the centerline.
+    pub fn length(&self) -> Coord {
+        self.points
+            .windows(2)
+            .map(|w| w[0].manhattan(w[1]))
+            .sum()
+    }
+
+    /// Number of direction changes (corners).
+    pub fn corner_count(&self) -> usize {
+        self.segment_count().saturating_sub(1)
+    }
+
+    /// Bounding box of the centerline inflated by half the wire `width`
+    /// (the painted extent of a CIF wire, which has round/extended ends).
+    pub fn bounding_box(&self, width: Coord) -> Rect {
+        let mut bb = Rect::at_point(self.points[0]);
+        for &p in &self.points[1..] {
+            bb = bb.union_point(p);
+        }
+        bb.inflated(width / 2)
+    }
+
+    /// Iterates over the `(from, to)` segments of the path.
+    pub fn segments(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Returns the path with every vertex translated by `d`.
+    pub fn translated(&self, d: Point) -> Path {
+        Path {
+            points: self.points.iter().map(|&p| p + d).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error building a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// A path needs at least one vertex.
+    Empty,
+    /// The segment from `from` to `to` is diagonal.
+    Diagonal {
+        /// Segment start.
+        from: Point,
+        /// Offending segment end.
+        to: Point,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => f.write_str("path has no vertices"),
+            PathError::Diagonal { from, to } => {
+                write!(f, "diagonal path segment from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_diagonal() {
+        let mut p = Path::new(Point::new(0, 0));
+        assert!(matches!(
+            p.push(Point::new(5, 5)),
+            Err(PathError::Diagonal { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Path::from_points(Vec::new()), Err(PathError::Empty));
+    }
+
+    #[test]
+    fn merges_collinear() {
+        let p = Path::from_points([
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(20, 0),
+            Point::new(20, 5),
+        ])
+        .unwrap();
+        assert_eq!(p.points().len(), 3);
+        assert_eq!(p.length(), 25);
+        assert_eq!(p.corner_count(), 1);
+    }
+
+    #[test]
+    fn ignores_duplicate_point() {
+        let mut p = Path::new(Point::new(0, 0));
+        p.push(Point::new(0, 0)).unwrap();
+        p.push(Point::new(0, 7)).unwrap();
+        assert_eq!(p.segment_count(), 1);
+    }
+
+    #[test]
+    fn direction_reversal_not_merged() {
+        // Going right then back left is a reversal, not a collinear
+        // continuation; both vertices must be preserved.
+        let p = Path::from_points([Point::new(0, 0), Point::new(10, 0), Point::new(5, 0)]).unwrap();
+        assert_eq!(p.points().len(), 3);
+        assert_eq!(p.length(), 15);
+    }
+
+    #[test]
+    fn bounding_box_with_width() {
+        let p = Path::from_points([Point::new(0, 0), Point::new(0, 100)]).unwrap();
+        assert_eq!(p.bounding_box(40), Rect::new(-20, -20, 20, 120));
+    }
+
+    #[test]
+    fn translated_preserves_shape() {
+        let p = Path::from_points([Point::new(0, 0), Point::new(0, 10), Point::new(8, 10)]).unwrap();
+        let t = p.translated(Point::new(100, 200));
+        assert_eq!(t.length(), p.length());
+        assert_eq!(t.start(), Point::new(100, 200));
+        assert_eq!(t.end(), Point::new(108, 210));
+    }
+
+    #[test]
+    fn ends_and_counts() {
+        let p = Path::from_points([Point::new(1, 1), Point::new(1, 9), Point::new(5, 9)]).unwrap();
+        assert_eq!(p.start(), Point::new(1, 1));
+        assert_eq!(p.end(), Point::new(5, 9));
+        assert_eq!(p.segment_count(), 2);
+        assert_eq!(p.segments().count(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Integer points in centimicron coordinates.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// The coordinate scalar used throughout the workspace.
+///
+/// Coordinates are integers in CIF centimicrons (1/100 µm). `i64` gives a
+/// ±92 million metre range, far beyond any chip.
+pub type Coord = i64;
+
+/// A point (or displacement vector) on the layout plane.
+///
+/// # Example
+///
+/// ```
+/// use riot_geom::Point;
+/// let p = Point::new(3, 4) + Point::new(1, -1);
+/// assert_eq!(p, Point::new(4, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate, centimicrons.
+    pub x: Coord,
+    /// Vertical coordinate, centimicrons.
+    pub y: Coord,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Component-wise minimum of two points.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    ///
+    /// ```
+    /// use riot_geom::Point;
+    /// assert_eq!(Point::new(0, 0).manhattan(Point::new(3, -4)), 7);
+    /// ```
+    pub fn manhattan(self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Swaps the two coordinates, reflecting about the line `y = x`.
+    pub fn transposed(self) -> Point {
+        Point::new(self.y, self.x)
+    }
+
+    /// Returns this point translated by `(dx, dy)`.
+    pub fn translated(self, dx: Coord, dy: Coord) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Point {
+    fn add_assign(&mut self, rhs: Point) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Point {
+    fn sub_assign(&mut self, rhs: Point) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<Coord> for Point {
+    type Output = Point;
+    fn mul(self, rhs: Coord) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Point::new(2, 3);
+        let b = Point::new(-1, 5);
+        assert_eq!(a + b, Point::new(1, 8));
+        assert_eq!(a - b, Point::new(3, -2));
+        assert_eq!(-a, Point::new(-2, -3));
+        assert_eq!(a * 3, Point::new(6, 9));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut p = Point::new(1, 1);
+        p += Point::new(2, 3);
+        assert_eq!(p, Point::new(3, 4));
+        p -= Point::new(3, 4);
+        assert_eq!(p, Point::ORIGIN);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Point::new(1, 9);
+        let b = Point::new(4, 2);
+        assert_eq!(a.min(b), Point::new(1, 2));
+        assert_eq!(a.max(b), Point::new(4, 9));
+    }
+
+    #[test]
+    fn manhattan_symmetric() {
+        let a = Point::new(-3, 7);
+        let b = Point::new(10, -2);
+        assert_eq!(a.manhattan(b), b.manhattan(a));
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn transposed_involution() {
+        let p = Point::new(5, -8);
+        assert_eq!(p.transposed().transposed(), p);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Point::new(1, -2).to_string(), "(1, -2)");
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (7, 8).into();
+        assert_eq!(p, Point::new(7, 8));
+    }
+}

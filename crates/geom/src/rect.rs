@@ -1,0 +1,299 @@
+//! Axis-aligned rectangles.
+
+use crate::point::{Coord, Point};
+use crate::side::Side;
+use std::fmt;
+
+/// An axis-aligned rectangle, stored as its lower-left and upper-right
+/// corners. Every cell bounding box, connector cross extent and mask box
+/// in the system is a `Rect`.
+///
+/// A `Rect` is kept **normalized**: `x0 <= x1` and `y0 <= y1`. Degenerate
+/// (zero-width or zero-height) rectangles are allowed; they arise as the
+/// bounding boxes of single wires.
+///
+/// # Example
+///
+/// ```
+/// use riot_geom::Rect;
+/// let a = Rect::new(0, 0, 10, 10);
+/// let b = Rect::new(5, 5, 20, 8);
+/// assert_eq!(a.union(b), Rect::new(0, 0, 20, 10));
+/// assert_eq!(a.intersection(b), Some(Rect::new(5, 5, 10, 8)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: Coord,
+    /// Bottom edge.
+    pub y0: Coord,
+    /// Right edge.
+    pub x1: Coord,
+    /// Top edge.
+    pub y1: Coord,
+}
+
+impl Rect {
+    /// Creates a rectangle from any two opposite corners; the result is
+    /// normalized so ordering of the arguments does not matter.
+    pub fn new(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Creates a rectangle from two corner points.
+    pub fn from_points(a: Point, b: Point) -> Self {
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// Creates a rectangle from a CIF-style center, length (x extent) and
+    /// width (y extent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` or `width` is negative.
+    pub fn from_center(center: Point, length: Coord, width: Coord) -> Self {
+        assert!(length >= 0 && width >= 0, "negative box extent");
+        Rect::new(
+            center.x - length / 2,
+            center.y - width / 2,
+            center.x - length / 2 + length,
+            center.y - width / 2 + width,
+        )
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    pub fn at_point(p: Point) -> Self {
+        Rect::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// Width (x extent). Always non-negative.
+    pub fn width(&self) -> Coord {
+        self.x1 - self.x0
+    }
+
+    /// Height (y extent). Always non-negative.
+    pub fn height(&self) -> Coord {
+        self.y1 - self.y0
+    }
+
+    /// Area in square centimicrons.
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// The center point, rounded toward the lower-left on odd extents.
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Lower-left corner.
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.x0, self.y0)
+    }
+
+    /// Upper-right corner.
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.x1, self.y1)
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point) -> bool {
+        self.x0 <= p.x && p.x <= self.x1 && self.y0 <= p.y && p.y <= self.y1
+    }
+
+    /// True if `other` lies entirely inside or on the boundary of `self`.
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        self.x0 <= other.x0 && other.x1 <= self.x1 && self.y0 <= other.y0 && other.y1 <= self.y1
+    }
+
+    /// True if the two rectangles share any point (boundary contact counts).
+    pub fn touches(&self, other: Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// True if the two rectangles share interior area (boundary contact
+    /// does **not** count).
+    pub fn overlaps(&self, other: Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Extends the rectangle to cover `p`.
+    pub fn union_point(&self, p: Point) -> Rect {
+        self.union(Rect::at_point(p))
+    }
+
+    /// The overlap region, or `None` when the rectangles do not touch.
+    pub fn intersection(&self, other: Rect) -> Option<Rect> {
+        if !self.touches(other) {
+            return None;
+        }
+        Some(Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        })
+    }
+
+    /// Returns the rectangle translated by `d`.
+    pub fn translated(&self, d: Point) -> Rect {
+        Rect {
+            x0: self.x0 + d.x,
+            y0: self.y0 + d.y,
+            x1: self.x1 + d.x,
+            y1: self.y1 + d.y,
+        }
+    }
+
+    /// Returns the rectangle grown outward by `margin` on every side
+    /// (shrunk when negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the rectangle.
+    pub fn inflated(&self, margin: Coord) -> Rect {
+        assert!(
+            2 * margin >= -self.width() && 2 * margin >= -self.height(),
+            "margin {margin} inverts rectangle"
+        );
+        Rect {
+            x0: self.x0 - margin,
+            y0: self.y0 - margin,
+            x1: self.x1 + margin,
+            y1: self.y1 + margin,
+        }
+    }
+
+    /// The coordinate of one edge: `x` for left/right, `y` for bottom/top.
+    pub fn edge(&self, side: Side) -> Coord {
+        match side {
+            Side::Left => self.x0,
+            Side::Right => self.x1,
+            Side::Bottom => self.y0,
+            Side::Top => self.y1,
+        }
+    }
+
+    /// Which side of this rectangle the point sits on, if it lies exactly
+    /// on the boundary. Corners report the vertical side (left/right).
+    pub fn side_of(&self, p: Point) -> Option<Side> {
+        if !self.contains(p) {
+            return None;
+        }
+        if p.x == self.x0 {
+            Some(Side::Left)
+        } else if p.x == self.x1 {
+            Some(Side::Right)
+        } else if p.y == self.y0 {
+            Some(Side::Bottom)
+        } else if p.y == self.y1 {
+            Some(Side::Top)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}, {}..{}]", self.x0, self.x1, self.y0, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r, Rect::new(0, 5, 10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+    }
+
+    #[test]
+    fn from_center_even_and_odd() {
+        let r = Rect::from_center(Point::new(0, 0), 4, 2);
+        assert_eq!(r, Rect::new(-2, -1, 2, 1));
+        let r = Rect::from_center(Point::new(0, 0), 5, 3);
+        assert_eq!(r.width(), 5);
+        assert_eq!(r.height(), 3);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, -5, 15, 5);
+        assert_eq!(a.union(b), Rect::new(0, -5, 15, 10));
+        assert_eq!(a.intersection(b), Some(Rect::new(5, 0, 10, 5)));
+        let far = Rect::new(100, 100, 110, 110);
+        assert_eq!(a.intersection(far), None);
+    }
+
+    #[test]
+    fn touch_vs_overlap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10); // shares an edge
+        assert!(a.touches(b));
+        assert!(!a.overlaps(b));
+        let c = Rect::new(9, 0, 20, 10);
+        assert!(a.overlaps(c));
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert!(r.contains(Point::new(0, 10)));
+        assert!(r.contains(Point::new(5, 5)));
+        assert!(!r.contains(Point::new(-1, 5)));
+        assert!(r.contains_rect(Rect::new(0, 0, 10, 10)));
+        assert!(!r.contains_rect(Rect::new(0, 0, 11, 10)));
+    }
+
+    #[test]
+    fn sides() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert_eq!(r.side_of(Point::new(0, 5)), Some(Side::Left));
+        assert_eq!(r.side_of(Point::new(10, 5)), Some(Side::Right));
+        assert_eq!(r.side_of(Point::new(5, 0)), Some(Side::Bottom));
+        assert_eq!(r.side_of(Point::new(5, 10)), Some(Side::Top));
+        assert_eq!(r.side_of(Point::new(5, 5)), None);
+        assert_eq!(r.edge(Side::Top), 10);
+    }
+
+    #[test]
+    fn inflate() {
+        let r = Rect::new(0, 0, 10, 10).inflated(5);
+        assert_eq!(r, Rect::new(-5, -5, 15, 15));
+        assert_eq!(r.inflated(-5), Rect::new(0, 0, 10, 10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inflate_inversion_panics() {
+        let _ = Rect::new(0, 0, 4, 4).inflated(-3);
+    }
+
+    #[test]
+    fn area_large() {
+        // A 1 m x 1 m rectangle in centimicrons does not overflow.
+        let r = Rect::new(0, 0, 100_000_000, 100_000_000);
+        assert_eq!(r.area(), 10_000_000_000_000_000i128);
+    }
+}

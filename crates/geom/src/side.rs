@@ -1,0 +1,177 @@
+//! Sides of a bounding box, used to express *opposed* connectors.
+//!
+//! Riot "checks that the connectors to be joined are on the same layer
+//! and that they are opposed. That is, that they connect top to bottom or
+//! left to right."
+
+use crate::point::Point;
+use std::fmt;
+
+/// One side of a cell bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Side {
+    /// The left (x0) edge.
+    Left,
+    /// The right (x1) edge.
+    Right,
+    /// The bottom (y0) edge.
+    Bottom,
+    /// The top (y1) edge.
+    Top,
+}
+
+impl Side {
+    /// All four sides.
+    pub const ALL: [Side; 4] = [Side::Left, Side::Right, Side::Bottom, Side::Top];
+
+    /// The opposite side — the one a connector here may legally join.
+    ///
+    /// ```
+    /// use riot_geom::Side;
+    /// assert_eq!(Side::Left.opposite(), Side::Right);
+    /// assert_eq!(Side::Top.opposite(), Side::Bottom);
+    /// ```
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+            Side::Bottom => Side::Top,
+            Side::Top => Side::Bottom,
+        }
+    }
+
+    /// True when `other` is this side's opposite (i.e. connectors on the
+    /// two sides are *opposed* in Riot's sense).
+    pub fn opposes(self, other: Side) -> bool {
+        self.opposite() == other
+    }
+
+    /// True for [`Side::Left`] and [`Side::Right`].
+    pub fn is_vertical(self) -> bool {
+        matches!(self, Side::Left | Side::Right)
+    }
+
+    /// True for [`Side::Bottom`] and [`Side::Top`].
+    pub fn is_horizontal(self) -> bool {
+        !self.is_vertical()
+    }
+
+    /// Outward unit normal of the side.
+    pub fn normal(self) -> Point {
+        match self {
+            Side::Left => Point::new(-1, 0),
+            Side::Right => Point::new(1, 0),
+            Side::Bottom => Point::new(0, -1),
+            Side::Top => Point::new(0, 1),
+        }
+    }
+
+    /// The axis along which connectors on this side are ordered: `x`
+    /// for top/bottom edges, `y` for left/right edges. Returns the
+    /// relevant coordinate of `p`.
+    pub fn along(self, p: Point) -> i64 {
+        if self.is_vertical() {
+            p.y
+        } else {
+            p.x
+        }
+    }
+
+    /// The perpendicular coordinate of `p` (the one fixed on this side).
+    pub fn across(self, p: Point) -> i64 {
+        if self.is_vertical() {
+            p.x
+        } else {
+            p.y
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Side::Left => "left",
+            Side::Right => "right",
+            Side::Bottom => "bottom",
+            Side::Top => "top",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for Side {
+    type Err = ParseSideError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "left" | "l" => Ok(Side::Left),
+            "right" | "r" => Ok(Side::Right),
+            "bottom" | "b" => Ok(Side::Bottom),
+            "top" | "t" => Ok(Side::Top),
+            _ => Err(ParseSideError {
+                found: s.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Error returned when parsing a [`Side`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSideError {
+    found: String,
+}
+
+impl fmt::Display for ParseSideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown side `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParseSideError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_involution() {
+        for s in Side::ALL {
+            assert_eq!(s.opposite().opposite(), s);
+            assert!(s.opposes(s.opposite()));
+            assert!(!s.opposes(s));
+        }
+    }
+
+    #[test]
+    fn orientation_classes() {
+        assert!(Side::Left.is_vertical());
+        assert!(Side::Top.is_horizontal());
+        let verts = Side::ALL.iter().filter(|s| s.is_vertical()).count();
+        assert_eq!(verts, 2);
+    }
+
+    #[test]
+    fn normals_are_unit_outward() {
+        for s in Side::ALL {
+            let n = s.normal();
+            assert_eq!(n.x.abs() + n.y.abs(), 1);
+            assert_eq!(s.opposite().normal(), -n);
+        }
+    }
+
+    #[test]
+    fn along_across() {
+        let p = Point::new(3, 7);
+        assert_eq!(Side::Left.along(p), 7);
+        assert_eq!(Side::Left.across(p), 3);
+        assert_eq!(Side::Top.along(p), 3);
+        assert_eq!(Side::Top.across(p), 7);
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!("left".parse::<Side>().unwrap(), Side::Left);
+        assert_eq!("T".parse::<Side>().unwrap(), Side::Top);
+        assert!("middle".parse::<Side>().is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Rigid Manhattan transforms: an orientation followed by a translation.
+
+use crate::orientation::Orientation;
+use crate::point::Point;
+use crate::rect::Rect;
+use std::fmt;
+
+/// A rigid transform on the layout plane: rotate/mirror about the origin,
+/// then translate. This is exactly the CIF instance transform Riot stores
+/// with every instance.
+///
+/// Transforms compose with [`Transform::then`] and invert with
+/// [`Transform::inverse`], so a point can be mapped from a leaf cell's
+/// coordinates up through any instance chain and back.
+///
+/// # Example
+///
+/// ```
+/// use riot_geom::{Orientation, Point, Transform};
+/// let t = Transform::new(Orientation::R90, Point::new(100, 0));
+/// let p = t.apply(Point::new(10, 0));
+/// assert_eq!(p, Point::new(100, 10));
+/// assert_eq!(t.inverse().apply(p), Point::new(10, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transform {
+    /// Orientation applied about the origin before translating.
+    pub orient: Orientation,
+    /// Translation applied after the orientation.
+    pub offset: Point,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        orient: Orientation::R0,
+        offset: Point::ORIGIN,
+    };
+
+    /// Creates a transform from an orientation and a translation.
+    pub const fn new(orient: Orientation, offset: Point) -> Self {
+        Transform { orient, offset }
+    }
+
+    /// A pure translation.
+    pub const fn translate(offset: Point) -> Self {
+        Transform {
+            orient: Orientation::R0,
+            offset,
+        }
+    }
+
+    /// A pure orientation about the origin.
+    pub const fn orient(orient: Orientation) -> Self {
+        Transform {
+            orient,
+            offset: Point::ORIGIN,
+        }
+    }
+
+    /// Maps a point from cell coordinates to parent coordinates.
+    pub fn apply(&self, p: Point) -> Point {
+        self.orient.apply(p) + self.offset
+    }
+
+    /// Maps a rectangle (the image of an axis-aligned rectangle under a
+    /// Manhattan transform is axis-aligned).
+    pub fn apply_rect(&self, r: Rect) -> Rect {
+        Rect::from_points(self.apply(r.lower_left()), self.apply(r.upper_right()))
+    }
+
+    /// The transform equivalent to applying `self` first, then `next`.
+    pub fn then(&self, next: Transform) -> Transform {
+        Transform {
+            orient: self.orient.then(next.orient),
+            offset: next.orient.apply(self.offset) + next.offset,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(&self) -> Transform {
+        let inv = self.orient.inverse();
+        Transform {
+            orient: inv,
+            offset: -inv.apply(self.offset),
+        }
+    }
+
+    /// Returns this transform followed by an extra translation.
+    pub fn translated(&self, d: Point) -> Transform {
+        Transform {
+            orient: self.orient,
+            offset: self.offset + d,
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} T {}", self.orient, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> Vec<Point> {
+        vec![
+            Point::ORIGIN,
+            Point::new(1, 0),
+            Point::new(0, 1),
+            Point::new(-7, 13),
+            Point::new(250, -400),
+        ]
+    }
+
+    fn sample_transforms() -> Vec<Transform> {
+        let mut ts = Vec::new();
+        for o in Orientation::ALL {
+            for off in [Point::ORIGIN, Point::new(100, -50), Point::new(-3, 7)] {
+                ts.push(Transform::new(o, off));
+            }
+        }
+        ts
+    }
+
+    #[test]
+    fn identity() {
+        for p in sample_points() {
+            assert_eq!(Transform::IDENTITY.apply(p), p);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        for a in sample_transforms() {
+            for b in sample_transforms() {
+                for p in sample_points() {
+                    assert_eq!(a.then(b).apply(p), b.apply(a.apply(p)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for t in sample_transforms() {
+            for p in sample_points() {
+                assert_eq!(t.inverse().apply(t.apply(p)), p, "{t}");
+                assert_eq!(t.apply(t.inverse().apply(p)), p, "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn rect_mapping_normalized() {
+        let r = Rect::new(0, 0, 10, 4);
+        let t = Transform::new(Orientation::R90, Point::new(0, 0));
+        let m = t.apply_rect(r);
+        assert_eq!(m, Rect::new(-4, 0, 0, 10));
+        assert_eq!(m.width(), 4);
+        assert_eq!(m.height(), 10);
+    }
+
+    #[test]
+    fn translate_constructor() {
+        let t = Transform::translate(Point::new(5, 6));
+        assert_eq!(t.apply(Point::new(1, 1)), Point::new(6, 7));
+    }
+
+    #[test]
+    fn display() {
+        let t = Transform::new(Orientation::MX, Point::new(1, 2));
+        assert_eq!(t.to_string(), "MX T (1, 2)");
+    }
+}

@@ -1,0 +1,163 @@
+//! Layout units: CIF centimicrons and the symbolic lambda grid.
+//!
+//! CIF distances are hundredths of a micron. Symbolic (Sticks) layout is
+//! drawn on a lambda grid; this reproduction fixes lambda at 2.5 µm
+//! (250 centimicrons), the value used for Mead & Conway NMOS projects of
+//! Riot's era (MPC79/MPC580 ran at λ = 2.5 µm).
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Centimicrons per lambda (λ = 2.5 µm).
+pub const LAMBDA: i64 = 250;
+
+/// A distance in CIF centimicrons (newtype over [`i64`]).
+///
+/// ```
+/// use riot_geom::{CentiMicron, Lambda};
+/// let d: CentiMicron = Lambda(4).into();
+/// assert_eq!(d, CentiMicron(1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CentiMicron(pub i64);
+
+/// A distance in lambda grid units (newtype over [`i64`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Lambda(pub i64);
+
+impl CentiMicron {
+    /// The raw centimicron count.
+    pub fn value(self) -> i64 {
+        self.0
+    }
+
+    /// Converts to whole lambdas, truncating toward zero.
+    ///
+    /// Prefer keeping centimicrons; this is for display and for snapping
+    /// mask geometry back onto the symbolic grid.
+    pub fn to_lambda_floor(self) -> Lambda {
+        Lambda(self.0 / LAMBDA)
+    }
+
+    /// Distance in microns, as a float, for human-readable reports.
+    pub fn to_microns(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+}
+
+impl Lambda {
+    /// The raw lambda count.
+    pub fn value(self) -> i64 {
+        self.0
+    }
+
+    /// Converts to centimicrons exactly.
+    pub fn to_centimicrons(self) -> CentiMicron {
+        CentiMicron(self.0 * LAMBDA)
+    }
+}
+
+impl From<Lambda> for CentiMicron {
+    fn from(l: Lambda) -> Self {
+        l.to_centimicrons()
+    }
+}
+
+impl Add for CentiMicron {
+    type Output = CentiMicron;
+    fn add(self, rhs: Self) -> Self {
+        CentiMicron(self.0 + rhs.0)
+    }
+}
+
+impl Sub for CentiMicron {
+    type Output = CentiMicron;
+    fn sub(self, rhs: Self) -> Self {
+        CentiMicron(self.0 - rhs.0)
+    }
+}
+
+impl Neg for CentiMicron {
+    type Output = CentiMicron;
+    fn neg(self) -> Self {
+        CentiMicron(-self.0)
+    }
+}
+
+impl Mul<i64> for CentiMicron {
+    type Output = CentiMicron;
+    fn mul(self, rhs: i64) -> Self {
+        CentiMicron(self.0 * rhs)
+    }
+}
+
+impl Add for Lambda {
+    type Output = Lambda;
+    fn add(self, rhs: Self) -> Self {
+        Lambda(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Lambda {
+    type Output = Lambda;
+    fn sub(self, rhs: Self) -> Self {
+        Lambda(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Lambda {
+    type Output = Lambda;
+    fn neg(self) -> Self {
+        Lambda(-self.0)
+    }
+}
+
+impl Mul<i64> for Lambda {
+    type Output = Lambda;
+    fn mul(self, rhs: i64) -> Self {
+        Lambda(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for CentiMicron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cµ", self.0)
+    }
+}
+
+impl fmt::Display for Lambda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}λ", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_conversion_exact() {
+        assert_eq!(Lambda(2).to_centimicrons(), CentiMicron(500));
+        assert_eq!(CentiMicron(500).to_lambda_floor(), Lambda(2));
+        assert_eq!(CentiMicron(501).to_lambda_floor(), Lambda(2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Lambda(2) + Lambda(3), Lambda(5));
+        assert_eq!(CentiMicron(100) - CentiMicron(30), CentiMicron(70));
+        assert_eq!(Lambda(2) * 4, Lambda(8));
+        assert_eq!(-CentiMicron(5), CentiMicron(-5));
+    }
+
+    #[test]
+    fn microns() {
+        assert_eq!(CentiMicron(250).to_microns(), 2.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Lambda(3).to_string(), "3λ");
+        assert_eq!(CentiMicron(250).to_string(), "250cµ");
+    }
+}

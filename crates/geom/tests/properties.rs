@@ -1,0 +1,101 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use riot_geom::{Orientation, Path, Point, Rect, Transform};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1_000_000i64..1_000_000, -1_000_000i64..1_000_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_points(a, b))
+}
+
+fn arb_orientation() -> impl Strategy<Value = Orientation> {
+    prop::sample::select(Orientation::ALL.to_vec())
+}
+
+fn arb_transform() -> impl Strategy<Value = Transform> {
+    (arb_orientation(), arb_point()).prop_map(|(o, p)| Transform::new(o, p))
+}
+
+proptest! {
+    #[test]
+    fn rect_union_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        prop_assert!(u.contains_rect(a));
+        prop_assert!(u.contains_rect(b));
+    }
+
+    #[test]
+    fn rect_intersection_inside_both(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(b) {
+            prop_assert!(a.contains_rect(i));
+            prop_assert!(b.contains_rect(i));
+        } else {
+            prop_assert!(!a.touches(b));
+        }
+    }
+
+    #[test]
+    fn rect_area_nonnegative(r in arb_rect()) {
+        prop_assert!(r.area() >= 0);
+        prop_assert!(r.width() >= 0);
+        prop_assert!(r.height() >= 0);
+    }
+
+    #[test]
+    fn orientation_apply_preserves_manhattan(
+        o in arb_orientation(), a in arb_point(), b in arb_point()
+    ) {
+        prop_assert_eq!(o.apply(a).manhattan(o.apply(b)), a.manhattan(b));
+    }
+
+    #[test]
+    fn transform_inverse_round_trips(t in arb_transform(), p in arb_point()) {
+        prop_assert_eq!(t.inverse().apply(t.apply(p)), p);
+    }
+
+    #[test]
+    fn transform_composition_associative(
+        a in arb_transform(), b in arb_transform(), c in arb_transform(), p in arb_point()
+    ) {
+        let left = a.then(b).then(c);
+        let right = a.then(b.then(c));
+        prop_assert_eq!(left.apply(p), right.apply(p));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn transform_rect_preserves_dims_up_to_swap(t in arb_transform(), r in arb_rect()) {
+        let m = t.apply_rect(r);
+        if t.orient.swaps_axes() {
+            prop_assert_eq!(m.width(), r.height());
+            prop_assert_eq!(m.height(), r.width());
+        } else {
+            prop_assert_eq!(m.width(), r.width());
+            prop_assert_eq!(m.height(), r.height());
+        }
+    }
+
+    #[test]
+    fn path_length_invariant_under_translation(
+        pts in prop::collection::vec(arb_point(), 1..8), d in arb_point()
+    ) {
+        // Rectify into a Manhattan path by staircasing between the points.
+        let mut path = Path::new(pts[0]);
+        for &p in &pts[1..] {
+            let corner = Point::new(p.x, path.end().y);
+            path.push(corner).unwrap();
+            path.push(p).unwrap();
+        }
+        let moved = path.translated(d);
+        prop_assert_eq!(moved.length(), path.length());
+        prop_assert_eq!(moved.segment_count(), path.segment_count());
+    }
+}

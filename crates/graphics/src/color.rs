@@ -1,0 +1,95 @@
+//! RGB colors and layer color lookup.
+
+use riot_geom::Layer;
+use std::fmt;
+
+/// An 8-bit RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Color {
+    /// Red component.
+    pub r: u8,
+    /// Green component.
+    pub g: u8,
+    /// Blue component.
+    pub b: u8,
+}
+
+impl Color {
+    /// Black.
+    pub const BLACK: Color = Color { r: 0, g: 0, b: 0 };
+    /// White.
+    pub const WHITE: Color = Color {
+        r: 255,
+        g: 255,
+        b: 255,
+    };
+
+    /// Creates a color from components.
+    pub const fn new(r: u8, g: u8, b: u8) -> Self {
+        Color { r, g, b }
+    }
+
+    /// The conventional display color of a mask layer.
+    pub fn of_layer(layer: Layer) -> Color {
+        let (r, g, b) = layer.color();
+        Color { r, g, b }
+    }
+
+    /// Squared Euclidean distance to another color (for palette
+    /// quantization).
+    pub fn distance2(self, other: Color) -> u32 {
+        let dr = self.r as i32 - other.r as i32;
+        let dg = self.g as i32 - other.g as i32;
+        let db = self.b as i32 - other.b as i32;
+        (dr * dr + dg * dg + db * db) as u32
+    }
+
+    /// The nearest color in `palette`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the palette is empty.
+    pub fn quantize(self, palette: &[Color]) -> Color {
+        *palette
+            .iter()
+            .min_by_key(|c| self.distance2(**c))
+            .expect("palette must not be empty")
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_colors_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for l in Layer::ALL {
+            assert!(seen.insert(Color::of_layer(l)));
+        }
+    }
+
+    #[test]
+    fn quantize_picks_nearest() {
+        let palette = [Color::BLACK, Color::WHITE, Color::new(255, 0, 0)];
+        assert_eq!(Color::new(250, 10, 10).quantize(&palette), Color::new(255, 0, 0));
+        assert_eq!(Color::new(10, 10, 10).quantize(&palette), Color::BLACK);
+    }
+
+    #[test]
+    fn distance_zero_to_self() {
+        let c = Color::new(12, 200, 3);
+        assert_eq!(c.distance2(c), 0);
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(Color::new(255, 0, 16).to_string(), "#ff0010");
+    }
+}

@@ -1,0 +1,179 @@
+//! Models of the two workstation display devices.
+//!
+//! Figure 1 of the paper shows the two configurations: the "Charles"
+//! color terminal ("a high resolution color raster display device")
+//! driven with an HP 7221A plotter and Xerox mouse, and the low-cost
+//! DEC GIGI terminal with a Summagraphics BitPad. The real hardware is
+//! modeled as a resolution + palette; rendering to a device quantizes
+//! colors to its palette exactly like the terminals did.
+
+use crate::color::Color;
+use crate::display_list::DisplayList;
+use crate::framebuffer::Framebuffer;
+use crate::viewport::Viewport;
+
+/// A display device: a resolution and a fixed palette.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    name: &'static str,
+    width: usize,
+    height: usize,
+    palette: Vec<Color>,
+}
+
+impl Device {
+    /// Device name as the paper gives it.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Horizontal resolution.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Vertical resolution.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The fixed hardware palette.
+    pub fn palette(&self) -> &[Color] {
+        &self.palette
+    }
+
+    /// A fresh framebuffer at the device's resolution.
+    pub fn framebuffer(&self) -> Framebuffer {
+        Framebuffer::new(self.width, self.height)
+    }
+
+    /// Renders a display list at the device's resolution with its
+    /// palette, fitting the whole list on screen.
+    pub fn render(&self, list: &DisplayList) -> Framebuffer {
+        let mut fb = self.framebuffer();
+        if let Some(bb) = list.bounding_box() {
+            let vp = Viewport::fit(bb, self.width, self.height);
+            let quantized: DisplayList = list
+                .ops()
+                .iter()
+                .cloned()
+                .map(|op| self.quantize_op(op))
+                .collect();
+            quantized.render(&vp, &mut fb);
+        }
+        fb
+    }
+
+    fn quantize_op(&self, op: crate::display_list::DrawOp) -> crate::display_list::DrawOp {
+        use crate::display_list::DrawOp::*;
+        match op {
+            Line { from, to, color } => Line {
+                from,
+                to,
+                color: color.quantize(&self.palette),
+            },
+            Rect { rect, color } => Rect {
+                rect,
+                color: color.quantize(&self.palette),
+            },
+            FillRect { rect, color } => FillRect {
+                rect,
+                color: color.quantize(&self.palette),
+            },
+            Cross { center, arm, color } => Cross {
+                center,
+                arm,
+                color: color.quantize(&self.palette),
+            },
+            Text { at, text, color } => Text {
+                at,
+                text,
+                color: color.quantize(&self.palette),
+            },
+        }
+    }
+}
+
+/// The full-color palette shared by both devices' basic colors.
+fn base_palette() -> Vec<Color> {
+    vec![
+        Color::BLACK,
+        Color::new(220, 0, 0),    // red (poly)
+        Color::new(0, 160, 0),    // green (diffusion)
+        Color::new(64, 64, 255),  // blue (metal)
+        Color::new(200, 180, 0),  // yellow (implant)
+        Color::new(0, 200, 200),  // cyan
+        Color::new(200, 0, 200),  // magenta
+        Color::WHITE,
+    ]
+}
+
+/// The "Charles" color terminal: high-resolution raster, 16 colors.
+pub fn charles() -> Device {
+    let mut palette = base_palette();
+    // Half-intensity second bank, as raster terminals of the era had.
+    let dims: Vec<Color> = palette
+        .iter()
+        .map(|c| Color::new(c.r / 2, c.g / 2, c.b / 2))
+        .collect();
+    palette.extend(dims);
+    Device {
+        name: "Charles",
+        width: 512,
+        height: 480,
+        palette,
+    }
+}
+
+/// The DEC GIGI terminal: lower resolution, 8 simultaneous colors.
+pub fn gigi() -> Device {
+    Device {
+        name: "GIGI",
+        width: 768,
+        height: 240,
+        palette: base_palette(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display_list::DrawOp;
+    use riot_geom::Rect;
+
+    #[test]
+    fn device_specs() {
+        let c = charles();
+        assert_eq!(c.name(), "Charles");
+        assert_eq!((c.width(), c.height()), (512, 480));
+        assert_eq!(c.palette().len(), 16);
+        let g = gigi();
+        assert_eq!(g.name(), "GIGI");
+        assert_eq!(g.palette().len(), 8);
+        assert!(g.width() > g.height());
+    }
+
+    #[test]
+    fn render_quantizes_to_palette() {
+        let mut list = DisplayList::new();
+        list.push(DrawOp::FillRect {
+            rect: Rect::new(0, 0, 1000, 1000),
+            color: Color::new(70, 60, 250), // near metal blue
+        });
+        let fb = gigi().render(&list);
+        assert!(fb.lit_pixels() > 0);
+        // Every lit pixel is a palette color.
+        for y in 0..fb.height() as i64 {
+            for x in 0..fb.width() as i64 {
+                let c = fb.get(x, y).unwrap();
+                assert!(gigi().palette().contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_list_renders_black() {
+        let fb = charles().render(&DisplayList::new());
+        assert_eq!(fb.lit_pixels(), 0);
+    }
+}

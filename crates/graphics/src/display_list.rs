@@ -1,0 +1,211 @@
+//! Resolution-independent draw operations in layout coordinates.
+
+use crate::color::Color;
+use crate::framebuffer::Framebuffer;
+use crate::viewport::Viewport;
+use riot_geom::{Point, Rect};
+
+/// One drawing operation in world (centimicron) coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrawOp {
+    /// A straight line between world points.
+    Line {
+        /// Start point.
+        from: Point,
+        /// End point.
+        to: Point,
+        /// Stroke color.
+        color: Color,
+    },
+    /// A rectangle outline.
+    Rect {
+        /// The rectangle.
+        rect: Rect,
+        /// Stroke color.
+        color: Color,
+    },
+    /// A filled rectangle.
+    FillRect {
+        /// The rectangle.
+        rect: Rect,
+        /// Fill color.
+        color: Color,
+    },
+    /// A connector cross; `arm` is the world half-arm length (scaled
+    /// with the connector's wire width).
+    Cross {
+        /// Cross center.
+        center: Point,
+        /// Half-arm length in world units.
+        arm: i64,
+        /// Stroke color.
+        color: Color,
+    },
+    /// A text label anchored at its lower-left corner. Text renders at
+    /// fixed pixel size (labels stay readable at any zoom).
+    Text {
+        /// Lower-left anchor in world coordinates.
+        at: Point,
+        /// The label.
+        text: String,
+        /// Text color.
+        color: Color,
+    },
+}
+
+/// An ordered list of draw operations — Riot's per-screen display list,
+/// rebuilt on every edit and rendered to whichever device is attached.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DisplayList {
+    ops: Vec<DrawOp>,
+}
+
+impl DisplayList {
+    /// Creates an empty display list.
+    pub fn new() -> Self {
+        DisplayList::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, op: DrawOp) {
+        self.ops.push(op);
+    }
+
+    /// The operations, in draw order.
+    pub fn ops(&self) -> &[DrawOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// World bounding box of everything drawn (text extends are
+    /// approximated by their anchor points).
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut bb: Option<Rect> = None;
+        let mut grow = |r: Rect| {
+            bb = Some(match bb {
+                Some(acc) => acc.union(r),
+                None => r,
+            });
+        };
+        for op in &self.ops {
+            match op {
+                DrawOp::Line { from, to, .. } => grow(Rect::from_points(*from, *to)),
+                DrawOp::Rect { rect, .. } | DrawOp::FillRect { rect, .. } => grow(*rect),
+                DrawOp::Cross { center, arm, .. } => {
+                    grow(Rect::from_center(*center, 2 * arm, 2 * arm))
+                }
+                DrawOp::Text { at, .. } => grow(Rect::at_point(*at)),
+            }
+        }
+        bb
+    }
+
+    /// Renders into a framebuffer through a viewport.
+    pub fn render(&self, viewport: &Viewport, fb: &mut Framebuffer) {
+        for op in &self.ops {
+            match op {
+                DrawOp::Line { from, to, color } => {
+                    let (x0, y0) = viewport.to_screen(*from);
+                    let (x1, y1) = viewport.to_screen(*to);
+                    fb.draw_line(x0, y0, x1, y1, *color);
+                }
+                DrawOp::Rect { rect, color } => {
+                    let (x0, y0) = viewport.to_screen(rect.lower_left());
+                    let (x1, y1) = viewport.to_screen(rect.upper_right());
+                    fb.draw_rect(x0, y0, x1, y1, *color);
+                }
+                DrawOp::FillRect { rect, color } => {
+                    let (x0, y0) = viewport.to_screen(rect.lower_left());
+                    let (x1, y1) = viewport.to_screen(rect.upper_right());
+                    fb.fill_rect(x0, y0, x1, y1, *color);
+                }
+                DrawOp::Cross { center, arm, color } => {
+                    let (x, y) = viewport.to_screen(*center);
+                    let a = viewport.scale_length(*arm).max(2);
+                    fb.draw_cross(x, y, a, *color);
+                }
+                DrawOp::Text { at, text, color } => {
+                    let (x, y) = viewport.to_screen(*at);
+                    fb.draw_text(x, y, text, *color);
+                }
+            }
+        }
+    }
+}
+
+impl Extend<DrawOp> for DisplayList {
+    fn extend<T: IntoIterator<Item = DrawOp>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+impl FromIterator<DrawOp> for DisplayList {
+    fn from_iter<T: IntoIterator<Item = DrawOp>>(iter: T) -> Self {
+        DisplayList {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DisplayList {
+        let mut dl = DisplayList::new();
+        dl.push(DrawOp::Rect {
+            rect: Rect::new(0, 0, 1000, 500),
+            color: Color::WHITE,
+        });
+        dl.push(DrawOp::Cross {
+            center: Point::new(500, 250),
+            arm: 100,
+            color: Color::new(255, 0, 0),
+        });
+        dl.push(DrawOp::Text {
+            at: Point::new(10, 10),
+            text: "CELL".into(),
+            color: Color::WHITE,
+        });
+        dl
+    }
+
+    #[test]
+    fn bounding_box_covers_ops() {
+        let dl = sample();
+        let bb = dl.bounding_box().unwrap();
+        assert!(bb.contains_rect(Rect::new(0, 0, 1000, 500)));
+        assert!(bb.contains(Point::new(600, 350)));
+    }
+
+    #[test]
+    fn render_lights_pixels() {
+        let dl = sample();
+        let vp = Viewport::fit(dl.bounding_box().unwrap(), 128, 128);
+        let mut fb = Framebuffer::new(128, 128);
+        dl.render(&vp, &mut fb);
+        assert!(fb.lit_pixels() > 100);
+    }
+
+    #[test]
+    fn empty_list() {
+        let dl = DisplayList::new();
+        assert!(dl.is_empty());
+        assert_eq!(dl.bounding_box(), None);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let dl: DisplayList = sample().ops().to_vec().into_iter().collect();
+        assert_eq!(dl.len(), 3);
+    }
+}

@@ -1,0 +1,159 @@
+//! HP 7221A pen-plotter emulation.
+//!
+//! The Charles workstation drove a "Hewlett-Packard 7221A four-color pen
+//! plotter" for hardcopy. This backend walks a display list and emits an
+//! HPGL-like pen command stream (`SP` select pen, `PU` pen up move,
+//! `PD` pen down move), mapping colors to the nearest of the four pens.
+//! Text is drawn as a labelled `LB` command like HPGL's.
+
+use crate::color::Color;
+use crate::display_list::{DisplayList, DrawOp};
+use std::fmt::Write as _;
+
+/// The four pens loaded in the plotter carousel.
+pub const PENS: [(u8, Color); 4] = [
+    (1, Color::BLACK),
+    (2, Color::new(220, 0, 0)),
+    (3, Color::new(0, 160, 0)),
+    (4, Color::new(64, 64, 255)),
+];
+
+/// A recorded plot: the command stream plus pen usage statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plot {
+    /// The HPGL-like command text.
+    pub commands: String,
+    /// Number of pen-down strokes per pen (index 0 = pen 1).
+    pub strokes_per_pen: [usize; 4],
+    /// Total pen-down distance in plotter units (centimicrons here).
+    pub pen_travel: i64,
+}
+
+fn pen_for(color: Color) -> u8 {
+    PENS.iter()
+        .min_by_key(|(_, c)| color.distance2(*c))
+        .expect("non-empty pen set")
+        .0
+}
+
+/// Plots a display list, producing the pen command stream.
+pub fn plot(list: &DisplayList) -> Plot {
+    let mut commands = String::from("IN;\n");
+    let mut strokes = [0usize; 4];
+    let mut travel = 0i64;
+    let mut current_pen = 0u8;
+
+    let mut select = |pen: u8, out: &mut String| {
+        if pen != current_pen {
+            let _ = writeln!(out, "SP{pen};");
+            current_pen = pen;
+        }
+    };
+
+    for op in list.ops() {
+        match op {
+            DrawOp::Line { from, to, color } => {
+                let pen = pen_for(*color);
+                select(pen, &mut commands);
+                let _ = writeln!(commands, "PU{},{};PD{},{};", from.x, from.y, to.x, to.y);
+                strokes[pen as usize - 1] += 1;
+                travel += from.manhattan(*to);
+            }
+            DrawOp::Rect { rect, color } | DrawOp::FillRect { rect, color } => {
+                let pen = pen_for(*color);
+                select(pen, &mut commands);
+                let _ = writeln!(
+                    commands,
+                    "PU{},{};PD{},{},{},{},{},{},{},{};",
+                    rect.x0, rect.y0, rect.x1, rect.y0, rect.x1, rect.y1, rect.x0, rect.y1,
+                    rect.x0, rect.y0
+                );
+                strokes[pen as usize - 1] += 1;
+                travel += 2 * (rect.width() + rect.height());
+            }
+            DrawOp::Cross { center, arm, color } => {
+                let pen = pen_for(*color);
+                select(pen, &mut commands);
+                let _ = writeln!(
+                    commands,
+                    "PU{},{};PD{},{};PU{},{};PD{},{};",
+                    center.x - arm,
+                    center.y,
+                    center.x + arm,
+                    center.y,
+                    center.x,
+                    center.y - arm,
+                    center.x,
+                    center.y + arm
+                );
+                strokes[pen as usize - 1] += 2;
+                travel += 4 * arm;
+            }
+            DrawOp::Text { at, text, color } => {
+                let pen = pen_for(*color);
+                select(pen, &mut commands);
+                let _ = writeln!(commands, "PU{},{};LB{text}\x03;", at.x, at.y);
+                strokes[pen as usize - 1] += 1;
+            }
+        }
+    }
+    commands.push_str("SP0;\n");
+    Plot {
+        commands,
+        strokes_per_pen: strokes,
+        pen_travel: travel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_geom::{Point, Rect};
+
+    #[test]
+    fn pen_selection_nearest() {
+        assert_eq!(pen_for(Color::new(250, 10, 10)), 2);
+        assert_eq!(pen_for(Color::new(10, 10, 10)), 1);
+        assert_eq!(pen_for(Color::new(60, 60, 250)), 4);
+    }
+
+    #[test]
+    fn plot_structure() {
+        let mut dl = DisplayList::new();
+        dl.push(DrawOp::Line {
+            from: Point::new(0, 0),
+            to: Point::new(100, 0),
+            color: Color::new(220, 0, 0),
+        });
+        dl.push(DrawOp::Rect {
+            rect: Rect::new(0, 0, 10, 10),
+            color: Color::new(220, 0, 0),
+        });
+        let p = plot(&dl);
+        assert!(p.commands.starts_with("IN;\n"));
+        assert!(p.commands.ends_with("SP0;\n"));
+        // Only one pen change — both ops use the red pen.
+        assert_eq!(p.commands.matches("SP2;").count(), 1);
+        assert_eq!(p.strokes_per_pen[1], 2);
+        assert_eq!(p.pen_travel, 100 + 40);
+    }
+
+    #[test]
+    fn text_labels() {
+        let mut dl = DisplayList::new();
+        dl.push(DrawOp::Text {
+            at: Point::new(5, 5),
+            text: "NAND".into(),
+            color: Color::BLACK,
+        });
+        let p = plot(&dl);
+        assert!(p.commands.contains("LBNAND"));
+    }
+
+    #[test]
+    fn empty_plot() {
+        let p = plot(&DisplayList::new());
+        assert_eq!(p.strokes_per_pen, [0; 4]);
+        assert_eq!(p.pen_travel, 0);
+    }
+}

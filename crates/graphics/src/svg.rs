@@ -1,0 +1,142 @@
+//! SVG vector backend for inspecting renders without a raster viewer.
+
+use crate::display_list::{DisplayList, DrawOp};
+use std::fmt::Write as _;
+
+/// Renders a display list to a standalone SVG document.
+///
+/// The y axis is flipped (SVG is y-down, layouts y-up) and the viewBox
+/// covers the list's bounding box with a small margin. An empty list
+/// produces a tiny valid document.
+pub fn to_svg(list: &DisplayList) -> String {
+    let bb = list
+        .bounding_box()
+        .unwrap_or(riot_geom::Rect::new(0, 0, 100, 100));
+    let margin = (bb.width().max(bb.height()) / 20).max(10);
+    let x0 = bb.x0 - margin;
+    let y0 = bb.y0 - margin;
+    let w = bb.width() + 2 * margin;
+    let h = bb.height() + 2 * margin;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"{x0} {} {w} {h}\">",
+        -(y0 + h)
+    );
+    let _ = writeln!(
+        out,
+        "<rect x=\"{x0}\" y=\"{}\" width=\"{w}\" height=\"{h}\" fill=\"black\"/>",
+        -(y0 + h)
+    );
+    // Flip y by emitting all coordinates negated.
+    let sw = (w / 400).max(4); // stroke width scaled to the drawing
+    for op in list.ops() {
+        match op {
+            DrawOp::Line { from, to, color } => {
+                let _ = writeln!(
+                    out,
+                    "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{color}\" stroke-width=\"{sw}\"/>",
+                    from.x, -from.y, to.x, -to.y
+                );
+            }
+            DrawOp::Rect { rect, color } => {
+                let _ = writeln!(
+                    out,
+                    "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"{sw}\"/>",
+                    rect.x0,
+                    -rect.y1,
+                    rect.width(),
+                    rect.height()
+                );
+            }
+            DrawOp::FillRect { rect, color } => {
+                let _ = writeln!(
+                    out,
+                    "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{color}\" fill-opacity=\"0.55\"/>",
+                    rect.x0,
+                    -rect.y1,
+                    rect.width(),
+                    rect.height()
+                );
+            }
+            DrawOp::Cross { center, arm, color } => {
+                let _ = writeln!(
+                    out,
+                    "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{color}\" stroke-width=\"{sw}\"/>",
+                    center.x - arm,
+                    -center.y,
+                    center.x + arm,
+                    -center.y
+                );
+                let _ = writeln!(
+                    out,
+                    "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"{color}\" stroke-width=\"{sw}\"/>",
+                    center.x,
+                    -(center.y - arm),
+                    center.x,
+                    -(center.y + arm)
+                );
+            }
+            DrawOp::Text { at, text, color } => {
+                let escaped = text
+                    .replace('&', "&amp;")
+                    .replace('<', "&lt;")
+                    .replace('>', "&gt;");
+                let _ = writeln!(
+                    out,
+                    "<text x=\"{}\" y=\"{}\" fill=\"{color}\" font-size=\"{}\" font-family=\"monospace\">{escaped}</text>",
+                    at.x,
+                    -at.y,
+                    sw * 12
+                );
+            }
+        }
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::Color;
+    use riot_geom::{Point, Rect};
+
+    #[test]
+    fn valid_skeleton() {
+        let mut dl = DisplayList::new();
+        dl.push(DrawOp::Rect {
+            rect: Rect::new(0, 0, 500, 500),
+            color: Color::WHITE,
+        });
+        dl.push(DrawOp::Text {
+            at: Point::new(10, 10),
+            text: "a<b&c".into(),
+            color: Color::WHITE,
+        });
+        let svg = to_svg(&dl);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert_eq!(svg.matches("<rect").count(), 2); // background + op
+    }
+
+    #[test]
+    fn empty_list_is_valid() {
+        let svg = to_svg(&DisplayList::new());
+        assert!(svg.contains("viewBox"));
+    }
+
+    #[test]
+    fn cross_becomes_two_lines() {
+        let mut dl = DisplayList::new();
+        dl.push(DrawOp::Cross {
+            center: Point::new(100, 100),
+            arm: 20,
+            color: Color::new(220, 0, 0),
+        });
+        let svg = to_svg(&dl);
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert!(svg.contains("#dc0000"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Zoom/pan mapping from layout coordinates to screen pixels.
+//!
+//! "Since Riot is an interactive graphical tool, commands exist for
+//! zooming and panning the display."
+
+use riot_geom::{Point, Rect};
+
+/// The window-to-viewport mapping: a world rectangle (centimicrons)
+/// shown in a pixel area. Zoom and pan adjust the world window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Viewport {
+    window: Rect,
+    screen_w: usize,
+    screen_h: usize,
+}
+
+impl Viewport {
+    /// Shows exactly `window`, anisotropically stretched to the screen.
+    /// Prefer [`Viewport::fit`] which preserves aspect ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window or screen is degenerate.
+    pub fn new(window: Rect, screen_w: usize, screen_h: usize) -> Self {
+        assert!(window.width() > 0 && window.height() > 0, "empty window");
+        assert!(screen_w > 0 && screen_h > 0, "empty screen");
+        Viewport {
+            window,
+            screen_w,
+            screen_h,
+        }
+    }
+
+    /// Fits `content` into the screen preserving aspect ratio, with a
+    /// small margin, centering the content.
+    pub fn fit(content: Rect, screen_w: usize, screen_h: usize) -> Self {
+        let content = if content.width() == 0 || content.height() == 0 {
+            content.inflated(content.width().max(content.height()).max(100) / 2 + 50)
+        } else {
+            content
+        };
+        let margin_w = content.width() / 20 + 1;
+        let margin_h = content.height() / 20 + 1;
+        let padded = Rect::new(
+            content.x0 - margin_w,
+            content.y0 - margin_h,
+            content.x1 + margin_w,
+            content.y1 + margin_h,
+        );
+        // Grow the window in the direction the screen is wider, so the
+        // scale is isotropic.
+        let sw = screen_w as i64;
+        let sh = screen_h as i64;
+        let (mut w, mut h) = (padded.width(), padded.height());
+        if w * sh < h * sw {
+            w = h * sw / sh;
+        } else {
+            h = w * sh / sw;
+        }
+        let c = padded.center();
+        Viewport::new(
+            Rect::new(c.x - w / 2, c.y - h / 2, c.x - w / 2 + w, c.y - h / 2 + h),
+            screen_w,
+            screen_h,
+        )
+    }
+
+    /// The world window currently displayed.
+    pub fn window(&self) -> Rect {
+        self.window
+    }
+
+    /// Screen size in pixels.
+    pub fn screen_size(&self) -> (usize, usize) {
+        (self.screen_w, self.screen_h)
+    }
+
+    /// Maps a world point to screen pixels.
+    pub fn to_screen(&self, p: Point) -> (i64, i64) {
+        let x = (p.x - self.window.x0) * self.screen_w as i64 / self.window.width();
+        let y = (p.y - self.window.y0) * self.screen_h as i64 / self.window.height();
+        (x, y)
+    }
+
+    /// Maps a screen pixel back to world coordinates (the pointing
+    /// device path: the mouse/BitPad cursor picks world objects).
+    pub fn to_world(&self, x: i64, y: i64) -> Point {
+        Point::new(
+            self.window.x0 + x * self.window.width() / self.screen_w as i64,
+            self.window.y0 + y * self.window.height() / self.screen_h as i64,
+        )
+    }
+
+    /// A world length in screen pixels (x scale).
+    pub fn scale_length(&self, len: i64) -> i64 {
+        len * self.screen_w as i64 / self.window.width()
+    }
+
+    /// Zooms by a rational factor about the window center: factor > 1
+    /// zooms in (smaller window).
+    pub fn zoomed(&self, num: i64, den: i64) -> Viewport {
+        assert!(num > 0 && den > 0, "zoom factor must be positive");
+        let c = self.window.center();
+        let w = (self.window.width() * den / num).max(2);
+        let h = (self.window.height() * den / num).max(2);
+        Viewport::new(
+            Rect::new(c.x - w / 2, c.y - h / 2, c.x - w / 2 + w, c.y - h / 2 + h),
+            self.screen_w,
+            self.screen_h,
+        )
+    }
+
+    /// Pans by a world displacement.
+    pub fn panned(&self, d: Point) -> Viewport {
+        Viewport::new(self.window.translated(d), self.screen_w, self.screen_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_map_to_screen_extent() {
+        let vp = Viewport::new(Rect::new(0, 0, 100, 200), 50, 100);
+        assert_eq!(vp.to_screen(Point::new(0, 0)), (0, 0));
+        assert_eq!(vp.to_screen(Point::new(100, 200)), (50, 100));
+        assert_eq!(vp.to_screen(Point::new(50, 100)), (25, 50));
+    }
+
+    #[test]
+    fn world_round_trip_within_pixel() {
+        let vp = Viewport::new(Rect::new(-500, -500, 1500, 1500), 200, 200);
+        for p in [Point::new(0, 0), Point::new(123, 456), Point::new(-77, 900)] {
+            let (sx, sy) = vp.to_screen(p);
+            let q = vp.to_world(sx, sy);
+            assert!(p.manhattan(q) <= 2 * vp.window().width() / 200 + 2);
+        }
+    }
+
+    #[test]
+    fn fit_preserves_aspect() {
+        let vp = Viewport::fit(Rect::new(0, 0, 1000, 100), 100, 100);
+        let win = vp.window();
+        // Window must be square for a square screen.
+        assert_eq!(win.width(), win.height());
+        assert!(win.width() >= 1000);
+    }
+
+    #[test]
+    fn fit_handles_degenerate_content() {
+        let vp = Viewport::fit(Rect::new(5, 5, 5, 5), 100, 100);
+        assert!(vp.window().width() > 0);
+    }
+
+    #[test]
+    fn zoom_in_shrinks_window() {
+        let vp = Viewport::new(Rect::new(0, 0, 1000, 1000), 100, 100);
+        let z = vp.zoomed(2, 1);
+        assert_eq!(z.window().width(), 500);
+        assert_eq!(z.window().center(), vp.window().center());
+        let out = z.zoomed(1, 2);
+        assert_eq!(out.window().width(), 1000);
+    }
+
+    #[test]
+    fn pan_shifts_window() {
+        let vp = Viewport::new(Rect::new(0, 0, 100, 100), 10, 10);
+        let p = vp.panned(Point::new(50, -20));
+        assert_eq!(p.window(), Rect::new(50, -20, 150, 80));
+    }
+}

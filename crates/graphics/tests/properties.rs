@@ -1,0 +1,113 @@
+//! Property tests for the graphics package: viewport mappings,
+//! framebuffer clipping, device quantization, plotter bookkeeping.
+
+use proptest::prelude::*;
+use riot_graphics::{Color, DisplayList, DrawOp, Framebuffer, Viewport};
+use riot_geom::{Point, Rect};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-500_000i64..500_000, -500_000i64..500_000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_window() -> impl Strategy<Value = Rect> {
+    (arb_point(), 100i64..1_000_000, 100i64..1_000_000)
+        .prop_map(|(p, w, h)| Rect::new(p.x, p.y, p.x + w, p.y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn screen_mapping_is_monotone(win in arb_window(), a in arb_point(), b in arb_point()) {
+        let vp = Viewport::new(win, 256, 256);
+        let (ax, ay) = vp.to_screen(a);
+        let (bx, by) = vp.to_screen(b);
+        if a.x <= b.x {
+            prop_assert!(ax <= bx);
+        }
+        if a.y <= b.y {
+            prop_assert!(ay <= by);
+        }
+    }
+
+    #[test]
+    fn world_round_trip_error_bounded(win in arb_window(), p in arb_point()) {
+        let vp = Viewport::new(win, 200, 200);
+        let (sx, sy) = vp.to_screen(p);
+        let q = vp.to_world(sx, sy);
+        // One pixel in each axis, plus integer truncation.
+        let tol = win.width() / 200 + win.height() / 200 + 2;
+        prop_assert!(p.manhattan(q) <= tol, "{} -> {} tol {}", p, q, tol);
+    }
+
+    #[test]
+    fn zoom_round_trip_restores_window(win in arb_window(), num in 1i64..6) {
+        let vp = Viewport::new(win, 128, 128);
+        let back = vp.zoomed(num, 1).zoomed(1, num);
+        // The size returns to within the integer-division loss and the
+        // center drifts at most a couple of units per floor per axis.
+        prop_assert!((back.window().width() - win.width()).abs() <= num);
+        prop_assert!((back.window().height() - win.height()).abs() <= num);
+        prop_assert!(back.window().center().manhattan(win.center()) <= 2 * num + 4);
+    }
+
+    #[test]
+    fn fit_always_contains_content(content in arb_window(), w in 64usize..512, h in 64usize..512) {
+        let vp = Viewport::fit(content, w, h);
+        prop_assert!(vp.window().contains_rect(content));
+    }
+
+    #[test]
+    fn out_of_bounds_draws_never_panic(
+        segs in prop::collection::vec((arb_point(), arb_point()), 1..12)
+    ) {
+        let mut fb = Framebuffer::new(64, 64);
+        for (a, b) in segs {
+            // Wildly out-of-range coordinates must clip, not panic.
+            fb.draw_line(a.x % 10_000, a.y % 10_000, b.x % 10_000, b.y % 10_000, Color::WHITE);
+        }
+        prop_assert!(fb.lit_pixels() <= 64 * 64);
+    }
+
+    #[test]
+    fn device_render_stays_in_palette(rects in prop::collection::vec(arb_window(), 1..6)) {
+        let mut list = DisplayList::new();
+        for (i, r) in rects.iter().enumerate() {
+            let c = match i % 3 {
+                0 => Color::new(200, 40, 40),
+                1 => Color::new(40, 200, 40),
+                _ => Color::new(90, 90, 230),
+            };
+            list.push(DrawOp::FillRect { rect: *r, color: c });
+        }
+        let dev = riot_graphics::device::gigi();
+        let fb = dev.render(&list);
+        for y in (0..fb.height() as i64).step_by(17) {
+            for x in (0..fb.width() as i64).step_by(13) {
+                let c = fb.get(x, y).expect("in bounds");
+                prop_assert!(dev.palette().contains(&c), "{} not in palette", c);
+            }
+        }
+    }
+
+    #[test]
+    fn plot_travel_matches_geometry(lines in prop::collection::vec((arb_point(), arb_point()), 1..10)) {
+        let mut list = DisplayList::new();
+        let mut expect = 0i64;
+        for (a, b) in &lines {
+            list.push(DrawOp::Line { from: *a, to: *b, color: Color::BLACK });
+            expect += a.manhattan(*b);
+        }
+        let plot = riot_graphics::plotter::plot(&list);
+        prop_assert_eq!(plot.pen_travel, expect);
+        prop_assert_eq!(plot.strokes_per_pen.iter().sum::<usize>(), lines.len());
+    }
+
+    #[test]
+    fn ppm_size_is_exact(w in 1usize..80, h in 1usize..80) {
+        let fb = Framebuffer::new(w, h);
+        let ppm = fb.to_ppm();
+        let header = format!("P6\n{w} {h}\n255\n");
+        prop_assert_eq!(ppm.len(), header.len() + 3 * w * h);
+    }
+}

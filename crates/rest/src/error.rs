@@ -1,0 +1,58 @@
+//! Solver errors with infeasibility diagnosis.
+
+use std::fmt;
+
+/// Why a constraint system could not be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveRestError {
+    /// A named target refers to a pin the cell does not have.
+    UnknownPin(String),
+    /// Two targets pin the same column to different coordinates.
+    ConflictingTargets {
+        /// Column's original coordinate.
+        column: i64,
+        /// First requested target.
+        first: i64,
+        /// Second, conflicting target.
+        second: i64,
+    },
+    /// A target cannot be met: spacing/ordering constraints force the
+    /// column at least to `needed`, but the target asks for less.
+    TargetTooTight {
+        /// Column's original coordinate.
+        column: i64,
+        /// Requested coordinate.
+        target: i64,
+        /// Minimum feasible coordinate given the constraints.
+        needed: i64,
+    },
+    /// The rebuilt cell failed validation (internal invariant breach).
+    Rebuild(String),
+}
+
+impl fmt::Display for SolveRestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveRestError::UnknownPin(name) => write!(f, "unknown pin `{name}`"),
+            SolveRestError::ConflictingTargets {
+                column,
+                first,
+                second,
+            } => write!(
+                f,
+                "column at {column} pinned to both {first} and {second}"
+            ),
+            SolveRestError::TargetTooTight {
+                column,
+                target,
+                needed,
+            } => write!(
+                f,
+                "target {target} for column at {column} is infeasible; constraints need at least {needed}"
+            ),
+            SolveRestError::Rebuild(msg) => write!(f, "stretched cell invalid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveRestError {}

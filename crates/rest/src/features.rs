@@ -1,0 +1,238 @@
+//! Feature extraction: projecting symbolic elements onto one axis.
+
+use crate::solve::Axis;
+use riot_geom::{Layer, Rect, Transform};
+use riot_sticks::SticksCell;
+
+/// One element's footprint as seen by the 1-D solver: a column
+/// coordinate, an extent along the axis, a span across it, and a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Feature {
+    /// Center coordinate along the solve axis (a column).
+    pub coord: i64,
+    /// Half-extent along the solve axis, in lambda.
+    pub half: i64,
+    /// Lower bound of the perpendicular span.
+    pub perp_lo: i64,
+    /// Upper bound of the perpendicular span.
+    pub perp_hi: i64,
+    /// The layer the footprint paints.
+    pub layer: Layer,
+}
+
+impl Feature {
+    fn from_rect(r: Rect, axis: Axis, layer: Layer) -> Feature {
+        let (coord, half, perp_lo, perp_hi) = match axis {
+            Axis::X => (r.center().x, r.width() / 2, r.y0, r.y1),
+            Axis::Y => (r.center().y, r.height() / 2, r.x0, r.x1),
+        };
+        Feature {
+            coord,
+            half,
+            perp_lo,
+            perp_hi,
+            layer,
+        }
+    }
+
+    /// True when two features sit side by side along the axis (their
+    /// perpendicular spans overlap) and therefore constrain each other.
+    pub fn interacts_across(self, other: Feature) -> bool {
+        self.perp_lo < other.perp_hi && other.perp_lo < self.perp_hi
+    }
+}
+
+/// Minimum center-to-center *extra* spacing (beyond the half-extents)
+/// required between features on the given layers, in lambda. `None`
+/// means the pair is unconstrained.
+pub fn rule_spacing(a: Layer, b: Layer) -> Option<i64> {
+    use Layer::*;
+    match (a.min(b), a.max(b)) {
+        (Diffusion, Diffusion) => Some(3),
+        (Poly, Poly) => Some(2),
+        (Metal, Metal) => Some(3),
+        (Diffusion, Poly) => Some(1),
+        _ => None,
+    }
+}
+
+/// Device mask footprints in local lambda coordinates (gate, diffusion).
+fn device_rects(d: &riot_sticks::Device) -> [(Rect, Layer); 2] {
+    let t = Transform::new(d.orient, d.position);
+    [
+        (
+            t.apply_rect(Rect::new(-1, -3, 1, 3)),
+            Layer::Poly,
+        ),
+        (
+            t.apply_rect(Rect::new(-3, -1, 3, 1)),
+            Layer::Diffusion,
+        ),
+    ]
+}
+
+/// Extracts every feature of `cell` along `axis`, plus the full set of
+/// column coordinates that must be remapped (every coordinate any
+/// element uses along the axis, whether or not it grows a feature).
+pub fn extract(cell: &SticksCell, axis: Axis) -> (Vec<Feature>, Vec<i64>) {
+    let mut features = Vec::new();
+    let mut columns = Vec::new();
+    let along = |p: riot_geom::Point| match axis {
+        Axis::X => p.x,
+        Axis::Y => p.y,
+    };
+    let across = |p: riot_geom::Point| match axis {
+        Axis::X => p.y,
+        Axis::Y => p.x,
+    };
+
+    for w in cell.wires() {
+        let half = (w.width + 1) / 2;
+        for &p in w.path.points() {
+            columns.push(along(p));
+        }
+        for (a, b) in w.path.segments() {
+            if along(a) == along(b) {
+                // Segment runs across the axis: a full-height feature at
+                // one column.
+                let (lo, hi) = (across(a).min(across(b)), across(a).max(across(b)));
+                features.push(Feature {
+                    coord: along(a),
+                    half,
+                    perp_lo: lo - half,
+                    perp_hi: hi + half,
+                    layer: w.layer,
+                });
+            } else {
+                // Segment runs along the axis: its two endpoints are
+                // thin features (the wire end caps).
+                for p in [a, b] {
+                    features.push(Feature {
+                        coord: along(p),
+                        half,
+                        perp_lo: across(p) - half,
+                        perp_hi: across(p) + half,
+                        layer: w.layer,
+                    });
+                }
+            }
+        }
+    }
+
+    for d in cell.devices() {
+        columns.push(along(d.position));
+        for (rect, layer) in device_rects(d) {
+            features.push(Feature::from_rect(rect, axis, layer));
+        }
+    }
+
+    for c in cell.contacts() {
+        columns.push(along(c.position));
+        let pad = Rect::from_center(c.position, 4, 4);
+        let (a, b) = c.kind.layers();
+        features.push(Feature::from_rect(pad, axis, a));
+        features.push(Feature::from_rect(pad, axis, b));
+    }
+
+    for p in cell.pins() {
+        columns.push(along(p.position));
+        let half = (p.width + 1) / 2;
+        features.push(Feature {
+            coord: along(p.position),
+            half,
+            perp_lo: across(p.position) - half,
+            perp_hi: across(p.position) + half,
+            layer: p.layer,
+        });
+    }
+
+    for f in &features {
+        columns.push(f.coord);
+    }
+    columns.sort_unstable();
+    columns.dedup();
+    (features, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_geom::{Orientation, Point};
+    use riot_sticks::{Device, DeviceKind};
+
+    #[test]
+    fn rule_spacing_symmetric() {
+        for a in Layer::ALL {
+            for b in Layer::ALL {
+                assert_eq!(rule_spacing(a, b), rule_spacing(b, a));
+            }
+        }
+        assert_eq!(rule_spacing(Layer::Metal, Layer::Metal), Some(3));
+        assert_eq!(rule_spacing(Layer::Poly, Layer::Diffusion), Some(1));
+        assert_eq!(rule_spacing(Layer::Metal, Layer::Poly), None);
+    }
+
+    #[test]
+    fn interaction_requires_perp_overlap() {
+        let a = Feature {
+            coord: 0,
+            half: 1,
+            perp_lo: 0,
+            perp_hi: 10,
+            layer: Layer::Metal,
+        };
+        let b = Feature {
+            perp_lo: 10,
+            perp_hi: 20,
+            ..a
+        };
+        assert!(!a.interacts_across(b)); // touching spans do not overlap
+        let c = Feature {
+            perp_lo: 9,
+            perp_hi: 20,
+            ..a
+        };
+        assert!(a.interacts_across(c));
+    }
+
+    #[test]
+    fn wire_segment_features() {
+        let text = "sticks t\nbbox 0 0 20 20\nwire NM 3 0 5 10 5 10 15\nend\n";
+        let cell = riot_sticks::parse(text).unwrap();
+        let (features, columns) = extract(&cell, Axis::X);
+        // Horizontal segment contributes 2 endpoint features, vertical
+        // segment contributes 1 column feature.
+        assert_eq!(features.len(), 3);
+        assert_eq!(columns, vec![0, 10]);
+        let (features_y, columns_y) = extract(&cell, Axis::Y);
+        assert_eq!(features_y.len(), 3);
+        assert_eq!(columns_y, vec![5, 15]);
+    }
+
+    #[test]
+    fn device_rotation_swaps_extents() {
+        let d0 = Device {
+            kind: DeviceKind::Enhancement,
+            position: Point::new(10, 10),
+            orient: Orientation::R0,
+        };
+        let d90 = Device {
+            orient: Orientation::R90,
+            ..d0
+        };
+        let r0 = device_rects(&d0);
+        let r90 = device_rects(&d90);
+        assert_eq!(r0[0].0.width(), r90[0].0.height());
+        assert_eq!(r0[0].0.height(), r90[0].0.width());
+    }
+
+    #[test]
+    fn pins_and_contacts_become_columns() {
+        let text =
+            "sticks t\nbbox 0 0 20 20\npin A left NM 0 10 3\ncontact md 7 9\nend\n";
+        let cell = riot_sticks::parse(text).unwrap();
+        let (features, columns) = extract(&cell, Axis::X);
+        assert_eq!(columns, vec![0, 7]);
+        assert_eq!(features.len(), 3); // pin + two contact pad layers
+    }
+}

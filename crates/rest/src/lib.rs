@@ -1,0 +1,51 @@
+//! REST-style symbolic-layout optimizer for the RIOT reproduction.
+//!
+//! Riot's **stretch** connection "passes the cell through the Stick
+//! optimizer in REST (Mosteller 1981), which moves the connectors to the
+//! constrained locations". Mosteller's thesis software is not available,
+//! so this crate implements the canonical algorithm of that era for the
+//! published interface: **one-dimensional constraint-graph solving**.
+//!
+//! A [`riot_sticks::SticksCell`] is projected onto one axis; every
+//! distinct coordinate used by an element becomes a *column*. Edges
+//! between columns carry minimum separations:
+//!
+//! * order edges between consecutive columns keep the symbolic topology
+//!   (elements never reorder);
+//! * design-rule edges keep interacting features (same-layer wires,
+//!   poly against diffusion…) legally spaced;
+//! * in gap-preserving mode, consecutive columns also keep their original
+//!   separation, so a cell only ever grows.
+//!
+//! Pin targets are equality constraints. A single forward longest-path
+//! pass over the (topologically ordered) column DAG solves the system or
+//! reports exactly which target is infeasible and why.
+//!
+//! # Example: stretch an inverter so its output pin moves up
+//!
+//! ```
+//! use riot_rest::{stretch, Axis, StretchSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inv = riot_sticks::parse(
+//!     "sticks inv\nbbox 0 0 10 12\npin IN left NP 0 6\npin OUT right NM 10 8 3\nwire NP 2 0 6 6 6\nwire NM 3 6 8 10 8\nend\n",
+//! )?;
+//! let spec = StretchSpec::new(Axis::Y).target("OUT", 20);
+//! let stretched = stretch(&inv, &spec)?;
+//! assert_eq!(stretched.pin("OUT").unwrap().position.y, 20);
+//! stretched.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod features;
+pub mod solve;
+pub mod stretch;
+
+pub use error::SolveRestError;
+pub use solve::{Axis, ColumnSolver, SolveMode};
+pub use stretch::{compact, stretch, stretch_with_mode, StretchSpec};

@@ -1,0 +1,342 @@
+//! The one-dimensional column constraint solver.
+
+use crate::error::SolveRestError;
+use std::collections::BTreeMap;
+
+/// Which axis a solve runs along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Solve x coordinates (stretch horizontally).
+    X,
+    /// Solve y coordinates (stretch vertically).
+    Y,
+}
+
+impl Axis {
+    /// The other axis.
+    pub fn perpendicular(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+        })
+    }
+}
+
+/// How separations between columns are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMode {
+    /// Consecutive columns keep at least their **original** separation:
+    /// the cell only grows. This is Riot's stretch for cells that must
+    /// not be re-compacted.
+    PreserveGaps,
+    /// Consecutive columns may move closer, down to the design-rule
+    /// separations between interacting features — full REST behaviour
+    /// (the optimizer may shrink as well as grow).
+    DesignRules,
+}
+
+/// A 1-D constraint system over the distinct coordinates ("columns")
+/// used along one axis.
+///
+/// Build with [`ColumnSolver::new`], add separation constraints and
+/// equality targets, then [`ColumnSolver::solve`] to obtain the mapping
+/// from old to new coordinates.
+#[derive(Debug, Clone)]
+pub struct ColumnSolver {
+    columns: Vec<i64>,
+    index: BTreeMap<i64, usize>,
+    /// Minimum separation constraints `new[j] - new[i] >= sep`, i < j.
+    edges: Vec<(usize, usize, i64)>,
+    /// Equality targets `new[i] == t`.
+    targets: BTreeMap<usize, i64>,
+}
+
+impl ColumnSolver {
+    /// Creates a solver over the given coordinates (duplicates collapse
+    /// into one column; order edges of weight 0 keep columns monotone).
+    pub fn new<I: IntoIterator<Item = i64>>(coords: I) -> Self {
+        let mut columns: Vec<i64> = coords.into_iter().collect();
+        columns.sort_unstable();
+        columns.dedup();
+        let index = columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let mut edges = Vec::new();
+        for i in 1..columns.len() {
+            edges.push((i - 1, i, 0));
+        }
+        ColumnSolver {
+            columns,
+            index,
+            edges,
+            targets: BTreeMap::new(),
+        }
+    }
+
+    /// The column coordinates, sorted ascending.
+    pub fn columns(&self) -> &[i64] {
+        &self.columns
+    }
+
+    /// Index of the column holding original coordinate `coord`.
+    pub fn column_of(&self, coord: i64) -> Option<usize> {
+        self.index.get(&coord).copied()
+    }
+
+    /// Requires `new[b] - new[a] >= sep` for original coordinates
+    /// `a < b`. Constraints between equal or reversed coordinates are
+    /// ignored (they are inside one column).
+    pub fn require_separation(&mut self, a: i64, b: i64, sep: i64) {
+        let (Some(&ia), Some(&ib)) = (self.index.get(&a), self.index.get(&b)) else {
+            return;
+        };
+        if ia < ib {
+            self.edges.push((ia, ib, sep));
+        }
+    }
+
+    /// Adds a gap-preserving floor: every consecutive pair keeps at
+    /// least its original separation.
+    pub fn preserve_gaps(&mut self) {
+        for i in 1..self.columns.len() {
+            let gap = self.columns[i] - self.columns[i - 1];
+            self.edges.push((i - 1, i, gap));
+        }
+    }
+
+    /// Pins the column at original coordinate `coord` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveRestError::ConflictingTargets`] when the column is already
+    /// pinned elsewhere; [`SolveRestError::UnknownPin`] when `coord` is
+    /// not a column.
+    pub fn pin(&mut self, coord: i64, target: i64) -> Result<(), SolveRestError> {
+        let idx = self
+            .column_of(coord)
+            .ok_or_else(|| SolveRestError::UnknownPin(format!("coordinate {coord}")))?;
+        if let Some(&existing) = self.targets.get(&idx) {
+            if existing != target {
+                return Err(SolveRestError::ConflictingTargets {
+                    column: coord,
+                    first: existing,
+                    second: target,
+                });
+            }
+            return Ok(());
+        }
+        self.targets.insert(idx, target);
+        Ok(())
+    }
+
+    /// Solves the system by a forward longest-path pass, returning the
+    /// new coordinate of every column (same order as [`columns`]).
+    ///
+    /// Unpinned prefixes keep their original coordinates (the cell's
+    /// left/bottom margin is an anchor); every other column sits at the
+    /// lowest coordinate satisfying all separations and targets.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveRestError::TargetTooTight`] when a pinned column cannot be
+    /// pushed down to its target.
+    ///
+    /// [`columns`]: ColumnSolver::columns
+    pub fn solve(&self) -> Result<Vec<i64>, SolveRestError> {
+        let n = self.columns.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // Group incoming edges per destination for the forward pass.
+        let mut incoming: Vec<Vec<(usize, i64)>> = vec![Vec::new(); n];
+        for &(a, b, sep) in &self.edges {
+            incoming[b].push((a, sep));
+        }
+        let mut new_pos = vec![i64::MIN; n];
+        for i in 0..n {
+            // Lower bound from predecessors; an unconstrained column
+            // would drift to -inf, so anchor it at its original spot.
+            let mut low = i64::MIN;
+            for &(a, sep) in &incoming[i] {
+                low = low.max(new_pos[a] + sep);
+            }
+            if low == i64::MIN {
+                low = self.columns[i];
+            }
+            let pos = match self.targets.get(&i) {
+                Some(&t) => {
+                    if t < low {
+                        return Err(SolveRestError::TargetTooTight {
+                            column: self.columns[i],
+                            target: t,
+                            needed: low,
+                        });
+                    }
+                    t
+                }
+                None => low,
+            };
+            new_pos[i] = pos;
+        }
+        Ok(new_pos)
+    }
+
+    /// Builds a piecewise-linear mapping from original to new
+    /// coordinates out of a solve result, usable for coordinates between
+    /// and beyond the columns (bounding-box corners).
+    pub fn mapping(&self, solution: &[i64]) -> CoordMap {
+        CoordMap {
+            old: self.columns.clone(),
+            new: solution.to_vec(),
+        }
+    }
+}
+
+/// Piecewise-linear coordinate remapping produced by a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoordMap {
+    old: Vec<i64>,
+    new: Vec<i64>,
+}
+
+impl CoordMap {
+    /// The identity mapping.
+    pub fn identity() -> Self {
+        CoordMap {
+            old: Vec::new(),
+            new: Vec::new(),
+        }
+    }
+
+    /// Maps one coordinate. Exact column hits map exactly; coordinates
+    /// before the first / after the last column shift rigidly with it;
+    /// in-between coordinates interpolate linearly.
+    pub fn map(&self, x: i64) -> i64 {
+        if self.old.is_empty() {
+            return x;
+        }
+        match self.old.binary_search(&x) {
+            Ok(i) => self.new[i],
+            Err(0) => x + (self.new[0] - self.old[0]),
+            Err(i) if i == self.old.len() => x + (self.new[i - 1] - self.old[i - 1]),
+            Err(i) => {
+                let (x0, x1) = (self.old[i - 1], self.old[i]);
+                let (y0, y1) = (self.new[i - 1], self.new[i]);
+                y0 + (x - x0) * (y1 - y0) / (x1 - x0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_columns_collapse_onto_anchor() {
+        // Without gap or rule edges the solver is a pure compactor:
+        // only the order (weight-0) edges remain, so everything packs
+        // against the anchored first column.
+        let s = ColumnSolver::new([0, 5, 12]);
+        assert_eq!(s.solve().unwrap(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn preserve_gaps_identity_without_targets() {
+        let mut s = ColumnSolver::new([0, 5, 12]);
+        s.preserve_gaps();
+        assert_eq!(s.solve().unwrap(), vec![0, 5, 12]);
+    }
+
+    #[test]
+    fn stretch_pushes_downstream_columns() {
+        let mut s = ColumnSolver::new([0, 5, 12]);
+        s.preserve_gaps();
+        s.pin(5, 20).unwrap();
+        // Gap 5→12 of 7 is preserved after the pinned column.
+        assert_eq!(s.solve().unwrap(), vec![0, 20, 27]);
+    }
+
+    #[test]
+    fn target_below_floor_is_infeasible() {
+        let mut s = ColumnSolver::new([0, 5, 12]);
+        s.preserve_gaps();
+        let err = s.pin(5, 2).and_then(|_| s.solve().map(|_| ()));
+        assert_eq!(
+            err,
+            Err(SolveRestError::TargetTooTight {
+                column: 5,
+                target: 2,
+                needed: 5
+            })
+        );
+    }
+
+    #[test]
+    fn design_rule_edges_allow_shrink() {
+        let mut s = ColumnSolver::new([0, 10, 30]);
+        s.require_separation(0, 10, 4);
+        s.require_separation(10, 30, 4);
+        s.pin(30, 9).unwrap();
+        // Column 10 keeps its anchor (original position) unless pushed;
+        // pin at 9 is above 0+4: wait, 10 anchors at 10 > 9 - must the
+        // middle column move? Order edge only forces monotonicity, so
+        // target 9 for the last column conflicts with anchor 10 of the
+        // middle one... anchoring only applies to columns with no
+        // incoming constraint, and column 10 has one (from 0), so its
+        // floor is 4: the solve yields [0, 4, 9].
+        let solved = s.solve().unwrap();
+        assert_eq!(solved, vec![0, 4, 9]);
+    }
+
+    #[test]
+    fn conflicting_targets_rejected() {
+        let mut s = ColumnSolver::new([0, 5]);
+        s.pin(5, 10).unwrap();
+        assert!(matches!(
+            s.pin(5, 11),
+            Err(SolveRestError::ConflictingTargets { .. })
+        ));
+        // Same target twice is fine.
+        assert!(s.pin(5, 10).is_ok());
+    }
+
+    #[test]
+    fn unknown_coordinate_rejected() {
+        let mut s = ColumnSolver::new([0, 5]);
+        assert!(matches!(s.pin(3, 10), Err(SolveRestError::UnknownPin(_))));
+    }
+
+    #[test]
+    fn duplicate_coords_collapse() {
+        let s = ColumnSolver::new([4, 4, 4, 9]);
+        assert_eq!(s.columns(), &[4, 9]);
+    }
+
+    #[test]
+    fn mapping_interpolates_and_extends() {
+        let mut s = ColumnSolver::new([0, 10]);
+        s.preserve_gaps();
+        s.pin(10, 30).unwrap();
+        let m = s.mapping(&s.solve().unwrap());
+        assert_eq!(m.map(0), 0);
+        assert_eq!(m.map(10), 30);
+        assert_eq!(m.map(5), 15); // linear interpolation
+        assert_eq!(m.map(-3), -3); // rigid shift before first column
+        assert_eq!(m.map(13), 33); // rigid shift after last column
+    }
+
+    #[test]
+    fn empty_solver() {
+        let s = ColumnSolver::new([]);
+        assert!(s.solve().unwrap().is_empty());
+        assert_eq!(CoordMap::identity().map(42), 42);
+    }
+}

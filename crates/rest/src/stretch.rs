@@ -1,0 +1,328 @@
+//! Stretching and compacting symbolic cells.
+
+use crate::error::SolveRestError;
+use crate::features::{extract, rule_spacing};
+use crate::solve::{Axis, ColumnSolver, CoordMap, SolveMode};
+use riot_geom::{Path, Point, Rect};
+use riot_sticks::{SticksCell, SymWire};
+
+/// A stretch request: an axis plus target coordinates for named pins.
+///
+/// Riot derives the targets from the connector locations on the *to*
+/// instance of a stretch connection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StretchSpec {
+    axis_is_y: bool,
+    targets: Vec<(String, i64)>,
+}
+
+impl StretchSpec {
+    /// Creates an empty spec for the given axis.
+    pub fn new(axis: Axis) -> Self {
+        StretchSpec {
+            axis_is_y: axis == Axis::Y,
+            targets: Vec::new(),
+        }
+    }
+
+    /// The solve axis.
+    pub fn axis(&self) -> Axis {
+        if self.axis_is_y {
+            Axis::Y
+        } else {
+            Axis::X
+        }
+    }
+
+    /// Adds a pin target (builder style).
+    pub fn target(mut self, pin: impl Into<String>, coord: i64) -> Self {
+        self.targets.push((pin.into(), coord));
+        self
+    }
+
+    /// Adds a pin target in place.
+    pub fn push_target(&mut self, pin: impl Into<String>, coord: i64) {
+        self.targets.push((pin.into(), coord));
+    }
+
+    /// The requested `(pin, coordinate)` pairs.
+    pub fn targets(&self) -> &[(String, i64)] {
+        &self.targets
+    }
+}
+
+/// Stretches `cell` so each named pin lands on its target coordinate,
+/// preserving all original separations (the cell only grows). This is
+/// the conservative mode Riot uses for stretch connections.
+///
+/// # Errors
+///
+/// [`SolveRestError::UnknownPin`] for a target naming no pin, and
+/// [`SolveRestError::TargetTooTight`] when targets would force two
+/// original coordinates closer together.
+pub fn stretch(cell: &SticksCell, spec: &StretchSpec) -> Result<SticksCell, SolveRestError> {
+    stretch_with_mode(cell, spec, SolveMode::PreserveGaps)
+}
+
+/// Stretches or re-compacts `cell` under the given solve mode.
+///
+/// [`SolveMode::DesignRules`] is full REST behaviour: elements may also
+/// move closer, down to design-rule separations, so targets *smaller*
+/// than the current coordinates can succeed.
+///
+/// # Errors
+///
+/// As [`stretch`].
+pub fn stretch_with_mode(
+    cell: &SticksCell,
+    spec: &StretchSpec,
+    mode: SolveMode,
+) -> Result<SticksCell, SolveRestError> {
+    let axis = spec.axis();
+    let mut solver = build_solver(cell, axis, mode);
+    for (pin_name, target) in spec.targets() {
+        let pin = cell
+            .pin(pin_name)
+            .ok_or_else(|| SolveRestError::UnknownPin(pin_name.clone()))?;
+        let coord = match axis {
+            Axis::X => pin.position.x,
+            Axis::Y => pin.position.y,
+        };
+        solver.pin(coord, *target)?;
+    }
+    let solution = solver.solve()?;
+    let map = solver.mapping(&solution);
+    let out = rebuild(cell, axis, &map);
+    out.validate()
+        .map_err(|e| SolveRestError::Rebuild(e.to_string()))?;
+    Ok(out)
+}
+
+/// Compacts `cell` along `axis` to design-rule separations (no pin
+/// targets). Returns the compacted cell; the bounding box shrinks with
+/// its contents.
+///
+/// # Errors
+///
+/// Only [`SolveRestError::Rebuild`] — a rule set that breaks the cell's
+/// own invariants, which indicates a bug rather than a user error.
+pub fn compact(cell: &SticksCell, axis: Axis) -> Result<SticksCell, SolveRestError> {
+    let solver = build_solver(cell, axis, SolveMode::DesignRules);
+    let solution = solver.solve()?;
+    let map = solver.mapping(&solution);
+    let out = rebuild(cell, axis, &map);
+    out.validate()
+        .map_err(|e| SolveRestError::Rebuild(e.to_string()))?;
+    Ok(out)
+}
+
+fn build_solver(cell: &SticksCell, axis: Axis, mode: SolveMode) -> ColumnSolver {
+    let (features, columns) = extract(cell, axis);
+    let mut solver = ColumnSolver::new(columns);
+    match mode {
+        SolveMode::PreserveGaps => solver.preserve_gaps(),
+        SolveMode::DesignRules => {
+            for (i, a) in features.iter().enumerate() {
+                for b in &features[i + 1..] {
+                    if a.coord == b.coord || !a.interacts_across(*b) {
+                        continue;
+                    }
+                    if let Some(space) = rule_spacing(a.layer, b.layer) {
+                        let sep = a.half + b.half + space;
+                        let (lo, hi) = if a.coord < b.coord {
+                            (a.coord, b.coord)
+                        } else {
+                            (b.coord, a.coord)
+                        };
+                        solver.require_separation(lo, hi, sep);
+                    }
+                }
+            }
+        }
+    }
+    solver
+}
+
+fn rebuild(cell: &SticksCell, axis: Axis, map: &CoordMap) -> SticksCell {
+    let mp = |p: Point| match axis {
+        Axis::X => Point::new(map.map(p.x), p.y),
+        Axis::Y => Point::new(p.x, map.map(p.y)),
+    };
+    let bb = cell.bbox();
+    let new_bbox = match axis {
+        Axis::X => Rect::new(map.map(bb.x0), bb.y0, map.map(bb.x1), bb.y1),
+        Axis::Y => Rect::new(bb.x0, map.map(bb.y0), bb.x1, map.map(bb.y1)),
+    };
+    let mut out = SticksCell::new(cell.name().to_owned(), new_bbox);
+    for pin in cell.pins() {
+        let mut p = pin.clone();
+        p.position = mp(p.position);
+        out.push_pin(p);
+    }
+    for wire in cell.wires() {
+        let pts: Vec<Point> = wire.path.points().iter().map(|&p| mp(p)).collect();
+        out.push_wire(SymWire {
+            layer: wire.layer,
+            width: wire.width,
+            path: Path::from_points(pts).expect("monotone remap preserves Manhattan paths"),
+        });
+    }
+    for d in cell.devices() {
+        let mut d = *d;
+        d.position = mp(d.position);
+        out.push_device(d);
+    }
+    for c in cell.contacts() {
+        let mut c = *c;
+        c.position = mp(c.position);
+        out.push_contact(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_geom::Side;
+
+    const CELL: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin B left NP 0 10 2
+pin C left NP 0 16 2
+pin OUT right NM 12 10 3
+wire NP 2 0 4 6 4
+wire NP 2 0 10 6 10
+wire NP 2 0 16 6 16
+wire NM 3 6 2 6 18
+wire NM 3 6 10 12 10
+end
+";
+
+    fn cell() -> SticksCell {
+        riot_sticks::parse(CELL).unwrap()
+    }
+
+    #[test]
+    fn stretch_moves_pins_to_targets() {
+        let spec = StretchSpec::new(Axis::Y)
+            .target("A", 4)
+            .target("B", 14)
+            .target("C", 26);
+        let out = stretch(&cell(), &spec).unwrap();
+        assert_eq!(out.pin("A").unwrap().position.y, 4);
+        assert_eq!(out.pin("B").unwrap().position.y, 14);
+        assert_eq!(out.pin("C").unwrap().position.y, 26);
+        // The cell grew to keep the top margin.
+        assert_eq!(out.bbox().y1, 30);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn stretch_keeps_wires_attached_to_pins() {
+        let spec = StretchSpec::new(Axis::Y).target("B", 14);
+        let out = stretch(&cell(), &spec).unwrap();
+        // The wire that started at B's original position follows it.
+        let wire_at_b = out
+            .wires()
+            .iter()
+            .find(|w| w.path.start() == out.pin("B").unwrap().position)
+            .expect("wire still starts at pin B");
+        assert_eq!(wire_at_b.path.end().y, 14);
+    }
+
+    #[test]
+    fn stretch_identity_when_targets_match() {
+        let c = cell();
+        let spec = StretchSpec::new(Axis::Y)
+            .target("A", 4)
+            .target("B", 10)
+            .target("C", 16);
+        let out = stretch(&c, &spec).unwrap();
+        assert_eq!(out, c);
+    }
+
+    #[test]
+    fn stretch_cannot_shrink_in_preserve_mode() {
+        let spec = StretchSpec::new(Axis::Y).target("B", 6); // orig 10, A at 4
+        let err = stretch(&cell(), &spec).unwrap_err();
+        assert!(matches!(err, SolveRestError::TargetTooTight { .. }));
+    }
+
+    #[test]
+    fn design_rules_mode_can_shrink() {
+        // Metal-metal spacing (wire ends at y=2, width 3) floors B's row
+        // at 2 + 2+2+3 = 9, below its original 10.
+        let spec = StretchSpec::new(Axis::Y).target("B", 9);
+        let out = stretch_with_mode(&cell(), &spec, SolveMode::DesignRules).unwrap();
+        assert_eq!(out.pin("B").unwrap().position.y, 9);
+        out.validate().unwrap();
+        // One step tighter is exactly infeasible, with the floor reported.
+        let spec = StretchSpec::new(Axis::Y).target("B", 8);
+        let err = stretch_with_mode(&cell(), &spec, SolveMode::DesignRules).unwrap_err();
+        assert_eq!(
+            err,
+            SolveRestError::TargetTooTight {
+                column: 10,
+                target: 8,
+                needed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_pin_rejected() {
+        let spec = StretchSpec::new(Axis::Y).target("NOPE", 8);
+        assert!(matches!(
+            stretch(&cell(), &spec),
+            Err(SolveRestError::UnknownPin(_))
+        ));
+    }
+
+    #[test]
+    fn x_axis_stretch() {
+        let spec = StretchSpec::new(Axis::X).target("OUT", 20);
+        let out = stretch(&cell(), &spec).unwrap();
+        assert_eq!(out.pin("OUT").unwrap().position.x, 20);
+        assert_eq!(out.bbox().x1, 20);
+        // Left-side pins stay put.
+        assert_eq!(out.pin("A").unwrap().position.x, 0);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn compact_shrinks_but_stays_legal() {
+        // A sparse cell with two parallel metal wires far apart.
+        let text = "\
+sticks sparse
+bbox 0 0 30 10
+wire NM 3 5 0 5 10
+wire NM 3 25 0 25 10
+end
+";
+        let c = riot_sticks::parse(text).unwrap();
+        let out = compact(&c, Axis::X).unwrap();
+        let xs: Vec<i64> = out.wires().iter().map(|w| w.path.start().x).collect();
+        // Metal min spacing 3 + half-widths 2+2 => centers 7 apart? The
+        // half used is ceil(3/2)=2 per side, so separation 2+2+3 = 7.
+        assert_eq!(xs[1] - xs[0], 7);
+        assert!(out.bbox().width() < 30);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn stretch_preserves_side_membership() {
+        let spec = StretchSpec::new(Axis::Y).target("C", 40);
+        let out = stretch(&cell(), &spec).unwrap();
+        for pin in out.pins() {
+            let on = match pin.side {
+                Side::Left => pin.position.x == out.bbox().x0,
+                Side::Right => pin.position.x == out.bbox().x1,
+                Side::Bottom => pin.position.y == out.bbox().y0,
+                Side::Top => pin.position.y == out.bbox().y1,
+            };
+            assert!(on, "pin {} left its side", pin.name);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the REST stretcher/compactor.
+
+use proptest::prelude::*;
+use riot_geom::{Layer, Path, Point, Rect, Side};
+use riot_rest::{compact, stretch, Axis, StretchSpec};
+use riot_sticks::{Pin, SticksCell, SymWire};
+
+/// A comb cell: `n` horizontal poly fingers entering from the left, a
+/// vertical metal spine on the right. Finger rows are the prop inputs.
+fn comb_cell(rows: &[i64]) -> SticksCell {
+    let height = rows.iter().max().copied().unwrap_or(0) + 4;
+    let mut cell = SticksCell::new("comb", Rect::new(0, 0, 20, height));
+    for (i, &y) in rows.iter().enumerate() {
+        cell.push_pin(Pin {
+            name: format!("F{i}"),
+            side: Side::Left,
+            layer: Layer::Poly,
+            position: Point::new(0, y),
+            width: 2,
+        });
+        cell.push_wire(SymWire {
+            layer: Layer::Poly,
+            width: 2,
+            path: Path::from_points([Point::new(0, y), Point::new(16, y)]).unwrap(),
+        });
+    }
+    cell.push_wire(SymWire {
+        layer: Layer::Metal,
+        width: 3,
+        path: Path::from_points([Point::new(18, 0), Point::new(18, height)]).unwrap(),
+    });
+    cell
+}
+
+/// Strictly increasing rows within the cell body.
+fn arb_rows() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(2i64..9, 1..6).prop_map(|gaps| {
+        let mut rows = Vec::new();
+        let mut y = 2;
+        for g in gaps {
+            rows.push(y);
+            y += g;
+        }
+        rows
+    })
+}
+
+/// Target offsets that only ever grow the gaps.
+fn arb_growth(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..12, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stretch_hits_all_targets((rows, growth) in arb_rows().prop_flat_map(|r| {
+        let n = r.len();
+        (Just(r), arb_growth(n))
+    })) {
+        let cell = comb_cell(&rows);
+        let mut spec = StretchSpec::new(Axis::Y);
+        let mut cum = 0;
+        let mut targets = Vec::new();
+        for (i, (&y, &g)) in rows.iter().zip(&growth).enumerate() {
+            cum += g;
+            let t = y + cum;
+            spec.push_target(format!("F{i}"), t);
+            targets.push(t);
+        }
+        let out = stretch(&cell, &spec).expect("monotone growth is always feasible");
+        for (i, &t) in targets.iter().enumerate() {
+            prop_assert_eq!(out.pin(&format!("F{i}")).unwrap().position.y, t);
+        }
+        out.validate().expect("stretched cell stays valid");
+    }
+
+    #[test]
+    fn stretch_to_current_positions_is_identity(rows in arb_rows()) {
+        let cell = comb_cell(&rows);
+        let mut spec = StretchSpec::new(Axis::Y);
+        for (i, &y) in rows.iter().enumerate() {
+            spec.push_target(format!("F{i}"), y);
+        }
+        let out = stretch(&cell, &spec).expect("identity targets");
+        prop_assert_eq!(out, cell);
+    }
+
+    #[test]
+    fn stretch_never_shrinks_any_gap((rows, growth) in arb_rows().prop_flat_map(|r| {
+        let n = r.len();
+        (Just(r), arb_growth(n))
+    })) {
+        let cell = comb_cell(&rows);
+        let mut spec = StretchSpec::new(Axis::Y);
+        let mut cum = 0;
+        for (i, (&y, &g)) in rows.iter().zip(&growth).enumerate() {
+            cum += g;
+            spec.push_target(format!("F{i}"), y + cum);
+        }
+        let out = stretch(&cell, &spec).expect("feasible");
+        // Every consecutive pin gap is at least its original value.
+        for i in 1..rows.len() {
+            let orig = rows[i] - rows[i - 1];
+            let new = out.pin(&format!("F{i}")).unwrap().position.y
+                - out.pin(&format!("F{}", i - 1)).unwrap().position.y;
+            prop_assert!(new >= orig, "gap {i} shrank: {new} < {orig}");
+        }
+        // The bounding box never shrinks either.
+        prop_assert!(out.bbox().height() >= cell.bbox().height());
+    }
+
+    #[test]
+    fn compact_is_idempotent(rows in arb_rows()) {
+        let cell = comb_cell(&rows);
+        let once = compact(&cell, Axis::Y).expect("compact");
+        let twice = compact(&once, Axis::Y).expect("compact again");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn compact_respects_poly_spacing(rows in arb_rows()) {
+        let cell = comb_cell(&rows);
+        let out = compact(&cell, Axis::Y).expect("compact");
+        // Poly fingers all span the same x range, so they must stay
+        // half+half+spacing = 1+1+2 = 4 apart.
+        let mut ys: Vec<i64> = out
+            .wires()
+            .iter()
+            .filter(|w| w.layer == Layer::Poly)
+            .map(|w| w.path.start().y)
+            .collect();
+        ys.sort_unstable();
+        for pair in ys.windows(2) {
+            prop_assert!(pair[1] - pair[0] >= 4, "poly rows {} and {} too close", pair[0], pair[1]);
+        }
+        out.validate().expect("compacted cell stays valid");
+    }
+}

@@ -1,0 +1,115 @@
+//! Route-cell generation: turning a finished route into a Sticks cell.
+//!
+//! "Riot then makes a new Sticks cell containing the river route wires
+//! and places an instance of that route cell next to the to instance."
+//! Route cells are ordinary cells: they appear in the cell menu and can
+//! be instantiated, moved and deleted like anything else.
+
+use crate::river::RiverRoute;
+use crate::straight::unique_pin_name;
+use riot_geom::{Rect, Side};
+use riot_sticks::{Pin, SticksCell, SymWire};
+
+impl RiverRoute {
+    /// Builds the Sticks route cell for this route.
+    ///
+    /// Bottom-edge pins keep the net names; top-edge pins get a prime
+    /// (`'`) appended when the name would collide. The cell's bounding
+    /// box spans the terminal extent plus a design-rule margin on each
+    /// side.
+    pub fn to_sticks_cell(&self, name: impl Into<String>) -> SticksCell {
+        let mut xmin = i64::MAX;
+        let mut xmax = i64::MIN;
+        let mut wmax: i64 = 0;
+        for w in self.wires() {
+            for &p in w.path.points() {
+                xmin = xmin.min(p.x);
+                xmax = xmax.max(p.x);
+            }
+            wmax = wmax.max(w.width);
+        }
+        let pad = wmax / 2 + 2;
+        let bbox = Rect::new(xmin - pad, 0, xmax + pad, self.height());
+        let mut cell = SticksCell::new(name, bbox);
+
+        let mut used = std::collections::HashSet::new();
+        for w in self.wires() {
+            let bottom_name = unique_pin_name(&w.name, &mut used);
+            cell.push_pin(Pin {
+                name: bottom_name,
+                side: Side::Bottom,
+                layer: w.layer,
+                position: w.path.start(),
+                width: w.width,
+            });
+            let top_name = unique_pin_name(&w.name, &mut used);
+            cell.push_pin(Pin {
+                name: top_name,
+                side: Side::Top,
+                layer: w.layer,
+                position: w.path.end(),
+                width: w.width,
+            });
+            cell.push_wire(SymWire {
+                layer: w.layer,
+                width: w.width,
+                path: w.path.clone(),
+            });
+        }
+        cell
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::terminal::{RouteProblem, Terminal};
+    use crate::river::river_route;
+    use riot_geom::{Layer, Side};
+
+    fn route_cell() -> riot_sticks::SticksCell {
+        let p = RouteProblem::new(
+            vec![
+                Terminal::new("a", 0, Layer::Metal, 3),
+                Terminal::new("b", 10, Layer::Poly, 2),
+            ],
+            vec![
+                Terminal::new("a", 8, Layer::Metal, 3),
+                Terminal::new("b", 22, Layer::Poly, 2),
+            ],
+        );
+        river_route(&p).unwrap().to_sticks_cell("r0")
+    }
+
+    #[test]
+    fn route_cell_is_valid_sticks() {
+        let cell = route_cell();
+        cell.validate().unwrap();
+        assert_eq!(cell.name(), "r0");
+    }
+
+    #[test]
+    fn pins_on_both_edges() {
+        let cell = route_cell();
+        assert_eq!(cell.pins_on_side(Side::Bottom).len(), 2);
+        assert_eq!(cell.pins_on_side(Side::Top).len(), 2);
+        // Net names survive; top duplicates get primes.
+        assert!(cell.pin("a").is_some());
+        assert!(cell.pin("a'").is_some());
+    }
+
+    #[test]
+    fn cell_round_trips_through_sticks_text(){
+        let cell = route_cell();
+        let text = riot_sticks::to_text(&cell);
+        let again = riot_sticks::parse(&text).unwrap();
+        assert_eq!(cell, again);
+    }
+
+    #[test]
+    fn mask_generation_works_on_route_cells() {
+        let cell = route_cell();
+        let cif = riot_sticks::mask::to_cif_cell(&cell, 3);
+        assert_eq!(cif.connectors.len(), 4);
+        assert_eq!(cif.shapes.len(), 2);
+    }
+}

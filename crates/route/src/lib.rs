@@ -1,0 +1,66 @@
+//! The RIOT multi-layer river router.
+//!
+//! Riot's ROUTE command makes "simple multi-layer river-routed
+//! connections: a routed connection between parallel sets of points
+//! where no routes change layers and no two routes on the same layer
+//! cross. The Riot river router cannot turn corners, and it ignores
+//! objects in the path of the route. … The routing algorithm attempts to
+//! route all wires to the desired locations in a single routing channel.
+//! If some wires are blocked, another channel is added and the route is
+//! continued in the new channel."
+//!
+//! This crate reproduces that router:
+//!
+//! * terminals live on two parallel edges of a **channel** (canonically
+//!   bottom = the *to* instance, top = the *from* instance); nets are
+//!   index-paired;
+//! * each net stays on one layer and makes at most one horizontal jog;
+//! * per layer, nets must be **order-preserving** (a river route) —
+//!   otherwise [`RouteError::NotRiverRoutable`] names the crossing pair;
+//! * jog tracks are assigned by overlap depth; when a channel's track
+//!   capacity is exhausted, the route continues in an added channel
+//!   (see [`RiverRoute::channels`]);
+//! * the result converts to a Sticks **route cell** with pins on both
+//!   edges, exactly what Riot instantiates next to the *to* instance.
+//!
+//! All coordinates are in lambda (the routers of this era worked on the
+//! symbolic grid; Riot emitted route cells in Sticks form).
+//!
+//! # Example
+//!
+//! ```
+//! use riot_route::{river_route, RouteProblem, Terminal};
+//! use riot_geom::Layer;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = RouteProblem::new(
+//!     vec![
+//!         Terminal::new("a", 0, Layer::Metal, 3),
+//!         Terminal::new("b", 10, Layer::Metal, 3),
+//!     ],
+//!     vec![
+//!         Terminal::new("a", 8, Layer::Metal, 3),
+//!         Terminal::new("b", 18, Layer::Metal, 3),
+//!     ],
+//! );
+//! let route = river_route(&problem)?;
+//! assert_eq!(route.wires().len(), 2);
+//! let cell = route.to_sticks_cell("route0");
+//! cell.validate()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cellgen;
+pub mod error;
+pub mod river;
+pub mod straight;
+pub mod terminal;
+
+pub use error::RouteError;
+pub use river::{river_route, RiverRoute, RoutedWire};
+pub use straight::straight_route;
+pub use terminal::{RouteProblem, RouterOptions, Terminal};

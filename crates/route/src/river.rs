@@ -1,0 +1,501 @@
+//! The river routing algorithm.
+
+use crate::error::RouteError;
+use crate::terminal::RouteProblem;
+use riot_geom::{Layer, Path, Point};
+
+/// Same-layer wire spacing on the lambda grid.
+pub(crate) fn spacing_lambda(layer: Layer) -> i64 {
+    match layer {
+        Layer::Metal | Layer::Diffusion => 3,
+        _ => 2,
+    }
+}
+
+/// One routed net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedWire {
+    /// Net name (from the bottom terminal).
+    pub name: String,
+    /// Index of the net in the problem.
+    pub net: usize,
+    /// Layer the whole wire runs on.
+    pub layer: Layer,
+    /// Wire width (max of the two terminal widths).
+    pub width: i64,
+    /// Centerline from the bottom edge to the top edge.
+    pub path: Path,
+    /// Jog track, if the net needed one (`None` = straight through).
+    pub track: Option<usize>,
+}
+
+/// A completed river route across one channel region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiverRoute {
+    wires: Vec<RoutedWire>,
+    height: i64,
+    tracks: usize,
+    channels: usize,
+}
+
+impl RiverRoute {
+    /// The routed wires, one per net, in problem order.
+    pub fn wires(&self) -> &[RoutedWire] {
+        &self.wires
+    }
+
+    /// Channel height in lambda (distance between the two edges).
+    pub fn height(&self) -> i64 {
+        self.height
+    }
+
+    /// Jog tracks used on the busiest layer.
+    pub fn tracks(&self) -> usize {
+        self.tracks
+    }
+
+    /// Channels needed: 1 when every jog fit the first channel, more
+    /// when blocked wires forced the route to continue in added
+    /// channels (the paper's overflow behaviour).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+struct Net {
+    index: usize,
+    xb: i64,
+    xt: i64,
+    width: i64,
+}
+
+/// Routes the problem, producing jogged Manhattan wires.
+///
+/// # Errors
+///
+/// See [`RouteError`] — mismatched counts/layers, crossing same-layer
+/// nets (not a river route), terminals closer than design rules, bad
+/// widths, or an empty problem.
+pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
+    let RouteProblem {
+        bottom,
+        top,
+        options,
+    } = problem;
+    if bottom.len() != top.len() {
+        return Err(RouteError::CountMismatch {
+            bottom: bottom.len(),
+            top: top.len(),
+        });
+    }
+    if bottom.is_empty() {
+        return Err(RouteError::Empty);
+    }
+    for (i, (b, t)) in bottom.iter().zip(top).enumerate() {
+        if b.layer != t.layer {
+            return Err(RouteError::LayerMismatch {
+                net: i,
+                bottom: b.layer,
+                top: t.layer,
+            });
+        }
+        if b.width <= 0 || t.width <= 0 {
+            return Err(RouteError::BadWidth {
+                net: i,
+                width: b.width.min(t.width),
+            });
+        }
+    }
+
+    // Group nets by layer.
+    let mut layers: Vec<Layer> = bottom.iter().map(|t| t.layer).collect();
+    layers.sort_unstable();
+    layers.dedup();
+
+    let cap = options.tracks_per_channel.max(1);
+    let mut assignments: Vec<(usize, Option<usize>)> = Vec::new(); // (net, track)
+    let mut height = 2 * options.margin;
+    let mut per_layer_geometry: Vec<(Layer, i64, i64)> = Vec::new(); // (layer, pitch, maxw)
+    let mut tracks_max = 0usize;
+    let mut channels_max = 1usize;
+
+    for &layer in &layers {
+        let mut nets: Vec<Net> = bottom
+            .iter()
+            .zip(top)
+            .enumerate()
+            .filter(|(_, (b, _))| b.layer == layer)
+            .map(|(i, (b, t))| Net {
+                index: i,
+                xb: b.offset,
+                xt: t.offset,
+                width: b.width.max(t.width),
+            })
+            .collect();
+        let spacing = spacing_lambda(layer);
+
+        check_edge_spacing(layer, spacing, nets.iter().map(|n| (n.xb, n.width)))?;
+        check_edge_spacing(layer, spacing, nets.iter().map(|n| (n.xt, n.width)))?;
+
+        // Order preservation: sorting by bottom offset must sort the top
+        // offsets too.
+        nets.sort_by_key(|n| n.xb);
+        for w in nets.windows(2) {
+            if w[0].xt >= w[1].xt {
+                return Err(RouteError::NotRiverRoutable {
+                    layer,
+                    first: w[0].index,
+                    second: w[1].index,
+                });
+            }
+        }
+
+        let maxw = nets.iter().map(|n| n.width).max().unwrap_or(2);
+        let pitch = maxw + spacing;
+
+        // Split by jog direction and assign overlap depths.
+        let rights: Vec<&Net> = nets.iter().filter(|n| n.xt > n.xb).collect();
+        let lefts: Vec<&Net> = nets.iter().filter(|n| n.xt < n.xb).collect();
+        let right_depths = overlap_depths(&rights, spacing);
+        let left_depths = overlap_depths(&lefts, spacing);
+        let r_max = right_depths.iter().copied().max().unwrap_or(0);
+        let l_max = left_depths.iter().copied().max().unwrap_or(0);
+
+        // Rights: the leftmost overlapping net must jog highest, so its
+        // depth maps to the top of the right band. Lefts stack above.
+        for (net, d) in rights.iter().zip(&right_depths) {
+            assignments.push((net.index, Some(r_max - d + 1)));
+        }
+        for (net, d) in lefts.iter().zip(&left_depths) {
+            assignments.push((net.index, Some(r_max + d)));
+        }
+        for net in nets.iter().filter(|n| n.xt == n.xb) {
+            assignments.push((net.index, None));
+        }
+
+        let total_tracks = r_max + l_max;
+        tracks_max = tracks_max.max(total_tracks);
+        if total_tracks > 0 {
+            let channels = total_tracks.div_ceil(cap);
+            channels_max = channels_max.max(channels);
+            let top_y = track_y(total_tracks, options.margin, pitch, maxw, cap, options.channel_gap);
+            height = height.max(top_y + maxw / 2 + options.margin);
+        }
+        per_layer_geometry.push((layer, pitch, maxw));
+    }
+
+    if let Some(exact) = options.exact_height {
+        if exact < height {
+            return Err(RouteError::ChannelTooTight {
+                needed: height,
+                available: exact,
+            });
+        }
+        height = exact;
+    }
+
+    // Emit wires in problem order.
+    let mut wires: Vec<Option<RoutedWire>> = vec![None; bottom.len()];
+    for (index, track) in assignments {
+        let b = &bottom[index];
+        let t = &top[index];
+        let (_, pitch, maxw) = per_layer_geometry
+            .iter()
+            .find(|(l, _, _)| *l == b.layer)
+            .copied()
+            .expect("layer geometry computed above");
+        let width = b.width.max(t.width);
+        let path = match track {
+            None => Path::from_points([Point::new(b.offset, 0), Point::new(b.offset, height)])
+                .expect("vertical"),
+            Some(tr) => {
+                let y = track_y(tr, options.margin, pitch, maxw, cap, options.channel_gap);
+                Path::from_points([
+                    Point::new(b.offset, 0),
+                    Point::new(b.offset, y),
+                    Point::new(t.offset, y),
+                    Point::new(t.offset, height),
+                ])
+                .expect("jogged Manhattan path")
+            }
+        };
+        wires[index] = Some(RoutedWire {
+            name: b.name.clone(),
+            net: index,
+            layer: b.layer,
+            width,
+            path,
+            track,
+        });
+    }
+
+    Ok(RiverRoute {
+        wires: wires.into_iter().map(|w| w.expect("every net routed")).collect(),
+        height,
+        tracks: tracks_max,
+        channels: channels_max,
+    })
+}
+
+/// y coordinate of the center of jog track `t` (1-based).
+fn track_y(t: usize, margin: i64, pitch: i64, maxw: i64, cap: usize, gap: i64) -> i64 {
+    let t0 = (t - 1) as i64;
+    let spills = ((t - 1) / cap) as i64;
+    margin + maxw / 2 + t0 * pitch + spills * gap
+}
+
+/// Overlap-chain depths for same-direction nets, in the given order
+/// (sorted by bottom offset). Two nets conflict when their jog spans,
+/// inflated by clearance, overlap.
+fn overlap_depths(nets: &[&Net], spacing: i64) -> Vec<usize> {
+    let mut depths = vec![0usize; nets.len()];
+    for i in 0..nets.len() {
+        let (lo_i, hi_i) = span(nets[i]);
+        let mut d = 1;
+        for j in 0..i {
+            let (lo_j, hi_j) = span(nets[j]);
+            let clearance = nets[i].width / 2 + nets[j].width / 2 + spacing;
+            if lo_i < hi_j + clearance && lo_j < hi_i + clearance {
+                d = d.max(depths[j] + 1);
+            }
+        }
+        depths[i] = d;
+    }
+    depths
+}
+
+fn span(n: &Net) -> (i64, i64) {
+    (n.xb.min(n.xt), n.xb.max(n.xt))
+}
+
+fn check_edge_spacing<I: IntoIterator<Item = (i64, i64)>>(
+    layer: Layer,
+    spacing: i64,
+    terminals: I,
+) -> Result<(), RouteError> {
+    let mut ts: Vec<(i64, i64)> = terminals.into_iter().collect();
+    ts.sort_unstable();
+    for w in ts.windows(2) {
+        let ((a, wa), (b, wb)) = (w[0], w[1]);
+        if b - a < wa / 2 + wb / 2 + spacing {
+            return Err(RouteError::TerminalsTooClose {
+                layer,
+                offsets: (a, b),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a finished route for same-layer design-rule violations:
+/// every pair of distinct same-layer wires must keep `spacing` between
+/// wire edges. Returns a description of the first violation.
+///
+/// # Errors
+///
+/// A human-readable description of the first violating wire pair.
+pub fn verify_clearance(route: &RiverRoute) -> Result<(), String> {
+    let wires = route.wires();
+    for i in 0..wires.len() {
+        for j in i + 1..wires.len() {
+            let (a, b) = (&wires[i], &wires[j]);
+            if a.layer != b.layer {
+                continue;
+            }
+            let spacing = spacing_lambda(a.layer);
+            for (a0, a1) in a.path.segments() {
+                let ra = seg_rect(a0, a1, a.width);
+                for (b0, b1) in b.path.segments() {
+                    let rb = seg_rect(b0, b1, b.width);
+                    let dx = (rb.x0 - ra.x1).max(ra.x0 - rb.x1).max(0);
+                    let dy = (rb.y0 - ra.y1).max(ra.y0 - rb.y1).max(0);
+                    if dx < spacing && dy < spacing {
+                        return Err(format!(
+                            "wires {} and {} violate {} spacing on {}: dx={dx} dy={dy}",
+                            a.name, b.name, spacing, a.layer
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn seg_rect(a: Point, b: Point, width: i64) -> riot_geom::Rect {
+    riot_geom::Rect::from_points(a, b).inflated(width / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terminal::{RouterOptions, Terminal};
+
+    fn t(name: &str, offset: i64, layer: Layer) -> Terminal {
+        Terminal::new(name, offset, layer, if layer == Layer::Metal { 3 } else { 2 })
+    }
+
+    #[test]
+    fn straight_nets_have_no_tracks() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+        );
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.tracks(), 0);
+        assert_eq!(r.channels(), 1);
+        assert!(r.wires().iter().all(|w| w.track.is_none()));
+        assert!(r.wires().iter().all(|w| w.path.segment_count() == 1));
+        verify_clearance(&r).unwrap();
+    }
+
+    #[test]
+    fn shifted_nets_jog_once() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+            vec![t("a", 20, Layer::Metal), t("b", 30, Layer::Metal)],
+        );
+        let r = river_route(&p).unwrap();
+        assert!(r.tracks() >= 1);
+        for w in r.wires() {
+            assert_eq!(w.path.corner_count(), 2, "single jog per wire");
+            assert_eq!(w.path.start().y, 0);
+            assert_eq!(w.path.end().y, r.height());
+        }
+        verify_clearance(&r).unwrap();
+    }
+
+    #[test]
+    fn overlapping_shifts_use_separate_tracks() {
+        // Both shift right and their spans overlap: two tracks.
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+            vec![t("a", 15, Layer::Metal), t("b", 25, Layer::Metal)],
+        );
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.tracks(), 2);
+        // The left net (a) jogs above the right net (b).
+        let ya = r.wires()[0].path.points()[1].y;
+        let yb = r.wires()[1].path.points()[1].y;
+        assert!(ya > yb, "left net must jog above: {ya} vs {yb}");
+        verify_clearance(&r).unwrap();
+    }
+
+    #[test]
+    fn left_shifts_stack_the_other_way() {
+        let p = RouteProblem::new(
+            vec![t("a", 15, Layer::Metal), t("b", 25, Layer::Metal)],
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+        );
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.tracks(), 2);
+        let ya = r.wires()[0].path.points()[1].y;
+        let yb = r.wires()[1].path.points()[1].y;
+        assert!(ya < yb, "left net must jog below: {ya} vs {yb}");
+        verify_clearance(&r).unwrap();
+    }
+
+    #[test]
+    fn layers_route_independently() {
+        // Metal and poly nets overlap in x freely.
+        let p = RouteProblem::new(
+            vec![t("m", 0, Layer::Metal), t("p", 2, Layer::Poly)],
+            vec![t("m", 20, Layer::Metal), t("p", 22, Layer::Poly)],
+        );
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.tracks(), 1);
+        verify_clearance(&r).unwrap();
+    }
+
+    #[test]
+    fn crossing_nets_rejected() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+            vec![t("a", 30, Layer::Metal), t("b", 20, Layer::Metal)],
+        );
+        let err = river_route(&p).unwrap_err();
+        assert!(matches!(err, RouteError::NotRiverRoutable { .. }));
+    }
+
+    #[test]
+    fn count_and_layer_mismatches_rejected() {
+        let p = RouteProblem::new(vec![t("a", 0, Layer::Metal)], vec![]);
+        assert!(matches!(
+            river_route(&p),
+            Err(RouteError::CountMismatch { .. })
+        ));
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal)],
+            vec![t("a", 0, Layer::Poly)],
+        );
+        assert!(matches!(
+            river_route(&p),
+            Err(RouteError::LayerMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn close_terminals_rejected() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 3, Layer::Metal)],
+            vec![t("a", 0, Layer::Metal), t("b", 20, Layer::Metal)],
+        );
+        assert!(matches!(
+            river_route(&p),
+            Err(RouteError::TerminalsTooClose { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let p = RouteProblem::new(vec![], vec![]);
+        assert!(matches!(river_route(&p), Err(RouteError::Empty)));
+    }
+
+    #[test]
+    fn channel_overflow_adds_channels() {
+        // 6 mutually overlapping right-shifting nets with capacity 2.
+        let n = 6;
+        let shift = 200;
+        let bottom: Vec<Terminal> = (0..n)
+            .map(|i| t(&format!("n{i}"), i * 10, Layer::Metal))
+            .collect();
+        let top: Vec<Terminal> = (0..n)
+            .map(|i| t(&format!("n{i}"), i * 10 + shift, Layer::Metal))
+            .collect();
+        let p = RouteProblem::new(bottom, top).with_options(RouterOptions {
+            tracks_per_channel: 2,
+            ..RouterOptions::new()
+        });
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.tracks(), 6);
+        assert_eq!(r.channels(), 3);
+        verify_clearance(&r).unwrap();
+        // With default capacity everything fits one channel.
+        let p1 = RouteProblem::new(p.bottom.clone(), p.top.clone());
+        let r1 = river_route(&p1).unwrap();
+        assert_eq!(r1.channels(), 1);
+        assert!(r1.height() < r.height(), "overflow gaps cost height");
+    }
+
+    #[test]
+    fn mixed_directions_share_the_channel() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 40, Layer::Metal)],
+            vec![t("a", 10, Layer::Metal), t("b", 30, Layer::Metal)],
+        );
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.tracks(), 2); // one right band + one left band
+        verify_clearance(&r).unwrap();
+    }
+
+    #[test]
+    fn wire_width_is_max_of_terminals() {
+        let p = RouteProblem::new(
+            vec![Terminal::new("a", 0, Layer::Metal, 3)],
+            vec![Terminal::new("a", 12, Layer::Metal, 5)],
+        );
+        let r = river_route(&p).unwrap();
+        assert_eq!(r.wires()[0].width, 5);
+    }
+}

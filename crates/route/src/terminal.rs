@@ -1,0 +1,124 @@
+//! Route terminals and router options.
+
+use riot_geom::Layer;
+
+/// One terminal of a route: a point on a channel edge.
+///
+/// Offsets are lambda coordinates along the edge; widths are in lambda.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Terminal {
+    /// Net name (usually the connector name on the instance).
+    pub name: String,
+    /// Coordinate along the channel edge.
+    pub offset: i64,
+    /// Wire layer — routes never change layers.
+    pub layer: Layer,
+    /// Wire width in lambda.
+    pub width: i64,
+}
+
+impl Terminal {
+    /// Creates a terminal.
+    pub fn new(name: impl Into<String>, offset: i64, layer: Layer, width: i64) -> Self {
+        Terminal {
+            name: name.into(),
+            offset,
+            layer,
+            width,
+        }
+    }
+}
+
+/// Router tuning knobs — Riot's textual commands "set defaults for
+/// routing operations"; these are those defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterOptions {
+    /// Jog tracks per channel before the router adds another channel.
+    pub tracks_per_channel: usize,
+    /// Clear margin between the channel edges and the first/last track,
+    /// in lambda.
+    pub margin: i64,
+    /// Extra gap inserted between successive channels, in lambda.
+    pub channel_gap: i64,
+    /// Force the channel to exactly this height (lambda). Used when the
+    /// *from* instance must not move: the route has to fill the existing
+    /// gap. Routing fails when the tracks need more height than this.
+    pub exact_height: Option<i64>,
+}
+
+impl RouterOptions {
+    /// The defaults Riot-era channels used: 8 tracks per channel, 3λ
+    /// margins (connector end caps poke half a wire width into the
+    /// channel, and the poly spacing rule must still hold), 2λ between
+    /// channels.
+    pub fn new() -> Self {
+        RouterOptions {
+            tracks_per_channel: 8,
+            margin: 3,
+            channel_gap: 2,
+            exact_height: None,
+        }
+    }
+}
+
+impl Default for RouterOptions {
+    fn default() -> Self {
+        RouterOptions::new()
+    }
+}
+
+/// A routing problem: terminals on the bottom edge (the *to* instance)
+/// paired by index with terminals on the top edge (the *from* instance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteProblem {
+    /// Terminals on the bottom channel edge.
+    pub bottom: Vec<Terminal>,
+    /// Terminals on the top channel edge, paired with `bottom` by index.
+    pub top: Vec<Terminal>,
+    /// Router options.
+    pub options: RouterOptions,
+}
+
+impl RouteProblem {
+    /// Creates a problem with default options.
+    pub fn new(bottom: Vec<Terminal>, top: Vec<Terminal>) -> Self {
+        RouteProblem {
+            bottom,
+            top,
+            options: RouterOptions::new(),
+        }
+    }
+
+    /// Sets the options (builder style).
+    pub fn with_options(mut self, options: RouterOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.bottom.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = RouterOptions::new();
+        assert_eq!(o, RouterOptions::default());
+        assert!(o.tracks_per_channel > 0);
+        assert!(o.margin > 0);
+    }
+
+    #[test]
+    fn problem_counts() {
+        let p = RouteProblem::new(
+            vec![Terminal::new("x", 0, Layer::Poly, 2)],
+            vec![Terminal::new("x", 4, Layer::Poly, 2)],
+        );
+        assert_eq!(p.net_count(), 1);
+    }
+}

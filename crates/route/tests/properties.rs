@@ -1,0 +1,100 @@
+//! Property tests for the river router: random order-preserving
+//! problems always route, never violate clearance, and the route cell
+//! is always a valid Sticks cell.
+
+use proptest::prelude::*;
+use riot_geom::Layer;
+use riot_route::river::verify_clearance;
+use riot_route::{river_route, RouteProblem, RouterOptions, Terminal};
+
+/// Generates an order-preserving problem on one layer: both edges get
+/// strictly increasing offsets with design-rule-respecting gaps.
+fn arb_layer_problem(layer: Layer) -> impl Strategy<Value = (Vec<Terminal>, Vec<Terminal>)> {
+    let width = if layer == Layer::Metal { 3i64 } else { 2 };
+    let min_gap = width + 3; // >= w/2+w/2+spacing for our layers
+    prop::collection::vec((0i64..20, 0i64..20), 1..8).prop_map(move |gaps| {
+        let mut bottom = Vec::new();
+        let mut top = Vec::new();
+        let (mut xb, mut xt) = (0i64, 0i64);
+        for (i, (gb, gt)) in gaps.iter().enumerate() {
+            xb += min_gap + gb;
+            xt += min_gap + gt;
+            bottom.push(Terminal::new(format!("n{i}"), xb, layer, width));
+            top.push(Terminal::new(format!("n{i}"), xt, layer, width));
+        }
+        (bottom, top)
+    })
+}
+
+fn arb_problem() -> impl Strategy<Value = RouteProblem> {
+    (
+        arb_layer_problem(Layer::Metal),
+        arb_layer_problem(Layer::Poly),
+        1usize..6,
+    )
+        .prop_map(|((mb, mt), (pb, pt), cap)| {
+            let mut bottom = mb;
+            let mut top = mt;
+            bottom.extend(pb);
+            top.extend(pt);
+            RouteProblem::new(bottom, top).with_options(RouterOptions {
+                tracks_per_channel: cap,
+                ..RouterOptions::new()
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn order_preserving_problems_always_route(p in arb_problem()) {
+        let r = river_route(&p).expect("order-preserving problems are river routable");
+        prop_assert_eq!(r.wires().len(), p.net_count());
+    }
+
+    #[test]
+    fn routes_never_violate_clearance(p in arb_problem()) {
+        let r = river_route(&p).expect("routable");
+        verify_clearance(&r).expect("clearance respected");
+    }
+
+    #[test]
+    fn wires_span_the_full_channel(p in arb_problem()) {
+        let r = river_route(&p).expect("routable");
+        for (i, w) in r.wires().iter().enumerate() {
+            prop_assert_eq!(w.path.start().y, 0);
+            prop_assert_eq!(w.path.end().y, r.height());
+            prop_assert_eq!(w.path.start().x, p.bottom[i].offset);
+            prop_assert_eq!(w.path.end().x, p.top[i].offset);
+            prop_assert!(w.path.corner_count() <= 2, "at most one jog");
+        }
+    }
+
+    #[test]
+    fn route_cells_are_valid(p in arb_problem()) {
+        let r = river_route(&p).expect("routable");
+        let cell = r.to_sticks_cell("rc");
+        cell.validate().expect("valid sticks");
+        // Every net has a pin on each edge.
+        prop_assert_eq!(cell.pins().len(), 2 * p.net_count());
+        // Round trip through the textual format.
+        let again = riot_sticks::parse(&riot_sticks::to_text(&cell)).expect("parse");
+        prop_assert_eq!(cell, again);
+    }
+
+    #[test]
+    fn channel_count_monotone_in_capacity(p in arb_problem()) {
+        let r = river_route(&p).expect("routable");
+        let loose = RouteProblem {
+            options: RouterOptions {
+                tracks_per_channel: p.options.tracks_per_channel + 4,
+                ..p.options
+            },
+            ..p.clone()
+        };
+        let r2 = river_route(&loose).expect("routable");
+        prop_assert!(r2.channels() <= r.channels());
+        prop_assert!(r2.height() <= r.height());
+    }
+}

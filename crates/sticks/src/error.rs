@@ -1,0 +1,100 @@
+//! Sticks parse and validation errors.
+
+use riot_geom::{Layer, Point, Side};
+use std::fmt;
+
+/// Error while parsing the textual Sticks format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSticksError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseSticksError {
+    /// Builds an error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseSticksError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseSticksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sticks line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSticksError {}
+
+/// Violation of a [`crate::SticksCell`] invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateSticksError {
+    /// Two pins share a name.
+    DuplicatePin(String),
+    /// A pin does not lie on its declared bounding-box side.
+    PinOffSide {
+        /// Pin name.
+        pin: String,
+        /// Declared side.
+        side: Side,
+    },
+    /// A pin on a layer wires cannot run on.
+    BadPinLayer {
+        /// Pin name.
+        pin: String,
+        /// Offending layer.
+        layer: Layer,
+    },
+    /// A pin with non-positive width.
+    BadPinWidth {
+        /// Pin name.
+        pin: String,
+        /// Offending width.
+        width: i64,
+    },
+    /// A wire with non-positive width.
+    BadWireWidth {
+        /// Index of the wire in the cell.
+        index: usize,
+        /// Offending width.
+        width: i64,
+    },
+    /// Geometry outside the declared bounding box.
+    OutsideBbox {
+        /// What kind of element.
+        what: &'static str,
+        /// Offending location.
+        at: Point,
+    },
+}
+
+impl fmt::Display for ValidateSticksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateSticksError::DuplicatePin(name) => {
+                write!(f, "duplicate pin name `{name}`")
+            }
+            ValidateSticksError::PinOffSide { pin, side } => {
+                write!(f, "pin `{pin}` is not on the {side} side of the bounding box")
+            }
+            ValidateSticksError::BadPinLayer { pin, layer } => {
+                write!(f, "pin `{pin}` is on non-routable layer {layer}")
+            }
+            ValidateSticksError::BadPinWidth { pin, width } => {
+                write!(f, "pin `{pin}` has non-positive width {width}")
+            }
+            ValidateSticksError::BadWireWidth { index, width } => {
+                write!(f, "wire #{index} has non-positive width {width}")
+            }
+            ValidateSticksError::OutsideBbox { what, at } => {
+                write!(f, "{what} at {at} lies outside the bounding box")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateSticksError {}

@@ -1,0 +1,52 @@
+//! The Sticks Standard symbolic layout format for the RIOT reproduction.
+//!
+//! Sticks (Trimberger 1980, "The Proposed Sticks Standard") is the
+//! symbolic-layout interchange format Riot reads beside CIF. A Sticks
+//! cell describes topology — wires, transistors, contacts and boundary
+//! pins on a lambda grid — rather than final mask rectangles, which is
+//! what makes Riot's **stretch** connection possible: pin positions can
+//! be re-constrained and the cell re-solved.
+//!
+//! The Caltech technical report's exact grammar is lost; this crate
+//! defines a documented line-oriented textual format carrying the same
+//! information (see DESIGN.md §2 for the substitution note):
+//!
+//! ```text
+//! sticks nand2
+//! bbox 0 0 14 20
+//! pin PWR left NM 0 18 3
+//! wire NM 3 0 18 14 18
+//! dev enh 4 10 R0
+//! contact mp 7 14
+//! end
+//! ```
+//!
+//! Coordinates and widths are in **lambda**; [`mask`] converts a cell to
+//! CIF mask geometry (λ = 2.5 µm, see [`riot_geom::units`]).
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let text = "sticks inv\nbbox 0 0 10 12\npin IN left NP 0 6\npin OUT right NM 10 6\nwire NP 2 0 6 10 6\nend\n";
+//! let cell = riot_sticks::parse(text)?;
+//! assert_eq!(cell.pins().len(), 2);
+//! let cif = riot_sticks::mask::to_cif_cell(&cell, 1);
+//! assert_eq!(cif.connectors.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod error;
+pub mod mask;
+pub mod parse;
+pub mod write;
+
+pub use cell::{Contact, ContactKind, Device, DeviceKind, Pin, SticksCell, SymWire};
+pub use error::{ParseSticksError, ValidateSticksError};
+pub use parse::parse;
+pub use write::to_text;

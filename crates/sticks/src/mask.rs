@@ -1,0 +1,238 @@
+//! Mask generation: symbolic Sticks cells to CIF geometry.
+//!
+//! Riot writes composition-format files "which are converted to CIF for
+//! mask generation". Leaf cells defined in Sticks need their symbolic
+//! elements expanded into mask rectangles first; this module performs
+//! that expansion with simple Mead & Conway NMOS rules:
+//!
+//! * wires become CIF `W` commands at `width × λ`;
+//! * a transistor is a 2λ poly gate crossing a 2λ diffusion run, the
+//!   gate extending 2λ past the diffusion on both sides; depletion
+//!   devices add an implant box surrounding the gate by 2λ;
+//! * a contact is a 2λ cut with 4λ landing pads on both joined layers;
+//! * pins become `94` CIF connectors.
+
+use crate::cell::{ContactKind, DeviceKind, SticksCell};
+use riot_cif::model::{CifCell, CifConnector, CifFile};
+use riot_cif::{Geometry, Shape};
+use riot_geom::{Layer, Path, Point, Rect, Transform, LAMBDA};
+
+/// Converts a symbolic cell to a CIF definition with symbol number `id`.
+///
+/// All lambda coordinates are scaled to centimicrons.
+pub fn to_cif_cell(cell: &SticksCell, id: u32) -> CifCell {
+    let mut shapes = Vec::new();
+
+    for w in cell.wires() {
+        let pts: Vec<Point> = w
+            .path
+            .points()
+            .iter()
+            .map(|&p| scale_point(p))
+            .collect();
+        shapes.push(Shape {
+            layer: w.layer,
+            geometry: Geometry::Wire {
+                width: w.width * LAMBDA,
+                path: Path::from_points(pts).expect("scaling preserves Manhattan paths"),
+            },
+        });
+    }
+
+    for d in cell.devices() {
+        let t = Transform::new(d.orient, scale_point(d.position));
+        // Local geometry for R0: poly gate vertical, diffusion horizontal.
+        let gate = Rect::new(-LAMBDA, -3 * LAMBDA, LAMBDA, 3 * LAMBDA);
+        let diff = Rect::new(-3 * LAMBDA, -LAMBDA, 3 * LAMBDA, LAMBDA);
+        shapes.push(Shape {
+            layer: Layer::Poly,
+            geometry: Geometry::Box(t.apply_rect(gate)),
+        });
+        shapes.push(Shape {
+            layer: Layer::Diffusion,
+            geometry: Geometry::Box(t.apply_rect(diff)),
+        });
+        if d.kind == DeviceKind::Depletion {
+            shapes.push(Shape {
+                layer: Layer::Implant,
+                geometry: Geometry::Box(t.apply_rect(gate.inflated(2 * LAMBDA))),
+            });
+        }
+    }
+
+    for c in cell.contacts() {
+        let center = scale_point(c.position);
+        let cut = Rect::from_center(center, 2 * LAMBDA, 2 * LAMBDA);
+        let pad = Rect::from_center(center, 4 * LAMBDA, 4 * LAMBDA);
+        let (a, b) = c.kind.layers();
+        if c.kind != ContactKind::Buried {
+            shapes.push(Shape {
+                layer: Layer::Contact,
+                geometry: Geometry::Box(cut),
+            });
+        } else {
+            shapes.push(Shape {
+                layer: Layer::Buried,
+                geometry: Geometry::Box(pad),
+            });
+        }
+        shapes.push(Shape {
+            layer: a,
+            geometry: Geometry::Box(pad),
+        });
+        shapes.push(Shape {
+            layer: b,
+            geometry: Geometry::Box(pad),
+        });
+    }
+
+    let connectors = cell
+        .pins()
+        .iter()
+        .map(|p| CifConnector {
+            name: p.name.clone(),
+            location: scale_point(p.position),
+            layer: p.layer,
+            width: p.width * LAMBDA,
+        })
+        .collect();
+
+    CifCell {
+        id,
+        name: Some(cell.name().to_owned()),
+        shapes,
+        calls: vec![],
+        connectors,
+    }
+}
+
+/// Wraps a single symbolic cell as a standalone CIF file with one
+/// top-level call.
+pub fn to_cif_file(cell: &SticksCell) -> CifFile {
+    let mut file = CifFile::new();
+    let id = file.add_cell(to_cif_cell(cell, 1));
+    file.push_top_call(riot_cif::model::CifCall {
+        cell: id,
+        transform: Transform::IDENTITY,
+    });
+    file
+}
+
+/// The cell's mask-level bounding box (its lambda bbox scaled to
+/// centimicrons) — the box Riot displays and abuts.
+pub fn mask_bbox(cell: &SticksCell) -> Rect {
+    let bb = cell.bbox();
+    Rect::new(
+        bb.x0 * LAMBDA,
+        bb.y0 * LAMBDA,
+        bb.x1 * LAMBDA,
+        bb.y1 * LAMBDA,
+    )
+}
+
+fn scale_point(p: Point) -> Point {
+    Point::new(p.x * LAMBDA, p.y * LAMBDA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    const INV: &str = "\
+sticks inv
+bbox 0 0 10 16
+pin IN left NP 0 6 2
+pin OUT right NM 10 8 3
+pin PWR top NM 5 16 3
+pin GND bottom NM 5 0 3
+wire NP 2 0 6 5 6
+wire NM 3 5 0 5 4
+wire NM 3 5 12 5 16
+dev enh 5 6
+dev dep 5 10 R0
+contact md 5 8
+wire NM 3 5 8 10 8
+end
+";
+
+    #[test]
+    fn converts_inverter() {
+        let cell = parse(INV).unwrap();
+        let cif = to_cif_cell(&cell, 7);
+        assert_eq!(cif.id, 7);
+        assert_eq!(cif.name.as_deref(), Some("inv"));
+        assert_eq!(cif.connectors.len(), 4);
+        // 4 wires + 2 devices (2 boxes each) + implant + contact (3 boxes)
+        assert_eq!(cif.shapes.len(), 4 + 4 + 1 + 3);
+    }
+
+    #[test]
+    fn connector_positions_scaled() {
+        let cell = parse(INV).unwrap();
+        let cif = to_cif_cell(&cell, 1);
+        let out = cif.connector("OUT").unwrap();
+        assert_eq!(out.location, Point::new(10 * LAMBDA, 8 * LAMBDA));
+        assert_eq!(out.width, 3 * LAMBDA);
+    }
+
+    #[test]
+    fn depletion_gets_implant() {
+        let cell = parse(INV).unwrap();
+        let cif = to_cif_cell(&cell, 1);
+        let implants = cif
+            .shapes
+            .iter()
+            .filter(|s| s.layer == Layer::Implant)
+            .count();
+        assert_eq!(implants, 1);
+    }
+
+    #[test]
+    fn buried_contact_uses_buried_layer() {
+        let text = "sticks t\nbbox 0 0 8 8\ncontact bur 4 4\nend\n";
+        let cell = parse(text).unwrap();
+        let cif = to_cif_cell(&cell, 1);
+        assert!(cif.shapes.iter().any(|s| s.layer == Layer::Buried));
+        assert!(!cif.shapes.iter().any(|s| s.layer == Layer::Contact));
+    }
+
+    #[test]
+    fn device_rotation_rotates_gate() {
+        let r0 = "sticks t\nbbox 0 0 10 10\ndev enh 5 5\nend\n";
+        let r90 = "sticks t\nbbox 0 0 10 10\ndev enh 5 5 R90\nend\n";
+        let g0 = to_cif_cell(&parse(r0).unwrap(), 1);
+        let g90 = to_cif_cell(&parse(r90).unwrap(), 1);
+        let gate0 = g0
+            .shapes
+            .iter()
+            .find(|s| s.layer == Layer::Poly)
+            .unwrap()
+            .geometry
+            .bounding_box();
+        let gate90 = g90
+            .shapes
+            .iter()
+            .find(|s| s.layer == Layer::Poly)
+            .unwrap()
+            .geometry
+            .bounding_box();
+        assert_eq!(gate0.width(), gate90.height());
+        assert_eq!(gate0.height(), gate90.width());
+    }
+
+    #[test]
+    fn cif_file_round_trips_through_text() {
+        let cell = parse(INV).unwrap();
+        let file = to_cif_file(&cell);
+        let text = riot_cif::to_text(&file);
+        let again = riot_cif::parse(&text).unwrap();
+        assert_eq!(file, again);
+    }
+
+    #[test]
+    fn mask_bbox_scales() {
+        let cell = parse(INV).unwrap();
+        assert_eq!(mask_bbox(&cell), Rect::new(0, 0, 10 * LAMBDA, 16 * LAMBDA));
+    }
+}

@@ -1,0 +1,255 @@
+//! Parser for the textual Sticks format.
+
+use crate::cell::{Contact, ContactKind, Device, DeviceKind, Pin, SticksCell, SymWire};
+use crate::error::ParseSticksError;
+use riot_geom::{Layer, Orientation, Path, Point, Rect, Side};
+
+/// Parses a Sticks cell from its textual form and validates it.
+///
+/// The format is line-oriented; `#` starts a comment. See the crate
+/// docs for the grammar.
+///
+/// # Errors
+///
+/// Returns [`ParseSticksError`] on syntax errors or when the parsed cell
+/// violates a [`SticksCell::validate`] invariant.
+pub fn parse(text: &str) -> Result<SticksCell, ParseSticksError> {
+    let mut name: Option<String> = None;
+    let mut bbox: Option<Rect> = None;
+    let mut pins = Vec::new();
+    let mut wires = Vec::new();
+    let mut devices = Vec::new();
+    let mut contacts = Vec::new();
+    let mut ended = false;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        if ended {
+            return Err(ParseSticksError::new(line, "content after `end`"));
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        let err = |msg: &str| ParseSticksError::new(line, msg);
+        match fields[0] {
+            "sticks" => {
+                if name.is_some() {
+                    return Err(err("duplicate `sticks` header"));
+                }
+                let n = fields.get(1).ok_or_else(|| err("missing cell name"))?;
+                name = Some((*n).to_owned());
+            }
+            "bbox" => {
+                if fields.len() != 5 {
+                    return Err(err("bbox needs 4 coordinates"));
+                }
+                let v = parse_ints(&fields[1..], line)?;
+                bbox = Some(Rect::new(v[0], v[1], v[2], v[3]));
+            }
+            "pin" => {
+                // pin NAME SIDE LAYER X Y [WIDTH]
+                if fields.len() < 6 || fields.len() > 7 {
+                    return Err(err("pin needs: name side layer x y [width]"));
+                }
+                let side: Side = fields[2]
+                    .parse()
+                    .map_err(|_| err("bad pin side"))?;
+                let layer: Layer = fields[3]
+                    .parse()
+                    .map_err(|_| err("bad pin layer"))?;
+                let xy = parse_ints(&fields[4..6], line)?;
+                let width = match fields.get(6) {
+                    Some(w) => w.parse().map_err(|_| err("bad pin width"))?,
+                    None => layer.default_width() / riot_geom::LAMBDA,
+                };
+                pins.push(Pin {
+                    name: fields[1].to_owned(),
+                    side,
+                    layer,
+                    position: Point::new(xy[0], xy[1]),
+                    width,
+                });
+            }
+            "wire" => {
+                // wire LAYER WIDTH x1 y1 x2 y2 ...
+                if fields.len() < 7 || (fields.len() - 3) % 2 != 0 {
+                    return Err(err("wire needs: layer width and at least 2 points"));
+                }
+                let layer: Layer = fields[1]
+                    .parse()
+                    .map_err(|_| err("bad wire layer"))?;
+                let width: i64 = fields[2].parse().map_err(|_| err("bad wire width"))?;
+                let coords = parse_ints(&fields[3..], line)?;
+                let points: Vec<Point> = coords
+                    .chunks(2)
+                    .map(|c| Point::new(c[0], c[1]))
+                    .collect();
+                let path = Path::from_points(points)
+                    .map_err(|e| err(&format!("bad wire path: {e}")))?;
+                wires.push(SymWire { layer, width, path });
+            }
+            "dev" => {
+                // dev KIND X Y [ORIENT]
+                if fields.len() < 4 || fields.len() > 5 {
+                    return Err(err("dev needs: kind x y [orient]"));
+                }
+                let kind = match fields[1] {
+                    "enh" => DeviceKind::Enhancement,
+                    "dep" => DeviceKind::Depletion,
+                    other => return Err(err(&format!("unknown device kind `{other}`"))),
+                };
+                let xy = parse_ints(&fields[2..4], line)?;
+                let orient = match fields.get(4) {
+                    Some(o) => o.parse().map_err(|_| err("bad device orientation"))?,
+                    None => Orientation::R0,
+                };
+                devices.push(Device {
+                    kind,
+                    position: Point::new(xy[0], xy[1]),
+                    orient,
+                });
+            }
+            "contact" => {
+                // contact KIND X Y
+                if fields.len() != 4 {
+                    return Err(err("contact needs: kind x y"));
+                }
+                let kind = match fields[1] {
+                    "md" => ContactKind::MetalDiffusion,
+                    "mp" => ContactKind::MetalPoly,
+                    "bur" => ContactKind::Buried,
+                    other => return Err(err(&format!("unknown contact kind `{other}`"))),
+                };
+                let xy = parse_ints(&fields[2..4], line)?;
+                contacts.push(Contact {
+                    kind,
+                    position: Point::new(xy[0], xy[1]),
+                });
+            }
+            "end" => ended = true,
+            other => return Err(err(&format!("unknown directive `{other}`"))),
+        }
+    }
+
+    if !ended {
+        return Err(ParseSticksError::new(
+            text.lines().count(),
+            "missing `end`",
+        ));
+    }
+    let name = name.ok_or_else(|| ParseSticksError::new(1, "missing `sticks` header"))?;
+    let bbox = bbox.ok_or_else(|| ParseSticksError::new(1, "missing `bbox`"))?;
+
+    let mut cell = SticksCell::new(name, bbox);
+    for p in pins {
+        cell.push_pin(p);
+    }
+    for w in wires {
+        cell.push_wire(w);
+    }
+    for d in devices {
+        cell.push_device(d);
+    }
+    for c in contacts {
+        cell.push_contact(c);
+    }
+    cell.validate()
+        .map_err(|e| ParseSticksError::new(0, e.to_string()))?;
+    Ok(cell)
+}
+
+fn parse_ints(fields: &[&str], line: usize) -> Result<Vec<i64>, ParseSticksError> {
+    fields
+        .iter()
+        .map(|f| {
+            f.parse()
+                .map_err(|_| ParseSticksError::new(line, format!("bad integer `{f}`")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAND: &str = "\
+# a two-input nand gate, symbolic
+sticks nand2
+bbox 0 0 14 20
+pin PWR left NM 0 18 3
+pin GND left NM 0 2 3
+pin A bottom NP 4 0 2
+pin B bottom NP 9 0 2
+pin OUT right NM 14 10 3
+wire NM 3  0 18  14 18   # power rail
+wire NM 3  0 2   14 2
+wire NP 2  4 0   4 12
+wire NP 2  9 0   9 12
+dev enh 4 8
+dev enh 9 8 R0
+dev dep 7 14 R90
+contact md 12 10
+end
+";
+
+    #[test]
+    fn parses_nand() {
+        let c = parse(NAND).unwrap();
+        assert_eq!(c.name(), "nand2");
+        assert_eq!(c.pins().len(), 5);
+        assert_eq!(c.wires().len(), 4);
+        assert_eq!(c.devices().len(), 3);
+        assert_eq!(c.contacts().len(), 1);
+        assert_eq!(c.pin("OUT").unwrap().side, Side::Right);
+        assert_eq!(c.devices()[2].orient, Orientation::R90);
+    }
+
+    #[test]
+    fn default_pin_width_from_layer() {
+        let text = "sticks t\nbbox 0 0 4 4\npin P left NM 0 2\nend\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.pin("P").unwrap().width, 3); // metal default 3λ
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse("bbox 0 0 4 4\nend\n").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_end() {
+        assert!(parse("sticks t\nbbox 0 0 4 4\n").is_err());
+    }
+
+    #[test]
+    fn rejects_content_after_end() {
+        assert!(parse("sticks t\nbbox 0 0 4 4\nend\nwire NM 3 0 0 4 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_diagonal_wire() {
+        let text = "sticks t\nbbox 0 0 9 9\nwire NM 3 0 0 5 5\nend\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.message.contains("diagonal"));
+    }
+
+    #[test]
+    fn rejects_invalid_cell_semantics() {
+        // Pin declared on left side but placed mid-cell.
+        let text = "sticks t\nbbox 0 0 9 9\npin P left NM 4 4\nend\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        assert!(parse("sticks t\nbbox 0 0 4 4\nfoo 1 2\nend\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# leading comment\nsticks t  # trailing\n\nbbox 0 0 4 4\nend\n";
+        assert!(parse(text).is_ok());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests: generated Sticks cells survive write→parse round
+//! trips, and mask generation stays inside the scaled bounding box.
+
+use proptest::prelude::*;
+use riot_sticks::{parse, to_text, Contact, ContactKind, Device, DeviceKind, Pin, SticksCell, SymWire};
+use riot_geom::{Layer, Orientation, Path, Point, Rect, Side};
+
+const W: i64 = 40;
+const H: i64 = 32;
+
+fn arb_routable() -> impl Strategy<Value = Layer> {
+    prop::sample::select(Layer::ROUTABLE.to_vec())
+}
+
+fn arb_pin(i: usize) -> impl Strategy<Value = Pin> {
+    (
+        prop::sample::select(Side::ALL.to_vec()),
+        arb_routable(),
+        1i64..W - 1,
+        1i64..H - 1,
+        1i64..4,
+    )
+        .prop_map(move |(side, layer, x, y, w)| {
+            let position = match side {
+                Side::Left => Point::new(0, y),
+                Side::Right => Point::new(W, y),
+                Side::Bottom => Point::new(x, 0),
+                Side::Top => Point::new(x, H),
+            };
+            Pin {
+                name: format!("P{i}"),
+                side,
+                layer,
+                position,
+                width: w,
+            }
+        })
+}
+
+fn arb_wire() -> impl Strategy<Value = SymWire> {
+    (
+        arb_routable(),
+        1i64..4,
+        (0i64..W, 0i64..H),
+        prop::collection::vec((1i64..8, prop::bool::ANY), 1..5),
+    )
+        .prop_map(|(layer, width, (x, y), steps)| {
+            let mut path = Path::new(Point::new(x, y));
+            for (d, horiz) in steps {
+                let last = path.end();
+                let next = if horiz {
+                    Point::new((last.x + d).min(W), last.y)
+                } else {
+                    Point::new(last.x, (last.y + d).min(H))
+                };
+                path.push(next).expect("axis-aligned");
+            }
+            SymWire { layer, width, path }
+        })
+}
+
+fn arb_device() -> impl Strategy<Value = Device> {
+    (
+        prop::bool::ANY,
+        3i64..W - 3,
+        3i64..H - 3,
+        prop::sample::select(Orientation::ALL.to_vec()),
+    )
+        .prop_map(|(dep, x, y, orient)| Device {
+            kind: if dep {
+                DeviceKind::Depletion
+            } else {
+                DeviceKind::Enhancement
+            },
+            position: Point::new(x, y),
+            orient,
+        })
+}
+
+fn arb_contact() -> impl Strategy<Value = Contact> {
+    (
+        prop::sample::select(vec![
+            ContactKind::MetalDiffusion,
+            ContactKind::MetalPoly,
+            ContactKind::Buried,
+        ]),
+        2i64..W - 2,
+        2i64..H - 2,
+    )
+        .prop_map(|(kind, x, y)| Contact {
+            kind,
+            position: Point::new(x, y),
+        })
+}
+
+fn arb_cell() -> impl Strategy<Value = SticksCell> {
+    (
+        prop::collection::vec((0usize..6).prop_flat_map(arb_pin), 0..4),
+        prop::collection::vec(arb_wire(), 0..5),
+        prop::collection::vec(arb_device(), 0..3),
+        prop::collection::vec(arb_contact(), 0..3),
+    )
+        .prop_map(|(mut pins, wires, devices, contacts)| {
+            pins.sort_by(|a, b| a.name.cmp(&b.name));
+            pins.dedup_by(|a, b| a.name == b.name);
+            let mut cell = SticksCell::new("gen", Rect::new(0, 0, W, H));
+            for p in pins {
+                cell.push_pin(p);
+            }
+            for w in wires {
+                cell.push_wire(w);
+            }
+            for d in devices {
+                cell.push_device(d);
+            }
+            for c in contacts {
+                cell.push_contact(c);
+            }
+            cell
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_round_trip(cell in arb_cell()) {
+        prop_assume!(cell.validate().is_ok());
+        let text = to_text(&cell);
+        let again = parse(&text).expect("writer output must parse");
+        prop_assert_eq!(cell, again);
+    }
+
+    #[test]
+    fn mask_connectors_match_pins(cell in arb_cell()) {
+        prop_assume!(cell.validate().is_ok());
+        let cif = riot_sticks::mask::to_cif_cell(&cell, 1);
+        prop_assert_eq!(cif.connectors.len(), cell.pins().len());
+        for pin in cell.pins() {
+            let conn = cif.connector(&pin.name).expect("every pin becomes a connector");
+            prop_assert_eq!(conn.layer, pin.layer);
+            prop_assert_eq!(conn.width, pin.width * riot_geom::LAMBDA);
+        }
+    }
+
+    #[test]
+    fn mask_wire_geometry_inside_inflated_bbox(cell in arb_cell()) {
+        prop_assume!(cell.validate().is_ok());
+        let cif = riot_sticks::mask::to_cif_cell(&cell, 1);
+        // Devices and contact pads may poke slightly past the symbolic
+        // bbox (gate extension), but never by more than 5λ.
+        let limit = riot_sticks::mask::mask_bbox(&cell).inflated(5 * riot_geom::LAMBDA);
+        if let Some(bb) = cif.local_bounding_box() {
+            prop_assert!(limit.contains_rect(bb), "bb {bb} exceeds {limit}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! The graphical editing command set (the lower menu).
+
+use std::fmt;
+
+/// The commands in the editing-command menu: "commands to move, orient,
+/// and connect instances as well as commands to modify the display
+/// characteristics".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphicalCommand {
+    /// Instantiate the selected menu cell at the next editing-area
+    /// click.
+    Create,
+    /// Move a picked instance to the next click.
+    Move,
+    /// Rotate a picked instance 90° counter-clockwise.
+    Rotate,
+    /// Mirror a picked instance in x.
+    Mirror,
+    /// Delete a picked instance.
+    Delete,
+    /// Add a pending connection: pick a from connector, then a to
+    /// connector.
+    Connect,
+    /// Make the pending connections by abutment.
+    Abut,
+    /// Make the pending connections by routing.
+    Route,
+    /// Make the pending connections by stretching.
+    Stretch,
+    /// Zoom the editing area in.
+    ZoomIn,
+    /// Zoom the editing area out.
+    ZoomOut,
+    /// Toggle cell/connector name display (figure 3's optional labels).
+    Names,
+}
+
+impl GraphicalCommand {
+    /// Menu order, top to bottom.
+    pub const MENU: [GraphicalCommand; 12] = [
+        GraphicalCommand::Create,
+        GraphicalCommand::Move,
+        GraphicalCommand::Rotate,
+        GraphicalCommand::Mirror,
+        GraphicalCommand::Delete,
+        GraphicalCommand::Connect,
+        GraphicalCommand::Abut,
+        GraphicalCommand::Route,
+        GraphicalCommand::Stretch,
+        GraphicalCommand::ZoomIn,
+        GraphicalCommand::ZoomOut,
+        GraphicalCommand::Names,
+    ];
+
+    /// The label shown in the menu.
+    pub fn label(self) -> &'static str {
+        match self {
+            GraphicalCommand::Create => "CREATE",
+            GraphicalCommand::Move => "MOVE",
+            GraphicalCommand::Rotate => "ROTATE",
+            GraphicalCommand::Mirror => "MIRROR",
+            GraphicalCommand::Delete => "DELETE",
+            GraphicalCommand::Connect => "CONNECT",
+            GraphicalCommand::Abut => "ABUT",
+            GraphicalCommand::Route => "ROUTE",
+            GraphicalCommand::Stretch => "STRETCH",
+            GraphicalCommand::ZoomIn => "ZOOM IN",
+            GraphicalCommand::ZoomOut => "ZOOM OUT",
+            GraphicalCommand::Names => "NAMES",
+        }
+    }
+}
+
+impl fmt::Display for GraphicalCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in GraphicalCommand::MENU {
+            assert!(seen.insert(c.label()));
+        }
+    }
+
+    #[test]
+    fn menu_covers_all_commands() {
+        assert_eq!(GraphicalCommand::MENU.len(), 12);
+    }
+}

@@ -1,0 +1,40 @@
+//! RIOT's command interfaces: the screen, the menus, the pointing
+//! device, and the textual command language.
+//!
+//! "Riot has two command interfaces: one textual, one graphical. The
+//! textual command interface … is used primarily to modify the editing
+//! environment. … The user edits a cell with the graphical command
+//! interface by pointing at items on the graphic display."
+//!
+//! The workstation hardware (Xerox mouse, Summagraphics BitPad, the
+//! Charles and GIGI terminals) is simulated: pointer events arrive as
+//! scripted [`pointer::PointerEvent`]s, the screen renders into a
+//! [`riot_graphics::Framebuffer`], and a whole interactive session can
+//! be driven end-to-end from a test or example (DESIGN.md §2).
+//!
+//! * [`screen`] — the display organization of paper figure 2: a large
+//!   editing area with the cell menu and editing-command menu on the
+//!   right edge;
+//! * [`render`] — building display lists from library/editor state
+//!   (instance boxes, connector crosses, names — figure 3);
+//! * [`commands`] — the graphical command set of the lower menu;
+//! * [`textual`] — the textual interface (read/write/plot/set/edit…)
+//!   over a virtual file store;
+//! * [`session`] — the interactive state machine: menu picks and
+//!   editing-area clicks become [`riot_core::Editor`] operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod pointer;
+pub mod render;
+pub mod screen;
+pub mod session;
+pub mod textual;
+
+pub use commands::GraphicalCommand;
+pub use pointer::PointerEvent;
+pub use screen::ScreenLayout;
+pub use session::InteractiveSession;
+pub use textual::TextualInterface;

@@ -1,0 +1,30 @@
+//! The simulated pointing device (Xerox mouse / Summagraphics BitPad).
+
+/// One pointing-device event: a button press at a screen pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointerEvent {
+    /// Screen x in pixels.
+    pub x: i64,
+    /// Screen y in pixels (y up, like the framebuffer).
+    pub y: i64,
+    /// Which button (0 = select; Riot used a single pick button).
+    pub button: u8,
+}
+
+impl PointerEvent {
+    /// A select click at `(x, y)`.
+    pub fn click(x: i64, y: i64) -> Self {
+        PointerEvent { x, y, button: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn click_builder() {
+        let e = PointerEvent::click(10, 20);
+        assert_eq!((e.x, e.y, e.button), (10, 20, 0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Building display lists from library and editor state.
+//!
+//! "An instance is represented on the screen by the bounding box and
+//! connectors of the defining cell positioned, oriented, and replicated
+//! by the instance information. The size and color of the connector
+//! crosses indicates width and layer of the wire making the connection
+//! inside the cell. Optionally, instances can be displayed with their
+//! cell names and connector names" (figure 3).
+
+use riot_core::{CellKind, Editor, InstanceId, LeafSource, Library};
+use riot_geom::{Point, LAMBDA};
+use riot_graphics::{Color, DisplayList, DrawOp};
+
+/// What the renderer labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenderOptions {
+    /// Draw the cell name inside each instance box.
+    pub cell_names: bool,
+    /// Draw connector names beside their crosses.
+    pub connector_names: bool,
+}
+
+/// Draws one instance of the edited cell: bounding box, connector
+/// crosses, optional labels.
+///
+/// # Errors
+///
+/// [`riot_core::RiotError`] lookup failures for stale ids.
+pub fn instance_ops(
+    ed: &Editor<'_>,
+    id: InstanceId,
+    options: RenderOptions,
+    list: &mut DisplayList,
+) -> Result<(), riot_core::RiotError> {
+    let bbox = ed.instance_bbox(id)?;
+    list.push(DrawOp::Rect {
+        rect: bbox,
+        color: Color::WHITE,
+    });
+    // Array gridding: internal element boundaries show through.
+    let inst = ed.instance(id)?.clone();
+    let cell = ed.instance_cell(id)?;
+    if inst.is_array() {
+        for c in 0..inst.cols {
+            for r in 0..inst.rows {
+                let t = inst.element_transform(c, r);
+                list.push(DrawOp::Rect {
+                    rect: t.apply_rect(cell.bbox),
+                    color: Color::new(120, 120, 120),
+                });
+            }
+        }
+    }
+    for wc in ed.world_connectors(id)? {
+        list.push(DrawOp::Cross {
+            center: wc.location,
+            arm: (wc.width / 2).max(LAMBDA),
+            color: Color::of_layer(wc.layer),
+        });
+        if options.connector_names {
+            list.push(DrawOp::Text {
+                at: wc.location + Point::new(LAMBDA, LAMBDA),
+                text: wc.name.clone(),
+                color: Color::of_layer(wc.layer),
+            });
+        }
+    }
+    if options.cell_names {
+        list.push(DrawOp::Text {
+            at: bbox.center(),
+            text: cell.name.clone(),
+            color: Color::WHITE,
+        });
+    }
+    Ok(())
+}
+
+/// Draws the whole cell under edit: every instance, plus a marker line
+/// for each pending connection (the list "is shown on the screen
+/// constantly").
+///
+/// # Errors
+///
+/// As [`instance_ops`].
+pub fn editor_ops(
+    ed: &Editor<'_>,
+    options: RenderOptions,
+) -> Result<DisplayList, riot_core::RiotError> {
+    let mut list = DisplayList::new();
+    for (id, _) in ed.instances() {
+        instance_ops(ed, id, options, &mut list)?;
+    }
+    for p in ed.pending() {
+        let fc = ed.world_connector(p.from, &p.from_connector)?;
+        let tc = ed.world_connector(p.to, &p.to_connector)?;
+        list.push(DrawOp::Line {
+            from: fc.location,
+            to: tc.location,
+            color: Color::new(255, 255, 0),
+        });
+    }
+    Ok(list)
+}
+
+/// Draws a leaf cell's full mask geometry (used for figure 8's cell
+/// gallery and figure 10's chip plot). Sticks leafs are expanded
+/// through mask generation.
+pub fn leaf_geometry_ops(lib: &Library, cell: riot_core::CellId) -> DisplayList {
+    let mut list = DisplayList::new();
+    let Ok(cell) = lib.cell(cell) else {
+        return list;
+    };
+    let shapes: Vec<riot_cif::Shape> = match &cell.kind {
+        CellKind::Leaf(LeafSource::Cif { shapes }) => shapes.clone(),
+        CellKind::Leaf(LeafSource::Sticks(sticks)) => {
+            riot_sticks::mask::to_cif_cell(sticks, 1).shapes
+        }
+        CellKind::Composition(_) => Vec::new(),
+    };
+    for s in &shapes {
+        shape_ops(s, Point::ORIGIN, &mut list);
+    }
+    list
+}
+
+/// Draws a fully-flattened CIF file (the mask plot of the whole chip).
+pub fn flat_cif_ops(shapes: &[riot_cif::FlatShape]) -> DisplayList {
+    let mut list = DisplayList::new();
+    for s in shapes {
+        let shape = riot_cif::Shape {
+            layer: s.layer,
+            geometry: s.geometry.clone(),
+        };
+        shape_ops(&shape, Point::ORIGIN, &mut list);
+    }
+    list
+}
+
+fn shape_ops(s: &riot_cif::Shape, offset: Point, list: &mut DisplayList) {
+    let color = Color::of_layer(s.layer);
+    match &s.geometry {
+        riot_cif::Geometry::Box(r) => list.push(DrawOp::FillRect {
+            rect: r.translated(offset),
+            color,
+        }),
+        riot_cif::Geometry::Polygon(pts) => {
+            for w in pts.windows(2) {
+                list.push(DrawOp::Line {
+                    from: w[0] + offset,
+                    to: w[1] + offset,
+                    color,
+                });
+            }
+            if pts.len() > 2 {
+                list.push(DrawOp::Line {
+                    from: pts[pts.len() - 1] + offset,
+                    to: pts[0] + offset,
+                    color,
+                });
+            }
+        }
+        riot_cif::Geometry::Wire { width, path } => {
+            for (a, b) in path.segments() {
+                let r = riot_geom::Rect::from_points(a + offset, b + offset).inflated(width / 2);
+                list.push(DrawOp::FillRect { rect: r, color });
+            }
+        }
+        riot_cif::Geometry::Flash { diameter, center } => list.push(DrawOp::FillRect {
+            rect: riot_geom::Rect::from_center(*center + offset, *diameter, *diameter),
+            color,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_core::Editor;
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 6 4
+wire NP 2 6 10 12 10
+end
+";
+
+    #[test]
+    fn instance_rendering_has_box_and_crosses() {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let i = ed.create_instance(gate).unwrap();
+        let mut list = DisplayList::new();
+        instance_ops(&ed, i, RenderOptions::default(), &mut list).unwrap();
+        let rects = list.ops().iter().filter(|o| matches!(o, DrawOp::Rect { .. })).count();
+        let crosses = list.ops().iter().filter(|o| matches!(o, DrawOp::Cross { .. })).count();
+        assert_eq!(rects, 1);
+        assert_eq!(crosses, 2);
+    }
+
+    #[test]
+    fn labels_appear_when_enabled() {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let i = ed.create_instance(gate).unwrap();
+        let mut list = DisplayList::new();
+        instance_ops(
+            &ed,
+            i,
+            RenderOptions {
+                cell_names: true,
+                connector_names: true,
+            },
+            &mut list,
+        )
+        .unwrap();
+        let texts = list.ops().iter().filter(|o| matches!(o, DrawOp::Text { .. })).count();
+        assert_eq!(texts, 3); // 2 connectors + the cell name
+    }
+
+    #[test]
+    fn pending_connections_drawn() {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let a = ed.create_instance(gate).unwrap();
+        let b = ed.create_instance(gate).unwrap();
+        ed.translate_instance(b, Point::new(30 * LAMBDA, 0)).unwrap();
+        ed.connect(b, "A", a, "OUT").unwrap();
+        let list = editor_ops(&ed, RenderOptions::default()).unwrap();
+        let lines = list.ops().iter().filter(|o| matches!(o, DrawOp::Line { .. })).count();
+        assert_eq!(lines, 1);
+    }
+
+    #[test]
+    fn array_shows_gridding() {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let i = ed.create_instance(gate).unwrap();
+        ed.replicate_instance(i, 3, 1).unwrap();
+        let mut list = DisplayList::new();
+        instance_ops(&ed, i, RenderOptions::default(), &mut list).unwrap();
+        let rects = list.ops().iter().filter(|o| matches!(o, DrawOp::Rect { .. })).count();
+        assert_eq!(rects, 4); // outer box + 3 element boxes
+    }
+
+    #[test]
+    fn leaf_geometry_renders_mask() {
+        let mut lib = Library::new();
+        let gate = lib.load_sticks(GATE).unwrap();
+        let list = leaf_geometry_ops(&lib, gate);
+        assert!(!list.is_empty());
+    }
+}

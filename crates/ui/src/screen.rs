@@ -1,0 +1,167 @@
+//! The display organization of paper figure 2.
+
+use riot_geom::Rect;
+
+/// Pixel regions of the Riot screen: "a large editing area next to two
+/// small menu areas along the right edge of the screen. … The upper
+/// menu area contains the names of the cells … The lower menu contains
+/// graphical editing commands."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScreenLayout {
+    width: usize,
+    height: usize,
+    editing: Rect,
+    cell_menu: Rect,
+    command_menu: Rect,
+    row_height: usize,
+}
+
+/// Which part of the screen a pixel landed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitRegion {
+    /// Inside the editing area; coordinates are editing-area-relative.
+    Editing {
+        /// x within the editing area.
+        x: i64,
+        /// y within the editing area.
+        y: i64,
+    },
+    /// On entry `index` of the cell menu.
+    CellMenu {
+        /// 0-based menu row.
+        index: usize,
+    },
+    /// On entry `index` of the command menu.
+    CommandMenu {
+        /// 0-based menu row.
+        index: usize,
+    },
+    /// Dead space (menu borders).
+    Nothing,
+}
+
+impl ScreenLayout {
+    /// Splits a `width`×`height` screen: the right 25% (minimum 96 px)
+    /// holds the menus, cell menu on top, command menu below.
+    ///
+    /// # Panics
+    ///
+    /// Panics for screens too small to split (under 160×80).
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 160 && height >= 80, "screen too small");
+        let menu_w = (width / 4).max(96);
+        let edit_w = width - menu_w;
+        let half = height / 2;
+        ScreenLayout {
+            width,
+            height,
+            editing: Rect::new(0, 0, edit_w as i64, height as i64),
+            cell_menu: Rect::new(edit_w as i64, half as i64, width as i64, height as i64),
+            command_menu: Rect::new(edit_w as i64, 0, width as i64, half as i64),
+            row_height: 12,
+        }
+    }
+
+    /// Screen width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Screen height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The editing area, in screen pixels.
+    pub fn editing_area(&self) -> Rect {
+        self.editing
+    }
+
+    /// The cell menu area (upper right).
+    pub fn cell_menu_area(&self) -> Rect {
+        self.cell_menu
+    }
+
+    /// The command menu area (lower right).
+    pub fn command_menu_area(&self) -> Rect {
+        self.command_menu
+    }
+
+    /// Pixel height of one menu row.
+    pub fn row_height(&self) -> usize {
+        self.row_height
+    }
+
+    /// Pixel rectangle of cell-menu row `index` (top row is index 0).
+    pub fn cell_menu_row(&self, index: usize) -> Rect {
+        let top = self.cell_menu.y1 - (index as i64) * self.row_height as i64;
+        Rect::new(self.cell_menu.x0, top - self.row_height as i64, self.cell_menu.x1, top)
+    }
+
+    /// Pixel rectangle of command-menu row `index` (top row is 0).
+    pub fn command_menu_row(&self, index: usize) -> Rect {
+        let top = self.command_menu.y1 - (index as i64) * self.row_height as i64;
+        Rect::new(
+            self.command_menu.x0,
+            top - self.row_height as i64,
+            self.command_menu.x1,
+            top,
+        )
+    }
+
+    /// Hit test: which region a screen pixel lands in.
+    pub fn hit(&self, x: i64, y: i64) -> HitRegion {
+        let p = riot_geom::Point::new(x, y);
+        if self.editing.contains(p) && x < self.editing.x1 {
+            return HitRegion::Editing { x, y };
+        }
+        if self.cell_menu.contains(p) {
+            let index = ((self.cell_menu.y1 - y) / self.row_height as i64).max(0) as usize;
+            return HitRegion::CellMenu { index };
+        }
+        if self.command_menu.contains(p) {
+            let index = ((self.command_menu.y1 - y) / self.row_height as i64).max(0) as usize;
+            return HitRegion::CommandMenu { index };
+        }
+        HitRegion::Nothing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_partitions_screen() {
+        let l = ScreenLayout::new(512, 480);
+        assert_eq!(l.editing_area().x0, 0);
+        assert!(l.editing_area().width() >= 512 * 3 / 4 - 1);
+        assert_eq!(l.cell_menu_area().x0, l.command_menu_area().x0);
+        assert!(l.cell_menu_area().y0 >= l.command_menu_area().y1 - 1);
+    }
+
+    #[test]
+    fn hits_dispatch_to_regions() {
+        let l = ScreenLayout::new(512, 480);
+        assert!(matches!(l.hit(10, 10), HitRegion::Editing { .. }));
+        assert!(matches!(l.hit(500, 470), HitRegion::CellMenu { index: 0 }));
+        assert!(matches!(l.hit(500, 10), HitRegion::CommandMenu { .. }));
+        assert!(matches!(l.hit(-5, -5), HitRegion::Nothing));
+    }
+
+    #[test]
+    fn menu_rows_count_downward() {
+        let l = ScreenLayout::new(512, 480);
+        let r0 = l.cell_menu_row(0);
+        let r1 = l.cell_menu_row(1);
+        assert_eq!(r0.y0, r1.y1);
+        let c = r1.center();
+        assert_eq!(l.hit(c.x, c.y), HitRegion::CellMenu { index: 1 });
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_screen_panics() {
+        let _ = ScreenLayout::new(100, 50);
+    }
+}

@@ -1,0 +1,559 @@
+//! The interactive graphical session: pointer events drive the editor.
+//!
+//! "The user edits a cell with the graphical command interface by
+//! pointing at items on the graphic display." This module is that
+//! loop: a pick in the cell menu selects a cell, a pick in the command
+//! menu arms a command, picks in the editing area identify instances,
+//! connectors and placement points.
+
+use crate::commands::GraphicalCommand;
+use crate::pointer::PointerEvent;
+use crate::render::{editor_ops, RenderOptions};
+use crate::screen::{HitRegion, ScreenLayout};
+use riot_core::{AbutOptions, CellId, Editor, InstanceId, RiotError, RouteOptions, StretchOptions};
+use riot_geom::{Orientation, Point, Rect, LAMBDA};
+use riot_graphics::{Color, DisplayList, DrawOp, Framebuffer, Viewport};
+
+/// Multi-click commands track what was picked first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum PickState {
+    #[default]
+    Idle,
+    MovePicked(InstanceId),
+    ConnectFrom(InstanceId, String),
+}
+
+/// An interactive editing session over an [`Editor`].
+#[derive(Debug)]
+pub struct InteractiveSession<'a> {
+    editor: Editor<'a>,
+    layout: ScreenLayout,
+    viewport: Viewport,
+    selected_cell: Option<CellId>,
+    command: Option<GraphicalCommand>,
+    picks: PickState,
+    show_names: bool,
+    status: String,
+}
+
+impl<'a> InteractiveSession<'a> {
+    /// Starts a session on `editor` with a screen of the given pixel
+    /// size. The initial view shows a 200λ square at the origin.
+    pub fn new(editor: Editor<'a>, width: usize, height: usize) -> Self {
+        let layout = ScreenLayout::new(width, height);
+        let edit = layout.editing_area();
+        let viewport = Viewport::fit(
+            Rect::new(-20 * LAMBDA, -20 * LAMBDA, 200 * LAMBDA, 200 * LAMBDA),
+            edit.width() as usize,
+            edit.height() as usize,
+        );
+        InteractiveSession {
+            editor,
+            layout,
+            viewport,
+            selected_cell: None,
+            command: None,
+            picks: PickState::Idle,
+            show_names: false,
+            status: String::new(),
+        }
+    }
+
+    /// The underlying editor (for assertions and finishing).
+    pub fn editor(&self) -> &Editor<'a> {
+        &self.editor
+    }
+
+    /// Mutable access to the editor (finish, journal save…).
+    pub fn editor_mut(&mut self) -> &mut Editor<'a> {
+        &mut self.editor
+    }
+
+    /// The screen layout in use.
+    pub fn layout(&self) -> &ScreenLayout {
+        &self.layout
+    }
+
+    /// The world-to-editing-area viewport.
+    pub fn viewport(&self) -> &Viewport {
+        &self.viewport
+    }
+
+    /// Pans the view by a fraction of the window (Riot's panning
+    /// commands): positive `dx` pans right, positive `dy` pans up.
+    pub fn pan(&mut self, dx_eighths: i64, dy_eighths: i64) {
+        let win = self.viewport.window();
+        self.viewport = self.viewport.panned(riot_geom::Point::new(
+            win.width() * dx_eighths / 8,
+            win.height() * dy_eighths / 8,
+        ));
+    }
+
+    /// Re-fits the view to the current contents (a HOME command).
+    pub fn fit_view(&mut self) {
+        if let Ok(extent) = self.editor.current_extent() {
+            if extent.width() > 0 || extent.height() > 0 {
+                let edit = self.layout.editing_area();
+                self.viewport =
+                    Viewport::fit(extent, edit.width() as usize, edit.height() as usize);
+            }
+        }
+    }
+
+    /// Last status message (for the session transcript).
+    pub fn status(&self) -> &str {
+        &self.status
+    }
+
+    /// The currently armed command.
+    pub fn command(&self) -> Option<GraphicalCommand> {
+        self.command
+    }
+
+    /// Cell-menu rows, top to bottom: every menu cell except the one
+    /// under edit.
+    pub fn cell_menu(&self) -> Vec<(CellId, String)> {
+        self.editor
+            .library()
+            .iter()
+            .filter(|(id, cell)| *id != self.editor.cell_id() && !cell.name.starts_with("(deleted"))
+            .map(|(id, cell)| (id, cell.name.clone()))
+            .collect()
+    }
+
+    /// Handles one pointer event.
+    ///
+    /// # Errors
+    ///
+    /// Editor errors bubble up (layer mismatches, routing failures…);
+    /// the session state survives, matching the interactive tool.
+    pub fn handle(&mut self, event: PointerEvent) -> Result<(), RiotError> {
+        match self.layout.hit(event.x, event.y) {
+            HitRegion::CellMenu { index } => {
+                let menu = self.cell_menu();
+                if let Some((id, name)) = menu.get(index) {
+                    self.selected_cell = Some(*id);
+                    self.status = format!("cell {name} selected");
+                } else {
+                    self.status = "empty menu row".into();
+                }
+                Ok(())
+            }
+            HitRegion::CommandMenu { index } => {
+                let Some(cmd) = GraphicalCommand::MENU.get(index).copied() else {
+                    self.status = "empty menu row".into();
+                    return Ok(());
+                };
+                self.arm(cmd)
+            }
+            HitRegion::Editing { x, y } => {
+                let world = self.viewport.to_world(x, y);
+                self.editing_click(world)
+            }
+            HitRegion::Nothing => Ok(()),
+        }
+    }
+
+    /// Arms (or immediately executes) a command, exactly as pointing at
+    /// the command menu does.
+    ///
+    /// # Errors
+    ///
+    /// As [`InteractiveSession::handle`].
+    pub fn arm(&mut self, cmd: GraphicalCommand) -> Result<(), RiotError> {
+        self.picks = PickState::Idle;
+        match cmd {
+            GraphicalCommand::Abut => {
+                self.editor.abut(AbutOptions::default())?;
+                self.status = "abutted".into();
+                self.command = None;
+            }
+            GraphicalCommand::Route => {
+                self.editor.route(RouteOptions::default())?;
+                self.status = "routed".into();
+                self.command = None;
+            }
+            GraphicalCommand::Stretch => {
+                self.editor.stretch(StretchOptions::default())?;
+                self.status = "stretched".into();
+                self.command = None;
+            }
+            GraphicalCommand::ZoomIn => {
+                self.viewport = self.viewport.zoomed(2, 1);
+                self.status = "zoomed in".into();
+            }
+            GraphicalCommand::ZoomOut => {
+                self.viewport = self.viewport.zoomed(1, 2);
+                self.status = "zoomed out".into();
+            }
+            GraphicalCommand::Names => {
+                self.show_names = !self.show_names;
+                self.status = format!("names {}", if self.show_names { "on" } else { "off" });
+            }
+            other => {
+                self.command = Some(other);
+                self.status = format!("{other} armed");
+            }
+        }
+        Ok(())
+    }
+
+    fn editing_click(&mut self, world: Point) -> Result<(), RiotError> {
+        let snapped = Point::new(snap(world.x), snap(world.y));
+        match self.command {
+            Some(GraphicalCommand::Create) => {
+                let Some(cell) = self.selected_cell else {
+                    self.status = "no cell selected".into();
+                    return Ok(());
+                };
+                let id = self.editor.create_instance(cell)?;
+                let bb = self.editor.instance_bbox(id)?;
+                self.editor
+                    .translate_instance(id, snapped - bb.lower_left())?;
+                self.status = format!("created {}", self.editor.instance(id)?.name);
+            }
+            Some(GraphicalCommand::Move) => match self.picks.clone() {
+                PickState::MovePicked(id) => {
+                    let bb = self.editor.instance_bbox(id)?;
+                    self.editor
+                        .translate_instance(id, snapped - bb.lower_left())?;
+                    self.picks = PickState::Idle;
+                    self.status = "moved".into();
+                }
+                _ => {
+                    if let Some(id) = self.pick_instance(world) {
+                        self.picks = PickState::MovePicked(id);
+                        self.status = format!("picked {}", self.editor.instance(id)?.name);
+                    } else {
+                        self.status = "nothing there".into();
+                    }
+                }
+            },
+            Some(GraphicalCommand::Rotate) => {
+                if let Some(id) = self.pick_instance(world) {
+                    self.editor.orient_instance(id, Orientation::R90)?;
+                    self.status = "rotated".into();
+                }
+            }
+            Some(GraphicalCommand::Mirror) => {
+                if let Some(id) = self.pick_instance(world) {
+                    self.editor.orient_instance(id, Orientation::MX)?;
+                    self.status = "mirrored".into();
+                }
+            }
+            Some(GraphicalCommand::Delete) => {
+                if let Some(id) = self.pick_instance(world) {
+                    self.editor.delete_instance(id)?;
+                    self.status = "deleted".into();
+                }
+            }
+            Some(GraphicalCommand::Connect) => {
+                let Some((id, name)) = self.pick_connector(world) else {
+                    self.status = "no connector there".into();
+                    return Ok(());
+                };
+                match self.picks.clone() {
+                    PickState::ConnectFrom(from, from_conn) => {
+                        self.editor.connect(from, &from_conn, id, &name)?;
+                        self.picks = PickState::Idle;
+                        self.status = format!("pending {from_conn} -> {name}");
+                    }
+                    _ => {
+                        self.picks = PickState::ConnectFrom(id, name.clone());
+                        self.status = format!("from connector {name}");
+                    }
+                }
+            }
+            _ => {
+                self.status = "no command armed".into();
+            }
+        }
+        Ok(())
+    }
+
+    /// The topmost (smallest) instance whose world box contains `p`.
+    pub fn pick_instance(&self, p: Point) -> Option<InstanceId> {
+        self.editor
+            .instances()
+            .into_iter()
+            .filter_map(|(id, _)| {
+                let bb = self.editor.instance_bbox(id).ok()?;
+                bb.contains(p).then_some((id, bb.area()))
+            })
+            .min_by_key(|&(_, area)| area)
+            .map(|(id, _)| id)
+    }
+
+    /// The nearest connector within the pick tolerance (a few pixels in
+    /// world units).
+    pub fn pick_connector(&self, p: Point) -> Option<(InstanceId, String)> {
+        let tolerance = self.viewport.window().width() / 60 + 2 * LAMBDA;
+        let mut best: Option<(i64, InstanceId, String)> = None;
+        for (id, _) in self.editor.instances() {
+            let Ok(conns) = self.editor.world_connectors(id) else {
+                continue;
+            };
+            for wc in conns {
+                let d = wc.location.manhattan(p);
+                if d <= tolerance && best.as_ref().is_none_or(|(bd, _, _)| d < *bd) {
+                    best = Some((d, id, wc.name));
+                }
+            }
+        }
+        best.map(|(_, id, name)| (id, name))
+    }
+
+    /// Renders the whole screen — editing area plus the two menus — to
+    /// a framebuffer (figure 2's organization).
+    pub fn render(&self) -> Framebuffer {
+        let mut fb = Framebuffer::new(self.layout.width(), self.layout.height());
+        // Editing area content.
+        if let Ok(list) = editor_ops(
+            &self.editor,
+            RenderOptions {
+                cell_names: self.show_names,
+                connector_names: self.show_names,
+            },
+        ) {
+            list.render(&self.viewport, &mut fb);
+        }
+        // Menu panel separators.
+        let mut chrome = DisplayList::new();
+        let cm = self.layout.cell_menu_area();
+        let km = self.layout.command_menu_area();
+        chrome.push(DrawOp::Rect {
+            rect: cm,
+            color: Color::WHITE,
+        });
+        chrome.push(DrawOp::Rect {
+            rect: km,
+            color: Color::WHITE,
+        });
+        // Chrome coordinates are already pixels: identity viewport.
+        let identity = Viewport::new(
+            Rect::new(0, 0, self.layout.width() as i64, self.layout.height() as i64),
+            self.layout.width(),
+            self.layout.height(),
+        );
+        chrome.render(&identity, &mut fb);
+        // Menu labels (direct pixel text).
+        for (i, (_, name)) in self.cell_menu().iter().enumerate() {
+            let row = self.layout.cell_menu_row(i);
+            if row.y0 < cm.y0 {
+                break;
+            }
+            fb.draw_text(row.x0 + 2, row.y0 + 2, name, Color::WHITE);
+        }
+        for (i, cmd) in GraphicalCommand::MENU.iter().enumerate() {
+            let row = self.layout.command_menu_row(i);
+            if row.y0 < km.y0 {
+                break;
+            }
+            let color = if Some(*cmd) == self.command {
+                Color::new(255, 255, 0)
+            } else {
+                Color::WHITE
+            };
+            fb.draw_text(row.x0 + 2, row.y0 + 2, cmd.label(), color);
+        }
+        fb
+    }
+
+    /// Convenience for scripted tests: a click at the screen position
+    /// of a world point.
+    ///
+    /// # Errors
+    ///
+    /// As [`InteractiveSession::handle`].
+    pub fn click_world(&mut self, world: Point) -> Result<(), RiotError> {
+        let (x, y) = self.viewport.to_screen(world);
+        self.handle(PointerEvent::click(x, y))
+    }
+
+    /// Convenience: a click on a command-menu row.
+    ///
+    /// # Errors
+    ///
+    /// As [`InteractiveSession::handle`].
+    pub fn click_command(&mut self, cmd: GraphicalCommand) -> Result<(), RiotError> {
+        let index = GraphicalCommand::MENU
+            .iter()
+            .position(|c| *c == cmd)
+            .expect("command in menu");
+        let row = self.layout.command_menu_row(index);
+        let c = row.center();
+        self.handle(PointerEvent::click(c.x, c.y))
+    }
+
+    /// Convenience: a click on the cell-menu row for `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::UnknownCell`] when `name` is not in the menu.
+    pub fn click_cell(&mut self, name: &str) -> Result<(), RiotError> {
+        let index = self
+            .cell_menu()
+            .iter()
+            .position(|(_, n)| n == name)
+            .ok_or_else(|| RiotError::UnknownCell(name.to_owned()))?;
+        let row = self.layout.cell_menu_row(index);
+        let c = row.center();
+        self.handle(PointerEvent::click(c.x, c.y))
+    }
+}
+
+fn snap(v: i64) -> i64 {
+    (v + LAMBDA / 2).div_euclid(LAMBDA) * LAMBDA
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_core::Library;
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 12 4
+end
+";
+
+    fn with_session<R>(f: impl FnOnce(InteractiveSession<'_>) -> R) -> R {
+        let mut lib = Library::new();
+        lib.load_sticks(GATE).unwrap();
+        let ed = Editor::open(&mut lib, "TOP").unwrap();
+        let s = InteractiveSession::new(ed, 512, 480);
+        f(s)
+    }
+
+    #[test]
+    fn create_via_menu_clicks() {
+        with_session(|mut s| {
+            s.click_cell("gate").unwrap();
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(10 * LAMBDA, 10 * LAMBDA)).unwrap();
+            assert_eq!(s.editor().instances().len(), 1);
+            let bb = s
+                .editor()
+                .instance_bbox(s.editor().find_instance("I0").unwrap())
+                .unwrap();
+            // Lower-left snapped near the click.
+            assert!(bb.lower_left().manhattan(Point::new(10 * LAMBDA, 10 * LAMBDA)) <= 2 * LAMBDA);
+        });
+    }
+
+    #[test]
+    fn create_without_selection_is_noop() {
+        with_session(|mut s| {
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(0, 0)).unwrap();
+            assert_eq!(s.editor().instances().len(), 0);
+            assert_eq!(s.status(), "no cell selected");
+        });
+    }
+
+    #[test]
+    fn move_two_click_flow() {
+        with_session(|mut s| {
+            s.click_cell("gate").unwrap();
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(0, 0)).unwrap();
+            s.click_command(GraphicalCommand::Move).unwrap();
+            s.click_world(Point::new(6 * LAMBDA, 10 * LAMBDA)).unwrap(); // pick
+            s.click_world(Point::new(50 * LAMBDA, 50 * LAMBDA)).unwrap(); // place
+            let id = s.editor().find_instance("I0").unwrap();
+            let bb = s.editor().instance_bbox(id).unwrap();
+            assert!(bb.lower_left().manhattan(Point::new(50 * LAMBDA, 50 * LAMBDA)) <= 2 * LAMBDA);
+        });
+    }
+
+    #[test]
+    fn connect_and_abut_through_ui() {
+        with_session(|mut s| {
+            s.click_cell("gate").unwrap();
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(0, 0)).unwrap();
+            s.click_world(Point::new(40 * LAMBDA, 8 * LAMBDA)).unwrap();
+            // Connect I1.A (from) to I0.OUT (to).
+            s.click_command(GraphicalCommand::Connect).unwrap();
+            s.click_world(Point::new(40 * LAMBDA, 12 * LAMBDA)).unwrap(); // I1.A
+            s.click_world(Point::new(12 * LAMBDA, 10 * LAMBDA)).unwrap(); // I0.OUT
+            assert_eq!(s.editor().pending().len(), 1, "status: {}", s.status());
+            s.click_command(GraphicalCommand::Abut).unwrap();
+            assert!(s.editor().pending().is_empty());
+            let i0 = s.editor().find_instance("I0").unwrap();
+            let i1 = s.editor().find_instance("I1").unwrap();
+            let out = s.editor().world_connector(i0, "OUT").unwrap();
+            let a = s.editor().world_connector(i1, "A").unwrap();
+            assert_eq!(out.location, a.location);
+        });
+    }
+
+    #[test]
+    fn rotate_and_delete_by_pointing() {
+        with_session(|mut s| {
+            s.click_cell("gate").unwrap();
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(0, 0)).unwrap();
+            s.click_command(GraphicalCommand::Rotate).unwrap();
+            s.click_world(Point::new(6 * LAMBDA, 10 * LAMBDA)).unwrap();
+            let id = s.editor().find_instance("I0").unwrap();
+            assert_eq!(
+                s.editor().instance(id).unwrap().transform.orient,
+                Orientation::R90
+            );
+            s.click_command(GraphicalCommand::Delete).unwrap();
+            // The rotated box covers different ground; pick its center.
+            let bb = s.editor().instance_bbox(id).unwrap();
+            s.click_world(bb.center()).unwrap();
+            assert_eq!(s.editor().instances().len(), 0);
+        });
+    }
+
+    #[test]
+    fn zoom_toggles_window() {
+        with_session(|mut s| {
+            let before = s.viewport().window().width();
+            s.click_command(GraphicalCommand::ZoomIn).unwrap();
+            assert!(s.viewport().window().width() < before);
+            s.click_command(GraphicalCommand::ZoomOut).unwrap();
+            assert_eq!(s.viewport().window().width(), before);
+        });
+    }
+
+    #[test]
+    fn render_produces_screen() {
+        with_session(|mut s| {
+            s.click_cell("gate").unwrap();
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(10 * LAMBDA, 10 * LAMBDA)).unwrap();
+            let fb = s.render();
+            assert!(fb.lit_pixels() > 200, "screen mostly dark");
+        });
+    }
+
+    #[test]
+    fn pan_shifts_window() {
+        with_session(|mut s| {
+            let before = s.viewport().window();
+            s.pan(8, 0); // one full window right
+            let after = s.viewport().window();
+            assert_eq!(after.x0 - before.x0, before.width());
+            assert_eq!(after.y0, before.y0);
+            s.pan(-8, 0);
+            assert_eq!(s.viewport().window(), before);
+        });
+    }
+
+    #[test]
+    fn names_toggle() {
+        with_session(|mut s| {
+            s.click_command(GraphicalCommand::Names).unwrap();
+            assert_eq!(s.status(), "names on");
+            s.click_command(GraphicalCommand::Names).unwrap();
+            assert_eq!(s.status(), "names off");
+        });
+    }
+}

@@ -1,0 +1,345 @@
+//! The textual command interface.
+//!
+//! "Textual commands store and retrieve cells on disk, set plotting
+//! parameters, generate hardcopy plots of cells, set defaults for
+//! routing operations, and invoke the graphical command editor to
+//! modify a composition cell."
+//!
+//! Disk is a virtual file store (name → text), so sessions are fully
+//! scriptable from tests.
+
+use riot_core::{CellKind, Library, RiotError};
+use riot_graphics::plotter;
+use riot_graphics::{Color, DisplayList, DrawOp};
+use riot_route::RouterOptions;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// What a textual command produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// A status/info message.
+    Message(String),
+    /// The `edit` command: enter the graphical editor on this cell.
+    EnterEditor(String),
+}
+
+/// The textual interface: a library, routing defaults and a virtual
+/// file store.
+#[derive(Debug, Default)]
+pub struct TextualInterface {
+    library: Library,
+    files: HashMap<String, String>,
+    router: RouterOptions,
+}
+
+impl TextualInterface {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        TextualInterface {
+            library: Library::new(),
+            files: HashMap::new(),
+            router: RouterOptions::new(),
+        }
+    }
+
+    /// The cell menu.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// Mutable access to the cell menu (the graphical editor needs it).
+    pub fn library_mut(&mut self) -> &mut Library {
+        &mut self.library
+    }
+
+    /// Current routing defaults (`set` commands change them).
+    pub fn router_options(&self) -> RouterOptions {
+        self.router
+    }
+
+    /// Stores a file in the virtual store (a "disk" write).
+    pub fn put_file(&mut self, name: impl Into<String>, text: impl Into<String>) {
+        self.files.insert(name.into(), text.into());
+    }
+
+    /// Reads a file back from the virtual store.
+    pub fn file(&self, name: &str) -> Option<&str> {
+        self.files.get(name).map(String::as_str)
+    }
+
+    /// Executes one textual command line.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError`] for unknown commands/files/cells or import errors.
+    pub fn execute(&mut self, line: &str) -> Result<Response, RiotError> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        let usage = |msg: &str| RiotError::Parse {
+            line: 1,
+            message: msg.to_owned(),
+        };
+        match f.as_slice() {
+            ["read", file] => {
+                let text = self
+                    .files
+                    .get(*file)
+                    .cloned()
+                    .ok_or_else(|| usage(&format!("no file `{file}`")))?;
+                let what = if text.starts_with("riot composition v1") {
+                    let ids = riot_core::compose::load(&text, &mut self.library)?;
+                    format!("{} composition cell(s)", ids.len())
+                } else if text.trim_start().starts_with("sticks") {
+                    self.library.load_sticks(&text)?;
+                    "1 sticks cell".to_owned()
+                } else {
+                    let ids = self.library.load_cif(&text)?;
+                    format!("{} CIF cell(s)", ids.len())
+                };
+                Ok(Response::Message(format!("read {what} from {file}")))
+            }
+            ["write", file] => {
+                let text = riot_core::compose::save(&self.library);
+                self.files.insert((*file).to_owned(), text);
+                Ok(Response::Message(format!("wrote composition to {file}")))
+            }
+            ["writecif", cell, file] => {
+                let cif = riot_core::export::to_cif(&self.library, cell)?;
+                self.files.insert((*file).to_owned(), riot_cif::to_text(&cif));
+                Ok(Response::Message(format!("wrote {cell} as CIF to {file}")))
+            }
+            ["plot", cell, file] => {
+                let list = self.plot_list(cell)?;
+                let plot = plotter::plot(&list);
+                self.files.insert((*file).to_owned(), plot.commands);
+                Ok(Response::Message(format!(
+                    "plotted {cell} to {file} ({} pen-down strokes)",
+                    plot.strokes_per_pen.iter().sum::<usize>()
+                )))
+            }
+            ["set", "tracks", n] => {
+                self.router.tracks_per_channel =
+                    n.parse().map_err(|_| usage("bad track count"))?;
+                Ok(Response::Message(format!("tracks per channel = {n}")))
+            }
+            ["set", "margin", n] => {
+                self.router.margin = n.parse().map_err(|_| usage("bad margin"))?;
+                Ok(Response::Message(format!("channel margin = {n}")))
+            }
+            ["set", "gap", n] => {
+                self.router.channel_gap = n.parse().map_err(|_| usage("bad gap"))?;
+                Ok(Response::Message(format!("channel gap = {n}")))
+            }
+            ["list"] => {
+                let mut out = String::new();
+                for (_, cell) in self.library.iter() {
+                    let kind = match &cell.kind {
+                        CellKind::Leaf(_) => "leaf",
+                        CellKind::Composition(_) => "comp",
+                    };
+                    let _ = writeln!(out, "{:4} {}", kind, cell.name);
+                }
+                Ok(Response::Message(out))
+            }
+            ["delete", cell] => {
+                let id = self
+                    .library
+                    .find(cell)
+                    .ok_or_else(|| RiotError::UnknownCell((*cell).to_owned()))?;
+                self.library.delete_cell(id)?;
+                Ok(Response::Message(format!("deleted {cell}")))
+            }
+            ["rename", old, new] => {
+                let id = self
+                    .library
+                    .find(old)
+                    .ok_or_else(|| RiotError::UnknownCell((*old).to_owned()))?;
+                self.library.rename(id, *new)?;
+                Ok(Response::Message(format!("renamed {old} to {new}")))
+            }
+            ["check", cell] => {
+                // The "extensive checking" Riot left to its users, as a
+                // command: design-rule check the cell's mask geometry.
+                let cif = riot_core::export::to_cif(&self.library, cell)?;
+                let flat = riot_cif::flatten(&cif)?;
+                let violations = riot_drc::check(&flat, &riot_drc::RuleSet::nmos());
+                if violations.is_empty() {
+                    Ok(Response::Message(format!("{cell} is clean")))
+                } else {
+                    let mut out = format!("{} violation(s) in {cell}:\n", violations.len());
+                    for v in violations.iter().take(20) {
+                        let _ = writeln!(out, "  {v}");
+                    }
+                    Ok(Response::Message(out))
+                }
+            }
+            ["edit", cell] => Ok(Response::EnterEditor((*cell).to_owned())),
+            _ => Err(usage(&format!("unknown command `{line}`"))),
+        }
+    }
+
+    /// A plot display list for any cell: mask geometry for leafs,
+    /// instance boxes + connector crosses for compositions.
+    fn plot_list(&self, name: &str) -> Result<DisplayList, RiotError> {
+        let id = self
+            .library
+            .find(name)
+            .ok_or_else(|| RiotError::UnknownCell(name.to_owned()))?;
+        let cell = self.library.cell(id)?;
+        match &cell.kind {
+            CellKind::Leaf(_) => Ok(crate::render::leaf_geometry_ops(&self.library, id)),
+            CellKind::Composition(comp) => {
+                let mut list = DisplayList::new();
+                for (_, inst) in comp.instances() {
+                    let sub = self.library.cell(inst.cell)?;
+                    list.push(DrawOp::Rect {
+                        rect: inst.world_bbox(sub),
+                        color: Color::BLACK,
+                    });
+                    for wc in inst.world_connectors(sub) {
+                        list.push(DrawOp::Cross {
+                            center: wc.location,
+                            arm: (wc.width / 2).max(riot_geom::LAMBDA),
+                            color: Color::of_layer(wc.layer),
+                        });
+                    }
+                }
+                Ok(list)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 12 4
+end
+";
+
+    fn env() -> TextualInterface {
+        let mut t = TextualInterface::new();
+        t.put_file("gate.st", GATE);
+        t.put_file("pads.cif", riot_cells::pads_cif());
+        t
+    }
+
+    #[test]
+    fn read_dispatches_by_content() {
+        let mut t = env();
+        t.execute("read gate.st").unwrap();
+        t.execute("read pads.cif").unwrap();
+        assert!(t.library().find("gate").is_some());
+        assert!(t.library().find("padin").is_some());
+        assert!(t.library().find("padout").is_some());
+    }
+
+    #[test]
+    fn write_and_read_composition() {
+        let mut t = env();
+        t.execute("read gate.st").unwrap();
+        {
+            let mut ed = riot_core::Editor::open(t.library_mut(), "TOP").unwrap();
+            let g = ed.library().find("gate").unwrap();
+            ed.create_instance(g).unwrap();
+            ed.finish().unwrap();
+        }
+        t.execute("write session.comp").unwrap();
+        assert!(t.file("session.comp").unwrap().contains("cell TOP"));
+        // Fresh environment restores from the file.
+        let mut t2 = env();
+        t2.execute("read gate.st").unwrap();
+        t2.put_file("session.comp", t.file("session.comp").unwrap().to_owned());
+        t2.execute("read session.comp").unwrap();
+        assert!(t2.library().find("TOP").is_some());
+    }
+
+    #[test]
+    fn plot_produces_pen_commands() {
+        let mut t = env();
+        t.execute("read gate.st").unwrap();
+        t.execute("plot gate gate.hpgl").unwrap();
+        let hpgl = t.file("gate.hpgl").unwrap();
+        assert!(hpgl.starts_with("IN;"));
+        assert!(hpgl.contains("PD"));
+    }
+
+    #[test]
+    fn set_commands_update_defaults() {
+        let mut t = env();
+        t.execute("set tracks 4").unwrap();
+        t.execute("set margin 3").unwrap();
+        t.execute("set gap 5").unwrap();
+        let o = t.router_options();
+        assert_eq!(o.tracks_per_channel, 4);
+        assert_eq!(o.margin, 3);
+        assert_eq!(o.channel_gap, 5);
+    }
+
+    #[test]
+    fn list_rename_delete() {
+        let mut t = env();
+        t.execute("read gate.st").unwrap();
+        let Response::Message(listing) = t.execute("list").unwrap() else {
+            panic!("expected message");
+        };
+        assert!(listing.contains("gate"));
+        t.execute("rename gate nand").unwrap();
+        assert!(t.library().find("nand").is_some());
+        t.execute("delete nand").unwrap();
+        assert!(t.library().find("nand").is_none());
+    }
+
+    #[test]
+    fn edit_enters_editor() {
+        let mut t = env();
+        assert_eq!(
+            t.execute("edit TOP").unwrap(),
+            Response::EnterEditor("TOP".into())
+        );
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let mut t = env();
+        assert!(t.execute("frobnicate").is_err());
+        assert!(t.execute("read missing.cif").is_err());
+    }
+
+    #[test]
+    fn check_reports_drc_status() {
+        let mut t = env();
+        t.execute("read gate.st").unwrap();
+        {
+            let mut ed = riot_core::Editor::open(t.library_mut(), "TOP").unwrap();
+            let g = ed.library().find("gate").unwrap();
+            ed.create_instance(g).unwrap();
+            ed.finish().unwrap();
+        }
+        let Response::Message(msg) = t.execute("check TOP").unwrap() else {
+            panic!("expected message");
+        };
+        assert!(msg.contains("clean") || msg.contains("violation"));
+    }
+
+    #[test]
+    fn writecif_exports_mask() {
+        let mut t = env();
+        t.execute("read gate.st").unwrap();
+        {
+            let mut ed = riot_core::Editor::open(t.library_mut(), "TOP").unwrap();
+            let g = ed.library().find("gate").unwrap();
+            ed.create_instance(g).unwrap();
+            ed.finish().unwrap();
+        }
+        t.execute("writecif TOP chip.cif").unwrap();
+        let cif = t.file("chip.cif").unwrap();
+        riot_cif::parse(cif).unwrap();
+    }
+}

@@ -1,0 +1,50 @@
+//! Random pointer events never panic the interactive session, and the
+//! screen always renders.
+
+use proptest::prelude::*;
+use riot_core::{Editor, Library};
+use riot_ui::{InteractiveSession, PointerEvent};
+
+fn library() -> Library {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot_cells::shift_register()).unwrap();
+    lib.add_sticks_cell(riot_cells::nand2()).unwrap();
+    lib
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_clicks_never_panic(
+        clicks in prop::collection::vec((-20i64..540, -20i64..500), 1..40)
+    ) {
+        let mut lib = library();
+        let ed = Editor::open(&mut lib, "FUZZ").unwrap();
+        let mut s = InteractiveSession::new(ed, 512, 480);
+        for (x, y) in clicks {
+            // Errors are legitimate (e.g. ABUT with nothing pending);
+            // panics are not.
+            let _ = s.handle(PointerEvent::click(x, y));
+        }
+        let fb = s.render();
+        prop_assert_eq!(fb.width(), 512);
+    }
+
+    #[test]
+    fn zoom_sequences_keep_view_usable(zooms in prop::collection::vec(prop::bool::ANY, 1..12)) {
+        let mut lib = library();
+        let ed = Editor::open(&mut lib, "Z").unwrap();
+        let mut s = InteractiveSession::new(ed, 512, 480);
+        for z in zooms {
+            let cmd = if z {
+                riot_ui::GraphicalCommand::ZoomIn
+            } else {
+                riot_ui::GraphicalCommand::ZoomOut
+            };
+            s.arm(cmd).unwrap();
+            prop_assert!(s.viewport().window().width() > 0);
+            prop_assert!(s.viewport().window().height() > 0);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Arrays and power sharing: replicate a cell into an abutting array,
+//! inspect its exposed connectors, and overlap-abut a neighbour to
+//! share a power rail — the paper's "frequently used to share power or
+//! ground lines in adjacent instances".
+//!
+//! Run with `cargo run --example array_assembly`.
+
+use riot::core::{AbutOptions, Editor, Library};
+use riot::geom::{Point, LAMBDA};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut lib = Library::new();
+    let sr = lib.add_sticks_cell(riot::cells::shift_register())?;
+    let nand = lib.add_sticks_cell(riot::cells::nand2())?;
+
+    let mut ed = Editor::open(&mut lib, "ARRAYS")?;
+
+    // An 8-stage shift register: one instance, replicated. Default
+    // spacing equals the cell width, so "array elements must connect
+    // properly by abutment" — the chain and the rails connect for free.
+    let row = ed.create_instance(sr)?;
+    ed.replicate_instance(row, 8, 1)?;
+    let conns = ed.world_connectors(row)?;
+    println!("8x1 array exposes {} connectors:", conns.len());
+    for c in &conns {
+        println!(
+            "  {:<10} {:>7} layer {} side {:?}",
+            c.name,
+            c.location,
+            c.layer,
+            c.side.map(|s| s.to_string())
+        );
+    }
+    // Interior connectors (SO of column 0..6) are hidden: only the
+    // outside edges show.
+    assert!(conns.iter().all(|c| !c.name.starts_with("SO[0")
+        || c.name == "SO[7,0]"));
+
+    // A 2x2 array of NAND gates shows gridding and suffixed names.
+    let grid = ed.create_instance(nand)?;
+    ed.replicate_instance(grid, 2, 2)?;
+    ed.translate_instance(grid, Point::new(0, 60 * LAMBDA))?;
+    println!(
+        "\n2x2 NAND array bbox: {} ({} exposed connectors)",
+        ed.instance_bbox(grid)?,
+        ed.world_connectors(grid)?.len()
+    );
+
+    // Power sharing: abut a single NAND onto the grid with the overlap
+    // option, connecting rail to rail.
+    let extra = ed.create_instance(nand)?;
+    ed.translate_instance(extra, Point::new(80 * LAMBDA, 60 * LAMBDA))?;
+    ed.connect(extra, "PWRL", grid, "PWRR[1,0]")?;
+    ed.abut(AbutOptions { overlap: true })?;
+    let pl = ed.world_connector(extra, "PWRL")?;
+    let pr = ed.world_connector(grid, "PWRR[1,0]")?;
+    assert_eq!(pl.location, pr.location);
+    println!("shared rail at {}", pl.location);
+
+    for w in ed.take_warnings() {
+        println!("warning: {w}");
+    }
+    ed.finish()?;
+    println!("\nfinished ARRAYS: bbox {}", ed.cell().bbox);
+    Ok(())
+}

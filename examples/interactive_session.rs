@@ -1,0 +1,82 @@
+//! A scripted interactive session on the simulated workstation:
+//! figure 2's screen organization, menu picks, editing-area clicks, and
+//! hardcopy on both terminals and the pen plotter.
+//!
+//! Run with `cargo run --example interactive_session`. Screens land in
+//! `out/`.
+
+use riot::core::{Editor, Library};
+use riot::geom::{Point, LAMBDA};
+use riot::ui::{GraphicalCommand, InteractiveSession};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("out")?;
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::shift_register())?;
+    lib.add_sticks_cell(riot::cells::nand2())?;
+    lib.add_sticks_cell(riot::cells::or2())?;
+
+    let ed = Editor::open(&mut lib, "SESSION")?;
+    // The Charles terminal's resolution.
+    let mut s = InteractiveSession::new(ed, 512, 480);
+
+    // Point at the cell menu, then CREATE, then place two gates.
+    s.click_cell("nand2")?;
+    println!("> {}", s.status());
+    s.click_command(GraphicalCommand::Create)?;
+    println!("> {}", s.status());
+    s.click_world(Point::new(10 * LAMBDA, 10 * LAMBDA))?;
+    println!("> {}", s.status());
+    s.click_world(Point::new(60 * LAMBDA, 10 * LAMBDA))?;
+    println!("> {}", s.status());
+
+    // Connect the two gates by pointing at their connectors, then ABUT.
+    s.click_command(GraphicalCommand::Connect)?;
+    let i0 = s.editor().find_instance("I0").unwrap();
+    let i1 = s.editor().find_instance("I1").unwrap();
+    let from = s.editor().world_connector(i1, "PWRL")?.location;
+    let to = s.editor().world_connector(i0, "PWRR")?.location;
+    s.click_world(from)?;
+    println!("> {}", s.status());
+    s.click_world(to)?;
+    println!("> {}", s.status());
+    s.click_command(GraphicalCommand::Abut)?;
+    println!("> {}", s.status());
+
+    // Figure 3: instance view with names on.
+    s.click_command(GraphicalCommand::Names)?;
+    s.fit_view();
+    let fb = s.render();
+    std::fs::write("out/fig2_screen.ppm", fb.to_ppm())?;
+    println!(
+        "wrote out/fig2_screen.ppm ({}x{}, {} lit pixels)",
+        fb.width(),
+        fb.height(),
+        fb.lit_pixels()
+    );
+
+    // The same editing area on the low-cost GIGI terminal.
+    let list = riot::ui::render::editor_ops(
+        s.editor(),
+        riot::ui::render::RenderOptions {
+            cell_names: true,
+            connector_names: false,
+        },
+    )?;
+    let gigi = riot::graphics::device::gigi();
+    std::fs::write("out/fig1_gigi.ppm", gigi.render(&list).to_ppm())?;
+    println!("wrote out/fig1_gigi.ppm ({}, {} colors)", gigi.name(), gigi.palette().len());
+
+    // Hardcopy on the HP 7221A.
+    let plot = riot::graphics::plotter::plot(&list);
+    std::fs::write("out/session.hpgl", &plot.commands)?;
+    println!(
+        "plotted {} strokes, {} cµ of pen travel",
+        plot.strokes_per_pen.iter().sum::<usize>(),
+        plot.pen_travel
+    );
+
+    s.editor_mut().finish()?;
+    println!("finished SESSION: bbox {}", s.editor().cell().bbox);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The paper's worked example (figures 7–10): the four-bit sequential
+//! logical filter, assembled with routing (figure 9a) and with
+//! stretching (figure 9b), then finished into a padded chip
+//! (figure 10).
+//!
+//! Run with `cargo run --example logical_filter`. Renders land in
+//! `out/`.
+
+use riot::core::Editor;
+use riot::filter::{build_chip, build_logic, LogicStyle};
+use riot::graphics::svg::to_svg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("out")?;
+
+    println!("figure 9: filter logic connected two ways (4 bits)");
+    println!("{:<11} {:>9} {:>9} {:>13} {:>9}", "style", "width/λ", "height/λ", "area/λ²", "routing%");
+    let mut reports = Vec::new();
+    for style in [LogicStyle::Routed, LogicStyle::Stretched] {
+        let logic = build_logic(4, style)?;
+        let r = &logic.report;
+        let lambda = riot::geom::LAMBDA;
+        println!(
+            "{:<11} {:>9} {:>9} {:>13} {:>8.1}%",
+            style.name(),
+            r.bbox.width() / lambda,
+            r.bbox.height() / lambda,
+            r.total_area / (lambda as i128 * lambda as i128),
+            100.0 * r.routing_fraction()
+        );
+        // Figure 9a/9b renders.
+        let mut lib = logic.lib;
+        let ed = Editor::open(&mut lib, &logic.cell)?;
+        let list = riot::ui::render::editor_ops(&ed, Default::default())?;
+        let path = format!("out/fig9_{}.svg", style.name());
+        std::fs::write(&path, to_svg(&list))?;
+        println!("  wrote {path}");
+        reports.push((style, r.clone()));
+    }
+    let (rt, st) = (&reports[0].1, &reports[1].1);
+    println!(
+        "stretching saves {:.1}% of the area ({:.1}% of the height)",
+        100.0 * (1.0 - st.total_area as f64 / rt.total_area as f64),
+        100.0 * (1.0 - st.bbox.height() as f64 / rt.bbox.height() as f64)
+    );
+
+    println!("\nfigure 10: the completed chip (logic + pads)");
+    let chip = build_chip(4, LogicStyle::Stretched)?;
+    let (w, h) = chip.report.size_microns();
+    println!(
+        "chip `{}`: {:.0} x {:.0} microns, {} instances",
+        chip.cell, w, h, chip.report.instances
+    );
+    // Full mask plot from the flattened CIF.
+    let cif = riot::core::export::to_cif(&chip.lib, &chip.cell)?;
+    std::fs::write("out/fig10_chip.cif", riot::cif::to_text(&cif))?;
+    let flat = riot::cif::flatten(&cif)?;
+    let list = riot::ui::render::flat_cif_ops(&flat);
+    std::fs::write("out/fig10_chip.svg", to_svg(&list))?;
+    println!("wrote out/fig10_chip.cif and out/fig10_chip.svg ({} shapes)", flat.len());
+    Ok(())
+}

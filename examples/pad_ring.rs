@@ -1,0 +1,82 @@
+//! Pad hookup with pipe fittings: "Pre-defined pipe fittings aid
+//! complex routes for power, ground and clock lines. Pad routing is
+//! done in pieces with Riot's routing command."
+//!
+//! Builds the filter chip, then turns the input pad's ground line
+//! around a corner with a pipe fitting and carries it along the chip
+//! bottom — the power-distribution idiom of the era.
+//!
+//! Run with `cargo run --example pad_ring`.
+
+use riot::core::{AbutOptions, Editor};
+use riot::filter::{build_chip, LogicStyle};
+use riot::geom::Layer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all("out")?;
+    let chip = build_chip(4, LogicStyle::Stretched)?;
+    let mut lib = chip.lib;
+
+    // The pipe fitting joins a left-entering metal line to a
+    // bottom-leaving one; rotations give the other corners.
+    let pipe_cell = lib.add_sticks_cell(riot::cells::pipe_corner(Layer::Metal, 3))?;
+
+    let mut ed = Editor::open(&mut lib, &chip.cell)?;
+    let padin = ed
+        .instances()
+        .into_iter()
+        .find(|(_, i)| {
+            ed.instance_cell(ed.find_instance(&i.name).unwrap())
+                .map(|c| c.name == "padin")
+                .unwrap_or(false)
+        })
+        .map(|(id, _)| id)
+        .expect("input pad placed by build_chip");
+
+    // Corner 1: pipe's left port takes the pad's ground stub.
+    let pipe = ed.create_instance(pipe_cell)?;
+    ed.connect(pipe, "A", padin, "GND")?;
+    ed.abut(AbutOptions::default())?;
+    let a = ed.world_connector(pipe, "A")?;
+    let gnd = ed.world_connector(padin, "GND")?;
+    assert_eq!(a.location, gnd.location);
+    println!(
+        "pipe corner placed at {}; ground now turns down at {}",
+        ed.instance_bbox(pipe)?.lower_left(),
+        ed.world_connector(pipe, "B")?.location
+    );
+
+    // Corner 2: a mirrored pipe catches the line at the far end,
+    // turning it back up toward the output pad's ground stub.
+    let pipe2 = ed.create_instance(pipe_cell)?;
+    ed.orient_instance(pipe2, riot::geom::Orientation::MX)?;
+    let padout = ed
+        .instances()
+        .into_iter()
+        .find(|(_, i)| {
+            ed.instance_cell(ed.find_instance(&i.name).unwrap())
+                .map(|c| c.name == "padout")
+                .unwrap_or(false)
+        })
+        .map(|(id, _)| id)
+        .expect("output pad placed");
+    // The mirrored pipe's A faces right: connect it to the output
+    // pad's left-side ground.
+    ed.connect(pipe2, "A", padout, "GND")?;
+    ed.abut(AbutOptions::default())?;
+    println!(
+        "second corner at {}; both ground stubs turned toward the chip bottom",
+        ed.instance_bbox(pipe2)?.lower_left()
+    );
+
+    for w in ed.take_warnings() {
+        println!("warning: {w}");
+    }
+    ed.finish()?;
+
+    // Render the padded chip with its fittings.
+    let list = riot::ui::render::editor_ops(&ed, Default::default())?;
+    std::fs::write("out/pad_ring.svg", riot::graphics::svg::to_svg(&list))?;
+    println!("wrote out/pad_ring.svg");
+    Ok(())
+}

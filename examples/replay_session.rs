@@ -1,0 +1,102 @@
+//! REPLAY: record an editing session, change a leaf cell's shape, and
+//! re-run the journal — the connections are re-made at the new
+//! positions, by name.
+//!
+//! Run with `cargo run --example replay_session`.
+
+use riot::core::{replay, Editor, Journal, Library, RouteOptions, StretchOptions};
+use riot::geom::{Point, LAMBDA};
+
+const RECEIVER: &str = "\
+sticks receiver
+bbox 0 0 12 24
+pin A left NP 0 6 2
+pin B left NP 0 12 2
+wire NP 2 0 6 8 6
+wire NP 2 0 12 8 12
+end
+";
+
+fn driver(separation: i64) -> String {
+    format!(
+        "sticks driver\nbbox 0 0 10 {h}\npin X right NP 10 6 2\npin Y right NP 10 {y} 2\nwire NP 2 0 6 10 6\nwire NP 2 0 {y} 10 {y}\nend\n",
+        h = separation + 12,
+        y = 6 + separation
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Record a session against the original driver (pins 8λ apart).
+    let journal: Journal = {
+        let mut lib = Library::new();
+        lib.load_sticks(&driver(8))?;
+        lib.load_sticks(RECEIVER)?;
+        let d_cell = lib.find("driver").unwrap();
+        let r_cell = lib.find("receiver").unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP")?;
+        let d = ed.create_instance(d_cell)?;
+        let r = ed.create_instance(r_cell)?;
+        ed.translate_instance(r, Point::new(40 * LAMBDA, 0))?;
+        ed.connect(r, "A", d, "X")?;
+        ed.connect(r, "B", d, "Y")?;
+        ed.stretch(StretchOptions::default())?;
+        ed.finish()?;
+        let _ = d;
+        ed.journal().clone()
+    };
+    let text = journal.to_text();
+    println!("recorded journal:\n{text}");
+
+    // The leaf cell changes: driver pins move to 16λ apart. Without
+    // REPLAY "the user is forced to re-edit major portions of the chip
+    // by hand"; with it, one command re-makes everything.
+    let mut lib = Library::new();
+    lib.load_sticks(&driver(16))?;
+    lib.load_sticks(RECEIVER)?;
+    let warnings = replay(&Journal::parse(&text)?, &mut lib)?;
+    println!("replayed with {} warnings", warnings.len());
+
+    let ed = Editor::open(&mut lib, "TOP")?;
+    let d = ed.find_instance("I0").unwrap();
+    let r = ed.find_instance("I1").unwrap();
+    for (from, to) in [("A", "X"), ("B", "Y")] {
+        let f = ed.world_connector(r, from)?;
+        let t = ed.world_connector(d, to)?;
+        assert_eq!(f.location, t.location, "{from}-{to} re-made");
+        println!("{from} meets {to} at {}", f.location);
+    }
+
+    // The stretch was recomputed: the receiver's pins now sit 16λ
+    // apart, not the recorded 8λ.
+    let a = ed.world_connector(r, "A")?;
+    let b = ed.world_connector(r, "B")?;
+    println!(
+        "receiver pin separation after replay: {}λ",
+        (b.location.y - a.location.y) / LAMBDA
+    );
+    assert_eq!((b.location.y - a.location.y) / LAMBDA, 16);
+
+    // Routing replays too.
+    let journal2: Journal = {
+        let mut lib = Library::new();
+        lib.load_sticks(&driver(8))?;
+        lib.load_sticks(RECEIVER)?;
+        let d_cell = lib.find("driver").unwrap();
+        let r_cell = lib.find("receiver").unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP")?;
+        let d = ed.create_instance(d_cell)?;
+        let r = ed.create_instance(r_cell)?;
+        ed.translate_instance(r, Point::new(40 * LAMBDA, 7 * LAMBDA))?;
+        ed.connect(r, "A", d, "X")?;
+        ed.route(RouteOptions::default())?;
+        ed.finish()?;
+        let _ = d;
+        ed.journal().clone()
+    };
+    let mut lib2 = Library::new();
+    lib2.load_sticks(&driver(20))?;
+    lib2.load_sticks(RECEIVER)?;
+    replay(&journal2, &mut lib2)?;
+    println!("route journal replayed against the re-shaped driver");
+    Ok(())
+}

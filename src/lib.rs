@@ -1,0 +1,54 @@
+//! Umbrella crate for the RIOT reproduction.
+//!
+//! RIOT (Trimberger & Rowson, DAC 1982) is an interactive graphical chip
+//! *assembly* tool: it composes previously-designed leaf cells into larger
+//! composition cells and whole chips using three connection primitives —
+//! abutment, river routing and stretching.
+//!
+//! This crate re-exports every subsystem of the reproduction so examples
+//! and downstream users can depend on a single crate:
+//!
+//! * [`geom`] — shared low-level geometry objects
+//! * [`cif`] — Caltech Intermediate Form reader/writer (+ connector extension)
+//! * [`sticks`] — the Sticks symbolic-layout format
+//! * [`rest`] — the REST-style constraint-graph compactor used for stretching
+//! * [`route`] — the multi-layer river router
+//! * [`graphics`] — the graphics package (framebuffer, devices, plotter)
+//! * [`core`] — Riot proper: cells, instances, connections, replay
+//! * [`cells`] — leaf-cell generators standing in for Bristle Blocks / LAP
+//! * [`ui`] — the textual and graphical command interfaces
+//! * [`extract`] — connectivity extraction and switch-level simulation
+//! * [`drc`] — design-rule checking over flattened mask geometry
+//!
+//! # Quickstart
+//!
+//! ```
+//! use riot::core::{Editor, Library};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut lib = Library::new();
+//! let sr = lib.add_sticks_cell(riot::cells::shift_register())?;
+//! let mut ed = Editor::open(&mut lib, "TOP")?;
+//! let a = ed.create_instance(sr)?;
+//! let b = ed.create_instance(sr)?;
+//! ed.translate_instance(b, riot::geom::Point::new(9000, 0))?;
+//! ed.connect(b, "SI", a, "SO")?;
+//! ed.abut(Default::default())?;
+//! ed.finish()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod filter;
+
+pub use riot_cells as cells;
+pub use riot_cif as cif;
+pub use riot_drc as drc;
+pub use riot_extract as extract;
+pub use riot_core as core;
+pub use riot_geom as geom;
+pub use riot_graphics as graphics;
+pub use riot_rest as rest;
+pub use riot_route as route;
+pub use riot_sticks as sticks;
+pub use riot_ui as ui;

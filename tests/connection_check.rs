@@ -1,0 +1,101 @@
+//! The maintained-connection extension (the paper's future work):
+//! record connections into a ledger during assembly, then detect every
+//! way a later edit can silently destroy them.
+
+use riot::core::{
+    AbutOptions, ConnectionLedger, ConnectionViolation, Editor, Library, RouteOptions,
+};
+use riot::geom::{Point, LAMBDA};
+
+fn chain_with_ledger(lib: &mut Library) -> ConnectionLedger {
+    let sr = lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    let mut ed = Editor::open(lib, "CHAIN").unwrap();
+    let mut ledger = ConnectionLedger::new();
+    let mut prev = ed.create_instance(sr).unwrap();
+    for k in 1..4 {
+        let next = ed.create_instance(sr).unwrap();
+        ed.translate_instance(next, Point::new(k * 60 * LAMBDA, 3 * LAMBDA))
+            .unwrap();
+        ed.connect(next, "SI", prev, "SO").unwrap();
+        ledger.record_pending(&ed).unwrap();
+        ed.abut(AbutOptions::default()).unwrap();
+        prev = next;
+    }
+    ed.finish().unwrap();
+    assert!(ledger.check(&ed).is_empty());
+    ledger
+}
+
+#[test]
+fn ledger_catches_accidental_moves_anywhere_in_a_chain() {
+    let mut lib = Library::new();
+    let ledger = chain_with_ledger(&mut lib);
+    assert_eq!(ledger.len(), 3);
+    let mut ed = Editor::open(&mut lib, "CHAIN").unwrap();
+    // Nudge the middle stage: BOTH of its connections break.
+    let mid = ed.find_instance("I1").unwrap();
+    ed.translate_instance(mid, Point::new(0, 2 * LAMBDA)).unwrap();
+    let violations = ledger.check(&ed);
+    assert_eq!(violations.len(), 2);
+    for v in &violations {
+        assert!(matches!(v, ConnectionViolation::Separated { .. }));
+    }
+}
+
+#[test]
+fn route_connections_can_be_maintained_too() {
+    let mut lib = Library::new();
+    let sr = lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    let nand = lib.add_sticks_cell(riot::cells::nand2()).unwrap();
+    let mut ed = Editor::open(&mut lib, "ROUTED").unwrap();
+    let s = ed.create_instance(sr).unwrap();
+    ed.replicate_instance(s, 2, 1).unwrap();
+    let g = ed.create_instance(nand).unwrap();
+    ed.translate_instance(g, Point::new(0, 60 * LAMBDA)).unwrap();
+    ed.connect(g, "A", s, "TAP[0,0]").unwrap();
+    ed.connect(g, "B", s, "TAP[1,0]").unwrap();
+    let mut ledger = ConnectionLedger::new();
+    ledger.record_pending(&ed).unwrap();
+    ed.route(RouteOptions::default()).unwrap();
+    // After routing, the gate's pins sit on the route's top pins, not
+    // the taps — the *logical* connection holds through the route cell,
+    // so the ledger naturally reports the direct-coincidence check as
+    // separated. This is exactly the fidelity line the paper draws:
+    // the successor tool must model connection through routing. The
+    // ledger handles it by recording the two abutment interfaces.
+    let violations = ledger.check(&ed);
+    assert_eq!(violations.len(), 2, "direct check sees the route gap");
+    // The supported pattern: re-record against the route cell's pins.
+    let mut ledger2 = ConnectionLedger::new();
+    let route_inst = ed
+        .instances()
+        .into_iter()
+        .find(|(_, i)| i.name.starts_with("route"))
+        .map(|(id, _)| id)
+        .unwrap();
+    let route_name = ed.instance(route_inst).unwrap().name.clone();
+    ledger2.record(riot::core::MaintainedConnection {
+        from_instance: ed.instance(g).unwrap().name.clone(),
+        from_connector: "A".into(),
+        to_instance: route_name.clone(),
+        to_connector: "TAP[0,0]'".into(),
+    });
+    assert!(ledger2.check(&ed).is_empty(), "{:?}", ledger2.check(&ed));
+    // And the check catches the gate drifting off the route.
+    ed.translate_instance(g, Point::new(LAMBDA, 0)).unwrap();
+    assert_eq!(ledger2.check(&ed).len(), 1);
+}
+
+#[test]
+fn ledger_survives_composition_save_and_reload() {
+    let mut lib = Library::new();
+    let ledger = chain_with_ledger(&mut lib);
+    let text = riot::core::compose::save(&lib);
+    let mut lib2 = Library::new();
+    lib2.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    riot::core::compose::load(&text, &mut lib2).unwrap();
+    let mut ed = Editor::open(&mut lib2, "CHAIN").unwrap();
+    // Names survived the round trip, so the same ledger still checks.
+    assert!(ledger.check(&ed).is_empty());
+    let _ = ed.take_warnings();
+}

@@ -1,0 +1,148 @@
+//! Property tests at the editor level: random command sequences never
+//! panic and core invariants survive any of them.
+
+use proptest::prelude::*;
+use riot::core::{AbutOptions, Editor, Library, RouteOptions, StretchOptions};
+use riot::geom::{Orientation, Point, LAMBDA};
+
+/// A random editor command, instance references by small index.
+#[derive(Debug, Clone)]
+enum Cmd {
+    Create(u8),
+    Translate(u8, i64, i64),
+    Orient(u8, usize),
+    Replicate(u8, u8, u8),
+    Delete(u8),
+    Connect(u8, u8),
+    Bus(u8, u8),
+    Abut(bool),
+    Route(bool),
+    Stretch,
+    Finish,
+}
+
+fn arb_cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0u8..3).prop_map(Cmd::Create),
+        (0u8..6, -40i64..40, -40i64..40).prop_map(|(i, x, y)| Cmd::Translate(i, x, y)),
+        (0u8..6, 0usize..8).prop_map(|(i, o)| Cmd::Orient(i, o)),
+        (0u8..6, 1u8..4, 1u8..4).prop_map(|(i, c, r)| Cmd::Replicate(i, c, r)),
+        (0u8..6).prop_map(Cmd::Delete),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| Cmd::Connect(a, b)),
+        (0u8..6, 0u8..6).prop_map(|(a, b)| Cmd::Bus(a, b)),
+        prop::bool::ANY.prop_map(Cmd::Abut),
+        prop::bool::ANY.prop_map(Cmd::Route),
+        Just(Cmd::Stretch),
+        Just(Cmd::Finish),
+    ]
+}
+
+fn cells() -> Library {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    lib.add_sticks_cell(riot::cells::nand2()).unwrap();
+    lib.add_sticks_cell(riot::cells::or2()).unwrap();
+    lib
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of commands either succeeds or returns an error —
+    /// never panics, and never leaves the editor unusable.
+    #[test]
+    fn random_sessions_never_panic(cmds in prop::collection::vec(arb_cmd(), 1..25)) {
+        let mut lib = cells();
+        let menu: Vec<_> = lib.iter().map(|(id, _)| id).collect();
+        let mut ed = Editor::open(&mut lib, "FUZZ").unwrap();
+        for cmd in cmds {
+            let inst = |ed: &Editor<'_>, i: u8| {
+                let live = ed.instances();
+                if live.is_empty() {
+                    None
+                } else {
+                    Some(live[i as usize % live.len()].0)
+                }
+            };
+            let result: Result<(), riot::core::RiotError> = match cmd {
+                Cmd::Create(c) => ed
+                    .create_instance(menu[c as usize % menu.len()])
+                    .map(|_| ()),
+                Cmd::Translate(i, x, y) => match inst(&ed, i) {
+                    Some(id) => ed.translate_instance(id, Point::new(x * LAMBDA, y * LAMBDA)),
+                    None => Ok(()),
+                },
+                Cmd::Orient(i, o) => match inst(&ed, i) {
+                    Some(id) => ed.orient_instance(id, Orientation::ALL[o % 8]),
+                    None => Ok(()),
+                },
+                Cmd::Replicate(i, c, r) => match inst(&ed, i) {
+                    Some(id) => ed.replicate_instance(id, c as u32, r as u32),
+                    None => Ok(()),
+                },
+                Cmd::Delete(i) => match inst(&ed, i) {
+                    Some(id) => ed.delete_instance(id),
+                    None => Ok(()),
+                },
+                Cmd::Connect(a, b) => match (inst(&ed, a), inst(&ed, b)) {
+                    (Some(x), Some(y)) => {
+                        // Pick arbitrary connectors from each.
+                        let fc = ed.world_connectors(x).ok().and_then(|v| v.first().cloned());
+                        let tc = ed.world_connectors(y).ok().and_then(|v| v.first().cloned());
+                        match (fc, tc) {
+                            (Some(f), Some(t)) => {
+                                ed.connect(x, &f.name, y, &t.name).map(|_| ())
+                            }
+                            _ => Ok(()),
+                        }
+                    }
+                    _ => Ok(()),
+                },
+                Cmd::Bus(a, b) => match (inst(&ed, a), inst(&ed, b)) {
+                    (Some(x), Some(y)) if x != y => ed.connect_bus(x, y).map(|_| ()),
+                    _ => Ok(()),
+                },
+                Cmd::Abut(overlap) => ed.abut(AbutOptions { overlap }).map(|_| ()),
+                Cmd::Route(move_from) => ed
+                    .route(RouteOptions {
+                        move_from,
+                        ..RouteOptions::default()
+                    })
+                    .map(|_| ()),
+                Cmd::Stretch => ed.stretch(StretchOptions::default()).map(|_| ()),
+                Cmd::Finish => ed.finish().map(|_| ()),
+            };
+            // Errors are fine; panics are not (proptest would catch).
+            let _ = result;
+            // Invariant: pending connections only reference live
+            // instances.
+            for p in ed.pending().to_vec() {
+                prop_assert!(ed.instance(p.from).is_ok());
+                prop_assert!(ed.instance(p.to).is_ok());
+            }
+        }
+        // The editor can always finish.
+        ed.finish().unwrap();
+        let bbox = ed.cell().bbox;
+        for (id, _) in ed.instances() {
+            prop_assert!(bbox.contains_rect(ed.instance_bbox(id).unwrap()));
+        }
+    }
+
+    /// After any successful abut, the first pending pair coincides.
+    #[test]
+    fn abut_always_lands_first_connection(dx in 5i64..80, dy in -20i64..20) {
+        let mut lib = cells();
+        let nand = lib.find("nand2").unwrap();
+        let mut ed = Editor::open(&mut lib, "AB").unwrap();
+        let a = ed.create_instance(nand).unwrap();
+        let b = ed.create_instance(nand).unwrap();
+        ed.translate_instance(b, Point::new(dx * LAMBDA, dy * LAMBDA)).unwrap();
+        if ed.connect(b, "PWRL", a, "PWRR").is_ok() {
+            ed.abut(AbutOptions::default()).unwrap();
+            let f = ed.world_connector(b, "PWRL").unwrap();
+            let t = ed.world_connector(a, "PWRR").unwrap();
+            prop_assert_eq!(f.location, t.location);
+        }
+    }
+}

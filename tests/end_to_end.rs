@@ -1,0 +1,111 @@
+//! End-to-end integration: textual interface, interactive session,
+//! composition save/restore, mask export, both display devices and the
+//! plotter — a whole Riot working day in one process.
+
+use riot::core::{Editor, Library};
+use riot::geom::{Point, LAMBDA};
+use riot::ui::textual::Response;
+use riot::ui::{GraphicalCommand, InteractiveSession, TextualInterface};
+
+#[test]
+fn textual_then_graphical_then_export() {
+    let mut env = TextualInterface::new();
+    env.put_file("pads.cif", riot::cells::pads_cif());
+    env.put_file("sr.st", riot::sticks::to_text(&riot::cells::shift_register()));
+    env.execute("read pads.cif").unwrap();
+    env.execute("read sr.st").unwrap();
+    let Response::EnterEditor(cell) = env.execute("edit TOP").unwrap() else {
+        panic!("edit must enter the editor");
+    };
+
+    // Graphical editing session: build a 4-stage shift register by
+    // pointing, then wire a pad to it.
+    {
+        let ed = Editor::open(env.library_mut(), &cell).unwrap();
+        let mut s = InteractiveSession::new(ed, 512, 480);
+        s.click_cell("shiftcell").unwrap();
+        s.click_command(GraphicalCommand::Create).unwrap();
+        s.click_world(Point::new(0, 0)).unwrap();
+        let id = s.editor().find_instance("I0").unwrap();
+        s.editor_mut().replicate_instance(id, 4, 1).unwrap();
+        s.editor_mut().finish().unwrap();
+        assert_eq!(s.editor().instances().len(), 1);
+    }
+
+    // Save the session, wipe, restore.
+    env.execute("write session.comp").unwrap();
+    let saved = env.file("session.comp").unwrap().to_owned();
+    let mut env2 = TextualInterface::new();
+    env2.put_file("pads.cif", riot::cells::pads_cif());
+    env2.put_file("sr.st", riot::sticks::to_text(&riot::cells::shift_register()));
+    env2.put_file("session.comp", saved);
+    env2.execute("read pads.cif").unwrap();
+    env2.execute("read sr.st").unwrap();
+    env2.execute("read session.comp").unwrap();
+    assert!(env2.library().find("TOP").is_some());
+
+    // Mask generation and hardcopy.
+    env2.execute("writecif TOP chip.cif").unwrap();
+    let cif = riot::cif::parse(env2.file("chip.cif").unwrap()).unwrap();
+    assert!(!riot::cif::flatten(&cif).unwrap().is_empty());
+    env2.execute("plot TOP top.hpgl").unwrap();
+    assert!(env2.file("top.hpgl").unwrap().contains("PD"));
+}
+
+#[test]
+fn both_devices_render_the_filter() {
+    let logic = riot::filter::build_logic(4, riot::filter::LogicStyle::Stretched).unwrap();
+    let mut lib = logic.lib;
+    let ed = Editor::open(&mut lib, &logic.cell).unwrap();
+    let list = riot::ui::render::editor_ops(&ed, Default::default()).unwrap();
+    for device in [riot::graphics::device::charles(), riot::graphics::device::gigi()] {
+        let fb = device.render(&list);
+        assert!(
+            fb.lit_pixels() > 500,
+            "{} shows the assembly",
+            device.name()
+        );
+    }
+}
+
+#[test]
+fn session_journal_survives_ui_editing() {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::nand2()).unwrap();
+    let journal_text = {
+        let ed = Editor::open(&mut lib, "TOP").unwrap();
+        let mut s = InteractiveSession::new(ed, 512, 480);
+        s.click_cell("nand2").unwrap();
+        s.click_command(GraphicalCommand::Create).unwrap();
+        s.click_world(Point::new(10 * LAMBDA, 10 * LAMBDA)).unwrap();
+        s.click_world(Point::new(60 * LAMBDA, 10 * LAMBDA)).unwrap();
+        s.editor().journal().to_text()
+    };
+    // The journal replays in a fresh library.
+    let journal = riot::core::Journal::parse(&journal_text).unwrap();
+    let mut lib2 = Library::new();
+    lib2.add_sticks_cell(riot::cells::nand2()).unwrap();
+    riot::core::replay(&journal, &mut lib2).unwrap();
+    let ed = Editor::open(&mut lib2, "TOP").unwrap();
+    assert_eq!(ed.instances().len(), 2);
+}
+
+#[test]
+fn composition_format_closes_over_route_and_stretch_cells() {
+    // Route/stretch create new cells mid-session; the composition file
+    // must reference them and reload cleanly.
+    let logic = riot::filter::build_logic(4, riot::filter::LogicStyle::Routed).unwrap();
+    let text = riot::core::compose::save(&logic.lib);
+    let mut lib2 = Library::new();
+    // Reload every sticks leaf the original session held.
+    for (_, cell) in logic.lib.iter() {
+        if let Some(sticks) = cell.sticks() {
+            lib2.add_sticks_cell(sticks.clone()).unwrap();
+        }
+    }
+    let ids = riot::core::compose::load(&text, &mut lib2).unwrap();
+    assert_eq!(ids.len(), 1);
+    let report2 = riot::core::measure::measure(&lib2, &logic.cell).unwrap();
+    assert_eq!(report2.bbox, logic.report.bbox);
+    assert_eq!(report2.routing_area, logic.report.routing_area);
+}

@@ -1,0 +1,63 @@
+//! Robustness across the textual formats: no parser panics on garbage.
+
+use proptest::prelude::*;
+
+#[test]
+fn sticks_parser_never_panics_on_garbage() {
+    for text in [
+        "",
+        "sticks",
+        "sticks \u{0}x\nbbox\nend",
+        "sticks a\nbbox 0 0 9999999999999999999 4\nend",
+        "pin wire dev contact end",
+        &"wire NM 3 0 0 1 1\n".repeat(50),
+    ] {
+        let _ = riot::sticks::parse(text);
+    }
+}
+
+#[test]
+fn replay_parser_never_panics_on_garbage() {
+    for text in [
+        "",
+        "riot replay v1",
+        "riot replay v1\ntranslate",
+        "riot replay v1\nconnect a b",
+        "riot replay v1\nabut maybe\n",
+        "riot replay v1\nbringout x",
+    ] {
+        let _ = riot::core::Journal::parse(text);
+    }
+}
+
+#[test]
+fn composition_parser_never_panics_on_garbage() {
+    let mut lib = riot::core::Library::new();
+    for text in [
+        "",
+        "riot composition v1\ncell",
+        "riot composition v1\ncell A\ninstance x y R0 0 0 1 1 1 1\nend",
+        "riot composition v1\nbbox 1 2 3 4",
+        "riot composition v1\ncell A\nconnector N 0 0 QQ 3\nend",
+    ] {
+        let _ = riot::core::compose::load(text, &mut lib);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sticks_random_lines_never_panic(
+        text in "(sticks [a-z]{1,4}|bbox( -?[0-9]{1,3}){4}|pin [A-Z] left NM 0 [0-9]{1,2}|wire NM 3( [0-9]{1,2}){4}|dev enh 5 5|contact md 4 4|end|\n){0,20}"
+    ) {
+        let _ = riot::sticks::parse(&text);
+    }
+
+    #[test]
+    fn replay_random_lines_never_panic(
+        text in "(riot replay v1|edit [A-Z]{1,4}|create [a-z]{1,4} I[0-9]|translate I[0-9] -?[0-9]{1,6} -?[0-9]{1,6}|abut touch|route move|stretch|finish|\n){0,20}"
+    ) {
+        let _ = riot::core::Journal::parse(&text);
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 9/10 integration: the logical filter assembles both ways and
+//! the paper's area claims hold in shape.
+
+use riot::filter::{build_chip, build_logic, LogicStyle};
+
+#[test]
+fn routed_logic_assembles() {
+    let routed = build_logic(4, LogicStyle::Routed).expect("routed assembly");
+    assert!(routed.report.route_instances >= 3, "each gate row routes");
+    assert!(routed.report.routing_area > 0);
+}
+
+#[test]
+fn stretched_logic_assembles_without_channels() {
+    let stretched = build_logic(4, LogicStyle::Stretched).expect("stretched assembly");
+    // Only the final bring-out route remains; no inter-row channels.
+    assert!(
+        stretched.report.route_instances <= 1,
+        "stretching eliminates the routing channels, got {}",
+        stretched.report.route_instances
+    );
+}
+
+#[test]
+fn stretching_saves_area_mostly_vertically() {
+    let routed = build_logic(4, LogicStyle::Routed).expect("routed");
+    let stretched = build_logic(4, LogicStyle::Stretched).expect("stretched");
+    // Paper: "the designer may save area by stretching the gates,
+    // eliminating the routing area … the important space savings is in
+    // the vertical direction since no routing channels are needed".
+    assert!(
+        stretched.report.bbox.height() < routed.report.bbox.height(),
+        "vertical saving: stretched {} vs routed {}",
+        stretched.report.bbox.height(),
+        routed.report.bbox.height()
+    );
+    assert!(
+        stretched.report.total_area < routed.report.total_area,
+        "area saving: stretched {} vs routed {}",
+        stretched.report.total_area,
+        routed.report.total_area
+    );
+}
+
+#[test]
+fn larger_filters_assemble_both_ways() {
+    for bits in [8, 16] {
+        let routed = build_logic(bits, LogicStyle::Routed)
+            .unwrap_or_else(|e| panic!("routed {bits}-bit: {e}"));
+        let stretched = build_logic(bits, LogicStyle::Stretched)
+            .unwrap_or_else(|e| panic!("stretched {bits}-bit: {e}"));
+        assert!(stretched.report.bbox.height() < routed.report.bbox.height());
+    }
+}
+
+#[test]
+fn chip_with_pads_exports_to_cif() {
+    let chip = build_chip(4, LogicStyle::Routed).expect("chip assembly");
+    assert!(chip.report.instances >= 5, "logic + 2 pads + 2 routes");
+    // Figure 10: the completed chip geometry — CIF out and flatten.
+    let cif = riot::core::export::to_cif(&chip.lib, &chip.cell).expect("export");
+    let text = riot::cif::to_text(&cif);
+    let again = riot::cif::parse(&text).expect("reparse");
+    let flat = riot::cif::flatten(&again).expect("flatten");
+    assert!(flat.len() > 50, "a real chip has plenty of geometry");
+}

@@ -1,0 +1,155 @@
+//! The REPLAY experiment: re-running a journaled session after a leaf
+//! cell changes shape re-makes every connection at recomputed
+//! positions.
+
+use riot::core::{replay, AbutOptions, Editor, Journal, Library};
+use riot::geom::{Point, LAMBDA};
+
+/// The original gate.
+const GATE_V1: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin OUT right NP 12 10 2
+wire NP 2 0 4 12 4
+end
+";
+
+/// The same gate after a leaf-cell edit: taller, with both connectors
+/// moved — exactly the situation that silently breaks positional
+/// connections without REPLAY.
+const GATE_V2: &str = "\
+sticks gate
+bbox 0 0 18 30
+pin A left NP 0 8 2
+pin OUT right NP 18 22 2
+wire NP 2 0 8 18 8
+wire NP 2 9 8 9 22
+wire NP 2 9 22 18 22
+end
+";
+
+fn record_session(lib: &mut Library) -> Journal {
+    let gate = lib.find("gate").unwrap();
+    let mut ed = Editor::open(lib, "TOP").unwrap();
+    let a = ed.create_instance(gate).unwrap();
+    let b = ed.create_instance(gate).unwrap();
+    ed.translate_instance(b, Point::new(40 * LAMBDA, 3 * LAMBDA))
+        .unwrap();
+    ed.connect(b, "A", a, "OUT").unwrap();
+    ed.abut(AbutOptions::default()).unwrap();
+    ed.finish().unwrap();
+    let _ = a;
+    ed.journal().clone()
+}
+
+#[test]
+fn replay_reconnects_after_leaf_change() {
+    // Record against v1.
+    let mut lib1 = Library::new();
+    lib1.load_sticks(GATE_V1).unwrap();
+    let journal = record_session(&mut lib1);
+
+    // Re-run against the re-shaped v2 cell.
+    let mut lib2 = Library::new();
+    lib2.load_sticks(GATE_V2).unwrap();
+    let warnings = replay(&journal, &mut lib2).expect("replay");
+    assert!(warnings.is_empty(), "replay warnings: {warnings:?}");
+
+    // The connection holds at the *new* positions.
+    let mut ed = Editor::open(&mut lib2, "TOP").unwrap();
+    let a = ed.find_instance("I0").unwrap();
+    let b = ed.find_instance("I1").unwrap();
+    let out = ed.world_connector(a, "OUT").unwrap();
+    let ain = ed.world_connector(b, "A").unwrap();
+    assert_eq!(out.location, ain.location, "connection re-made by name");
+    // And it is at the v2 connector geometry, not v1's.
+    assert_eq!(out.location.y - ed.instance_bbox(a).unwrap().y0, 22 * LAMBDA);
+    let _ = ed.take_warnings();
+}
+
+#[test]
+fn replay_file_round_trip_then_run() {
+    let mut lib1 = Library::new();
+    lib1.load_sticks(GATE_V1).unwrap();
+    let journal = record_session(&mut lib1);
+    // Serialize to the replay file format and parse back — the crash
+    // recovery path.
+    let text = journal.to_text();
+    let parsed = Journal::parse(&text).expect("parse replay file");
+    assert_eq!(parsed, journal);
+
+    let mut lib2 = Library::new();
+    lib2.load_sticks(GATE_V1).unwrap();
+    replay(&parsed, &mut lib2).expect("replay");
+    // Identical input cells → identical result geometry.
+    let top1 = lib1.cell(lib1.find("TOP").unwrap()).unwrap();
+    let top2 = lib2.cell(lib2.find("TOP").unwrap()).unwrap();
+    assert_eq!(top1.bbox, top2.bbox);
+    assert_eq!(top1.connectors, top2.connectors);
+}
+
+#[test]
+fn replay_covers_route_and_stretch() {
+    // A journal that exercises ROUTE and STRETCH survives replay
+    // against a modified cell.
+    const DRIVER: &str = "\
+sticks driver
+bbox 0 0 10 20
+pin X right NP 10 6 2
+pin Y right NP 10 14 2
+wire NP 2 0 6 10 6
+wire NP 2 0 14 10 14
+end
+";
+    const RECEIVER: &str = "\
+sticks receiver
+bbox 0 0 12 24
+pin A left NP 0 6 2
+pin B left NP 0 12 2
+wire NP 2 0 6 8 6
+wire NP 2 0 12 8 12
+end
+";
+    let journal = {
+        let mut lib = Library::new();
+        lib.load_sticks(DRIVER).unwrap();
+        lib.load_sticks(RECEIVER).unwrap();
+        let d_cell = lib.find("driver").unwrap();
+        let r_cell = lib.find("receiver").unwrap();
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let d = ed.create_instance(d_cell).unwrap();
+        let r = ed.create_instance(r_cell).unwrap();
+        ed.translate_instance(r, Point::new(40 * LAMBDA, 0)).unwrap();
+        ed.connect(r, "A", d, "X").unwrap();
+        ed.connect(r, "B", d, "Y").unwrap();
+        ed.stretch(Default::default()).unwrap();
+        ed.finish().unwrap();
+        ed.journal().clone()
+    };
+    // Replay against a driver whose pins moved further apart.
+    const DRIVER_V2: &str = "\
+sticks driver
+bbox 0 0 10 30
+pin X right NP 10 6 2
+pin Y right NP 10 24 2
+wire NP 2 0 6 10 6
+wire NP 2 0 24 10 24
+end
+";
+    let mut lib2 = Library::new();
+    lib2.load_sticks(DRIVER_V2).unwrap();
+    lib2.load_sticks(RECEIVER).unwrap();
+    replay(&journal, &mut lib2).expect("replay with stretch");
+    let ed = Editor::open(&mut lib2, "TOP").unwrap();
+    let d = ed.find_instance("I0").unwrap();
+    let r = ed.find_instance("I1").unwrap();
+    // Both connections hold at the v2 separations (18λ apart).
+    let x = ed.world_connector(d, "X").unwrap();
+    let a = ed.world_connector(r, "A").unwrap();
+    let y = ed.world_connector(d, "Y").unwrap();
+    let b = ed.world_connector(r, "B").unwrap();
+    assert_eq!(x.location, a.location);
+    assert_eq!(y.location, b.location);
+    assert_eq!(b.location.y - a.location.y, 18 * LAMBDA);
+}
