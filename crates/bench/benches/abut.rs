@@ -27,9 +27,11 @@ fn bench_abut(c: &mut Criterion) {
                     let mut ed = Editor::open(&mut lib, "TOP").unwrap();
                     let a = ed.create_instance(r).unwrap();
                     let bi = ed.create_instance(l).unwrap();
-                    ed.translate_instance(bi, Point::new(100 * LAMBDA, 0)).unwrap();
+                    ed.translate_instance(bi, Point::new(100 * LAMBDA, 0))
+                        .unwrap();
                     for i in 0..n {
-                        ed.connect(bi, &format!("P{i}"), a, &format!("P{i}")).unwrap();
+                        ed.connect(bi, &format!("P{i}"), a, &format!("P{i}"))
+                            .unwrap();
                     }
                     ed.abut(AbutOptions::default()).unwrap();
                 },
@@ -52,7 +54,8 @@ fn bench_connect_bus(c: &mut Criterion) {
                     let mut ed = Editor::open(&mut lib, "TOP").unwrap();
                     let a = ed.create_instance(r).unwrap();
                     let bi = ed.create_instance(l).unwrap();
-                    ed.translate_instance(bi, Point::new(100 * LAMBDA, 0)).unwrap();
+                    ed.translate_instance(bi, Point::new(100 * LAMBDA, 0))
+                        .unwrap();
                     ed.connect_bus(bi, a).unwrap()
                 },
                 criterion::BatchSize::SmallInput,
@@ -74,5 +77,10 @@ fn bench_world_connectors(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_abut, bench_connect_bus, bench_world_connectors);
+criterion_group!(
+    benches,
+    bench_abut,
+    bench_connect_bus,
+    bench_world_connectors
+);
 criterion_main!(benches);

@@ -43,5 +43,11 @@ fn bench_chip_export(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_parse, bench_write, bench_flatten, bench_chip_export);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_write,
+    bench_flatten,
+    bench_chip_export
+);
 criterion_main!(benches);

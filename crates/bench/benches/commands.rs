@@ -1,0 +1,195 @@
+//! The transactional command engine: raw command-apply throughput,
+//! journal replay through the engine, and the event-invalidated caches
+//! of derived geometry (world bboxes and world connector lists) against
+//! recompute-per-call baselines on a 1k-instance composition.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use riot::core::{Command, Editor, InstanceId, Journal, Library};
+use riot::geom::{Point, LAMBDA};
+
+const N: usize = 1_000;
+
+fn library() -> Library {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
+    lib
+}
+
+/// Builds an editor session holding `N` placed instances.
+fn build_session(lib: &mut Library) -> (Editor<'_>, Vec<InstanceId>) {
+    let sr = lib.find("shiftcell").expect("shift register cell");
+    let mut ed = Editor::open(lib, "TOP").unwrap();
+    let mut ids = Vec::with_capacity(N);
+    for k in 0..N {
+        let id = ed.create_instance(sr).unwrap();
+        let (col, row) = ((k % 40) as i64, (k / 40) as i64);
+        ed.translate_instance(id, Point::new(col * 60 * LAMBDA, row * 40 * LAMBDA))
+            .unwrap();
+        ids.push(id);
+    }
+    (ed, ids)
+}
+
+fn bench_command_apply(c: &mut Criterion) {
+    let mut lib = library();
+    let (mut ed, ids) = build_session(&mut lib);
+    let mut g = c.benchmark_group("commands/apply");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+    g.bench_function("translate_1k", |b| {
+        b.iter(|| {
+            for id in &ids {
+                ed.translate_instance(*id, Point::new(LAMBDA, 0)).unwrap();
+            }
+        })
+    });
+    g.bench_function("execute_translate_1k", |b| {
+        b.iter(|| {
+            for id in &ids {
+                let name = ed.instance(*id).unwrap().name.clone();
+                ed.execute(Command::Translate {
+                    instance: name,
+                    d: Point::new(0, LAMBDA),
+                })
+                .unwrap();
+            }
+        })
+    });
+    g.bench_function("undo_redo_1k", |b| {
+        b.iter(|| {
+            for _ in 0..ids.len() {
+                ed.undo().unwrap();
+            }
+            for _ in 0..ids.len() {
+                ed.redo().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_journal_replay(c: &mut Criterion) {
+    // A journal of 1k creates + 1k moves, replayed through the one
+    // engine dispatch.
+    let journal = {
+        let mut lib = library();
+        let (ed, _) = build_session(&mut lib);
+        ed.journal().clone()
+    };
+    let text = journal.to_text();
+    let mut g = c.benchmark_group("commands/replay");
+    g.throughput(Throughput::Elements(journal.commands().len() as u64));
+    g.bench_function("journal_2k_commands", |b| {
+        b.iter_batched(
+            library,
+            |mut lib| riot::core::replay(&journal, &mut lib).expect("replays"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("parse_2k_commands", |b| {
+        b.iter(|| Journal::parse(std::hint::black_box(&text)).expect("parses"))
+    });
+    g.finish();
+}
+
+fn bench_derived_caches(c: &mut Criterion) {
+    let mut lib = library();
+    let (ed, ids) = build_session(&mut lib);
+    let mut g = c.benchmark_group("commands/derived");
+    g.throughput(Throughput::Elements(ids.len() as u64));
+
+    // World bounding boxes: cached accessor vs direct recompute.
+    g.bench_function("bbox_cached_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for id in &ids {
+                acc += ed.instance_bbox(*id).unwrap().width();
+            }
+            acc
+        })
+    });
+    g.bench_function("bbox_recompute_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0i64;
+            for id in &ids {
+                let inst = ed.instance(*id).unwrap();
+                acc += inst.world_bbox(ed.instance_cell(*id).unwrap()).width();
+            }
+            acc
+        })
+    });
+
+    // World connector lists: cached Arc vs rebuild per call.
+    g.bench_function("connectors_cached_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for id in &ids {
+                acc += ed.world_connectors_arc(*id).unwrap().len();
+            }
+            acc
+        })
+    });
+    g.bench_function("connectors_recompute_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for id in &ids {
+                let inst = ed.instance(*id).unwrap();
+                acc += inst.world_connectors(ed.instance_cell(*id).unwrap()).len();
+            }
+            acc
+        })
+    });
+
+    // Composition extent: cached vs a fresh union over all instances.
+    g.bench_function("extent_cached", |b| b.iter(|| ed.current_extent().unwrap()));
+    g.finish();
+}
+
+/// Asserts the acceptance criterion outside criterion's statistics:
+/// cached `world_connectors` must beat recompute-per-call by >=5x.
+fn check_cache_speedup() {
+    let mut lib = library();
+    let (ed, ids) = build_session(&mut lib);
+    // Warm the cache.
+    for id in &ids {
+        let _ = ed.world_connectors_arc(*id).unwrap();
+    }
+    let rounds = 20;
+    let t0 = std::time::Instant::now();
+    let mut acc = 0usize;
+    for _ in 0..rounds {
+        for id in &ids {
+            acc += ed.world_connectors_arc(*id).unwrap().len();
+        }
+    }
+    let cached = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    for _ in 0..rounds {
+        for id in &ids {
+            acc += ed
+                .instance(*id)
+                .unwrap()
+                .world_connectors(ed.instance_cell(*id).unwrap())
+                .len();
+        }
+    }
+    let recompute = t1.elapsed();
+    std::hint::black_box(acc);
+    let speedup = recompute.as_nanos() as f64 / cached.as_nanos().max(1) as f64;
+    println!(
+        "cache speedup: world_connectors cached {cached:?} vs recompute {recompute:?} ({speedup:.1}x)"
+    );
+    assert!(
+        speedup >= 5.0,
+        "cached world_connectors only {speedup:.1}x faster; acceptance needs >=5x"
+    );
+}
+
+fn bench_all(c: &mut Criterion) {
+    check_cache_speedup();
+    bench_command_apply(c);
+    bench_journal_replay(c);
+    bench_derived_caches(c);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

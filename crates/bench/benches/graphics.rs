@@ -51,5 +51,11 @@ fn bench_mask_plot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_devices, bench_plotter, bench_svg, bench_mask_plot);
+criterion_group!(
+    benches,
+    bench_devices,
+    bench_plotter,
+    bench_svg,
+    bench_mask_plot
+);
 criterion_main!(benches);

@@ -9,9 +9,16 @@ fn bench_stretch_pins(c: &mut Criterion) {
     let mut g = c.benchmark_group("stretch/pins");
     for n in [4usize, 16, 64, 256] {
         let (cell, spec) = stretch_workload(n, 11);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &(cell, spec), |b, (cell, spec)| {
-            b.iter(|| stretch(std::hint::black_box(cell), std::hint::black_box(spec)).expect("feasible"))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(cell, spec),
+            |b, (cell, spec)| {
+                b.iter(|| {
+                    stretch(std::hint::black_box(cell), std::hint::black_box(spec))
+                        .expect("feasible")
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -46,7 +53,9 @@ fn bench_gate_stretch(c: &mut Criterion) {
         .target("A", 5)
         .target("B", 25);
     c.bench_function("stretch/nand2_to_taps", |b| {
-        b.iter(|| stretch(std::hint::black_box(&nand), std::hint::black_box(&spec)).expect("feasible"))
+        b.iter(|| {
+            stretch(std::hint::black_box(&nand), std::hint::black_box(&spec)).expect("feasible")
+        })
     });
 }
 

@@ -44,7 +44,11 @@ fn verify() -> Result<(), Box<dyn std::error::Error>> {
             "  DRC {:<10} {} violation(s){}",
             style.name(),
             violations.len(),
-            if violations.is_empty() { " — clean" } else { "" }
+            if violations.is_empty() {
+                " — clean"
+            } else {
+                ""
+            }
         );
     }
     // Switch-level truth tables of the generated gates.
@@ -177,7 +181,10 @@ fn fig4(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
 /// Figure 5: connection by routing — the channel-count/height series.
 fn fig5(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
     println!("== figure 5: connection by routing ==");
-    println!("  {:>5} {:>6} {:>7} {:>9}", "nets", "shift", "tracks", "height/λ");
+    println!(
+        "  {:>5} {:>6} {:>7} {:>9}",
+        "nets", "shift", "tracks", "height/λ"
+    );
     for (n, shift) in [(4usize, 0i64), (4, 30), (16, 30), (16, 150), (64, 300)] {
         let p = riot_bench::route_problem(n, shift, 5);
         let r = river_route(&p)?;
@@ -245,7 +252,11 @@ fn fig8(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
     lib.add_sticks_cell(riot::cells::shift_register())?;
     lib.add_sticks_cell(riot::cells::nand2())?;
     lib.add_sticks_cell(riot::cells::or2())?;
-    for (id, cell) in lib.iter().map(|(id, c)| (id, c.clone())).collect::<Vec<_>>() {
+    for (id, cell) in lib
+        .iter()
+        .map(|(id, c)| (id, c.clone()))
+        .collect::<Vec<_>>()
+    {
         let list = leaf_geometry_ops(&lib, id);
         let file = dir.join(format!("fig8_{}.svg", cell.name));
         std::fs::write(&file, to_svg(&list))?;

@@ -40,7 +40,11 @@ fn rails(cell: &mut SticksCell, width: i64, height: i64) {
     cell.push_pin(pin("PWRR", Side::Right, Layer::Metal, width, height - 3, 3));
     cell.push_pin(pin("GNDL", Side::Left, Layer::Metal, 0, 3, 3));
     cell.push_pin(pin("GNDR", Side::Right, Layer::Metal, width, 3, 3));
-    cell.push_wire(wire(Layer::Metal, 3, &[(0, height - 3), (width, height - 3)]));
+    cell.push_wire(wire(
+        Layer::Metal,
+        3,
+        &[(0, height - 3), (width, height - 3)],
+    ));
     cell.push_wire(wire(Layer::Metal, 3, &[(0, 3), (width, 3)]));
 }
 
@@ -193,7 +197,8 @@ mod tests {
     #[test]
     fn all_gates_validate() {
         for cell in [shift_register(), nand2(), or2()] {
-            cell.validate().unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
+            cell.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cell.name()));
         }
     }
 

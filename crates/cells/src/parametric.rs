@@ -31,9 +31,15 @@ pub fn comb(name: &str, side: Side, n: usize, pitch: i64) -> SticksCell {
         let along = pitch * (i as i64 + 1);
         let (pos, inner) = match side {
             Side::Left => (Point::new(0, along), Point::new(depth, along)),
-            Side::Right => (Point::new(bbox.x1, along), Point::new(bbox.x1 - depth, along)),
+            Side::Right => (
+                Point::new(bbox.x1, along),
+                Point::new(bbox.x1 - depth, along),
+            ),
             Side::Bottom => (Point::new(along, 0), Point::new(along, depth)),
-            Side::Top => (Point::new(along, bbox.y1), Point::new(along, bbox.y1 - depth)),
+            Side::Top => (
+                Point::new(along, bbox.y1),
+                Point::new(along, bbox.y1 - depth),
+            ),
         };
         cell.push_pin(Pin {
             name: format!("P{i}"),
@@ -79,8 +85,7 @@ pub fn wide_gate(name: &str, n: usize, pitch: i64) -> SticksCell {
     cell.push_wire(SymWire {
         layer: Layer::Metal,
         width: 3,
-        path: Path::from_points([Point::new(0, h - 2), Point::new(width, h - 2)])
-            .expect("rail"),
+        path: Path::from_points([Point::new(0, h - 2), Point::new(width, h - 2)]).expect("rail"),
     });
     for i in 0..n {
         let x = pitch * (i as i64 + 1);

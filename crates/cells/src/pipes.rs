@@ -44,12 +44,8 @@ pub fn pipe_corner(layer: Layer, width: i64) -> SticksCell {
     c.push_wire(SymWire {
         layer,
         width,
-        path: Path::from_points([
-            Point::new(0, mid),
-            Point::new(mid, mid),
-            Point::new(mid, 0),
-        ])
-        .expect("L-shaped Manhattan path"),
+        path: Path::from_points([Point::new(0, mid), Point::new(mid, mid), Point::new(mid, 0)])
+            .expect("L-shaped Manhattan path"),
     });
     c
 }

@@ -63,9 +63,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::MissingArguments(cmd) => {
                 write!(f, "missing arguments for `{cmd}` command")
             }
-            ErrorKind::UnbalancedDefinition => {
-                f.write_str("unbalanced DS/DF definition structure")
-            }
+            ErrorKind::UnbalancedDefinition => f.write_str("unbalanced DS/DF definition structure"),
             ErrorKind::UndefinedSymbol(id) => write!(f, "call of undefined symbol {id}"),
             ErrorKind::DuplicateSymbol(id) => write!(f, "symbol {id} defined twice"),
             ErrorKind::NonManhattanRotation(a, b) => {
@@ -75,9 +73,7 @@ impl fmt::Display for ErrorKind {
                 write!(f, "box direction ({a}, {b}) is not Manhattan")
             }
             ErrorKind::UnknownLayer(name) => write!(f, "unknown layer `{name}`"),
-            ErrorKind::NoCurrentLayer => {
-                f.write_str("geometry before any L layer command")
-            }
+            ErrorKind::NoCurrentLayer => f.write_str("geometry before any L layer command"),
             ErrorKind::BadConnector(text) => {
                 write!(f, "malformed connector extension `94 {text}`")
             }

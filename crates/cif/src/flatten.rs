@@ -69,7 +69,13 @@ pub fn flatten_cell(
         });
     }
     for call in &cell.calls {
-        flatten_cell(file, call.cell, call.transform.then(transform), depth + 1, out)?;
+        flatten_cell(
+            file,
+            call.cell,
+            call.transform.then(transform),
+            depth + 1,
+            out,
+        )?;
     }
     Ok(())
 }

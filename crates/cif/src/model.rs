@@ -330,9 +330,7 @@ impl Builder {
                 let (length, width) = match direction.unwrap_or((1, 0)) {
                     (dx, 0) if dx != 0 => (length, width),
                     (0, dy) if dy != 0 => (width, length),
-                    (dx, dy) => {
-                        return Err(self.err(ErrorKind::NonManhattanBoxDirection(dx, dy)))
-                    }
+                    (dx, dy) => return Err(self.err(ErrorKind::NonManhattanBoxDirection(dx, dy))),
                 };
                 let rect = Rect::from_center(center, length, width);
                 self.scope().shapes.push(Shape {
@@ -352,8 +350,7 @@ impl Builder {
                 let layer = self.current_layer()?;
                 let width = self.scale(width);
                 let pts: Vec<Point> = points.into_iter().map(|p| self.scale_point(p)).collect();
-                let path = Path::from_points(pts)
-                    .map_err(|_| self.err(ErrorKind::EmptyWire))?;
+                let path = Path::from_points(pts).map_err(|_| self.err(ErrorKind::EmptyWire))?;
                 self.scope().shapes.push(Shape {
                     layer,
                     geometry: Geometry::Wire { width, path },
@@ -396,10 +393,7 @@ impl Builder {
             .ok_or_else(|| ParseCifError::new(self.line, ErrorKind::NoCurrentLayer))
     }
 
-    fn fold_transforms(
-        &self,
-        prims: &[TransformPrimitive],
-    ) -> Result<Transform, ParseCifError> {
+    fn fold_transforms(&self, prims: &[TransformPrimitive]) -> Result<Transform, ParseCifError> {
         let mut t = Transform::IDENTITY;
         for prim in prims {
             let step = match *prim {
@@ -480,10 +474,7 @@ E";
         assert_eq!(f.cells().len(), 2);
         let a = f.cell_by_name("cellA").unwrap();
         // Scale 2/1 doubles all distances.
-        assert_eq!(
-            a.shapes[0].geometry,
-            Geometry::Box(Rect::new(0, 0, 20, 8))
-        );
+        assert_eq!(a.shapes[0].geometry, Geometry::Box(Rect::new(0, 0, 20, 8)));
         assert_eq!(a.connectors[0].location, Point::new(20, 4));
         assert_eq!(a.connectors[0].width, 6);
     }
@@ -494,7 +485,10 @@ E";
         let b = f.cell_by_name("cellB").unwrap();
         assert_eq!(b.calls.len(), 1);
         assert_eq!(b.calls[0].cell, 1);
-        assert_eq!(b.calls[0].transform, Transform::translate(Point::new(20, 0)));
+        assert_eq!(
+            b.calls[0].transform,
+            Transform::translate(Point::new(20, 0))
+        );
         assert_eq!(f.top_calls().len(), 1);
         assert_eq!(f.top_calls()[0].transform.orient, Orientation::R90);
     }

@@ -26,10 +26,7 @@ pub fn parse_commands(text: &str) -> Result<Vec<CifCommand>, ParseCifError> {
     let mut lx = Lexer::new(text);
     let mut commands = Vec::new();
     let mut ended = false;
-    loop {
-        let Some(c) = lx.next_char()? else {
-            break;
-        };
+    while let Some(c) = lx.next_char()? {
         if ended {
             return Err(lx.error(ErrorKind::TrailingAfterEnd));
         }
@@ -67,7 +64,7 @@ fn parse_extension_code(lx: &mut Lexer<'_>, first: char) -> Result<u32, ParseCif
     if first == '-' {
         return Err(lx.error(ErrorKind::UnexpectedChar('-')));
     }
-    let mut code = first.to_digit(10).expect("digit") as u32;
+    let mut code = first.to_digit(10).expect("digit");
     // Extend the command number with *contiguous* digits only (`94`),
     // peeking raw so the uninterpreted extension body — where lower-case
     // text is meaningful — is left untouched.
@@ -168,7 +165,11 @@ fn parse_definition(lx: &mut Lexer<'_>) -> Result<CifCommand, ParseCifError> {
             if id < 0 || a <= 0 || b <= 0 {
                 return Err(lx.error(ErrorKind::MissingArguments("DS")));
             }
-            Ok(CifCommand::DefStart { id: id as u32, a, b })
+            Ok(CifCommand::DefStart {
+                id: id as u32,
+                a,
+                b,
+            })
         }
         Some('F') => {
             lx.expect_semicolon()?;
@@ -301,7 +302,14 @@ mod tests {
     #[test]
     fn definition_brackets() {
         let cmds = parse_commands("DS 1 100 1; DF; DD 5;").unwrap();
-        assert_eq!(cmds[0], CifCommand::DefStart { id: 1, a: 100, b: 1 });
+        assert_eq!(
+            cmds[0],
+            CifCommand::DefStart {
+                id: 1,
+                a: 100,
+                b: 1
+            }
+        );
         assert_eq!(cmds[1], CifCommand::DefFinish);
         assert_eq!(cmds[2], CifCommand::DefDelete(5));
     }

@@ -120,11 +120,7 @@ fn write_shapes(out: &mut String, shapes: &[Shape]) {
                 // Centers round down, so rebuild from the exact corners
                 // when the extent is odd: emit via length/width/center
                 // only when exact, else as a 4-point polygon.
-                if (r.width() % 2 == 0 || r.x0 + r.x1 == 2 * c.x)
-                    && (r.height() % 2 == 0 || r.y0 + r.y1 == 2 * c.y)
-                    && r.x0 + r.x1 == 2 * c.x
-                    && r.y0 + r.y1 == 2 * c.y
-                {
+                if r.x0 + r.x1 == 2 * c.x && r.y0 + r.y1 == 2 * c.y {
                     let _ = writeln!(out, "B {} {} {} {};", r.width(), r.height(), c.x, c.y);
                 } else {
                     let _ = writeln!(

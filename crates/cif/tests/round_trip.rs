@@ -14,14 +14,16 @@ fn arb_point() -> impl Strategy<Value = Point> {
 }
 
 fn arb_even_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 1i64..500, 1i64..500).prop_map(|(c, w2, h2)| {
-        Rect::from_center(Point::new(c.x, c.y), w2 * 2, h2 * 2)
-    })
+    (arb_point(), 1i64..500, 1i64..500)
+        .prop_map(|(c, w2, h2)| Rect::from_center(Point::new(c.x, c.y), w2 * 2, h2 * 2))
 }
 
 fn arb_manhattan_path() -> impl Strategy<Value = Path> {
-    (arb_point(), prop::collection::vec((-400i64..400, prop::bool::ANY), 1..6)).prop_map(
-        |(start, steps)| {
+    (
+        arb_point(),
+        prop::collection::vec((-400i64..400, prop::bool::ANY), 1..6),
+    )
+        .prop_map(|(start, steps)| {
             let mut path = Path::new(start);
             for (d, horiz) in steps {
                 let d = if d == 0 { 10 } else { d };
@@ -34,17 +36,14 @@ fn arb_manhattan_path() -> impl Strategy<Value = Path> {
                 path.push(next).expect("axis-aligned step");
             }
             path
-        },
-    )
+        })
 }
 
 fn arb_geometry() -> impl Strategy<Value = Geometry> {
     prop_oneof![
         arb_even_rect().prop_map(Geometry::Box),
-        (arb_manhattan_path(), 1i64..300).prop_map(|(path, w)| Geometry::Wire {
-            width: w * 2,
-            path
-        }),
+        (arb_manhattan_path(), 1i64..300)
+            .prop_map(|(path, w)| Geometry::Wire { width: w * 2, path }),
         (arb_point(), 1i64..200).prop_map(|(c, d)| Geometry::Flash {
             diameter: d * 2,
             center: c
@@ -58,14 +57,17 @@ fn arb_shape() -> impl Strategy<Value = Shape> {
 }
 
 fn arb_connector(i: usize) -> impl Strategy<Value = CifConnector> {
-    (arb_point(), prop::sample::select(Layer::ROUTABLE.to_vec()), 1i64..300).prop_map(
-        move |(p, layer, w)| CifConnector {
+    (
+        arb_point(),
+        prop::sample::select(Layer::ROUTABLE.to_vec()),
+        1i64..300,
+    )
+        .prop_map(move |(p, layer, w)| CifConnector {
             name: format!("C{i}"),
             location: p,
             layer,
             width: w,
-        },
-    )
+        })
 }
 
 fn arb_cell(id: u32) -> impl Strategy<Value = CifCell> {

@@ -1,0 +1,243 @@
+//! The command engine: every mutating editor operation as a value.
+//!
+//! A [`Command`] is the single description of one editing step, keyed
+//! by cell/instance/connector **names** so the same value serves three
+//! masters:
+//!
+//! * the interactive editor — public [`crate::Editor`] methods build a
+//!   command and hand it to [`crate::Editor::execute`];
+//! * the REPLAY journal — [`crate::Journal`] is a `Vec<Command>` and
+//!   the text format (de)serializes commands directly, so replay is a
+//!   loop of `execute` with no second dispatch;
+//! * history — undo re-verts a command's recorded inverse and redo
+//!   re-executes the command itself.
+//!
+//! Applying a command yields a [`CommandEffect`]: the caller-visible
+//! [`Outcome`], the inverse record for the undo stack, and the exact
+//! (possibly name-deduplicated) command to journal.
+
+use crate::editor::Editor;
+use crate::error::RiotError;
+use crate::history::UndoRecord;
+use crate::{CellId, InstanceId};
+use riot_geom::{Orientation, Point, Side};
+use riot_rest::SolveMode;
+use riot_route::RouterOptions;
+
+/// One editing command, keyed by names rather than ids so it survives
+/// serialization and re-runs against reshaped libraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Begin editing a composition cell. Only valid as the head of a
+    /// journal; [`crate::Editor::execute`] rejects it mid-session.
+    Edit {
+        /// Composition cell name.
+        cell: String,
+    },
+    /// CREATE an instance of a cell.
+    Create {
+        /// Defining cell's name.
+        cell: String,
+        /// New instance's name.
+        instance: String,
+    },
+    /// MOVE an instance.
+    Translate {
+        /// Instance name.
+        instance: String,
+        /// Displacement.
+        d: Point,
+    },
+    /// ROTATE/MIRROR an instance.
+    Orient {
+        /// Instance name.
+        instance: String,
+        /// Orientation composed onto the instance.
+        orient: Orientation,
+    },
+    /// Array replication.
+    Replicate {
+        /// Instance name.
+        instance: String,
+        /// Columns.
+        cols: u32,
+        /// Rows.
+        rows: u32,
+    },
+    /// Array spacing override.
+    Spacing {
+        /// Instance name.
+        instance: String,
+        /// Column pitch.
+        col: i64,
+        /// Row pitch.
+        row: i64,
+    },
+    /// DELETE an instance.
+    Delete {
+        /// Instance name.
+        instance: String,
+    },
+    /// Add a pending connection.
+    Connect {
+        /// From instance.
+        from: String,
+        /// Connector on the from instance.
+        from_connector: String,
+        /// To instance.
+        to: String,
+        /// Connector on the to instance.
+        to_connector: String,
+    },
+    /// Remove one pending connection by list position.
+    RemovePending {
+        /// Position in the pending list.
+        index: usize,
+    },
+    /// Clear the pending connection list.
+    ClearPending,
+    /// The ABUT connection command.
+    Abut {
+        /// Overlap option.
+        overlap: bool,
+    },
+    /// Edge abutment of two instances without connectors.
+    AbutInstances {
+        /// From instance.
+        from: String,
+        /// To instance.
+        to: String,
+    },
+    /// The ROUTE connection command.
+    Route {
+        /// Whether the from instance moves against the route.
+        move_from: bool,
+        /// River-router tuning. Not serialized: the journal text keeps
+        /// only `move|stay`, and parsing restores the defaults.
+        router: RouterOptions,
+    },
+    /// The STRETCH connection command.
+    Stretch {
+        /// How the REST solve treats existing separations.
+        mode: SolveMode,
+    },
+    /// Bring connectors out to the composition boundary.
+    BringOut {
+        /// Instance name.
+        instance: String,
+        /// Connector names.
+        connectors: Vec<String>,
+        /// Side being brought out.
+        side: Side,
+    },
+    /// Finish the cell.
+    Finish,
+    /// Revert the most recent applied command.
+    Undo,
+    /// Re-apply the most recently undone command.
+    Redo,
+}
+
+/// What a successfully executed command hands back to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Nothing beyond success (moves, connects, aborts…).
+    None,
+    /// An instance was created.
+    Instance(InstanceId),
+    /// A cell was created (stretch).
+    Cell(CellId),
+    /// A cell and an instance of it were created (route, bring-out).
+    CellInstance(CellId, InstanceId),
+    /// A count (finish's promoted connectors, undo/redo's 0-or-1).
+    Count(usize),
+}
+
+/// The full result of applying one command.
+pub(crate) struct CommandEffect {
+    /// Caller-visible outcome.
+    pub(crate) outcome: Outcome,
+    /// Structural inverse for simple commands; `None` for compound
+    /// commands, whose transaction snapshot doubles as the inverse.
+    pub(crate) undo: Option<UndoRecord>,
+    /// The command to journal — usually the command itself, but CREATE
+    /// journals the deduplicated instance name it actually used.
+    pub(crate) journal: Command,
+}
+
+impl Command {
+    /// Whether applying this command interleaves mutation with fallible
+    /// work and therefore needs a transaction snapshot. Simple commands
+    /// validate everything before mutating and need none.
+    pub(crate) fn is_compound(&self) -> bool {
+        matches!(
+            self,
+            Command::Abut { .. }
+                | Command::AbutInstances { .. }
+                | Command::Route { .. }
+                | Command::Stretch { .. }
+                | Command::BringOut { .. }
+                | Command::Finish
+        )
+    }
+
+    /// Applies the command to an editing session. Dispatches to the
+    /// per-operation bodies in the `editor::ops_*` modules.
+    pub(crate) fn apply(&self, ed: &mut Editor<'_>) -> Result<CommandEffect, RiotError> {
+        match self {
+            Command::Edit { .. } | Command::Undo | Command::Redo => {
+                unreachable!("execute() intercepts edit/undo/redo before apply")
+            }
+            Command::Create { cell, instance } => ed.apply_create(cell, instance.clone()),
+            Command::Translate { instance, d } => ed.apply_translate(instance, *d),
+            Command::Orient { instance, orient } => ed.apply_orient(instance, *orient),
+            Command::Replicate {
+                instance,
+                cols,
+                rows,
+            } => ed.apply_replicate(instance, *cols, *rows),
+            Command::Spacing { instance, col, row } => ed.apply_spacing(instance, *col, *row),
+            Command::Delete { instance } => ed.apply_delete(instance),
+            Command::Connect {
+                from,
+                from_connector,
+                to,
+                to_connector,
+            } => ed.apply_connect(from, from_connector, to, to_connector),
+            Command::RemovePending { index } => ed.apply_remove_pending(*index),
+            Command::ClearPending => ed.apply_clear_pending(),
+            Command::Abut { overlap } => ed.apply_abut(*overlap),
+            Command::AbutInstances { from, to } => ed.apply_abut_instances(from, to),
+            Command::Route { move_from, router } => ed.apply_route(*move_from, *router),
+            Command::Stretch { mode } => ed.apply_stretch(*mode),
+            Command::BringOut {
+                instance,
+                connectors,
+                side,
+            } => ed.apply_bring_out(instance, connectors, *side),
+            Command::Finish => ed.apply_finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compound_classification() {
+        assert!(Command::Finish.is_compound());
+        assert!(Command::Abut { overlap: false }.is_compound());
+        assert!(Command::Stretch {
+            mode: SolveMode::PreserveGaps
+        }
+        .is_compound());
+        assert!(!Command::ClearPending.is_compound());
+        assert!(!Command::Translate {
+            instance: "I0".into(),
+            d: Point::new(1, 2)
+        }
+        .is_compound());
+        assert!(!Command::Undo.is_compound());
+    }
+}

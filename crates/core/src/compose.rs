@@ -118,8 +118,9 @@ pub fn load(text: &str, lib: &mut Library) -> Result<Vec<crate::CellId>, RiotErr
                 current = Some((f[1].to_owned(), Cell::new_composition(f[1].to_owned())));
             }
             "bbox" => {
-                let (_, cell) =
-                    current.as_mut().ok_or_else(|| perr(n, "bbox outside cell".into()))?;
+                let (_, cell) = current
+                    .as_mut()
+                    .ok_or_else(|| perr(n, "bbox outside cell".into()))?;
                 if f.len() != 5 {
                     return Err(perr(n, "bbox wants 4 coordinates".into()));
                 }
@@ -160,7 +161,8 @@ pub fn load(text: &str, lib: &mut Library) -> Result<Vec<crate::CellId>, RiotErr
                     name: f[1].to_owned(),
                     cell: cell_id,
                     transform: Transform::new(
-                        f[3].parse().map_err(|_| perr(n, "bad orientation".into()))?,
+                        f[3].parse()
+                            .map_err(|_| perr(n, "bad orientation".into()))?,
                         Point::new(
                             f[4].parse().map_err(|_| perr(n, "bad tx".into()))?,
                             f[5].parse().map_err(|_| perr(n, "bad ty".into()))?,
@@ -168,8 +170,12 @@ pub fn load(text: &str, lib: &mut Library) -> Result<Vec<crate::CellId>, RiotErr
                     ),
                     cols: f[6].parse().map_err(|_| perr(n, "bad cols".into()))?,
                     rows: f[7].parse().map_err(|_| perr(n, "bad rows".into()))?,
-                    col_spacing: f[8].parse().map_err(|_| perr(n, "bad col spacing".into()))?,
-                    row_spacing: f[9].parse().map_err(|_| perr(n, "bad row spacing".into()))?,
+                    col_spacing: f[8]
+                        .parse()
+                        .map_err(|_| perr(n, "bad col spacing".into()))?,
+                    row_spacing: f[9]
+                        .parse()
+                        .map_err(|_| perr(n, "bad row spacing".into()))?,
                 };
                 let (_, cell) = current
                     .as_mut()
@@ -180,8 +186,9 @@ pub fn load(text: &str, lib: &mut Library) -> Result<Vec<crate::CellId>, RiotErr
                     .push(Some(inst));
             }
             "end" => {
-                let (_, cell) =
-                    current.take().ok_or_else(|| perr(n, "end outside cell".into()))?;
+                let (_, cell) = current
+                    .take()
+                    .ok_or_else(|| perr(n, "end outside cell".into()))?;
                 created.push(lib.add_cell(cell)?);
             }
             other => return Err(perr(n, format!("unknown directive `{other}`"))),

@@ -1,0 +1,634 @@
+//! The graphical editing session, rebuilt on the transactional command
+//! engine.
+//!
+//! The public methods ([`Editor::create_instance`],
+//! [`Editor::translate_instance`], [`Editor::abut`], …) keep the
+//! signatures the session always had, but their bodies now construct a
+//! [`Command`] and hand it to [`Editor::execute`], which:
+//!
+//! 1. snapshots the session for compound commands
+//!    ([`crate::txn`]) so a failed abut/route/stretch leaves the
+//!    library untouched;
+//! 2. applies the command (the bodies live in the `ops_*` submodules);
+//! 3. journals the applied command for REPLAY;
+//! 4. pushes the inverse onto the undo stack ([`crate::history`]);
+//! 5. announces what changed on the event bus ([`crate::events`]),
+//!    which incrementally invalidates the derived-geometry caches.
+//!
+//! The same `execute` entry point serves interactive editing, journal
+//! replay, and redo — there is exactly one dispatch over commands in
+//! the whole crate.
+
+mod cache;
+mod ops_abut;
+mod ops_connect;
+mod ops_instance;
+mod ops_route;
+mod ops_stretch;
+
+use crate::cell::{Cell, CellId, Composition};
+use crate::command::{Command, CommandEffect, Outcome};
+use crate::connection::{PendingConnection, WorldConnector};
+use crate::error::RiotError;
+use crate::events::{ChangeEvent, Stats};
+use crate::history::{Applied, History, UndoRecord};
+use crate::instance::{Instance, InstanceId};
+use crate::library::Library;
+use crate::replay::Journal;
+use crate::txn::Snapshot;
+use cache::DerivedCache;
+use riot_geom::{Rect, LAMBDA};
+use riot_rest::SolveMode;
+use riot_route::RouterOptions;
+use std::sync::Arc;
+
+/// Events queued for [`Editor::drain_events`] are capped; when nobody
+/// drains them, the oldest half is dropped to bound memory.
+const MAX_QUEUED_EVENTS: usize = 16_384;
+
+/// Options for [`Editor::abut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AbutOptions {
+    /// Allow the instances' bounding boxes to overlap — "frequently
+    /// used to share power or ground lines in adjacent instances".
+    /// Without it an overlap produces a warning.
+    pub overlap: bool,
+}
+
+/// Options for [`Editor::route`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOptions {
+    /// Move the *from* instance to abut the far side of the route cell
+    /// (the default, "using the least amount of space possible").
+    /// `false` routes between two instances "which are already
+    /// positioned and should not move".
+    pub move_from: bool,
+    /// River-router tuning.
+    pub router: RouterOptions,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            move_from: true,
+            router: RouterOptions::new(),
+        }
+    }
+}
+
+/// Options for [`Editor::stretch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StretchOptions {
+    /// How the REST solve treats existing separations. The default
+    /// preserves them (the cell only grows); [`SolveMode::DesignRules`]
+    /// lets the optimizer also pull elements closer.
+    pub mode: SolveMode,
+}
+
+impl Default for StretchOptions {
+    fn default() -> Self {
+        StretchOptions {
+            mode: SolveMode::PreserveGaps,
+        }
+    }
+}
+
+/// An editing session on one composition cell.
+///
+/// Owns the pending connection list ("shown on the screen constantly"),
+/// the warning stream, the REPLAY journal, the undo/redo history, and
+/// the derived-geometry caches.
+#[derive(Debug)]
+pub struct Editor<'a> {
+    lib: &'a mut Library,
+    cell: CellId,
+    pending: Vec<PendingConnection>,
+    warnings: Vec<String>,
+    journal: Journal,
+    instance_counter: usize,
+    history: History,
+    events: Vec<ChangeEvent>,
+    cache: DerivedCache,
+    stats: Stats,
+}
+
+impl<'a> Editor<'a> {
+    /// Opens (or creates) the composition cell called `name` for
+    /// editing.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::NotComposition`] when `name` exists but is a leaf.
+    pub fn open(lib: &'a mut Library, name: &str) -> Result<Self, RiotError> {
+        let cell = match lib.find(name) {
+            Some(id) => {
+                if !lib.cell(id)?.is_composition() {
+                    return Err(RiotError::NotComposition(name.to_owned()));
+                }
+                id
+            }
+            None => lib.add_cell(Cell::new_composition(name))?,
+        };
+        let instance_counter = lib
+            .cell(cell)?
+            .composition()
+            .map(|c| c.instances.len())
+            .unwrap_or(0);
+        let mut journal = Journal::new();
+        journal.record(Command::Edit {
+            cell: name.to_owned(),
+        });
+        Ok(Editor {
+            lib,
+            cell,
+            pending: Vec::new(),
+            warnings: Vec::new(),
+            journal,
+            instance_counter,
+            history: History::default(),
+            events: Vec::new(),
+            cache: DerivedCache::default(),
+            stats: Stats::default(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // The command engine
+    // ------------------------------------------------------------------
+
+    /// Executes one command through the transactional engine: apply,
+    /// journal, push history, emit change events. This is the single
+    /// entry point behind every public editing method, journal replay,
+    /// and redo.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the command's application produces — and for compound
+    /// commands (abut, route, stretch, bring-out, finish) an error
+    /// guarantees the session is rolled back to its pre-command state.
+    /// [`Command::Edit`] is rejected outside a journal head.
+    pub fn execute(&mut self, cmd: Command) -> Result<Outcome, RiotError> {
+        match cmd {
+            Command::Undo => Ok(Outcome::Count(usize::from(self.undo()?))),
+            Command::Redo => Ok(Outcome::Count(usize::from(self.redo()?))),
+            Command::Edit { .. } => Err(RiotError::Parse {
+                line: 0,
+                message: "`edit` is only valid at the head of a journal".into(),
+            }),
+            cmd => {
+                let outcome = self.apply_and_record(&cmd, None)?;
+                self.history.clear_redo();
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Applies `cmd` transactionally, journals `journal_as` (or the
+    /// effect's own journal form), and pushes the undo record. Does not
+    /// touch the redo stack.
+    fn apply_and_record(
+        &mut self,
+        cmd: &Command,
+        journal_as: Option<Command>,
+    ) -> Result<Outcome, RiotError> {
+        let t0 = std::time::Instant::now();
+        let snap = cmd.is_compound().then(|| self.snapshot());
+        match cmd.apply(self) {
+            Ok(effect) => {
+                let CommandEffect {
+                    outcome,
+                    undo,
+                    journal,
+                } = effect;
+                let undo = match undo {
+                    Some(u) => u,
+                    None => UndoRecord::Snapshot(Box::new(
+                        snap.expect("compound commands take a snapshot"),
+                    )),
+                };
+                self.history.push_applied(Applied {
+                    command: journal.clone(),
+                    undo,
+                });
+                self.journal.record(journal_as.unwrap_or(journal));
+                self.stats.applied += 1;
+                self.stats.apply_nanos += t0.elapsed().as_nanos() as u64;
+                Ok(outcome)
+            }
+            Err(e) => {
+                if let Some(snap) = snap {
+                    self.restore_snapshot(snap);
+                    self.stats.rollbacks += 1;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// UNDO: reverts the most recent applied command. Returns `false`
+    /// when there is nothing to undo. The undo itself is journaled, so
+    /// a replayed journal reproduces the exact same final state.
+    ///
+    /// # Errors
+    ///
+    /// None today; the `Result` keeps the signature uniform with the
+    /// other commands.
+    pub fn undo(&mut self) -> Result<bool, RiotError> {
+        let Some(applied) = self.history.pop_undo() else {
+            return Ok(false);
+        };
+        self.revert(applied.undo);
+        self.history.push_redo(applied.command);
+        self.journal.record(Command::Undo);
+        self.stats.undos += 1;
+        Ok(true)
+    }
+
+    /// REDO: re-executes the most recently undone command. Returns
+    /// `false` when there is nothing to redo.
+    ///
+    /// # Errors
+    ///
+    /// The re-applied command's errors (none in practice, since the
+    /// session is in the exact state the command first succeeded in).
+    pub fn redo(&mut self) -> Result<bool, RiotError> {
+        let Some(cmd) = self.history.pop_redo() else {
+            return Ok(false);
+        };
+        match self.apply_and_record(&cmd, Some(Command::Redo)) {
+            Ok(_) => {
+                self.stats.redos += 1;
+                Ok(true)
+            }
+            Err(e) => {
+                self.history.push_redo(cmd);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reverts one undo record. Infallible by construction: the LIFO
+    /// undo stack guarantees the session looks exactly as it did right
+    /// after the record's command applied.
+    fn revert(&mut self, record: UndoRecord) {
+        match record {
+            UndoRecord::PopInstance => {
+                let comp = self.comp_mut();
+                comp.instances.pop();
+                let id = InstanceId(comp.instances.len());
+                self.emit(ChangeEvent::InstanceDeleted(id));
+            }
+            UndoRecord::Transform { id, prev } => {
+                if let Ok(inst) = self.instance_mut(id) {
+                    inst.transform = prev;
+                }
+                self.emit(ChangeEvent::InstanceChanged(id));
+            }
+            UndoRecord::Replicate { id, cols, rows } => {
+                if let Ok(inst) = self.instance_mut(id) {
+                    inst.cols = cols;
+                    inst.rows = rows;
+                }
+                self.emit(ChangeEvent::InstanceChanged(id));
+            }
+            UndoRecord::Spacing { id, col, row } => {
+                if let Ok(inst) = self.instance_mut(id) {
+                    inst.col_spacing = col;
+                    inst.row_spacing = row;
+                }
+                self.emit(ChangeEvent::InstanceChanged(id));
+            }
+            UndoRecord::RestoreInstance {
+                id,
+                instance,
+                pending,
+            } => {
+                self.comp_mut().instances[id.0] = Some(*instance);
+                self.pending = pending;
+                self.emit(ChangeEvent::InstanceCreated(id));
+                self.emit(ChangeEvent::PendingChanged);
+            }
+            UndoRecord::PopPending => {
+                self.pending.pop();
+                self.emit(ChangeEvent::PendingChanged);
+            }
+            UndoRecord::InsertPending { index, conn } => {
+                let at = index.min(self.pending.len());
+                self.pending.insert(at, conn);
+                self.emit(ChangeEvent::PendingChanged);
+            }
+            UndoRecord::RestorePending(pending) => {
+                self.pending = pending;
+                self.emit(ChangeEvent::PendingChanged);
+            }
+            UndoRecord::Snapshot(snap) => self.restore_snapshot(*snap),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(self.lib, self.cell, &self.pending)
+    }
+
+    fn restore_snapshot(&mut self, snap: Snapshot) {
+        snap.restore(self.lib, self.cell, &mut self.pending);
+        self.emit(ChangeEvent::BulkRestore);
+    }
+
+    /// Announces a change: bumps counters, invalidates the affected
+    /// caches, and queues the event for [`Editor::drain_events`].
+    pub(crate) fn emit(&mut self, event: ChangeEvent) {
+        self.stats.events += 1;
+        self.cache.invalidate(&event);
+        if self.events.len() >= MAX_QUEUED_EVENTS {
+            let drop = self.events.len() / 2;
+            self.events.drain(..drop);
+        }
+        self.events.push(event);
+    }
+
+    /// Takes every change event queued since the last drain. A UI can
+    /// redraw only what these touch.
+    pub fn drain_events(&mut self) -> Vec<ChangeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Engine counters: commands applied, undos, rollbacks, cache
+    /// behavior.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.cache_hits = self.cache.hits();
+        s.cache_misses = self.cache.misses();
+        s
+    }
+
+    /// Number of commands the undo stack can revert.
+    pub fn undo_depth(&self) -> usize {
+        self.history.undo_len()
+    }
+
+    /// Number of undone commands the redo stack can re-apply.
+    pub fn redo_depth(&self) -> usize {
+        self.history.redo_len()
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The id of the cell under edit.
+    pub fn cell_id(&self) -> CellId {
+        self.cell
+    }
+
+    /// The cell under edit.
+    pub fn cell(&self) -> &Cell {
+        self.lib.cell(self.cell).expect("edit cell exists")
+    }
+
+    /// The library (cell menu) behind this session.
+    pub fn library(&self) -> &Library {
+        self.lib
+    }
+
+    /// The journal of commands issued so far.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Warnings produced so far (abutment mismatches, off-grid rounding…).
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Drains the warning list.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.warnings)
+    }
+
+    /// The pending connection list.
+    pub fn pending(&self) -> &[PendingConnection] {
+        &self.pending
+    }
+
+    pub(crate) fn comp(&self) -> &Composition {
+        self.cell().composition().expect("edit cell is composition")
+    }
+
+    pub(crate) fn comp_mut(&mut self) -> &mut Composition {
+        self.lib
+            .cell_mut(self.cell)
+            .expect("edit cell exists")
+            .composition_mut()
+            .expect("edit cell is composition")
+    }
+
+    /// Iterates over the live instances.
+    pub fn instances(&self) -> Vec<(InstanceId, Instance)> {
+        self.comp()
+            .instances()
+            .map(|(id, i)| (id, i.clone()))
+            .collect()
+    }
+
+    /// Looks an instance up by id.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`] for stale ids.
+    pub fn instance(&self, id: InstanceId) -> Result<&Instance, RiotError> {
+        self.comp()
+            .instances
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .ok_or(RiotError::BadInstance(id.0))
+    }
+
+    fn instance_mut(&mut self, id: InstanceId) -> Result<&mut Instance, RiotError> {
+        self.comp_mut()
+            .instances
+            .get_mut(id.0)
+            .and_then(|s| s.as_mut())
+            .ok_or(RiotError::BadInstance(id.0))
+    }
+
+    /// Finds an instance by name.
+    pub fn find_instance(&self, name: &str) -> Option<InstanceId> {
+        self.comp()
+            .instances()
+            .find(|(_, i)| i.name == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Resolves an instance name or reports it unknown (replay's error).
+    pub(crate) fn require_instance(&self, name: &str) -> Result<InstanceId, RiotError> {
+        self.find_instance(name)
+            .ok_or_else(|| RiotError::UnknownInstance(name.to_owned()))
+    }
+
+    /// The defining cell of an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`].
+    pub fn instance_cell(&self, id: InstanceId) -> Result<&Cell, RiotError> {
+        let cell = self.instance(id)?.cell;
+        self.lib.cell(cell)
+    }
+
+    // ------------------------------------------------------------------
+    // Derived geometry (cached)
+    // ------------------------------------------------------------------
+
+    /// World bounding box of an instance, cached until an event
+    /// invalidates it.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`].
+    pub fn instance_bbox(&self, id: InstanceId) -> Result<Rect, RiotError> {
+        if let Some(bb) = self.cache.bbox(id) {
+            return Ok(bb);
+        }
+        let bb = self.instance(id)?.world_bbox(self.instance_cell(id)?);
+        self.cache.store_bbox(id, bb);
+        Ok(bb)
+    }
+
+    /// All world connectors of an instance, cached and shared: repeated
+    /// calls between changes cost one `Arc` clone instead of a rebuild
+    /// over every array element.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`].
+    pub fn world_connectors_arc(
+        &self,
+        id: InstanceId,
+    ) -> Result<Arc<Vec<WorldConnector>>, RiotError> {
+        if let Some(list) = self.cache.connectors(id) {
+            return Ok(list);
+        }
+        let list = Arc::new(self.instance(id)?.world_connectors(self.instance_cell(id)?));
+        self.cache.store_connectors(id, Arc::clone(&list));
+        Ok(list)
+    }
+
+    /// All world connectors of an instance, as an owned list.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`].
+    pub fn world_connectors(&self, id: InstanceId) -> Result<Vec<WorldConnector>, RiotError> {
+        Ok(self.world_connectors_arc(id)?.as_ref().clone())
+    }
+
+    /// One world connector by name.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`] / [`RiotError::UnknownConnector`].
+    pub fn world_connector(&self, id: InstanceId, name: &str) -> Result<WorldConnector, RiotError> {
+        let list = self.world_connectors_arc(id)?;
+        list.iter()
+            .find(|c| c.name == name)
+            .cloned()
+            .ok_or_else(|| RiotError::UnknownConnector {
+                instance: self
+                    .instance(id)
+                    .map(|i| i.name.clone())
+                    .unwrap_or_default(),
+                connector: name.to_owned(),
+            })
+    }
+
+    /// Union of the live instances' world bounding boxes, cached until
+    /// an instance event invalidates it.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`] (never for a consistent cell).
+    pub fn current_extent(&self) -> Result<Rect, RiotError> {
+        if let Some(r) = self.cache.extent() {
+            return Ok(r);
+        }
+        let mut bb: Option<Rect> = None;
+        for (id, _) in self.comp().instances() {
+            let b = self.instance_bbox(id)?;
+            bb = Some(match bb {
+                Some(acc) => acc.union(b),
+                None => b,
+            });
+        }
+        let r = bb.unwrap_or(Rect::new(0, 0, 0, 0));
+        self.cache.store_extent(r);
+        Ok(r)
+    }
+
+    // ------------------------------------------------------------------
+    // FINISH
+    // ------------------------------------------------------------------
+
+    /// Finishes the cell: sets its bounding box to the union of its
+    /// instances and promotes every instance connector lying exactly on
+    /// that box to a connector of the composition cell.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::BadInstance`] (never for a consistent cell).
+    pub fn finish(&mut self) -> Result<usize, RiotError> {
+        match self.execute(Command::Finish)? {
+            Outcome::Count(n) => Ok(n),
+            _ => unreachable!("finish reports a connector count"),
+        }
+    }
+
+    pub(crate) fn apply_finish(&mut self) -> Result<CommandEffect, RiotError> {
+        let bbox = self.current_extent()?;
+        let mut connectors: Vec<crate::cell::Connector> = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for (id, _) in self.comp().instances().collect::<Vec<_>>() {
+            for wc in self.world_connectors_arc(id)?.iter() {
+                if bbox.side_of(wc.location).is_some() {
+                    let mut name = wc.name.clone();
+                    while !used.insert(name.clone()) {
+                        name.push('\'');
+                    }
+                    connectors.push(crate::cell::Connector {
+                        name,
+                        location: wc.location,
+                        layer: wc.layer,
+                        width: wc.width,
+                    });
+                }
+            }
+        }
+        let count = connectors.len();
+        let cell = self.lib.cell_mut(self.cell)?;
+        cell.bbox = bbox;
+        cell.connectors = connectors;
+        self.emit(ChangeEvent::CellFinished);
+        Ok(CommandEffect {
+            outcome: Outcome::Count(count),
+            undo: None,
+            journal: Command::Finish,
+        })
+    }
+
+    pub(crate) fn snap_lambda(&mut self, cm: i64) -> Result<i64, RiotError> {
+        if cm % LAMBDA != 0 {
+            self.warnings.push(format!(
+                "coordinate {cm} is off the lambda grid; rounding to {}",
+                (cm + LAMBDA / 2).div_euclid(LAMBDA) * LAMBDA
+            ));
+        }
+        Ok((cm + LAMBDA / 2).div_euclid(LAMBDA))
+    }
+}
+
+/// Strips an array suffix (`name[c,r]` → `name`).
+pub(crate) fn base_name(name: &str) -> &str {
+    name.split('[').next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests;

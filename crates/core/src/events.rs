@@ -1,0 +1,83 @@
+//! The change-event bus: every mutation the command engine performs is
+//! announced as a [`ChangeEvent`].
+//!
+//! Events serve two consumers. Inside the editor they drive incremental
+//! invalidation of the derived-geometry caches (world bounding boxes,
+//! world connector lists, the composition extent) so those expensive
+//! values are recomputed only when something they depend on changed.
+//! Outside the editor, a UI can drain the queue with
+//! [`crate::Editor::drain_events`] and redraw only what moved.
+//!
+//! [`Stats`] aggregates engine counters (commands applied, undos,
+//! rollbacks, cache hit rates) for instrumentation and benchmarks.
+
+use crate::cell::CellId;
+use crate::instance::InstanceId;
+
+/// One observable change to the editing session's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeEvent {
+    /// A new instance slot was appended to the composition.
+    InstanceCreated(InstanceId),
+    /// An instance's placement, replication, or defining cell changed.
+    InstanceChanged(InstanceId),
+    /// An instance was deleted (its slot tombstoned).
+    InstanceDeleted(InstanceId),
+    /// The pending connection list changed.
+    PendingChanged,
+    /// A new cell entered the menu (route cells, stretched cells).
+    CellAdded(CellId),
+    /// The cell under edit was finished: bbox set, connectors promoted.
+    CellFinished,
+    /// A transaction rollback or undo restored earlier state wholesale;
+    /// all derived values must be considered stale.
+    BulkRestore,
+}
+
+/// Engine counters: how many commands ran, how the caches behaved.
+///
+/// Obtained from [`crate::Editor::stats`]. All counters are cumulative
+/// over the session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Stats {
+    /// Commands applied successfully (excluding undo/redo).
+    pub applied: u64,
+    /// Undo operations performed.
+    pub undos: u64,
+    /// Redo operations performed.
+    pub redos: u64,
+    /// Failed transactions rolled back to their snapshot.
+    pub rollbacks: u64,
+    /// Change events emitted.
+    pub events: u64,
+    /// Derived-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Derived-cache lookups that had to recompute.
+    pub cache_misses: u64,
+    /// Nanoseconds spent inside command application.
+    pub apply_nanos: u64,
+}
+
+impl Stats {
+    /// Cache hit rate in `[0, 1]`, or `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty() {
+        assert_eq!(Stats::default().cache_hit_rate(), None);
+        let s = Stats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Stats::default()
+        };
+        assert_eq!(s.cache_hit_rate(), Some(0.75));
+    }
+}

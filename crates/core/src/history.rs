@@ -1,0 +1,161 @@
+//! Undo/redo stacks for the command engine.
+//!
+//! Every successfully applied command pushes an [`Applied`] record: the
+//! command itself (for redo) and an [`UndoRecord`] that reverts it.
+//! Simple commands revert with a precise structural inverse (restore a
+//! transform, pop a pending connection); compound commands revert by
+//! restoring the transaction snapshot their apply already captured.
+//!
+//! Undo pops the stack, reverts, and moves the command to the redo
+//! stack; redo re-executes the command through the normal engine path.
+//! Any *new* command clears the redo stack, as editors conventionally
+//! do.
+
+use crate::command::Command;
+use crate::connection::PendingConnection;
+use crate::instance::{Instance, InstanceId};
+use crate::txn::Snapshot;
+use riot_geom::Transform;
+
+/// How to revert one applied command.
+///
+/// Reverting is infallible by construction: instance ids are stable
+/// slot indices, and the LIFO discipline of the undo stack guarantees
+/// that when a record runs, the composition looks exactly as it did
+/// right after its command applied.
+#[derive(Debug, Clone)]
+pub(crate) enum UndoRecord {
+    /// Undo a CREATE: the created instance occupies the last slot.
+    PopInstance,
+    /// Undo a MOVE or ROTATE/MIRROR: restore the previous transform.
+    Transform {
+        /// Instance whose transform to restore.
+        id: InstanceId,
+        /// The transform before the command.
+        prev: Transform,
+    },
+    /// Undo a REPLICATE: restore the previous array counts.
+    Replicate {
+        /// Instance whose counts to restore.
+        id: InstanceId,
+        /// Columns before the command.
+        cols: u32,
+        /// Rows before the command.
+        rows: u32,
+    },
+    /// Undo a spacing override: restore the previous pitches.
+    Spacing {
+        /// Instance whose pitches to restore.
+        id: InstanceId,
+        /// Column pitch before the command.
+        col: i64,
+        /// Row pitch before the command.
+        row: i64,
+    },
+    /// Undo a DELETE: put the instance back in its slot and restore the
+    /// pending connections the delete dropped.
+    RestoreInstance {
+        /// The tombstoned slot.
+        id: InstanceId,
+        /// The deleted instance.
+        instance: Box<Instance>,
+        /// The pending list before the delete.
+        pending: Vec<PendingConnection>,
+    },
+    /// Undo a CONNECT: the new pending connection is last in the list.
+    PopPending,
+    /// Undo removing one pending connection: re-insert it.
+    InsertPending {
+        /// Where the connection sat.
+        index: usize,
+        /// The removed connection.
+        conn: PendingConnection,
+    },
+    /// Undo clearing the pending list: restore it wholesale.
+    RestorePending(Vec<PendingConnection>),
+    /// Undo a compound command by restoring its transaction snapshot.
+    Snapshot(Box<Snapshot>),
+}
+
+/// One applied command with its inverse.
+#[derive(Debug, Clone)]
+pub(crate) struct Applied {
+    /// The command, in its journaled (name-keyed, fully resolved) form;
+    /// re-executing it is the redo.
+    pub(crate) command: Command,
+    /// How to revert it.
+    pub(crate) undo: UndoRecord,
+}
+
+/// The session's undo and redo stacks.
+#[derive(Debug, Default)]
+pub(crate) struct History {
+    undo: Vec<Applied>,
+    redo: Vec<Command>,
+}
+
+impl History {
+    /// Records a newly applied command (does not touch the redo stack;
+    /// the engine clears it for user-initiated commands only).
+    pub(crate) fn push_applied(&mut self, applied: Applied) {
+        self.undo.push(applied);
+    }
+
+    /// Pops the most recent applied command for reverting.
+    pub(crate) fn pop_undo(&mut self) -> Option<Applied> {
+        self.undo.pop()
+    }
+
+    /// Pushes a reverted command onto the redo stack.
+    pub(crate) fn push_redo(&mut self, command: Command) {
+        self.redo.push(command);
+    }
+
+    /// Pops the next command to redo.
+    pub(crate) fn pop_redo(&mut self) -> Option<Command> {
+        self.redo.pop()
+    }
+
+    /// Drops the redo stack (a new command invalidates it).
+    pub(crate) fn clear_redo(&mut self) {
+        self.redo.clear();
+    }
+
+    /// Number of commands that can be undone.
+    pub(crate) fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Number of commands that can be redone.
+    pub(crate) fn redo_len(&self) -> usize {
+        self.redo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_discipline() {
+        let mut h = History::default();
+        assert_eq!(h.undo_len(), 0);
+        h.push_applied(Applied {
+            command: Command::Finish,
+            undo: UndoRecord::PopPending,
+        });
+        h.push_applied(Applied {
+            command: Command::ClearPending,
+            undo: UndoRecord::PopInstance,
+        });
+        assert_eq!(h.undo_len(), 2);
+        let a = h.pop_undo().unwrap();
+        assert_eq!(a.command, Command::ClearPending);
+        h.push_redo(a.command);
+        assert_eq!(h.redo_len(), 1);
+        assert_eq!(h.pop_redo(), Some(Command::ClearPending));
+        h.push_redo(Command::Finish);
+        h.clear_redo();
+        assert_eq!(h.redo_len(), 0);
+    }
+}

@@ -45,21 +45,27 @@
 #![warn(missing_docs)]
 
 pub mod cell;
+pub mod command;
 pub mod compose;
 pub mod connection;
 pub mod editor;
 pub mod error;
+pub mod events;
 pub mod export;
+mod history;
 pub mod instance;
 pub mod library;
 pub mod measure;
 pub mod netlist;
 pub mod replay;
+mod txn;
 
 pub use cell::{Cell, CellId, CellKind, Connector, LeafSource};
+pub use command::{Command, Outcome};
 pub use connection::{PendingConnection, WorldConnector};
 pub use editor::{AbutOptions, Editor, RouteOptions, StretchOptions};
 pub use error::RiotError;
+pub use events::{ChangeEvent, Stats};
 pub use instance::{Instance, InstanceId};
 pub use library::Library;
 pub use netlist::{ConnectionLedger, ConnectionViolation, MaintainedConnection};

@@ -16,6 +16,18 @@ pub struct Library {
     route_counter: usize,
 }
 
+/// A cheap rollback point for the command engine's transactions.
+///
+/// During an editing session the cell list only grows (route cells and
+/// stretched cells are appended), so truncating back to the recorded
+/// length and restoring the route-name counter undoes everything a
+/// failed compound command added to the menu.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LibraryCheckpoint {
+    cells_len: usize,
+    route_counter: usize,
+}
+
 impl Library {
     /// Creates an empty library.
     pub fn new() -> Self {
@@ -87,6 +99,23 @@ impl Library {
         }
         self.cell_mut(id)?.name = new_name;
         Ok(())
+    }
+
+    /// Captures the rollback point for a transaction.
+    pub(crate) fn checkpoint(&self) -> LibraryCheckpoint {
+        LibraryCheckpoint {
+            cells_len: self.cells.len(),
+            route_counter: self.route_counter,
+        }
+    }
+
+    /// Rolls back to a checkpoint: drops cells added since the capture
+    /// and restores the route-name counter, so a re-run regenerates
+    /// identical names.
+    pub(crate) fn rollback(&mut self, cp: LibraryCheckpoint) {
+        debug_assert!(cp.cells_len <= self.cells.len(), "cells only grow");
+        self.cells.truncate(cp.cells_len);
+        self.route_counter = cp.route_counter;
     }
 
     /// A fresh unique name for a route cell ("route0", "route1", …).
@@ -248,9 +277,6 @@ E";
     #[test]
     fn bad_id() {
         let lib = Library::new();
-        assert!(matches!(
-            lib.cell(CellId(7)),
-            Err(RiotError::BadCellId(7))
-        ));
+        assert!(matches!(lib.cell(CellId(7)), Err(RiotError::BadCellId(7))));
     }
 }

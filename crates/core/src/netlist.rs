@@ -73,10 +73,7 @@ impl fmt::Display for ConnectionViolation {
                 connection,
                 from_at,
                 to_at,
-            } => write!(
-                f,
-                "connection {connection} separated: {from_at} vs {to_at}"
-            ),
+            } => write!(f, "connection {connection} separated: {from_at} vs {to_at}"),
             ConnectionViolation::Missing { connection, what } => {
                 write!(f, "connection {connection} lost its endpoint `{what}`")
             }
@@ -244,7 +241,8 @@ end
                 if from_at.x - to_at.x == 5 * LAMBDA
         ));
         // Moving it back heals the check.
-        ed.translate_instance(b, Point::new(-5 * LAMBDA, 0)).unwrap();
+        ed.translate_instance(b, Point::new(-5 * LAMBDA, 0))
+            .unwrap();
         assert!(ledger.check(&ed).is_empty());
     }
 
@@ -303,7 +301,8 @@ end
         let mut ed = Editor::open(&mut lib, "SWAP").unwrap();
         let d = ed.create_instance(driver).unwrap();
         let r = ed.create_instance(receiver).unwrap();
-        ed.translate_instance(r, Point::new(40 * LAMBDA, 0)).unwrap();
+        ed.translate_instance(r, Point::new(40 * LAMBDA, 0))
+            .unwrap();
         ed.connect(r, "A", d, "X").unwrap();
         ed.connect(r, "B", d, "Y").unwrap();
         let mut ledger = ConnectionLedger::new();

@@ -7,112 +7,29 @@
 //! differently-shaped cells. The replay also enables users to recover an
 //! abnormally-terminated editing session or an accidentally-deleted
 //! file."
+//!
+//! The journal is a `Vec<`[`Command`]`>` — the same values the command
+//! engine executes — so replay is nothing but a loop of
+//! [`crate::Editor::execute`]. This module owns only the text
+//! (de)serialization; there is no second per-command dispatch.
 
-use crate::editor::{AbutOptions, Editor, RouteOptions, StretchOptions};
+use crate::command::Command;
+use crate::editor::Editor;
 use crate::error::RiotError;
 use crate::library::Library;
-use riot_geom::{Orientation, Point, Side};
+use riot_geom::Point;
+use riot_rest::SolveMode;
+use riot_route::RouterOptions;
 use std::fmt::Write as _;
 
-/// One journaled command, keyed by names rather than positions.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ReplayCommand {
-    /// Begin editing a composition cell.
-    Edit {
-        /// Composition cell name.
-        cell: String,
-    },
-    /// CREATE an instance of a cell.
-    Create {
-        /// Defining cell's name.
-        cell: String,
-        /// New instance's name.
-        instance: String,
-    },
-    /// MOVE an instance.
-    Translate {
-        /// Instance name.
-        instance: String,
-        /// Displacement.
-        d: Point,
-    },
-    /// ROTATE/MIRROR an instance.
-    Orient {
-        /// Instance name.
-        instance: String,
-        /// Orientation composed onto the instance.
-        orient: Orientation,
-    },
-    /// Array replication.
-    Replicate {
-        /// Instance name.
-        instance: String,
-        /// Columns.
-        cols: u32,
-        /// Rows.
-        rows: u32,
-    },
-    /// Array spacing override.
-    Spacing {
-        /// Instance name.
-        instance: String,
-        /// Column pitch.
-        col: i64,
-        /// Row pitch.
-        row: i64,
-    },
-    /// DELETE an instance.
-    Delete {
-        /// Instance name.
-        instance: String,
-    },
-    /// Add a pending connection.
-    Connect {
-        /// From instance.
-        from: String,
-        /// Connector on the from instance.
-        from_connector: String,
-        /// To instance.
-        to: String,
-        /// Connector on the to instance.
-        to_connector: String,
-    },
-    /// The ABUT connection command.
-    Abut {
-        /// Overlap option.
-        overlap: bool,
-    },
-    /// Edge abutment of two instances without connectors.
-    AbutInstances {
-        /// From instance.
-        from: String,
-        /// To instance.
-        to: String,
-    },
-    /// The ROUTE connection command.
-    Route {
-        /// Whether the from instance moves against the route.
-        move_from: bool,
-    },
-    /// The STRETCH connection command.
-    Stretch,
-    /// Bring connectors out to the composition boundary.
-    BringOut {
-        /// Instance name.
-        instance: String,
-        /// Connector names.
-        connectors: Vec<String>,
-        /// Side being brought out.
-        side: Side,
-    },
-    /// Finish the cell.
-    Finish,
-}
+/// The journaled form of a command. Since the engine unification this
+/// *is* [`Command`]; the alias keeps the original name alive.
+pub use crate::command::Command as ReplayCommand;
 
 /// An ordered journal of commands, savable as text.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Journal {
-    commands: Vec<ReplayCommand>,
+    commands: Vec<Command>,
 }
 
 impl Journal {
@@ -122,46 +39,49 @@ impl Journal {
     }
 
     /// Appends one command.
-    pub fn record(&mut self, cmd: ReplayCommand) {
+    pub fn record(&mut self, cmd: Command) {
         self.commands.push(cmd);
     }
 
     /// The commands in order.
-    pub fn commands(&self) -> &[ReplayCommand] {
+    pub fn commands(&self) -> &[Command] {
         &self.commands
     }
 
     /// Serializes to the replay file format.
+    ///
+    /// `Route`'s router tuning is not serialized: the text keeps only
+    /// `move|stay` and parsing restores the defaults.
     pub fn to_text(&self) -> String {
         let mut out = String::from("riot replay v1\n");
         for cmd in &self.commands {
             match cmd {
-                ReplayCommand::Edit { cell } => {
+                Command::Edit { cell } => {
                     let _ = writeln!(out, "edit {cell}");
                 }
-                ReplayCommand::Create { cell, instance } => {
+                Command::Create { cell, instance } => {
                     let _ = writeln!(out, "create {cell} {instance}");
                 }
-                ReplayCommand::Translate { instance, d } => {
+                Command::Translate { instance, d } => {
                     let _ = writeln!(out, "translate {instance} {} {}", d.x, d.y);
                 }
-                ReplayCommand::Orient { instance, orient } => {
+                Command::Orient { instance, orient } => {
                     let _ = writeln!(out, "orient {instance} {orient}");
                 }
-                ReplayCommand::Replicate {
+                Command::Replicate {
                     instance,
                     cols,
                     rows,
                 } => {
                     let _ = writeln!(out, "replicate {instance} {cols} {rows}");
                 }
-                ReplayCommand::Spacing { instance, col, row } => {
+                Command::Spacing { instance, col, row } => {
                     let _ = writeln!(out, "spacing {instance} {col} {row}");
                 }
-                ReplayCommand::Delete { instance } => {
+                Command::Delete { instance } => {
                     let _ = writeln!(out, "delete {instance}");
                 }
-                ReplayCommand::Connect {
+                Command::Connect {
                     from,
                     from_connector,
                     to,
@@ -169,17 +89,24 @@ impl Journal {
                 } => {
                     let _ = writeln!(out, "connect {from} {from_connector} {to} {to_connector}");
                 }
-                ReplayCommand::Abut { overlap } => {
+                Command::RemovePending { index } => {
+                    let _ = writeln!(out, "unpend {index}");
+                }
+                Command::ClearPending => out.push_str("clearpend\n"),
+                Command::Abut { overlap } => {
                     let _ = writeln!(out, "abut {}", if *overlap { "overlap" } else { "touch" });
                 }
-                ReplayCommand::AbutInstances { from, to } => {
+                Command::AbutInstances { from, to } => {
                     let _ = writeln!(out, "abutinst {from} {to}");
                 }
-                ReplayCommand::Route { move_from } => {
+                Command::Route { move_from, .. } => {
                     let _ = writeln!(out, "route {}", if *move_from { "move" } else { "stay" });
                 }
-                ReplayCommand::Stretch => out.push_str("stretch\n"),
-                ReplayCommand::BringOut {
+                Command::Stretch { mode } => match mode {
+                    SolveMode::PreserveGaps => out.push_str("stretch\n"),
+                    SolveMode::DesignRules => out.push_str("stretch rules\n"),
+                },
+                Command::BringOut {
                     instance,
                     connectors,
                     side,
@@ -190,7 +117,9 @@ impl Journal {
                     }
                     out.push('\n');
                 }
-                ReplayCommand::Finish => out.push_str("finish\n"),
+                Command::Finish => out.push_str("finish\n"),
+                Command::Undo => out.push_str("undo\n"),
+                Command::Redo => out.push_str("redo\n"),
             }
         }
         out
@@ -228,18 +157,18 @@ impl Journal {
             let cmd = match f[0] {
                 "edit" => {
                     need(2)?;
-                    ReplayCommand::Edit { cell: f[1].into() }
+                    Command::Edit { cell: f[1].into() }
                 }
                 "create" => {
                     need(3)?;
-                    ReplayCommand::Create {
+                    Command::Create {
                         cell: f[1].into(),
                         instance: f[2].into(),
                     }
                 }
                 "translate" => {
                     need(4)?;
-                    ReplayCommand::Translate {
+                    Command::Translate {
                         instance: f[1].into(),
                         d: Point::new(
                             f[2].parse().map_err(|_| perr(n, "bad integer"))?,
@@ -249,14 +178,14 @@ impl Journal {
                 }
                 "orient" => {
                     need(3)?;
-                    ReplayCommand::Orient {
+                    Command::Orient {
                         instance: f[1].into(),
                         orient: f[2].parse().map_err(|_| perr(n, "bad orientation"))?,
                     }
                 }
                 "replicate" => {
                     need(4)?;
-                    ReplayCommand::Replicate {
+                    Command::Replicate {
                         instance: f[1].into(),
                         cols: f[2].parse().map_err(|_| perr(n, "bad count"))?,
                         rows: f[3].parse().map_err(|_| perr(n, "bad count"))?,
@@ -264,7 +193,7 @@ impl Journal {
                 }
                 "spacing" => {
                     need(4)?;
-                    ReplayCommand::Spacing {
+                    Command::Spacing {
                         instance: f[1].into(),
                         col: f[2].parse().map_err(|_| perr(n, "bad pitch"))?,
                         row: f[3].parse().map_err(|_| perr(n, "bad pitch"))?,
@@ -272,22 +201,32 @@ impl Journal {
                 }
                 "delete" => {
                     need(2)?;
-                    ReplayCommand::Delete {
+                    Command::Delete {
                         instance: f[1].into(),
                     }
                 }
                 "connect" => {
                     need(5)?;
-                    ReplayCommand::Connect {
+                    Command::Connect {
                         from: f[1].into(),
                         from_connector: f[2].into(),
                         to: f[3].into(),
                         to_connector: f[4].into(),
                     }
                 }
+                "unpend" => {
+                    need(2)?;
+                    Command::RemovePending {
+                        index: f[1].parse().map_err(|_| perr(n, "bad index"))?,
+                    }
+                }
+                "clearpend" => {
+                    need(1)?;
+                    Command::ClearPending
+                }
                 "abut" => {
                     need(2)?;
-                    ReplayCommand::Abut {
+                    Command::Abut {
                         overlap: match f[1] {
                             "overlap" => true,
                             "touch" => false,
@@ -297,30 +236,35 @@ impl Journal {
                 }
                 "abutinst" => {
                     need(3)?;
-                    ReplayCommand::AbutInstances {
+                    Command::AbutInstances {
                         from: f[1].into(),
                         to: f[2].into(),
                     }
                 }
                 "route" => {
                     need(2)?;
-                    ReplayCommand::Route {
+                    Command::Route {
                         move_from: match f[1] {
                             "move" => true,
                             "stay" => false,
                             _ => return Err(perr(n, "route wants move|stay")),
                         },
+                        router: RouterOptions::new(),
                     }
                 }
                 "stretch" => {
-                    need(1)?;
-                    ReplayCommand::Stretch
+                    let mode = match f.len() {
+                        1 => SolveMode::PreserveGaps,
+                        2 if f[1] == "rules" => SolveMode::DesignRules,
+                        _ => return Err(perr(n, "stretch wants no field or `rules`")),
+                    };
+                    Command::Stretch { mode }
                 }
                 "bringout" => {
                     if f.len() < 4 {
                         return Err(perr(n, "bringout wants instance side connectors…"));
                     }
-                    ReplayCommand::BringOut {
+                    Command::BringOut {
                         instance: f[1].into(),
                         side: f[2].parse().map_err(|_| perr(n, "bad side"))?,
                         connectors: f[3..].iter().map(|s| (*s).to_owned()).collect(),
@@ -328,7 +272,15 @@ impl Journal {
                 }
                 "finish" => {
                     need(1)?;
-                    ReplayCommand::Finish
+                    Command::Finish
+                }
+                "undo" => {
+                    need(1)?;
+                    Command::Undo
+                }
+                "redo" => {
+                    need(1)?;
+                    Command::Redo
                 }
                 other => return Err(perr(n, &format!("unknown command `{other}`"))),
             };
@@ -342,6 +294,10 @@ impl Journal {
 /// changed shape. Positions of connections are recomputed from names.
 /// Returns the warnings the re-run produced.
 ///
+/// Every command after the `edit` head goes through the one
+/// [`Editor::execute`] entry point — the interactive editor, undo/redo,
+/// and this loop share a single dispatch.
+///
 /// # Errors
 ///
 /// Any editor error the re-run hits (unknown cells/instances, routing
@@ -352,98 +308,21 @@ pub fn replay(journal: &Journal, lib: &mut Library) -> Result<Vec<String>, RiotE
         line: 0,
         message: "empty journal".into(),
     })?;
-    let ReplayCommand::Edit { cell } = first else {
+    let Command::Edit { cell } = first else {
         return Err(RiotError::Parse {
             line: 1,
             message: "journal must start with `edit`".into(),
         });
     };
     let mut ed = Editor::open(lib, cell)?;
-
-    let find_inst = |ed: &Editor<'_>, name: &str| -> Result<crate::InstanceId, RiotError> {
-        ed.find_instance(name)
-            .ok_or_else(|| RiotError::UnknownInstance(name.to_owned()))
-    };
-
     for cmd in commands {
-        match cmd {
-            ReplayCommand::Edit { .. } => {
-                return Err(RiotError::Parse {
-                    line: 0,
-                    message: "nested `edit` in journal".into(),
-                })
-            }
-            ReplayCommand::Create { cell, instance } => {
-                let id = ed
-                    .library()
-                    .find(cell)
-                    .ok_or_else(|| RiotError::UnknownCell(cell.clone()))?;
-                ed.create_named_instance(id, instance.clone())?;
-            }
-            ReplayCommand::Translate { instance, d } => {
-                let id = find_inst(&ed, instance)?;
-                ed.translate_instance(id, *d)?;
-            }
-            ReplayCommand::Orient { instance, orient } => {
-                let id = find_inst(&ed, instance)?;
-                ed.orient_instance(id, *orient)?;
-            }
-            ReplayCommand::Replicate {
-                instance,
-                cols,
-                rows,
-            } => {
-                let id = find_inst(&ed, instance)?;
-                ed.replicate_instance(id, *cols, *rows)?;
-            }
-            ReplayCommand::Spacing { instance, col, row } => {
-                let id = find_inst(&ed, instance)?;
-                ed.set_spacing(id, *col, *row)?;
-            }
-            ReplayCommand::Delete { instance } => {
-                let id = find_inst(&ed, instance)?;
-                ed.delete_instance(id)?;
-            }
-            ReplayCommand::Connect {
-                from,
-                from_connector,
-                to,
-                to_connector,
-            } => {
-                let f = find_inst(&ed, from)?;
-                let t = find_inst(&ed, to)?;
-                ed.connect(f, from_connector, t, to_connector)?;
-            }
-            ReplayCommand::Abut { overlap } => {
-                ed.abut(AbutOptions { overlap: *overlap })?;
-            }
-            ReplayCommand::AbutInstances { from, to } => {
-                let f = find_inst(&ed, from)?;
-                let t = find_inst(&ed, to)?;
-                ed.abut_instances(f, t)?;
-            }
-            ReplayCommand::Route { move_from } => {
-                ed.route(RouteOptions {
-                    move_from: *move_from,
-                    ..RouteOptions::default()
-                })?;
-            }
-            ReplayCommand::Stretch => {
-                ed.stretch(StretchOptions::default())?;
-            }
-            ReplayCommand::BringOut {
-                instance,
-                connectors,
-                side,
-            } => {
-                let id = find_inst(&ed, instance)?;
-                let names: Vec<&str> = connectors.iter().map(String::as_str).collect();
-                ed.bring_out(id, &names, *side)?;
-            }
-            ReplayCommand::Finish => {
-                ed.finish()?;
-            }
+        if matches!(cmd, Command::Edit { .. }) {
+            return Err(RiotError::Parse {
+                line: 0,
+                message: "nested `edit` in journal".into(),
+            });
         }
+        ed.execute(cmd.clone())?;
     }
     Ok(ed.take_warnings())
 }
@@ -451,6 +330,7 @@ pub fn replay(journal: &Journal, lib: &mut Library) -> Result<Vec<String>, RiotE
 #[cfg(test)]
 mod tests {
     use super::*;
+    use riot_geom::{Orientation, Side};
 
     fn sample_journal() -> Journal {
         let mut j = Journal::new();
@@ -473,13 +353,23 @@ mod tests {
             to: "I1".into(),
             to_connector: "X".into(),
         });
+        j.record(ReplayCommand::RemovePending { index: 0 });
+        j.record(ReplayCommand::ClearPending);
         j.record(ReplayCommand::Abut { overlap: true });
-        j.record(ReplayCommand::Route { move_from: false });
+        j.record(ReplayCommand::Route {
+            move_from: false,
+            router: RouterOptions::new(),
+        });
+        j.record(ReplayCommand::Stretch {
+            mode: SolveMode::DesignRules,
+        });
         j.record(ReplayCommand::BringOut {
             instance: "I0".into(),
             connectors: vec!["A".into(), "B".into()],
             side: Side::Left,
         });
+        j.record(ReplayCommand::Undo);
+        j.record(ReplayCommand::Redo);
         j.record(ReplayCommand::Finish);
         j
     }
@@ -513,13 +403,26 @@ mod tests {
     }
 
     #[test]
+    fn parse_stretch_modes() {
+        let j = Journal::parse("riot replay v1\nstretch\nstretch rules\n").unwrap();
+        assert_eq!(
+            j.commands(),
+            &[
+                ReplayCommand::Stretch {
+                    mode: SolveMode::PreserveGaps
+                },
+                ReplayCommand::Stretch {
+                    mode: SolveMode::DesignRules
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn replay_requires_edit_first() {
         let mut lib = Library::new();
         let mut j = Journal::new();
         j.record(ReplayCommand::Finish);
-        assert!(matches!(
-            replay(&j, &mut lib),
-            Err(RiotError::Parse { .. })
-        ));
+        assert!(matches!(replay(&j, &mut lib), Err(RiotError::Parse { .. })));
     }
 }

@@ -1,0 +1,80 @@
+//! Transactional apply: validate-then-commit for compound commands.
+//!
+//! The simple editing commands (move, rotate, connect…) validate all
+//! their inputs before touching anything, so a failure leaves the
+//! session untouched by construction. The compound commands — abut,
+//! route, stretch, bring-out, finish — interleave mutation with work
+//! that can fail (river routing, REST solving). For those the engine
+//! captures a [`Snapshot`] first and rolls back to it on error, so a
+//! failed route or stretch leaves the library exactly as it was.
+//!
+//! A successful compound command keeps its snapshot as the undo record:
+//! the capture that bought transactionality also buys history, at no
+//! extra cost.
+
+use crate::cell::{Cell, CellId};
+use crate::connection::PendingConnection;
+use crate::library::{Library, LibraryCheckpoint};
+
+/// Everything a compound command may change, captured before it runs.
+///
+/// The library's cell list only ever grows during a session (route and
+/// stretched cells are appended; nothing else is touched), so the
+/// library side of the snapshot is a cheap [`LibraryCheckpoint`]. The
+/// cell under edit and the pending list are cloned in full.
+#[derive(Debug, Clone)]
+pub(crate) struct Snapshot {
+    checkpoint: LibraryCheckpoint,
+    edit_cell: Cell,
+    pending: Vec<PendingConnection>,
+}
+
+impl Snapshot {
+    /// Captures the session state relevant to a compound command.
+    pub(crate) fn capture(lib: &Library, cell: CellId, pending: &[PendingConnection]) -> Snapshot {
+        Snapshot {
+            checkpoint: lib.checkpoint(),
+            edit_cell: lib.cell(cell).expect("edit cell exists").clone(),
+            pending: pending.to_vec(),
+        }
+    }
+
+    /// Restores the captured state: drops cells added since the
+    /// capture, restores the edit cell and the pending list.
+    pub(crate) fn restore(
+        self,
+        lib: &mut Library,
+        cell: CellId,
+        pending: &mut Vec<PendingConnection>,
+    ) {
+        lib.rollback(self.checkpoint);
+        *lib.cell_mut(cell).expect("edit cell survives rollback") = self.edit_cell;
+        *pending = self.pending;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Cell;
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut lib = Library::new();
+        let top = lib.add_cell(Cell::new_composition("TOP")).unwrap();
+        let mut pending = Vec::new();
+        let snap = Snapshot::capture(&lib, top, &pending);
+
+        // Mutate: add a cell, change the edit cell's bbox.
+        lib.add_cell(Cell::new_composition("OTHER")).unwrap();
+        lib.cell_mut(top).unwrap().bbox = riot_geom::Rect::new(0, 0, 99, 99);
+        assert_eq!(lib.len(), 2);
+
+        snap.restore(&mut lib, top, &mut pending);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(
+            lib.cell(top).unwrap().bbox,
+            riot_geom::Rect::new(0, 0, 0, 0)
+        );
+    }
+}

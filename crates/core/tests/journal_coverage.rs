@@ -1,0 +1,261 @@
+//! Journal-coverage audit: every mutating `Editor` method records a
+//! command, and replaying the journal on a fresh library reproduces the
+//! exact final state.
+//!
+//! This is the contract REPLAY depends on ("Riot saves the commands
+//! given by the user and can re-run an editing session"): if a mutating
+//! path forgets to journal, the replayed library diverges and these
+//! tests fail.
+
+use riot_core::{
+    replay, AbutOptions, Editor, Library, ReplayCommand, RiotError, RouteOptions, StretchOptions,
+};
+use riot_geom::{Orientation, Point, Side, LAMBDA};
+
+const GATE: &str = "\
+sticks gate
+bbox 0 0 12 20
+pin A left NP 0 4 2
+pin B left NP 0 10 2
+pin OUT right NM 12 10 3
+wire NP 2 0 4 6 4
+wire NP 2 0 10 6 10
+wire NM 3 6 10 12 10
+end
+";
+
+const DRIVER: &str = "\
+sticks driver
+bbox 0 0 10 20
+pin X right NP 10 6 2
+pin Y right NP 10 14 2
+wire NP 2 0 6 10 6
+wire NP 2 0 14 10 14
+end
+";
+
+fn fresh_library() -> Library {
+    let mut lib = Library::new();
+    lib.load_sticks(GATE).unwrap();
+    lib.load_sticks(DRIVER).unwrap();
+    lib
+}
+
+/// Runs `script` against a fresh library, captures the journal, replays
+/// the journal text against another fresh library, and asserts the two
+/// final libraries are identical.
+fn assert_replay_equality(script: impl Fn(&mut Editor<'_>) -> Result<(), RiotError>) {
+    let mut lib = fresh_library();
+    let journal_text;
+    {
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        script(&mut ed).unwrap();
+        journal_text = ed.journal().to_text();
+    }
+    let mut lib2 = fresh_library();
+    let journal = riot_core::Journal::parse(&journal_text).unwrap();
+    replay(&journal, &mut lib2).unwrap();
+    assert_eq!(lib, lib2, "replayed library diverged\n{journal_text}");
+}
+
+#[test]
+fn instance_commands_replay_identically() {
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let i = ed.create_instance(gate)?;
+        ed.translate_instance(i, Point::new(7 * LAMBDA, 3 * LAMBDA))?;
+        ed.orient_instance(i, Orientation::R90)?;
+        ed.replicate_instance(i, 2, 3)?;
+        ed.set_spacing(i, 25 * LAMBDA, 25 * LAMBDA)?;
+        let j = ed.create_instance(gate)?;
+        ed.delete_instance(j)?;
+        Ok(())
+    });
+}
+
+#[test]
+fn pending_list_commands_replay_identically() {
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let driver = ed.library().find("driver").unwrap();
+        let g = ed.create_instance(gate)?;
+        let d = ed.create_instance(driver)?;
+        ed.translate_instance(g, Point::new(30 * LAMBDA, 0))?;
+        ed.connect(g, "A", d, "X")?;
+        ed.connect(g, "B", d, "Y")?;
+        ed.remove_pending(0);
+        ed.connect(g, "A", d, "X")?;
+        ed.clear_pending();
+        // Rebuild and consume through an abutment so the final cell
+        // state depends on the pending edits above.
+        ed.connect(g, "A", d, "X")?;
+        ed.abut(AbutOptions::default())?;
+        Ok(())
+    });
+}
+
+#[test]
+fn connection_commands_replay_identically() {
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let driver = ed.library().find("driver").unwrap();
+        let g = ed.create_instance(gate)?;
+        let d = ed.create_instance(driver)?;
+        ed.translate_instance(g, Point::new(40 * LAMBDA, 3 * LAMBDA))?;
+        ed.connect(g, "A", d, "X")?;
+        ed.connect(g, "B", d, "Y")?;
+        ed.route(RouteOptions::default())?;
+        ed.finish()?;
+        Ok(())
+    });
+}
+
+#[test]
+fn stretch_and_bring_out_replay_identically() {
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let driver = ed.library().find("driver").unwrap();
+        let g = ed.create_instance(gate)?;
+        let d = ed.create_instance(driver)?;
+        ed.translate_instance(g, Point::new(30 * LAMBDA, 0))?;
+        ed.connect(g, "A", d, "X")?;
+        ed.connect(g, "B", d, "Y")?;
+        ed.stretch(StretchOptions::default())?;
+        ed.bring_out(d, &["X", "Y"], Side::Right)?;
+        ed.finish()?;
+        Ok(())
+    });
+}
+
+#[test]
+fn abut_instances_replays_identically() {
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let driver = ed.library().find("driver").unwrap();
+        let g = ed.create_instance(gate)?;
+        let d = ed.create_instance(driver)?;
+        ed.translate_instance(g, Point::new(50 * LAMBDA, 9 * LAMBDA))?;
+        ed.abut_instances(g, d)?;
+        Ok(())
+    });
+}
+
+#[test]
+fn undo_and_redo_replay_identically() {
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let i = ed.create_instance(gate)?;
+        ed.translate_instance(i, Point::new(10 * LAMBDA, 0))?;
+        ed.undo()?;
+        ed.translate_instance(i, Point::new(0, 10 * LAMBDA))?;
+        ed.undo()?;
+        ed.redo()?;
+        ed.finish()?;
+        Ok(())
+    });
+}
+
+#[test]
+fn every_mutating_method_journals() {
+    // The audit proper: count journal entries alongside each call.
+    let mut lib = fresh_library();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let mut expect = 1; // edit head
+    assert_eq!(ed.journal().commands().len(), expect);
+
+    let gate = ed.library().find("gate").unwrap();
+    let driver = ed.library().find("driver").unwrap();
+    let g = ed.create_instance(gate).unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "create");
+
+    let d = ed.create_instance(driver).unwrap();
+    expect += 1;
+
+    ed.translate_instance(g, Point::new(30 * LAMBDA, 0))
+        .unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "translate");
+
+    ed.orient_instance(d, Orientation::R0).unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "orient");
+
+    ed.replicate_instance(d, 1, 1).unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "replicate");
+
+    ed.set_spacing(d, 10 * LAMBDA, 20 * LAMBDA).unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "spacing");
+
+    ed.connect(g, "A", d, "X").unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "connect");
+
+    ed.remove_pending(0);
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "remove_pending");
+
+    ed.connect(g, "A", d, "X").unwrap();
+    expect += 1;
+    ed.clear_pending();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "clear_pending");
+
+    ed.connect(g, "A", d, "X").unwrap();
+    expect += 1;
+    ed.abut(AbutOptions::default()).unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "abut");
+
+    ed.abut_instances(g, d).unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "abut_instances");
+
+    ed.undo().unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "undo");
+
+    ed.redo().unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "redo");
+
+    ed.finish().unwrap();
+    expect += 1;
+    assert_eq!(ed.journal().commands().len(), expect, "finish");
+
+    // No mutating method journals anything extra on failure.
+    assert!(ed.connect(g, "A", g, "A").is_err());
+    assert_eq!(ed.journal().commands().len(), expect, "failed connect");
+}
+
+#[test]
+fn create_journals_deduplicated_name() {
+    // CREATE under a taken name journals the fresh name it actually
+    // used, so the replay reproduces it without the warning path.
+    let mut lib = fresh_library();
+    let journal_text;
+    {
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let gate = ed.library().find("gate").unwrap();
+        ed.create_named_instance(gate, "I").unwrap();
+        ed.create_named_instance(gate, "I").unwrap(); // dedupes to I'
+        assert_eq!(ed.warnings().len(), 1);
+        journal_text = ed.journal().to_text();
+    }
+    let journal = riot_core::Journal::parse(&journal_text).unwrap();
+    let creates: Vec<_> = journal
+        .commands()
+        .iter()
+        .filter_map(|c| match c {
+            ReplayCommand::Create { instance, .. } => Some(instance.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(creates, vec!["I".to_owned(), "I'".to_owned()]);
+    let mut lib2 = fresh_library();
+    let warnings = replay(&journal, &mut lib2).unwrap();
+    assert!(warnings.is_empty(), "replay warned: {warnings:?}");
+    assert_eq!(lib, lib2);
+}

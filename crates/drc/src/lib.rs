@@ -239,7 +239,10 @@ pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
                 let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
                 let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
                 let measured = dx.max(dy);
-                if dx < space && dy < space && reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j]))) {
+                if dx < space
+                    && dy < space
+                    && reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j])))
+                {
                     violations.push(Violation::Spacing {
                         layer: *layer,
                         a,
@@ -257,7 +260,7 @@ pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
 /// Connected-component labels for touching rectangles.
 fn components(rects: &[Rect]) -> Vec<usize> {
     let mut parent: Vec<usize> = (0..rects.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -293,7 +296,10 @@ mod tests {
     fn clean_geometry_passes() {
         let shapes = vec![
             boxed(Layer::Metal, Rect::new(0, 0, 10 * LAMBDA, 3 * LAMBDA)),
-            boxed(Layer::Metal, Rect::new(0, 6 * LAMBDA, 10 * LAMBDA, 9 * LAMBDA)),
+            boxed(
+                Layer::Metal,
+                Rect::new(0, 6 * LAMBDA, 10 * LAMBDA, 9 * LAMBDA),
+            ),
         ];
         assert!(check(&shapes, &RuleSet::nmos()).is_empty());
     }
@@ -309,8 +315,14 @@ mod tests {
     #[test]
     fn close_features_flagged_touching_allowed() {
         let a = boxed(Layer::Poly, Rect::new(0, 0, 4 * LAMBDA, 2 * LAMBDA));
-        let close = boxed(Layer::Poly, Rect::new(0, 3 * LAMBDA, 4 * LAMBDA, 5 * LAMBDA));
-        let touching = boxed(Layer::Poly, Rect::new(0, 2 * LAMBDA, 4 * LAMBDA, 4 * LAMBDA));
+        let close = boxed(
+            Layer::Poly,
+            Rect::new(0, 3 * LAMBDA, 4 * LAMBDA, 5 * LAMBDA),
+        );
+        let touching = boxed(
+            Layer::Poly,
+            Rect::new(0, 2 * LAMBDA, 4 * LAMBDA, 4 * LAMBDA),
+        );
         let v = check(&[a.clone(), close], &RuleSet::nmos());
         assert_eq!(v.len(), 1);
         assert!(matches!(v[0], Violation::Spacing { measured, .. } if measured == LAMBDA));
@@ -321,7 +333,10 @@ mod tests {
     fn different_layers_do_not_interact() {
         let shapes = vec![
             boxed(Layer::Metal, Rect::new(0, 0, 10 * LAMBDA, 3 * LAMBDA)),
-            boxed(Layer::Poly, Rect::new(0, 4 * LAMBDA, 10 * LAMBDA, 6 * LAMBDA)),
+            boxed(
+                Layer::Poly,
+                Rect::new(0, 4 * LAMBDA, 10 * LAMBDA, 6 * LAMBDA),
+            ),
         ];
         assert!(check(&shapes, &RuleSet::nmos()).is_empty());
     }
@@ -332,8 +347,14 @@ mod tests {
         // the corner sense — but all one conductor, so no violation.
         let shapes = vec![
             boxed(Layer::Metal, Rect::new(0, 0, 4 * LAMBDA, 3 * LAMBDA)),
-            boxed(Layer::Metal, Rect::new(4 * LAMBDA, 0, 8 * LAMBDA, 3 * LAMBDA)),
-            boxed(Layer::Metal, Rect::new(8 * LAMBDA, 0, 12 * LAMBDA, 3 * LAMBDA)),
+            boxed(
+                Layer::Metal,
+                Rect::new(4 * LAMBDA, 0, 8 * LAMBDA, 3 * LAMBDA),
+            ),
+            boxed(
+                Layer::Metal,
+                Rect::new(8 * LAMBDA, 0, 12 * LAMBDA, 3 * LAMBDA),
+            ),
         ];
         assert!(check(&shapes, &RuleSet::nmos()).is_empty());
     }

@@ -136,8 +136,8 @@ pub fn extract_with_probes(
         pin_results.push((pin.name.clone(), id));
     }
     for (name, position, layer) in probes {
-        let comp = comp_at(*layer, *position)
-            .ok_or_else(|| ExtractError::FloatingPin(name.clone()))?;
+        let comp =
+            comp_at(*layer, *position).ok_or_else(|| ExtractError::FloatingPin(name.clone()))?;
         let root = uf.find(comp);
         let id = net_of(root, &mut nets);
         pin_results.push((name.clone(), id));
@@ -286,7 +286,10 @@ mod tests {
     #[test]
     fn crossing_wires_on_one_layer_connect() {
         let mut cell = SticksCell::new("c", Rect::new(0, 0, 10, 10));
-        for pts in [[Point::new(0, 5), Point::new(10, 5)], [Point::new(5, 0), Point::new(5, 10)]] {
+        for pts in [
+            [Point::new(0, 5), Point::new(10, 5)],
+            [Point::new(5, 0), Point::new(5, 10)],
+        ] {
             cell.push_wire(SymWire {
                 layer: Layer::Metal,
                 width: 3,

@@ -65,7 +65,9 @@ pub fn flatten_to_sticks(lib: &Library, cell_name: &str) -> Result<SticksCell, F
     let id = lib
         .find(cell_name)
         .ok_or_else(|| FlattenError::UnknownCell(cell_name.to_owned()))?;
-    let cell = lib.cell(id).map_err(|_| FlattenError::UnknownCell(cell_name.to_owned()))?;
+    let cell = lib
+        .cell(id)
+        .map_err(|_| FlattenError::UnknownCell(cell_name.to_owned()))?;
     if !cell.is_composition() {
         return Err(FlattenError::NotComposition(cell_name.to_owned()));
     }
@@ -182,7 +184,8 @@ mod tests {
         let mut ed = Editor::open(&mut lib, "PAIR").unwrap();
         let a = ed.create_instance(sr).unwrap();
         let b = ed.create_instance(sr).unwrap();
-        ed.translate_instance(b, Point::new(60 * LAMBDA, 0)).unwrap();
+        ed.translate_instance(b, Point::new(60 * LAMBDA, 0))
+            .unwrap();
         ed.connect(b, "SI", a, "SO").unwrap();
         ed.abut(AbutOptions::default()).unwrap();
         ed.finish().unwrap();

@@ -109,10 +109,7 @@ pub fn simulate<'a>(
         }
     }
 
-    let mut levels: Vec<Level> = fixed
-        .iter()
-        .map(|f| f.unwrap_or(Level::Unknown))
-        .collect();
+    let mut levels: Vec<Level> = fixed.iter().map(|f| f.unwrap_or(Level::Unknown)).collect();
 
     // Iterate: channel conduction depends on gate levels, which depend
     // on conduction. The netlist is finite, so n+1 rounds suffice for
@@ -149,9 +146,7 @@ pub fn simulate<'a>(
 fn reach(netlist: &Netlist, levels: &[Level], fixed: &[Option<Level>], from: Level) -> Vec<bool> {
     let n = netlist.net_count();
     let mut seen = vec![false; n];
-    let mut queue: VecDeque<usize> = (0..n)
-        .filter(|&i| fixed[i] == Some(from))
-        .collect();
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| fixed[i] == Some(from)).collect();
     for &i in &queue {
         seen[i] = true;
     }
@@ -193,10 +188,7 @@ mod tests {
     use crate::extractor::extract;
 
     fn rails(extra: &[(&'static str, Level)]) -> Vec<(&'static str, Level)> {
-        let mut v = vec![
-            ("PWRL", Level::High),
-            ("GNDL", Level::Low),
-        ];
+        let mut v = vec![("PWRL", Level::High), ("GNDL", Level::Low)];
         v.extend_from_slice(extra);
         v
     }
@@ -243,11 +235,7 @@ mod tests {
     fn conflicting_rails_rejected() {
         let nl = extract(&riot_cells::nand2()).unwrap();
         // PWRL and PWRR share the rail net.
-        let err = simulate(
-            &nl,
-            &[("PWRL", Level::High), ("PWRR", Level::Low)],
-        )
-        .unwrap_err();
+        let err = simulate(&nl, &[("PWRL", Level::High), ("PWRR", Level::Low)]).unwrap_err();
         assert!(matches!(err, SimError::ConflictingDrivers { .. }));
     }
 

@@ -244,7 +244,10 @@ mod tests {
         assert!(!Orientation::R90.is_mirrored());
         assert!(Orientation::MX.is_mirrored());
         assert!(Orientation::MY90.is_mirrored());
-        let mirrored: Vec<_> = Orientation::ALL.iter().filter(|o| o.is_mirrored()).collect();
+        let mirrored: Vec<_> = Orientation::ALL
+            .iter()
+            .filter(|o| o.is_mirrored())
+            .collect();
         assert_eq!(mirrored.len(), 4);
     }
 
@@ -266,9 +269,6 @@ mod tests {
 
     #[test]
     fn my_equals_mx_r180() {
-        assert_eq!(
-            Orientation::MX.then(Orientation::R180),
-            Orientation::MY
-        );
+        assert_eq!(Orientation::MX.then(Orientation::R180), Orientation::MY);
     }
 }

@@ -68,8 +68,12 @@ impl Path {
         // Merge collinear continuation.
         if self.points.len() >= 2 {
             let prev = self.points[self.points.len() - 2];
-            let collinear = (prev.x == last.x && last.x == p.x && (p.y - last.y).signum() == (last.y - prev.y).signum())
-                || (prev.y == last.y && last.y == p.y && (p.x - last.x).signum() == (last.x - prev.x).signum());
+            let collinear = (prev.x == last.x
+                && last.x == p.x
+                && (p.y - last.y).signum() == (last.y - prev.y).signum())
+                || (prev.y == last.y
+                    && last.y == p.y
+                    && (p.x - last.x).signum() == (last.x - prev.x).signum());
             if collinear {
                 *self.points.last_mut().expect("nonempty") = p;
                 return Ok(());
@@ -101,10 +105,7 @@ impl Path {
 
     /// Total Manhattan length of the centerline.
     pub fn length(&self) -> Coord {
-        self.points
-            .windows(2)
-            .map(|w| w[0].manhattan(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].manhattan(w[1])).sum()
     }
 
     /// Number of direction changes (corners).
@@ -231,7 +232,8 @@ mod tests {
 
     #[test]
     fn translated_preserves_shape() {
-        let p = Path::from_points([Point::new(0, 0), Point::new(0, 10), Point::new(8, 10)]).unwrap();
+        let p =
+            Path::from_points([Point::new(0, 0), Point::new(0, 10), Point::new(8, 10)]).unwrap();
         let t = p.translated(Point::new(100, 200));
         assert_eq!(t.length(), p.length());
         assert_eq!(t.start(), Point::new(100, 200));

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn quantize_picks_nearest() {
         let palette = [Color::BLACK, Color::WHITE, Color::new(255, 0, 0)];
-        assert_eq!(Color::new(250, 10, 10).quantize(&palette), Color::new(255, 0, 0));
+        assert_eq!(
+            Color::new(250, 10, 10).quantize(&palette),
+            Color::new(255, 0, 0)
+        );
         assert_eq!(Color::new(10, 10, 10).quantize(&palette), Color::BLACK);
     }
 

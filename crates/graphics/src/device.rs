@@ -98,12 +98,12 @@ impl Device {
 fn base_palette() -> Vec<Color> {
     vec![
         Color::BLACK,
-        Color::new(220, 0, 0),    // red (poly)
-        Color::new(0, 160, 0),    // green (diffusion)
-        Color::new(64, 64, 255),  // blue (metal)
-        Color::new(200, 180, 0),  // yellow (implant)
-        Color::new(0, 200, 200),  // cyan
-        Color::new(200, 0, 200),  // magenta
+        Color::new(220, 0, 0),   // red (poly)
+        Color::new(0, 160, 0),   // green (diffusion)
+        Color::new(64, 64, 255), // blue (metal)
+        Color::new(200, 180, 0), // yellow (implant)
+        Color::new(0, 200, 200), // cyan
+        Color::new(200, 0, 200), // magenta
         Color::WHITE,
     ]
 }

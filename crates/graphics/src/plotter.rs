@@ -65,8 +65,16 @@ pub fn plot(list: &DisplayList) -> Plot {
                 let _ = writeln!(
                     commands,
                     "PU{},{};PD{},{},{},{},{},{},{},{};",
-                    rect.x0, rect.y0, rect.x1, rect.y0, rect.x1, rect.y1, rect.x0, rect.y1,
-                    rect.x0, rect.y0
+                    rect.x0,
+                    rect.y0,
+                    rect.x1,
+                    rect.y0,
+                    rect.x1,
+                    rect.y1,
+                    rect.x0,
+                    rect.y1,
+                    rect.x0,
+                    rect.y0
                 );
                 strokes[pen as usize - 1] += 1;
                 travel += 2 * (rect.width() + rect.height());

@@ -2,8 +2,8 @@
 //! framebuffer clipping, device quantization, plotter bookkeeping.
 
 use proptest::prelude::*;
-use riot_graphics::{Color, DisplayList, DrawOp, Framebuffer, Viewport};
 use riot_geom::{Point, Rect};
+use riot_graphics::{Color, DisplayList, DrawOp, Framebuffer, Viewport};
 
 fn arb_point() -> impl Strategy<Value = Point> {
     (-500_000i64..500_000, -500_000i64..500_000).prop_map(|(x, y)| Point::new(x, y))

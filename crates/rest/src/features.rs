@@ -60,14 +60,8 @@ pub fn rule_spacing(a: Layer, b: Layer) -> Option<i64> {
 fn device_rects(d: &riot_sticks::Device) -> [(Rect, Layer); 2] {
     let t = Transform::new(d.orient, d.position);
     [
-        (
-            t.apply_rect(Rect::new(-1, -3, 1, 3)),
-            Layer::Poly,
-        ),
-        (
-            t.apply_rect(Rect::new(-3, -1, 3, 1)),
-            Layer::Diffusion,
-        ),
+        (t.apply_rect(Rect::new(-1, -3, 1, 3)), Layer::Poly),
+        (t.apply_rect(Rect::new(-3, -1, 3, 1)), Layer::Diffusion),
     ]
 }
 
@@ -228,8 +222,7 @@ mod tests {
 
     #[test]
     fn pins_and_contacts_become_columns() {
-        let text =
-            "sticks t\nbbox 0 0 20 20\npin A left NM 0 10 3\ncontact md 7 9\nend\n";
+        let text = "sticks t\nbbox 0 0 20 20\npin A left NM 0 10 3\ncontact md 7 9\nend\n";
         let cell = riot_sticks::parse(text).unwrap();
         let (features, columns) = extract(&cell, Axis::X);
         assert_eq!(columns, vec![0, 7]);

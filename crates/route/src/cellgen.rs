@@ -62,8 +62,8 @@ impl RiverRoute {
 
 #[cfg(test)]
 mod tests {
-    use crate::terminal::{RouteProblem, Terminal};
     use crate::river::river_route;
+    use crate::terminal::{RouteProblem, Terminal};
     use riot_geom::{Layer, Side};
 
     fn route_cell() -> riot_sticks::SticksCell {
@@ -98,7 +98,7 @@ mod tests {
     }
 
     #[test]
-    fn cell_round_trips_through_sticks_text(){
+    fn cell_round_trips_through_sticks_text() {
         let cell = route_cell();
         let text = riot_sticks::to_text(&cell);
         let again = riot_sticks::parse(&text).unwrap();

@@ -178,7 +178,14 @@ pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
         if total_tracks > 0 {
             let channels = total_tracks.div_ceil(cap);
             channels_max = channels_max.max(channels);
-            let top_y = track_y(total_tracks, options.margin, pitch, maxw, cap, options.channel_gap);
+            let top_y = track_y(
+                total_tracks,
+                options.margin,
+                pitch,
+                maxw,
+                cap,
+                options.channel_gap,
+            );
             height = height.max(top_y + maxw / 2 + options.margin);
         }
         per_layer_geometry.push((layer, pitch, maxw));
@@ -230,7 +237,10 @@ pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
     }
 
     Ok(RiverRoute {
-        wires: wires.into_iter().map(|w| w.expect("every net routed")).collect(),
+        wires: wires
+            .into_iter()
+            .map(|w| w.expect("every net routed"))
+            .collect(),
         height,
         tracks: tracks_max,
         channels: channels_max,
@@ -332,7 +342,12 @@ mod tests {
     use crate::terminal::{RouterOptions, Terminal};
 
     fn t(name: &str, offset: i64, layer: Layer) -> Terminal {
-        Terminal::new(name, offset, layer, if layer == Layer::Metal { 3 } else { 2 })
+        Terminal::new(
+            name,
+            offset,
+            layer,
+            if layer == Layer::Metal { 3 } else { 2 },
+        )
     }
 
     #[test]
@@ -424,10 +439,7 @@ mod tests {
             river_route(&p),
             Err(RouteError::CountMismatch { .. })
         ));
-        let p = RouteProblem::new(
-            vec![t("a", 0, Layer::Metal)],
-            vec![t("a", 0, Layer::Poly)],
-        );
+        let p = RouteProblem::new(vec![t("a", 0, Layer::Metal)], vec![t("a", 0, Layer::Poly)]);
         assert!(matches!(
             river_route(&p),
             Err(RouteError::LayerMismatch { .. })

@@ -385,7 +385,11 @@ mod tests {
                 width: 3,
             });
         }
-        let names: Vec<_> = c.pins_on_side(Side::Left).iter().map(|p| p.name.clone()).collect();
+        let names: Vec<_> = c
+            .pins_on_side(Side::Left)
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
         assert_eq!(names, ["A", "C", "B"]);
         assert!(c.pins_on_side(Side::Right).is_empty());
     }

@@ -79,7 +79,10 @@ impl fmt::Display for ValidateSticksError {
                 write!(f, "duplicate pin name `{name}`")
             }
             ValidateSticksError::PinOffSide { pin, side } => {
-                write!(f, "pin `{pin}` is not on the {side} side of the bounding box")
+                write!(
+                    f,
+                    "pin `{pin}` is not on the {side} side of the bounding box"
+                )
             }
             ValidateSticksError::BadPinLayer { pin, layer } => {
                 write!(f, "pin `{pin}` is on non-routable layer {layer}")

@@ -24,12 +24,7 @@ pub fn to_cif_cell(cell: &SticksCell, id: u32) -> CifCell {
     let mut shapes = Vec::new();
 
     for w in cell.wires() {
-        let pts: Vec<Point> = w
-            .path
-            .points()
-            .iter()
-            .map(|&p| scale_point(p))
-            .collect();
+        let pts: Vec<Point> = w.path.points().iter().map(|&p| scale_point(p)).collect();
         shapes.push(Shape {
             layer: w.layer,
             geometry: Geometry::Wire {

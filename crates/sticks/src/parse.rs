@@ -53,12 +53,8 @@ pub fn parse(text: &str) -> Result<SticksCell, ParseSticksError> {
                 if fields.len() < 6 || fields.len() > 7 {
                     return Err(err("pin needs: name side layer x y [width]"));
                 }
-                let side: Side = fields[2]
-                    .parse()
-                    .map_err(|_| err("bad pin side"))?;
-                let layer: Layer = fields[3]
-                    .parse()
-                    .map_err(|_| err("bad pin layer"))?;
+                let side: Side = fields[2].parse().map_err(|_| err("bad pin side"))?;
+                let layer: Layer = fields[3].parse().map_err(|_| err("bad pin layer"))?;
                 let xy = parse_ints(&fields[4..6], line)?;
                 let width = match fields.get(6) {
                     Some(w) => w.parse().map_err(|_| err("bad pin width"))?,
@@ -74,20 +70,15 @@ pub fn parse(text: &str) -> Result<SticksCell, ParseSticksError> {
             }
             "wire" => {
                 // wire LAYER WIDTH x1 y1 x2 y2 ...
-                if fields.len() < 7 || (fields.len() - 3) % 2 != 0 {
+                if fields.len() < 7 || !(fields.len() - 3).is_multiple_of(2) {
                     return Err(err("wire needs: layer width and at least 2 points"));
                 }
-                let layer: Layer = fields[1]
-                    .parse()
-                    .map_err(|_| err("bad wire layer"))?;
+                let layer: Layer = fields[1].parse().map_err(|_| err("bad wire layer"))?;
                 let width: i64 = fields[2].parse().map_err(|_| err("bad wire width"))?;
                 let coords = parse_ints(&fields[3..], line)?;
-                let points: Vec<Point> = coords
-                    .chunks(2)
-                    .map(|c| Point::new(c[0], c[1]))
-                    .collect();
-                let path = Path::from_points(points)
-                    .map_err(|e| err(&format!("bad wire path: {e}")))?;
+                let points: Vec<Point> = coords.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
+                let path =
+                    Path::from_points(points).map_err(|e| err(&format!("bad wire path: {e}")))?;
                 wires.push(SymWire { layer, width, path });
             }
             "dev" => {
@@ -134,10 +125,7 @@ pub fn parse(text: &str) -> Result<SticksCell, ParseSticksError> {
     }
 
     if !ended {
-        return Err(ParseSticksError::new(
-            text.lines().count(),
-            "missing `end`",
-        ));
+        return Err(ParseSticksError::new(text.lines().count(), "missing `end`"));
     }
     let name = name.ok_or_else(|| ParseSticksError::new(1, "missing `sticks` header"))?;
     let bbox = bbox.ok_or_else(|| ParseSticksError::new(1, "missing `bbox`"))?;

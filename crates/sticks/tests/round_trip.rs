@@ -2,8 +2,10 @@
 //! trips, and mask generation stays inside the scaled bounding box.
 
 use proptest::prelude::*;
-use riot_sticks::{parse, to_text, Contact, ContactKind, Device, DeviceKind, Pin, SticksCell, SymWire};
 use riot_geom::{Layer, Orientation, Path, Point, Rect, Side};
+use riot_sticks::{
+    parse, to_text, Contact, ContactKind, Device, DeviceKind, Pin, SticksCell, SymWire,
+};
 
 const W: i64 = 40;
 const H: i64 = 32;

@@ -27,6 +27,10 @@ pub enum GraphicalCommand {
     Route,
     /// Make the pending connections by stretching.
     Stretch,
+    /// Revert the most recent editing command.
+    Undo,
+    /// Re-apply the most recently undone command.
+    Redo,
     /// Zoom the editing area in.
     ZoomIn,
     /// Zoom the editing area out.
@@ -37,7 +41,7 @@ pub enum GraphicalCommand {
 
 impl GraphicalCommand {
     /// Menu order, top to bottom.
-    pub const MENU: [GraphicalCommand; 12] = [
+    pub const MENU: [GraphicalCommand; 14] = [
         GraphicalCommand::Create,
         GraphicalCommand::Move,
         GraphicalCommand::Rotate,
@@ -47,6 +51,8 @@ impl GraphicalCommand {
         GraphicalCommand::Abut,
         GraphicalCommand::Route,
         GraphicalCommand::Stretch,
+        GraphicalCommand::Undo,
+        GraphicalCommand::Redo,
         GraphicalCommand::ZoomIn,
         GraphicalCommand::ZoomOut,
         GraphicalCommand::Names,
@@ -64,6 +70,8 @@ impl GraphicalCommand {
             GraphicalCommand::Abut => "ABUT",
             GraphicalCommand::Route => "ROUTE",
             GraphicalCommand::Stretch => "STRETCH",
+            GraphicalCommand::Undo => "UNDO",
+            GraphicalCommand::Redo => "REDO",
             GraphicalCommand::ZoomIn => "ZOOM IN",
             GraphicalCommand::ZoomOut => "ZOOM OUT",
             GraphicalCommand::Names => "NAMES",
@@ -91,6 +99,6 @@ mod tests {
 
     #[test]
     fn menu_covers_all_commands() {
-        assert_eq!(GraphicalCommand::MENU.len(), 12);
+        assert_eq!(GraphicalCommand::MENU.len(), 14);
     }
 }

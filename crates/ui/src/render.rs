@@ -195,8 +195,16 @@ end
         let i = ed.create_instance(gate).unwrap();
         let mut list = DisplayList::new();
         instance_ops(&ed, i, RenderOptions::default(), &mut list).unwrap();
-        let rects = list.ops().iter().filter(|o| matches!(o, DrawOp::Rect { .. })).count();
-        let crosses = list.ops().iter().filter(|o| matches!(o, DrawOp::Cross { .. })).count();
+        let rects = list
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, DrawOp::Rect { .. }))
+            .count();
+        let crosses = list
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, DrawOp::Cross { .. }))
+            .count();
         assert_eq!(rects, 1);
         assert_eq!(crosses, 2);
     }
@@ -218,7 +226,11 @@ end
             &mut list,
         )
         .unwrap();
-        let texts = list.ops().iter().filter(|o| matches!(o, DrawOp::Text { .. })).count();
+        let texts = list
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, DrawOp::Text { .. }))
+            .count();
         assert_eq!(texts, 3); // 2 connectors + the cell name
     }
 
@@ -229,10 +241,15 @@ end
         let mut ed = Editor::open(&mut lib, "TOP").unwrap();
         let a = ed.create_instance(gate).unwrap();
         let b = ed.create_instance(gate).unwrap();
-        ed.translate_instance(b, Point::new(30 * LAMBDA, 0)).unwrap();
+        ed.translate_instance(b, Point::new(30 * LAMBDA, 0))
+            .unwrap();
         ed.connect(b, "A", a, "OUT").unwrap();
         let list = editor_ops(&ed, RenderOptions::default()).unwrap();
-        let lines = list.ops().iter().filter(|o| matches!(o, DrawOp::Line { .. })).count();
+        let lines = list
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, DrawOp::Line { .. }))
+            .count();
         assert_eq!(lines, 1);
     }
 
@@ -245,7 +262,11 @@ end
         ed.replicate_instance(i, 3, 1).unwrap();
         let mut list = DisplayList::new();
         instance_ops(&ed, i, RenderOptions::default(), &mut list).unwrap();
-        let rects = list.ops().iter().filter(|o| matches!(o, DrawOp::Rect { .. })).count();
+        let rects = list
+            .ops()
+            .iter()
+            .filter(|o| matches!(o, DrawOp::Rect { .. }))
+            .count();
         assert_eq!(rects, 4); // outer box + 3 element boxes
     }
 

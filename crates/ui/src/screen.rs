@@ -95,7 +95,12 @@ impl ScreenLayout {
     /// Pixel rectangle of cell-menu row `index` (top row is index 0).
     pub fn cell_menu_row(&self, index: usize) -> Rect {
         let top = self.cell_menu.y1 - (index as i64) * self.row_height as i64;
-        Rect::new(self.cell_menu.x0, top - self.row_height as i64, self.cell_menu.x1, top)
+        Rect::new(
+            self.cell_menu.x0,
+            top - self.row_height as i64,
+            self.cell_menu.x1,
+            top,
+        )
     }
 
     /// Pixel rectangle of command-menu row `index` (top row is 0).

@@ -178,6 +178,22 @@ impl<'a> InteractiveSession<'a> {
                 self.status = "stretched".into();
                 self.command = None;
             }
+            GraphicalCommand::Undo => {
+                self.status = if self.editor.undo()? {
+                    "undone".into()
+                } else {
+                    "nothing to undo".into()
+                };
+                self.command = None;
+            }
+            GraphicalCommand::Redo => {
+                self.status = if self.editor.redo()? {
+                    "redone".into()
+                } else {
+                    "nothing to redo".into()
+                };
+                self.command = None;
+            }
             GraphicalCommand::ZoomIn => {
                 self.viewport = self.viewport.zoomed(2, 1);
                 self.status = "zoomed in".into();
@@ -331,7 +347,12 @@ impl<'a> InteractiveSession<'a> {
         });
         // Chrome coordinates are already pixels: identity viewport.
         let identity = Viewport::new(
-            Rect::new(0, 0, self.layout.width() as i64, self.layout.height() as i64),
+            Rect::new(
+                0,
+                0,
+                self.layout.width() as i64,
+                self.layout.height() as i64,
+            ),
             self.layout.width(),
             self.layout.height(),
         );
@@ -440,7 +461,11 @@ end
                 .instance_bbox(s.editor().find_instance("I0").unwrap())
                 .unwrap();
             // Lower-left snapped near the click.
-            assert!(bb.lower_left().manhattan(Point::new(10 * LAMBDA, 10 * LAMBDA)) <= 2 * LAMBDA);
+            assert!(
+                bb.lower_left()
+                    .manhattan(Point::new(10 * LAMBDA, 10 * LAMBDA))
+                    <= 2 * LAMBDA
+            );
         });
     }
 
@@ -465,7 +490,11 @@ end
             s.click_world(Point::new(50 * LAMBDA, 50 * LAMBDA)).unwrap(); // place
             let id = s.editor().find_instance("I0").unwrap();
             let bb = s.editor().instance_bbox(id).unwrap();
-            assert!(bb.lower_left().manhattan(Point::new(50 * LAMBDA, 50 * LAMBDA)) <= 2 * LAMBDA);
+            assert!(
+                bb.lower_left()
+                    .manhattan(Point::new(50 * LAMBDA, 50 * LAMBDA))
+                    <= 2 * LAMBDA
+            );
         });
     }
 
@@ -544,6 +573,26 @@ end
             assert_eq!(after.y0, before.y0);
             s.pan(-8, 0);
             assert_eq!(s.viewport().window(), before);
+        });
+    }
+
+    #[test]
+    fn undo_redo_via_menu() {
+        with_session(|mut s| {
+            s.click_cell("gate").unwrap();
+            s.click_command(GraphicalCommand::Create).unwrap();
+            s.click_world(Point::new(10 * LAMBDA, 10 * LAMBDA)).unwrap();
+            assert_eq!(s.editor().instances().len(), 1);
+            // The create click issued two commands (create + place).
+            s.click_command(GraphicalCommand::Undo).unwrap();
+            s.click_command(GraphicalCommand::Undo).unwrap();
+            assert_eq!(s.editor().instances().len(), 0);
+            assert_eq!(s.status(), "undone");
+            s.click_command(GraphicalCommand::Redo).unwrap();
+            s.click_command(GraphicalCommand::Redo).unwrap();
+            assert_eq!(s.editor().instances().len(), 1);
+            s.click_command(GraphicalCommand::Redo).unwrap();
+            assert_eq!(s.status(), "nothing to redo");
         });
     }
 

@@ -105,7 +105,8 @@ impl TextualInterface {
             }
             ["writecif", cell, file] => {
                 let cif = riot_core::export::to_cif(&self.library, cell)?;
-                self.files.insert((*file).to_owned(), riot_cif::to_text(&cif));
+                self.files
+                    .insert((*file).to_owned(), riot_cif::to_text(&cif));
                 Ok(Response::Message(format!("wrote {cell} as CIF to {file}")))
             }
             ["plot", cell, file] => {
@@ -118,8 +119,7 @@ impl TextualInterface {
                 )))
             }
             ["set", "tracks", n] => {
-                self.router.tracks_per_channel =
-                    n.parse().map_err(|_| usage("bad track count"))?;
+                self.router.tracks_per_channel = n.parse().map_err(|_| usage("bad track count"))?;
                 Ok(Response::Message(format!("tracks per channel = {n}")))
             }
             ["set", "margin", n] => {

@@ -32,6 +32,29 @@ proptest! {
     }
 
     #[test]
+    fn random_commands_with_undo_never_panic(
+        steps in prop::collection::vec((0usize..16, -20i64..540, -20i64..500), 1..30)
+    ) {
+        let mut lib = library();
+        let ed = Editor::open(&mut lib, "UNDO").unwrap();
+        let mut s = InteractiveSession::new(ed, 512, 480);
+        for (cmd, x, y) in steps {
+            // Arm a menu command (UNDO and REDO execute immediately),
+            // then click somewhere in the editing area.
+            let menu = riot_ui::GraphicalCommand::MENU;
+            let _ = s.arm(menu[cmd % menu.len()]);
+            let _ = s.handle(PointerEvent::click(x, y));
+        }
+        // Unwind whatever the random session did; the editor must
+        // survive a full rewind followed by a full replay.
+        let ed = s.editor_mut();
+        while ed.undo().unwrap() {}
+        while ed.redo().unwrap() {}
+        let fb = s.render();
+        prop_assert_eq!(fb.width(), 512);
+    }
+
+    #[test]
     fn zoom_sequences_keep_view_usable(zooms in prop::collection::vec(prop::bool::ANY, 1..12)) {
         let mut lib = library();
         let ed = Editor::open(&mut lib, "Z").unwrap();

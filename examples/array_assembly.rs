@@ -33,8 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Interior connectors (SO of column 0..6) are hidden: only the
     // outside edges show.
-    assert!(conns.iter().all(|c| !c.name.starts_with("SO[0")
-        || c.name == "SO[7,0]"));
+    assert!(conns
+        .iter()
+        .all(|c| !c.name.starts_with("SO[0") || c.name == "SO[7,0]"));
 
     // A 2x2 array of NAND gates shows gridding and suffixed names.
     let grid = ed.create_instance(nand)?;

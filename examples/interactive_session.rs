@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let gigi = riot::graphics::device::gigi();
     std::fs::write("out/fig1_gigi.ppm", gigi.render(&list).to_ppm())?;
-    println!("wrote out/fig1_gigi.ppm ({}, {} colors)", gigi.name(), gigi.palette().len());
+    println!(
+        "wrote out/fig1_gigi.ppm ({}, {} colors)",
+        gigi.name(),
+        gigi.palette().len()
+    );
 
     // Hardcopy on the HP 7221A.
     let plot = riot::graphics::plotter::plot(&list);

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all("out")?;
 
     println!("figure 9: filter logic connected two ways (4 bits)");
-    println!("{:<11} {:>9} {:>9} {:>13} {:>9}", "style", "width/λ", "height/λ", "area/λ²", "routing%");
+    println!(
+        "{:<11} {:>9} {:>9} {:>13} {:>9}",
+        "style", "width/λ", "height/λ", "area/λ²", "routing%"
+    );
     let mut reports = Vec::new();
     for style in [LogicStyle::Routed, LogicStyle::Stretched] {
         let logic = build_logic(4, style)?;
@@ -57,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flat = riot::cif::flatten(&cif)?;
     let list = riot::ui::render::flat_cif_ops(&flat);
     std::fs::write("out/fig10_chip.svg", to_svg(&list))?;
-    println!("wrote out/fig10_chip.cif and out/fig10_chip.svg ({} shapes)", flat.len());
+    println!(
+        "wrote out/fig10_chip.cif and out/fig10_chip.svg ({} shapes)",
+        flat.len()
+    );
     Ok(())
 }

@@ -180,10 +180,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_count = self.sample_count;
         BenchmarkGroup {
             _criterion: self,
             name: name.to_owned(),
-            sample_count: self.sample_count,
+            sample_count,
             throughput: None,
         }
     }

@@ -347,14 +347,17 @@ mod regex {
                 '[' => {
                     let mut ranges = Vec::new();
                     loop {
-                        let c = self
-                            .chars
-                            .next()
-                            .unwrap_or_else(|| panic!("regex shim: unclosed class in {:?}", self.src));
+                        let c = self.chars.next().unwrap_or_else(|| {
+                            panic!("regex shim: unclosed class in {:?}", self.src)
+                        });
                         if c == ']' {
                             break;
                         }
-                        let c = if c == '\\' { self.chars.next().expect("escape") } else { c };
+                        let c = if c == '\\' {
+                            self.chars.next().expect("escape")
+                        } else {
+                            c
+                        };
                         if self.chars.peek() == Some(&'-') {
                             let mut probe = self.chars.clone();
                             probe.next(); // the '-'
@@ -517,7 +520,10 @@ pub mod prop {
 
         impl From<Range<usize>> for SizeRange {
             fn from(r: Range<usize>) -> Self {
-                SizeRange { lo: r.start, hi: r.end }
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
             }
         }
 
@@ -662,7 +668,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *a != *b,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($a), stringify!($b), a
+            stringify!($a),
+            stringify!($b),
+            a
         );
     }};
 }

@@ -94,9 +94,15 @@ pub fn assemble_logic(
     bits: usize,
     style: LogicStyle,
 ) -> Result<(), RiotError> {
-    let sr_cell = lib.find("shiftcell").ok_or(RiotError::UnknownCell("shiftcell".into()))?;
-    let nand_cell = lib.find("nand2").ok_or(RiotError::UnknownCell("nand2".into()))?;
-    let or_cell = lib.find("or2").ok_or(RiotError::UnknownCell("or2".into()))?;
+    let sr_cell = lib
+        .find("shiftcell")
+        .ok_or(RiotError::UnknownCell("shiftcell".into()))?;
+    let nand_cell = lib
+        .find("nand2")
+        .ok_or(RiotError::UnknownCell("nand2".into()))?;
+    let or_cell = lib
+        .find("or2")
+        .ok_or(RiotError::UnknownCell("or2".into()))?;
 
     let mut ed = Editor::open(lib, cell_name)?;
 
@@ -108,9 +114,8 @@ pub fn assemble_logic(
     //    the OR gate.
     //    Row r takes its inputs from `below`: (instance, connector) of
     //    each signal, left to right, all on one top edge.
-    let mut below: Vec<(riot_core::InstanceId, String)> = (0..bits)
-        .map(|i| (sr, format!("TAP[{i},0]")))
-        .collect();
+    let mut below: Vec<(riot_core::InstanceId, String)> =
+        (0..bits).map(|i| (sr, format!("TAP[{i},0]"))).collect();
     let mut row = 0usize;
     while below.len() >= 2 {
         let gate_cell = if below.len() == 2 { or_cell } else { nand_cell };
@@ -124,10 +129,7 @@ pub fn assemble_logic(
             let parking = ed.current_extent()?;
             ed.translate_instance(
                 inst,
-                Point::new(
-                    (g as i64) * 40 * LAMBDA,
-                    parking.y1 + 20 * LAMBDA,
-                ),
+                Point::new((g as i64) * 40 * LAMBDA, parking.y1 + 20 * LAMBDA),
             )?;
             ed.connect(inst, "A", below[2 * g].0, &below[2 * g].1)?;
             ed.connect(inst, "B", below[2 * g + 1].0, &below[2 * g + 1].1)?;

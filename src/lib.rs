@@ -43,9 +43,9 @@ pub mod filter;
 
 pub use riot_cells as cells;
 pub use riot_cif as cif;
+pub use riot_core as core;
 pub use riot_drc as drc;
 pub use riot_extract as extract;
-pub use riot_core as core;
 pub use riot_geom as geom;
 pub use riot_graphics as graphics;
 pub use riot_rest as rest;

@@ -34,7 +34,8 @@ fn ledger_catches_accidental_moves_anywhere_in_a_chain() {
     let mut ed = Editor::open(&mut lib, "CHAIN").unwrap();
     // Nudge the middle stage: BOTH of its connections break.
     let mid = ed.find_instance("I1").unwrap();
-    ed.translate_instance(mid, Point::new(0, 2 * LAMBDA)).unwrap();
+    ed.translate_instance(mid, Point::new(0, 2 * LAMBDA))
+        .unwrap();
     let violations = ledger.check(&ed);
     assert_eq!(violations.len(), 2);
     for v in &violations {
@@ -51,7 +52,8 @@ fn route_connections_can_be_maintained_too() {
     let s = ed.create_instance(sr).unwrap();
     ed.replicate_instance(s, 2, 1).unwrap();
     let g = ed.create_instance(nand).unwrap();
-    ed.translate_instance(g, Point::new(0, 60 * LAMBDA)).unwrap();
+    ed.translate_instance(g, Point::new(0, 60 * LAMBDA))
+        .unwrap();
     ed.connect(g, "A", s, "TAP[0,0]").unwrap();
     ed.connect(g, "B", s, "TAP[1,0]").unwrap();
     let mut ledger = ConnectionLedger::new();

@@ -28,7 +28,9 @@ fn routed_assembly_has_only_the_known_corner_case() {
     assert!(v.len() <= 1, "routed logic regressed: {v:?}");
     for violation in &v {
         match violation {
-            Violation::Spacing { measured, required, .. } => {
+            Violation::Spacing {
+                measured, required, ..
+            } => {
                 assert_eq!(*measured, 500, "only the documented 2λ corner case");
                 assert_eq!(*required, 750);
             }
@@ -44,7 +46,8 @@ fn every_leaf_cell_is_drc_clean_alone() {
     lib.add_sticks_cell(riot::cells::shift_register()).unwrap();
     lib.add_sticks_cell(riot::cells::nand2()).unwrap();
     lib.add_sticks_cell(riot::cells::or2()).unwrap();
-    lib.add_sticks_cell(riot::cells::pipe_corner(riot::geom::Layer::Metal, 3)).unwrap();
+    lib.add_sticks_cell(riot::cells::pipe_corner(riot::geom::Layer::Metal, 3))
+        .unwrap();
     for (_, cell) in lib.iter() {
         let name = cell.name.clone();
         let shapes: Vec<riot::cif::FlatShape> = match &cell.kind {

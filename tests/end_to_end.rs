@@ -11,7 +11,10 @@ use riot::ui::{GraphicalCommand, InteractiveSession, TextualInterface};
 fn textual_then_graphical_then_export() {
     let mut env = TextualInterface::new();
     env.put_file("pads.cif", riot::cells::pads_cif());
-    env.put_file("sr.st", riot::sticks::to_text(&riot::cells::shift_register()));
+    env.put_file(
+        "sr.st",
+        riot::sticks::to_text(&riot::cells::shift_register()),
+    );
     env.execute("read pads.cif").unwrap();
     env.execute("read sr.st").unwrap();
     let Response::EnterEditor(cell) = env.execute("edit TOP").unwrap() else {
@@ -37,7 +40,10 @@ fn textual_then_graphical_then_export() {
     let saved = env.file("session.comp").unwrap().to_owned();
     let mut env2 = TextualInterface::new();
     env2.put_file("pads.cif", riot::cells::pads_cif());
-    env2.put_file("sr.st", riot::sticks::to_text(&riot::cells::shift_register()));
+    env2.put_file(
+        "sr.st",
+        riot::sticks::to_text(&riot::cells::shift_register()),
+    );
     env2.put_file("session.comp", saved);
     env2.execute("read pads.cif").unwrap();
     env2.execute("read sr.st").unwrap();
@@ -58,7 +64,10 @@ fn both_devices_render_the_filter() {
     let mut lib = logic.lib;
     let ed = Editor::open(&mut lib, &logic.cell).unwrap();
     let list = riot::ui::render::editor_ops(&ed, Default::default()).unwrap();
-    for device in [riot::graphics::device::charles(), riot::graphics::device::gigi()] {
+    for device in [
+        riot::graphics::device::charles(),
+        riot::graphics::device::gigi(),
+    ] {
         let fb = device.render(&list);
         assert!(
             fb.lit_pixels() > 500,

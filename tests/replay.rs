@@ -64,7 +64,10 @@ fn replay_reconnects_after_leaf_change() {
     let ain = ed.world_connector(b, "A").unwrap();
     assert_eq!(out.location, ain.location, "connection re-made by name");
     // And it is at the v2 connector geometry, not v1's.
-    assert_eq!(out.location.y - ed.instance_bbox(a).unwrap().y0, 22 * LAMBDA);
+    assert_eq!(
+        out.location.y - ed.instance_bbox(a).unwrap().y0,
+        22 * LAMBDA
+    );
     let _ = ed.take_warnings();
 }
 
@@ -120,7 +123,8 @@ end
         let mut ed = Editor::open(&mut lib, "TOP").unwrap();
         let d = ed.create_instance(d_cell).unwrap();
         let r = ed.create_instance(r_cell).unwrap();
-        ed.translate_instance(r, Point::new(40 * LAMBDA, 0)).unwrap();
+        ed.translate_instance(r, Point::new(40 * LAMBDA, 0))
+            .unwrap();
         ed.connect(r, "A", d, "X").unwrap();
         ed.connect(r, "B", d, "Y").unwrap();
         ed.stretch(Default::default()).unwrap();

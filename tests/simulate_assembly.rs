@@ -26,7 +26,8 @@ fn build_tree(style: LogicStyle) -> Library {
         ed.connect(n1, "PWRL", n0, "PWRR").unwrap();
         ed.abut(AbutOptions::default()).unwrap();
         let o = ed.create_instance(or).unwrap();
-        ed.translate_instance(o, Point::new(0, 60 * LAMBDA)).unwrap();
+        ed.translate_instance(o, Point::new(0, 60 * LAMBDA))
+            .unwrap();
         ed.connect(o, "A", n0, "OUT").unwrap();
         ed.connect(o, "B", n1, "OUT").unwrap();
         match style {
@@ -88,13 +89,15 @@ fn tree_function(style: LogicStyle) -> Vec<Level> {
         .clone();
     let mut results = Vec::new();
     for bits in 0..16u32 {
-        let lv = |b: u32| if (bits >> b) & 1 == 1 { Level::High } else { Level::Low };
-        let mut assigns: Vec<(&str, Level)> = vec![
-            ("A", lv(0)),
-            ("B", lv(1)),
-            ("A'", lv(2)),
-            ("B'", lv(3)),
-        ];
+        let lv = |b: u32| {
+            if (bits >> b) & 1 == 1 {
+                Level::High
+            } else {
+                Level::Low
+            }
+        };
+        let mut assigns: Vec<(&str, Level)> =
+            vec![("A", lv(0)), ("B", lv(1)), ("A'", lv(2)), ("B'", lv(3))];
         for (name, _, _, level) in &probes {
             assigns.push((name.as_str(), *level));
         }
@@ -112,7 +115,7 @@ fn assembled_tree_computes_nor_of_nands_when_stretched() {
         let b = (bits >> 1) & 1 == 1;
         let c = (bits >> 2) & 1 == 1;
         let d = (bits >> 3) & 1 == 1;
-        let expect = !(!(a && b) || !(c && d)); // NOR of the two NANDs
+        let expect = a && b && c && d; // NOR of the two NANDs: both NAND outputs low
         let expect = if expect { Level::High } else { Level::Low };
         assert_eq!(
             got[bits as usize], expect,
