@@ -14,20 +14,43 @@ use riot::ui::render::{editor_ops, flat_cif_ops, leaf_geometry_ops, RenderOption
 use riot::ui::{GraphicalCommand, InteractiveSession};
 use std::path::Path;
 
+type Step = fn(&Path) -> Result<(), Box<dyn std::error::Error>>;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dir = Path::new("out/figures");
     std::fs::create_dir_all(dir)?;
-    fig1(dir)?;
-    fig2(dir)?;
-    fig3(dir)?;
-    fig4(dir)?;
-    fig5(dir)?;
-    fig6(dir)?;
-    fig7(dir)?;
-    fig8(dir)?;
-    fig9(dir)?;
-    fig10(dir)?;
-    verify()?;
+    let steps: [(&str, Step); 11] = [
+        ("figure 1", fig1),
+        ("figure 2", fig2),
+        ("figure 3", fig3),
+        ("figure 4", fig4),
+        ("figure 5", fig5),
+        ("figure 6", fig6),
+        ("figure 7", fig7),
+        ("figure 8", fig8),
+        ("figure 9", fig9),
+        ("figure 10", fig10),
+        ("verification", |_| verify()),
+    ];
+    let mut timings = Vec::with_capacity(steps.len());
+    for (name, step) in steps {
+        let t0 = std::time::Instant::now();
+        step(dir)?;
+        timings.push((name, t0.elapsed()));
+    }
+    println!("\n== generation timings ==");
+    let total: std::time::Duration = timings.iter().map(|&(_, d)| d).sum();
+    for (name, d) in &timings {
+        println!(
+            "  {name:<14} {}",
+            riot::trace::export::fmt_ns(d.as_nanos() as u64)
+        );
+    }
+    println!(
+        "  {:<14} {}",
+        "total",
+        riot::trace::export::fmt_ns(total.as_nanos() as u64)
+    );
     println!("\nall figures regenerated under {}", dir.display());
     Ok(())
 }

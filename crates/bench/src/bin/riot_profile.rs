@@ -1,0 +1,293 @@
+//! `riot-profile`: replay a command journal under tracing and report
+//! per-command-kind latency.
+//!
+//! ```text
+//! riot-profile <journal.replay> [--json PATH] [--chrome PATH]
+//! riot-profile gen [PATH]
+//! ```
+//!
+//! The first form replays the journal against the built-in standard
+//! cell library with `riot-trace` enabled, prints a latency table
+//! (count / total / p50 / p99 per command kind), and writes
+//! `BENCH_profile.json` with the schema
+//! `{command_kind: {count, total_ns, p50_ns, p99_ns}}`. `--chrome`
+//! additionally writes a Chrome `trace_event` JSON loadable in
+//! `chrome://tracing` or Perfetto.
+//!
+//! The `gen` form records a representative editing session — abutment
+//! chain, river route, stretch, undo/redo, finish — and writes it as a
+//! replay journal (default `examples/profile_session.replay`), which is
+//! exactly the artifact the CI profile smoke step replays.
+
+use riot::core::{replay, AbutOptions, Editor, Journal, Library, RouteOptions, StretchOptions};
+use riot::geom::{Point, LAMBDA};
+use riot::trace::export::fmt_ns;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// A two-output driver leaf: pins `X`/`Y` on the right edge, 8λ apart.
+const DRIVER: &str = "\
+sticks driver
+bbox 0 0 10 20
+pin X right NP 10 6 2
+pin Y right NP 10 14 2
+wire NP 2 0 6 10 6
+wire NP 2 0 14 10 14
+end
+";
+
+/// A two-input receiver leaf: pins `A`/`B` on the left edge, 6λ apart.
+const RECEIVER: &str = "\
+sticks receiver
+bbox 0 0 12 24
+pin A left NP 0 6 2
+pin B left NP 0 12 2
+wire NP 2 0 6 8 6
+wire NP 2 0 12 8 12
+end
+";
+
+/// The fixed cell menu every profile run starts from. Journals replayed
+/// by this tool may reference any of these cells by name.
+fn standard_library() -> Library {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot::cells::shift_register())
+        .expect("standard cell loads");
+    lib.add_sticks_cell(riot::cells::nand2())
+        .expect("standard cell loads");
+    lib.add_sticks_cell(riot::cells::or2())
+        .expect("standard cell loads");
+    lib.load_sticks(DRIVER).expect("driver loads");
+    lib.load_sticks(RECEIVER).expect("receiver loads");
+    lib
+}
+
+/// Records the canonical profile session: an abutted shift-register
+/// chain, a river route, a stretch connection, an undo/redo pair, and
+/// the finishing pass.
+fn record_session() -> Result<Journal, Box<dyn std::error::Error>> {
+    let mut lib = standard_library();
+    let sr = lib.find("shiftcell").ok_or("shiftcell missing")?;
+    let drv = lib.find("driver").ok_or("driver missing")?;
+    let rcv = lib.find("receiver").ok_or("receiver missing")?;
+
+    let mut ed = Editor::open(&mut lib, "PROFILE")?;
+
+    // A 4-stage shift-register chain, connected by abutment.
+    let mut prev = ed.create_instance(sr)?;
+    for k in 1..4 {
+        let next = ed.create_instance(sr)?;
+        ed.translate_instance(next, Point::new(30 * k * LAMBDA, 0))?;
+        ed.connect(next, "SI", prev, "SO")?;
+        ed.abut(AbutOptions::default())?;
+        prev = next;
+    }
+
+    // A river route between a driver/receiver pair above the chain.
+    let d1 = ed.create_instance(drv)?;
+    ed.translate_instance(d1, Point::new(0, 100 * LAMBDA))?;
+    let r1 = ed.create_instance(rcv)?;
+    ed.translate_instance(r1, Point::new(40 * LAMBDA, 107 * LAMBDA))?;
+    ed.connect(r1, "A", d1, "X")?;
+    ed.route(RouteOptions::default())?;
+
+    // A stretch connection on a second pair: the receiver's pins grow
+    // apart to meet the driver's.
+    let d2 = ed.create_instance(drv)?;
+    ed.translate_instance(d2, Point::new(0, 200 * LAMBDA))?;
+    let r2 = ed.create_instance(rcv)?;
+    ed.translate_instance(r2, Point::new(40 * LAMBDA, 200 * LAMBDA))?;
+    ed.connect(r2, "A", d2, "X")?;
+    ed.connect(r2, "B", d2, "Y")?;
+    ed.stretch(StretchOptions::default())?;
+
+    // Exercise the history machinery.
+    ed.translate_instance(d2, Point::new(0, 2 * LAMBDA))?;
+    ed.undo()?;
+    ed.redo()?;
+
+    ed.finish()?;
+    Ok(ed.journal().clone())
+}
+
+/// One aggregated row of the per-kind latency report.
+struct KindRow {
+    kind: String,
+    count: u64,
+    total_ns: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+/// Reads every `cmd.*` histogram out of the registry.
+fn aggregate() -> Vec<KindRow> {
+    let mut rows: Vec<KindRow> = riot::trace::registry()
+        .histograms()
+        .into_iter()
+        .filter_map(|(name, h)| {
+            let kind = name.strip_prefix("cmd.")?;
+            if h.count() == 0 {
+                return None;
+            }
+            Some(KindRow {
+                kind: kind.to_owned(),
+                count: h.count(),
+                total_ns: h.sum(),
+                p50_ns: h.p50().unwrap_or(0),
+                p99_ns: h.p99().unwrap_or(0),
+            })
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.total_ns));
+    rows
+}
+
+fn table(rows: &[KindRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>10} {:>10} {:>10}",
+        "command", "count", "total", "p50", "p99"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>10} {:>10} {:>10}",
+            r.kind,
+            r.count,
+            fmt_ns(r.total_ns),
+            fmt_ns(r.p50_ns),
+            fmt_ns(r.p99_ns),
+        );
+    }
+    out
+}
+
+fn profile_json(rows: &[KindRow]) -> String {
+    let mut out = String::from("{");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  \"{}\": {{\"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+            riot::trace::export::escape_json(&r.kind),
+            r.count,
+            r.total_ns,
+            r.p50_ns,
+            r.p99_ns,
+        );
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: riot-profile <journal.replay> [--json PATH] [--chrome PATH]\n       riot-profile gen [PATH]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+
+    if args[0] == "gen" {
+        let path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("examples/profile_session.replay");
+        let journal = match record_session() {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("riot-profile: session recording failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, journal.to_text()) {
+            eprintln!("riot-profile: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} commands)", journal.commands().len());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut journal_path: Option<&str> = None;
+    let mut json_path = "BENCH_profile.json".to_owned();
+    let mut chrome_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = p.clone(),
+                None => return usage(),
+            },
+            "--chrome" => match it.next() {
+                Some(p) => chrome_path = Some(p.clone()),
+                None => return usage(),
+            },
+            p if journal_path.is_none() => journal_path = Some(p),
+            _ => return usage(),
+        }
+    }
+    let Some(journal_path) = journal_path else {
+        return usage();
+    };
+
+    let text = match std::fs::read_to_string(journal_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("riot-profile: cannot read {journal_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal = match Journal::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("riot-profile: bad journal {journal_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    riot::trace::reset();
+    riot::trace::enable(true);
+    let mut lib = standard_library();
+    let replay_result = replay(&journal, &mut lib);
+    riot::trace::enable(false);
+    let warnings = match replay_result {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("riot-profile: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+
+    let rows = aggregate();
+    print!("{}", table(&rows));
+    let json = profile_json(&rows);
+    if let Err(e) = std::fs::write(&json_path, &json) {
+        eprintln!("riot-profile: cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {json_path}");
+    if let Some(p) = chrome_path {
+        if let Err(e) = std::fs::write(&p, riot::trace::chrome_trace()) {
+            eprintln!("riot-profile: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {p}");
+    }
+
+    if rows.is_empty() {
+        eprintln!("riot-profile: journal produced no command spans");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -28,6 +28,7 @@ pub struct FlatShape {
 /// hierarchy is deeper than 64 levels (which in a well-formed separated
 /// hierarchy means a definition cycle).
 pub fn flatten(file: &CifFile) -> Result<Vec<FlatShape>, ParseCifError> {
+    let mut sp = riot_trace::span!("cif.flatten");
     let mut out = Vec::new();
     for shape in file.top_shapes() {
         out.push(FlatShape {
@@ -39,6 +40,7 @@ pub fn flatten(file: &CifFile) -> Result<Vec<FlatShape>, ParseCifError> {
     for call in file.top_calls() {
         flatten_cell(file, call.cell, call.transform, 1, &mut out)?;
     }
+    sp.field("shapes", out.len() as u64);
     Ok(out)
 }
 

@@ -13,7 +13,9 @@ use riot_geom::Point;
 /// Returns [`ParseCifError`] on any lexical, syntactic or semantic
 /// violation (unknown layer, undefined symbol, non-Manhattan rotation…).
 pub fn parse(text: &str) -> Result<CifFile, ParseCifError> {
+    let mut sp = riot_trace::span!("cif.parse", bytes = text.len() as u64);
     let commands = parse_commands(text)?;
+    sp.field("commands", commands.len() as u64);
     CifFile::from_commands(commands)
 }
 

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 /// followed by top-level geometry and calls, and the `E` end marker.
 /// The output parses back to an equal model (round-trip property tested).
 pub fn to_text(file: &CifFile) -> String {
+    let mut sp = riot_trace::span!("cif.write", cells = file.cells().len() as u64);
     let mut out = String::new();
     for cell in file.cells() {
         let _ = writeln!(out, "DS {} 1 1;", cell.id);
@@ -35,6 +36,7 @@ pub fn to_text(file: &CifFile) -> String {
         let _ = writeln!(out, "C {}{};", call.cell, transform_text(call.transform));
     }
     out.push_str("E\n");
+    sp.field("bytes", out.len() as u64);
     out
 }
 

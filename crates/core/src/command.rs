@@ -166,6 +166,58 @@ pub(crate) struct CommandEffect {
 }
 
 impl Command {
+    /// A short static name for this command's kind (`"abut"`,
+    /// `"route"`, `"stretch"`, …) — the key the replay profiler and the
+    /// metrics registry aggregate by.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Command::Edit { .. } => "edit",
+            Command::Create { .. } => "create",
+            Command::Translate { .. } => "translate",
+            Command::Orient { .. } => "orient",
+            Command::Replicate { .. } => "replicate",
+            Command::Spacing { .. } => "spacing",
+            Command::Delete { .. } => "delete",
+            Command::Connect { .. } => "connect",
+            Command::RemovePending { .. } => "remove_pending",
+            Command::ClearPending => "clear_pending",
+            Command::Abut { .. } => "abut",
+            Command::AbutInstances { .. } => "abut_instances",
+            Command::Route { .. } => "route",
+            Command::Stretch { .. } => "stretch",
+            Command::BringOut { .. } => "bring_out",
+            Command::Finish => "finish",
+            Command::Undo => "undo",
+            Command::Redo => "redo",
+        }
+    }
+
+    /// The span name the engine opens while applying this command:
+    /// `"cmd."` + [`Command::kind_name`]. Static so span fields stay
+    /// allocation-free.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            Command::Edit { .. } => "cmd.edit",
+            Command::Create { .. } => "cmd.create",
+            Command::Translate { .. } => "cmd.translate",
+            Command::Orient { .. } => "cmd.orient",
+            Command::Replicate { .. } => "cmd.replicate",
+            Command::Spacing { .. } => "cmd.spacing",
+            Command::Delete { .. } => "cmd.delete",
+            Command::Connect { .. } => "cmd.connect",
+            Command::RemovePending { .. } => "cmd.remove_pending",
+            Command::ClearPending => "cmd.clear_pending",
+            Command::Abut { .. } => "cmd.abut",
+            Command::AbutInstances { .. } => "cmd.abut_instances",
+            Command::Route { .. } => "cmd.route",
+            Command::Stretch { .. } => "cmd.stretch",
+            Command::BringOut { .. } => "cmd.bring_out",
+            Command::Finish => "cmd.finish",
+            Command::Undo => "cmd.undo",
+            Command::Redo => "cmd.redo",
+        }
+    }
+
     /// Whether applying this command interleaves mutation with fallible
     /// work and therefore needs a transaction snapshot. Simple commands
     /// validate everything before mutating and need none.
@@ -239,5 +291,29 @@ mod tests {
         }
         .is_compound());
         assert!(!Command::Undo.is_compound());
+    }
+
+    #[test]
+    fn span_names_are_prefixed_kind_names() {
+        let cmds = [
+            Command::Finish,
+            Command::Abut { overlap: true },
+            Command::Route {
+                move_from: true,
+                router: RouterOptions::new(),
+            },
+            Command::Stretch {
+                mode: SolveMode::PreserveGaps,
+            },
+            Command::Undo,
+            Command::Translate {
+                instance: "I0".into(),
+                d: Point::new(0, 0),
+            },
+        ];
+        for c in &cmds {
+            assert_eq!(c.span_name(), format!("cmd.{}", c.kind_name()));
+        }
+        assert_eq!(Command::Abut { overlap: false }.kind_name(), "abut");
     }
 }

@@ -227,6 +227,7 @@ end
         ed.connect(b, "A", a, "OUT").unwrap();
         ed.abut(AbutOptions::default()).unwrap();
         ed.finish().unwrap();
+        drop(ed);
         lib
     }
 

@@ -120,6 +120,9 @@ impl<'a> Editor<'a> {
     ///
     /// [`RiotError::NotComposition`] when `name` exists but is a leaf.
     pub fn open(lib: &'a mut Library, name: &str) -> Result<Self, RiotError> {
+        // Honor `RIOT_TRACE=...` for any session, interactive or
+        // replayed; cheap after the first call.
+        riot_trace::init_from_env();
         let cell = match lib.find(name) {
             Some(id) => {
                 if !lib.cell(id)?.is_composition() {
@@ -191,8 +194,12 @@ impl<'a> Editor<'a> {
         cmd: &Command,
         journal_as: Option<Command>,
     ) -> Result<Outcome, RiotError> {
+        let mut sp = riot_trace::span(cmd.span_name());
         let t0 = std::time::Instant::now();
-        let snap = cmd.is_compound().then(|| self.snapshot());
+        let snap = cmd.is_compound().then(|| {
+            let _sp = riot_trace::span("txn.snapshot");
+            self.snapshot()
+        });
         match cmd.apply(self) {
             Ok(effect) => {
                 let CommandEffect {
@@ -213,13 +220,21 @@ impl<'a> Editor<'a> {
                 self.journal.record(journal_as.unwrap_or(journal));
                 self.stats.applied += 1;
                 self.stats.apply_nanos += t0.elapsed().as_nanos() as u64;
+                mark("core.cmd.applied");
                 Ok(outcome)
             }
             Err(e) => {
+                sp.field("rollback", 1);
                 if let Some(snap) = snap {
+                    let _sp = riot_trace::span("txn.restore");
                     self.restore_snapshot(snap);
                     self.stats.rollbacks += 1;
+                    mark("core.cmd.rollbacks");
                 }
+                // Failed applications cost real time too; accrue it so
+                // `Stats::apply_nanos` reflects every trip through the
+                // engine, not just the happy path.
+                self.stats.apply_nanos += t0.elapsed().as_nanos() as u64;
                 Err(e)
             }
         }
@@ -237,10 +252,12 @@ impl<'a> Editor<'a> {
         let Some(applied) = self.history.pop_undo() else {
             return Ok(false);
         };
+        let _sp = riot_trace::span("cmd.undo");
         self.revert(applied.undo);
         self.history.push_redo(applied.command);
         self.journal.record(Command::Undo);
         self.stats.undos += 1;
+        mark("core.cmd.undos");
         Ok(true)
     }
 
@@ -255,9 +272,11 @@ impl<'a> Editor<'a> {
         let Some(cmd) = self.history.pop_redo() else {
             return Ok(false);
         };
+        let _sp = riot_trace::span("cmd.redo");
         match self.apply_and_record(&cmd, Some(Command::Redo)) {
             Ok(_) => {
                 self.stats.redos += 1;
+                mark("core.cmd.redos");
                 Ok(true)
             }
             Err(e) => {
@@ -338,6 +357,7 @@ impl<'a> Editor<'a> {
     /// caches, and queues the event for [`Editor::drain_events`].
     pub(crate) fn emit(&mut self, event: ChangeEvent) {
         self.stats.events += 1;
+        mark("core.events");
         self.cache.invalidate(&event);
         if self.events.len() >= MAX_QUEUED_EVENTS {
             let drop = self.events.len() / 2;
@@ -622,6 +642,33 @@ impl<'a> Editor<'a> {
             ));
         }
         Ok((cm + LAMBDA / 2).div_euclid(LAMBDA))
+    }
+}
+
+impl Drop for Editor<'_> {
+    /// Mirrors the session's exact per-editor counters into the global
+    /// metrics registry (when tracing is enabled) and honors the
+    /// `RIOT_TRACE` environment sink, so
+    /// `RIOT_TRACE=chrome:/tmp/t.json cargo run --example quickstart`
+    /// produces a trace with no code changes.
+    fn drop(&mut self) {
+        if riot_trace::enabled() {
+            let s = self.stats();
+            let reg = riot_trace::registry();
+            reg.gauge("core.cache.hits").set(s.cache_hits as i64);
+            reg.gauge("core.cache.misses").set(s.cache_misses as i64);
+            reg.gauge("core.apply_nanos").set(s.apply_nanos as i64);
+        }
+        riot_trace::dump_from_env();
+    }
+}
+
+/// Mirrors one engine counter into the global metrics registry. Gated
+/// on [`riot_trace::enabled`] so untraced sessions pay one relaxed
+/// atomic load; the per-session [`Stats`] stay exact either way.
+fn mark(name: &'static str) {
+    if riot_trace::enabled() {
+        riot_trace::registry().counter(name).inc();
     }
 }
 

@@ -81,6 +81,7 @@ fn connect_validates_layers_and_sides() {
         Err(RiotError::LayerMismatch { .. })
     ));
     // Two left-side connectors (gate.A to gate.B) are not opposed.
+    drop(ed);
     let mut ed2 = Editor::open(&mut lib, "TOP2").unwrap();
     let g2 = ed2.create_instance(gate).unwrap();
     let g3 = ed2.create_instance(gate).unwrap();

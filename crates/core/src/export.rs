@@ -107,6 +107,7 @@ end
         ed.replicate_instance(i, 2, 1).unwrap();
         ed.translate_instance(i, Point::new(5 * LAMBDA, 0)).unwrap();
         ed.finish().unwrap();
+        drop(ed);
         lib
     }
 

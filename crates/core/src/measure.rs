@@ -117,6 +117,7 @@ end
         ed.connect(b, "A", a, "OUT").unwrap();
         ed.route(RouteOptions::default()).unwrap();
         ed.finish().unwrap();
+        drop(ed);
         let report = measure(&lib, "TOP").unwrap();
         assert_eq!(report.instances, 3);
         assert_eq!(report.route_instances, 1);

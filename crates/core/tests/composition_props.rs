@@ -67,6 +67,7 @@ fn build(placements: &[Placement]) -> Library {
         ed.replicate_instance(id, p.cols, p.rows).unwrap();
     }
     ed.finish().unwrap();
+    drop(ed);
     lib
 }
 

@@ -189,6 +189,7 @@ mod tests {
         ed.connect(b, "SI", a, "SO").unwrap();
         ed.abut(AbutOptions::default()).unwrap();
         ed.finish().unwrap();
+        drop(ed);
         let flat = flatten_to_sticks(&lib, "PAIR").unwrap();
         flat.validate().unwrap();
         let one = riot_cells::shift_register();
@@ -207,6 +208,7 @@ mod tests {
         let mut ed = Editor::open(&mut lib, "P").unwrap();
         ed.create_instance(pad).unwrap();
         ed.finish().unwrap();
+        drop(ed);
         assert!(matches!(
             flatten_to_sticks(&lib, "P"),
             Err(FlattenError::CifLeaf(_))
@@ -235,6 +237,7 @@ mod tests {
         let i = ed.create_instance(sr).unwrap();
         ed.replicate_instance(i, 4, 1).unwrap();
         ed.finish().unwrap();
+        drop(ed);
         let flat = flatten_to_sticks(&lib, "ARR").unwrap();
         let one = riot_cells::shift_register();
         assert_eq!(flat.devices().len(), 4 * one.devices().len());

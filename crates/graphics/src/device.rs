@@ -50,6 +50,7 @@ impl Device {
     /// Renders a display list at the device's resolution with its
     /// palette, fitting the whole list on screen.
     pub fn render(&self, list: &DisplayList) -> Framebuffer {
+        let _sp = riot_trace::span!("gfx.render", ops = list.ops().len() as u64);
         let mut fb = self.framebuffer();
         if let Some(bb) = list.bounding_box() {
             let vp = Viewport::fit(bb, self.width, self.height);

@@ -150,6 +150,11 @@ impl ColumnSolver {
     ///
     /// [`columns`]: ColumnSolver::columns
     pub fn solve(&self) -> Result<Vec<i64>, SolveRestError> {
+        let _sp = riot_trace::span!(
+            "rest.solve",
+            columns = self.columns.len() as u64,
+            edges = self.edges.len() as u64,
+        );
         let n = self.columns.len();
         if n == 0 {
             return Ok(Vec::new());

@@ -78,6 +78,7 @@ pub fn stretch_with_mode(
     spec: &StretchSpec,
     mode: SolveMode,
 ) -> Result<SticksCell, SolveRestError> {
+    let _sp = riot_trace::span!("rest.stretch", targets = spec.targets().len() as u64);
     let axis = spec.axis();
     let mut solver = build_solver(cell, axis, mode);
     for (pin_name, target) in spec.targets() {
@@ -92,7 +93,7 @@ pub fn stretch_with_mode(
     }
     let solution = solver.solve()?;
     let map = solver.mapping(&solution);
-    let out = rebuild(cell, axis, &map);
+    let out = rebuild(cell, axis, &map)?;
     out.validate()
         .map_err(|e| SolveRestError::Rebuild(e.to_string()))?;
     Ok(out)
@@ -107,10 +108,11 @@ pub fn stretch_with_mode(
 /// Only [`SolveRestError::Rebuild`] — a rule set that breaks the cell's
 /// own invariants, which indicates a bug rather than a user error.
 pub fn compact(cell: &SticksCell, axis: Axis) -> Result<SticksCell, SolveRestError> {
+    let _sp = riot_trace::span!("rest.compact");
     let solver = build_solver(cell, axis, SolveMode::DesignRules);
     let solution = solver.solve()?;
     let map = solver.mapping(&solution);
-    let out = rebuild(cell, axis, &map);
+    let out = rebuild(cell, axis, &map)?;
     out.validate()
         .map_err(|e| SolveRestError::Rebuild(e.to_string()))?;
     Ok(out)
@@ -143,7 +145,7 @@ fn build_solver(cell: &SticksCell, axis: Axis, mode: SolveMode) -> ColumnSolver 
     solver
 }
 
-fn rebuild(cell: &SticksCell, axis: Axis, map: &CoordMap) -> SticksCell {
+fn rebuild(cell: &SticksCell, axis: Axis, map: &CoordMap) -> Result<SticksCell, SolveRestError> {
     let mp = |p: Point| match axis {
         Axis::X => Point::new(map.map(p.x), p.y),
         Axis::Y => Point::new(p.x, map.map(p.y)),
@@ -161,10 +163,14 @@ fn rebuild(cell: &SticksCell, axis: Axis, map: &CoordMap) -> SticksCell {
     }
     for wire in cell.wires() {
         let pts: Vec<Point> = wire.path.points().iter().map(|&p| mp(p)).collect();
+        // A monotone remap preserves Manhattan paths; a failure here is
+        // a solver bug, surfaced as a typed error rather than a panic.
+        let path = Path::from_points(pts)
+            .map_err(|e| SolveRestError::Rebuild(format!("remapped wire is invalid: {e}")))?;
         out.push_wire(SymWire {
             layer: wire.layer,
             width: wire.width,
-            path: Path::from_points(pts).expect("monotone remap preserves Manhattan paths"),
+            path,
         });
     }
     for d in cell.devices() {
@@ -177,7 +183,7 @@ fn rebuild(cell: &SticksCell, axis: Axis, map: &CoordMap) -> SticksCell {
         c.position = mp(c.position);
         out.push_contact(c);
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -56,6 +56,13 @@ pub enum RouteError {
         /// Lambda available.
         available: i64,
     },
+    /// A router invariant failed while emitting geometry. This is a bug
+    /// in the router, not in the input — but it surfaces as an error so
+    /// a malformed problem can never panic an interactive session.
+    Internal {
+        /// Which invariant broke.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -90,6 +97,9 @@ impl fmt::Display for RouteError {
                 f,
                 "route needs a {needed} lambda channel but only {available} is available"
             ),
+            RouteError::Internal { context } => {
+                write!(f, "router invariant violated ({context}); please report")
+            }
         }
     }
 }

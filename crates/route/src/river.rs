@@ -77,6 +77,7 @@ struct Net {
 /// nets (not a river route), terminals closer than design rules, bad
 /// widths, or an empty problem.
 pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
+    let mut sp = riot_trace::span!("route.river", nets = problem.bottom.len() as u64);
     let RouteProblem {
         bottom,
         top,
@@ -210,11 +211,15 @@ pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
             .iter()
             .find(|(l, _, _)| *l == b.layer)
             .copied()
-            .expect("layer geometry computed above");
+            .ok_or(RouteError::Internal {
+                context: "layer geometry missing for a routed net",
+            })?;
         let width = b.width.max(t.width);
         let path = match track {
             None => Path::from_points([Point::new(b.offset, 0), Point::new(b.offset, height)])
-                .expect("vertical"),
+                .map_err(|_| RouteError::Internal {
+                    context: "degenerate straight-through wire",
+                })?,
             Some(tr) => {
                 let y = track_y(tr, options.margin, pitch, maxw, cap, options.channel_gap);
                 Path::from_points([
@@ -223,7 +228,9 @@ pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
                     Point::new(t.offset, y),
                     Point::new(t.offset, height),
                 ])
-                .expect("jogged Manhattan path")
+                .map_err(|_| RouteError::Internal {
+                    context: "non-Manhattan jog path",
+                })?
             }
         };
         wires[index] = Some(RoutedWire {
@@ -236,11 +243,18 @@ pub fn river_route(problem: &RouteProblem) -> Result<RiverRoute, RouteError> {
         });
     }
 
+    let wires = wires
+        .into_iter()
+        .map(|w| {
+            w.ok_or(RouteError::Internal {
+                context: "a net was never assigned a wire",
+            })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    sp.field("tracks", tracks_max as u64);
+    sp.field("channels", channels_max as u64);
     Ok(RiverRoute {
-        wires: wires
-            .into_iter()
-            .map(|w| w.expect("every net routed"))
-            .collect(),
+        wires,
         height,
         tracks: tracks_max,
         channels: channels_max,

@@ -26,6 +26,7 @@ pub fn straight_route(
     length: i64,
     name: impl Into<String>,
 ) -> Result<SticksCell, RouteError> {
+    let _sp = riot_trace::span!("route.straight", terminals = terminals.len() as u64);
     if terminals.is_empty() {
         return Err(RouteError::Empty);
     }
@@ -60,9 +61,23 @@ pub fn straight_route(
         }
     }
 
-    let xmin = terminals.iter().map(|t| t.offset).min().expect("nonempty");
-    let xmax = terminals.iter().map(|t| t.offset).max().expect("nonempty");
-    let wmax = terminals.iter().map(|t| t.width).max().expect("nonempty");
+    // The emptiness check above guarantees these; keep them typed so a
+    // regression there can never panic a session.
+    let xmin = terminals
+        .iter()
+        .map(|t| t.offset)
+        .min()
+        .ok_or(RouteError::Empty)?;
+    let xmax = terminals
+        .iter()
+        .map(|t| t.offset)
+        .max()
+        .ok_or(RouteError::Empty)?;
+    let wmax = terminals
+        .iter()
+        .map(|t| t.width)
+        .max()
+        .ok_or(RouteError::Empty)?;
     let pad = wmax / 2 + 2;
     let bbox = Rect::new(xmin - pad, 0, xmax + pad, length);
     let mut cell = SticksCell::new(name, bbox);
@@ -88,7 +103,9 @@ pub fn straight_route(
             layer: t.layer,
             width: t.width,
             path: Path::from_points([Point::new(t.offset, 0), Point::new(t.offset, length)])
-                .expect("vertical"),
+                .map_err(|_| RouteError::Internal {
+                    context: "degenerate bring-out wire",
+                })?,
         });
     }
     Ok(cell)

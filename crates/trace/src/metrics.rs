@@ -1,0 +1,387 @@
+//! The metrics registry: named counters, gauges, and log2-bucket
+//! latency histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s of pure
+//! atomics: after the first registration of a name, updates are
+//! lock-free and wait-free. Cache the handle when a site is hot;
+//! re-looking a name up costs one `RwLock` read and one hash.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of log2 buckets ([`Histogram`] covers the whole `u64` range).
+pub const BUCKETS: usize = 64;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d`.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-log2-bucket histogram for latencies in nanoseconds.
+///
+/// Bucket `i` holds values `v` with `floor(log2(max(v,1))) == i`, i.e.
+/// the half-open range `[2^i, 2^(i+1))`, with bucket 0 also absorbing
+/// `v == 0`. Percentiles are estimated as the **upper bound** of the
+/// bucket where the requested rank falls — a conservative (never
+/// under-reporting) estimate with ≤2x resolution, plenty for latency
+/// work where the interesting differences are order-of-magnitude.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        63 - (v | 1).leading_zeros() as usize
+    }
+
+    /// Inclusive `(low, high)` value bounds of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// When `i >= BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS);
+        let low = if i == 0 { 0 } else { 1u64 << i };
+        let high = if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        };
+        (low, high)
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    /// Largest exact observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Mean of observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the rank-`ceil(q*count)` observation, clamped to
+    /// the exact observed max. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                let (_, high) = Self::bucket_bounds(i);
+                return Some(high.min(self.max.load(Ordering::Relaxed)));
+            }
+        }
+        self.max()
+    }
+
+    /// p50 (median) estimate.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// p95 estimate.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// p99 estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// Non-empty `(bucket_low, bucket_high, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        (0..BUCKETS)
+            .filter_map(|i| {
+                let c = self.buckets[i].load(Ordering::Relaxed);
+                (c > 0).then(|| {
+                    let (lo, hi) = Self::bucket_bounds(i);
+                    (lo, hi, c)
+                })
+            })
+            .collect()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The named-metric registry. Obtain the global one with [`registry`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<HashMap<String, Arc<Counter>>>,
+    gauges: RwLock<HashMap<String, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<HashMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("registry lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("registry lock");
+    Arc::clone(w.entry(name.to_owned()).or_default())
+}
+
+fn sorted_snapshot<T, V>(
+    map: &RwLock<HashMap<String, Arc<T>>>,
+    f: impl Fn(&Arc<T>) -> V,
+) -> Vec<(String, V)> {
+    let mut v: Vec<(String, V)> = map
+        .read()
+        .expect("registry lock")
+        .iter()
+        .map(|(k, m)| (k.clone(), f(m)))
+        .collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// `(name, value)` pairs of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        sorted_snapshot(&self.counters, |c| c.get())
+    }
+
+    /// `(name, value)` pairs of every gauge, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        sorted_snapshot(&self.gauges, |g| g.get())
+    }
+
+    /// `(name, handle)` pairs of every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Arc<Histogram>)> {
+        sorted_snapshot(&self.histograms, Arc::clone)
+    }
+
+    /// Zeroes every metric (handles stay valid).
+    pub fn reset(&self) {
+        for (_, c) in self.counters.read().expect("registry lock").iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for (_, g) in self.gauges.read().expect("registry lock").iter() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for (_, h) in self.histograms.read().expect("registry lock").iter() {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // v == 0 and v == 1 land in bucket 0; boundaries split exactly
+        // at powers of two.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 1);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(7), 2);
+        assert_eq!(Histogram::bucket_index(8), 3);
+        assert_eq!(Histogram::bucket_index(1023), 9);
+        assert_eq!(Histogram::bucket_index(1024), 10);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "low bound of {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "high bound of {i}");
+            if i > 0 {
+                assert_eq!(lo, Histogram::bucket_bounds(i - 1).1 + 1, "contiguous");
+            }
+        }
+        assert_eq!(Histogram::bucket_bounds(0), (0, 1));
+        assert_eq!(Histogram::bucket_bounds(63).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_stats_exact_fields() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 1060);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(265.0));
+    }
+
+    #[test]
+    fn percentile_math_on_known_distribution() {
+        let h = Histogram::default();
+        // 99 observations in [64,127] (bucket 6), 1 at 8000 (bucket 12).
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(8000);
+        // p50 and p95 fall in bucket 6 -> upper bound 127.
+        assert_eq!(h.p50(), Some(127));
+        assert_eq!(h.p95(), Some(127));
+        // p99: rank ceil(0.99*100)=99 is still in bucket 6.
+        assert_eq!(h.p99(), Some(127));
+        // p100 reaches the outlier, clamped to the exact max.
+        assert_eq!(h.percentile(1.0), Some(8000));
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_max() {
+        let h = Histogram::default();
+        h.record(65); // bucket 6, upper bound 127
+        assert_eq!(h.p50(), Some(65), "estimate never exceeds the max");
+    }
+
+    #[test]
+    fn percentile_rank_uses_ceiling() {
+        let h = Histogram::default();
+        h.record(1); // bucket 0
+        h.record(1_000_000); // bucket 19
+                             // rank ceil(0.5*2) = 1 -> first bucket.
+        assert_eq!(h.p50(), Some(1));
+        assert!(h.percentile(0.51).unwrap() > 1);
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let r = Registry::default();
+        r.counter("a").add(2);
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 3);
+        r.gauge("g").set(-5);
+        r.gauge("g").add(2);
+        assert_eq!(r.gauge("g").get(), -3);
+        r.histogram("h").record(42);
+        assert_eq!(r.histogram("h").count(), 1);
+        assert_eq!(r.counters(), vec![("a".to_owned(), 3)]);
+        r.reset();
+        assert_eq!(r.counter("a").get(), 0);
+        assert_eq!(r.histogram("h").count(), 0);
+        assert_eq!(r.histogram("h").min(), None);
+    }
+}

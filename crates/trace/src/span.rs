@@ -1,0 +1,208 @@
+//! Guard-style timed spans with nesting and `u64` key/value fields.
+//!
+//! A [`Span`] measures the region between its creation and its drop.
+//! Spans nest through a per-thread stack: a span opened while another
+//! is alive records that span's id as its parent, which is what lets
+//! the Chrome exporter reconstruct the flame graph of an
+//! abut→route→stretch session.
+
+use crate::recorder::{recorder, SpanRecord};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Spans keep at most this many fields; extras are dropped silently.
+pub const MAX_FIELDS: usize = 8;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn this_thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+thread_local! {
+    /// The stack of currently-open span ids on this thread.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    thread: u64,
+    start_ns: u64,
+    started: Instant,
+    fields: Vec<(&'static str, u64)>,
+}
+
+/// A guard measuring one timed region. Created by [`span`] or the
+/// [`span!`](crate::span!) macro; records on drop. When tracing is
+/// disabled the guard is inert and costs nothing beyond the
+/// construction-time enabled check.
+pub struct Span(Option<ActiveSpan>);
+
+/// Opens a span named `name`. Names should be short dotted paths
+/// (`"cmd.route"`, `"rest.solve"`); the auto-histogram in the registry
+/// is keyed by this exact string.
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span(None);
+    }
+    let ep = epoch();
+    let started = Instant::now();
+    let id = next_span_id();
+    let parent = OPEN.with(|o| {
+        let mut o = o.borrow_mut();
+        let parent = o.last().copied().unwrap_or(0);
+        o.push(id);
+        parent
+    });
+    Span(Some(ActiveSpan {
+        name,
+        id,
+        parent,
+        thread: this_thread_id(),
+        start_ns: started.duration_since(ep).as_nanos() as u64,
+        started,
+        fields: Vec::with_capacity(4),
+    }))
+}
+
+impl Span {
+    /// Attaches a `u64` field to the span (no-op when disabled or when
+    /// [`MAX_FIELDS`] is exceeded).
+    pub fn field(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = self.0.as_mut() {
+            if a.fields.len() < MAX_FIELDS {
+                a.fields.push((key, value));
+            }
+        }
+    }
+
+    /// This span's id, or 0 when tracing is disabled.
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map(|a| a.id).unwrap_or(0)
+    }
+
+    /// Whether this guard is live (tracing was enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        let dur_ns = a.started.elapsed().as_nanos() as u64;
+        OPEN.with(|o| {
+            let mut o = o.borrow_mut();
+            // Guards normally drop LIFO; tolerate out-of-order drops.
+            if o.last() == Some(&a.id) {
+                o.pop();
+            } else if let Some(pos) = o.iter().rposition(|&x| x == a.id) {
+                o.remove(pos);
+            }
+        });
+        crate::registry().histogram(a.name).record(dur_ns);
+        recorder().record(SpanRecord {
+            name: a.name,
+            id: a.id,
+            parent: a.parent,
+            thread: a.thread,
+            start_ns: a.start_ns,
+            dur_ns,
+            fields: a.fields,
+        });
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(a) => write!(f, "Span({} #{})", a.name, a.id),
+            None => f.write_str("Span(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the enable/disable tests in this module against each
+    /// other (global flag).
+    fn with_enabled<R>(f: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _g = LOCK.lock().unwrap();
+        crate::enable(true);
+        let r = f();
+        crate::enable(false);
+        r
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        with_enabled(|| {
+            let outer_id;
+            {
+                let outer = span("test.outer");
+                outer_id = outer.id();
+                let _inner = crate::span!("test.inner", depth = 2u64);
+            }
+            let spans = recorder().snapshot();
+            let inner = spans
+                .iter()
+                .rev()
+                .find(|r| r.name == "test.inner")
+                .expect("inner recorded");
+            assert_eq!(inner.parent, outer_id);
+            assert_eq!(inner.fields, vec![("depth", 2u64)]);
+            let outer = spans
+                .iter()
+                .rev()
+                .find(|r| r.name == "test.outer")
+                .expect("outer recorded");
+            assert_eq!(outer.parent, 0);
+            assert!(outer.dur_ns >= inner.dur_ns);
+        });
+    }
+
+    #[test]
+    fn field_limit_enforced() {
+        with_enabled(|| {
+            let mut s = span("test.fields");
+            for i in 0..(MAX_FIELDS as u64 + 4) {
+                s.field("k", i);
+            }
+            drop(s);
+            let spans = recorder().snapshot();
+            let rec = spans
+                .iter()
+                .rev()
+                .find(|r| r.name == "test.fields")
+                .unwrap();
+            assert_eq!(rec.fields.len(), MAX_FIELDS);
+        });
+    }
+
+    #[test]
+    fn auto_histogram_fed() {
+        with_enabled(|| {
+            drop(span("test.autohist"));
+            assert!(crate::registry().histogram("test.autohist").count() >= 1);
+        });
+    }
+}

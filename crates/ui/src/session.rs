@@ -322,6 +322,7 @@ impl<'a> InteractiveSession<'a> {
     /// Renders the whole screen — editing area plus the two menus — to
     /// a framebuffer (figure 2's organization).
     pub fn render(&self) -> Framebuffer {
+        let _sp = riot_trace::span!("ui.frame");
         let mut fb = Framebuffer::new(self.layout.width(), self.layout.height());
         // Editing area content.
         if let Ok(list) = editor_ops(

@@ -174,6 +174,21 @@ impl TextualInterface {
                 }
             }
             ["edit", cell] => Ok(Response::EnterEditor((*cell).to_owned())),
+            ["stats"] => {
+                // The riot-trace session summary: engine counters and
+                // per-span latency percentiles. Reports "(no metrics
+                // recorded)" until tracing is enabled via RIOT_TRACE or
+                // riot_trace::enable.
+                Ok(Response::Message(riot_trace::summary()))
+            }
+            ["trace", "on"] => {
+                riot_trace::enable(true);
+                Ok(Response::Message("tracing enabled".to_owned()))
+            }
+            ["trace", "off"] => {
+                riot_trace::enable(false);
+                Ok(Response::Message("tracing disabled".to_owned()))
+            }
             _ => Err(usage(&format!("unknown command `{line}`"))),
         }
     }
@@ -310,6 +325,24 @@ end
         let mut t = env();
         assert!(t.execute("frobnicate").is_err());
         assert!(t.execute("read missing.cif").is_err());
+    }
+
+    #[test]
+    fn stats_reports_trace_summary() {
+        let mut t = env();
+        let Response::Message(msg) = t.execute("stats").unwrap() else {
+            panic!("expected message");
+        };
+        assert!(msg.starts_with("== riot-trace session summary =="));
+    }
+
+    #[test]
+    fn trace_toggle() {
+        let mut t = env();
+        t.execute("trace on").unwrap();
+        assert!(riot_trace::enabled());
+        t.execute("trace off").unwrap();
+        assert!(!riot_trace::enabled());
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Finish the cell: its boundary connectors come from the instances.
     let promoted = ed.finish()?;
     println!("finished DEMO with {promoted} boundary connectors");
+    drop(ed); // release the library borrow (the editor dumps RIOT_TRACE on drop)
 
     // Export mask geometry.
     let cif = riot::core::export::to_cif(&lib, "DEMO")?;

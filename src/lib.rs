@@ -19,6 +19,7 @@
 //! * [`ui`] — the textual and graphical command interfaces
 //! * [`extract`] — connectivity extraction and switch-level simulation
 //! * [`drc`] — design-rule checking over flattened mask geometry
+//! * [`trace`] — structured spans, metrics registry, trace exporters
 //!
 //! # Quickstart
 //!
@@ -51,4 +52,5 @@ pub use riot_graphics as graphics;
 pub use riot_rest as rest;
 pub use riot_route as route;
 pub use riot_sticks as sticks;
+pub use riot_trace as trace;
 pub use riot_ui as ui;
