@@ -1,0 +1,160 @@
+//! The spatial-pipeline benchmark: naive vs indexed DRC and recursive
+//! vs memoized CIF flatten, emitting `BENCH_spatial.json`.
+//!
+//! ```text
+//! cargo run --release -p riot-bench --bin spatial -- \
+//!     [--shapes N] [--levels L] [--fanout F] [--top-calls C] \
+//!     [--iters K] [--out PATH]
+//! ```
+//!
+//! The indexed DRC timings are repeated at 1, 2 and 4 worker threads
+//! (via `riot::geom::par::set_threads`); the headline `speedup` numbers
+//! compare the best indexed/memoized time against the retained
+//! reference implementations on identical inputs, after asserting both
+//! sides produce identical results.
+
+use riot::cif::FlatShape;
+use riot::drc::{naive, RuleSet, Violation};
+use riot::geom::par;
+use std::time::Instant;
+
+struct Args {
+    shapes: usize,
+    levels: usize,
+    fanout: usize,
+    top_calls: usize,
+    iters: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shapes: 10_000,
+        levels: 5,
+        fanout: 8,
+        top_calls: 8,
+        iters: 3,
+        out: "BENCH_spatial.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--shapes" => args.shapes = value("--shapes").parse().expect("--shapes"),
+            "--levels" => args.levels = value("--levels").parse().expect("--levels"),
+            "--fanout" => args.fanout = value("--fanout").parse().expect("--fanout"),
+            "--top-calls" => args.top_calls = value("--top-calls").parse().expect("--top-calls"),
+            "--iters" => args.iters = value("--iters").parse().expect("--iters"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Minimum wall time of `iters` runs, in nanoseconds, plus the last
+/// result (minimum, not mean: the steady-state cost is what the
+/// speedup claims are about).
+fn time_ns<R>(iters: usize, mut f: impl FnMut() -> R) -> (u64, R) {
+    let mut best = u64::MAX;
+    let mut out = None;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_nanos() as u64);
+        out = Some(r);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn violation_keys(mut vs: Vec<Violation>) -> Vec<String> {
+    vs.sort_by_key(|v| format!("{v:?}"));
+    vs.into_iter().map(|v| format!("{v:?}")).collect()
+}
+
+fn bench_drc(args: &Args) -> String {
+    let shapes: Vec<FlatShape> = riot_bench::rect_soup(args.shapes, 0xD0C);
+    let rules = RuleSet::nmos();
+
+    let (naive_ns, reference) = time_ns(args.iters, || naive::check(&shapes, &rules));
+    let mut indexed_ns = Vec::new();
+    let mut last = Vec::new();
+    for threads in [1usize, 2, 4] {
+        par::set_threads(threads);
+        let (ns, got) = time_ns(args.iters, || riot::drc::check(&shapes, &rules));
+        par::set_threads(0);
+        assert_eq!(
+            violation_keys(got.clone()),
+            violation_keys(reference.clone()),
+            "indexed DRC diverged from naive at {threads} threads"
+        );
+        indexed_ns.push((threads, ns));
+        last = got;
+    }
+    let best = indexed_ns.iter().map(|&(_, ns)| ns).min().unwrap();
+    let speedup = naive_ns as f64 / best as f64;
+    eprintln!(
+        "drc: {} shapes, {} violations, naive {:.2} ms, indexed best {:.2} ms, speedup {speedup:.1}x",
+        args.shapes,
+        last.len(),
+        naive_ns as f64 / 1e6,
+        best as f64 / 1e6
+    );
+    let per_thread = indexed_ns
+        .iter()
+        .map(|(t, ns)| format!("\"{t}\": {ns}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n    \"shapes\": {},\n    \"violations\": {},\n    \"naive_ns\": {},\n    \"indexed_ns\": {{ {} }},\n    \"speedup\": {:.2}\n  }}",
+        args.shapes,
+        last.len(),
+        naive_ns,
+        per_thread,
+        speedup
+    )
+}
+
+fn bench_flatten(args: &Args) -> String {
+    let text = riot_bench::shared_hierarchy(args.levels, args.fanout, 6, args.top_calls);
+    let file = riot::cif::parse(&text).expect("generated CIF parses");
+
+    let (recursive_ns, reference) =
+        time_ns(args.iters, || riot::cif::flatten_recursive(&file).unwrap());
+    let (memo_ns, (flat, stats)) =
+        time_ns(args.iters, || riot::cif::flatten_counted(&file).unwrap());
+    assert_eq!(flat, reference, "memoized flatten diverged from recursive");
+    let speedup = recursive_ns as f64 / memo_ns as f64;
+    eprintln!(
+        "flatten: {} shapes ({} levels, fanout {}), recursive {:.2} ms, memo {:.2} ms, speedup {speedup:.1}x",
+        stats.shapes,
+        args.levels,
+        args.fanout,
+        recursive_ns as f64 / 1e6,
+        memo_ns as f64 / 1e6
+    );
+    format!(
+        "{{\n    \"levels\": {},\n    \"fanout\": {},\n    \"shapes\": {},\n    \"memo_cells\": {},\n    \"memo_hits\": {},\n    \"memo_misses\": {},\n    \"recursive_ns\": {},\n    \"memo_ns\": {},\n    \"speedup\": {:.2}\n  }}",
+        args.levels,
+        args.fanout,
+        stats.shapes,
+        stats.memo_cells,
+        stats.memo_hits,
+        stats.memo_misses,
+        recursive_ns,
+        memo_ns,
+        speedup
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let drc = bench_drc(&args);
+    let flatten = bench_flatten(&args);
+    let json = format!(
+        "{{\n  \"schema\": \"riot-bench-spatial/1\",\n  \"iters\": {},\n  \"drc\": {},\n  \"flatten\": {}\n}}\n",
+        args.iters, drc, flatten
+    );
+    std::fs::write(&args.out, &json).expect("write benchmark output");
+    eprintln!("wrote {}", args.out);
+}

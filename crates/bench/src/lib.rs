@@ -89,6 +89,107 @@ pub fn cif_workload(cells: usize, shapes: usize, seed: u64) -> String {
     out
 }
 
+/// A flat soup of `n` boxes and wires spread over the four checked DRC
+/// layers at roughly constant density (the occupied area grows with
+/// `n`, so spacing-violation counts scale linearly, not quadratically).
+pub fn rect_soup(n: usize, seed: u64) -> Vec<riot::cif::FlatShape> {
+    use riot::cif::{FlatShape, Geometry};
+    use riot::geom::{Layer, Path, Point, Rect, LAMBDA};
+    let mut r = rng(seed);
+    let layers = [Layer::Metal, Layer::Poly, Layer::Diffusion, Layer::Contact];
+    let side = ((n as f64).sqrt() * 4.0).ceil() as i64 + 8;
+    let mut shapes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let layer = layers[r.gen_range(0..layers.len())];
+        let x = r.gen_range(0..side) * LAMBDA;
+        let y = r.gen_range(0..side) * LAMBDA;
+        if r.gen_range(0..5) == 0 {
+            let len = r.gen_range(2..10) * LAMBDA;
+            let path = Path::from_points([
+                Point::new(x, y),
+                Point::new(x + len, y),
+                Point::new(x + len, y + len),
+            ])
+            .expect("manhattan by construction");
+            shapes.push(FlatShape {
+                layer,
+                geometry: Geometry::Wire {
+                    width: r.gen_range(1..4) * LAMBDA,
+                    path,
+                },
+                depth: 0,
+            });
+        } else {
+            let w = r.gen_range(1..7) * LAMBDA;
+            let h = r.gen_range(1..7) * LAMBDA;
+            shapes.push(FlatShape {
+                layer,
+                geometry: Geometry::Box(Rect::new(x, y, x + w, y + h)),
+                depth: 0,
+            });
+        }
+    }
+    shapes
+}
+
+/// CIF text for a deeply shared hierarchy: symbol `k` calls symbol
+/// `k-1` `fanout` times (rotated and mirrored, so the flattener pays
+/// full transform cost inside the tree), and the top level places the
+/// deepest symbol `top_calls` times by translation. The flattened shape
+/// count grows as `fanout^(levels-1)`, but there are only `levels`
+/// distinct symbols — the memoizing flattener expands each exactly
+/// once.
+pub fn shared_hierarchy(
+    levels: usize,
+    fanout: usize,
+    leaf_shapes: usize,
+    top_calls: usize,
+) -> String {
+    use std::fmt::Write as _;
+    assert!(levels >= 2 && fanout >= 1);
+    let mut out = String::new();
+    let orientations = ["R 0 1", "R -1 0", "R 0 -1", "M X", "M Y", "R 1 0"];
+    for level in 1..=levels {
+        let _ = writeln!(out, "DS {level} 1 1;");
+        if level == 1 {
+            let _ = writeln!(out, "L NM;");
+            for s in 0..leaf_shapes {
+                let x = (s as i64) * 700;
+                if s % 4 != 3 {
+                    // Multi-segment wires dominate assembled layouts;
+                    // they are also where transform cost concentrates.
+                    let _ = writeln!(
+                        out,
+                        "L NP; W 200 {x} 0 {x} 800 {} 800 {} 1600 {} 1600;",
+                        x + 600,
+                        x + 600,
+                        x + 1200
+                    );
+                } else {
+                    let _ = writeln!(out, "L NM; B 400 250 {x} {};", (s as i64) * 300);
+                }
+            }
+        } else {
+            for c in 0..fanout {
+                let orient = orientations[c % orientations.len()];
+                let _ = writeln!(
+                    out,
+                    "C {} T {} {} {orient};",
+                    level - 1,
+                    (c as i64) * 5000,
+                    (level as i64) * 2500
+                );
+            }
+        }
+        let _ = writeln!(out, "DF;");
+    }
+    for c in 0..top_calls {
+        let _ = writeln!(out, "C {levels} T {} 0;", (c as i64) * 100_000);
+    }
+    out.push_str("E\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +216,27 @@ mod tests {
         let (cell, spec) = stretch_workload(8, 3);
         let out = riot::rest::stretch(&cell, &spec).expect("monotone targets");
         out.validate().unwrap();
+    }
+
+    #[test]
+    fn rect_soup_is_deterministic_and_checkable() {
+        let a = rect_soup(200, 11);
+        assert_eq!(a, rect_soup(200, 11));
+        let rules = riot::drc::RuleSet::nmos();
+        let indexed = riot::drc::check(&a, &rules);
+        let naive = riot::drc::naive::check(&a, &rules);
+        assert_eq!(indexed.len(), naive.len());
+    }
+
+    #[test]
+    fn shared_hierarchy_flattens_both_ways() {
+        let text = shared_hierarchy(4, 3, 4, 2);
+        let file = riot::cif::parse(&text).unwrap();
+        let memo = riot::cif::flatten(&file).unwrap();
+        let rec = riot::cif::flatten_recursive(&file).unwrap();
+        assert_eq!(memo, rec);
+        // fanout^(levels-1) leaf instances per top call, times shapes.
+        assert!(memo.len() >= 2 * 27 * 4);
     }
 
     #[test]

@@ -3,10 +3,35 @@
 //! Riot renders and measures cells by walking the hierarchy; the
 //! flattener produces the fully-instantiated shape list used for
 //! plotting, mask generation checks and area accounting.
+//!
+//! Flatten runs after essentially every editor command (the checking
+//! pipeline is flatten → DRC → render), so it is a hot path. The
+//! production entry points ([`flatten`], [`flatten_counted`]) therefore
+//! **memoize**: each symbol's flattened local-coordinate shape list is
+//! computed once — DAG-sized tree-walking — and every further
+//! instantiation is a flat pass applying one transform per shape, with
+//! translation-only placements taking a validation-free fast path.
+//! Large instantiations are spread across the [`riot_geom::par`]
+//! worker pool. The original recursive walker is retained as
+//! [`flatten_recursive`] / [`flatten_cell`] for differential tests and
+//! benchmarks.
+//!
+//! # Memoization invariants
+//!
+//! The memo is only correct because CIF hierarchies are *separated*:
+//! a symbol's geometry is fixed at definition time and a call can only
+//! reference already-defined symbols, so a cached local-coordinate
+//! expansion can never be invalidated mid-flatten. The depth-64 cycle
+//! guard is preserved exactly: every memo entry records its call-chain
+//! *height*, and an instantiation at depth `d` of a cell with height
+//! `h` fails iff `d + h` exceeds the limit — the same condition the
+//! recursive walker checks one call at a time.
 
 use crate::error::{ErrorKind, ParseCifError};
 use crate::model::{CifFile, Geometry};
-use riot_geom::{Layer, Path, Point, Rect, Transform};
+use riot_geom::{par, Layer, Orientation, Path, Point, Rect, Transform};
+use std::borrow::Cow;
+use std::collections::HashMap;
 
 /// A shape instantiated into top-level coordinates.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +44,31 @@ pub struct FlatShape {
     pub depth: usize,
 }
 
+/// Counters from one memoized flatten, also mirrored into the
+/// `riot-trace` registry (`cif.flatten.memo.hits` / `.misses`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlattenStats {
+    /// Shapes in the flattened output.
+    pub shapes: usize,
+    /// Distinct symbols expanded into the memo (= cache misses).
+    pub memo_cells: usize,
+    /// Calls served from the memo instead of re-walking a subtree.
+    pub memo_hits: usize,
+    /// Calls that had to expand their symbol (first encounters).
+    pub memo_misses: usize,
+}
+
+/// Maximum instantiation depth; deeper means a definition cycle in a
+/// well-formed separated hierarchy.
+const MAX_DEPTH: usize = 64;
+
+/// Instantiation jobs below this many output shapes stay serial — the
+/// scoped pool's spawn latency would dominate tiny flattens.
+const PAR_SHAPE_CUTOFF: usize = 8192;
+
+/// Shapes per parallel instantiation job.
+const PAR_CHUNK: usize = 4096;
+
 /// Flattens the file's top-level content (shapes and calls) into
 /// absolute-coordinate shapes.
 ///
@@ -29,6 +79,194 @@ pub struct FlatShape {
 /// hierarchy means a definition cycle).
 pub fn flatten(file: &CifFile) -> Result<Vec<FlatShape>, ParseCifError> {
     let mut sp = riot_trace::span!("cif.flatten");
+    let (shapes, stats) = flatten_counted(file)?;
+    sp.field("shapes", stats.shapes as u64);
+    Ok(shapes)
+}
+
+/// One symbol's flattened expansion in its own coordinate system.
+struct MemoEntry {
+    /// Subtree shapes; `depth` is *relative* (0 = the symbol's own).
+    shapes: Vec<FlatShape>,
+    /// Longest call chain below this symbol (leaf = 0).
+    height: usize,
+}
+
+#[derive(Default)]
+struct Memo {
+    cells: HashMap<u32, MemoEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+/// Memoized flatten returning the shape list plus cache statistics.
+///
+/// Identical output (including order and `depth` values) to
+/// [`flatten_recursive`]; see the module docs for why the memo is
+/// sound and how the depth guard is preserved.
+///
+/// # Errors
+///
+/// Same conditions as [`flatten`].
+pub fn flatten_counted(file: &CifFile) -> Result<(Vec<FlatShape>, FlattenStats), ParseCifError> {
+    let mut sp = riot_trace::span!("cif.flatten.memo");
+    let mut memo = Memo::default();
+    for call in file.top_calls() {
+        build_memo(file, call.cell, 1, &mut memo)?;
+    }
+
+    // Exact output size up front (the counted stats): no growth
+    // reallocations while instantiating.
+    let total: usize = file.top_shapes().len()
+        + file
+            .top_calls()
+            .iter()
+            .map(|c| memo.cells[&c.cell].shapes.len())
+            .sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+
+    // Top-level shapes pass through untransformed: `Cow::Borrowed`
+    // until the single clone into the output.
+    for shape in file.top_shapes() {
+        out.push(FlatShape {
+            layer: shape.layer,
+            geometry: transform_geometry_cow(&shape.geometry, Transform::IDENTITY).into_owned(),
+            depth: 0,
+        });
+    }
+
+    // Instantiate each top call from its memo entry: one transform
+    // application per shape, no tree left to walk. Large outputs are
+    // chunked across the worker pool.
+    if total < PAR_SHAPE_CUTOFF || par::threads() == 1 {
+        for call in file.top_calls() {
+            let entry = &memo.cells[&call.cell];
+            instantiate_into(&entry.shapes, call.transform, &mut out);
+        }
+    } else {
+        let jobs: Vec<(Transform, &[FlatShape])> = file
+            .top_calls()
+            .iter()
+            .flat_map(|call| {
+                memo.cells[&call.cell]
+                    .shapes
+                    .chunks(PAR_CHUNK)
+                    .map(|chunk| (call.transform, chunk))
+            })
+            .collect();
+        let produced = par::map_heavy(&jobs, |(t, chunk)| {
+            let mut part = Vec::with_capacity(chunk.len());
+            instantiate_into(chunk, *t, &mut part);
+            part
+        });
+        for part in produced {
+            out.extend(part);
+        }
+    }
+    debug_assert_eq!(out.len(), total);
+
+    let stats = FlattenStats {
+        shapes: out.len(),
+        memo_cells: memo.cells.len(),
+        memo_hits: memo.hits,
+        memo_misses: memo.misses,
+    };
+    let registry = riot_trace::registry();
+    registry
+        .counter("cif.flatten.memo.hits")
+        .add(stats.memo_hits as u64);
+    registry
+        .counter("cif.flatten.memo.misses")
+        .add(stats.memo_misses as u64);
+    sp.field("shapes", stats.shapes as u64);
+    sp.field("memo_hits", stats.memo_hits as u64);
+    Ok((out, stats))
+}
+
+/// Applies `t` to a memoized local-coordinate slice, pushing shapes one
+/// instantiation level deeper. The translation-only check is hoisted
+/// out of the loop: placements in assembled layouts are overwhelmingly
+/// pure translations, and the fast path is a branch-free shift per
+/// shape with no path re-validation.
+fn instantiate_into(local: &[FlatShape], t: Transform, out: &mut Vec<FlatShape>) {
+    if t.orient == Orientation::R0 {
+        out.extend(local.iter().map(|fs| FlatShape {
+            layer: fs.layer,
+            geometry: fs.geometry.translated(t.offset),
+            depth: fs.depth + 1,
+        }));
+    } else {
+        out.extend(local.iter().map(|fs| FlatShape {
+            layer: fs.layer,
+            geometry: transform_geometry(&fs.geometry, t),
+            depth: fs.depth + 1,
+        }));
+    }
+}
+
+/// Ensures `memo` holds the expansion of symbol `id`, returning the
+/// symbol's call-chain height. `chain` is the instantiation depth this
+/// call occurs at, mirroring the recursive walker's depth counter so
+/// undefined-symbol and too-deep errors fire under exactly the same
+/// conditions.
+fn build_memo(
+    file: &CifFile,
+    id: u32,
+    chain: usize,
+    memo: &mut Memo,
+) -> Result<usize, ParseCifError> {
+    if let Some(entry) = memo.cells.get(&id) {
+        memo.hits += 1;
+        // The recursive walker would have re-entered every level of
+        // this subtree; its deepest entry is `chain + height`.
+        if chain + entry.height > MAX_DEPTH {
+            return Err(ParseCifError::new(0, ErrorKind::UnbalancedDefinition));
+        }
+        return Ok(entry.height);
+    }
+    memo.misses += 1;
+    if chain > MAX_DEPTH {
+        return Err(ParseCifError::new(0, ErrorKind::UnbalancedDefinition));
+    }
+    let cell = file
+        .cell(id)
+        .ok_or_else(|| ParseCifError::new(0, ErrorKind::UndefinedSymbol(id)))?;
+
+    // Expand children first (DAG post-order), accumulating the exact
+    // output size so composition allocates once.
+    let mut height = 0usize;
+    let mut total = cell.shapes.len();
+    for call in &cell.calls {
+        let child_height = build_memo(file, call.cell, chain + 1, memo)?;
+        height = height.max(1 + child_height);
+        total += memo.cells[&call.cell].shapes.len();
+    }
+
+    let mut shapes = Vec::with_capacity(total);
+    for shape in &cell.shapes {
+        shapes.push(FlatShape {
+            layer: shape.layer,
+            geometry: shape.geometry.clone(),
+            depth: 0,
+        });
+    }
+    for call in &cell.calls {
+        let child = &memo.cells[&call.cell];
+        instantiate_into(&child.shapes, call.transform, &mut shapes);
+    }
+    memo.cells.insert(id, MemoEntry { shapes, height });
+    Ok(height)
+}
+
+/// The original recursive flatten, retained as the reference
+/// implementation for differential tests and the spatial benchmark.
+/// Walks the full instantiation *tree* (re-expanding shared symbols at
+/// every call) where [`flatten`] walks the definition *DAG* once.
+///
+/// # Errors
+///
+/// Same conditions as [`flatten`].
+pub fn flatten_recursive(file: &CifFile) -> Result<Vec<FlatShape>, ParseCifError> {
     let mut out = Vec::new();
     for shape in file.top_shapes() {
         out.push(FlatShape {
@@ -40,11 +278,11 @@ pub fn flatten(file: &CifFile) -> Result<Vec<FlatShape>, ParseCifError> {
     for call in file.top_calls() {
         flatten_cell(file, call.cell, call.transform, 1, &mut out)?;
     }
-    sp.field("shapes", out.len() as u64);
     Ok(out)
 }
 
-/// Flattens one definition (and everything below it) under `transform`.
+/// Flattens one definition (and everything below it) under `transform`
+/// by direct recursion.
 ///
 /// # Errors
 ///
@@ -56,7 +294,6 @@ pub fn flatten_cell(
     depth: usize,
     out: &mut Vec<FlatShape>,
 ) -> Result<(), ParseCifError> {
-    const MAX_DEPTH: usize = 64;
     if depth > MAX_DEPTH {
         return Err(ParseCifError::new(0, ErrorKind::UnbalancedDefinition));
     }
@@ -83,7 +320,14 @@ pub fn flatten_cell(
 }
 
 /// Maps geometry through a Manhattan transform.
+///
+/// Pure translations (the overwhelmingly common placement in assembled
+/// layouts) take a fast path through [`Geometry::translated`], which
+/// shifts wire vertices without re-validating the path.
 pub fn transform_geometry(g: &Geometry, t: Transform) -> Geometry {
+    if t.orient == Orientation::R0 {
+        return g.translated(t.offset);
+    }
     match g {
         Geometry::Box(r) => Geometry::Box(t.apply_rect(*r)),
         Geometry::Polygon(pts) => Geometry::Polygon(pts.iter().map(|&p| t.apply(p)).collect()),
@@ -102,16 +346,31 @@ pub fn transform_geometry(g: &Geometry, t: Transform) -> Geometry {
     }
 }
 
+/// Like [`transform_geometry`] but allocation-free for the identity
+/// transform: callers that only *read* the result (bounding boxes,
+/// area sums) never pay for a clone, and owned output is cloned only
+/// at the final `into_owned`.
+pub fn transform_geometry_cow(g: &Geometry, t: Transform) -> Cow<'_, Geometry> {
+    if t == Transform::IDENTITY {
+        Cow::Borrowed(g)
+    } else {
+        Cow::Owned(transform_geometry(g, t))
+    }
+}
+
 /// Bounding box of a cell **including** everything it instantiates.
+///
+/// Served from the memoized expansion: nothing is cloned or
+/// re-transformed just to take a bounding box.
 ///
 /// # Errors
 ///
 /// Same conditions as [`flatten`]. Returns `Ok(None)` for a cell that
 /// paints nothing anywhere in its subtree.
 pub fn deep_bounding_box(file: &CifFile, id: u32) -> Result<Option<Rect>, ParseCifError> {
-    let mut shapes = Vec::new();
-    flatten_cell(file, id, Transform::IDENTITY, 1, &mut shapes)?;
-    Ok(bounding_box_of(&shapes))
+    let mut memo = Memo::default();
+    build_memo(file, id, 1, &mut memo)?;
+    Ok(bounding_box_of(&memo.cells[&id].shapes))
 }
 
 /// Bounding box of a flattened shape list.
@@ -176,6 +435,19 @@ E";
     }
 
     #[test]
+    fn memo_output_equals_recursive_output() {
+        let f = parse(HIER).unwrap();
+        let (memoized, stats) = flatten_counted(&f).unwrap();
+        let recursive = flatten_recursive(&f).unwrap();
+        assert_eq!(memoized, recursive, "same shapes in the same order");
+        assert_eq!(stats.shapes, 2);
+        assert_eq!(stats.memo_cells, 2);
+        // Symbol 1 is called twice by symbol 2: one miss, one hit.
+        assert_eq!(stats.memo_hits, 1);
+        assert_eq!(stats.memo_misses, 2);
+    }
+
+    #[test]
     fn deep_bbox() {
         let f = parse(HIER).unwrap();
         assert_eq!(
@@ -224,6 +496,80 @@ E";
             transform: Transform::IDENTITY,
         });
         assert!(flatten(&f).is_err());
+        assert!(flatten_recursive(&f).is_err());
+    }
+
+    #[test]
+    fn depth_guard_applies_to_memo_hits() {
+        // A 64-deep linear chain: each cell calls the next. Flattening
+        // the whole chain exceeds MAX_DEPTH both recursively and
+        // through the memo (entry height check), even though no single
+        // memo build recurses past the guard.
+        use crate::model::{CifCall, CifCell, CifFile, Shape};
+        let mut f = CifFile::new();
+        f.insert_cell(CifCell {
+            id: 1,
+            shapes: vec![Shape {
+                layer: Layer::Metal,
+                geometry: Geometry::Box(Rect::new(0, 0, 10, 10)),
+            }],
+            ..CifCell::default()
+        });
+        for id in 2..=65 {
+            f.insert_cell(CifCell {
+                id,
+                calls: vec![CifCall {
+                    cell: id - 1,
+                    transform: Transform::IDENTITY,
+                }],
+                ..CifCell::default()
+            });
+        }
+        // Depth 64 from the top: still legal.
+        f.push_top_call(CifCall {
+            cell: 64,
+            transform: Transform::IDENTITY,
+        });
+        assert_eq!(flatten(&f).unwrap().len(), 1);
+        // One level deeper: both implementations reject.
+        f.push_top_call(CifCall {
+            cell: 65,
+            transform: Transform::IDENTITY,
+        });
+        assert!(flatten_recursive(&f).is_err());
+        assert!(flatten(&f).is_err());
+    }
+
+    #[test]
+    fn translation_fast_path_matches_full_apply() {
+        let path =
+            Path::from_points([Point::new(0, 0), Point::new(30, 0), Point::new(30, 20)]).unwrap();
+        let wire = Geometry::Wire { width: 4, path };
+        let t = Transform::translate(Point::new(7, -3));
+        let fast = transform_geometry(&wire, t);
+        // Reference: the pre-fast-path application through `apply`.
+        let Geometry::Wire { path: p, .. } = &wire else {
+            unreachable!()
+        };
+        let full = Geometry::Wire {
+            width: 4,
+            path: Path::from_points(p.points().iter().map(|&q| t.apply(q)).collect::<Vec<_>>())
+                .unwrap(),
+        };
+        assert_eq!(fast, full);
+    }
+
+    #[test]
+    fn cow_transform_borrows_identity() {
+        let g = Geometry::Box(Rect::new(0, 0, 5, 5));
+        assert!(matches!(
+            transform_geometry_cow(&g, Transform::IDENTITY),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            transform_geometry_cow(&g, Transform::translate(Point::new(1, 0))),
+            Cow::Owned(_)
+        ));
     }
 
     #[test]

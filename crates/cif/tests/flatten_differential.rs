@@ -1,0 +1,94 @@
+//! Differential property test: the memoized flattener must produce
+//! exactly the same shape list (order included) as the retained
+//! recursive reference walker, on random DAG hierarchies that mix
+//! translations, mirrors and Manhattan rotations.
+
+use proptest::prelude::*;
+use riot_cif::{flatten_counted, flatten_recursive};
+
+/// Renders a random CIF hierarchy as text. Symbol `k` may only call
+/// symbols `< k`, so the file is a DAG by construction; the top level
+/// instantiates the last (deepest) symbol several times.
+fn arb_cif_hierarchy() -> impl Strategy<Value = String> {
+    (1u64..1_000_000, 2usize..7).prop_map(|(seed, symbols)| {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut text = String::new();
+        for id in 1..=symbols {
+            text.push_str(&format!("DS {id} 1 1;\n"));
+            // One to three local primitives.
+            for _ in 0..(next() % 3 + 1) {
+                let layer = ["NM", "NP", "ND", "NC"][(next() % 4) as usize];
+                let x = (next() % 40) as i64 * 25 - 500;
+                let y = (next() % 40) as i64 * 25 - 500;
+                if next() % 4 == 0 {
+                    let w = (next() % 4 + 1) as i64 * 25;
+                    let len = (next() % 8 + 1) as i64 * 25;
+                    text.push_str(&format!(
+                        "L {layer}; W {w} {x} {y} {} {y} {} {};\n",
+                        x + len,
+                        x + len,
+                        y + len
+                    ));
+                } else {
+                    let w = (next() % 6 + 1) as i64 * 25;
+                    let h = (next() % 6 + 1) as i64 * 25;
+                    text.push_str(&format!("L {layer}; B {w} {h} {x} {y};\n"));
+                }
+            }
+            // Up to three calls to strictly earlier symbols, each with a
+            // random transform chain (translate / mirror / rotate).
+            if id > 1 {
+                for _ in 0..(next() % 3 + 1) {
+                    let callee = next() as usize % (id - 1) + 1;
+                    let mut call = format!("C {callee}");
+                    for _ in 0..(next() % 3) {
+                        match next() % 4 {
+                            0 => {
+                                let tx = (next() % 20) as i64 * 25 - 250;
+                                let ty = (next() % 20) as i64 * 25 - 250;
+                                call.push_str(&format!(" T {tx} {ty}"));
+                            }
+                            1 => call.push_str(" M X"),
+                            2 => call.push_str(" M Y"),
+                            _ => {
+                                let (rx, ry) =
+                                    [(1, 0), (0, 1), (-1, 0), (0, -1)][(next() % 4) as usize];
+                                call.push_str(&format!(" R {rx} {ry}"));
+                            }
+                        }
+                    }
+                    call.push_str(";\n");
+                    text.push_str(&call);
+                }
+            }
+            text.push_str("DF;\n");
+        }
+        // Top level: several displaced instantiations of the deepest
+        // symbol plus one direct box.
+        for i in 0..(next() % 4 + 1) {
+            text.push_str(&format!("C {symbols} T {} 0;\n", i as i64 * 2000));
+        }
+        text.push_str("L NM; B 100 100 0 0;\nE");
+        text
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn memoized_flatten_equals_recursive_reference(text in arb_cif_hierarchy()) {
+        let file = riot_cif::parse(&text).expect("generated CIF parses");
+        let reference = flatten_recursive(&file).expect("reference flatten succeeds");
+        let (memoized, stats) = flatten_counted(&file).expect("memoized flatten succeeds");
+        prop_assert_eq!(&memoized, &reference);
+        prop_assert_eq!(stats.shapes, memoized.len());
+        prop_assert!(stats.memo_hits + stats.memo_misses >= stats.memo_cells);
+    }
+}

@@ -1,0 +1,96 @@
+//! Differential property tests: the indexed checker must report the
+//! same violation set as the retained all-pairs reference on random
+//! rect soups, at every thread count.
+
+use crate::{check, naive, RuleSet, Violation};
+use proptest::prelude::*;
+use riot_cif::{FlatShape, Geometry};
+use riot_geom::{par, Layer, Path, Point, Rect, LAMBDA};
+
+const LAYERS: [Layer; 4] = [Layer::Metal, Layer::Poly, Layer::Diffusion, Layer::Contact];
+
+/// A sortable fingerprint of a violation, for order-normalized
+/// comparison (the indexed checker visits layers in `Layer` order, the
+/// naive one in first-appearance order).
+fn key(v: &Violation) -> String {
+    format!("{v:?}")
+}
+
+fn normalized(vs: Vec<Violation>) -> Vec<String> {
+    let mut keys: Vec<String> = vs.iter().map(key).collect();
+    keys.sort();
+    keys
+}
+
+/// A random soup of boxes and wires over the checked layers: clustered
+/// enough to produce touching runs, near-misses and true violations.
+fn arb_soup() -> impl Strategy<Value = Vec<FlatShape>> {
+    (1u64..50_000, 1usize..120).prop_map(|(seed, n)| {
+        // Small xorshift so the soup derives deterministically from the
+        // proptest-generated seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut shapes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let layer = LAYERS[(next() % 4) as usize];
+            let x = (next() % 60) as i64 * LAMBDA;
+            let y = (next() % 60) as i64 * LAMBDA;
+            if next() % 5 == 0 {
+                // A two-segment wire.
+                let len = (next() % 8 + 2) as i64 * LAMBDA;
+                let path = Path::from_points([
+                    Point::new(x, y),
+                    Point::new(x + len, y),
+                    Point::new(x + len, y + len),
+                ])
+                .expect("manhattan by construction");
+                shapes.push(FlatShape {
+                    layer,
+                    geometry: Geometry::Wire {
+                        width: (next() % 4 + 1) as i64 * LAMBDA,
+                        path,
+                    },
+                    depth: 0,
+                });
+            } else {
+                let w = (next() % 6 + 1) as i64 * LAMBDA;
+                let h = (next() % 6 + 1) as i64 * LAMBDA;
+                shapes.push(FlatShape {
+                    layer,
+                    geometry: Geometry::Box(Rect::new(x, y, x + w, y + h)),
+                    depth: 0,
+                });
+            }
+        }
+        shapes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn indexed_equals_naive_on_random_soups(shapes in arb_soup()) {
+        let rules = RuleSet::nmos();
+        let reference = normalized(naive::check(&shapes, &rules));
+        let indexed = normalized(check(&shapes, &rules));
+        prop_assert_eq!(indexed, reference);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results(shapes in arb_soup()) {
+        let rules = RuleSet::nmos();
+        let reference = normalized(naive::check(&shapes, &rules));
+        for t in [1usize, 2, 4] {
+            par::set_threads(t);
+            let indexed = normalized(check(&shapes, &rules));
+            par::set_threads(0);
+            prop_assert_eq!(&indexed, &reference, "threads = {}", t);
+        }
+    }
+}

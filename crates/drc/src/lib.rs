@@ -37,9 +37,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(test)]
+mod differential;
+#[cfg(any(test, feature = "naive"))]
+pub mod naive;
+mod unionfind;
+
 use riot_cif::{FlatShape, Geometry};
-use riot_geom::{Layer, Rect, LAMBDA};
+use riot_geom::{index::SpatialIndex, par, Layer, Rect, LAMBDA};
+use std::collections::BTreeMap;
 use std::fmt;
+use unionfind::UnionFind;
 
 /// Minimum width and same-layer spacing for one layer, centimicrons.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,7 +168,7 @@ impl fmt::Display for Violation {
 }
 
 /// The primitive rectangles a shape paints (wires one per segment).
-fn painted_rects(shape: &FlatShape) -> Vec<Rect> {
+pub(crate) fn painted_rects(shape: &FlatShape) -> Vec<Rect> {
     match &shape.geometry {
         Geometry::Box(r) => vec![*r],
         Geometry::Polygon(pts) => {
@@ -184,10 +192,18 @@ fn painted_rects(shape: &FlatShape) -> Vec<Rect> {
 /// Checks flattened geometry against the rules, returning every
 /// violation found. Touching features count as connected and are not
 /// spacing-checked against each other.
+///
+/// Spacing is checked through a [`SpatialIndex`] per layer — each rect
+/// only inspects its `min_space`-neighborhood instead of every other
+/// rect — and the per-layer checks run on the [`par`] worker pool
+/// (`RIOT_THREADS`). The reported violation set is identical to the
+/// retained all-pairs reference ([`naive`], compiled for tests and the
+/// `naive` feature); only cross-layer ordering differs (layers are
+/// visited in [`Layer`] order rather than first-appearance order).
 pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
-    let mut violations = Vec::new();
-
+    let mut sp = riot_trace::span!("drc.check", shapes = shapes.len() as u64);
     // Width checks per shape.
+    let mut violations = Vec::new();
     for s in shapes {
         let Some(rule) = rules.rule(s.layer) else {
             continue;
@@ -212,72 +228,83 @@ pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
     // Spacing checks: merge touching same-layer geometry into connected
     // components first (abutted rails are one conductor, not two close
     // shapes), then require full spacing between different components.
-    let mut by_layer: Vec<(Layer, Vec<Rect>)> = Vec::new();
+    let mut by_layer: BTreeMap<Layer, Vec<Rect>> = BTreeMap::new();
     for s in shapes {
         if rules.rule(s.layer).is_none() {
             continue;
         }
-        let entry = match by_layer.iter_mut().find(|(l, _)| *l == s.layer) {
-            Some(e) => e,
-            None => {
-                by_layer.push((s.layer, Vec::new()));
-                by_layer.last_mut().expect("just pushed")
-            }
-        };
-        entry.1.extend(painted_rects(s));
+        by_layer
+            .entry(s.layer)
+            .or_default()
+            .extend(painted_rects(s));
     }
-    for (layer, rects) in &by_layer {
+    let layers: Vec<(Layer, Vec<Rect>)> = by_layer.into_iter().collect();
+    let per_layer = par::map_heavy(&layers, |(layer, rects)| {
         let space = rules.rule(*layer).expect("filtered above").min_space;
-        let comp = components(rects);
-        let mut reported = std::collections::HashSet::new();
-        for i in 0..rects.len() {
-            for j in i + 1..rects.len() {
-                if comp[i] == comp[j] {
-                    continue; // one conductor
-                }
-                let (a, b) = (rects[i], rects[j]);
-                let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
-                let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
-                let measured = dx.max(dy);
-                if dx < space
-                    && dy < space
-                    && reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j])))
-                {
-                    violations.push(Violation::Spacing {
-                        layer: *layer,
-                        a,
-                        b,
-                        measured,
-                        required: space,
-                    });
-                }
+        layer_spacing_violations(*layer, rects, space)
+    });
+    for v in per_layer {
+        violations.extend(v);
+    }
+    sp.field("violations", violations.len() as u64);
+    violations
+}
+
+/// Spacing violations on one layer, index-driven.
+///
+/// For every rect the index yields only its neighbors with an axis gap
+/// `< space`; neighbors are visited in ascending pair order so the
+/// representative pair reported for each component pair matches the
+/// naive all-pairs scan exactly.
+fn layer_spacing_violations(layer: Layer, rects: &[Rect], space: i64) -> Vec<Violation> {
+    if rects.len() < 2 || space <= 0 {
+        return Vec::new();
+    }
+    let _sp = riot_trace::span!("drc.layer", rects = rects.len() as u64);
+    let index = SpatialIndex::build(rects);
+    let comp = components(rects, &index);
+    let mut reported = std::collections::HashSet::new();
+    let mut violations = Vec::new();
+    let mut neighbors = Vec::new();
+    for i in 0..rects.len() {
+        neighbors.clear();
+        neighbors.extend(index.within(rects[i], space - 1).filter(|&j| j > i));
+        for &j in &neighbors {
+            if comp[i] == comp[j] {
+                continue; // one conductor
+            }
+            let (a, b) = (rects[i], rects[j]);
+            let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
+            let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
+            let measured = dx.max(dy);
+            debug_assert!(dx < space && dy < space, "index over-expanded");
+            if reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j]))) {
+                violations.push(Violation::Spacing {
+                    layer,
+                    a,
+                    b,
+                    measured,
+                    required: space,
+                });
             }
         }
     }
     violations
 }
 
-/// Connected-component labels for touching rectangles.
-fn components(rects: &[Rect]) -> Vec<usize> {
-    let mut parent: Vec<usize> = (0..rects.len()).collect();
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
-    for i in 0..rects.len() {
-        for j in i + 1..rects.len() {
-            if rects[i].touches(rects[j]) {
-                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
-                if a != b {
-                    parent[a] = b;
-                }
+/// Connected-component labels for touching rectangles: the index turns
+/// edge discovery from all-pairs into per-rect neighborhood queries,
+/// and the union-find uses union-by-rank + path compression.
+fn components(rects: &[Rect], index: &SpatialIndex) -> Vec<usize> {
+    let mut uf = UnionFind::new(rects.len());
+    for (i, &r) in rects.iter().enumerate() {
+        for j in index.query(r) {
+            if j > i {
+                uf.union(i, j);
             }
         }
     }
-    (0..rects.len()).map(|i| find(&mut parent, i)).collect()
+    uf.labels()
 }
 
 #[cfg(test)]

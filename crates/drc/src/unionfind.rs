@@ -1,0 +1,124 @@
+//! Union-find with union-by-rank and path compression.
+//!
+//! Labels the connected components of touching rectangles. Union by
+//! rank keeps the forest depth logarithmic even before compression
+//! kicks in — the original path-compression-only version degraded to
+//! long parent chains when rects were unioned in sequence (exactly the
+//! abutted-rail pattern DRC sees).
+
+/// A disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// The canonical representative of `x`'s set (path-halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; the higher-rank root wins, so
+    /// tree height grows only when ranks tie. Returns `true` when the
+    /// sets were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Canonical label per element; equal labels ⇔ same set.
+    pub fn labels(&mut self) -> Vec<usize> {
+        (0..self.parent.len()).map(|i| self.find(i)).collect()
+    }
+
+    /// The longest parent chain currently in the forest (test hook:
+    /// union-by-rank bounds this by log₂ n even without compression).
+    #[cfg(test)]
+    fn max_chain(&self) -> usize {
+        (0..self.parent.len())
+            .map(|mut x| {
+                let mut hops = 0;
+                while self.parent[x] != x {
+                    x = self.parent[x];
+                    hops += 1;
+                }
+                hops
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_chain_stays_shallow() {
+        // Union a 100_000-element chain in order — the worst case for
+        // the old path-compression-only code, which built an O(n)
+        // parent chain out of it. Rank keeps every chain ≤ log₂ n.
+        let n = 100_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            assert!(uf.union(i, i + 1));
+        }
+        let bound = (n as f64).log2().ceil() as usize + 1;
+        assert!(
+            uf.max_chain() <= bound,
+            "chain {} exceeds log bound {}",
+            uf.max_chain(),
+            bound
+        );
+        let labels = uf.labels();
+        assert!(labels.iter().all(|&l| l == labels[0]), "one component");
+    }
+
+    #[test]
+    fn separate_sets_stay_separate() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(2));
+        assert!(!uf.union(0, 1), "already merged");
+        let labels = uf.labels();
+        assert_eq!(labels[4], 4);
+        assert_eq!(labels[5], 5);
+    }
+
+    #[test]
+    fn rank_ties_grow_rank_once() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1); // rank(0) = 1
+        uf.union(2, 3); // rank(2) = 1
+        uf.union(0, 2); // tie at 1 -> rank 2
+        assert_eq!(uf.rank.iter().copied().max(), Some(2));
+        let labels = uf.labels();
+        assert!(labels.iter().all(|&l| l == labels[0]));
+    }
+}

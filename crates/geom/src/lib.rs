@@ -8,6 +8,12 @@
 //! cells were drawn in, and the four box sides used to express *opposed*
 //! connectors.
 //!
+//! Beyond the paper's 500 lines, this crate also hosts the two shared
+//! performance primitives of the reproduction: an immutable bucketed
+//! spatial index over rectangles ([`index`]) and a tiny scoped worker
+//! pool ([`par`]) honoring `RIOT_THREADS`. They live here because every
+//! geometry hot path (DRC, flatten, render) builds on them.
+//!
 //! # Units
 //!
 //! All coordinates are integers in **centimicrons** (1/100 µm), the CIF
@@ -28,8 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod index;
 pub mod layer;
 pub mod orientation;
+pub mod par;
 pub mod path;
 pub mod point;
 pub mod rect;
@@ -37,6 +45,7 @@ pub mod side;
 pub mod transform;
 pub mod units;
 
+pub use index::SpatialIndex;
 pub use layer::Layer;
 pub use orientation::Orientation;
 pub use path::Path;

@@ -8,9 +8,49 @@
 //! colors to its palette exactly like the terminals did.
 
 use crate::color::Color;
-use crate::display_list::DisplayList;
+use crate::display_list::{render_ops_banded, DisplayList, DrawOp};
 use crate::framebuffer::Framebuffer;
 use crate::viewport::Viewport;
+use std::collections::HashMap;
+
+/// A precomputed palette-quantization table.
+///
+/// Display lists reuse a handful of layer colors across thousands of
+/// ops; quantizing each *distinct* color once and looking the result up
+/// replaces the per-op nearest-palette-entry scan the render loop used
+/// to do (`O(ops × palette)` → `O(colors × palette + ops)`).
+#[derive(Debug, Clone)]
+pub struct PaletteLut {
+    map: HashMap<Color, Color>,
+}
+
+impl PaletteLut {
+    /// Builds the table for every distinct color appearing in `ops`.
+    pub fn for_ops(ops: &[DrawOp], palette: &[Color]) -> Self {
+        let mut map = HashMap::new();
+        for op in ops {
+            let c = op.color();
+            map.entry(c).or_insert_with(|| c.quantize(palette));
+        }
+        PaletteLut { map }
+    }
+
+    /// The palette color for `c`; colors absent from the table fall
+    /// back to themselves.
+    pub fn quantize(&self, c: Color) -> Color {
+        self.map.get(&c).copied().unwrap_or(c)
+    }
+
+    /// Number of distinct colors in the table.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// A display device: a resolution and a fixed palette.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,49 +89,28 @@ impl Device {
 
     /// Renders a display list at the device's resolution with its
     /// palette, fitting the whole list on screen.
+    ///
+    /// Colors are quantized through a precomputed [`PaletteLut`] and
+    /// the framebuffer is painted in parallel horizontal bands (see
+    /// [`render_ops_banded`]); the output is pixel-identical at any
+    /// thread count.
     pub fn render(&self, list: &DisplayList) -> Framebuffer {
         let _sp = riot_trace::span!("gfx.render", ops = list.ops().len() as u64);
         let mut fb = self.framebuffer();
         if let Some(bb) = list.bounding_box() {
             let vp = Viewport::fit(bb, self.width, self.height);
-            let quantized: DisplayList = list
+            let lut = PaletteLut::for_ops(list.ops(), &self.palette);
+            riot_trace::registry()
+                .counter("gfx.palette.lut.colors")
+                .add(lut.len() as u64);
+            let quantized: Vec<DrawOp> = list
                 .ops()
                 .iter()
-                .cloned()
-                .map(|op| self.quantize_op(op))
+                .map(|op| op.with_color(lut.quantize(op.color())))
                 .collect();
-            quantized.render(&vp, &mut fb);
+            render_ops_banded(&quantized, &vp, &mut fb);
         }
         fb
-    }
-
-    fn quantize_op(&self, op: crate::display_list::DrawOp) -> crate::display_list::DrawOp {
-        use crate::display_list::DrawOp::*;
-        match op {
-            Line { from, to, color } => Line {
-                from,
-                to,
-                color: color.quantize(&self.palette),
-            },
-            Rect { rect, color } => Rect {
-                rect,
-                color: color.quantize(&self.palette),
-            },
-            FillRect { rect, color } => FillRect {
-                rect,
-                color: color.quantize(&self.palette),
-            },
-            Cross { center, arm, color } => Cross {
-                center,
-                arm,
-                color: color.quantize(&self.palette),
-            },
-            Text { at, text, color } => Text {
-                at,
-                text,
-                color: color.quantize(&self.palette),
-            },
-        }
     }
 }
 

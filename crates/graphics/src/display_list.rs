@@ -1,9 +1,11 @@
 //! Resolution-independent draw operations in layout coordinates.
 
 use crate::color::Color;
+use crate::font;
 use crate::framebuffer::Framebuffer;
+use crate::raster::{self, PixelSink};
 use crate::viewport::Viewport;
-use riot_geom::{Point, Rect};
+use riot_geom::{par, Point, Rect, SpatialIndex};
 
 /// One drawing operation in world (centimicron) coordinates.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +53,33 @@ pub enum DrawOp {
         /// Text color.
         color: Color,
     },
+}
+
+impl DrawOp {
+    /// The operation's color.
+    pub fn color(&self) -> Color {
+        match self {
+            DrawOp::Line { color, .. }
+            | DrawOp::Rect { color, .. }
+            | DrawOp::FillRect { color, .. }
+            | DrawOp::Cross { color, .. }
+            | DrawOp::Text { color, .. } => *color,
+        }
+    }
+
+    /// The same operation painted in a different color (the device
+    /// palette-quantization path).
+    pub fn with_color(&self, color: Color) -> DrawOp {
+        let mut op = self.clone();
+        match &mut op {
+            DrawOp::Line { color: c, .. }
+            | DrawOp::Rect { color: c, .. }
+            | DrawOp::FillRect { color: c, .. }
+            | DrawOp::Cross { color: c, .. }
+            | DrawOp::Text { color: c, .. } => *c = color,
+        }
+        op
+    }
 }
 
 /// An ordered list of draw operations — Riot's per-screen display list,
@@ -111,35 +140,117 @@ impl DisplayList {
 
     /// Renders into a framebuffer through a viewport.
     pub fn render(&self, viewport: &Viewport, fb: &mut Framebuffer) {
+        self.render_into(viewport, fb);
+    }
+
+    /// Renders into any [`PixelSink`] through a viewport — the sink may
+    /// be a whole [`Framebuffer`] or a single horizontal
+    /// [`Band`](crate::raster::Band) of one.
+    pub fn render_into<S: PixelSink>(&self, viewport: &Viewport, sink: &mut S) {
         for op in &self.ops {
-            match op {
-                DrawOp::Line { from, to, color } => {
-                    let (x0, y0) = viewport.to_screen(*from);
-                    let (x1, y1) = viewport.to_screen(*to);
-                    fb.draw_line(x0, y0, x1, y1, *color);
-                }
-                DrawOp::Rect { rect, color } => {
-                    let (x0, y0) = viewport.to_screen(rect.lower_left());
-                    let (x1, y1) = viewport.to_screen(rect.upper_right());
-                    fb.draw_rect(x0, y0, x1, y1, *color);
-                }
-                DrawOp::FillRect { rect, color } => {
-                    let (x0, y0) = viewport.to_screen(rect.lower_left());
-                    let (x1, y1) = viewport.to_screen(rect.upper_right());
-                    fb.fill_rect(x0, y0, x1, y1, *color);
-                }
-                DrawOp::Cross { center, arm, color } => {
-                    let (x, y) = viewport.to_screen(*center);
-                    let a = viewport.scale_length(*arm).max(2);
-                    fb.draw_cross(x, y, a, *color);
-                }
-                DrawOp::Text { at, text, color } => {
-                    let (x, y) = viewport.to_screen(*at);
-                    fb.draw_text(x, y, text, *color);
-                }
-            }
+            render_op(op, viewport, sink);
         }
     }
+}
+
+/// Rasterizes one draw operation into a sink.
+fn render_op(op: &DrawOp, viewport: &Viewport, sink: &mut impl PixelSink) {
+    match op {
+        DrawOp::Line { from, to, color } => {
+            let (x0, y0) = viewport.to_screen(*from);
+            let (x1, y1) = viewport.to_screen(*to);
+            raster::draw_line(sink, x0, y0, x1, y1, *color);
+        }
+        DrawOp::Rect { rect, color } => {
+            let (x0, y0) = viewport.to_screen(rect.lower_left());
+            let (x1, y1) = viewport.to_screen(rect.upper_right());
+            raster::draw_rect(sink, x0, y0, x1, y1, *color);
+        }
+        DrawOp::FillRect { rect, color } => {
+            let (x0, y0) = viewport.to_screen(rect.lower_left());
+            let (x1, y1) = viewport.to_screen(rect.upper_right());
+            raster::fill_rect(sink, x0, y0, x1, y1, *color);
+        }
+        DrawOp::Cross { center, arm, color } => {
+            let (x, y) = viewport.to_screen(*center);
+            let a = viewport.scale_length(*arm).max(2);
+            raster::draw_cross(sink, x, y, a, *color);
+        }
+        DrawOp::Text { at, text, color } => {
+            let (x, y) = viewport.to_screen(*at);
+            raster::draw_text(sink, x, y, text, *color);
+        }
+    }
+}
+
+/// A conservative **screen-space** bounding box of everything an op can
+/// paint (a one-pixel safety margin covers rounding at the edges).
+/// Used to clip ops against render bands.
+fn op_screen_bbox(op: &DrawOp, viewport: &Viewport) -> Rect {
+    let bbox = match op {
+        DrawOp::Line { from, to, .. } => {
+            let (x0, y0) = viewport.to_screen(*from);
+            let (x1, y1) = viewport.to_screen(*to);
+            Rect::new(x0, y0, x1, y1)
+        }
+        DrawOp::Rect { rect, .. } | DrawOp::FillRect { rect, .. } => {
+            let (x0, y0) = viewport.to_screen(rect.lower_left());
+            let (x1, y1) = viewport.to_screen(rect.upper_right());
+            Rect::new(x0, y0, x1, y1)
+        }
+        DrawOp::Cross { center, arm, .. } => {
+            let (x, y) = viewport.to_screen(*center);
+            let a = viewport.scale_length(*arm).max(2);
+            Rect::new(x - a, y - a, x + a, y + a)
+        }
+        DrawOp::Text { at, text, .. } => {
+            let (x, y) = viewport.to_screen(*at);
+            Rect::new(
+                x,
+                y,
+                x + font::text_width(text) as i64,
+                y + font::GLYPH_HEIGHT as i64 - 1,
+            )
+        }
+    };
+    bbox.inflated(1)
+}
+
+/// Renders `ops` into the framebuffer in parallel horizontal bands.
+///
+/// A [`SpatialIndex`] over the ops' screen bounding boxes clips each
+/// band to the ops that can actually touch it; every band paints its
+/// candidates in ascending op order and owns a disjoint row range, so
+/// the result is pixel-identical to the sequential
+/// [`DisplayList::render`] path at any thread count. Emits one
+/// `gfx.render.band` span per band (also when running serially).
+pub fn render_ops_banded(ops: &[DrawOp], viewport: &Viewport, fb: &mut Framebuffer) {
+    if ops.is_empty() {
+        return;
+    }
+    let width = fb.width();
+    let height = fb.height();
+    let boxes: Vec<Rect> = ops.iter().map(|op| op_screen_bbox(op, viewport)).collect();
+    let index = SpatialIndex::build(&boxes);
+    let band_count = par::threads().clamp(1, height);
+    let mut bands = fb.bands_mut(height.div_ceil(band_count));
+    riot_trace::registry()
+        .counter("gfx.render.bands")
+        .add(bands.len() as u64);
+    par::for_each_mut(&mut bands, |_, band| {
+        let candidates: Vec<usize> = index
+            .query(Rect::new(0, band.y_min(), width as i64 - 1, band.y_max()))
+            .collect();
+        let _sp = riot_trace::span!(
+            "gfx.render.band",
+            y0 = band.y_start() as u64,
+            rows = band.rows() as u64,
+            ops = candidates.len() as u64,
+        );
+        for i in candidates {
+            render_op(&ops[i], viewport, band);
+        }
+    });
 }
 
 impl Extend<DrawOp> for DisplayList {
@@ -207,5 +318,41 @@ mod tests {
     fn collect_from_iterator() {
         let dl: DisplayList = sample().ops().to_vec().into_iter().collect();
         assert_eq!(dl.len(), 3);
+    }
+
+    #[test]
+    fn color_accessors_round_trip() {
+        for op in sample().ops() {
+            let tinted = op.with_color(Color::new(1, 2, 3));
+            assert_eq!(tinted.color(), Color::new(1, 2, 3));
+            assert_eq!(op.with_color(op.color()), *op);
+        }
+    }
+
+    #[test]
+    fn banded_render_matches_sequential_at_any_thread_count() {
+        let mut dl = sample();
+        // Add overlapping ops so draw order matters across bands.
+        for i in 0..24 {
+            dl.push(DrawOp::FillRect {
+                rect: Rect::new(i * 37, i * 23, i * 37 + 400, i * 23 + 300),
+                color: Color::new((i * 11) as u8, 128, (255 - i * 9) as u8),
+            });
+            dl.push(DrawOp::Line {
+                from: Point::new(0, i * 40),
+                to: Point::new(1000, 500 - i * 17),
+                color: Color::WHITE,
+            });
+        }
+        let vp = Viewport::fit(dl.bounding_box().unwrap(), 96, 96);
+        let mut reference = Framebuffer::new(96, 96);
+        dl.render(&vp, &mut reference);
+        for t in [1usize, 2, 3, 8] {
+            par::set_threads(t);
+            let mut fb = Framebuffer::new(96, 96);
+            render_ops_banded(dl.ops(), &vp, &mut fb);
+            par::set_threads(0);
+            assert_eq!(fb, reference, "threads = {t}");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! The in-memory raster standing in for the color terminals.
 
 use crate::color::Color;
-use crate::font;
+use crate::raster::{self, Band, PixelSink};
 
 /// A simple RGB framebuffer with the primitive drawing operations the
 /// Riot display needed: lines, outlined and filled rectangles, the
@@ -63,76 +63,48 @@ impl Framebuffer {
         self.pixels[y as usize * self.width + x as usize] = color;
     }
 
+    /// Splits the framebuffer into horizontal [`Band`]s of at most
+    /// `band_rows` rows each (the last band may be shorter). The bands
+    /// partition the pixel storage, so they can be painted from
+    /// different threads without overlapping writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `band_rows` is zero.
+    pub fn bands_mut(&mut self, band_rows: usize) -> Vec<Band<'_>> {
+        assert!(band_rows > 0, "bands must hold at least one row");
+        let (width, height) = (self.width, self.height);
+        self.pixels
+            .chunks_mut(band_rows * width)
+            .enumerate()
+            .map(|(i, rows)| Band::new(rows, width, height, i * band_rows))
+            .collect()
+    }
+
     /// Draws a line with Bresenham's algorithm (any slope).
     pub fn draw_line(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, color: Color) {
-        let (mut x, mut y) = (x0, y0);
-        let dx = (x1 - x0).abs();
-        let dy = -(y1 - y0).abs();
-        let sx = if x0 < x1 { 1 } else { -1 };
-        let sy = if y0 < y1 { 1 } else { -1 };
-        let mut err = dx + dy;
-        loop {
-            self.set(x, y, color);
-            if x == x1 && y == y1 {
-                break;
-            }
-            let e2 = 2 * err;
-            if e2 >= dy {
-                err += dy;
-                x += sx;
-            }
-            if e2 <= dx {
-                err += dx;
-                y += sy;
-            }
-        }
+        raster::draw_line(self, x0, y0, x1, y1, color);
     }
 
     /// Draws an axis-aligned rectangle outline.
     pub fn draw_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, color: Color) {
-        self.draw_line(x0, y0, x1, y0, color);
-        self.draw_line(x1, y0, x1, y1, color);
-        self.draw_line(x1, y1, x0, y1, color);
-        self.draw_line(x0, y1, x0, y0, color);
+        raster::draw_rect(self, x0, y0, x1, y1, color);
     }
 
     /// Fills an axis-aligned rectangle (inclusive bounds), clipped.
     pub fn fill_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, color: Color) {
-        let (x0, x1) = (x0.min(x1), x0.max(x1));
-        let (y0, y1) = (y0.min(y1), y0.max(y1));
-        for y in y0.max(0)..=y1.min(self.height as i64 - 1) {
-            for x in x0.max(0)..=x1.min(self.width as i64 - 1) {
-                self.set(x, y, color);
-            }
-        }
+        raster::fill_rect(self, x0, y0, x1, y1, color);
     }
 
     /// Draws a connector cross of the given half-arm length — "the size
     /// and color of the connector crosses indicates width and layer".
     pub fn draw_cross(&mut self, x: i64, y: i64, arm: i64, color: Color) {
-        self.draw_line(x - arm, y, x + arm, y, color);
-        self.draw_line(x, y - arm, x, y + arm, color);
+        raster::draw_cross(self, x, y, arm, color);
     }
 
     /// Draws text with the 5×7 font, lower-left corner at `(x, y)`.
     pub fn draw_text(&mut self, x: i64, y: i64, text: &str, color: Color) {
-        let mut cx = x;
-        for c in text.chars() {
-            let rows = font::glyph(c);
-            for (ry, row) in rows.iter().enumerate() {
-                for bit in 0..font::GLYPH_WIDTH {
-                    if row & (1 << (font::GLYPH_WIDTH - 1 - bit)) != 0 {
-                        // Row 0 of the glyph is the top.
-                        self.set(
-                            cx + bit as i64,
-                            y + (font::GLYPH_HEIGHT - 1 - ry) as i64,
-                            color,
-                        );
-                    }
-                }
-            }
-            cx += font::ADVANCE as i64;
-        }
+        raster::draw_text(self, x, y, text, color);
     }
 
     /// Serializes as a binary PPM (P6) image, flipping vertically so
@@ -152,6 +124,20 @@ impl Framebuffer {
     /// driver's "did anything draw" checks).
     pub fn lit_pixels(&self) -> usize {
         self.pixels.iter().filter(|&&c| c != Color::BLACK).count()
+    }
+}
+
+impl PixelSink for Framebuffer {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn height(&self) -> usize {
+        self.height
+    }
+
+    fn set(&mut self, x: i64, y: i64, color: Color) {
+        Framebuffer::set(self, x, y, color);
     }
 }
 

@@ -45,10 +45,13 @@ pub mod display_list;
 pub mod font;
 pub mod framebuffer;
 pub mod plotter;
+pub mod raster;
 pub mod svg;
 pub mod viewport;
 
 pub use color::Color;
-pub use display_list::{DisplayList, DrawOp};
+pub use device::PaletteLut;
+pub use display_list::{render_ops_banded, DisplayList, DrawOp};
 pub use framebuffer::Framebuffer;
+pub use raster::{Band, PixelSink};
 pub use viewport::Viewport;

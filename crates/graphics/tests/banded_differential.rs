@@ -1,0 +1,72 @@
+//! Differential property test: the band-parallel rasterizer must be
+//! pixel-identical to the sequential display-list renderer on random
+//! op soups, at every thread count.
+
+use proptest::prelude::*;
+use riot_geom::{par, Point, Rect};
+use riot_graphics::{render_ops_banded, Color, DisplayList, DrawOp, Framebuffer, Viewport};
+
+fn arb_ops() -> impl Strategy<Value = Vec<DrawOp>> {
+    (1u64..1_000_000, 1usize..60).prop_map(|(seed, n)| {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..n)
+            .map(|_| {
+                let x = (next() % 2000) as i64 - 1000;
+                let y = (next() % 2000) as i64 - 1000;
+                let w = (next() % 800) as i64 + 1;
+                let h = (next() % 600) as i64 + 1;
+                let color = Color::new(next() as u8, next() as u8, next() as u8);
+                match next() % 5 {
+                    0 => DrawOp::Line {
+                        from: Point::new(x, y),
+                        to: Point::new(x + w, y - h),
+                        color,
+                    },
+                    1 => DrawOp::Rect {
+                        rect: Rect::new(x, y, x + w, y + h),
+                        color,
+                    },
+                    2 => DrawOp::FillRect {
+                        rect: Rect::new(x, y, x + w, y + h),
+                        color,
+                    },
+                    3 => DrawOp::Cross {
+                        center: Point::new(x, y),
+                        arm: (next() % 200) as i64 + 10,
+                        color,
+                    },
+                    _ => DrawOp::Text {
+                        at: Point::new(x, y),
+                        text: "NET".into(),
+                        color,
+                    },
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn banded_equals_sequential(ops in arb_ops()) {
+        let list: DisplayList = ops.iter().cloned().collect();
+        let vp = Viewport::fit(list.bounding_box().unwrap(), 120, 80);
+        let mut reference = Framebuffer::new(120, 80);
+        list.render(&vp, &mut reference);
+        for t in [1usize, 2, 4] {
+            par::set_threads(t);
+            let mut fb = Framebuffer::new(120, 80);
+            render_ops_banded(&ops, &vp, &mut fb);
+            par::set_threads(0);
+            prop_assert_eq!(&fb, &reference, "threads = {}", t);
+        }
+    }
+}

@@ -148,4 +148,42 @@ fn replay_emits_a_span_per_journaled_command_kind() {
         let name = format!("cmd.{kind}");
         assert!(span_names.contains(&name), "no span record named {name}");
     }
+
+    // The geometry pipeline (flatten → DRC → banded render) emits its
+    // own spans: the memoized flattener, the indexed checker, and one
+    // span per framebuffer band (present even in a serial render).
+    riot::trace::enable(true);
+    let file = riot::cif::parse(
+        "DS 1;L NM;B 400 250 200 125;L NP;B 200 200 600 100;DF;C 1 T 0 0;C 1 T 450 0;E",
+    )
+    .expect("pipeline fixture parses");
+    let shapes = riot::cif::flatten(&file).expect("flatten");
+    let _violations = riot::drc::check(&shapes, &riot::drc::RuleSet::nmos());
+    let list: riot::graphics::DisplayList = shapes
+        .iter()
+        .map(|s| riot::graphics::DrawOp::FillRect {
+            rect: s.geometry.bounding_box(),
+            color: riot::graphics::Color::of_layer(s.layer),
+        })
+        .collect();
+    let fb = riot::graphics::device::gigi().render(&list);
+    riot::trace::enable(false);
+    assert!(fb.lit_pixels() > 0, "pipeline fixture drew nothing");
+
+    let pipeline_spans: BTreeSet<String> = riot::trace::recorder()
+        .snapshot()
+        .into_iter()
+        .map(|r| r.name.to_owned())
+        .collect();
+    for name in [
+        "cif.flatten.memo",
+        "drc.check",
+        "gfx.render",
+        "gfx.render.band",
+    ] {
+        assert!(
+            pipeline_spans.contains(name),
+            "no span record named {name}; have {pipeline_spans:?}"
+        );
+    }
 }
