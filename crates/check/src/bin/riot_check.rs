@@ -1,0 +1,148 @@
+//! `riot-check`: CLI front end for the model-based conformance and
+//! fault-injection harness.
+//!
+//! ```text
+//! riot-check run --seed 42 --steps 500 --faults 0.1
+//! riot-check run --seeds 1,2,3 --steps 200
+//! riot-check run --seed 7 --steps 400 --demo-bug   # seeded failure demo
+//! ```
+//!
+//! On a conformance failure the harness shrinks the command history
+//! with ddmin and prints the minimal repro as journal lines, then
+//! exits non-zero.
+
+use riot_check::{run_check, run_commands, shrink, CheckConfig};
+use riot_core::command_to_line;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+riot-check: model-based conformance + fault-injection harness
+
+USAGE:
+    riot-check run [OPTIONS]
+
+OPTIONS:
+    --seed N        single seed (default 42)
+    --seeds A,B,..  comma-separated list of seeds (overrides --seed)
+    --steps M       commands per seed (default 500)
+    --faults P      fault-injection rate in [0,1] (default 0.0)
+    --demo-bug      arm the seeded model misprediction (must fail;
+                    demonstrates failure reporting and shrinking)
+    -h, --help      this help
+";
+
+struct Args {
+    seeds: Vec<u64>,
+    steps: usize,
+    faults: f64,
+    demo_bug: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => {}
+        Some("-h") | Some("--help") | None => {
+            print!("{USAGE}");
+            std::process::exit(if std::env::args().len() > 1 { 0 } else { 2 });
+        }
+        Some(other) => return Err(format!("unknown subcommand `{other}`")),
+    }
+    let mut out = Args {
+        seeds: vec![42],
+        steps: 500,
+        faults: 0.0,
+        demo_bug: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("`{name}` needs a value"));
+        match flag.as_str() {
+            "--seed" => {
+                out.seeds = vec![value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?];
+            }
+            "--seeds" => {
+                out.seeds = value("--seeds")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--seeds: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--steps" => {
+                out.steps = value("--steps")?
+                    .parse()
+                    .map_err(|e| format!("--steps: {e}"))?;
+            }
+            "--faults" => {
+                out.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("--faults: {e}"))?;
+                if !(0.0..=1.0).contains(&out.faults) {
+                    return Err("--faults must be in [0,1]".into());
+                }
+            }
+            "--demo-bug" => out.demo_bug = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if out.seeds.is_empty() {
+        return Err("no seeds given".into());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("riot-check: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = false;
+    for &seed in &args.seeds {
+        let cfg = CheckConfig {
+            seed,
+            steps: args.steps,
+            fault_rate: args.faults,
+            demo_bug: args.demo_bug,
+        };
+        match run_check(&cfg) {
+            Ok(report) => {
+                println!(
+                    "PASS seed {seed}: {} steps, {}/{} fault sites tripped, {} crash checks",
+                    report.steps,
+                    report.faults_injected,
+                    report.faults_consulted,
+                    report.crash_checks
+                );
+            }
+            Err(failure) => {
+                failed = true;
+                println!("FAIL {failure}");
+                let minimal = shrink(&failure.history, |cmds| run_commands(&cfg, cmds).is_err());
+                println!(
+                    "shrunk {} -> {} commands; repro journal:",
+                    failure.history.len(),
+                    minimal.len()
+                );
+                println!("    edit TOP");
+                for cmd in &minimal {
+                    println!("    {}", command_to_line(cmd));
+                }
+                if let Err(f) = run_commands(&cfg, &minimal) {
+                    println!("minimal failure: {f}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

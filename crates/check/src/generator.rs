@@ -1,0 +1,341 @@
+//! The seeded command-sequence generator.
+//!
+//! Commands are generated **adaptively** against the current
+//! [`Model`] state: instance names come from the live slots, connector
+//! names from the model's own world-connector computation, and most
+//! CONNECTs are steered toward layer-matched, opposed pairs so the
+//! solver-backed commands (ABUT/ROUTE/STRETCH) actually have work to
+//! do. A tunable minority of commands deliberately references unknown
+//! names or illegal parameters to exercise the editor's error paths —
+//! the model predicts those errors exactly.
+
+use crate::model::Model;
+use riot_core::Command;
+use riot_geom::{Orientation, Point, Side, LAMBDA};
+use riot_rest::SolveMode;
+use riot_route::RouterOptions;
+
+/// SplitMix64: a tiny, seedable, statistically solid generator — the
+/// same family the core fault plan uses, with a different stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x1F12_3BB5_159A_55E5,
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() % 1_000_000) < (p.clamp(0.0, 1.0) * 1_000_000.0) as u64
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, s: &'a [T]) -> &'a T {
+        &s[self.below(s.len() as u64) as usize]
+    }
+
+    /// Uniform signed value in `lo..=hi`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + self.below((hi - lo + 1) as u64) as i64
+    }
+}
+
+/// The adaptive command generator for one harness run.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    rng: SplitMix64,
+    fresh: u64,
+}
+
+impl Generator {
+    /// A generator for `seed`.
+    pub fn new(seed: u64) -> Generator {
+        Generator {
+            rng: SplitMix64::new(seed),
+            fresh: 0,
+        }
+    }
+
+    /// The names of menu cells worth instantiating: everything except
+    /// the cell under edit (no recursive composition).
+    fn menu(&self, model: &Model) -> Vec<String> {
+        model
+            .core
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != model.edit_cell)
+            .map(|(_, c)| c.name.clone())
+            .collect()
+    }
+
+    fn live_names(&self, model: &Model) -> Vec<String> {
+        model.live().iter().map(|(_, i)| i.name.clone()).collect()
+    }
+
+    fn some_instance(&mut self, model: &Model) -> String {
+        let live = self.live_names(model);
+        if live.is_empty() || self.rng.chance(0.05) {
+            "I999".to_owned()
+        } else {
+            self.rng.pick(&live).clone()
+        }
+    }
+
+    /// A CONNECT biased (~70%) toward a pair the editor will accept:
+    /// layer-matched connectors on opposed world sides, consistent with
+    /// whatever is already pending.
+    fn gen_connect(&mut self, model: &Model) -> Command {
+        let live = model.live();
+        if live.len() >= 2 && self.rng.chance(0.7) {
+            // Respect the pending list's from-instance, if any.
+            let from_slot = match model.core.pending.first() {
+                Some(p) => p.from,
+                None => live[self.rng.below(live.len() as u64) as usize].0,
+            };
+            let candidates: Vec<usize> = live
+                .iter()
+                .map(|(s, _)| *s)
+                .filter(|s| {
+                    *s != from_slot && !model.core.pending.iter().any(|p| p.to == from_slot)
+                })
+                .collect();
+            if !candidates.is_empty() {
+                let to_slot = *self.rng.pick(&candidates);
+                let fcs = model.world_connectors(from_slot);
+                let tcs = model.world_connectors(to_slot);
+                let mut pairs = Vec::new();
+                for fc in &fcs {
+                    for tc in &tcs {
+                        if fc.layer == tc.layer {
+                            if let (Some(a), Some(b)) = (fc.side, tc.side) {
+                                if a.opposes(b) {
+                                    pairs.push((fc.name.clone(), tc.name.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+                if !pairs.is_empty() {
+                    let (fc, tc) = self.rng.pick(&pairs).clone();
+                    let from = model.inst_name(from_slot);
+                    let to = model.inst_name(to_slot);
+                    return Command::Connect {
+                        from,
+                        from_connector: fc,
+                        to,
+                        to_connector: tc,
+                    };
+                }
+            }
+        }
+        // Fallback / error-path connect: random names and connectors.
+        let from = self.some_instance(model);
+        let to = self.some_instance(model);
+        let pick_conn = |g: &mut Generator, name: &str| -> String {
+            if let Some(slot) = model.find_instance(name) {
+                let wcs = model.world_connectors(slot);
+                if !wcs.is_empty() && g.rng.chance(0.8) {
+                    return g.rng.pick(&wcs).name.clone();
+                }
+            }
+            "NOPE".to_owned()
+        };
+        let fc = pick_conn(self, &from);
+        let tc = pick_conn(self, &to);
+        Command::Connect {
+            from,
+            from_connector: fc,
+            to,
+            to_connector: tc,
+        }
+    }
+
+    /// A BRING-OUT of 1–2 same-side boundary connectors of one live
+    /// instance (falls back to an error-path command when none exist).
+    fn gen_bring_out(&mut self, model: &Model) -> Command {
+        let live = model.live();
+        if !live.is_empty() {
+            let (slot, inst) = live[self.rng.below(live.len() as u64) as usize];
+            let wcs = model.world_connectors(slot);
+            let sides: Vec<Side> = Side::ALL
+                .iter()
+                .copied()
+                .filter(|s| wcs.iter().any(|w| w.side == Some(*s)))
+                .collect();
+            if !sides.is_empty() && self.rng.chance(0.85) {
+                let side = *self.rng.pick(&sides);
+                let on_side: Vec<String> = wcs
+                    .iter()
+                    .filter(|w| w.side == Some(side))
+                    .map(|w| w.name.clone())
+                    .collect();
+                let take = 1 + self.rng.below(on_side.len().min(2) as u64) as usize;
+                let mut connectors = Vec::new();
+                let mut pool = on_side;
+                for _ in 0..take {
+                    let i = self.rng.below(pool.len() as u64) as usize;
+                    connectors.push(pool.swap_remove(i));
+                }
+                return Command::BringOut {
+                    instance: inst.name.clone(),
+                    connectors,
+                    side,
+                };
+            }
+        }
+        Command::BringOut {
+            instance: self.some_instance(model),
+            connectors: vec!["NOPE".to_owned()],
+            side: Side::Left,
+        }
+    }
+
+    /// The next command, generated against the model's current state.
+    pub fn next_command(&mut self, model: &Model) -> Command {
+        let live = self.live_names(model);
+        // Seed the session: until a couple of instances exist, mostly
+        // CREATE.
+        if live.len() < 2 && self.rng.chance(0.8) {
+            return self.gen_create(model);
+        }
+        match self.rng.below(100) {
+            0..=11 => self.gen_create(model),
+            12..=27 => {
+                // MOVE: lambda-grid deltas keep stretch/route targets
+                // on-grid most of the time.
+                let d = Point::new(
+                    self.rng.range(-24, 24) * LAMBDA,
+                    self.rng.range(-24, 24) * LAMBDA,
+                );
+                Command::Translate {
+                    instance: self.some_instance(model),
+                    d,
+                }
+            }
+            28..=32 => Command::Orient {
+                instance: self.some_instance(model),
+                orient: *self.rng.pick(&Orientation::ALL),
+            },
+            33..=36 => {
+                let bad = self.rng.chance(0.08);
+                Command::Replicate {
+                    instance: self.some_instance(model),
+                    cols: if bad { 0 } else { 1 + self.rng.below(3) as u32 },
+                    rows: 1 + self.rng.below(3) as u32,
+                }
+            }
+            37..=39 => {
+                let bad = self.rng.chance(0.08);
+                Command::Spacing {
+                    instance: self.some_instance(model),
+                    col: if bad {
+                        0
+                    } else {
+                        self.rng.range(4, 40) * LAMBDA
+                    },
+                    row: self.rng.range(4, 40) * LAMBDA,
+                }
+            }
+            40..=44 => Command::Delete {
+                instance: self.some_instance(model),
+            },
+            45..=62 => self.gen_connect(model),
+            63..=64 => Command::RemovePending {
+                index: self.rng.below(model.core.pending.len().max(1) as u64 + 1) as usize,
+            },
+            65..=66 => Command::ClearPending,
+            67..=74 => Command::Abut {
+                overlap: self.rng.chance(0.3),
+            },
+            75..=77 => Command::AbutInstances {
+                from: self.some_instance(model),
+                to: self.some_instance(model),
+            },
+            78..=83 => Command::Route {
+                move_from: self.rng.chance(0.8),
+                router: RouterOptions::default(),
+            },
+            84..=87 => Command::Stretch {
+                mode: if self.rng.chance(0.5) {
+                    SolveMode::PreserveGaps
+                } else {
+                    SolveMode::DesignRules
+                },
+            },
+            88..=89 => self.gen_bring_out(model),
+            90..=91 => Command::Finish,
+            92..=96 => Command::Undo,
+            _ => Command::Redo,
+        }
+    }
+
+    fn gen_create(&mut self, model: &Model) -> Command {
+        let menu = self.menu(model);
+        let cell = if menu.is_empty() || self.rng.chance(0.04) {
+            "NOPE".to_owned()
+        } else {
+            self.rng.pick(&menu).clone()
+        };
+        let instance = if self.rng.chance(0.1) {
+            // Deliberate collision to exercise name dedup.
+            self.some_instance(model)
+        } else {
+            self.fresh += 1;
+            format!("I{}", self.fresh)
+        };
+        Command::Create { cell, instance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(1);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let model = Model::default();
+        let mut a = Generator::new(42);
+        let mut b = Generator::new(42);
+        for _ in 0..50 {
+            assert_eq!(a.next_command(&model), b.next_command(&model));
+        }
+    }
+}

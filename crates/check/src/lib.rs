@@ -1,0 +1,42 @@
+//! `riot-check`: the model-based conformance and fault-injection
+//! harness for the RIOT reproduction.
+//!
+//! The harness drives the real [`riot_core::Editor`] with seeded
+//! streams of editing commands while a small, obviously-correct
+//! [`model::Model`] runs in lockstep. After every command the two are
+//! compared on everything a user can observe — the cell menu, the
+//! instance slots and their independently recomputed world connectors
+//! and bounding boxes, the pending connection list, and the undo/redo
+//! depths. Three layers of adversity are stacked on top:
+//!
+//! * **fault injection** — a [`riot_core::FaultPlan`] trips the
+//!   `txn.commit`, `route.solve`, and `stretch.solve` sites at a
+//!   configurable rate; every injected fault must roll the editor back
+//!   to a state the model recognizes (see [`runner`]);
+//! * **crash recovery** — at intervals the session's journal is
+//!   serialized to the crash-safe WAL format, deliberately corrupted
+//!   (torn tails, bit flips, garbage), recovered with
+//!   [`riot_core::Journal::recover_wal`], and the recovered prefix is
+//!   replayed through a *fresh* editor + model pair (see
+//!   [`runner::crash_check`]);
+//! * **shrinking** — a failing command sequence is minimized with
+//!   ddmin ([`shrink::shrink`]) before it is reported, so the repro
+//!   the harness prints is short enough to read.
+//!
+//! The `riot-check` binary (`riot-check run --seed N --steps M
+//! --faults P`) wraps all of this for CI; the umbrella crate's
+//! `tests/model_conformance.rs` runs the same harness under
+//! `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod model;
+pub mod runner;
+pub mod shrink;
+
+pub use generator::{Generator, SplitMix64};
+pub use model::{capture_core, Core, Model, POutcome, PredictedOk, Prediction};
+pub use runner::{menu_library, run_check, run_commands, CheckConfig, Failure, Report};
+pub use shrink::shrink;

@@ -1,0 +1,820 @@
+//! The reference model: a small, obviously-correct reimplementation of
+//! the editor's observable semantics.
+//!
+//! The model mirrors exactly what a user can see of an editing session
+//! — the cell menu, the instance slots, the pending connection list,
+//! and the undo/redo depths — and recomputes all derived geometry
+//! (world connectors, world bounding boxes) from first principles on
+//! every query, with no caches and no transactions. Simple commands are
+//! **fully predicted**: [`Model::apply`] either mutates the model and
+//! names the exact [`Outcome`] the editor must report, or names the
+//! exact [`RiotError`] the editor must raise. The solver-backed
+//! commands (ROUTE, STRETCH, BRING-OUT) are **observed**: the model
+//! verifies their post-conditions against the real editor and then
+//! adopts the new solver-produced cells verbatim.
+//!
+//! The conformance claim the harness proves is therefore: after every
+//! command, fault, undo, redo, and crash-recovery replay, the editor is
+//! in a state this model either predicted or can explain.
+
+use riot_core::{Command, Editor, Outcome, RiotError};
+use riot_geom::{Layer, Point, Rect, Side, Transform};
+
+/// A connector of a model cell (the model's copy of
+/// `riot_core::Connector`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MConnector {
+    /// Connector name.
+    pub name: String,
+    /// Cell-local location.
+    pub location: Point,
+    /// Wire layer.
+    pub layer: Layer,
+    /// Wire width in centimicrons.
+    pub width: i64,
+}
+
+/// A cell of the model's menu mirror.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MCell {
+    /// Cell name.
+    pub name: String,
+    /// Cell bounding box.
+    pub bbox: Rect,
+    /// The cell's connectors.
+    pub connectors: Vec<MConnector>,
+}
+
+/// An instance slot of the model's composition mirror.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MInstance {
+    /// Instance name.
+    pub name: String,
+    /// Index of the defining cell in [`Core::cells`].
+    pub cell: usize,
+    /// Placement of array element (0,0).
+    pub transform: Transform,
+    /// Array columns.
+    pub cols: u32,
+    /// Array rows.
+    pub rows: u32,
+    /// Column pitch in centimicrons.
+    pub col_spacing: i64,
+    /// Row pitch in centimicrons.
+    pub row_spacing: i64,
+}
+
+/// One pending connection, by slot indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MPending {
+    /// From-instance slot.
+    pub from: usize,
+    /// Connector on the from instance.
+    pub from_connector: String,
+    /// To-instance slot.
+    pub to: usize,
+    /// Connector on the to instance.
+    pub to_connector: String,
+}
+
+/// A world-space connector as the model computes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MWorld {
+    /// Owning instance's name.
+    pub instance_name: String,
+    /// Exposed (possibly array-suffixed) name.
+    pub name: String,
+    /// Location in composition coordinates.
+    pub location: Point,
+    /// Wire layer.
+    pub layer: Layer,
+    /// Wire width.
+    pub width: i64,
+    /// World side, or `None` for interior connectors.
+    pub side: Option<Side>,
+}
+
+/// The model's full observable state: menu, slots, pending list.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Core {
+    /// The cell menu, in menu order (index == `CellId` index).
+    pub cells: Vec<MCell>,
+    /// Instance slots; `None` marks a deleted tombstone.
+    pub slots: Vec<Option<MInstance>>,
+    /// The pending connection list.
+    pub pending: Vec<MPending>,
+}
+
+/// What the model predicts for one command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prediction {
+    /// The command succeeds; the model has already committed the state
+    /// change.
+    Ok(PredictedOk),
+    /// The command fails with exactly this error; the model is
+    /// untouched.
+    Err(RiotError),
+    /// A solver-backed command: the runner verifies post-conditions and
+    /// syncs the model from the editor afterward.
+    Observe,
+}
+
+/// A predicted success: the outcome the editor must report plus
+/// warning substrings the step must emit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PredictedOk {
+    /// The expected outcome.
+    pub outcome: POutcome,
+    /// Substrings that must each appear among the step's new warnings
+    /// (with multiplicity).
+    pub warnings: Vec<String>,
+}
+
+/// Model-side mirror of [`Outcome`] (ids as raw slot indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum POutcome {
+    /// No payload.
+    #[default]
+    None,
+    /// An instance was created in this slot.
+    Instance(usize),
+    /// A count (finish's promoted connectors).
+    Count(usize),
+}
+
+impl POutcome {
+    /// Whether the editor's outcome matches this prediction.
+    pub fn matches(&self, o: &Outcome) -> bool {
+        match (self, o) {
+            (POutcome::None, Outcome::None) => true,
+            (POutcome::Instance(slot), Outcome::Instance(id)) => *slot == id.index(),
+            (POutcome::Count(a), Outcome::Count(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// The reference model of one editing session.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    /// The observable state.
+    pub core: Core,
+    /// Index of the cell under edit in [`Core::cells`].
+    pub edit_cell: usize,
+    /// Pre-command states, newest last (undo stack).
+    undo: Vec<Core>,
+    /// Post-command states, newest last (redo stack).
+    redo: Vec<Core>,
+    /// When set, the model deliberately mispredicts `clearpend` on an
+    /// empty list — a seeded known-failure used to demonstrate
+    /// shrinking.
+    pub demo_bug: bool,
+}
+
+/// Captures the editor's observable state in model terms. This is both
+/// the initial mirror and the per-step equivalence witness.
+pub fn capture_core(ed: &Editor<'_>, min_slots: usize) -> Core {
+    let cells = ed
+        .library()
+        .iter()
+        .map(|(_, c)| MCell {
+            name: c.name.clone(),
+            bbox: c.bbox,
+            connectors: c
+                .connectors
+                .iter()
+                .map(|k| MConnector {
+                    name: k.name.clone(),
+                    location: k.location,
+                    layer: k.layer,
+                    width: k.width,
+                })
+                .collect(),
+        })
+        .collect::<Vec<_>>();
+    let live = ed.instances();
+    let len = live
+        .iter()
+        .map(|(id, _)| id.index() + 1)
+        .max()
+        .unwrap_or(0)
+        .max(min_slots);
+    let mut slots = vec![None; len];
+    for (id, inst) in live {
+        let cell = ed
+            .library()
+            .iter()
+            .position(|(cid, _)| cid == inst.cell)
+            .expect("instance cell is in the menu");
+        slots[id.index()] = Some(MInstance {
+            name: inst.name.clone(),
+            cell,
+            transform: inst.transform,
+            cols: inst.cols,
+            rows: inst.rows,
+            col_spacing: inst.col_spacing,
+            row_spacing: inst.row_spacing,
+        });
+    }
+    let pending = ed
+        .pending()
+        .iter()
+        .map(|p| MPending {
+            from: p.from.index(),
+            from_connector: p.from_connector.clone(),
+            to: p.to.index(),
+            to_connector: p.to_connector.clone(),
+        })
+        .collect();
+    Core {
+        cells,
+        slots,
+        pending,
+    }
+}
+
+impl Model {
+    /// Mirrors a freshly opened editor session.
+    pub fn from_editor(ed: &Editor<'_>) -> Model {
+        let core = capture_core(ed, 0);
+        // The edit cell's menu position (menu order == `CellId` order).
+        let edit_cell = ed
+            .library()
+            .iter()
+            .position(|(cid, _)| cid == ed.cell_id())
+            .expect("the edit cell is in the menu");
+        Model {
+            core,
+            edit_cell,
+            undo: Vec::new(),
+            redo: Vec::new(),
+            demo_bug: false,
+        }
+    }
+
+    /// Undo-stack depth (must equal the editor's).
+    pub fn undo_depth(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Redo-stack depth (must equal the editor's).
+    pub fn redo_depth(&self) -> usize {
+        self.redo.len()
+    }
+
+    /// Commits a successful non-undo/redo command: pushes the
+    /// pre-command state and clears the redo stack, mirroring
+    /// `Editor::execute`.
+    pub fn push_history(&mut self, pre: Core) {
+        self.undo.push(pre);
+        self.redo.clear();
+    }
+
+    /// Model-side UNDO. Returns `true` when a command was reverted.
+    pub fn undo(&mut self) -> bool {
+        match self.undo.pop() {
+            Some(pre) => {
+                let now = std::mem::replace(&mut self.core, pre);
+                self.redo.push(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Model-side REDO. Returns `true` when a command was re-applied.
+    pub fn redo(&mut self) -> bool {
+        match self.redo.pop() {
+            Some(post) => {
+                let now = std::mem::replace(&mut self.core, post);
+                self.undo.push(now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// First menu cell with this name.
+    pub fn find_cell(&self, name: &str) -> Option<usize> {
+        self.core.cells.iter().position(|c| c.name == name)
+    }
+
+    /// First live instance with this name, in slot order.
+    pub fn find_instance(&self, name: &str) -> Option<usize> {
+        self.core
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|i| i.name == name))
+    }
+
+    fn require_instance(&self, name: &str) -> Result<usize, RiotError> {
+        self.find_instance(name)
+            .ok_or_else(|| RiotError::UnknownInstance(name.to_owned()))
+    }
+
+    /// Live `(slot, instance)` pairs in slot order.
+    pub fn live(&self) -> Vec<(usize, &MInstance)> {
+        self.core
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|x| (i, x)))
+            .collect()
+    }
+
+    fn inst(&self, slot: usize) -> &MInstance {
+        self.core.slots[slot].as_ref().expect("live slot")
+    }
+
+    /// The live instance name in `slot`.
+    pub fn inst_name(&self, slot: usize) -> String {
+        self.inst(slot).name.clone()
+    }
+
+    /// The world side a cell-local side faces under `orient`.
+    pub fn world_side(orient: riot_geom::Orientation, local: Side) -> Side {
+        let n = orient.apply(local.normal());
+        match (n.x, n.y) {
+            (-1, 0) => Side::Left,
+            (1, 0) => Side::Right,
+            (0, -1) => Side::Bottom,
+            (0, 1) => Side::Top,
+            _ => unreachable!("unit normals stay unit normals"),
+        }
+    }
+
+    /// Independent recomputation of an instance's world connectors,
+    /// in exactly the editor's order and naming (array edges only,
+    /// `[col,row]` suffixes).
+    pub fn world_connectors(&self, slot: usize) -> Vec<MWorld> {
+        let inst = self.inst(slot);
+        let cell = &self.core.cells[inst.cell];
+        let single = inst.cols <= 1 && inst.rows <= 1;
+        let mut out = Vec::new();
+        for conn in &cell.connectors {
+            let local_side = cell.bbox.side_of(conn.location);
+            let elements: Vec<(u32, u32)> = if single {
+                vec![(0, 0)]
+            } else {
+                match local_side {
+                    Some(Side::Left) => (0..inst.rows).map(|r| (0, r)).collect(),
+                    Some(Side::Right) => (0..inst.rows).map(|r| (inst.cols - 1, r)).collect(),
+                    Some(Side::Bottom) => (0..inst.cols).map(|c| (c, 0)).collect(),
+                    Some(Side::Top) => (0..inst.cols).map(|c| (c, inst.rows - 1)).collect(),
+                    None => Vec::new(),
+                }
+            };
+            for (c, r) in elements {
+                let t = Transform::translate(Point::new(
+                    i64::from(c) * inst.col_spacing,
+                    i64::from(r) * inst.row_spacing,
+                ))
+                .then(inst.transform);
+                let name = if single {
+                    conn.name.clone()
+                } else {
+                    format!("{}[{c},{r}]", conn.name)
+                };
+                out.push(MWorld {
+                    instance_name: inst.name.clone(),
+                    name,
+                    location: t.apply(conn.location),
+                    layer: conn.layer,
+                    width: conn.width,
+                    side: local_side.map(|s| Self::world_side(inst.transform.orient, s)),
+                });
+            }
+        }
+        out
+    }
+
+    fn world_connector(&self, slot: usize, name: &str) -> Result<MWorld, RiotError> {
+        self.world_connectors(slot)
+            .into_iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| RiotError::UnknownConnector {
+                instance: self.inst(slot).name.clone(),
+                connector: name.to_owned(),
+            })
+    }
+
+    /// Independent recomputation of an instance's world bounding box.
+    pub fn world_bbox(&self, slot: usize) -> Rect {
+        let inst = self.inst(slot);
+        let cb = self.core.cells[inst.cell].bbox;
+        let last = cb.translated(Point::new(
+            (i64::from(inst.cols) - 1) * inst.col_spacing,
+            (i64::from(inst.rows) - 1) * inst.row_spacing,
+        ));
+        inst.transform.apply_rect(cb.union(last))
+    }
+
+    fn extent(&self) -> Rect {
+        let mut bb: Option<Rect> = None;
+        for (slot, _) in self.live() {
+            let b = self.world_bbox(slot);
+            bb = Some(match bb {
+                Some(acc) => acc.union(b),
+                None => b,
+            });
+        }
+        bb.unwrap_or(Rect::new(0, 0, 0, 0))
+    }
+
+    fn resolve_pending(&self) -> Result<(usize, Vec<(MWorld, MWorld)>), RiotError> {
+        let first = self.core.pending.first().ok_or(RiotError::NothingPending)?;
+        let from = first.from;
+        let mut pairs = Vec::new();
+        for p in &self.core.pending {
+            let fc = self.world_connector(p.from, &p.from_connector)?;
+            let tc = self.world_connector(p.to, &p.to_connector)?;
+            pairs.push((fc, tc));
+        }
+        Ok((from, pairs))
+    }
+
+    fn facing_sides(&self, from: usize, to: usize) -> Option<(Side, Side)> {
+        let d = self.world_bbox(from).center() - self.world_bbox(to).center();
+        if d == Point::ORIGIN {
+            return None;
+        }
+        Some(if d.x.abs() >= d.y.abs() {
+            if d.x > 0 {
+                (Side::Left, Side::Right)
+            } else {
+                (Side::Right, Side::Left)
+            }
+        } else if d.y > 0 {
+            (Side::Bottom, Side::Top)
+        } else {
+            (Side::Top, Side::Bottom)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // The transition function
+    // ------------------------------------------------------------------
+
+    /// Predicts (and for fully-modeled commands, applies) one command.
+    /// `Edit`/`Undo`/`Redo` are handled by the runner, not here.
+    pub fn apply(&mut self, cmd: &Command) -> Prediction {
+        match cmd {
+            Command::Edit { .. } | Command::Undo | Command::Redo => {
+                unreachable!("runner intercepts edit/undo/redo")
+            }
+            Command::Create { cell, instance } => self.apply_create(cell, instance),
+            Command::Translate { instance, d } => self.apply_translate(instance, *d),
+            Command::Orient { instance, orient } => self.apply_orient(instance, *orient),
+            Command::Replicate {
+                instance,
+                cols,
+                rows,
+            } => self.apply_replicate(instance, *cols, *rows),
+            Command::Spacing { instance, col, row } => self.apply_spacing(instance, *col, *row),
+            Command::Delete { instance } => self.apply_delete(instance),
+            Command::Connect {
+                from,
+                from_connector,
+                to,
+                to_connector,
+            } => self.apply_connect(from, from_connector, to, to_connector),
+            Command::RemovePending { index } => self.apply_remove_pending(*index),
+            Command::ClearPending => self.apply_clear_pending(),
+            Command::Abut { overlap } => self.apply_abut(*overlap),
+            Command::AbutInstances { from, to } => self.apply_abut_instances(from, to),
+            Command::Route { .. } | Command::Stretch { .. } | Command::BringOut { .. } => {
+                Prediction::Observe
+            }
+            Command::Finish => self.apply_finish(),
+        }
+    }
+
+    fn apply_create(&mut self, cell_name: &str, name: &str) -> Prediction {
+        let Some(cell) = self.find_cell(cell_name) else {
+            return Prediction::Err(RiotError::UnknownCell(cell_name.to_owned()));
+        };
+        let bbox = self.core.cells[cell].bbox;
+        let mut warnings = Vec::new();
+        let mut name = name.to_owned();
+        if self.find_instance(&name).is_some() {
+            warnings.push(format!("instance name `{name}` taken"));
+            name.push('\'');
+        }
+        self.core.slots.push(Some(MInstance {
+            name,
+            cell,
+            transform: Transform::IDENTITY,
+            cols: 1,
+            rows: 1,
+            col_spacing: bbox.width(),
+            row_spacing: bbox.height(),
+        }));
+        Prediction::Ok(PredictedOk {
+            outcome: POutcome::Instance(self.core.slots.len() - 1),
+            warnings,
+        })
+    }
+
+    fn apply_translate(&mut self, instance: &str, d: Point) -> Prediction {
+        let slot = match self.require_instance(instance) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let inst = self.core.slots[slot].as_mut().expect("live");
+        inst.transform = inst.transform.translated(d);
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_orient(&mut self, instance: &str, o: riot_geom::Orientation) -> Prediction {
+        let slot = match self.require_instance(instance) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let inst = self.core.slots[slot].as_mut().expect("live");
+        inst.transform = Transform::new(inst.transform.orient.then(o), inst.transform.offset);
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_replicate(&mut self, instance: &str, cols: u32, rows: u32) -> Prediction {
+        if cols == 0 || rows == 0 || u64::from(cols) * u64::from(rows) > 1_000_000 {
+            return Prediction::Err(RiotError::BadReplication { cols, rows });
+        }
+        let slot = match self.require_instance(instance) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let inst = self.core.slots[slot].as_mut().expect("live");
+        inst.cols = cols;
+        inst.rows = rows;
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_spacing(&mut self, instance: &str, col: i64, row: i64) -> Prediction {
+        if col <= 0 || row <= 0 {
+            return Prediction::Err(RiotError::BadReplication { cols: 0, rows: 0 });
+        }
+        let slot = match self.require_instance(instance) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let inst = self.core.slots[slot].as_mut().expect("live");
+        inst.col_spacing = col;
+        inst.row_spacing = row;
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_delete(&mut self, instance: &str) -> Prediction {
+        let slot = match self.require_instance(instance) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        self.core.slots[slot] = None;
+        self.core.pending.retain(|p| p.from != slot && p.to != slot);
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_connect(&mut self, from: &str, fc_name: &str, to: &str, tc_name: &str) -> Prediction {
+        let from_slot = match self.require_instance(from) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let to_slot = match self.require_instance(to) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        if from_slot == to_slot {
+            return Prediction::Err(RiotError::SelfConnection(from.to_owned()));
+        }
+        if let Some(first) = self.core.pending.first() {
+            if first.from != from_slot {
+                return Prediction::Err(RiotError::MultipleFromInstances(
+                    self.inst(first.from).name.clone(),
+                    from.to_owned(),
+                ));
+            }
+            if self.core.pending.iter().any(|p| p.to == from_slot) {
+                return Prediction::Err(RiotError::FromInToList(from.to_owned()));
+            }
+        }
+        let fc = match self.world_connector(from_slot, fc_name) {
+            Ok(c) => c,
+            Err(e) => return Prediction::Err(e),
+        };
+        let tc = match self.world_connector(to_slot, tc_name) {
+            Ok(c) => c,
+            Err(e) => return Prediction::Err(e),
+        };
+        if fc.layer != tc.layer {
+            return Prediction::Err(RiotError::LayerMismatch {
+                from: fc.layer,
+                to: tc.layer,
+            });
+        }
+        match (fc.side, tc.side) {
+            (Some(a), Some(b)) if a.opposes(b) => {}
+            (a, b) => return Prediction::Err(RiotError::NotOpposed { from: a, to: b }),
+        }
+        self.core.pending.push(MPending {
+            from: from_slot,
+            from_connector: fc_name.to_owned(),
+            to: to_slot,
+            to_connector: tc_name.to_owned(),
+        });
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_remove_pending(&mut self, index: usize) -> Prediction {
+        if index >= self.core.pending.len() {
+            return Prediction::Err(RiotError::NothingPending);
+        }
+        self.core.pending.remove(index);
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_clear_pending(&mut self) -> Prediction {
+        if self.demo_bug && self.core.pending.is_empty() {
+            // The seeded known-failure: the real editor happily clears
+            // an already-empty list.
+            return Prediction::Err(RiotError::NothingPending);
+        }
+        self.core.pending.clear();
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_abut(&mut self, overlap: bool) -> Prediction {
+        let (from, pairs) = match self.resolve_pending() {
+            Ok(r) => r,
+            Err(e) => return Prediction::Err(e),
+        };
+        let d = pairs[0].1.location - pairs[0].0.location;
+        let to_slots: Vec<usize> = self.core.pending.iter().map(|p| p.to).collect();
+        let mut warnings = Vec::new();
+        for (fc, tc) in &pairs {
+            if fc.location + d != tc.location {
+                warnings.push("cannot be made by this abutment".to_owned());
+            }
+        }
+        {
+            let inst = self.core.slots[from].as_mut().expect("live");
+            inst.transform = inst.transform.translated(d);
+        }
+        if !overlap {
+            let fb = self.world_bbox(from);
+            for to in to_slots {
+                if fb.overlaps(self.world_bbox(to)) {
+                    warnings.push(format!(
+                        "abutment overlaps instance `{}`",
+                        self.inst(to).name
+                    ));
+                }
+            }
+        }
+        self.core.pending.clear();
+        Prediction::Ok(PredictedOk {
+            outcome: POutcome::None,
+            warnings,
+        })
+    }
+
+    fn apply_abut_instances(&mut self, from: &str, to: &str) -> Prediction {
+        let from_slot = match self.require_instance(from) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let to_slot = match self.require_instance(to) {
+            Ok(s) => s,
+            Err(e) => return Prediction::Err(e),
+        };
+        let fb = self.world_bbox(from_slot);
+        let tb = self.world_bbox(to_slot);
+        let facing = self
+            .facing_sides(from_slot, to_slot)
+            .unwrap_or((Side::Left, Side::Right));
+        let d = match facing.0 {
+            Side::Left => Point::new(tb.x1 - fb.x0, tb.y0 - fb.y0),
+            Side::Right => Point::new(tb.x0 - fb.x1, tb.y0 - fb.y0),
+            Side::Bottom => Point::new(tb.x0 - fb.x0, tb.y1 - fb.y0),
+            Side::Top => Point::new(tb.x0 - fb.x0, tb.y0 - fb.y1),
+        };
+        let inst = self.core.slots[from_slot].as_mut().expect("live");
+        inst.transform = inst.transform.translated(d);
+        Prediction::Ok(PredictedOk::default())
+    }
+
+    fn apply_finish(&mut self) -> Prediction {
+        let bbox = self.extent();
+        let mut connectors: Vec<MConnector> = Vec::new();
+        let mut used: Vec<String> = Vec::new();
+        for (slot, _) in self.live() {
+            for wc in self.world_connectors(slot) {
+                if bbox.side_of(wc.location).is_some() {
+                    let mut name = wc.name.clone();
+                    while used.contains(&name) {
+                        name.push('\'');
+                    }
+                    used.push(name.clone());
+                    connectors.push(MConnector {
+                        name,
+                        location: wc.location,
+                        layer: wc.layer,
+                        width: wc.width,
+                    });
+                }
+            }
+        }
+        let count = connectors.len();
+        let cell = &mut self.core.cells[self.edit_cell];
+        cell.bbox = bbox;
+        cell.connectors = connectors;
+        Prediction::Ok(PredictedOk {
+            outcome: POutcome::Count(count),
+            warnings: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_core::Library;
+
+    fn session() -> (Library, &'static str) {
+        let mut lib = Library::new();
+        lib.add_sticks_cell(riot_cells::nand2()).unwrap();
+        (lib, "TOP")
+    }
+
+    #[test]
+    fn model_mirrors_fresh_session() {
+        let (mut lib, top) = session();
+        let ed = Editor::open(&mut lib, top).unwrap();
+        let m = Model::from_editor(&ed);
+        assert_eq!(m.core.cells.len(), 2); // nand2 + TOP
+        assert_eq!(m.edit_cell, m.find_cell("TOP").unwrap());
+        assert!(m.core.slots.is_empty());
+        assert!(m.core.pending.is_empty());
+    }
+
+    #[test]
+    fn create_predicts_slot_and_dedup() {
+        let (mut lib, top) = session();
+        let ed = Editor::open(&mut lib, top).unwrap();
+        let mut m = Model::from_editor(&ed);
+        let p = m.apply(&Command::Create {
+            cell: "nand2".into(),
+            instance: "I0".into(),
+        });
+        assert!(matches!(
+            p,
+            Prediction::Ok(PredictedOk {
+                outcome: POutcome::Instance(0),
+                ..
+            })
+        ));
+        let p = m.apply(&Command::Create {
+            cell: "nand2".into(),
+            instance: "I0".into(),
+        });
+        let Prediction::Ok(ok) = p else {
+            panic!("dedup create succeeds")
+        };
+        assert_eq!(ok.warnings.len(), 1);
+        assert_eq!(m.core.slots[1].as_ref().unwrap().name, "I0'");
+    }
+
+    #[test]
+    fn unknown_cell_predicted() {
+        let (mut lib, top) = session();
+        let ed = Editor::open(&mut lib, top).unwrap();
+        let mut m = Model::from_editor(&ed);
+        let p = m.apply(&Command::Create {
+            cell: "nope".into(),
+            instance: "I0".into(),
+        });
+        assert_eq!(p, Prediction::Err(RiotError::UnknownCell("nope".into())));
+    }
+
+    #[test]
+    fn undo_redo_round_trip() {
+        let (mut lib, top) = session();
+        let ed = Editor::open(&mut lib, top).unwrap();
+        let mut m = Model::from_editor(&ed);
+        let before = m.core.clone();
+        let pre = m.core.clone();
+        m.apply(&Command::Create {
+            cell: "nand2".into(),
+            instance: "I0".into(),
+        });
+        m.push_history(pre);
+        let after = m.core.clone();
+        assert!(m.undo());
+        assert_eq!(m.core, before);
+        assert!(m.redo());
+        assert_eq!(m.core, after);
+        assert!(!m.redo());
+    }
+}

@@ -1,0 +1,620 @@
+//! The lockstep runner: drives a real [`Editor`] and the reference
+//! [`Model`] through the same command stream and fails loudly on the
+//! first observable divergence.
+//!
+//! The per-step protocol ([`step`]):
+//!
+//! 1. snapshot the model's observable state (`pre`);
+//! 2. ask the model for a [`Prediction`] (which, for fully-modeled
+//!    commands, already commits the model's own state change);
+//! 3. run the command through [`Editor::execute`];
+//! 4. reconcile:
+//!    * **injected fault** — the editor must have rolled back; the
+//!      model's tentative change is discarded and full equivalence is
+//!      asserted (this is the rollback proof);
+//!    * **predicted success** — outcomes and warnings must match, the
+//!      model pushes undo history;
+//!    * **predicted error** — the editor must fail with *exactly* the
+//!      predicted [`RiotError`];
+//!    * **observed command** (ROUTE/STRETCH/BRING-OUT) — solver
+//!      post-conditions are checked and the model adopts the editor's
+//!      new cells verbatim;
+//! 5. assert full equivalence: captured state, independently
+//!    recomputed world connectors and bounding boxes for every live
+//!    instance, and undo/redo depth parity.
+//!
+//! [`crash_check`] additionally serializes the session journal to the
+//! crash-safe WAL, corrupts it (or not), recovers, asserts the
+//! recovered journal is a prefix of the truth, and replays that prefix
+//! through a *fresh* editor + model pair in lockstep.
+
+use crate::generator::{Generator, SplitMix64};
+use crate::model::{capture_core, Core, Model, Prediction};
+use riot_core::{
+    command_to_line, Command, Editor, FaultPlan, Journal, Library, Outcome, RiotError,
+};
+use std::fmt;
+
+/// Configuration of one harness run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Seed for the command generator, fault plan, and crash fuzzing.
+    pub seed: u64,
+    /// Number of commands to generate.
+    pub steps: usize,
+    /// Fault-injection rate in `[0, 1]`.
+    pub fault_rate: f64,
+    /// Arm the model's seeded known-failure (mispredicts `clearpend`
+    /// on an empty list) to demonstrate failure reporting + shrinking.
+    pub demo_bug: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            seed: 0,
+            steps: 200,
+            fault_rate: 0.0,
+            demo_bug: false,
+        }
+    }
+}
+
+/// Statistics of a passing run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Commands executed.
+    pub steps: usize,
+    /// Faults the plan injected.
+    pub faults_injected: u64,
+    /// Fault sites consulted.
+    pub faults_consulted: u64,
+    /// WAL crash/recovery checks performed.
+    pub crash_checks: usize,
+}
+
+/// A conformance failure: where, what, and the full command history
+/// needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The run's seed.
+    pub seed: u64,
+    /// Zero-based step index of the failure.
+    pub step: usize,
+    /// The failing command (`None` when a crash check failed).
+    pub command: Option<Command>,
+    /// Human-readable divergence description.
+    pub message: String,
+    /// Every command executed up to and including the failure.
+    pub history: Vec<Command>,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed {} step {}: ", self.seed, self.step)?;
+        if let Some(cmd) = &self.command {
+            write!(f, "`{}`: ", command_to_line(cmd))?;
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+/// The standard cell menu the harness edits against: the three Sticks
+/// gates plus the CIF pad (which exercises the not-stretchable path).
+pub fn menu_library() -> Library {
+    let mut lib = Library::new();
+    lib.add_sticks_cell(riot_cells::nand2())
+        .expect("nand2 loads");
+    lib.add_sticks_cell(riot_cells::or2()).expect("or2 loads");
+    lib.add_sticks_cell(riot_cells::shift_register())
+        .expect("shift_register loads");
+    lib.load_cif(&riot_cells::pads_cif()).expect("pads load");
+    lib
+}
+
+/// Checks that every expected warning substring appears among the
+/// step's new warnings at least as often as it was predicted.
+fn check_warnings(news: &[String], expected: &[String]) -> Result<(), String> {
+    for want in expected {
+        let predicted = expected.iter().filter(|w| *w == want).count();
+        let got = news.iter().filter(|w| w.contains(want.as_str())).count();
+        if got < predicted {
+            return Err(format!(
+                "expected warning `{want}` x{predicted}, saw {got} among {news:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Full equivalence between editor and model: captured observable
+/// state, independently recomputed world connectors and bounding boxes
+/// per live instance, and undo/redo depth parity.
+pub fn check_equiv(ed: &Editor<'_>, model: &Model) -> Result<(), String> {
+    let cap = capture_core(ed, model.core.slots.len());
+    if cap != model.core {
+        return Err(format!(
+            "observable state diverged\n  editor: {cap:?}\n  model:  {:?}",
+            model.core
+        ));
+    }
+    let ids = ed.instances();
+    for (slot, _) in model.live() {
+        let id = ids
+            .iter()
+            .find(|(id, _)| id.index() == slot)
+            .map(|(id, _)| *id)
+            .ok_or_else(|| format!("model slot {slot} is live but the editor lost it"))?;
+        let ew = ed
+            .world_connectors(id)
+            .map_err(|e| format!("editor world_connectors({slot}): {e}"))?;
+        let mw = model.world_connectors(slot);
+        if ew.len() != mw.len() {
+            return Err(format!(
+                "slot {slot}: editor exposes {} world connectors, model {}",
+                ew.len(),
+                mw.len()
+            ));
+        }
+        for (e, m) in ew.iter().zip(&mw) {
+            if e.instance_name != m.instance_name
+                || e.name != m.name
+                || e.location != m.location
+                || e.layer != m.layer
+                || e.width != m.width
+                || e.side != m.side
+            {
+                return Err(format!(
+                    "slot {slot}: world connector diverged\n  editor: {e:?}\n  model:  {m:?}"
+                ));
+            }
+        }
+        let eb = ed
+            .instance_bbox(id)
+            .map_err(|e| format!("editor instance_bbox({slot}): {e}"))?;
+        let mb = model.world_bbox(slot);
+        if eb != mb {
+            return Err(format!(
+                "slot {slot}: bbox diverged: editor {eb:?}, model {mb:?}"
+            ));
+        }
+    }
+    if ed.undo_depth() != model.undo_depth() {
+        return Err(format!(
+            "undo depth diverged: editor {}, model {}",
+            ed.undo_depth(),
+            model.undo_depth()
+        ));
+    }
+    if ed.redo_depth() != model.redo_depth() {
+        return Err(format!(
+            "redo depth diverged: editor {}, model {}",
+            ed.redo_depth(),
+            model.redo_depth()
+        ));
+    }
+    Ok(())
+}
+
+/// Post-conditions of the solver-backed commands, checked against the
+/// pre-command state before the model syncs from the editor.
+fn observe_check(ed: &Editor<'_>, pre: &Core, cmd: &Command, out: &Outcome) -> Result<(), String> {
+    let post = capture_core(ed, pre.slots.len());
+    if post.cells.len() != pre.cells.len() + 1 {
+        return Err(format!(
+            "expected exactly one new menu cell, had {} now {}",
+            pre.cells.len(),
+            post.cells.len()
+        ));
+    }
+    let new_cell = post.cells.last().expect("one cell was added");
+    let moving = pre.pending.first().map(|p| p.from);
+    match cmd {
+        Command::Route { .. } | Command::BringOut { .. } => {
+            if !matches!(out, Outcome::CellInstance(..)) {
+                return Err(format!("expected CellInstance outcome, got {out:?}"));
+            }
+            if !new_cell.name.starts_with("route") {
+                return Err(format!("new cell `{}` is not a route cell", new_cell.name));
+            }
+            let inst_name = format!("{}i", new_cell.name);
+            if !post
+                .slots
+                .iter()
+                .flatten()
+                .any(|i| i.name == inst_name && post.cells[i.cell].name == new_cell.name)
+            {
+                return Err(format!("route instance `{inst_name}` missing"));
+            }
+        }
+        Command::Stretch { .. } => {
+            if !matches!(out, Outcome::Cell(_)) {
+                return Err(format!("expected Cell outcome, got {out:?}"));
+            }
+            let from = moving.expect("stretch resolved a pending list");
+            let old = &pre.cells[pre.slots[from].as_ref().expect("live").cell].name;
+            let primes = new_cell.name.strip_prefix(old.as_str());
+            if !primes.is_some_and(|rest| !rest.is_empty() && rest.chars().all(|c| c == '\'')) {
+                return Err(format!(
+                    "stretched cell `{}` is not `{old}` plus primes",
+                    new_cell.name
+                ));
+            }
+            let fi = post.slots[from]
+                .as_ref()
+                .ok_or("stretch deleted the from instance")?;
+            if fi.cell != post.cells.len() - 1 {
+                return Err("from instance was not swapped onto the stretched cell".into());
+            }
+            // Coincidence: the first pending pair's connectors touch.
+            if let Some(p) = pre.pending.first() {
+                let find = |slot: usize, name: &str| {
+                    ed.instances()
+                        .iter()
+                        .find(|(id, _)| id.index() == slot)
+                        .and_then(|(id, _)| ed.world_connector(*id, name).ok())
+                };
+                if let (Some(fc), Some(tc)) =
+                    (find(p.from, &p.from_connector), find(p.to, &p.to_connector))
+                {
+                    if fc.location != tc.location {
+                        return Err(format!(
+                            "stretch did not land `{}` on `{}`: {:?} vs {:?}",
+                            p.from_connector, p.to_connector, fc.location, tc.location
+                        ));
+                    }
+                }
+            }
+        }
+        _ => unreachable!("only solver commands are observed"),
+    }
+    // Pending-list discipline.
+    match cmd {
+        Command::Route { .. } | Command::Stretch { .. } => {
+            if !post.pending.is_empty() {
+                return Err("pending list not cleared by the connection command".into());
+            }
+        }
+        Command::BringOut { .. } => {
+            if post.pending != pre.pending {
+                return Err("bring-out disturbed the pending list".into());
+            }
+        }
+        _ => unreachable!(),
+    }
+    // Bystander instances must be untouched (cell indices are stable:
+    // the menu only grew).
+    let from_may_move = matches!(
+        cmd,
+        Command::Route {
+            move_from: true,
+            ..
+        } | Command::Stretch { .. }
+    );
+    for (i, s) in pre.slots.iter().enumerate() {
+        if from_may_move && Some(i) == moving {
+            continue;
+        }
+        if post.slots.get(i) != Some(s) {
+            return Err(format!(
+                "bystander slot {i} changed\n  before: {s:?}\n  after:  {:?}",
+                post.slots.get(i)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One lockstep step: executes `cmd` on both the editor and the model
+/// and reconciles per the module protocol.
+pub fn step(ed: &mut Editor<'_>, model: &mut Model, cmd: &Command) -> Result<(), String> {
+    match cmd {
+        Command::Edit { .. } => Err("`edit` is only valid as a journal head".into()),
+        Command::Undo => {
+            let expected = model.undo_depth() > 0;
+            match ed.execute(Command::Undo) {
+                Ok(Outcome::Count(n)) => {
+                    if n != usize::from(expected) {
+                        return Err(format!(
+                            "undo reverted {n} commands, model expected {}",
+                            usize::from(expected)
+                        ));
+                    }
+                    if expected {
+                        model.undo();
+                    }
+                }
+                Ok(o) => return Err(format!("undo reported {o:?}")),
+                Err(e) => return Err(format!("undo failed: {e}")),
+            }
+            check_equiv(ed, model)
+        }
+        Command::Redo => {
+            let expected = model.redo_depth() > 0;
+            match ed.execute(Command::Redo) {
+                Ok(Outcome::Count(n)) => {
+                    if n != usize::from(expected) {
+                        return Err(format!(
+                            "redo re-applied {n} commands, model expected {}",
+                            usize::from(expected)
+                        ));
+                    }
+                    if expected {
+                        model.redo();
+                    }
+                }
+                Ok(o) => return Err(format!("redo reported {o:?}")),
+                // A fault during redo: the editor pushed the command
+                // back onto its redo stack and rolled back; the model
+                // is untouched, so plain equivalence must hold.
+                Err(RiotError::FaultInjected(_)) => {}
+                Err(e) => return Err(format!("redo failed: {e}")),
+            }
+            check_equiv(ed, model)
+        }
+        cmd => {
+            let pre = model.core.clone();
+            let warn_len = ed.warnings().len();
+            let prediction = model.apply(cmd);
+            match (ed.execute(cmd.clone()), prediction) {
+                // The rollback proof: an injected fault must leave the
+                // editor exactly where the pre-command model stands.
+                (Err(RiotError::FaultInjected(_)), pred) => {
+                    if matches!(pred, Prediction::Ok(_)) {
+                        model.core = pre;
+                    }
+                    check_equiv(ed, model)
+                        .map_err(|e| format!("state after injected fault diverged: {e}"))
+                }
+                (Ok(out), Prediction::Ok(pok)) => {
+                    if !pok.outcome.matches(&out) {
+                        return Err(format!(
+                            "outcome diverged: editor {out:?}, model {:?}",
+                            pok.outcome
+                        ));
+                    }
+                    check_warnings(&ed.warnings()[warn_len..], &pok.warnings)?;
+                    model.push_history(pre);
+                    check_equiv(ed, model)
+                }
+                (Err(e), Prediction::Err(pe)) => {
+                    if e != pe {
+                        return Err(format!("error diverged: editor `{e}`, model `{pe}`"));
+                    }
+                    check_equiv(ed, model)
+                }
+                (Ok(out), Prediction::Observe) => {
+                    observe_check(ed, &pre, cmd, &out)?;
+                    model.core = capture_core(ed, pre.slots.len());
+                    model.push_history(pre);
+                    check_equiv(ed, model)
+                }
+                (Err(_), Prediction::Observe) => {
+                    // Solver failure: the compound command rolled back
+                    // and the model never moved.
+                    check_equiv(ed, model)
+                        .map_err(|e| format!("state after solver failure diverged: {e}"))
+                }
+                (Ok(out), Prediction::Err(pe)) => Err(format!(
+                    "editor accepted ({out:?}) a command the model rejects with `{pe}`"
+                )),
+                (Err(e), Prediction::Ok(_)) => {
+                    model.core = pre;
+                    Err(format!(
+                        "editor rejected (`{e}`) a command the model accepts"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Serializes the session journal to the WAL, corrupts it per the
+/// fuzzing stream, recovers, and proves both the prefix property and
+/// that the recovered prefix replays cleanly through a fresh editor +
+/// model pair.
+pub fn crash_check(ed: &Editor<'_>, rng: &mut SplitMix64) -> Result<(), String> {
+    let mut bytes = ed.journal().to_wal();
+    let mode = rng.below(4);
+    match mode {
+        0 => {} // intact: recovery must be clean and complete
+        1 => {
+            // Torn tail: an interrupted write loses 1..=16 bytes.
+            if bytes.len() > 9 {
+                let cut = 1 + rng.below(16) as usize;
+                let keep = bytes.len().saturating_sub(cut).max(8);
+                bytes.truncate(keep);
+            }
+        }
+        2 => {
+            // Bit rot past the magic.
+            if bytes.len() > 8 {
+                let off = 8 + rng.below((bytes.len() - 8) as u64) as usize;
+                bytes[off] ^= 1 << rng.below(8);
+            }
+        }
+        _ => {
+            // Garbage appended after a clean shutdown.
+            bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x51, 0x07]);
+        }
+    }
+    let rec = Journal::recover_wal(&bytes);
+    let full: Vec<String> = ed
+        .journal()
+        .commands()
+        .iter()
+        .map(command_to_line)
+        .collect();
+    let got: Vec<String> = rec.journal.commands().iter().map(command_to_line).collect();
+    if got.len() > full.len() || got[..] != full[..got.len()] {
+        return Err(format!(
+            "recovered journal is not a prefix of the truth\n  truth:     {full:?}\n  recovered: {got:?}"
+        ));
+    }
+    if mode == 0 && (!rec.is_clean() || got.len() != full.len()) {
+        return Err(format!(
+            "intact WAL did not recover cleanly: {:?}, {}/{} records",
+            rec.corruption,
+            got.len(),
+            full.len()
+        ));
+    }
+    // Replay the recovered prefix through a fresh session, in lockstep
+    // with a fresh model. The journal only records successes, so every
+    // replayed command must succeed and conform.
+    let cmds = rec.journal.commands();
+    if let Some(Command::Edit { cell }) = cmds.first() {
+        let mut lib = menu_library();
+        let mut ed2 = Editor::open(&mut lib, cell)
+            .map_err(|e| format!("recovered journal head failed to open: {e}"))?;
+        let mut model2 = Model::from_editor(&ed2);
+        for (i, cmd) in cmds[1..].iter().enumerate() {
+            step(&mut ed2, &mut model2, cmd).map_err(|e| {
+                format!(
+                    "replay of recovered record {} (`{}`) diverged: {e}",
+                    i + 1,
+                    command_to_line(cmd)
+                )
+            })?;
+        }
+    } else if !cmds.is_empty() {
+        return Err("recovered journal does not start with `edit`".into());
+    }
+    Ok(())
+}
+
+// A `Failure` carries the whole command history for shrinking, so it is
+// necessarily bigger than clippy's default Err budget; boxing it would
+// only push the indirection onto every caller.
+#[allow(clippy::result_large_err)]
+fn run_inner(
+    cfg: &CheckConfig,
+    mut commands: impl FnMut(&Model) -> Option<Command>,
+) -> Result<Report, Failure> {
+    let mut lib = menu_library();
+    let mut ed = Editor::open(&mut lib, "TOP").expect("TOP opens");
+    ed.set_fault_plan(FaultPlan::new(cfg.seed ^ 0xFA17_FA17, cfg.fault_rate));
+    let mut model = Model::from_editor(&ed);
+    model.demo_bug = cfg.demo_bug;
+    let mut crash_rng = SplitMix64::new(cfg.seed ^ 0xC4A5_11C4);
+    let mut history: Vec<Command> = Vec::new();
+    let mut crash_checks = 0usize;
+    let fail =
+        |step: usize, command: Option<Command>, message: String, history: Vec<Command>| Failure {
+            seed: cfg.seed,
+            step,
+            command,
+            message,
+            history,
+        };
+    let mut i = 0usize;
+    while let Some(cmd) = commands(&model) {
+        history.push(cmd.clone());
+        if let Err(message) = step(&mut ed, &mut model, &cmd) {
+            return Err(fail(i, Some(cmd), message, history));
+        }
+        if (i + 1).is_multiple_of(97) {
+            crash_checks += 1;
+            if let Err(message) = crash_check(&ed, &mut crash_rng) {
+                return Err(fail(i, None, message, history));
+            }
+        }
+        i += 1;
+    }
+    crash_checks += 1;
+    if let Err(message) = crash_check(&ed, &mut crash_rng) {
+        return Err(fail(i, None, message, history));
+    }
+    let plan = ed.fault_plan().expect("plan was set");
+    Ok(Report {
+        steps: i,
+        faults_injected: plan.injected(),
+        faults_consulted: plan.consulted(),
+        crash_checks,
+    })
+}
+
+/// One full harness run: `cfg.steps` generated commands with lockstep
+/// conformance, fault injection, and periodic crash checks.
+#[allow(clippy::result_large_err)]
+pub fn run_check(cfg: &CheckConfig) -> Result<Report, Failure> {
+    let mut generator = Generator::new(cfg.seed);
+    let mut left = cfg.steps;
+    run_inner(cfg, move |model| {
+        if left == 0 {
+            return None;
+        }
+        left -= 1;
+        Some(generator.next_command(model))
+    })
+}
+
+/// Replays a fixed command list under the same protocol (the shrinking
+/// predicate). Faults and crash fuzzing re-derive from `cfg.seed`, so
+/// replaying an unshrunk failure history reproduces it exactly.
+#[allow(clippy::result_large_err)]
+pub fn run_commands(cfg: &CheckConfig, cmds: &[Command]) -> Result<Report, Failure> {
+    let mut it = cmds.iter().cloned();
+    run_inner(cfg, move |_| it.next())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_faultless_run_passes() {
+        let cfg = CheckConfig {
+            seed: 1,
+            steps: 60,
+            ..CheckConfig::default()
+        };
+        let report = run_check(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.steps, 60);
+        assert_eq!(report.faults_injected, 0);
+        assert!(report.crash_checks >= 1);
+    }
+
+    #[test]
+    fn faulted_run_rolls_back_everywhere() {
+        let cfg = CheckConfig {
+            seed: 2,
+            steps: 80,
+            fault_rate: 0.25,
+            ..CheckConfig::default()
+        };
+        let report = run_check(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert!(
+            report.faults_injected > 0,
+            "a 25% plan over 80 steps should trip"
+        );
+    }
+
+    #[test]
+    fn demo_bug_is_caught() {
+        let cfg = CheckConfig {
+            seed: 3,
+            steps: 400,
+            demo_bug: true,
+            ..CheckConfig::default()
+        };
+        let f = run_check(&cfg).expect_err("the seeded misprediction must surface");
+        assert!(matches!(f.command, Some(Command::ClearPending)));
+        // And the recorded history reproduces it exactly.
+        assert!(run_commands(&cfg, &f.history).is_err());
+    }
+
+    #[test]
+    fn replaying_a_failure_history_reproduces_it() {
+        let cfg = CheckConfig {
+            seed: 4,
+            steps: 300,
+            fault_rate: 0.15,
+            demo_bug: true,
+        };
+        if let Err(f) = run_check(&cfg) {
+            let again = run_commands(&cfg, &f.history).expect_err("history must reproduce");
+            assert_eq!(again.step, f.step);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Delta-debugging (ddmin) over failing command sequences.
+//!
+//! The shrinker knows nothing about commands: it only needs a
+//! predicate "does this subsequence still fail?". Commands that
+//! reference instances created by a removed command simply turn into
+//! predicted errors under the runner, so arbitrary subsequences remain
+//! meaningful inputs.
+
+use riot_core::Command;
+
+/// Minimizes `initial` (which must fail `fails`) to a 1-minimal
+/// subsequence: removing any single remaining command makes the
+/// failure disappear.
+pub fn shrink<F>(initial: &[Command], mut fails: F) -> Vec<Command>
+where
+    F: FnMut(&[Command]) -> bool,
+{
+    let mut cur: Vec<Command> = initial.to_vec();
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && fails(&candidate) {
+                cur = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                // Re-scan from the front at the same granularity.
+                start = 0;
+            } else {
+                start = end;
+            }
+        }
+        if !reduced {
+            if n >= cur.len() {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(i: u32) -> Command {
+        Command::Replicate {
+            instance: format!("I{i}"),
+            cols: 1,
+            rows: 1,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let seq: Vec<Command> = (0..40).map(cmd).collect();
+        let culprit = cmd(17);
+        let out = shrink(&seq, |s| s.contains(&culprit));
+        assert_eq!(out, vec![culprit]);
+    }
+
+    #[test]
+    fn shrinks_to_an_interacting_pair() {
+        let seq: Vec<Command> = (0..64).map(cmd).collect();
+        let (a, b) = (cmd(3), cmd(59));
+        let out = shrink(&seq, |s| s.contains(&a) && s.contains(&b));
+        assert_eq!(out, vec![a, b]);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_needed() {
+        let seq: Vec<Command> = (0..5).map(cmd).collect();
+        let out = shrink(&seq, |s| s.len() == 5);
+        assert_eq!(out.len(), 5);
+    }
+}

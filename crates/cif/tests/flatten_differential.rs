@@ -79,6 +79,65 @@ fn arb_cif_hierarchy() -> impl Strategy<Value = String> {
     })
 }
 
+/// A shallow hierarchy whose call translations and primitive
+/// coordinates sit near `i32::MIN`/`i32::MAX` — the magnitudes 32-bit
+/// CIF emitters produce — mixed with zero-area boxes. Exercises the
+/// transform chain and bbox accumulation far from the origin.
+fn arb_extreme_hierarchy() -> impl Strategy<Value = String> {
+    (1u64..1_000_000, 2usize..5).prop_map(|(seed, symbols)| {
+        const ANCHORS: [i64; 5] = [
+            i32::MIN as i64,
+            -(1_i64 << 24),
+            0,
+            1_i64 << 24,
+            i32::MAX as i64,
+        ];
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut text = String::new();
+        for id in 1..=symbols {
+            text.push_str(&format!("DS {id} 1 1;\n"));
+            for _ in 0..(next() % 3 + 1) {
+                let layer = ["NM", "NP", "ND", "NC"][(next() % 4) as usize];
+                let x = ANCHORS[(next() % 5) as usize] + (next() % 40) as i64 * 25;
+                let y = ANCHORS[(next() % 5) as usize] + (next() % 40) as i64 * 25;
+                if next() % 5 == 0 {
+                    // A zero-area box.
+                    text.push_str(&format!("L {layer}; B 0 0 {x} {y};\n"));
+                } else {
+                    let w = (next() % 6 + 1) as i64 * 25;
+                    let h = (next() % 6 + 1) as i64 * 25;
+                    text.push_str(&format!("L {layer}; B {w} {h} {x} {y};\n"));
+                }
+            }
+            if id > 1 {
+                for _ in 0..(next() % 2 + 1) {
+                    let callee = next() as usize % (id - 1) + 1;
+                    let tx = ANCHORS[(next() % 5) as usize];
+                    let ty = ANCHORS[(next() % 5) as usize];
+                    let mut call = format!("C {callee} T {tx} {ty}");
+                    match next() % 4 {
+                        0 => call.push_str(" M X"),
+                        1 => call.push_str(" M Y"),
+                        2 => call.push_str(" R 0 1"),
+                        _ => {}
+                    }
+                    call.push_str(";\n");
+                    text.push_str(&call);
+                }
+            }
+            text.push_str("DF;\n");
+        }
+        text.push_str(&format!("C {symbols} T {} {};\nE", i32::MAX, i32::MIN));
+        text
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -90,5 +149,14 @@ proptest! {
         prop_assert_eq!(&memoized, &reference);
         prop_assert_eq!(stats.shapes, memoized.len());
         prop_assert!(stats.memo_hits + stats.memo_misses >= stats.memo_cells);
+    }
+
+    #[test]
+    fn flatten_agrees_at_extreme_coordinates(text in arb_extreme_hierarchy()) {
+        let file = riot_cif::parse(&text).expect("generated CIF parses");
+        let reference = flatten_recursive(&file).expect("reference flatten succeeds");
+        let (memoized, stats) = flatten_counted(&file).expect("memoized flatten succeeds");
+        prop_assert_eq!(&memoized, &reference);
+        prop_assert_eq!(stats.shapes, memoized.len());
     }
 }

@@ -31,6 +31,7 @@ use crate::command::{Command, CommandEffect, Outcome};
 use crate::connection::{PendingConnection, WorldConnector};
 use crate::error::RiotError;
 use crate::events::{ChangeEvent, Stats};
+use crate::fault::{FaultPlan, FAULT_TXN_COMMIT};
 use crate::history::{Applied, History, UndoRecord};
 use crate::instance::{Instance, InstanceId};
 use crate::library::Library;
@@ -110,6 +111,7 @@ pub struct Editor<'a> {
     events: Vec<ChangeEvent>,
     cache: DerivedCache,
     stats: Stats,
+    fault: Option<FaultPlan>,
 }
 
 impl<'a> Editor<'a> {
@@ -152,7 +154,46 @@ impl<'a> Editor<'a> {
             events: Vec::new(),
             cache: DerivedCache::default(),
             stats: Stats::default(),
+            fault: None,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the correctness harness)
+    // ------------------------------------------------------------------
+
+    /// Arms a [`FaultPlan`] on this session: the named fault sites
+    /// (`txn.commit`, `route.solve`, `stretch.solve`) consult the plan
+    /// and raise [`RiotError::FaultInjected`] when it trips, taking the
+    /// exact rollback path a real failure would. Used by `riot-check`.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// The armed fault plan, if any (its counters tell how many faults
+    /// were injected so far).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Disarms and returns the fault plan.
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault.take()
+    }
+
+    /// Consults the fault plan at `site`; raises the injected fault
+    /// when it trips. A no-op without an armed plan.
+    pub(crate) fn fault_trip(&mut self, site: &'static str) -> Result<(), RiotError> {
+        if self
+            .fault
+            .as_mut()
+            .map(|p| p.should_inject(site))
+            .unwrap_or(false)
+        {
+            mark("check.fault.injected");
+            return Err(RiotError::FaultInjected(site.to_owned()));
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -207,6 +248,27 @@ impl<'a> Editor<'a> {
                     undo,
                     journal,
                 } = effect;
+                // The txn-commit fault site: the command applied, but
+                // the commit "fails" before it is journaled. Revert
+                // through the same machinery a real failure would use —
+                // snapshot restore for compound commands, the inverse
+                // record for simple ones.
+                if let Err(e) = self.fault_trip(FAULT_TXN_COMMIT) {
+                    sp.field("rollback", 1);
+                    match snap {
+                        Some(snap) => {
+                            let _sp = riot_trace::span("txn.restore");
+                            self.restore_snapshot(snap);
+                        }
+                        None => {
+                            self.revert(undo.expect("simple commands carry an undo record"));
+                        }
+                    }
+                    self.stats.rollbacks += 1;
+                    mark("core.cmd.rollbacks");
+                    self.stats.apply_nanos += t0.elapsed().as_nanos() as u64;
+                    return Err(e);
+                }
                 let undo = match undo {
                     Some(u) => u,
                     None => UndoRecord::Snapshot(Box::new(
@@ -658,6 +720,12 @@ impl Drop for Editor<'_> {
             reg.gauge("core.cache.hits").set(s.cache_hits as i64);
             reg.gauge("core.cache.misses").set(s.cache_misses as i64);
             reg.gauge("core.apply_nanos").set(s.apply_nanos as i64);
+            // Flush the fault-plan tallies so a traced harness run's
+            // summary shows how many faults actually fired.
+            if let Some(plan) = &self.fault {
+                reg.counter("check.fault.injected").add(plan.injected());
+                reg.counter("check.fault.consulted").add(plan.consulted());
+            }
         }
         riot_trace::dump_from_env();
     }

@@ -112,6 +112,7 @@ impl Editor<'_> {
             top,
             options: router,
         };
+        self.fault_trip(crate::fault::FAULT_ROUTE_SOLVE)?;
         let route = riot_route::river_route(&problem).map_err(|e| match e {
             riot_route::RouteError::ChannelTooTight { needed, available } => {
                 RiotError::ChannelTooTight { needed, available }
@@ -227,6 +228,7 @@ impl Editor<'_> {
             Side::Bottom | Side::Left => edge - outer,
         };
         let length = self.snap_lambda(gap.max(LAMBDA))?.max(1);
+        self.fault_trip(crate::fault::FAULT_ROUTE_SOLVE)?;
         let name = self.lib.next_route_name();
         let cell =
             riot_route::straight_route(&terms, length, name.clone()).map_err(RiotError::Route)?;

@@ -36,6 +36,7 @@ impl Editor<'_> {
             .sticks()
             .ok_or_else(|| RiotError::NotStretchable(from_cell.name.clone()))?
             .clone();
+        let from_cell_name = from_cell.name.clone();
 
         // Stretch axis: along the connecting edge, in cell-local terms.
         let world_side = pairs[0].0.side.expect("connect() checked sides");
@@ -91,8 +92,9 @@ impl Editor<'_> {
             spec.push_target(super::base_name(&fc.name), target);
         }
 
+        self.fault_trip(crate::fault::FAULT_STRETCH_SOLVE)?;
         let mut stretched = riot_rest::stretch_with_mode(&sticks, &spec, mode)?;
-        let mut new_name = format!("{}'", from_cell.name);
+        let mut new_name = format!("{}'", from_cell_name);
         while self.lib.find(&new_name).is_some() {
             new_name.push('\'');
         }

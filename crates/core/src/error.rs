@@ -91,6 +91,9 @@ pub enum RiotError {
         /// Lambda available between the instances.
         available: i64,
     },
+    /// A deterministic fault injected by a [`crate::FaultPlan`] at the
+    /// named fault site. Only raised under the correctness harness.
+    FaultInjected(String),
 }
 
 impl fmt::Display for RiotError {
@@ -151,6 +154,9 @@ impl fmt::Display for RiotError {
                 f,
                 "route needs {needed} lambda but only {available} available without moving the from instance"
             ),
+            RiotError::FaultInjected(site) => {
+                write!(f, "injected fault at `{site}`")
+            }
         }
     }
 }

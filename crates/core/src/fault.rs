@@ -1,0 +1,158 @@
+//! Deterministic fault injection for the correctness harness.
+//!
+//! A [`FaultPlan`] is a seeded stream of yes/no decisions consumed at
+//! named **fault sites** inside the command engine: right before the
+//! transactional commit (`txn.commit`), before the river router runs
+//! (`route.solve` — also armed for BRING-OUT's straight router), and
+//! before the REST solver runs (`stretch.solve`). When a site trips,
+//! the engine raises [`crate::RiotError::FaultInjected`] and takes the
+//! exact same rollback path a real failure would, so the `riot-check`
+//! harness can prove that *no* fault leaves the session in a state the
+//! reference model cannot explain.
+//!
+//! The decision stream is a SplitMix64 generator keyed by the plan
+//! seed, so a given `(seed, rate)` pair injects the same faults at the
+//! same sites on every run — failures found under fault injection are
+//! reproducible and shrinkable.
+
+use std::fmt;
+
+/// The txn-commit fault site: trips after a command applied but before
+/// it is journaled, forcing the engine to revert it.
+pub const FAULT_TXN_COMMIT: &str = "txn.commit";
+/// The route-solving fault site (ROUTE and BRING-OUT).
+pub const FAULT_ROUTE_SOLVE: &str = "route.solve";
+/// The stretch-solving fault site (STRETCH).
+pub const FAULT_STRETCH_SOLVE: &str = "stretch.solve";
+
+/// A seeded plan of fault injections, attached to an editing session
+/// with [`crate::Editor::set_fault_plan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    /// Injection probability in parts per million.
+    rate_ppm: u64,
+    injected: u64,
+    consulted: u64,
+    by_site: Vec<(&'static str, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan injecting faults at roughly `rate` (clamped to `[0, 1]`)
+    /// of the sites consulted, deterministically derived from `seed`.
+    pub fn new(seed: u64, rate: f64) -> FaultPlan {
+        let rate = rate.clamp(0.0, 1.0);
+        FaultPlan {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+            rate_ppm: (rate * 1_000_000.0).round() as u64,
+            injected: 0,
+            consulted: 0,
+            by_site: Vec::new(),
+        }
+    }
+
+    /// A plan that never injects (useful as a neutral default).
+    pub fn disabled() -> FaultPlan {
+        FaultPlan::new(0, 0.0)
+    }
+
+    fn next(&mut self) -> u64 {
+        // SplitMix64: short, seedable, and statistically fine for
+        // coin flips.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Consults the plan at a fault site. Returns `true` when the site
+    /// should fail now. Advances the decision stream either way.
+    pub fn should_inject(&mut self, site: &'static str) -> bool {
+        self.consulted += 1;
+        let trip = self.rate_ppm > 0 && self.next() % 1_000_000 < self.rate_ppm;
+        if trip {
+            self.injected += 1;
+            match self.by_site.iter_mut().find(|(s, _)| *s == site) {
+                Some((_, n)) => *n += 1,
+                None => self.by_site.push((site, 1)),
+            }
+        }
+        trip
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Total sites consulted so far (tripped or not).
+    pub fn consulted(&self) -> u64 {
+        self.consulted
+    }
+
+    /// Per-site injection counts, in first-trip order.
+    pub fn by_site(&self) -> &[(&'static str, u64)] {
+        &self.by_site
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault plan: {}/{} sites tripped",
+            self.injected, self.consulted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let mut p = FaultPlan::disabled();
+        for _ in 0..1000 {
+            assert!(!p.should_inject(FAULT_TXN_COMMIT));
+        }
+        assert_eq!(p.injected(), 0);
+        assert_eq!(p.consulted(), 1000);
+    }
+
+    #[test]
+    fn full_rate_always_injects() {
+        let mut p = FaultPlan::new(7, 1.0);
+        for _ in 0..100 {
+            assert!(p.should_inject(FAULT_ROUTE_SOLVE));
+        }
+        assert_eq!(p.injected(), 100);
+        assert_eq!(p.by_site(), &[(FAULT_ROUTE_SOLVE, 100)]);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mut a = FaultPlan::new(42, 0.3);
+        let mut b = FaultPlan::new(42, 0.3);
+        let da: Vec<bool> = (0..500)
+            .map(|_| a.should_inject(FAULT_TXN_COMMIT))
+            .collect();
+        let db: Vec<bool> = (0..500)
+            .map(|_| b.should_inject(FAULT_TXN_COMMIT))
+            .collect();
+        assert_eq!(da, db);
+        assert!(a.injected() > 0, "30% over 500 draws should trip");
+        assert!(a.injected() < 500);
+    }
+
+    #[test]
+    fn rate_is_roughly_honored() {
+        let mut p = FaultPlan::new(1, 0.1);
+        for _ in 0..10_000 {
+            p.should_inject(FAULT_TXN_COMMIT);
+        }
+        let rate = p.injected() as f64 / 10_000.0;
+        assert!((0.05..0.15).contains(&rate), "observed rate {rate}");
+    }
+}

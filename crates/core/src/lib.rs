@@ -52,6 +52,7 @@ pub mod editor;
 pub mod error;
 pub mod events;
 pub mod export;
+pub mod fault;
 mod history;
 pub mod instance;
 pub mod library;
@@ -66,7 +67,11 @@ pub use connection::{PendingConnection, WorldConnector};
 pub use editor::{AbutOptions, Editor, RouteOptions, StretchOptions};
 pub use error::RiotError;
 pub use events::{ChangeEvent, Stats};
+pub use fault::{FaultPlan, FAULT_ROUTE_SOLVE, FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT};
 pub use instance::{Instance, InstanceId};
 pub use library::Library;
 pub use netlist::{ConnectionLedger, ConnectionViolation, MaintainedConnection};
-pub use replay::{replay, Journal, ReplayCommand};
+pub use replay::{
+    command_to_line, crc32, parse_command_line, replay, Journal, ReplayCommand, WalCorruption,
+    WalRecovery, WAL_MAGIC,
+};

@@ -12,6 +12,20 @@
 //! engine executes — so replay is nothing but a loop of
 //! [`crate::Editor::execute`]. This module owns only the text
 //! (de)serialization; there is no second per-command dispatch.
+//!
+//! # Crash-safe write-ahead format
+//!
+//! Besides the human-readable text form, a journal serializes to a
+//! binary **write-ahead log** ([`Journal::to_wal`]) built for recovery
+//! after an abnormal termination: an 8-byte magic (`RIOTWAL1`) followed
+//! by one record per command, each `u32` little-endian payload length,
+//! `u32` little-endian CRC-32 (IEEE, zlib-compatible) of the payload,
+//! then the payload — the same single-line text the replay file uses.
+//! [`Journal::recover_wal`] reads as many intact records as it can and
+//! **truncates at the first corrupt one** (torn header, short payload,
+//! checksum or parse mismatch), returning the recovered prefix plus a
+//! description of what stopped it — the `riot-check` harness proves the
+//! prefix always replays to a state the reference model explains.
 
 use crate::command::Command;
 use crate::editor::Editor;
@@ -20,6 +34,7 @@ use crate::library::Library;
 use riot_geom::Point;
 use riot_rest::SolveMode;
 use riot_route::RouterOptions;
+use std::fmt;
 use std::fmt::Write as _;
 
 /// The journaled form of a command. Since the engine unification this
@@ -55,72 +70,8 @@ impl Journal {
     pub fn to_text(&self) -> String {
         let mut out = String::from("riot replay v1\n");
         for cmd in &self.commands {
-            match cmd {
-                Command::Edit { cell } => {
-                    let _ = writeln!(out, "edit {cell}");
-                }
-                Command::Create { cell, instance } => {
-                    let _ = writeln!(out, "create {cell} {instance}");
-                }
-                Command::Translate { instance, d } => {
-                    let _ = writeln!(out, "translate {instance} {} {}", d.x, d.y);
-                }
-                Command::Orient { instance, orient } => {
-                    let _ = writeln!(out, "orient {instance} {orient}");
-                }
-                Command::Replicate {
-                    instance,
-                    cols,
-                    rows,
-                } => {
-                    let _ = writeln!(out, "replicate {instance} {cols} {rows}");
-                }
-                Command::Spacing { instance, col, row } => {
-                    let _ = writeln!(out, "spacing {instance} {col} {row}");
-                }
-                Command::Delete { instance } => {
-                    let _ = writeln!(out, "delete {instance}");
-                }
-                Command::Connect {
-                    from,
-                    from_connector,
-                    to,
-                    to_connector,
-                } => {
-                    let _ = writeln!(out, "connect {from} {from_connector} {to} {to_connector}");
-                }
-                Command::RemovePending { index } => {
-                    let _ = writeln!(out, "unpend {index}");
-                }
-                Command::ClearPending => out.push_str("clearpend\n"),
-                Command::Abut { overlap } => {
-                    let _ = writeln!(out, "abut {}", if *overlap { "overlap" } else { "touch" });
-                }
-                Command::AbutInstances { from, to } => {
-                    let _ = writeln!(out, "abutinst {from} {to}");
-                }
-                Command::Route { move_from, .. } => {
-                    let _ = writeln!(out, "route {}", if *move_from { "move" } else { "stay" });
-                }
-                Command::Stretch { mode } => match mode {
-                    SolveMode::PreserveGaps => out.push_str("stretch\n"),
-                    SolveMode::DesignRules => out.push_str("stretch rules\n"),
-                },
-                Command::BringOut {
-                    instance,
-                    connectors,
-                    side,
-                } => {
-                    let _ = write!(out, "bringout {instance} {side}");
-                    for c in connectors {
-                        let _ = write!(out, " {c}");
-                    }
-                    out.push('\n');
-                }
-                Command::Finish => out.push_str("finish\n"),
-                Command::Undo => out.push_str("undo\n"),
-                Command::Redo => out.push_str("redo\n"),
-            }
+            out.push_str(&command_to_line(cmd));
+            out.push('\n');
         }
         out
     }
@@ -146,147 +97,417 @@ impl Journal {
             if line.is_empty() {
                 continue;
             }
-            let f: Vec<&str> = line.split_whitespace().collect();
-            let need = |k: usize| -> Result<(), RiotError> {
-                if f.len() == k {
-                    Ok(())
-                } else {
-                    Err(perr(n, &format!("`{}` needs {} fields", f[0], k - 1)))
-                }
-            };
-            let cmd = match f[0] {
-                "edit" => {
-                    need(2)?;
-                    Command::Edit { cell: f[1].into() }
-                }
-                "create" => {
-                    need(3)?;
-                    Command::Create {
-                        cell: f[1].into(),
-                        instance: f[2].into(),
-                    }
-                }
-                "translate" => {
-                    need(4)?;
-                    Command::Translate {
-                        instance: f[1].into(),
-                        d: Point::new(
-                            f[2].parse().map_err(|_| perr(n, "bad integer"))?,
-                            f[3].parse().map_err(|_| perr(n, "bad integer"))?,
-                        ),
-                    }
-                }
-                "orient" => {
-                    need(3)?;
-                    Command::Orient {
-                        instance: f[1].into(),
-                        orient: f[2].parse().map_err(|_| perr(n, "bad orientation"))?,
-                    }
-                }
-                "replicate" => {
-                    need(4)?;
-                    Command::Replicate {
-                        instance: f[1].into(),
-                        cols: f[2].parse().map_err(|_| perr(n, "bad count"))?,
-                        rows: f[3].parse().map_err(|_| perr(n, "bad count"))?,
-                    }
-                }
-                "spacing" => {
-                    need(4)?;
-                    Command::Spacing {
-                        instance: f[1].into(),
-                        col: f[2].parse().map_err(|_| perr(n, "bad pitch"))?,
-                        row: f[3].parse().map_err(|_| perr(n, "bad pitch"))?,
-                    }
-                }
-                "delete" => {
-                    need(2)?;
-                    Command::Delete {
-                        instance: f[1].into(),
-                    }
-                }
-                "connect" => {
-                    need(5)?;
-                    Command::Connect {
-                        from: f[1].into(),
-                        from_connector: f[2].into(),
-                        to: f[3].into(),
-                        to_connector: f[4].into(),
-                    }
-                }
-                "unpend" => {
-                    need(2)?;
-                    Command::RemovePending {
-                        index: f[1].parse().map_err(|_| perr(n, "bad index"))?,
-                    }
-                }
-                "clearpend" => {
-                    need(1)?;
-                    Command::ClearPending
-                }
-                "abut" => {
-                    need(2)?;
-                    Command::Abut {
-                        overlap: match f[1] {
-                            "overlap" => true,
-                            "touch" => false,
-                            _ => return Err(perr(n, "abut wants overlap|touch")),
-                        },
-                    }
-                }
-                "abutinst" => {
-                    need(3)?;
-                    Command::AbutInstances {
-                        from: f[1].into(),
-                        to: f[2].into(),
-                    }
-                }
-                "route" => {
-                    need(2)?;
-                    Command::Route {
-                        move_from: match f[1] {
-                            "move" => true,
-                            "stay" => false,
-                            _ => return Err(perr(n, "route wants move|stay")),
-                        },
-                        router: RouterOptions::new(),
-                    }
-                }
-                "stretch" => {
-                    let mode = match f.len() {
-                        1 => SolveMode::PreserveGaps,
-                        2 if f[1] == "rules" => SolveMode::DesignRules,
-                        _ => return Err(perr(n, "stretch wants no field or `rules`")),
-                    };
-                    Command::Stretch { mode }
-                }
-                "bringout" => {
-                    if f.len() < 4 {
-                        return Err(perr(n, "bringout wants instance side connectors…"));
-                    }
-                    Command::BringOut {
-                        instance: f[1].into(),
-                        side: f[2].parse().map_err(|_| perr(n, "bad side"))?,
-                        connectors: f[3..].iter().map(|s| (*s).to_owned()).collect(),
-                    }
-                }
-                "finish" => {
-                    need(1)?;
-                    Command::Finish
-                }
-                "undo" => {
-                    need(1)?;
-                    Command::Undo
-                }
-                "redo" => {
-                    need(1)?;
-                    Command::Redo
-                }
-                other => return Err(perr(n, &format!("unknown command `{other}`"))),
-            };
-            journal.record(cmd);
+            journal.record(parse_command_line(line, n)?);
         }
         Ok(journal)
+    }
+}
+
+/// Serializes one command as its single-line replay form (no newline).
+pub fn command_to_line(cmd: &Command) -> String {
+    let mut out = String::new();
+    match cmd {
+        Command::Edit { cell } => {
+            let _ = write!(out, "edit {cell}");
+        }
+        Command::Create { cell, instance } => {
+            let _ = write!(out, "create {cell} {instance}");
+        }
+        Command::Translate { instance, d } => {
+            let _ = write!(out, "translate {instance} {} {}", d.x, d.y);
+        }
+        Command::Orient { instance, orient } => {
+            let _ = write!(out, "orient {instance} {orient}");
+        }
+        Command::Replicate {
+            instance,
+            cols,
+            rows,
+        } => {
+            let _ = write!(out, "replicate {instance} {cols} {rows}");
+        }
+        Command::Spacing { instance, col, row } => {
+            let _ = write!(out, "spacing {instance} {col} {row}");
+        }
+        Command::Delete { instance } => {
+            let _ = write!(out, "delete {instance}");
+        }
+        Command::Connect {
+            from,
+            from_connector,
+            to,
+            to_connector,
+        } => {
+            let _ = write!(out, "connect {from} {from_connector} {to} {to_connector}");
+        }
+        Command::RemovePending { index } => {
+            let _ = write!(out, "unpend {index}");
+        }
+        Command::ClearPending => out.push_str("clearpend"),
+        Command::Abut { overlap } => {
+            let _ = write!(out, "abut {}", if *overlap { "overlap" } else { "touch" });
+        }
+        Command::AbutInstances { from, to } => {
+            let _ = write!(out, "abutinst {from} {to}");
+        }
+        Command::Route { move_from, .. } => {
+            let _ = write!(out, "route {}", if *move_from { "move" } else { "stay" });
+        }
+        Command::Stretch { mode } => match mode {
+            SolveMode::PreserveGaps => out.push_str("stretch"),
+            SolveMode::DesignRules => out.push_str("stretch rules"),
+        },
+        Command::BringOut {
+            instance,
+            connectors,
+            side,
+        } => {
+            let _ = write!(out, "bringout {instance} {side}");
+            for c in connectors {
+                let _ = write!(out, " {c}");
+            }
+        }
+        Command::Finish => out.push_str("finish"),
+        Command::Undo => out.push_str("undo"),
+        Command::Redo => out.push_str("redo"),
+    }
+    out
+}
+
+/// Parses one replay line (already comment-stripped, non-empty) into a
+/// command. `n` is the 0-based line (or record) number for errors.
+///
+/// # Errors
+///
+/// [`RiotError::Parse`] describing the malformed field.
+pub fn parse_command_line(line: &str, n: usize) -> Result<Command, RiotError> {
+    let perr = |line: usize, msg: &str| RiotError::Parse {
+        line: line + 1,
+        message: msg.to_owned(),
+    };
+    let f: Vec<&str> = line.split_whitespace().collect();
+    if f.is_empty() {
+        return Err(perr(n, "empty command line"));
+    }
+    {
+        let need = |k: usize| -> Result<(), RiotError> {
+            if f.len() == k {
+                Ok(())
+            } else {
+                Err(perr(n, &format!("`{}` needs {} fields", f[0], k - 1)))
+            }
+        };
+        let cmd = match f[0] {
+            "edit" => {
+                need(2)?;
+                Command::Edit { cell: f[1].into() }
+            }
+            "create" => {
+                need(3)?;
+                Command::Create {
+                    cell: f[1].into(),
+                    instance: f[2].into(),
+                }
+            }
+            "translate" => {
+                need(4)?;
+                Command::Translate {
+                    instance: f[1].into(),
+                    d: Point::new(
+                        f[2].parse().map_err(|_| perr(n, "bad integer"))?,
+                        f[3].parse().map_err(|_| perr(n, "bad integer"))?,
+                    ),
+                }
+            }
+            "orient" => {
+                need(3)?;
+                Command::Orient {
+                    instance: f[1].into(),
+                    orient: f[2].parse().map_err(|_| perr(n, "bad orientation"))?,
+                }
+            }
+            "replicate" => {
+                need(4)?;
+                Command::Replicate {
+                    instance: f[1].into(),
+                    cols: f[2].parse().map_err(|_| perr(n, "bad count"))?,
+                    rows: f[3].parse().map_err(|_| perr(n, "bad count"))?,
+                }
+            }
+            "spacing" => {
+                need(4)?;
+                Command::Spacing {
+                    instance: f[1].into(),
+                    col: f[2].parse().map_err(|_| perr(n, "bad pitch"))?,
+                    row: f[3].parse().map_err(|_| perr(n, "bad pitch"))?,
+                }
+            }
+            "delete" => {
+                need(2)?;
+                Command::Delete {
+                    instance: f[1].into(),
+                }
+            }
+            "connect" => {
+                need(5)?;
+                Command::Connect {
+                    from: f[1].into(),
+                    from_connector: f[2].into(),
+                    to: f[3].into(),
+                    to_connector: f[4].into(),
+                }
+            }
+            "unpend" => {
+                need(2)?;
+                Command::RemovePending {
+                    index: f[1].parse().map_err(|_| perr(n, "bad index"))?,
+                }
+            }
+            "clearpend" => {
+                need(1)?;
+                Command::ClearPending
+            }
+            "abut" => {
+                need(2)?;
+                Command::Abut {
+                    overlap: match f[1] {
+                        "overlap" => true,
+                        "touch" => false,
+                        _ => return Err(perr(n, "abut wants overlap|touch")),
+                    },
+                }
+            }
+            "abutinst" => {
+                need(3)?;
+                Command::AbutInstances {
+                    from: f[1].into(),
+                    to: f[2].into(),
+                }
+            }
+            "route" => {
+                need(2)?;
+                Command::Route {
+                    move_from: match f[1] {
+                        "move" => true,
+                        "stay" => false,
+                        _ => return Err(perr(n, "route wants move|stay")),
+                    },
+                    router: RouterOptions::new(),
+                }
+            }
+            "stretch" => {
+                let mode = match f.len() {
+                    1 => SolveMode::PreserveGaps,
+                    2 if f[1] == "rules" => SolveMode::DesignRules,
+                    _ => return Err(perr(n, "stretch wants no field or `rules`")),
+                };
+                Command::Stretch { mode }
+            }
+            "bringout" => {
+                if f.len() < 4 {
+                    return Err(perr(n, "bringout wants instance side connectors…"));
+                }
+                Command::BringOut {
+                    instance: f[1].into(),
+                    side: f[2].parse().map_err(|_| perr(n, "bad side"))?,
+                    connectors: f[3..].iter().map(|s| (*s).to_owned()).collect(),
+                }
+            }
+            "finish" => {
+                need(1)?;
+                Command::Finish
+            }
+            "undo" => {
+                need(1)?;
+                Command::Undo
+            }
+            "redo" => {
+                need(1)?;
+                Command::Redo
+            }
+            other => return Err(perr(n, &format!("unknown command `{other}`"))),
+        };
+        Ok(cmd)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The crash-safe write-ahead format
+// ----------------------------------------------------------------------
+
+/// Magic header opening a write-ahead journal file.
+pub const WAL_MAGIC: &[u8; 8] = b"RIOTWAL1";
+
+/// CRC-32 of `data`: the IEEE 802.3 reflected polynomial with the
+/// standard init/final inversion — bit-for-bit the checksum zlib (and
+/// Python's `zlib.crc32`) computes, so fixtures can be cross-checked
+/// with any stock implementation.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why [`Journal::recover_wal`] stopped reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalCorruption {
+    /// The file does not begin with the `RIOTWAL1` magic.
+    BadMagic,
+    /// Fewer than 8 header bytes remained — a torn header write.
+    TornHeader,
+    /// The header promises more payload than the file holds — a torn
+    /// (short) payload write.
+    TornPayload {
+        /// Bytes the header claims.
+        expected: usize,
+        /// Bytes actually left in the file.
+        available: usize,
+    },
+    /// The stored checksum disagrees with the payload.
+    BadChecksum {
+        /// Checksum in the record header.
+        stored: u32,
+        /// Checksum of the bytes on disk.
+        computed: u32,
+    },
+    /// The payload is not UTF-8 or not a valid command line.
+    BadPayload(String),
+}
+
+impl fmt::Display for WalCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalCorruption::BadMagic => f.write_str("missing RIOTWAL1 magic"),
+            WalCorruption::TornHeader => f.write_str("torn record header"),
+            WalCorruption::TornPayload {
+                expected,
+                available,
+            } => write!(
+                f,
+                "torn payload: {expected} bytes promised, {available} present"
+            ),
+            WalCorruption::BadChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            WalCorruption::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+        }
+    }
+}
+
+/// The outcome of recovering a write-ahead journal: the longest intact
+/// prefix plus what (if anything) stopped the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// The recovered prefix, ready for [`replay`].
+    pub journal: Journal,
+    /// Byte offset the scan stopped at — the truncation point. Equals
+    /// the file length for an intact file.
+    pub valid_len: usize,
+    /// `None` when the whole file was intact.
+    pub corruption: Option<WalCorruption>,
+}
+
+impl WalRecovery {
+    /// `true` when every byte of the file was an intact record.
+    pub fn is_clean(&self) -> bool {
+        self.corruption.is_none()
+    }
+}
+
+impl Journal {
+    /// Serializes to the crash-safe write-ahead format: the magic, then
+    /// per command a `u32` LE payload length, `u32` LE CRC-32, and the
+    /// command's replay line as the payload.
+    pub fn to_wal(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(WAL_MAGIC.len() + self.commands.len() * 24);
+        out.extend_from_slice(WAL_MAGIC);
+        for cmd in &self.commands {
+            let line = command_to_line(cmd);
+            let payload = line.as_bytes();
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Recovers as much of a write-ahead journal as is intact,
+    /// truncating at the first corrupt record. Never fails: the worst
+    /// input yields an empty journal plus the corruption description.
+    /// Bumps the `journal.recovered` / `journal.truncated` metrics.
+    pub fn recover_wal(bytes: &[u8]) -> WalRecovery {
+        let reg = riot_trace::registry();
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            reg.counter("journal.truncated").inc();
+            // Touch the counter so a traced summary always lists it.
+            reg.counter("journal.recovered").add(0);
+            return WalRecovery {
+                journal: Journal::new(),
+                valid_len: 0,
+                corruption: Some(WalCorruption::BadMagic),
+            };
+        }
+        let mut journal = Journal::new();
+        let mut off = WAL_MAGIC.len();
+        let mut corruption = None;
+        let mut record_no = 0usize;
+        while off < bytes.len() {
+            if bytes.len() - off < 8 {
+                corruption = Some(WalCorruption::TornHeader);
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let stored = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+            let start = off + 8;
+            if bytes.len() - start < len {
+                corruption = Some(WalCorruption::TornPayload {
+                    expected: len,
+                    available: bytes.len() - start,
+                });
+                break;
+            }
+            let payload = &bytes[start..start + len];
+            let computed = crc32(payload);
+            if computed != stored {
+                corruption = Some(WalCorruption::BadChecksum { stored, computed });
+                break;
+            }
+            let line = match std::str::from_utf8(payload) {
+                Ok(s) => s,
+                Err(e) => {
+                    corruption = Some(WalCorruption::BadPayload(e.to_string()));
+                    break;
+                }
+            };
+            match parse_command_line(line.trim(), record_no) {
+                Ok(cmd) => journal.record(cmd),
+                Err(e) => {
+                    corruption = Some(WalCorruption::BadPayload(e.to_string()));
+                    break;
+                }
+            }
+            off = start + len;
+            record_no += 1;
+        }
+        reg.counter("journal.recovered")
+            .add(journal.commands.len() as u64);
+        if corruption.is_some() {
+            reg.counter("journal.truncated").inc();
+        }
+        WalRecovery {
+            journal,
+            valid_len: off,
+            corruption,
+        }
     }
 }
 
@@ -415,6 +636,116 @@ mod tests {
                     mode: SolveMode::DesignRules
                 },
             ]
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"riot"), {
+            // Independent bit-reversed computation to guard the table.
+            let mut crc = 0xFFFF_FFFF_u32;
+            for &b in b"riot" {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 == 1 {
+                        (crc >> 1) ^ 0xEDB8_8320
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            !crc
+        });
+    }
+
+    #[test]
+    fn wal_round_trip() {
+        let j = sample_journal();
+        let bytes = j.to_wal();
+        assert_eq!(&bytes[..8], WAL_MAGIC);
+        let rec = Journal::recover_wal(&bytes);
+        assert!(rec.is_clean());
+        assert_eq!(rec.valid_len, bytes.len());
+        assert_eq!(rec.journal, j);
+    }
+
+    #[test]
+    fn wal_recovery_truncates_torn_tail() {
+        let j = sample_journal();
+        let bytes = j.to_wal();
+        // Cut the file mid-way through the last record's payload.
+        let torn = &bytes[..bytes.len() - 3];
+        let rec = Journal::recover_wal(torn);
+        assert!(matches!(
+            rec.corruption,
+            Some(WalCorruption::TornPayload { .. })
+        ));
+        let n = j.commands().len();
+        assert_eq!(rec.journal.commands(), &j.commands()[..n - 1]);
+        // The truncation point is the start of the torn record.
+        assert!(rec.valid_len < torn.len());
+        assert_eq!(
+            &Journal::recover_wal(&bytes[..rec.valid_len]).journal,
+            &rec.journal
+        );
+    }
+
+    #[test]
+    fn wal_recovery_truncates_torn_header() {
+        let j = sample_journal();
+        let mut bytes = j.to_wal();
+        // Append 5 stray bytes: a header needs 8.
+        bytes.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let rec = Journal::recover_wal(&bytes);
+        assert_eq!(rec.corruption, Some(WalCorruption::TornHeader));
+        assert_eq!(&rec.journal, &j);
+    }
+
+    #[test]
+    fn wal_recovery_stops_at_bad_checksum() {
+        let j = sample_journal();
+        let mut bytes = j.to_wal();
+        // Flip one payload bit in the second record. Record 1 payload
+        // starts right after magic(8) + header(8): "edit TOP".
+        let second_payload = 8 + 8 + b"edit TOP".len() + 8;
+        bytes[second_payload] ^= 0x40;
+        let rec = Journal::recover_wal(&bytes);
+        assert!(matches!(
+            rec.corruption,
+            Some(WalCorruption::BadChecksum { .. })
+        ));
+        assert_eq!(rec.journal.commands(), &j.commands()[..1]);
+        assert_eq!(rec.valid_len, 8 + 8 + b"edit TOP".len());
+    }
+
+    #[test]
+    fn wal_recovery_rejects_bad_magic() {
+        let rec = Journal::recover_wal(b"NOTAWAL0\x01\x02");
+        assert_eq!(rec.corruption, Some(WalCorruption::BadMagic));
+        assert_eq!(rec.valid_len, 0);
+        assert!(rec.journal.commands().is_empty());
+        let rec = Journal::recover_wal(b"");
+        assert_eq!(rec.corruption, Some(WalCorruption::BadMagic));
+    }
+
+    #[test]
+    fn wal_recovery_stops_at_unparseable_payload() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC);
+        for line in ["edit TOP", "frobnicate I0"] {
+            let p = line.as_bytes();
+            bytes.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(p).to_le_bytes());
+            bytes.extend_from_slice(p);
+        }
+        let rec = Journal::recover_wal(&bytes);
+        assert!(matches!(rec.corruption, Some(WalCorruption::BadPayload(_))));
+        assert_eq!(
+            rec.journal.commands(),
+            &[ReplayCommand::Edit { cell: "TOP".into() }]
         );
     }
 

@@ -71,11 +71,81 @@ fn arb_soup() -> impl Strategy<Value = Vec<FlatShape>> {
     })
 }
 
+/// A soup clustered around extreme coordinates: anchors near
+/// `i32::MIN`/`i32::MAX` (the magnitudes CIF files from 32-bit tools
+/// produce), plus zero-area and zero-width degenerate boxes. Guards
+/// the spatial index and the distance arithmetic against overflow and
+/// degenerate-extent corner cases.
+fn arb_extreme_soup() -> impl Strategy<Value = Vec<FlatShape>> {
+    const ANCHORS: [i64; 5] = [
+        i32::MIN as i64,
+        -(1_i64 << 20),
+        0,
+        1_i64 << 20,
+        i32::MAX as i64,
+    ];
+    (1u64..50_000, 1usize..60).prop_map(|(seed, n)| {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut shapes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let layer = LAYERS[(next() % 4) as usize];
+            let x = ANCHORS[(next() % 5) as usize] + (next() % 40) as i64 * LAMBDA;
+            let y = ANCHORS[(next() % 5) as usize] + (next() % 40) as i64 * LAMBDA;
+            match next() % 6 {
+                // A zero-area point rect.
+                0 => shapes.push(FlatShape {
+                    layer,
+                    geometry: Geometry::Box(Rect::new(x, y, x, y)),
+                    depth: 0,
+                }),
+                // A zero-width / zero-height line rect.
+                1 => {
+                    let len = (next() % 6 + 1) as i64 * LAMBDA;
+                    let r = if next() % 2 == 0 {
+                        Rect::new(x, y, x + len, y)
+                    } else {
+                        Rect::new(x, y, x, y + len)
+                    };
+                    shapes.push(FlatShape {
+                        layer,
+                        geometry: Geometry::Box(r),
+                        depth: 0,
+                    });
+                }
+                _ => {
+                    let w = (next() % 6 + 1) as i64 * LAMBDA;
+                    let h = (next() % 6 + 1) as i64 * LAMBDA;
+                    shapes.push(FlatShape {
+                        layer,
+                        geometry: Geometry::Box(Rect::new(x, y, x + w, y + h)),
+                        depth: 0,
+                    });
+                }
+            }
+        }
+        shapes
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     #[test]
     fn indexed_equals_naive_on_random_soups(shapes in arb_soup()) {
+        let rules = RuleSet::nmos();
+        let reference = normalized(naive::check(&shapes, &rules));
+        let indexed = normalized(check(&shapes, &rules));
+        prop_assert_eq!(indexed, reference);
+    }
+
+    #[test]
+    fn indexed_equals_naive_on_extreme_coordinates(shapes in arb_extreme_soup()) {
         let rules = RuleSet::nmos();
         let reference = normalized(naive::check(&shapes, &rules));
         let indexed = normalized(check(&shapes, &rules));

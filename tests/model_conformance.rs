@@ -1,0 +1,69 @@
+//! Tier-1 model-based conformance suite: the `riot-check` harness run
+//! under plain `cargo test`, at zero and 10% fault-injection rates,
+//! plus a regression proving the seeded known-failure is caught and
+//! shrinks to a minimal repro.
+
+use riot_check::{run_check, run_commands, shrink, CheckConfig};
+
+const SEEDS: [u64; 3] = [11, 23, 42];
+const STEPS: usize = 200;
+
+#[test]
+fn conformance_without_faults() {
+    for seed in SEEDS {
+        let cfg = CheckConfig {
+            seed,
+            steps: STEPS,
+            fault_rate: 0.0,
+            demo_bug: false,
+        };
+        let report = run_check(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.steps, STEPS);
+        assert_eq!(report.faults_injected, 0);
+        assert!(report.crash_checks >= STEPS / 97);
+    }
+}
+
+#[test]
+fn conformance_under_ten_percent_faults() {
+    let mut total_injected = 0;
+    for seed in SEEDS {
+        let cfg = CheckConfig {
+            seed,
+            steps: STEPS,
+            fault_rate: 0.10,
+            demo_bug: false,
+        };
+        let report = run_check(&cfg).unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(report.steps, STEPS);
+        total_injected += report.faults_injected;
+    }
+    assert!(
+        total_injected > 0,
+        "a 10% plan over {} steps x {} seeds should inject at least once",
+        STEPS,
+        SEEDS.len()
+    );
+}
+
+#[test]
+fn demo_bug_fails_and_shrinks_to_minimal_repro() {
+    let cfg = CheckConfig {
+        seed: 42,
+        steps: 400,
+        fault_rate: 0.0,
+        demo_bug: true,
+    };
+    let failure = run_check(&cfg).expect_err("the seeded misprediction must be caught");
+    let minimal = shrink(&failure.history, |cmds| run_commands(&cfg, cmds).is_err());
+    assert!(
+        minimal.len() <= 10,
+        "expected a <=10-command repro, got {} commands",
+        minimal.len()
+    );
+    // The minimal repro still fails, and removing its only command
+    // makes the failure disappear.
+    assert!(run_commands(&cfg, &minimal).is_err());
+    assert_eq!(minimal.len(), 1, "clearpend-on-empty is a 1-command repro");
+    assert!(run_commands(&cfg, &[]).is_ok());
+}

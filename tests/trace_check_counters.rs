@@ -1,0 +1,63 @@
+//! The correctness-harness counters must surface in the trace summary
+//! exporter: a traced session with a fault plan flushes
+//! `check.fault.injected` / `check.fault.consulted` at editor drop,
+//! and every WAL recovery bumps `journal.recovered` /
+//! `journal.truncated`.
+//!
+//! One test function (the registry is process-global; sequencing
+//! inside one test keeps the assertions deterministic).
+
+use riot::core::{Command, Editor, FaultPlan, Journal, Library};
+
+#[test]
+fn harness_counters_appear_in_the_summary_exporter() {
+    riot::trace::enable(true);
+
+    // A session whose every fault site trips, dropped while traced.
+    {
+        let mut lib = Library::new();
+        lib.add_sticks_cell(riot::cells::nand2()).expect("nand2");
+        let mut ed = Editor::open(&mut lib, "TOP").expect("TOP opens");
+        ed.set_fault_plan(FaultPlan::new(1, 1.0));
+        let err = ed
+            .execute(Command::Create {
+                cell: "nand2".into(),
+                instance: "I0".into(),
+            })
+            .expect_err("a full-rate plan trips the txn commit");
+        assert!(err.to_string().contains("injected fault"));
+    } // <- drop flushes the plan tallies
+
+    // A recovery over a corrupt WAL (bad magic counts as truncation).
+    let rec = Journal::recover_wal(b"not a wal at all");
+    assert!(rec.journal.commands().is_empty());
+
+    // And an intact recovery, so `journal.recovered` has a real value.
+    let mut journal = Journal::new();
+    journal.record(Command::Edit { cell: "TOP".into() });
+    journal.record(Command::ClearPending);
+    let clean = Journal::recover_wal(&journal.to_wal());
+    assert!(clean.is_clean());
+
+    let summary = riot::trace::export::summary();
+    for name in [
+        "check.fault.injected",
+        "check.fault.consulted",
+        "journal.recovered",
+        "journal.truncated",
+    ] {
+        assert!(
+            summary.contains(name),
+            "summary exporter is missing `{name}`:\n{summary}"
+        );
+    }
+
+    // The counters are not merely present — they carry the tallies.
+    let reg = riot::trace::registry();
+    assert!(reg.counter("check.fault.injected").get() >= 1);
+    assert!(reg.counter("check.fault.consulted").get() >= 1);
+    assert!(reg.counter("journal.recovered").get() >= 2);
+    assert!(reg.counter("journal.truncated").get() >= 1);
+
+    riot::trace::enable(false);
+}
