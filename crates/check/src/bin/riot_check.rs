@@ -29,6 +29,7 @@ OPTIONS:
     --demo-bug      arm the seeded model misprediction (must fail;
                     demonstrates failure reporting and shrinking)
     -h, --help      this help
+    -V, --version   print version and exit
 ";
 
 struct Args {
@@ -39,6 +40,10 @@ struct Args {
 }
 
 fn parse_args() -> Result<Args, String> {
+    if std::env::args().any(|a| a == "-V" || a == "--version") {
+        println!("riot-check {}", env!("CARGO_PKG_VERSION"));
+        std::process::exit(0);
+    }
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("run") => {}

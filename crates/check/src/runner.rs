@@ -549,6 +549,39 @@ pub fn run_check(cfg: &CheckConfig) -> Result<Report, Failure> {
     })
 }
 
+/// Replays a recovered journal (an `edit` head plus accepted commands
+/// — exactly what [`riot_core::Journal::recover_wal`] or a riot-serve
+/// session WAL yields) through a **fresh** editor and reference model
+/// in lockstep on `lib`, checking full observable equivalence after
+/// every command. Returns the number of records replayed (head
+/// included).
+///
+/// This is how external subsystems prove a durability claim: if the
+/// WAL's commands replay in lockstep with the model, the recovered
+/// state is model-equivalent — not merely "did not crash".
+///
+/// # Errors
+///
+/// The first divergence (or replay failure), with its command index.
+pub fn lockstep_replay(lib: &mut Library, cmds: &[Command]) -> Result<usize, String> {
+    let Some(Command::Edit { cell }) = cmds.first() else {
+        return Err("journal must start with an `edit` head".into());
+    };
+    let cell = cell.clone();
+    let mut ed = Editor::open(lib, &cell).map_err(|e| format!("open `{cell}`: {e}"))?;
+    let mut model = Model::from_editor(&ed);
+    check_equiv(&ed, &model).map_err(|e| format!("after `edit` head: {e}"))?;
+    let mut n = 1usize;
+    for cmd in &cmds[1..] {
+        step(&mut ed, &mut model, cmd)
+            .map_err(|e| format!("record {n} `{}`: {e}", command_to_line(cmd)))?;
+        check_equiv(&ed, &model)
+            .map_err(|e| format!("after record {n} `{}`: {e}", command_to_line(cmd)))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
 /// Replays a fixed command list under the same protocol (the shrinking
 /// predicate). Faults and crash fuzzing re-derive from `cfg.seed`, so
 /// replaying an unshrunk failure history reproduces it exactly.

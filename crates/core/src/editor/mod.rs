@@ -114,6 +114,50 @@ pub struct Editor<'a> {
     fault: Option<FaultPlan>,
 }
 
+/// A suspended editing session: everything an [`Editor`] owns besides
+/// the borrowed library, captured by [`Editor::suspend`] and revived by
+/// [`Editor::resume`].
+///
+/// A checkpoint is inert data — it can be stored in a map, moved across
+/// threads, and held for as long as the owning [`Library`] lives. The
+/// `riot-serve` session manager keeps one per idle session so a fixed
+/// worker pool can host thousands of sessions without keeping a
+/// borrow-locked editor alive for each.
+#[derive(Debug)]
+pub struct Checkpoint {
+    cell: CellId,
+    pending: Vec<PendingConnection>,
+    warnings: Vec<String>,
+    journal: Journal,
+    instance_counter: usize,
+    history: History,
+    stats: Stats,
+    fault: Option<FaultPlan>,
+}
+
+impl Checkpoint {
+    /// The cell the suspended session was editing.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// The suspended session's journal (every command accepted so far,
+    /// including the `edit` head).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Undo-stack depth at suspension time.
+    pub fn undo_depth(&self) -> usize {
+        self.history.undo_len()
+    }
+
+    /// Pending-connection count at suspension time.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
 impl<'a> Editor<'a> {
     /// Opens (or creates) the composition cell called `name` for
     /// editing.
@@ -155,6 +199,72 @@ impl<'a> Editor<'a> {
             cache: DerivedCache::default(),
             stats: Stats::default(),
             fault: None,
+        })
+    }
+
+    /// Suspends this session into a library-independent [`Checkpoint`]:
+    /// the pending connections, warnings, journal, undo/redo history,
+    /// engine statistics, and armed fault plan are moved out wholesale,
+    /// ready for a later [`Editor::resume`] against the *same* library.
+    ///
+    /// This is what lets a long-lived host (the `riot-serve` session
+    /// manager) keep many sessions alive without a self-referential
+    /// `Editor`/`Library` pair: the library is stored owned, and an
+    /// editor is materialized around it only while commands are being
+    /// applied.
+    ///
+    /// Derived-geometry caches and undrained change events are
+    /// discarded — both are rebuilt lazily after resume. The suspended
+    /// editor skips its [`Drop`] side effects (counter mirroring,
+    /// `RIOT_TRACE` dump): suspending is a pause, not a session end.
+    pub fn suspend(mut self) -> Checkpoint {
+        let cp = Checkpoint {
+            cell: self.cell,
+            pending: std::mem::take(&mut self.pending),
+            warnings: std::mem::take(&mut self.warnings),
+            journal: std::mem::take(&mut self.journal),
+            instance_counter: self.instance_counter,
+            history: std::mem::take(&mut self.history),
+            stats: self.stats,
+            fault: self.fault.take(),
+        };
+        // Drop the owned leftovers explicitly, then forget `self` so
+        // the Drop impl (trace dump) does not fire mid-session. Every
+        // remaining field is an empty default or a plain reference, so
+        // nothing leaks.
+        drop(std::mem::take(&mut self.events));
+        drop(std::mem::take(&mut self.cache));
+        std::mem::forget(self);
+        cp
+    }
+
+    /// Resumes a session previously captured by [`Editor::suspend`].
+    ///
+    /// `lib` must be the library the checkpoint was suspended from (or
+    /// an equivalent clone): the checkpoint addresses cells and
+    /// instances by the ids it recorded.
+    ///
+    /// # Errors
+    ///
+    /// [`RiotError::NotComposition`] (or an unknown-cell error) when
+    /// the checkpoint's edited cell is no longer a composition in
+    /// `lib`.
+    pub fn resume(lib: &'a mut Library, cp: Checkpoint) -> Result<Self, RiotError> {
+        if !lib.cell(cp.cell)?.is_composition() {
+            return Err(RiotError::NotComposition(lib.cell(cp.cell)?.name.clone()));
+        }
+        Ok(Editor {
+            lib,
+            cell: cp.cell,
+            pending: cp.pending,
+            warnings: cp.warnings,
+            journal: cp.journal,
+            instance_counter: cp.instance_counter,
+            history: cp.history,
+            events: Vec::new(),
+            cache: DerivedCache::default(),
+            stats: cp.stats,
+            fault: cp.fault,
         })
     }
 

@@ -592,3 +592,115 @@ fn remove_and_clear_pending_are_undoable() {
     ed.remove_pending(99);
     assert_eq!(ed.pending().len(), 2);
 }
+
+// ----------------------------------------------------------------------
+// Suspend / resume (the riot-serve session-hosting primitive)
+// ----------------------------------------------------------------------
+
+#[test]
+fn suspend_resume_preserves_session_state() {
+    let (mut lib, gate, driver) = setup();
+    let cp = {
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let g = ed.create_instance(gate).unwrap();
+        let d = ed.create_instance(driver).unwrap();
+        ed.translate_instance(g, Point::new(30 * LAMBDA, 0))
+            .unwrap();
+        ed.connect(g, "A", d, "X").unwrap();
+        ed.undo().unwrap();
+        assert_eq!(ed.pending().len(), 0);
+        ed.redo().unwrap();
+        assert_eq!(ed.pending().len(), 1);
+        ed.suspend()
+    };
+    assert_eq!(cp.pending_len(), 1);
+    assert!(cp.undo_depth() >= 3);
+    let journal_len = cp.journal().commands().len();
+    assert!(journal_len >= 5, "journal carries the session history");
+
+    let mut ed = Editor::resume(&mut lib, cp).unwrap();
+    assert_eq!(ed.pending().len(), 1);
+    assert_eq!(ed.journal().commands().len(), journal_len);
+    // Undo still unwinds across the suspension boundary.
+    assert!(ed.undo().unwrap());
+    assert_eq!(ed.pending().len(), 0);
+    assert!(ed.redo().unwrap());
+    assert_eq!(ed.pending().len(), 1);
+    // And the session keeps editing normally.
+    let n_before = ed.instances().len();
+    ed.create_instance(gate).unwrap();
+    assert_eq!(ed.instances().len(), n_before + 1);
+}
+
+#[test]
+fn suspend_resume_round_trip_matches_uninterrupted_session() {
+    // Run the same command list straight through one editor, and
+    // through an editor that suspends/resumes between every command;
+    // the final observable state must be identical.
+    let list = vec![
+        Command::Create {
+            cell: "gate".into(),
+            instance: "G0".into(),
+        },
+        Command::Create {
+            cell: "driver".into(),
+            instance: "D0".into(),
+        },
+        Command::Translate {
+            instance: "D0".into(),
+            d: Point::new(-20 * LAMBDA, 0),
+        },
+        Command::Connect {
+            from: "G0".into(),
+            from_connector: "A".into(),
+            to: "D0".into(),
+            to_connector: "X".into(),
+        },
+        Command::Undo,
+        Command::Redo,
+    ];
+
+    let (mut lib_a, _gate_a, _driver_a) = setup();
+    let mut ed_a = Editor::open(&mut lib_a, "TOP").unwrap();
+    for c in &list {
+        ed_a.execute(c.clone()).unwrap();
+    }
+    let text_a = ed_a.journal().to_text();
+    let pending_a = ed_a.pending().len();
+    let undo_a = ed_a.undo_depth();
+
+    let (mut lib_b, _gate_b, _driver_b) = setup();
+    let mut cp = Editor::open(&mut lib_b, "TOP").unwrap().suspend();
+    for c in &list {
+        let mut ed = Editor::resume(&mut lib_b, cp).unwrap();
+        ed.execute(c.clone()).unwrap();
+        cp = ed.suspend();
+    }
+    let ed_b = Editor::resume(&mut lib_b, cp).unwrap();
+    assert_eq!(ed_b.journal().to_text(), text_a);
+    assert_eq!(ed_b.pending().len(), pending_a);
+    assert_eq!(ed_b.undo_depth(), undo_a);
+}
+
+#[test]
+fn suspend_carries_the_fault_plan() {
+    let (mut lib, gate, _driver) = setup();
+    let cp = {
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        ed.set_fault_plan(FaultPlan::new(9, 1.0));
+        let err = ed.execute(Command::Create {
+            cell: "gate".into(),
+            instance: "G".into(),
+        });
+        assert!(matches!(err, Err(RiotError::FaultInjected(_))));
+        ed.suspend()
+    };
+    let mut ed = Editor::resume(&mut lib, cp).unwrap();
+    assert_eq!(ed.fault_plan().map(|p| p.injected()), Some(1));
+    let err = ed.execute(Command::Create {
+        cell: "gate".into(),
+        instance: "G".into(),
+    });
+    assert!(matches!(err, Err(RiotError::FaultInjected(_))));
+    let _ = gate;
+}

@@ -24,6 +24,19 @@ pub const FAULT_TXN_COMMIT: &str = "txn.commit";
 pub const FAULT_ROUTE_SOLVE: &str = "route.solve";
 /// The stretch-solving fault site (STRETCH).
 pub const FAULT_STRETCH_SOLVE: &str = "stretch.solve";
+/// The connection-accept fault site in `riot-serve`: trips right after
+/// a listener accepts a socket, before the handshake reply — the
+/// connection is dropped as if the accept had failed.
+pub const FAULT_SERVE_ACCEPT: &str = "serve.accept";
+/// The frame-decode fault site in `riot-serve`: the next well-formed
+/// frame is treated as corrupt, exercising the protocol-error path
+/// without touching any session.
+pub const FAULT_SERVE_FRAME_DECODE: &str = "serve.frame.decode";
+/// The journal-append fault site in `riot-serve`: trips before a
+/// session's accepted command is appended to its write-ahead log. The
+/// server writes a deliberately torn record and crashes the session,
+/// so recovery-on-reopen must truncate cleanly.
+pub const FAULT_SERVE_JOURNAL_APPEND: &str = "serve.journal.append";
 
 /// A seeded plan of fault injections, attached to an editing session
 /// with [`crate::Editor::set_fault_plan`].

@@ -64,10 +64,13 @@ mod txn;
 pub use cell::{Cell, CellId, CellKind, Connector, LeafSource};
 pub use command::{Command, Outcome};
 pub use connection::{PendingConnection, WorldConnector};
-pub use editor::{AbutOptions, Editor, RouteOptions, StretchOptions};
+pub use editor::{AbutOptions, Checkpoint, Editor, RouteOptions, StretchOptions};
 pub use error::RiotError;
 pub use events::{ChangeEvent, Stats};
-pub use fault::{FaultPlan, FAULT_ROUTE_SOLVE, FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT};
+pub use fault::{
+    FaultPlan, FAULT_ROUTE_SOLVE, FAULT_SERVE_ACCEPT, FAULT_SERVE_FRAME_DECODE,
+    FAULT_SERVE_JOURNAL_APPEND, FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT,
+};
 pub use instance::{Instance, InstanceId};
 pub use library::Library;
 pub use netlist::{ConnectionLedger, ConnectionViolation, MaintainedConnection};

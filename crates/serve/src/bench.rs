@@ -1,0 +1,310 @@
+//! The load generator behind `riot-serve bench`.
+//!
+//! Spawns `sessions` client connections (each driving its own
+//! session), pushes `commands` editor commands through each with a
+//! window of `window` requests in flight, and reports throughput plus
+//! request-latency percentiles. The report is schema-checked by
+//! [`BenchReport::validate`] **before** any timing claim is written —
+//! a bench that cannot vouch for its own numbers emits nothing.
+
+use crate::client::Client;
+use crate::net::BoundAddr;
+use crate::proto::{Reply, ReplyBody, RequestBody};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Bench shape: how much load, how wide the pipeline.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Concurrent client connections (one session each).
+    pub sessions: usize,
+    /// Commands per session.
+    pub commands: usize,
+    /// Pipelined requests in flight per connection.
+    pub window: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sessions: 4,
+            commands: 1000,
+            window: 32,
+        }
+    }
+}
+
+/// What the bench measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Report schema tag, always `riot-serve-bench/1`.
+    pub schema: String,
+    /// Concurrent sessions driven.
+    pub sessions: usize,
+    /// Total commands acknowledged across all sessions.
+    pub commands_total: usize,
+    /// Pipeline window per connection.
+    pub window: usize,
+    /// Wall-clock for the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Acknowledged commands per second (all sessions combined).
+    pub cmds_per_sec: f64,
+    /// Request latency percentiles, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// `busy` replies absorbed (retried) during the run.
+    pub busy_retries: usize,
+}
+
+impl BenchReport {
+    /// Checks internal consistency: the schema tag, positive load and
+    /// timings, ordered percentiles. Run this before trusting (or
+    /// writing) any number in the report.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first inconsistent field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != "riot-serve-bench/1" {
+            return Err(format!("bad schema tag `{}`", self.schema));
+        }
+        if self.sessions == 0 {
+            return Err("sessions must be positive".into());
+        }
+        if self.commands_total == 0 {
+            return Err("no commands were acknowledged".into());
+        }
+        if !self.commands_total.is_multiple_of(self.sessions) {
+            return Err(format!(
+                "commands_total {} not a multiple of sessions {} — lost replies",
+                self.commands_total, self.sessions
+            ));
+        }
+        if !(self.elapsed_ms.is_finite() && self.elapsed_ms > 0.0) {
+            return Err("elapsed_ms must be positive and finite".into());
+        }
+        if !(self.cmds_per_sec.is_finite() && self.cmds_per_sec > 0.0) {
+            return Err("cmds_per_sec must be positive and finite".into());
+        }
+        let implied = self.commands_total as f64 / (self.elapsed_ms / 1000.0);
+        if (implied - self.cmds_per_sec).abs() / implied > 0.05 {
+            return Err(format!(
+                "cmds_per_sec {:.0} disagrees with commands/elapsed {:.0}",
+                self.cmds_per_sec, implied
+            ));
+        }
+        if !(self.p50_us <= self.p95_us && self.p95_us <= self.p99_us) {
+            return Err(format!(
+                "percentiles out of order: p50 {} p95 {} p99 {}",
+                self.p50_us, self.p95_us, self.p99_us
+            ));
+        }
+        Ok(())
+    }
+
+    /// The report as pretty-printed JSON (`riot-serve-bench/1`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"sessions\": {},\n  \"commands_total\": {},\n  \
+             \"window\": {},\n  \"elapsed_ms\": {:.2},\n  \"cmds_per_sec\": {:.1},\n  \
+             \"p50_us\": {},\n  \"p95_us\": {},\n  \"p99_us\": {},\n  \"busy_retries\": {}\n}}\n",
+            self.schema,
+            self.sessions,
+            self.commands_total,
+            self.window,
+            self.elapsed_ms,
+            self.cmds_per_sec,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.busy_retries
+        )
+    }
+}
+
+/// One worker's tally.
+struct SessionRun {
+    latencies_us: Vec<u64>,
+    acked: usize,
+    busy_retries: usize,
+}
+
+/// The command mix: a growing row of gates, nudged into place — the
+/// same create/translate traffic an interactive RIOT composition
+/// session produces.
+fn command_line(i: usize) -> String {
+    if i.is_multiple_of(2) {
+        format!("create nand2 G{}", i / 2)
+    } else {
+        format!("translate G{} {} 0", i / 2, 4000 * (i / 2 + 1))
+    }
+}
+
+/// Drives one session over one connection with windowed pipelining.
+fn drive_session(addr: &BoundAddr, session: &str, cfg: &BenchConfig) -> Result<SessionRun, String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.open(session, "TOP").map_err(|e| format!("open: {e}"))?;
+    let mut run = SessionRun {
+        latencies_us: Vec::with_capacity(cfg.commands),
+        acked: 0,
+        busy_retries: 0,
+    };
+    let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::new();
+    let mut next = 0usize;
+    while run.acked < cfg.commands {
+        // Fill the window.
+        while next < cfg.commands && in_flight.len() < cfg.window.max(1) {
+            let id = c
+                .send(RequestBody::Cmd {
+                    session: session.to_owned(),
+                    line: command_line(next),
+                })
+                .map_err(|e| format!("send: {e}"))?;
+            in_flight.insert(id, (next, Instant::now()));
+            next += 1;
+        }
+        // Drain one reply.
+        let Reply { id, body } = c.recv().map_err(|e| format!("recv: {e}"))?;
+        let Some((cmd_index, sent)) = in_flight.remove(&id) else {
+            return Err(format!("reply id {id} answers nothing in flight"));
+        };
+        match body {
+            ReplyBody::Ok(_) => {
+                run.latencies_us
+                    .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                run.acked += 1;
+            }
+            ReplyBody::Busy => {
+                // Backpressure: put the command back in the queue. The
+                // shrunken window drains before we refill.
+                run.busy_retries += 1;
+                let id = c
+                    .send(RequestBody::Cmd {
+                        session: session.to_owned(),
+                        line: command_line(cmd_index),
+                    })
+                    .map_err(|e| format!("resend: {e}"))?;
+                in_flight.insert(id, (cmd_index, Instant::now()));
+            }
+            ReplyBody::Err(m) => return Err(format!("command {cmd_index}: {m}")),
+        }
+    }
+    c.close_session(session)
+        .map_err(|e| format!("close: {e}"))?;
+    Ok(run)
+}
+
+/// Runs the bench against a live server and returns a **validated**
+/// report.
+///
+/// # Errors
+///
+/// Transport/protocol failures, lost or misordered replies, or a
+/// report that fails its own schema check.
+pub fn run_bench(addr: &BoundAddr, cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let started = Instant::now();
+    let runs: Vec<Result<SessionRun, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.sessions)
+            .map(|s| {
+                let session = format!("bench-{s}");
+                let addr = addr.clone();
+                scope.spawn(move || drive_session(&addr, &session, cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+            .collect()
+    });
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut acked = 0usize;
+    let mut busy_retries = 0usize;
+    for run in runs {
+        let run = run?;
+        latencies.extend_from_slice(&run.latencies_us);
+        acked += run.acked;
+        busy_retries += run.busy_retries;
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let report = BenchReport {
+        schema: "riot-serve-bench/1".to_owned(),
+        sessions: cfg.sessions,
+        commands_total: acked,
+        window: cfg.window,
+        elapsed_ms,
+        cmds_per_sec: acked as f64 / (elapsed_ms / 1000.0),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        busy_retries,
+    };
+    report.validate()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            schema: "riot-serve-bench/1".into(),
+            sessions: 4,
+            commands_total: 200,
+            window: 16,
+            elapsed_ms: 20.0,
+            cmds_per_sec: 10_000.0,
+            p50_us: 50,
+            p95_us: 200,
+            p99_us: 400,
+            busy_retries: 0,
+        }
+    }
+
+    #[test]
+    fn valid_report_passes_and_serializes() {
+        let r = sample();
+        r.validate().unwrap();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"riot-serve-bench/1\""));
+        assert!(json.contains("\"cmds_per_sec\": 10000.0"));
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut r = sample();
+        r.schema = "wat/9".into();
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.commands_total = 199; // not divisible by sessions: lost reply
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.p95_us = 10_000; // above p99
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.cmds_per_sec = 123.0; // disagrees with commands/elapsed
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn command_mix_alternates_create_translate() {
+        assert_eq!(command_line(0), "create nand2 G0");
+        assert_eq!(command_line(1), "translate G0 4000 0");
+        assert_eq!(command_line(2), "create nand2 G1");
+    }
+}

@@ -1,0 +1,280 @@
+//! `riot-serve`: the headless multi-session composition server.
+//!
+//! ```text
+//! riot-serve serve --addr 127.0.0.1:7117 --root ./riot-serve-data
+//! riot-serve serve --socket /tmp/riot.sock --root ./riot-serve-data
+//! riot-serve bench --addr 127.0.0.1:7117 --sessions 4 --commands 1000
+//! riot-serve bench --spawn --out BENCH_serve.json
+//! riot-serve shutdown --socket /tmp/riot.sock
+//! ```
+//!
+//! `serve` blocks until a client sends the `shutdown` verb (or the
+//! process receives a signal). `bench` either connects to a running
+//! server (`--addr`/`--socket`) or, with `--spawn`, starts a private
+//! Unix-socket server in a temp directory, drives it, and drains it —
+//! the zero-setup path CI uses. The report is schema-validated before
+//! a single number is printed or written.
+
+use riot_serve::{run_bench, BenchConfig, Bind, BoundAddr, Client, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+riot-serve: headless multi-session composition server (RIOTSRV1)
+
+USAGE:
+    riot-serve serve [--addr HOST:PORT | --socket PATH] [OPTIONS]
+    riot-serve bench [--addr HOST:PORT | --socket PATH | --spawn] [OPTIONS]
+    riot-serve shutdown (--addr HOST:PORT | --socket PATH)
+
+SERVE OPTIONS:
+    --addr HOST:PORT   TCP listen address (default 127.0.0.1:7117)
+    --socket PATH      Unix-domain socket (overrides --addr)
+    --root DIR         WAL directory (default ./riot-serve-data)
+    --threads N        worker threads (default: RIOT_SERVE_THREADS or
+                       machine parallelism, clamped to 1..=64)
+
+BENCH OPTIONS:
+    --spawn            start a private Unix-socket server for the run
+    --sessions N       concurrent client connections (default 4)
+    --commands M       commands per session (default 1000)
+    --window W         pipelined requests in flight (default 32)
+    --out PATH         write the JSON report here (default: stdout only)
+
+GLOBAL:
+    -h, --help         this help
+    -V, --version      print version and exit
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "-V" || a == "--version") {
+        println!("riot-serve {}", env!("CARGO_PKG_VERSION"));
+        return ExitCode::SUCCESS;
+    }
+    match argv.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&argv[1..]),
+        Some("bench") => cmd_bench(&argv[1..]),
+        Some("shutdown") => cmd_shutdown(&argv[1..]),
+        Some("-h") | Some("--help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Some(other) => {
+            eprintln!("riot-serve: unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `--addr`/`--socket` pair shared by every subcommand.
+struct Target {
+    addr: Option<String>,
+    socket: Option<PathBuf>,
+}
+
+impl Target {
+    fn bind_or_default(&self) -> Bind {
+        match (&self.socket, &self.addr) {
+            (Some(p), _) => Bind::Unix(p.clone()),
+            (None, Some(a)) => Bind::Tcp(a.clone()),
+            (None, None) => Bind::Tcp("127.0.0.1:7117".to_owned()),
+        }
+    }
+
+    fn connect(&self) -> Result<Client, String> {
+        match (&self.socket, &self.addr) {
+            (Some(p), _) => {
+                Client::connect_unix(p).map_err(|e| format!("connect {}: {e}", p.display()))
+            }
+            (None, Some(a)) => Client::connect_tcp(a).map_err(|e| format!("connect {a}: {e}")),
+            (None, None) => Err("need --addr or --socket".to_owned()),
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut target = Target {
+        addr: None,
+        socket: None,
+    };
+    let mut root = PathBuf::from("./riot-serve-data");
+    let mut threads = 0usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("`{name}` needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => target.addr = Some(value("--addr")),
+            "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
+            "--root" => root = PathBuf::from(value("--root")),
+            "--threads" => {
+                threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--threads` wants an integer"));
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let mut cfg = ServeConfig::new(root);
+    cfg.threads = threads;
+    let bind = target.bind_or_default();
+    let handle = match Server::start(cfg, &bind) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("riot-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("riot-serve: listening on {}", handle.addr());
+    handle.wait();
+    eprintln!("riot-serve: drained");
+    riot_trace::dump_from_env();
+    ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let mut target = Target {
+        addr: None,
+        socket: None,
+    };
+    let mut bench = BenchConfig::default();
+    let mut spawn = false;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("`{name}` needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => target.addr = Some(value("--addr")),
+            "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
+            "--spawn" => spawn = true,
+            "--sessions" => {
+                bench.sessions = value("--sessions")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--sessions` wants an integer"));
+            }
+            "--commands" => {
+                bench.commands = value("--commands")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--commands` wants an integer"));
+            }
+            "--window" => {
+                bench.window = value("--window")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--window` wants an integer"));
+            }
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    // Either drive a live server, or spawn a private one.
+    let (addr, spawned): (BoundAddr, Option<(Server2, PathBuf)>) = if spawn {
+        let dir = std::env::temp_dir().join(format!("riot-serve-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("riot-serve: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let bind = Bind::Unix(dir.join("bench.sock"));
+        let cfg = ServeConfig::new(dir.join("wal"));
+        match Server::start(cfg, &bind) {
+            Ok(h) => {
+                let addr = h.addr();
+                (addr, Some((h, dir)))
+            }
+            Err(e) => {
+                eprintln!("riot-serve: cannot spawn bench server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match (&target.socket, &target.addr) {
+            (Some(p), _) => (BoundAddr::Unix(p.clone()), None),
+            (None, Some(a)) => match a.parse() {
+                Ok(sa) => (BoundAddr::Tcp(sa), None),
+                Err(_) => {
+                    eprintln!("riot-serve: `--addr` wants HOST:PORT");
+                    return ExitCode::from(2);
+                }
+            },
+            (None, None) => {
+                eprintln!("riot-serve: bench needs --addr, --socket or --spawn");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let result = run_bench(&addr, &bench);
+    if let Some((handle, dir)) = spawned {
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    match result {
+        Ok(report) => {
+            let json = report.to_json();
+            print!("{json}");
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("riot-serve: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("riot-serve: wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("riot-serve: bench failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Alias so the spawned-server tuple above reads sanely.
+type Server2 = riot_serve::ServerHandle;
+
+fn cmd_shutdown(args: &[String]) -> ExitCode {
+    let mut target = Target {
+        addr: None,
+        socket: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("`{name}` needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => target.addr = Some(value("--addr")),
+            "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    match target.connect().and_then(|mut c| c.shutdown_server()) {
+        Ok(d) => {
+            eprintln!("riot-serve: server says `{d}`");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("riot-serve: shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("riot-serve: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}

@@ -1,0 +1,194 @@
+//! A small blocking client for the `RIOTSRV1` protocol, used by the
+//! CLI, the bench load generator and the integration tests.
+//!
+//! Two styles compose:
+//!
+//! * **call** — [`Client::request`] sends one request and blocks for
+//!   its reply (ids still checked);
+//! * **pipeline** — [`Client::send`] queues requests without waiting,
+//!   [`Client::recv`] pulls replies in order. The server guarantees
+//!   per-session FIFO, so a pipelining client sees its ids echo back
+//!   in submission order.
+
+use crate::net::{BoundAddr, Stream};
+use crate::proto::{
+    handshake_client, read_frame, write_frame, ProtoError, Reply, ReplyBody, Request, RequestBody,
+};
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// One connection to a riot-serve server.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and handshakes.
+    ///
+    /// # Errors
+    ///
+    /// Connect or handshake failures.
+    pub fn connect(addr: &BoundAddr) -> Result<Client, ProtoError> {
+        let stream = Stream::connect(addr)?;
+        Client::finish(stream)
+    }
+
+    /// Connects to a TCP address string (e.g. `127.0.0.1:7117`).
+    ///
+    /// # Errors
+    ///
+    /// Connect or handshake failures.
+    pub fn connect_tcp(addr: &str) -> Result<Client, ProtoError> {
+        Client::finish(Stream::connect_tcp(addr)?)
+    }
+
+    /// Connects to a Unix socket path.
+    ///
+    /// # Errors
+    ///
+    /// Connect or handshake failures.
+    pub fn connect_unix(path: &Path) -> Result<Client, ProtoError> {
+        Client::finish(Stream::connect_unix(path)?)
+    }
+
+    fn finish(mut stream: Stream) -> Result<Client, ProtoError> {
+        handshake_client(&mut stream)?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sets the socket read timeout (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket option failure.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> Result<(), ProtoError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Queues one request without waiting; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send(&mut self, body: RequestBody) -> Result<u64, ProtoError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request { id, body };
+        write_frame(&mut self.stream, &req.encode())?;
+        self.stream.flush()?;
+        Ok(id)
+    }
+
+    /// Receives the next reply.
+    ///
+    /// # Errors
+    ///
+    /// Socket/framing failures or malformed reply payloads.
+    pub fn recv(&mut self) -> Result<Reply, ProtoError> {
+        let payload = read_frame(&mut self.stream)?;
+        Reply::decode(&payload).map_err(ProtoError::BadPayload)
+    }
+
+    /// Sends one request and blocks for its reply, checking the echoed
+    /// id.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, or a reply id that does not match (a server
+    /// bug or a protocol desync — the connection should be dropped).
+    pub fn request(&mut self, body: RequestBody) -> Result<Reply, ProtoError> {
+        let id = self.send(body)?;
+        let reply = self.recv()?;
+        if reply.id != id {
+            return Err(ProtoError::BadPayload(format!(
+                "reply id {} does not answer request id {id}",
+                reply.id
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn call(&mut self, body: RequestBody) -> Result<String, String> {
+        match self.request(body) {
+            Ok(Reply {
+                body: ReplyBody::Ok(d),
+                ..
+            }) => Ok(d),
+            Ok(Reply {
+                body: ReplyBody::Err(m),
+                ..
+            }) => Err(m),
+            Ok(Reply {
+                body: ReplyBody::Busy,
+                ..
+            }) => Err("busy".to_owned()),
+            Err(e) => Err(format!("transport: {e}")),
+        }
+    }
+
+    /// `open <session> <cell>`: create, attach or recover a session.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn open(&mut self, session: &str, cell: &str) -> Result<String, String> {
+        self.call(RequestBody::Open {
+            session: session.to_owned(),
+            cell: cell.to_owned(),
+        })
+    }
+
+    /// `cmd <session> <line>`: apply one editor command.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message (or `busy`).
+    pub fn cmd(&mut self, session: &str, line: &str) -> Result<String, String> {
+        self.call(RequestBody::Cmd {
+            session: session.to_owned(),
+            line: line.to_owned(),
+        })
+    }
+
+    /// `close <session>`: flush the WAL and evict the session.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn close_session(&mut self, session: &str) -> Result<String, String> {
+        self.call(RequestBody::Close {
+            session: session.to_owned(),
+        })
+    }
+
+    /// `ping`.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn ping(&mut self) -> Result<String, String> {
+        self.call(RequestBody::Ping)
+    }
+
+    /// `stats`: live session and queue-depth gauges.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn stats(&mut self) -> Result<String, String> {
+        self.call(RequestBody::Stats)
+    }
+
+    /// `shutdown`: ask the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn shutdown_server(&mut self) -> Result<String, String> {
+        self.call(RequestBody::Shutdown)
+    }
+}

@@ -1,0 +1,137 @@
+//! Serving-layer fault injection.
+//!
+//! The command engine already has seeded fault sites inside the editor
+//! ([`riot_core::fault`]); the server adds three more on the request
+//! path — [`riot_core::FAULT_SERVE_ACCEPT`],
+//! [`riot_core::FAULT_SERVE_FRAME_DECODE`], and
+//! [`riot_core::FAULT_SERVE_JOURNAL_APPEND`] — so `riot-check`-style
+//! tests can prove a fault *anywhere* between the socket and the WAL
+//! never corrupts session state.
+//!
+//! Two triggering modes compose:
+//!
+//! * a seeded [`FaultPlan`] (the same SplitMix64 decision stream the
+//!   editor uses) trips sites at a configured rate — for soak runs;
+//! * deterministic **arms** ([`ServeFaults::arm`]) trip a named site on
+//!   its *n*-th consultation — for tests that need a fault at an exact
+//!   point ("kill the session on its 30th journal append").
+
+use riot_core::FaultPlan;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    plan: Option<FaultPlan>,
+    /// `(site, remaining_consultations_before_trip)`.
+    armed: Vec<(&'static str, u64)>,
+    injected: u64,
+}
+
+/// Shared, thread-safe fault-injection state for one server. Cloning is
+/// cheap (an [`Arc`]); all clones observe the same decision stream.
+#[derive(Debug, Clone, Default)]
+pub struct ServeFaults {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl ServeFaults {
+    /// A disarmed injector: every consultation is a single relaxed
+    /// atomic load.
+    pub fn none() -> ServeFaults {
+        ServeFaults::default()
+    }
+
+    /// Attaches a seeded rate-based plan covering all serve sites.
+    pub fn with_plan(plan: FaultPlan) -> ServeFaults {
+        let f = ServeFaults::default();
+        f.inner.lock().expect("fault lock").plan = Some(plan);
+        f.enabled.store(true, Ordering::Relaxed);
+        f
+    }
+
+    /// Arms `site` to trip on its `after`-th consultation from now
+    /// (0 = the very next one). Multiple arms on one site queue up.
+    pub fn arm(&self, site: &'static str, after: u64) {
+        let mut inner = self.inner.lock().expect("fault lock");
+        inner.armed.push((site, after));
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Consults the injector at `site`. Returns `true` when the site
+    /// must fail now. Counts every injection in the
+    /// `serve.fault.injected` metric.
+    pub fn should_inject(&self, site: &'static str) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut inner = self.inner.lock().expect("fault lock");
+        let mut trip = false;
+        // Deterministic arms first: find the first arm for this site.
+        if let Some(pos) = inner.armed.iter().position(|(s, _)| *s == site) {
+            if inner.armed[pos].1 == 0 {
+                inner.armed.remove(pos);
+                trip = true;
+            } else {
+                inner.armed[pos].1 -= 1;
+            }
+        }
+        if !trip {
+            if let Some(plan) = inner.plan.as_mut() {
+                trip = plan.should_inject(site);
+            }
+        }
+        if trip {
+            inner.injected += 1;
+            riot_trace::registry().counter("serve.fault.injected").inc();
+        }
+        trip
+    }
+
+    /// Total faults injected so far across all sites.
+    pub fn injected(&self) -> u64 {
+        self.inner.lock().expect("fault lock").injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use riot_core::{FAULT_SERVE_ACCEPT, FAULT_SERVE_JOURNAL_APPEND};
+
+    #[test]
+    fn disarmed_never_trips() {
+        let f = ServeFaults::none();
+        for _ in 0..100 {
+            assert!(!f.should_inject(FAULT_SERVE_ACCEPT));
+        }
+        assert_eq!(f.injected(), 0);
+    }
+
+    #[test]
+    fn arm_trips_exactly_on_the_nth_consultation() {
+        let f = ServeFaults::none();
+        f.arm(FAULT_SERVE_JOURNAL_APPEND, 3);
+        let hits: Vec<bool> = (0..6)
+            .map(|_| f.should_inject(FAULT_SERVE_JOURNAL_APPEND))
+            .collect();
+        assert_eq!(hits, [false, false, false, true, false, false]);
+        assert_eq!(f.injected(), 1);
+    }
+
+    #[test]
+    fn arms_are_site_scoped() {
+        let f = ServeFaults::none();
+        f.arm(FAULT_SERVE_JOURNAL_APPEND, 0);
+        assert!(!f.should_inject(FAULT_SERVE_ACCEPT));
+        assert!(f.should_inject(FAULT_SERVE_JOURNAL_APPEND));
+    }
+
+    #[test]
+    fn rate_plan_trips_at_full_rate() {
+        let f = ServeFaults::with_plan(FaultPlan::new(1, 1.0));
+        assert!(f.should_inject(FAULT_SERVE_ACCEPT));
+        assert!(f.injected() >= 1);
+    }
+}

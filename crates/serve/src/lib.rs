@@ -1,0 +1,45 @@
+//! # riot-serve — headless multi-session composition server
+//!
+//! Hosts many concurrent [`riot_core::Editor`] sessions behind the
+//! `RIOTSRV1` binary wire protocol (length-prefixed, CRC-checksummed
+//! frames with client-chosen request ids for pipelining) over TCP or
+//! Unix-domain sockets.
+//!
+//! * [`proto`] — frames, requests, replies, handshake
+//! * [`session`] — WAL-backed hosted sessions (durability + recovery)
+//! * [`manager`] — the sharded worker pool (batching, backpressure,
+//!   idle eviction)
+//! * [`server`] — socket accept loops, connection threads, drain
+//! * [`client`] — a small blocking client used by the bench, the CLI
+//!   and the tests
+//! * [`bench`] — the load generator behind `riot-serve bench`
+//! * [`fault`] — request-path fault injection
+//!
+//! The durability contract, in one line: **an `ok` reply is released
+//! only after the command's journal record is flushed to the
+//! session's WAL**, so anything a client saw acknowledged survives a
+//! crash (recovery truncates at the first torn record and replays the
+//! intact prefix).
+
+pub mod bench;
+pub mod client;
+pub mod config;
+pub mod fault;
+pub mod manager;
+pub mod net;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use client::Client;
+pub use config::{resolve_threads, standard_library, LibraryFactory, ServeConfig};
+pub use fault::ServeFaults;
+pub use manager::{JobKind, SessionManager};
+pub use net::{Bind, BoundAddr, Listener, Stream};
+pub use proto::{
+    decode_frame_eof, encode_frame, read_frame, scan_frame, valid_session_name, write_frame,
+    FrameCorruption, FrameScan, ProtoError, Reply, ReplyBody, Request, RequestBody, SRV_MAGIC,
+};
+pub use server::{Server, ServerHandle};
+pub use session::{wal_path, OpenKind, SessionEntry};

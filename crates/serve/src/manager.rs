@@ -1,0 +1,784 @@
+//! The session manager: a fixed worker pool that owns every hosted
+//! session and applies commands in per-session FIFO order.
+//!
+//! # Sharding
+//!
+//! Sessions are sharded by a stable hash of their name across
+//! `threads` workers (resolved like `riot_geom::par` — explicit config
+//! beats `RIOT_SERVE_THREADS` beats machine parallelism). One session
+//! always lands on one worker, so its commands — and therefore its
+//! replies — are totally ordered without any per-session locking.
+//!
+//! # Backpressure
+//!
+//! Each worker's inbox is a **bounded** channel of `inbox_cap` jobs.
+//! [`SessionManager::submit`] never blocks: a full inbox is an
+//! immediate [`ReplyBody::Busy`], and the command was *not* queued.
+//! Clients own the retry; the server never buffers unboundedly.
+//!
+//! # Batching
+//!
+//! A worker drains up to `batch_max` queued jobs per scheduling tick
+//! and applies *consecutive runs* of commands for the same session
+//! under one resumed editor with **one** WAL flush at the end of the
+//! run — so a pipelining client pays the `fsync` once per batch, not
+//! per command. `ok` replies for the whole run are withheld until that
+//! flush succeeds (acknowledged ⇒ durable).
+//!
+//! # Idle eviction
+//!
+//! Sessions untouched for `idle_timeout` are flushed to their WAL and
+//! dropped from memory during the worker's housekeeping tick; a later
+//! `cmd` or `open` transparently recovers them from the WAL.
+
+use crate::config::ServeConfig;
+use crate::proto::{Reply, ReplyBody};
+use crate::session::{execute_line, OpenKind, SessionEntry};
+use riot_core::{Editor, FAULT_SERVE_JOURNAL_APPEND};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What a connection asks a worker to do to a session.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Create, attach, or recover the session editing `cell`.
+    Open {
+        /// Composition cell for a brand-new session.
+        cell: String,
+    },
+    /// Apply one editor command line.
+    Cmd {
+        /// Replay-syntax command line.
+        line: String,
+    },
+    /// Flush and evict the session.
+    Close,
+    /// Testing hook: hold the worker for `ms` milliseconds.
+    Stall {
+        /// How long to hold the worker.
+        ms: u64,
+    },
+}
+
+/// One queued unit of work.
+struct Job {
+    session: String,
+    kind: JobKind,
+    id: u64,
+    reply_tx: Sender<Reply>,
+    enqueued: Instant,
+}
+
+/// Shared live counters the manager exposes without a worker
+/// round-trip.
+#[derive(Debug, Default)]
+struct Shared {
+    live_sessions: AtomicUsize,
+    queued: AtomicUsize,
+}
+
+/// The worker pool. Dropping the manager without calling
+/// [`SessionManager::shutdown`] also drains cleanly (workers flush
+/// every session when their inbox disconnects).
+pub struct SessionManager {
+    shards: Vec<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("threads", &self.threads)
+            .field(
+                "live_sessions",
+                &self.shared.live_sessions.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionManager {
+    /// Creates the WAL root directory and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// When the root directory cannot be created.
+    pub fn start(cfg: ServeConfig) -> io::Result<SessionManager> {
+        std::fs::create_dir_all(&cfg.root)?;
+        let threads = cfg.effective_threads();
+        let shared = Arc::new(Shared::default());
+        let mut shards = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = sync_channel::<Job>(cfg.inbox_cap);
+            shards.push(tx);
+            let cfg = cfg.clone();
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("riot-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&cfg, &rx, &shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(SessionManager {
+            shards,
+            handles,
+            shared,
+            threads,
+        })
+    }
+
+    /// Which worker owns `session` (stable across the process).
+    fn shard(&self, session: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        session.hash(&mut h);
+        (h.finish() % self.threads as u64) as usize
+    }
+
+    /// Queues a job for `session`'s worker. Non-blocking: a full inbox
+    /// comes back as `Err(Busy)`, a shut-down pool as `Err(Err(..))` —
+    /// in both cases the caller already holds the reply to send.
+    ///
+    /// # Errors
+    ///
+    /// The reply body to send instead of queueing.
+    pub fn submit(
+        &self,
+        session: &str,
+        kind: JobKind,
+        id: u64,
+        reply_tx: Sender<Reply>,
+    ) -> Result<(), ReplyBody> {
+        let job = Job {
+            session: session.to_owned(),
+            kind,
+            id,
+            reply_tx,
+            enqueued: Instant::now(),
+        };
+        let shard = self.shard(session);
+        match self.shards[shard].try_send(job) {
+            Ok(()) => {
+                // Approximate by design: the worker may pop (and
+                // decrement) this job before our increment lands, so
+                // clamp rather than trust exact arithmetic.
+                let q = self
+                    .shared
+                    .queued
+                    .fetch_add(1, Ordering::Relaxed)
+                    .saturating_add(1);
+                riot_trace::registry()
+                    .gauge("serve.queue.depth")
+                    .set(q as i64);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                riot_trace::registry().counter("serve.busy").inc();
+                Err(ReplyBody::Busy)
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(ReplyBody::Err("server is shutting down".to_owned()))
+            }
+        }
+    }
+
+    /// One-line live stats (for the `stats` verb).
+    pub fn stats_line(&self) -> String {
+        format!(
+            "sessions {} queued {} workers {}",
+            self.shared.live_sessions.load(Ordering::Relaxed),
+            self.shared.queued.load(Ordering::Relaxed),
+            self.threads
+        )
+    }
+
+    /// Sessions currently resident in memory.
+    pub fn live_sessions(&self) -> usize {
+        self.shared.live_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: closes every inbox, then joins every worker.
+    /// Workers flush each hosted session's WAL before exiting.
+    pub fn shutdown(mut self) {
+        self.shards.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.shards.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One worker: owns a shard of sessions, applies batches, evicts
+/// idlers, and flushes everything on drain.
+fn worker_loop(cfg: &ServeConfig, rx: &Receiver<Job>, shared: &Shared) {
+    let mut sessions: HashMap<String, SessionEntry> = HashMap::new();
+    loop {
+        let first = match rx.recv_timeout(cfg.tick) {
+            Ok(job) => Some(job),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if let Some(first) = first {
+            let mut batch = Vec::with_capacity(8);
+            batch.push(first);
+            while batch.len() < cfg.batch_max {
+                match rx.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+            let n = batch.len();
+            // Clamped decrement: submit's increment for a job may land
+            // after we already popped it (see `submit`).
+            let q = shared
+                .queued
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |q| {
+                    Some(q.saturating_sub(n))
+                })
+                .map(|prev| prev.saturating_sub(n))
+                .unwrap_or(0);
+            riot_trace::registry()
+                .gauge("serve.queue.depth")
+                .set(q as i64);
+            process_batch(cfg, &mut sessions, batch);
+        }
+        evict_idle(cfg, &mut sessions);
+        publish_live(shared, &sessions);
+    }
+    // Drain: flush every hosted session before exiting.
+    for (_, mut entry) in sessions.drain() {
+        let _ = entry.sync_all();
+    }
+    publish_live(shared, &sessions);
+}
+
+/// Publishes this worker's shard size into the pool-wide
+/// `live_sessions` total. Each worker only sees its own shard, so it
+/// applies the *delta* from its previous contribution (tracked in a
+/// thread-local) rather than overwriting other shards' counts.
+fn publish_live(shared: &Shared, mine: &HashMap<String, SessionEntry>) {
+    thread_local! {
+        static PREV: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    }
+    let now = mine.len();
+    let prev = PREV.with(|p| p.replace(now));
+    let total = if now >= prev {
+        shared
+            .live_sessions
+            .fetch_add(now - prev, Ordering::Relaxed)
+            + (now - prev)
+    } else {
+        shared
+            .live_sessions
+            .fetch_sub(prev - now, Ordering::Relaxed)
+            .saturating_sub(prev - now)
+    };
+    riot_trace::registry()
+        .gauge("serve.sessions.live")
+        .set(total as i64);
+}
+
+/// Applies one drained batch in arrival order, merging consecutive
+/// `Cmd` runs for the same session under a single resume + flush.
+fn process_batch(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>, batch: Vec<Job>) {
+    let mut i = 0usize;
+    while i < batch.len() {
+        let job = &batch[i];
+        if matches!(job.kind, JobKind::Cmd { .. }) {
+            // Find the run of consecutive Cmd jobs on the same session.
+            let mut j = i + 1;
+            while j < batch.len()
+                && batch[j].session == job.session
+                && matches!(batch[j].kind, JobKind::Cmd { .. })
+            {
+                j += 1;
+            }
+            apply_cmd_run(cfg, sessions, &batch[i..j]);
+            i = j;
+        } else {
+            apply_single(cfg, sessions, &batch[i]);
+            i += 1;
+        }
+    }
+}
+
+fn send_reply(job: &Job, body: ReplyBody) {
+    let nanos = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    riot_trace::registry()
+        .histogram("serve.request.latency_ns")
+        .record(nanos);
+    let _ = job.reply_tx.send(Reply { id: job.id, body });
+}
+
+/// Brings `session` into memory if it is not already hosted: recovers
+/// from an existing WAL, or (for `Open`) creates it fresh.
+fn ensure_open(
+    cfg: &ServeConfig,
+    sessions: &mut HashMap<String, SessionEntry>,
+    session: &str,
+    create_cell: Option<&str>,
+) -> Result<OpenKind, String> {
+    if sessions.contains_key(session) {
+        return Ok(OpenKind::Recovered {
+            records: 0,
+            truncated: false,
+        });
+    }
+    let lib = (cfg.library)();
+    let wal = crate::session::wal_path(&cfg.root, session);
+    let (entry, kind) = if wal.exists() {
+        SessionEntry::recover(&cfg.root, session, lib)?
+    } else if let Some(cell) = create_cell {
+        (
+            SessionEntry::create(&cfg.root, session, cell, lib)?,
+            OpenKind::Created,
+        )
+    } else {
+        return Err(format!("no such session `{session}` (open it first)"));
+    };
+    sessions.insert(session.to_owned(), entry);
+    Ok(kind)
+}
+
+/// Handles `Open`, `Close` and `Stall` jobs.
+fn apply_single(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>, job: &Job) {
+    match &job.kind {
+        JobKind::Open { cell } => {
+            let attached = sessions.contains_key(&job.session);
+            let body = match ensure_open(cfg, sessions, &job.session, Some(cell)) {
+                Ok(_) if attached => ReplyBody::Ok("attached".to_owned()),
+                Ok(OpenKind::Created) => ReplyBody::Ok("created".to_owned()),
+                Ok(OpenKind::Recovered { records, truncated }) => ReplyBody::Ok(format!(
+                    "recovered {records} records{}",
+                    if truncated {
+                        " (truncated torn tail)"
+                    } else {
+                        ""
+                    }
+                )),
+                Err(e) => ReplyBody::Err(e),
+            };
+            send_reply(job, body);
+        }
+        JobKind::Close => {
+            let body = match sessions.remove(&job.session) {
+                Some(mut entry) => match entry.sync_all() {
+                    Ok(()) => ReplyBody::Ok("closed".to_owned()),
+                    Err(e) => ReplyBody::Err(format!("close flush failed: {e}")),
+                },
+                None if crate::session::wal_path(&cfg.root, &job.session).exists() => {
+                    ReplyBody::Ok("closed".to_owned())
+                }
+                None => ReplyBody::Err(format!("no such session `{}`", job.session)),
+            };
+            send_reply(job, body);
+        }
+        JobKind::Stall { ms } => {
+            std::thread::sleep(std::time::Duration::from_millis(*ms));
+            send_reply(job, ReplyBody::Ok(format!("stalled {ms}ms")));
+        }
+        JobKind::Cmd { .. } => unreachable!("Cmd runs go through apply_cmd_run"),
+    }
+}
+
+/// Applies a run of consecutive `Cmd` jobs for one session under a
+/// single resumed editor, then flushes the WAL **once** and only then
+/// releases the `ok` replies — acknowledged means durable.
+fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>, run: &[Job]) {
+    let session = &run[0].session;
+    let _span = riot_trace::span!("serve.session.apply", commands = run.len() as u64);
+    if let Err(e) = ensure_open(cfg, sessions, session, None) {
+        for job in run {
+            send_reply(job, ReplyBody::Err(e.clone()));
+        }
+        return;
+    }
+    let mut entry = sessions.remove(session).expect("ensure_open inserted");
+    entry.last_touch = Instant::now();
+
+    // Phase 1: execute, buffering outcomes. A journal-append fault
+    // mid-run crashes the session *before* the faulted command runs:
+    // a torn record is written (as a real torn write would) and every
+    // remaining job in the run — including any earlier `ok`s not yet
+    // flushed — is refused, because un-flushed acknowledgements must
+    // never escape.
+    let mut outcomes: Vec<Result<String, String>> = Vec::with_capacity(run.len());
+    let mut crashed: Option<String> = None;
+    {
+        let mut ed = match Editor::resume(&mut entry.lib, entry.cp.take().expect("suspended")) {
+            Ok(ed) => ed,
+            Err(e) => {
+                for job in run {
+                    send_reply(job, ReplyBody::Err(format!("resume failed: {e}")));
+                }
+                return;
+            }
+        };
+        for job in run {
+            let JobKind::Cmd { line } = &job.kind else {
+                unreachable!("run holds only Cmd jobs")
+            };
+            if cfg.faults.should_inject(FAULT_SERVE_JOURNAL_APPEND) {
+                crashed = Some(line.clone());
+                break;
+            }
+            outcomes.push(execute_line(&mut ed, line).map_err(|e| e.to_string()));
+        }
+        entry.cp = Some(ed.suspend());
+    }
+
+    if let Some(line) = crashed {
+        // Crash simulation: half-written record, then the session dies.
+        entry.append_torn_record(&line);
+        riot_trace::registry()
+            .counter("serve.session.crashed")
+            .inc();
+        drop(entry); // NOT reinserted — a later cmd/open recovers it.
+        for job in run {
+            send_reply(
+                job,
+                ReplyBody::Err(
+                    "session crashed: fault injected at journal append; \
+                     not applied — reopen to recover"
+                        .to_owned(),
+                ),
+            );
+        }
+        return;
+    }
+
+    // Phase 2: flush, then release replies.
+    match entry.sync_journal() {
+        Ok(_) => {
+            for (job, outcome) in run.iter().zip(outcomes) {
+                let body = match outcome {
+                    Ok(detail) => ReplyBody::Ok(detail),
+                    Err(e) => ReplyBody::Err(e),
+                };
+                send_reply(job, body);
+            }
+            riot_trace::registry()
+                .counter("serve.commands.applied")
+                .add(run.len() as u64);
+            sessions.insert(session.clone(), entry);
+        }
+        Err(e) => {
+            // The in-memory state ran ahead of the WAL and the WAL
+            // cannot catch up: drop the session rather than acknowledge
+            // what is not durable. Recovery resumes from the last
+            // intact prefix.
+            drop(entry);
+            for job in run {
+                send_reply(
+                    job,
+                    ReplyBody::Err(format!(
+                        "session crashed: WAL append failed ({e}); reopen to recover"
+                    )),
+                );
+            }
+        }
+    }
+}
+
+/// Suspend-to-WAL sessions idle past the deadline.
+fn evict_idle(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>) {
+    let now = Instant::now();
+    let idle: Vec<String> = sessions
+        .iter()
+        .filter(|(_, e)| now.duration_since(e.last_touch) >= cfg.idle_timeout)
+        .map(|(n, _)| n.clone())
+        .collect();
+    for name in idle {
+        if let Some(mut entry) = sessions.remove(&name) {
+            let _ = entry.sync_all();
+            riot_trace::registry()
+                .counter("serve.sessions.evicted")
+                .inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::{Path, PathBuf};
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("riot-serve-mgr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_cfg(root: &Path) -> ServeConfig {
+        let mut cfg = ServeConfig::new(root);
+        cfg.threads = 2;
+        cfg.tick = Duration::from_millis(2);
+        cfg
+    }
+
+    #[test]
+    fn open_cmd_close_round_trip() {
+        let root = tmp_root("roundtrip");
+        let mgr = SessionManager::start(test_cfg(&root)).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit("a", JobKind::Open { cell: "TOP".into() }, 1, tx.clone())
+            .unwrap();
+        assert_eq!(
+            rx.recv().unwrap(),
+            Reply {
+                id: 1,
+                body: ReplyBody::Ok("created".into())
+            }
+        );
+        mgr.submit(
+            "a",
+            JobKind::Cmd {
+                line: "create nand2 I0".into(),
+            },
+            2,
+            tx.clone(),
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert_eq!(rep.id, 2);
+        assert!(
+            matches!(rep.body, ReplyBody::Ok(ref d) if d.starts_with("instance")),
+            "{rep:?}"
+        );
+        mgr.submit("a", JobKind::Close, 3, tx).unwrap();
+        assert_eq!(
+            rx.recv().unwrap(),
+            Reply {
+                id: 3,
+                body: ReplyBody::Ok("closed".into())
+            }
+        );
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn pipelined_replies_stay_in_order() {
+        let root = tmp_root("order");
+        let mgr = SessionManager::start(test_cfg(&root)).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit("p", JobKind::Open { cell: "TOP".into() }, 0, tx.clone())
+            .unwrap();
+        for i in 1..=20u64 {
+            mgr.submit(
+                "p",
+                JobKind::Cmd {
+                    line: format!("create nand2 N{i}"),
+                },
+                i,
+                tx.clone(),
+            )
+            .unwrap();
+        }
+        let ids: Vec<u64> = (0..=20).map(|_| rx.recv().unwrap().id).collect();
+        assert_eq!(ids, (0..=20).collect::<Vec<_>>());
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn full_inbox_reports_busy_without_queueing() {
+        let root = tmp_root("busy");
+        let mut cfg = test_cfg(&root);
+        cfg.threads = 1;
+        cfg.inbox_cap = 4;
+        let mgr = SessionManager::start(cfg).unwrap();
+        let (tx, rx) = channel();
+        // Stall the single worker so the inbox backs up.
+        mgr.submit("b", JobKind::Stall { ms: 300 }, 0, tx.clone())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let the worker pick it up
+        let mut busy = 0;
+        for i in 1..=50u64 {
+            match mgr.submit("b", JobKind::Stall { ms: 0 }, i, tx.clone()) {
+                Ok(()) => {}
+                Err(ReplyBody::Busy) => busy += 1,
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(busy > 0, "bounded inbox never pushed back");
+        drop(tx);
+        while rx.recv().is_ok() {}
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn cmd_without_open_recovers_or_errors() {
+        let root = tmp_root("lazy");
+        let mgr = SessionManager::start(test_cfg(&root)).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit(
+            "ghost",
+            JobKind::Cmd {
+                line: "create nand2 X".into(),
+            },
+            1,
+            tx.clone(),
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert!(matches!(rep.body, ReplyBody::Err(ref m) if m.contains("no such session")));
+        // Open, close (flushes WAL), then cmd transparently recovers.
+        mgr.submit("ghost", JobKind::Open { cell: "TOP".into() }, 2, tx.clone())
+            .unwrap();
+        rx.recv().unwrap();
+        mgr.submit("ghost", JobKind::Close, 3, tx.clone()).unwrap();
+        rx.recv().unwrap();
+        mgr.submit(
+            "ghost",
+            JobKind::Cmd {
+                line: "create nand2 X".into(),
+            },
+            4,
+            tx,
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert!(matches!(rep.body, ReplyBody::Ok(_)), "{rep:?}");
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn journal_append_fault_crashes_then_recovers_cleanly() {
+        let root = tmp_root("fault");
+        let cfg = test_cfg(&root);
+        // Trip on the 3rd journal-append consultation: after the open
+        // head, two commands succeed, the third crashes the session.
+        cfg.faults.arm(FAULT_SERVE_JOURNAL_APPEND, 2);
+        let mgr = SessionManager::start(cfg).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit("f", JobKind::Open { cell: "TOP".into() }, 0, tx.clone())
+            .unwrap();
+        rx.recv().unwrap();
+        for i in 1..=3u64 {
+            mgr.submit(
+                "f",
+                JobKind::Cmd {
+                    line: format!("create nand2 C{i}"),
+                },
+                i,
+                tx.clone(),
+            )
+            .unwrap();
+            // Serialize so each command is its own batch: the fault arm
+            // counts consultations, one per command.
+            let rep = rx.recv().unwrap();
+            if i <= 2 {
+                assert!(matches!(rep.body, ReplyBody::Ok(_)), "cmd {i}: {rep:?}");
+            } else {
+                assert!(
+                    matches!(rep.body, ReplyBody::Err(ref m) if m.contains("crashed")),
+                    "cmd {i}: {rep:?}"
+                );
+            }
+        }
+        // Recovery: reopen and observe exactly the acknowledged prefix.
+        mgr.submit("f", JobKind::Open { cell: "TOP".into() }, 9, tx.clone())
+            .unwrap();
+        let rep = rx.recv().unwrap();
+        match rep.body {
+            ReplyBody::Ok(d) => {
+                assert!(d.contains("recovered 3 records"), "{d}");
+                assert!(d.contains("truncated"), "torn tail should be reported: {d}");
+            }
+            other => panic!("reopen failed: {other:?}"),
+        }
+        // Instance ids are arena indices: a fresh create on the
+        // recovered session lands at index 2 iff exactly the two
+        // acknowledged creates survived.
+        mgr.submit(
+            "f",
+            JobKind::Cmd {
+                line: "create nand2 C9".into(),
+            },
+            10,
+            tx,
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert_eq!(
+            rep.body,
+            ReplyBody::Ok("instance 2".into()),
+            "acknowledged prefix only"
+        );
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_and_recover_on_demand() {
+        let root = tmp_root("evict");
+        let mut cfg = test_cfg(&root);
+        cfg.idle_timeout = Duration::from_millis(30);
+        let mgr = SessionManager::start(cfg).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit("idle", JobKind::Open { cell: "TOP".into() }, 0, tx.clone())
+            .unwrap();
+        rx.recv().unwrap();
+        mgr.submit(
+            "idle",
+            JobKind::Cmd {
+                line: "create nand2 A".into(),
+            },
+            1,
+            tx.clone(),
+        )
+        .unwrap();
+        rx.recv().unwrap();
+        let wait_for = |want: usize| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while mgr.live_sessions() != want && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            mgr.live_sessions()
+        };
+        assert_eq!(wait_for(1), 1);
+        assert_eq!(wait_for(0), 0, "idle session should be evicted");
+        // A fresh create after transparent recovery lands at index 1
+        // iff the pre-eviction instance survived the WAL round-trip.
+        mgr.submit(
+            "idle",
+            JobKind::Cmd {
+                line: "create nand2 B".into(),
+            },
+            2,
+            tx,
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert_eq!(
+            rep.body,
+            ReplyBody::Ok("instance 1".into()),
+            "transparent recovery"
+        );
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

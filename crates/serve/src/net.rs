@@ -1,0 +1,257 @@
+//! Transport: one [`Stream`] abstraction over TCP and Unix-domain
+//! sockets so the protocol, server and client code are written once.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Where a server should listen (or a client connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// A TCP address, e.g. `127.0.0.1:7117` (`:0` picks a free port).
+    Tcp(String),
+    /// A Unix-domain socket path. An existing socket file is replaced.
+    Unix(PathBuf),
+}
+
+/// Where a server actually ended up listening (TCP resolves `:0`).
+#[derive(Debug, Clone)]
+pub enum BoundAddr {
+    /// The resolved TCP address.
+    Tcp(SocketAddr),
+    /// The Unix socket path.
+    Unix(PathBuf),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            BoundAddr::Unix(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// Either kind of listener.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener.
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds `bind`, replacing a stale Unix socket file if present.
+    ///
+    /// # Errors
+    ///
+    /// The underlying bind failure.
+    pub fn bind(bind: &Bind) -> io::Result<(Listener, BoundAddr)> {
+        match bind {
+            Bind::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let a = l.local_addr()?;
+                Ok((Listener::Tcp(l), BoundAddr::Tcp(a)))
+            }
+            Bind::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let l = UnixListener::bind(path)?;
+                Ok((Listener::Unix(l), BoundAddr::Unix(path.clone())))
+            }
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// The underlying accept failure.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Stream::Tcp(s))
+            }
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Stream::Unix(s))
+            }
+        }
+    }
+}
+
+/// A connected socket of either kind.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP connection.
+    Tcp(TcpStream),
+    /// Unix-domain connection.
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to a listening server.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failure.
+    pub fn connect(addr: &BoundAddr) -> io::Result<Stream> {
+        match addr {
+            BoundAddr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                s.set_nodelay(true).ok();
+                Ok(Stream::Tcp(s))
+            }
+            BoundAddr::Unix(p) => Ok(Stream::Unix(UnixStream::connect(p)?)),
+        }
+    }
+
+    /// Connects to a TCP address string.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failure.
+    pub fn connect_tcp(addr: &str) -> io::Result<Stream> {
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true).ok();
+        Ok(Stream::Tcp(s))
+    }
+
+    /// Connects to a Unix socket path.
+    ///
+    /// # Errors
+    ///
+    /// The underlying connect failure.
+    pub fn connect_unix(path: &Path) -> io::Result<Stream> {
+        Ok(Stream::Unix(UnixStream::connect(path)?))
+    }
+
+    /// A second handle to the same socket (for a writer thread).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `try_clone` failure.
+    pub fn try_clone(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Sets the read timeout (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket option failure.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            Stream::Unix(s) => s.set_read_timeout(t),
+        }
+    }
+
+    /// Sets the write timeout (`None` = block forever).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket option failure.
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(t),
+            Stream::Unix(s) => s.set_write_timeout(t),
+        }
+    }
+
+    /// Half-closes the write side (lets the peer's reader see EOF).
+    pub fn shutdown_write(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+
+    /// Closes both directions.
+    pub fn shutdown_both(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            Stream::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_bind_resolves_ephemeral_port() {
+        let (l, addr) = Listener::bind(&Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let BoundAddr::Tcp(a) = &addr else {
+            panic!("tcp bind")
+        };
+        assert_ne!(a.port(), 0);
+        drop(l);
+    }
+
+    #[test]
+    fn unix_round_trip_and_stale_socket_replacement() {
+        let path = std::env::temp_dir().join(format!("riot-serve-net-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        for _ in 0..2 {
+            // Second iteration rebinds over the stale socket file.
+            let (l, addr) = Listener::bind(&Bind::Unix(path.clone())).unwrap();
+            let t = std::thread::spawn(move || {
+                let mut s = l.accept().unwrap();
+                let mut b = [0u8; 2];
+                s.read_exact(&mut b).unwrap();
+                s.write_all(&b).unwrap();
+            });
+            let mut c = Stream::connect(&addr).unwrap();
+            c.write_all(b"hi").unwrap();
+            let mut b = [0u8; 2];
+            c.read_exact(&mut b).unwrap();
+            assert_eq!(&b, b"hi");
+            t.join().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

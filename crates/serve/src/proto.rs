@@ -1,0 +1,638 @@
+//! The `RIOTSRV1` wire protocol: length-prefixed, checksummed binary
+//! frames carrying pipelined requests.
+//!
+//! # Connection handshake
+//!
+//! The client opens a socket and writes the 8-byte magic
+//! [`SRV_MAGIC`]; the server verifies it and echoes the same magic
+//! back. Everything after the handshake is frames in both directions.
+//!
+//! # Frame format
+//!
+//! Deliberately the same record shape as the crash-safe journal
+//! ([`riot_core::WAL_MAGIC`] files): a `u32` little-endian payload
+//! length, a `u32` little-endian CRC-32 (IEEE, zlib-compatible —
+//! [`riot_core::crc32`]) of the payload, then the payload bytes. A
+//! frame whose length exceeds [`MAX_FRAME_PAYLOAD`] or whose checksum
+//! disagrees is a protocol error; the server replies with a
+//! description and closes the connection rather than guessing at
+//! resynchronization.
+//!
+//! # Payloads
+//!
+//! A request payload is an 8-byte little-endian **request id** (chosen
+//! by the client, echoed verbatim in the reply — this is what makes
+//! pipelining safe) followed by a UTF-8 command text:
+//!
+//! ```text
+//! open <session> <cell>      create, attach or recover a session
+//! cmd <session> <line…>      queue one editor command (replay syntax)
+//! close <session>            flush the session's WAL and evict it
+//! ping                       liveness probe
+//! stats                      live session / queue-depth gauges
+//! shutdown                   ask the server to drain and exit
+//! ```
+//!
+//! The `cmd` line reuses the REPLAY/WAL command codec verbatim
+//! ([`riot_core::parse_command_line`]), so anything a journal can hold
+//! can travel the wire, and a session's WAL is byte-compatible with
+//! what the offline tools read.
+//!
+//! A reply payload is the echoed request id followed by one of:
+//!
+//! ```text
+//! ok <detail…>               request succeeded
+//! err <message…>             request failed (session state unchanged
+//!                            unless the message says otherwise)
+//! busy                       backpressure: the session inbox is full,
+//!                            retry after draining in-flight replies
+//! ```
+
+use riot_core::crc32;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every connection, in both directions.
+pub const SRV_MAGIC: &[u8; 8] = b"RIOTSRV1";
+
+/// Hard cap on a frame payload. Command lines are tiny; anything
+/// approaching this is a corrupt length field or an abusive client.
+pub const MAX_FRAME_PAYLOAD: usize = 1 << 20;
+
+/// Why a frame (or handshake) could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameCorruption {
+    /// The connection did not open with [`SRV_MAGIC`].
+    BadMagic,
+    /// Fewer than 8 header bytes were available — a torn header.
+    TornHeader,
+    /// The header promises more payload than is available.
+    TornPayload {
+        /// Bytes the header claims.
+        expected: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The length field exceeds [`MAX_FRAME_PAYLOAD`].
+    TooLarge(usize),
+    /// The stored checksum disagrees with the payload bytes.
+    BadChecksum {
+        /// Checksum in the frame header.
+        stored: u32,
+        /// Checksum of the received payload.
+        computed: u32,
+    },
+}
+
+impl fmt::Display for FrameCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameCorruption::BadMagic => f.write_str("missing RIOTSRV1 magic"),
+            FrameCorruption::TornHeader => f.write_str("torn frame header"),
+            FrameCorruption::TornPayload {
+                expected,
+                available,
+            } => write!(
+                f,
+                "torn frame payload: {expected} bytes promised, {available} present"
+            ),
+            FrameCorruption::TooLarge(n) => {
+                write!(f, "frame payload of {n} bytes exceeds {MAX_FRAME_PAYLOAD}")
+            }
+            FrameCorruption::BadChecksum { stored, computed } => write!(
+                f,
+                "frame checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+/// A protocol-layer error: I/O or corruption.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying socket failed (includes timeouts and EOF).
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The bytes on the wire are not a valid frame.
+    Corrupt(FrameCorruption),
+    /// The frame decoded but its payload is not a valid message.
+    BadPayload(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::Closed => f.write_str("connection closed"),
+            ProtoError::Corrupt(c) => write!(f, "corrupt frame: {c}"),
+            ProtoError::BadPayload(m) => write!(f, "bad payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// Encodes one frame: `[len u32 LE][crc32 u32 LE][payload]`.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The outcome of scanning a byte buffer for one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameScan {
+    /// A complete, intact frame: its payload and the total bytes
+    /// consumed (header + payload).
+    Complete {
+        /// The verified payload.
+        payload: Vec<u8>,
+        /// Header + payload length in bytes.
+        consumed: usize,
+    },
+    /// More bytes are needed; nothing was consumed.
+    Incomplete,
+    /// The buffer head is not a valid frame.
+    Corrupt(FrameCorruption),
+}
+
+/// Scans `buf` for one frame at offset 0 without consuming input.
+///
+/// Unlike the streaming [`read_frame`], this never blocks: partial
+/// frames report [`FrameScan::Incomplete`]. A length field beyond
+/// [`MAX_FRAME_PAYLOAD`] and a checksum mismatch are immediately
+/// [`FrameScan::Corrupt`] — a decoder must not wait for a 4 GiB
+/// payload that a flipped length bit promised.
+pub fn scan_frame(buf: &[u8]) -> FrameScan {
+    if buf.len() < 8 {
+        return FrameScan::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return FrameScan::Corrupt(FrameCorruption::TooLarge(len));
+    }
+    let stored = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if buf.len() - 8 < len {
+        return FrameScan::Incomplete;
+    }
+    let payload = &buf[8..8 + len];
+    let computed = crc32(payload);
+    if computed != stored {
+        return FrameScan::Corrupt(FrameCorruption::BadChecksum { stored, computed });
+    }
+    FrameScan::Complete {
+        payload: payload.to_vec(),
+        consumed: 8 + len,
+    }
+}
+
+/// Scans a complete byte stream (no more input coming) for one frame —
+/// the decoder used by the proptests and the golden fixture: torn
+/// tails decode to a clean [`FrameCorruption`], never a panic.
+pub fn decode_frame_eof(buf: &[u8]) -> Result<(Vec<u8>, usize), FrameCorruption> {
+    match scan_frame(buf) {
+        FrameScan::Complete { payload, consumed } => Ok((payload, consumed)),
+        FrameScan::Corrupt(c) => Err(c),
+        FrameScan::Incomplete => {
+            if buf.len() < 8 {
+                Err(FrameCorruption::TornHeader)
+            } else {
+                let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+                Err(FrameCorruption::TornPayload {
+                    expected: len,
+                    available: buf.len() - 8,
+                })
+            }
+        }
+    }
+}
+
+/// Writes one frame to `w` (no flush).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(payload))
+}
+
+/// Reads one frame from `r`, blocking. Returns [`ProtoError::Closed`]
+/// when the stream ends cleanly *between* frames; an EOF mid-frame is
+/// a corrupt (torn) frame.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut header = [0u8; 8];
+    let mut got = 0usize;
+    while got < 8 {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    ProtoError::Closed
+                } else {
+                    ProtoError::Corrupt(FrameCorruption::TornHeader)
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::Corrupt(FrameCorruption::TooLarge(len)));
+    }
+    let stored = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(ProtoError::Corrupt(FrameCorruption::TornPayload {
+                    expected: len,
+                    available: got,
+                }));
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let computed = crc32(&payload);
+    if computed != stored {
+        return Err(ProtoError::Corrupt(FrameCorruption::BadChecksum {
+            stored,
+            computed,
+        }));
+    }
+    Ok(payload)
+}
+
+// ----------------------------------------------------------------------
+// Requests
+// ----------------------------------------------------------------------
+
+/// What a client asks the server to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestBody {
+    /// Create, attach, or WAL-recover the named session editing `cell`.
+    Open {
+        /// Session name (`[A-Za-z0-9_-]{1,64}` — it names the WAL file).
+        session: String,
+        /// Composition cell to edit when the session is new.
+        cell: String,
+    },
+    /// Queue one editor command (REPLAY line syntax) on a session.
+    Cmd {
+        /// Target session.
+        session: String,
+        /// The command in replay-line form, e.g. `create nand2 I0`.
+        line: String,
+    },
+    /// Flush the session's WAL and evict it from memory.
+    Close {
+        /// Target session.
+        session: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Live-session and queue-depth gauges.
+    Stats,
+    /// Drain every session and stop the server.
+    Shutdown,
+    /// Testing hook: occupy the target session's worker for the given
+    /// number of milliseconds, so tests can fill inboxes
+    /// deterministically and observe `busy` backpressure.
+    #[doc(hidden)]
+    Stall {
+        /// Session whose worker to stall.
+        session: String,
+        /// Milliseconds to hold the worker.
+        ms: u64,
+    },
+}
+
+/// One pipelined request: a client-chosen id plus the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Echoed verbatim in the reply.
+    pub id: u64,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Serializes to a frame payload (id + text form).
+    pub fn encode(&self) -> Vec<u8> {
+        let text = match &self.body {
+            RequestBody::Open { session, cell } => format!("open {session} {cell}"),
+            RequestBody::Cmd { session, line } => format!("cmd {session} {line}"),
+            RequestBody::Close { session } => format!("close {session}"),
+            RequestBody::Ping => "ping".to_owned(),
+            RequestBody::Stats => "stats".to_owned(),
+            RequestBody::Shutdown => "shutdown".to_owned(),
+            RequestBody::Stall { session, ms } => format!("stall {session} {ms}"),
+        };
+        let mut out = Vec::with_capacity(8 + text.len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(text.as_bytes());
+        out
+    }
+
+    /// Parses a frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        if payload.len() < 8 {
+            return Err(format!(
+                "request payload of {} bytes cannot hold an id",
+                payload.len()
+            ));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("not UTF-8: {e}"))?;
+        let f: Vec<&str> = text.split_whitespace().collect();
+        let body = match f.first().copied() {
+            Some("open") if f.len() == 3 => RequestBody::Open {
+                session: f[1].to_owned(),
+                cell: f[2].to_owned(),
+            },
+            Some("open") => return Err("`open` wants: open <session> <cell>".into()),
+            Some("cmd") if f.len() >= 3 => RequestBody::Cmd {
+                session: f[1].to_owned(),
+                line: f[2..].join(" "),
+            },
+            Some("cmd") => return Err("`cmd` wants: cmd <session> <command…>".into()),
+            Some("close") if f.len() == 2 => RequestBody::Close {
+                session: f[1].to_owned(),
+            },
+            Some("close") => return Err("`close` wants: close <session>".into()),
+            Some("ping") if f.len() == 1 => RequestBody::Ping,
+            Some("stats") if f.len() == 1 => RequestBody::Stats,
+            Some("shutdown") if f.len() == 1 => RequestBody::Shutdown,
+            Some("stall") if f.len() == 3 => RequestBody::Stall {
+                session: f[1].to_owned(),
+                ms: f[2].parse().map_err(|_| "stall wants integer ms")?,
+            },
+            Some(other) => return Err(format!("unknown verb `{other}`")),
+            None => return Err("empty request".into()),
+        };
+        Ok(Request { id, body })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Replies
+// ----------------------------------------------------------------------
+
+/// The server's answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyBody {
+    /// Success; the detail is verb-specific (outcome text, counts…).
+    Ok(String),
+    /// Failure; session state is unchanged unless the message says
+    /// otherwise (a crashed session says so explicitly).
+    Err(String),
+    /// Backpressure: the session inbox is full. The command was **not**
+    /// queued; retry after in-flight replies drain.
+    Busy,
+}
+
+/// One reply, tagged with the request id it answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The id of the request this answers.
+    pub id: u64,
+    /// Outcome.
+    pub body: ReplyBody,
+}
+
+impl Reply {
+    /// Serializes to a frame payload (id + text form).
+    pub fn encode(&self) -> Vec<u8> {
+        let text = match &self.body {
+            ReplyBody::Ok(d) if d.is_empty() => "ok".to_owned(),
+            ReplyBody::Ok(d) => format!("ok {d}"),
+            ReplyBody::Err(m) => format!("err {m}"),
+            ReplyBody::Busy => "busy".to_owned(),
+        };
+        let mut out = Vec::with_capacity(8 + text.len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(text.as_bytes());
+        out
+    }
+
+    /// Parses a frame payload into a reply.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed field.
+    pub fn decode(payload: &[u8]) -> Result<Reply, String> {
+        if payload.len() < 8 {
+            return Err(format!(
+                "reply payload of {} bytes cannot hold an id",
+                payload.len()
+            ));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("not UTF-8: {e}"))?;
+        let body = if text == "ok" {
+            ReplyBody::Ok(String::new())
+        } else if let Some(d) = text.strip_prefix("ok ") {
+            ReplyBody::Ok(d.to_owned())
+        } else if let Some(m) = text.strip_prefix("err ") {
+            ReplyBody::Err(m.to_owned())
+        } else if text == "busy" {
+            ReplyBody::Busy
+        } else {
+            return Err(format!("unknown reply form `{text}`"));
+        };
+        Ok(Reply { id, body })
+    }
+}
+
+/// Server-side handshake: reads and verifies the client magic, then
+/// echoes it.
+pub fn handshake_server(stream: &mut (impl Read + Write)) -> Result<(), ProtoError> {
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            ProtoError::Corrupt(FrameCorruption::BadMagic)
+        } else {
+            ProtoError::Io(e)
+        }
+    })?;
+    if &magic != SRV_MAGIC {
+        return Err(ProtoError::Corrupt(FrameCorruption::BadMagic));
+    }
+    stream.write_all(SRV_MAGIC)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Client-side handshake: sends the magic and verifies the echo.
+pub fn handshake_client(stream: &mut (impl Read + Write)) -> Result<(), ProtoError> {
+    stream.write_all(SRV_MAGIC)?;
+    stream.flush()?;
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic)?;
+    if &magic != SRV_MAGIC {
+        return Err(ProtoError::Corrupt(FrameCorruption::BadMagic));
+    }
+    Ok(())
+}
+
+/// Is `name` acceptable as a session name? Session names become WAL
+/// file names, so only `[A-Za-z0-9_-]`, 1..=64 characters, is allowed —
+/// no path separators, no dots, no traversal.
+pub fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(b"hello riot");
+        let (payload, consumed) = decode_frame_eof(&frame).unwrap();
+        assert_eq!(payload, b"hello riot");
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let frame = encode_frame(b"");
+        let (payload, consumed) = decode_frame_eof(&frame).unwrap();
+        assert!(payload.is_empty());
+        assert_eq!(consumed, 8);
+    }
+
+    #[test]
+    fn torn_header_and_payload_are_clean_errors() {
+        let frame = encode_frame(b"payload");
+        assert_eq!(
+            decode_frame_eof(&frame[..5]),
+            Err(FrameCorruption::TornHeader)
+        );
+        assert_eq!(
+            decode_frame_eof(&frame[..frame.len() - 2]),
+            Err(FrameCorruption::TornPayload {
+                expected: 7,
+                available: 5
+            })
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_error() {
+        let mut frame = encode_frame(b"payload");
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        assert!(matches!(
+            decode_frame_eof(&frame),
+            Err(FrameCorruption::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_without_waiting() {
+        let mut frame = encode_frame(b"x");
+        frame[..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            scan_frame(&frame),
+            FrameScan::Corrupt(FrameCorruption::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn request_round_trip_all_verbs() {
+        let bodies = [
+            RequestBody::Open {
+                session: "s1".into(),
+                cell: "TOP".into(),
+            },
+            RequestBody::Cmd {
+                session: "s1".into(),
+                line: "create nand2 I0".into(),
+            },
+            RequestBody::Cmd {
+                session: "s1".into(),
+                line: "translate I0 -100 2500".into(),
+            },
+            RequestBody::Close {
+                session: "s1".into(),
+            },
+            RequestBody::Ping,
+            RequestBody::Stats,
+            RequestBody::Shutdown,
+            RequestBody::Stall {
+                session: "s1".into(),
+                ms: 250,
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let req = Request {
+                id: 0xDEAD_0000 + i as u64,
+                body,
+            };
+            let again = Request::decode(&req.encode()).unwrap();
+            assert_eq!(req, again);
+        }
+    }
+
+    #[test]
+    fn reply_round_trip_all_forms() {
+        for body in [
+            ReplyBody::Ok(String::new()),
+            ReplyBody::Ok("opened created".into()),
+            ReplyBody::Err("no such session".into()),
+            ReplyBody::Busy,
+        ] {
+            let rep = Reply { id: 77, body };
+            assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
+        }
+    }
+
+    #[test]
+    fn request_decode_rejects_garbage() {
+        assert!(Request::decode(b"short").is_err());
+        let mut p = 1u64.to_le_bytes().to_vec();
+        p.extend_from_slice(b"frobnicate x");
+        assert!(Request::decode(&p).is_err());
+        let mut p = 1u64.to_le_bytes().to_vec();
+        p.extend_from_slice(&[0xFF, 0xFE, 0x80]);
+        assert!(Request::decode(&p).is_err());
+        let mut p = 1u64.to_le_bytes().to_vec();
+        p.extend_from_slice(b"open only_two");
+        assert!(Request::decode(&p).is_err());
+    }
+
+    #[test]
+    fn session_names_are_fenced() {
+        assert!(valid_session_name("alice-42_X"));
+        assert!(!valid_session_name(""));
+        assert!(!valid_session_name("../../etc/passwd"));
+        assert!(!valid_session_name("a.wal"));
+        assert!(!valid_session_name(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn stream_read_write_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"one").unwrap();
+        write_frame(&mut buf, b"two").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"one");
+        assert_eq!(read_frame(&mut r).unwrap(), b"two");
+        assert!(matches!(read_frame(&mut r), Err(ProtoError::Closed)));
+    }
+}

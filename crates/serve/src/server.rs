@@ -1,0 +1,430 @@
+//! The server: accept loops, connection threads, and graceful drain.
+//!
+//! # Threading model
+//!
+//! One accept thread per server; one reader thread plus one writer
+//! thread per connection; the fixed worker pool
+//! ([`crate::SessionManager`]) behind them. The reader never blocks on
+//! session work — it decodes frames, answers `ping`/`stats`/`shutdown`
+//! inline, and hands everything session-shaped to the manager with a
+//! clone of the writer's channel. Per-session FIFO ordering plus the
+//! single writer per connection means pipelined replies can never be
+//! misordered.
+//!
+//! # Shutdown
+//!
+//! `shutdown` (the wire verb) or [`ServerHandle::shutdown`] sets the
+//! stop flag and wakes the acceptor with a loopback connection. The
+//! acceptor stops; connection readers notice the flag at their next
+//! poll tick and close; the manager drains its workers, flushing every
+//! session's WAL. Nothing is dropped: replies already queued still go
+//! out before the writer threads exit.
+
+use crate::config::ServeConfig;
+use crate::manager::{JobKind, SessionManager};
+use crate::net::{Bind, BoundAddr, Listener, Stream};
+use crate::proto::{
+    handshake_server, scan_frame, write_frame, FrameScan, Reply, ReplyBody, Request, RequestBody,
+};
+use riot_core::{FAULT_SERVE_ACCEPT, FAULT_SERVE_FRAME_DECODE};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    cfg: ServeConfig,
+    mgr: SessionManager,
+    stop: AtomicBool,
+    bound: BoundAddr,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server. Obtain with [`Server::start`]; stop with
+/// [`ServerHandle::shutdown`] or let a client's `shutdown` verb drain
+/// it and [`ServerHandle::wait`] for completion.
+pub struct Server;
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `bind`, starts the worker pool and the accept thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind or WAL-root creation failures.
+    pub fn start(cfg: ServeConfig, bind: &Bind) -> std::io::Result<ServerHandle> {
+        riot_trace::init_from_env();
+        let (listener, bound) = Listener::bind(bind)?;
+        let mgr = SessionManager::start(cfg.clone())?;
+        let shared = Arc::new(Shared {
+            cfg,
+            mgr,
+            stop: AtomicBool::new(false),
+            bound,
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("riot-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            shared,
+            accept: Some(accept),
+        })
+    }
+}
+
+impl ServerHandle {
+    /// Where the server is listening (TCP `:0` resolved).
+    pub fn addr(&self) -> BoundAddr {
+        self.shared.bound.clone()
+    }
+
+    /// True once a drain has been requested (flag set by the wire
+    /// `shutdown` verb or [`ServerHandle::shutdown`]).
+    pub fn stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    /// Requests a drain and blocks until the server is fully stopped:
+    /// acceptor joined, every connection closed, every session flushed.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        wake_acceptor(&self.shared.bound);
+        self.join_everything();
+    }
+
+    /// Blocks until a *client* drains the server with the `shutdown`
+    /// verb, then finishes the drain and returns.
+    pub fn wait(mut self) {
+        self.join_everything();
+    }
+
+    fn join_everything(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        loop {
+            let batch: Vec<JoinHandle<()>> = {
+                let mut conns = self.shared.conns.lock().expect("conns lock");
+                conns.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+        if let BoundAddr::Unix(path) = &self.shared.bound {
+            let _ = std::fs::remove_file(path);
+        }
+        // Dropping the handle's Arc releases the manager; its Drop
+        // drains the worker pool and flushes every session WAL.
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shared.stop.store(true, Ordering::Relaxed);
+            wake_acceptor(&self.shared.bound);
+            self.join_everything();
+        }
+    }
+}
+
+/// Pokes a blocked `accept(2)` with a throwaway loopback connection.
+fn wake_acceptor(bound: &BoundAddr) {
+    if let Ok(s) = Stream::connect(bound) {
+        s.shutdown_both();
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => break,
+        };
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if shared.cfg.faults.should_inject(FAULT_SERVE_ACCEPT) {
+            // A fault at accept: the connection is dropped before the
+            // handshake, exactly like a dying network. No session state
+            // is involved yet, so nothing can corrupt.
+            stream.shutdown_both();
+            continue;
+        }
+        riot_trace::registry().counter("serve.connections").inc();
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("riot-serve-conn".into())
+            .spawn(move || {
+                let _span = riot_trace::span!("serve.accept");
+                connection(stream, &conn_shared);
+            })
+            .expect("spawn connection thread");
+        shared.conns.lock().expect("conns lock").push(handle);
+    }
+}
+
+/// How often a blocked reader wakes to check the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// One connection: handshake, then a reader loop feeding the manager
+/// and a writer thread draining the reply channel.
+fn connection(mut stream: Stream, shared: &Arc<Shared>) {
+    if handshake_server(&mut stream).is_err() {
+        riot_trace::registry()
+            .counter("serve.handshake.rejected")
+            .inc();
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = channel::<Reply>();
+    let writer = std::thread::Builder::new()
+        .name("riot-serve-writer".into())
+        .spawn(move || {
+            let mut out = std::io::BufWriter::new(writer_stream);
+            while let Ok(reply) = reply_rx.recv() {
+                if write_frame(&mut out, &reply.encode()).is_err() || out.flush().is_err() {
+                    break;
+                }
+            }
+            if let Ok(inner) = out.into_inner() {
+                inner.shutdown_write();
+            }
+        })
+        .expect("spawn writer thread");
+
+    reader_loop(&mut stream, shared, &reply_tx);
+
+    // Reader done: drop our sender so the writer exits once every
+    // in-flight worker reply has drained.
+    drop(reply_tx);
+    let _ = writer.join();
+    stream.shutdown_both();
+}
+
+/// Reads frames until EOF, corruption, read-timeout or server stop.
+fn reader_loop(stream: &mut Stream, shared: &Arc<Shared>, reply_tx: &Sender<Reply>) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut tmp = [0u8; 4096];
+    let mut last_byte = Instant::now();
+    loop {
+        // Drain every complete frame already buffered.
+        loop {
+            match scan_frame(&buf) {
+                FrameScan::Complete { payload, consumed } => {
+                    buf.drain(..consumed);
+                    if !handle_frame(&payload, shared, reply_tx) {
+                        return;
+                    }
+                }
+                FrameScan::Incomplete => break,
+                FrameScan::Corrupt(c) => {
+                    riot_trace::registry().counter("serve.frame.corrupt").inc();
+                    let _ = reply_tx.send(Reply {
+                        id: u64::MAX,
+                        body: ReplyBody::Err(format!("corrupt frame: {c}; closing")),
+                    });
+                    return;
+                }
+            }
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return, // peer closed cleanly
+            Ok(n) => {
+                buf.extend_from_slice(&tmp[..n]);
+                last_byte = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_byte.elapsed() >= shared.cfg.read_timeout {
+                    riot_trace::registry().counter("serve.read.timeout").inc();
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes and dispatches one frame. Returns `false` to close the
+/// connection.
+fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) -> bool {
+    let _span = riot_trace::span!("serve.frame", bytes = payload.len() as u64);
+    riot_trace::registry().counter("serve.frames").inc();
+    if shared.cfg.faults.should_inject(FAULT_SERVE_FRAME_DECODE) {
+        // A fault at frame decode behaves exactly like wire corruption:
+        // refuse the frame and close, before any session work happens.
+        let _ = reply_tx.send(Reply {
+            id: u64::MAX,
+            body: ReplyBody::Err("corrupt frame: injected decode fault; closing".to_owned()),
+        });
+        return false;
+    }
+    let req = match Request::decode(payload) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = reply_tx.send(Reply {
+                id: u64::MAX,
+                body: ReplyBody::Err(format!("bad request: {e}")),
+            });
+            return true; // framing is intact; only this request is bad
+        }
+    };
+    let reply_now = |body: ReplyBody| {
+        let _ = reply_tx.send(Reply { id: req.id, body });
+    };
+    match req.body {
+        RequestBody::Ping => reply_now(ReplyBody::Ok("pong".to_owned())),
+        RequestBody::Stats => reply_now(ReplyBody::Ok(shared.mgr.stats_line())),
+        RequestBody::Shutdown => {
+            shared.stop.store(true, Ordering::Relaxed);
+            wake_acceptor(&shared.bound);
+            reply_now(ReplyBody::Ok("draining".to_owned()));
+            return false;
+        }
+        RequestBody::Open { session, cell } => {
+            dispatch(shared, reply_tx, req.id, &session, JobKind::Open { cell });
+        }
+        RequestBody::Cmd { session, line } => {
+            dispatch(shared, reply_tx, req.id, &session, JobKind::Cmd { line });
+        }
+        RequestBody::Close { session } => {
+            dispatch(shared, reply_tx, req.id, &session, JobKind::Close);
+        }
+        RequestBody::Stall { session, ms } => {
+            dispatch(shared, reply_tx, req.id, &session, JobKind::Stall { ms });
+        }
+    }
+    true
+}
+
+/// Validates the session name and submits to the manager; any refusal
+/// (invalid name, full inbox, shutdown) replies immediately.
+fn dispatch(shared: &Arc<Shared>, reply_tx: &Sender<Reply>, id: u64, session: &str, kind: JobKind) {
+    if !crate::proto::valid_session_name(session) {
+        let _ = reply_tx.send(Reply {
+            id,
+            body: ReplyBody::Err(format!(
+                "invalid session name `{session}` (want [A-Za-z0-9_-]{{1,64}})"
+            )),
+        });
+        return;
+    }
+    if let Err(body) = shared.mgr.submit(session, kind, id, reply_tx.clone()) {
+        let _ = reply_tx.send(Reply { id, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use std::path::{Path, PathBuf};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("riot-serve-srv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_cfg(root: &Path) -> ServeConfig {
+        let mut cfg = ServeConfig::new(root);
+        cfg.threads = 2;
+        cfg.tick = Duration::from_millis(2);
+        cfg
+    }
+
+    #[test]
+    fn tcp_ping_open_cmd_close() {
+        let root = tmp_root("tcp");
+        let h = Server::start(test_cfg(&root), &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut c = Client::connect(&h.addr()).unwrap();
+        assert_eq!(c.ping().unwrap(), "pong");
+        assert_eq!(c.open("t1", "TOP").unwrap(), "created");
+        assert_eq!(c.cmd("t1", "create nand2 A").unwrap(), "instance 0");
+        assert_eq!(c.cmd("t1", "translate A 5000 0").unwrap(), "done");
+        assert_eq!(c.close_session("t1").unwrap(), "closed");
+        drop(c);
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unix_socket_and_wire_shutdown() {
+        let root = tmp_root("unix");
+        let sock = root.join("srv.sock");
+        std::fs::create_dir_all(&root).unwrap();
+        let h = Server::start(test_cfg(&root), &Bind::Unix(sock.clone())).unwrap();
+        let mut c = Client::connect(&h.addr()).unwrap();
+        assert_eq!(c.open("u1", "TOP").unwrap(), "created");
+        assert!(c.stats().unwrap().contains("sessions"));
+        assert_eq!(c.shutdown_server().unwrap(), "draining");
+        h.wait();
+        assert!(!sock.exists(), "socket file removed on drain");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let root = tmp_root("magic");
+        let h = Server::start(test_cfg(&root), &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut s = Stream::connect(&h.addr()).unwrap();
+        s.write_all(b"NOTRIOT!").unwrap();
+        let mut b = [0u8; 1];
+        // Server closes without echoing the magic.
+        assert!(matches!(s.read(&mut b), Ok(0) | Err(_)));
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn invalid_session_names_are_refused() {
+        let root = tmp_root("names");
+        let h = Server::start(test_cfg(&root), &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut c = Client::connect(&h.addr()).unwrap();
+        let err = c.open("../evil", "TOP").unwrap_err();
+        assert!(err.contains("invalid session name"), "{err}");
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn accept_fault_drops_the_connection_not_the_server() {
+        let root = tmp_root("afault");
+        let cfg = test_cfg(&root);
+        cfg.faults.arm(riot_core::FAULT_SERVE_ACCEPT, 0);
+        let h = Server::start(cfg, &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        // First connection dies at accept…
+        assert!(Client::connect(&h.addr()).is_err());
+        // …the next one is fine.
+        let mut c = Client::connect(&h.addr()).unwrap();
+        assert_eq!(c.ping().unwrap(), "pong");
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,416 @@
+//! Hosted sessions: an owned [`Library`] plus a suspended editor
+//! [`Checkpoint`], backed by a per-session `RIOTWAL1` write-ahead file.
+//!
+//! # Durability contract
+//!
+//! Every command the editor *accepts* is appended to the session's WAL
+//! (the exact record the editor journaled — CREATE's deduplicated
+//! instance name and all) before the `ok` reply is released, so an
+//! acknowledged command is always recoverable. The WAL lives at
+//! `<root>/<session>.wal` — the root directory is configuration, never
+//! a hardcoded path.
+//!
+//! # Recovery
+//!
+//! Reopening a session whose WAL exists runs
+//! [`riot_core::Journal::recover_wal`]: the longest intact prefix is
+//! replayed through a fresh [`Editor`] (one command at a time, through
+//! the same transactional `execute` everything else uses), the file is
+//! truncated back to the recovered prefix, and the session resumes
+//! from there. A torn tail — say, from a fault injected at
+//! [`riot_core::FAULT_SERVE_JOURNAL_APPEND`] mid-append — therefore
+//! costs at most the unacknowledged suffix, never consistency.
+
+use riot_core::{
+    command_to_line, crc32, Checkpoint, Command, Editor, Journal, Library, RiotError, WAL_MAGIC,
+};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Where a session's WAL file lives.
+pub fn wal_path(root: &Path, session: &str) -> PathBuf {
+    root.join(format!("{session}.wal"))
+}
+
+/// What happened when a session was brought into memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpenKind {
+    /// Fresh session: no WAL existed.
+    Created,
+    /// WAL existed and was replayed.
+    Recovered {
+        /// Commands recovered and replayed (including the `edit` head).
+        records: usize,
+        /// `true` when the WAL had a corrupt tail that was truncated.
+        truncated: bool,
+    },
+}
+
+/// A hosted session at rest: owned library, suspended editor state,
+/// and the open WAL append handle.
+#[derive(Debug)]
+pub struct SessionEntry {
+    /// Session name (also the WAL file stem).
+    pub name: String,
+    /// The session's own cell menu.
+    pub lib: Library,
+    /// Suspended editor state; `None` only transiently while a worker
+    /// has the editor resumed.
+    pub cp: Option<Checkpoint>,
+    /// Number of journal records already durable in the WAL.
+    pub durable_records: usize,
+    /// Last time a worker touched this session (drives idle eviction).
+    pub last_touch: Instant,
+    wal: File,
+    path: PathBuf,
+}
+
+impl SessionEntry {
+    /// Creates a brand-new session editing `cell`, writing the WAL
+    /// magic and the `edit` head record.
+    ///
+    /// # Errors
+    ///
+    /// Editor errors (e.g. `cell` names a leaf) as a reply-ready
+    /// string, or WAL I/O failures.
+    pub fn create(
+        root: &Path,
+        name: &str,
+        cell: &str,
+        mut lib: Library,
+    ) -> Result<SessionEntry, String> {
+        let path = wal_path(root, name);
+        let cp = {
+            let ed = Editor::open(&mut lib, cell).map_err(|e| format!("open failed: {e}"))?;
+            ed.suspend()
+        };
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| format!("cannot create WAL {}: {e}", path.display()))?;
+        wal.write_all(WAL_MAGIC)
+            .and_then(|()| {
+                wal.write_all(&record_bytes(&command_to_line(&Command::Edit {
+                    cell: cell.to_owned(),
+                })))
+            })
+            .and_then(|()| wal.flush())
+            .map_err(|e| format!("cannot write WAL head: {e}"))?;
+        riot_trace::registry()
+            .counter("serve.sessions.created")
+            .inc();
+        Ok(SessionEntry {
+            name: name.to_owned(),
+            lib,
+            cp: Some(cp),
+            durable_records: 1,
+            last_touch: Instant::now(),
+            wal,
+            path,
+        })
+    }
+
+    /// Recovers a session from its WAL: reads the file, keeps the
+    /// longest intact prefix, truncates the file back to it, and
+    /// replays the prefix through a fresh editor.
+    ///
+    /// # Errors
+    ///
+    /// A reply-ready description when the WAL is unreadable, empty of
+    /// even a head record, or the replay fails structurally.
+    pub fn recover(
+        root: &Path,
+        name: &str,
+        lib: Library,
+    ) -> Result<(SessionEntry, OpenKind), String> {
+        let path = wal_path(root, name);
+        let bytes =
+            std::fs::read(&path).map_err(|e| format!("cannot read WAL {}: {e}", path.display()))?;
+        let rec = Journal::recover_wal(&bytes);
+        let truncated = !rec.is_clean();
+        if truncated {
+            riot_trace::registry()
+                .counter("serve.recovery.truncated")
+                .inc();
+        }
+        riot_trace::registry()
+            .counter("serve.recovery.sessions")
+            .inc();
+        let cmds = rec.journal.commands();
+        let Some(Command::Edit { cell }) = cmds.first() else {
+            return Err(format!(
+                "WAL {} has no intact `edit` head (recovered {} records{})",
+                path.display(),
+                cmds.len(),
+                rec.corruption
+                    .as_ref()
+                    .map(|c| format!("; {c}"))
+                    .unwrap_or_default(),
+            ));
+        };
+        let cell = cell.clone();
+        let mut lib = lib;
+        // Replay: every record past the head goes through the one
+        // transactional entry point. A record that fails to replay
+        // (leaf cells changed shape since the WAL was written, say)
+        // truncates the durable state at the last good record — the
+        // same discipline recover_wal applies to corrupt bytes.
+        let mut replayed = 1usize;
+        let cp = {
+            let mut ed =
+                Editor::open(&mut lib, &cell).map_err(|e| format!("recovered head: {e}"))?;
+            for cmd in &cmds[1..] {
+                match ed.execute(cmd.clone()) {
+                    Ok(_) => replayed += 1,
+                    Err(e) => {
+                        riot_trace::registry()
+                            .counter("serve.recovery.replay_stopped")
+                            .inc();
+                        let _ = e;
+                        break;
+                    }
+                }
+            }
+            ed.suspend()
+        };
+        // Truncate the file to exactly the replayed prefix.
+        let mut prefix = Journal::new();
+        for cmd in &cmds[..replayed] {
+            prefix.record(cmd.clone());
+        }
+        let wal_bytes = prefix.to_wal();
+        std::fs::write(&path, &wal_bytes)
+            .map_err(|e| format!("cannot rewrite WAL {}: {e}", path.display()))?;
+        let wal = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot reopen WAL {}: {e}", path.display()))?;
+        Ok((
+            SessionEntry {
+                name: name.to_owned(),
+                lib,
+                cp: Some(cp),
+                durable_records: replayed,
+                last_touch: Instant::now(),
+                wal,
+                path,
+            },
+            OpenKind::Recovered {
+                records: replayed,
+                truncated,
+            },
+        ))
+    }
+
+    /// Opens a session: recover when its WAL exists, create otherwise.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionEntry::create`] / [`SessionEntry::recover`].
+    pub fn open(
+        root: &Path,
+        name: &str,
+        cell: &str,
+        lib: Library,
+    ) -> Result<(SessionEntry, OpenKind), String> {
+        if wal_path(root, name).exists() {
+            SessionEntry::recover(root, name, lib)
+        } else {
+            SessionEntry::create(root, name, cell, lib).map(|e| (e, OpenKind::Created))
+        }
+    }
+
+    /// Appends every journal record the suspended checkpoint holds
+    /// beyond what is already durable, then flushes. Returns the number
+    /// of records appended.
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O failures (the in-memory state is still intact).
+    pub fn sync_journal(&mut self) -> io::Result<usize> {
+        let cp = self
+            .cp
+            .as_ref()
+            .expect("sync_journal requires a suspended session");
+        let cmds = cp.journal().commands();
+        let new = &cmds[self.durable_records.min(cmds.len())..];
+        if new.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = Vec::with_capacity(new.len() * 24);
+        for cmd in new {
+            buf.extend_from_slice(&record_bytes(&command_to_line(cmd)));
+        }
+        self.wal.write_all(&buf)?;
+        self.wal.flush()?;
+        riot_trace::registry()
+            .counter("serve.wal.records")
+            .add(new.len() as u64);
+        self.durable_records = cmds.len();
+        Ok(new.len())
+    }
+
+    /// Simulates a crash mid-append: writes a deliberately **torn**
+    /// record (full header, half the payload) for `line` and syncs it
+    /// to disk. The caller drops the session afterwards; recovery on
+    /// reopen truncates this record away.
+    pub fn append_torn_record(&mut self, line: &str) {
+        let payload = line.as_bytes();
+        let mut buf = Vec::with_capacity(8 + payload.len() / 2);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(&payload[..payload.len() / 2]);
+        let _ = self.wal.write_all(&buf);
+        let _ = self.wal.flush();
+        let _ = self.wal.sync_all();
+    }
+
+    /// Forces file durability (used on close/evict).
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        self.wal.flush()?;
+        self.wal.sync_all()
+    }
+
+    /// The WAL file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One WAL record for `line`: `u32` LE length, `u32` LE CRC-32,
+/// payload — identical to [`Journal::to_wal`]'s per-record form.
+fn record_bytes(line: &str) -> Vec<u8> {
+    let payload = line.as_bytes();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Executes one wire command line against a resumed editor, mapping
+/// the outcome to a reply detail string.
+///
+/// # Errors
+///
+/// The editor's error, reply-ready.
+pub fn execute_line(ed: &mut Editor<'_>, line: &str) -> Result<String, RiotError> {
+    let cmd = riot_core::parse_command_line(line, 0)?;
+    let out = ed.execute(cmd)?;
+    Ok(outcome_text(&out))
+}
+
+/// A compact, stable text form of an [`riot_core::Outcome`].
+pub fn outcome_text(out: &riot_core::Outcome) -> String {
+    use riot_core::Outcome;
+    match out {
+        Outcome::None => "done".to_owned(),
+        Outcome::Instance(id) => format!("instance {}", id.index()),
+        Outcome::Cell(id) => format!("cell {}", id.index()),
+        Outcome::CellInstance(c, i) => format!("cell {} instance {}", c.index(), i.index()),
+        Outcome::Count(n) => format!("count {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::standard_library;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("riot-serve-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn create_then_recover_round_trips_state() {
+        let root = tmp_root("roundtrip");
+        let (mut entry, kind) = SessionEntry::open(&root, "s1", "TOP", standard_library()).unwrap();
+        assert_eq!(kind, OpenKind::Created);
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 A").unwrap();
+            execute_line(&mut ed, "create nand2 B").unwrap();
+            execute_line(&mut ed, "translate B 5000 0").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        assert_eq!(entry.sync_journal().unwrap(), 3);
+        assert_eq!(entry.durable_records, 4);
+        drop(entry);
+
+        let (mut entry2, kind2) =
+            SessionEntry::open(&root, "s1", "TOP", standard_library()).unwrap();
+        assert_eq!(
+            kind2,
+            OpenKind::Recovered {
+                records: 4,
+                truncated: false
+            }
+        );
+        let ed = Editor::resume(&mut entry2.lib, entry2.cp.take().unwrap()).unwrap();
+        assert_eq!(ed.instances().len(), 2);
+        assert_eq!(ed.journal().commands().len(), 4);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_append_recovers_to_the_acknowledged_prefix() {
+        let root = tmp_root("torn");
+        let (mut entry, _) = SessionEntry::open(&root, "s2", "TOP", standard_library()).unwrap();
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 A").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        entry.sync_journal().unwrap();
+        // Crash mid-append of a command that was never acknowledged.
+        entry.append_torn_record("create nand2 B");
+        drop(entry);
+
+        let (mut entry2, kind) =
+            SessionEntry::open(&root, "s2", "TOP", standard_library()).unwrap();
+        assert_eq!(
+            kind,
+            OpenKind::Recovered {
+                records: 2,
+                truncated: true
+            }
+        );
+        let wal_file = entry2.path().to_path_buf();
+        let ed = Editor::resume(&mut entry2.lib, entry2.cp.take().unwrap()).unwrap();
+        assert_eq!(ed.instances().len(), 1, "only the acknowledged command");
+        // And the rewritten file is now clean.
+        let bytes = std::fs::read(&wal_file).unwrap();
+        assert!(Journal::recover_wal(&bytes).is_clean());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn undo_redo_survive_the_wal() {
+        let root = tmp_root("undo");
+        let (mut entry, _) = SessionEntry::open(&root, "s3", "TOP", standard_library()).unwrap();
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 A").unwrap();
+            execute_line(&mut ed, "undo").unwrap();
+            execute_line(&mut ed, "redo").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        entry.sync_journal().unwrap();
+        drop(entry);
+        let (mut entry2, kind) =
+            SessionEntry::open(&root, "s3", "TOP", standard_library()).unwrap();
+        assert!(matches!(kind, OpenKind::Recovered { records: 4, .. }));
+        let ed = Editor::resume(&mut entry2.lib, entry2.cp.take().unwrap()).unwrap();
+        assert_eq!(ed.instances().len(), 1);
+        assert_eq!(ed.undo_depth(), 1);
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

@@ -1,0 +1,155 @@
+//! Crash-recovery integration test: a fault injected at the
+//! `serve.journal.append` site kills the hosted session mid-batch, the
+//! WAL is left with a deliberately torn tail, and the acknowledged
+//! prefix must recover to a state the `riot-check` model recognizes as
+//! equivalent — command by command.
+//!
+//! This is the serving-layer half of the durability contract: an `ok`
+//! reply is released only after the WAL flush, so every acknowledged
+//! command survives the crash and nothing unacknowledged leaks in.
+
+use riot_core::{Journal, FAULT_SERVE_JOURNAL_APPEND};
+use riot_serve::{standard_library, wal_path, Bind, Client, ServeConfig, Server};
+use std::time::Duration;
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("riot-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+#[test]
+fn journal_fault_leaves_a_model_equivalent_recoverable_prefix() {
+    let root = temp_root("recovery");
+    let mut cfg = ServeConfig::new(&root);
+    cfg.threads = 2;
+    cfg.tick = Duration::from_millis(2);
+    // Trip the journal-append site on its third consultation: the
+    // first two commands land durably, the third crashes the session.
+    cfg.faults.arm(FAULT_SERVE_JOURNAL_APPEND, 2);
+    let faults = cfg.faults.clone();
+
+    let h = Server::start(cfg, &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+    let mut c = Client::connect(&h.addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    assert_eq!(c.open("crash", "TOP").unwrap(), "created");
+    assert_eq!(c.cmd("crash", "create nand2 A").unwrap(), "instance 0");
+    assert_eq!(c.cmd("crash", "create nand2 B").unwrap(), "instance 1");
+    // The third command trips the armed fault: the server writes a
+    // torn record, drops the session, and reports the crash.
+    let err = c.cmd("crash", "translate A 4000 0").unwrap_err();
+    assert!(
+        err.contains("session crashed"),
+        "expected a crash report, got: {err}"
+    );
+    assert_eq!(faults.injected(), 1, "exactly one fault fired");
+
+    // --- Offline view: the WAL on disk ends in a torn record and
+    // recovers to exactly the acknowledged prefix.
+    let wal = wal_path(&root, "crash");
+    let bytes = std::fs::read(&wal).expect("WAL survives the crash");
+    let rec = Journal::recover_wal(&bytes);
+    assert!(
+        rec.corruption.is_some(),
+        "the crash must leave a torn tail, got a clean WAL"
+    );
+    let cmds = rec.journal.commands().to_vec();
+    let lines: Vec<String> = cmds.iter().map(riot_core::command_to_line).collect();
+    assert_eq!(
+        lines,
+        ["edit TOP", "create nand2 A", "create nand2 B"],
+        "recovered prefix is the acknowledged prefix, nothing more"
+    );
+
+    // --- Model equivalence: replay the recovered prefix in lockstep
+    // with the riot-check reference model. Every intermediate state —
+    // not just the last — must match on all user-observable axes.
+    let mut lib = standard_library();
+    let replayed = riot_check::lockstep_replay(&mut lib, &cmds)
+        .unwrap_or_else(|e| panic!("recovered prefix diverges from the model: {e}"));
+    assert_eq!(replayed, 3, "edit head + two commands replayed");
+
+    // --- Online view: reopening the session recovers the same prefix
+    // and the session is fully usable again.
+    let detail = c.open("crash", "TOP").unwrap();
+    assert!(
+        detail.contains("recovered 3 records") && detail.contains("truncated"),
+        "recovery report missing: {detail}"
+    );
+    // Instance ids are arena indices: the next create landing in slot 2
+    // proves exactly instances 0 and 1 survived.
+    assert_eq!(c.cmd("crash", "create nand2 C").unwrap(), "instance 2");
+    assert_eq!(c.cmd("crash", "translate A 4000 0").unwrap(), "done");
+    c.close_session("crash").unwrap();
+
+    // The healed WAL must now be clean and still model-equivalent.
+    let bytes = std::fs::read(&wal).unwrap();
+    let rec = Journal::recover_wal(&bytes);
+    assert!(
+        rec.is_clean(),
+        "rewritten WAL is intact: {:?}",
+        rec.corruption
+    );
+    let mut lib = standard_library();
+    let replayed = riot_check::lockstep_replay(&mut lib, rec.journal.commands())
+        .unwrap_or_else(|e| panic!("healed WAL diverges from the model: {e}"));
+    assert_eq!(replayed, 5, "edit head + four commands after the heal");
+
+    c.shutdown_server().unwrap();
+    h.wait();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn repeated_crashes_never_corrupt_acknowledged_state() {
+    // Three separate journal crashes over a longer session: each crash
+    // is followed by a reopen; at the end the WAL must replay
+    // model-equivalently whatever subset of commands got acknowledged
+    // along the way. (Arms on one site queue up: the counters run
+    // back-to-back, so the crashes land at consults 8, 17 and 26.)
+    let root = temp_root("soak");
+    let mut cfg = ServeConfig::new(&root);
+    cfg.threads = 1;
+    cfg.tick = Duration::from_millis(1);
+    for _ in 0..3 {
+        cfg.faults.arm(FAULT_SERVE_JOURNAL_APPEND, 8);
+    }
+
+    let h = Server::start(cfg, &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+    let mut c = Client::connect(&h.addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    c.open("soak", "TOP").unwrap();
+    let mut last_created: Option<String> = None;
+    for k in 0..60 {
+        let name = format!("G{k}");
+        let line = match (&last_created, k % 2) {
+            (Some(prev), 1) => format!("translate {prev} 4000 0"),
+            _ => format!("create nand2 {name}"),
+        };
+        match c.cmd("soak", &line) {
+            Ok(_) => {
+                if line.starts_with("create") {
+                    last_created = Some(name);
+                }
+            }
+            Err(e) if e.contains("session crashed") || e.contains("no such session") => {
+                // Reopen; recovery replays the acknowledged prefix.
+                c.open("soak", "TOP").unwrap();
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    c.close_session("soak").unwrap();
+    c.shutdown_server().unwrap();
+    h.wait();
+
+    let bytes = std::fs::read(wal_path(&root, "soak")).unwrap();
+    let rec = Journal::recover_wal(&bytes);
+    let mut lib = standard_library();
+    let replayed = riot_check::lockstep_replay(&mut lib, rec.journal.commands())
+        .unwrap_or_else(|e| panic!("soak WAL diverges from the model: {e}"));
+    assert!(replayed >= 1, "at least the edit head replays");
+    let _ = std::fs::remove_dir_all(root);
+}

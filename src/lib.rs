@@ -20,6 +20,8 @@
 //! * [`extract`] — connectivity extraction and switch-level simulation
 //! * [`drc`] — design-rule checking over flattened mask geometry
 //! * [`trace`] — structured spans, metrics registry, trace exporters
+//! * [`serve`] — headless multi-session server (RIOTSRV1 wire protocol,
+//!   WAL-backed durability, backpressure)
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use riot_geom as geom;
 pub use riot_graphics as graphics;
 pub use riot_rest as rest;
 pub use riot_route as route;
+pub use riot_serve as serve;
 pub use riot_sticks as sticks;
 pub use riot_trace as trace;
 pub use riot_ui as ui;
