@@ -132,6 +132,43 @@ pub fn rect_soup(n: usize, seed: u64) -> Vec<riot::cif::FlatShape> {
     shapes
 }
 
+/// CIF text for a DRC-clean chip built from one leaf symbol placed on
+/// a `grid`×`grid` lattice — `leaf_shapes * grid * grid` flat shapes
+/// total. Every box is 4λ×4λ metal with ≥4λ gaps inside the leaf and
+/// ≥12λ between instances, so the whole chip passes `RuleSet::nmos`
+/// with zero violations, and a single instance moved by ≤4λ stays
+/// clean. This is the damage-region benchmark workload: huge chip, tiny
+/// edits.
+pub fn grid_chip(leaf_shapes: usize, grid: usize) -> String {
+    use riot::geom::LAMBDA;
+    use std::fmt::Write as _;
+    assert!(leaf_shapes >= 1 && grid >= 1);
+    let side = (leaf_shapes as f64).sqrt().ceil() as i64;
+    let pitch = 8 * LAMBDA;
+    let mut out = String::new();
+    let _ = writeln!(out, "DS 1 1 1;");
+    let _ = writeln!(out, "L NM;");
+    for i in 0..leaf_shapes as i64 {
+        let cx = (i % side) * pitch + 2 * LAMBDA;
+        let cy = (i / side) * pitch + 2 * LAMBDA;
+        let _ = writeln!(out, "B {} {} {cx} {cy};", 4 * LAMBDA, 4 * LAMBDA);
+    }
+    let _ = writeln!(out, "DF;");
+    let instance_pitch = side * pitch + 8 * LAMBDA;
+    for gy in 0..grid as i64 {
+        for gx in 0..grid as i64 {
+            let _ = writeln!(
+                out,
+                "C 1 T {} {};",
+                gx * instance_pitch,
+                gy * instance_pitch
+            );
+        }
+    }
+    out.push_str("E\n");
+    out
+}
+
 /// CIF text for a deeply shared hierarchy: symbol `k` calls symbol
 /// `k-1` `fanout` times (rotated and mirrored, so the flattener pays
 /// full transform cost inside the tree), and the top level places the
@@ -237,6 +274,15 @@ mod tests {
         assert_eq!(memo, rec);
         // fanout^(levels-1) leaf instances per top call, times shapes.
         assert!(memo.len() >= 2 * 27 * 4);
+    }
+
+    #[test]
+    fn grid_chip_is_drc_clean_and_sized_right() {
+        let file = riot::cif::parse(&grid_chip(9, 3)).unwrap();
+        let flat = riot::cif::flatten(&file).unwrap();
+        assert_eq!(flat.len(), 9 * 3 * 3);
+        let violations = riot::drc::check(&flat, &riot::drc::RuleSet::nmos());
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

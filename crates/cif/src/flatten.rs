@@ -258,6 +258,306 @@ fn build_memo(
     Ok(height)
 }
 
+/// What one [`FlattenCache::update`] did, and where.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlattenDelta {
+    /// First sync (or top-structure churn): everything is new and
+    /// `dirty` is empty — callers treat the whole output as damaged.
+    pub full: bool,
+    /// World-space rects covering every output shape that changed
+    /// (old and new positions). Empty when nothing changed.
+    pub dirty: Vec<Rect>,
+    /// Symbols whose expansions were recomputed.
+    pub reexpanded_symbols: usize,
+    /// Top-level segments (calls or the top-shape prefix) patched.
+    pub patched_segments: usize,
+}
+
+/// A persistent, incrementally-maintained flatten.
+///
+/// Where [`flatten_counted`] memoizes *within* one call, this cache
+/// survives across edits: [`update`](Self::update) diffs the file
+/// against the last-synced definitions, re-expands only symbols whose
+/// definition changed — or that transitively call one that did, found
+/// through a reverse-dependency map — and patches the retained output
+/// in place, splicing only the top-level segments whose content moved.
+/// It returns the world rects those segments covered before and after,
+/// which is exactly the damage the downstream incremental DRC and
+/// dirty-band render need.
+///
+/// The retained output is always bit-identical (order, depth values)
+/// to what [`flatten_counted`] would produce from scratch — the
+/// differential property tests in `tests/flatten_differential.rs`
+/// prove it under random edit sequences.
+#[derive(Default)]
+pub struct FlattenCache {
+    /// Symbol definitions as of the last sync, for diffing.
+    defs: HashMap<u32, crate::model::CifCell>,
+    memo: Memo,
+    /// Top-level structure as of the last sync.
+    top_shapes: Vec<crate::model::Shape>,
+    top_calls: Vec<crate::model::CifCall>,
+    /// The retained flattened output: top-shape prefix, then one
+    /// contiguous segment per top call, in call order.
+    output: Vec<FlatShape>,
+    /// Per-top-call segment starts (segment `i` ends where `i + 1`
+    /// starts; the last ends at `output.len()`). The top-shape prefix
+    /// occupies `0..starts.first()`.
+    starts: Vec<usize>,
+    synced: bool,
+    updates: u64,
+    patched_segments: u64,
+}
+
+impl FlattenCache {
+    /// An empty cache; the first [`update`](Self::update) is a full
+    /// flatten.
+    pub fn new() -> FlattenCache {
+        FlattenCache::default()
+    }
+
+    /// The retained flattened output for the last synced file.
+    pub fn shapes(&self) -> &[FlatShape] {
+        &self.output
+    }
+
+    /// Memo statistics over the cache's lifetime (hits accumulate
+    /// across updates — the cache-hit-rate numerator riot-serve
+    /// reports per session).
+    pub fn stats(&self) -> FlattenStats {
+        FlattenStats {
+            shapes: self.output.len(),
+            memo_cells: self.memo.cells.len(),
+            memo_hits: self.memo.hits,
+            memo_misses: self.memo.misses,
+        }
+    }
+
+    /// Updates performed and top-level segments patched (rather than
+    /// rebuilt) over the cache's lifetime.
+    pub fn patch_counts(&self) -> (u64, u64) {
+        (self.updates, self.patched_segments)
+    }
+
+    /// Syncs the cache to `file`, returning the damage the edit
+    /// caused.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`flatten`]; the cache is left cleared on
+    /// error (the next update rebuilds fully).
+    pub fn update(&mut self, file: &CifFile) -> Result<FlattenDelta, ParseCifError> {
+        let mut sp = riot_trace::span!("cif.flatten.update");
+        self.updates += 1;
+        match self.update_inner(file) {
+            Ok(delta) => {
+                self.patched_segments += delta.patched_segments as u64;
+                sp.field("dirty", delta.dirty.len() as u64);
+                sp.field("patched", delta.patched_segments as u64);
+                debug_assert_eq!(
+                    self.output,
+                    flatten_counted(file)?.0,
+                    "cache must match a from-scratch flatten"
+                );
+                Ok(delta)
+            }
+            Err(e) => {
+                *self = FlattenCache {
+                    updates: self.updates,
+                    patched_segments: self.patched_segments,
+                    ..FlattenCache::default()
+                };
+                Err(e)
+            }
+        }
+    }
+
+    fn update_inner(&mut self, file: &CifFile) -> Result<FlattenDelta, ParseCifError> {
+        // 1. Which symbol definitions changed since the last sync?
+        let mut dirty_syms: Vec<u32> = Vec::new();
+        let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for cell in file.cells() {
+            seen.insert(cell.id);
+            if self.defs.get(&cell.id) != Some(cell) {
+                dirty_syms.push(cell.id);
+            }
+        }
+        for &id in self.defs.keys() {
+            if !seen.contains(&id) {
+                dirty_syms.push(id); // removed definition
+            }
+        }
+
+        // 2. Close over reverse dependencies: a symbol calling a dirty
+        // symbol is itself dirty — its cached expansion embeds the
+        // callee's shapes.
+        let mut rev: HashMap<u32, Vec<u32>> = HashMap::new();
+        for cell in file.cells() {
+            for call in &cell.calls {
+                rev.entry(call.cell).or_default().push(cell.id);
+            }
+        }
+        let mut dirty_set: std::collections::HashSet<u32> = dirty_syms.iter().copied().collect();
+        let mut work = dirty_syms;
+        while let Some(id) = work.pop() {
+            for &caller in rev.get(&id).map(Vec::as_slice).unwrap_or(&[]) {
+                if dirty_set.insert(caller) {
+                    work.push(caller);
+                }
+            }
+        }
+        for id in &dirty_set {
+            self.memo.cells.remove(id);
+        }
+        let reexpanded = dirty_set.len();
+
+        // 3. Re-expand what the top calls need (memo hits for clean
+        // symbols, rebuilds for dirty ones — the same depth guard as
+        // flatten_counted).
+        for call in file.top_calls() {
+            build_memo(file, call.cell, 1, &mut self.memo)?;
+        }
+
+        // 4. Patch the retained output. Segment 0 is the top-shape
+        // prefix; segment i+1 is top call i. A segment is stale when
+        // its call changed or its symbol was re-expanded.
+        if !self.synced {
+            return self.rebuild_all(file, reexpanded);
+        }
+        let old_calls = std::mem::take(&mut self.top_calls);
+        let n_old = old_calls.len();
+        let n_new = file.top_calls().len();
+        let mut dirty: Vec<Rect> = Vec::new();
+        let mut patched = 0usize;
+
+        // Stale segments, new content computed up front (splices are
+        // applied back-to-front so earlier ranges stay valid).
+        let mut splices: Vec<(usize, Vec<FlatShape>)> = Vec::new();
+        if file.top_shapes() != self.top_shapes.as_slice() {
+            let mut seg = Vec::with_capacity(file.top_shapes().len());
+            for shape in file.top_shapes() {
+                seg.push(FlatShape {
+                    layer: shape.layer,
+                    geometry: shape.geometry.clone(),
+                    depth: 0,
+                });
+            }
+            splices.push((0, seg));
+        }
+        for i in 0..n_old.max(n_new) {
+            let old = old_calls.get(i);
+            let new = file.top_calls().get(i);
+            let stale = match (old, new) {
+                (Some(o), Some(n)) => o != n || dirty_set.contains(&n.cell),
+                _ => true, // added or removed call
+            };
+            if !stale {
+                continue;
+            }
+            let mut seg = Vec::new();
+            if let Some(n) = new {
+                let entry = &self.memo.cells[&n.cell];
+                seg.reserve(entry.shapes.len());
+                instantiate_into(&entry.shapes, n.transform, &mut seg);
+            }
+            if let Some(bb) = bounding_box_of(&seg) {
+                dirty.push(bb);
+            }
+            splices.push((i + 1, seg));
+        }
+
+        // Back-to-front, with ranges fixed against the pre-splice
+        // layout: a splice only moves content at higher positions, so
+        // every earlier (smaller) range stays valid — including
+        // multiple appends at the old end, which reverse application
+        // re-orders correctly.
+        let old_len = self.output.len();
+        for (seg_idx, new_seg) in splices.into_iter().rev() {
+            let (start, end) = self.segment_range(seg_idx, n_old, old_len);
+            if let Some(bb) = bounding_box_of(&self.output[start..end]) {
+                dirty.push(bb);
+            }
+            patched += 1;
+            self.output.splice(start..end, new_seg);
+        }
+
+        // Recompute segment starts from the synced sizes.
+        self.top_shapes = file.top_shapes().to_vec();
+        self.top_calls = file.top_calls().to_vec();
+        self.defs = file
+            .cells()
+            .into_iter()
+            .map(|c| (c.id, c.clone()))
+            .collect();
+        self.starts.clear();
+        let mut at = self.top_shapes.len();
+        for call in &self.top_calls {
+            self.starts.push(at);
+            at += self.memo.cells[&call.cell].shapes.len();
+        }
+        debug_assert_eq!(at, self.output.len());
+
+        Ok(FlattenDelta {
+            full: false,
+            dirty,
+            reexpanded_symbols: reexpanded,
+            patched_segments: patched,
+        })
+    }
+
+    /// `[start, end)` of segment `seg_idx` in the *old* output of
+    /// length `old_len` (0 = top-shape prefix, `i + 1` = old top call
+    /// `i`; a segment past the old call count is empty at the old
+    /// end).
+    fn segment_range(&self, seg_idx: usize, n_old_calls: usize, old_len: usize) -> (usize, usize) {
+        if seg_idx == 0 {
+            return (0, self.starts.first().copied().unwrap_or(old_len));
+        }
+        let i = seg_idx - 1;
+        if i >= n_old_calls {
+            return (old_len, old_len);
+        }
+        let start = self.starts[i];
+        let end = self.starts.get(i + 1).copied().unwrap_or(old_len);
+        (start, end)
+    }
+
+    fn rebuild_all(
+        &mut self,
+        file: &CifFile,
+        reexpanded: usize,
+    ) -> Result<FlattenDelta, ParseCifError> {
+        self.output.clear();
+        self.starts.clear();
+        for shape in file.top_shapes() {
+            self.output.push(FlatShape {
+                layer: shape.layer,
+                geometry: shape.geometry.clone(),
+                depth: 0,
+            });
+        }
+        for call in file.top_calls() {
+            self.starts.push(self.output.len());
+            let entry = &self.memo.cells[&call.cell];
+            instantiate_into(&entry.shapes, call.transform, &mut self.output);
+        }
+        self.top_shapes = file.top_shapes().to_vec();
+        self.top_calls = file.top_calls().to_vec();
+        self.defs = file
+            .cells()
+            .into_iter()
+            .map(|c| (c.id, c.clone()))
+            .collect();
+        self.synced = true;
+        Ok(FlattenDelta {
+            full: true,
+            dirty: Vec::new(),
+            reexpanded_symbols: reexpanded,
+            patched_segments: 0,
+        })
+    }
+}
+
 /// The original recursive flatten, retained as the reference
 /// implementation for differential tests and the spatial benchmark.
 /// Walks the full instantiation *tree* (re-expanding shared symbols at
@@ -570,6 +870,115 @@ E";
             transform_geometry_cow(&g, Transform::translate(Point::new(1, 0))),
             Cow::Owned(_)
         ));
+    }
+
+    #[test]
+    fn cache_first_update_is_full_then_patches() {
+        let f = parse(HIER).unwrap();
+        let mut cache = FlattenCache::new();
+        let delta = cache.update(&f).unwrap();
+        assert!(delta.full);
+        assert_eq!(cache.shapes(), flatten_counted(&f).unwrap().0.as_slice());
+
+        // No edit: a clean update touches nothing.
+        let delta = cache.update(&f).unwrap();
+        assert_eq!(delta, FlattenDelta::default());
+
+        // Move the single top call: one segment patched, dirty covers
+        // the old and new positions.
+        let mut f2 = f.clone();
+        f2.top_calls_mut()[0].transform = Transform::translate(Point::new(500, 500));
+        let delta = cache.update(&f2).unwrap();
+        assert!(!delta.full);
+        assert_eq!(delta.patched_segments, 1);
+        assert_eq!(delta.reexpanded_symbols, 0);
+        assert_eq!(
+            delta.dirty,
+            vec![Rect::new(500, 500, 530, 510), Rect::new(100, 100, 130, 110)]
+        );
+        assert_eq!(cache.shapes(), flatten_counted(&f2).unwrap().0.as_slice());
+    }
+
+    #[test]
+    fn symbol_edit_reexpands_only_transitive_callers() {
+        // 1 ← 2 ← 3 (top), and an unrelated 4 (top): editing 1 must
+        // re-expand {1, 2, 3} but serve 4 from the retained memo.
+        let text = "\
+DS 1;L NM;B 10 10 5 5;DF;
+DS 2;C 1 T 0 0;DF;
+DS 3;C 2 T 0 0;DF;
+DS 4;L NP;B 10 10 5 5;DF;
+C 3 T 0 0;
+C 4 T 100 0;
+E";
+        let f = parse(text).unwrap();
+        let mut cache = FlattenCache::new();
+        cache.update(&f).unwrap();
+        let misses_before = cache.stats().memo_misses;
+
+        let mut f2 = f.clone();
+        let mut leaf = f2.cell(1).unwrap().clone();
+        leaf.shapes[0].geometry = Geometry::Box(Rect::new(0, 0, 20, 20));
+        f2.insert_cell(leaf);
+        let delta = cache.update(&f2).unwrap();
+        assert_eq!(delta.reexpanded_symbols, 3, "1, 2, 3 — not 4");
+        assert_eq!(delta.patched_segments, 1, "only the C 3 segment");
+        assert_eq!(
+            cache.stats().memo_misses - misses_before,
+            3,
+            "symbol 4's entry survived the edit"
+        );
+        assert_eq!(cache.shapes(), flatten_counted(&f2).unwrap().0.as_slice());
+    }
+
+    #[test]
+    fn cache_recovers_after_an_error() {
+        let f = parse(HIER).unwrap();
+        let mut cache = FlattenCache::new();
+        cache.update(&f).unwrap();
+
+        // Point the top call at an undefined symbol: the update fails
+        // and clears the cache.
+        let mut broken = f.clone();
+        broken.top_calls_mut()[0].cell = 99;
+        assert!(cache.update(&broken).is_err());
+        assert!(cache.shapes().is_empty());
+
+        // The next good update rebuilds from scratch.
+        let delta = cache.update(&f).unwrap();
+        assert!(delta.full);
+        assert_eq!(cache.shapes(), flatten_counted(&f).unwrap().0.as_slice());
+    }
+
+    #[test]
+    fn cache_tracks_added_and_removed_top_calls() {
+        let f = parse(HIER).unwrap();
+        let mut cache = FlattenCache::new();
+        cache.update(&f).unwrap();
+
+        let mut f2 = f.clone();
+        f2.push_top_call(crate::model::CifCall {
+            cell: 2,
+            transform: Transform::translate(Point::new(1000, 0)),
+        });
+        f2.push_top_call(crate::model::CifCall {
+            cell: 1,
+            transform: Transform::translate(Point::new(2000, 0)),
+        });
+        let delta = cache.update(&f2).unwrap();
+        assert!(!delta.full);
+        assert_eq!(delta.patched_segments, 2);
+        assert_eq!(cache.shapes(), flatten_counted(&f2).unwrap().0.as_slice());
+
+        let mut f3 = f2.clone();
+        f3.top_calls_mut().remove(0);
+        let delta = cache.update(&f3).unwrap();
+        assert!(!delta.full);
+        assert_eq!(cache.shapes(), flatten_counted(&f3).unwrap().0.as_slice());
+        assert!(
+            delta.dirty.iter().any(|d| d.x0 == 100),
+            "old position damaged"
+        );
     }
 
     #[test]

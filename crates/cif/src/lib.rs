@@ -49,7 +49,10 @@ pub mod write;
 
 pub use ast::{CifCommand, TransformPrimitive};
 pub use error::ParseCifError;
-pub use flatten::{flatten, flatten_counted, flatten_recursive, FlatShape, FlattenStats};
+pub use flatten::{
+    flatten, flatten_counted, flatten_recursive, FlatShape, FlattenCache, FlattenDelta,
+    FlattenStats,
+};
 pub use model::{CifCell, CifConnector, CifFile, Geometry, Shape};
 pub use parse::{parse, parse_commands};
 pub use write::{to_text, write_commands};

@@ -197,6 +197,18 @@ impl CifFile {
         self.top_calls.push(call);
     }
 
+    /// Mutable access to the top-level calls, for incremental editing
+    /// flows ([`crate::FlattenCache`]) that reposition or remove
+    /// instantiations in place.
+    pub fn top_calls_mut(&mut self) -> &mut Vec<CifCall> {
+        &mut self.top_calls
+    }
+
+    /// Mutable access to the top-level painted geometry.
+    pub fn top_shapes_mut(&mut self) -> &mut Vec<Shape> {
+        &mut self.top_shapes
+    }
+
     /// Builds the semantic model from a raw command list.
     ///
     /// # Errors

@@ -159,4 +159,100 @@ proptest! {
         prop_assert_eq!(&memoized, &reference);
         prop_assert_eq!(stats.shapes, memoized.len());
     }
+
+    /// The incremental cache tracks random edit sequences exactly —
+    /// same shapes in the same order as the recursive reference after
+    /// every edit — and its reported damage covers every shape that
+    /// actually changed.
+    #[test]
+    fn flatten_cache_tracks_edits_and_reports_covering_damage(
+        text in arb_cif_hierarchy(),
+        edit_seed in 1u64..1_000_000,
+        edits in 1usize..6,
+    ) {
+        use riot_cif::model::CifCall;
+        use riot_geom::{Point, Rect, Transform};
+
+        let mut file = riot_cif::parse(&text).expect("generated CIF parses");
+        let symbols = file.cells().len() as u64;
+        let mut cache = riot_cif::FlattenCache::new();
+        let delta = cache.update(&file).expect("first sync");
+        prop_assert!(delta.full);
+
+        let mut s = edit_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..edits {
+            let before = cache.shapes().to_vec();
+            match next() % 4 {
+                0 if !file.top_calls().is_empty() => {
+                    // Move a top call.
+                    let i = (next() as usize) % file.top_calls().len();
+                    let dx = (next() % 80) as i64 * 25;
+                    let dy = (next() % 80) as i64 * 25;
+                    file.top_calls_mut()[i].transform =
+                        Transform::translate(Point::new(dx, dy));
+                }
+                1 => {
+                    // Add a top call to a random symbol.
+                    let callee = (next() % symbols + 1) as u32;
+                    let dx = (next() % 80) as i64 * 25;
+                    file.push_top_call(CifCall {
+                        cell: callee,
+                        transform: Transform::translate(Point::new(dx, -dx)),
+                    });
+                }
+                2 if file.top_calls().len() > 1 => {
+                    // Remove a top call.
+                    let i = (next() as usize) % file.top_calls().len();
+                    file.top_calls_mut().remove(i);
+                }
+                _ => {
+                    // Edit a random symbol definition: displace its
+                    // first shape (every generated symbol has one).
+                    let id = (next() % symbols + 1) as u32;
+                    let mut cell = file.cell(id).expect("ids are dense").clone();
+                    if let Some(shape) = cell.shapes.first_mut() {
+                        shape.geometry = shape.geometry.translated(Point::new(25, 25));
+                    }
+                    file.insert_cell(cell);
+                }
+            }
+            let delta = cache.update(&file).expect("incremental sync");
+            prop_assert!(!delta.full, "edits never degrade to a full rebuild");
+            let reference = flatten_recursive(&file).expect("reference flatten");
+            prop_assert_eq!(cache.shapes(), reference.as_slice());
+
+            // Damage coverage: every shape present on only one side of
+            // the edit lies inside some dirty rect.
+            let mut counts: std::collections::HashMap<String, (i64, Rect)> =
+                std::collections::HashMap::new();
+            for s in &before {
+                let e = counts
+                    .entry(format!("{s:?}"))
+                    .or_insert((0, s.geometry.bounding_box()));
+                e.0 += 1;
+            }
+            for s in cache.shapes() {
+                let e = counts
+                    .entry(format!("{s:?}"))
+                    .or_insert((0, s.geometry.bounding_box()));
+                e.0 -= 1;
+            }
+            for (count, bb) in counts.values() {
+                if *count != 0 {
+                    prop_assert!(
+                        delta.dirty.iter().any(|d| d.contains_rect(*bb)),
+                        "changed shape {:?} not covered by damage {:?}",
+                        bb,
+                        delta.dirty
+                    );
+                }
+            }
+        }
+    }
 }

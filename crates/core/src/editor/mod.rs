@@ -30,14 +30,14 @@ use crate::cell::{Cell, CellId, Composition};
 use crate::command::{Command, CommandEffect, Outcome};
 use crate::connection::{PendingConnection, WorldConnector};
 use crate::error::RiotError;
-use crate::events::{ChangeEvent, Stats};
+use crate::events::{ChangeEvent, Damage, Stats};
 use crate::fault::{FaultPlan, FAULT_TXN_COMMIT};
 use crate::history::{Applied, History, UndoRecord};
 use crate::instance::{Instance, InstanceId};
 use crate::library::Library;
 use crate::replay::Journal;
 use crate::txn::Snapshot;
-use cache::DerivedCache;
+use cache::{DamageJournal, DerivedCache};
 use riot_geom::{Rect, LAMBDA};
 use riot_rest::SolveMode;
 use riot_route::RouterOptions;
@@ -110,6 +110,7 @@ pub struct Editor<'a> {
     history: History,
     events: Vec<ChangeEvent>,
     cache: DerivedCache,
+    damage: DamageJournal,
     stats: Stats,
     fault: Option<FaultPlan>,
 }
@@ -156,6 +157,13 @@ impl Checkpoint {
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
+
+    /// Engine counters at suspension time. [`Editor::suspend`] folds
+    /// the live cache tallies into these before capture, so the
+    /// numbers survive arbitrarily many suspend/resume cycles.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
 }
 
 impl<'a> Editor<'a> {
@@ -197,6 +205,7 @@ impl<'a> Editor<'a> {
             history: History::default(),
             events: Vec::new(),
             cache: DerivedCache::default(),
+            damage: DamageJournal::default(),
             stats: Stats::default(),
             fault: None,
         })
@@ -218,6 +227,12 @@ impl<'a> Editor<'a> {
     /// editor skips its [`Drop`] side effects (counter mirroring,
     /// `RIOT_TRACE` dump): suspending is a pause, not a session end.
     pub fn suspend(mut self) -> Checkpoint {
+        // Fold the live cache tallies into the durable stats before
+        // capture: the cache itself is discarded, but its hit/miss
+        // history must survive so per-session hit rates reported by
+        // long-lived hosts (riot-serve) stay cumulative.
+        self.stats.cache_hits += self.cache.hits();
+        self.stats.cache_misses += self.cache.misses();
         let cp = Checkpoint {
             cell: self.cell,
             pending: std::mem::take(&mut self.pending),
@@ -234,6 +249,7 @@ impl<'a> Editor<'a> {
         // nothing leaks.
         drop(std::mem::take(&mut self.events));
         drop(std::mem::take(&mut self.cache));
+        drop(std::mem::take(&mut self.damage));
         std::mem::forget(self);
         cp
     }
@@ -263,6 +279,13 @@ impl<'a> Editor<'a> {
             history: cp.history,
             events: Vec::new(),
             cache: DerivedCache::default(),
+            // A resumed session has no acknowledged baseline; consumers
+            // holding pre-suspend derived state must do a full pass.
+            damage: {
+                let mut j = DamageJournal::default();
+                j.record_full();
+                j
+            },
             stats: cp.stats,
             fault: cp.fault,
         })
@@ -464,30 +487,36 @@ impl<'a> Editor<'a> {
     fn revert(&mut self, record: UndoRecord) {
         match record {
             UndoRecord::PopInstance => {
-                let comp = self.comp_mut();
-                comp.instances.pop();
-                let id = InstanceId(comp.instances.len());
-                self.emit(ChangeEvent::InstanceDeleted(id));
+                let id = InstanceId(self.comp().instances.len().saturating_sub(1));
+                let old = self.world_bbox_now(id);
+                self.comp_mut().instances.pop();
+                self.emit(ChangeEvent::InstanceDeleted { id, old });
             }
             UndoRecord::Transform { id, prev } => {
+                let old = self.world_bbox_now(id);
                 if let Ok(inst) = self.instance_mut(id) {
                     inst.transform = prev;
                 }
-                self.emit(ChangeEvent::InstanceChanged(id));
+                let new = self.world_bbox_now(id);
+                self.emit(ChangeEvent::InstanceChanged { id, old, new });
             }
             UndoRecord::Replicate { id, cols, rows } => {
+                let old = self.world_bbox_now(id);
                 if let Ok(inst) = self.instance_mut(id) {
                     inst.cols = cols;
                     inst.rows = rows;
                 }
-                self.emit(ChangeEvent::InstanceChanged(id));
+                let new = self.world_bbox_now(id);
+                self.emit(ChangeEvent::InstanceChanged { id, old, new });
             }
             UndoRecord::Spacing { id, col, row } => {
+                let old = self.world_bbox_now(id);
                 if let Ok(inst) = self.instance_mut(id) {
                     inst.col_spacing = col;
                     inst.row_spacing = row;
                 }
-                self.emit(ChangeEvent::InstanceChanged(id));
+                let new = self.world_bbox_now(id);
+                self.emit(ChangeEvent::InstanceChanged { id, old, new });
             }
             UndoRecord::RestoreInstance {
                 id,
@@ -496,7 +525,8 @@ impl<'a> Editor<'a> {
             } => {
                 self.comp_mut().instances[id.0] = Some(*instance);
                 self.pending = pending;
-                self.emit(ChangeEvent::InstanceCreated(id));
+                let at = self.world_bbox_now(id);
+                self.emit(ChangeEvent::InstanceCreated { id, at });
                 self.emit(ChangeEvent::PendingChanged);
             }
             UndoRecord::PopPending => {
@@ -521,8 +551,75 @@ impl<'a> Editor<'a> {
     }
 
     fn restore_snapshot(&mut self, snap: Snapshot) {
+        // Capture per-slot state around the restore so a rollback or
+        // compound undo dirties only the regions that actually moved.
+        // Two escape hatches keep this conservative: if the edit cell
+        // itself was rewritten (a failed finish) or the menu gained or
+        // lost cells (route/stretch cells whose `CellAdded` events are
+        // already queued), the targeted diff cannot describe the
+        // change and `BulkRestore` remains the fallback.
+        let cells_before = self.lib.len();
+        let cell_before = {
+            let c = self.cell();
+            (c.bbox, c.connectors.clone())
+        };
+        let pending_before = self.pending.clone();
+        let before = self.slot_states();
         snap.restore(self.lib, self.cell, &mut self.pending);
-        self.emit(ChangeEvent::BulkRestore);
+        let cell_after = {
+            let c = self.cell();
+            (c.bbox, c.connectors.clone())
+        };
+        if self.lib.len() != cells_before || cell_after != cell_before {
+            self.emit(ChangeEvent::BulkRestore);
+            return;
+        }
+        let after = self.slot_states();
+        for i in 0..before.len().max(after.len()) {
+            let id = InstanceId(i);
+            let b = before.get(i).cloned().flatten();
+            let a = after.get(i).cloned().flatten();
+            match (b, a) {
+                (None, None) => {}
+                (Some((old, _)), None) => self.emit(ChangeEvent::InstanceDeleted { id, old }),
+                (None, Some((at, _))) => self.emit(ChangeEvent::InstanceCreated { id, at }),
+                (Some((old, bi)), Some((new, ai))) => {
+                    // Compare the whole instance, not just its box: a
+                    // same-box cell swap still changes what the region
+                    // contains.
+                    if bi != ai {
+                        self.emit(ChangeEvent::InstanceChanged { id, old, new });
+                    }
+                }
+            }
+        }
+        if pending_before != self.pending {
+            self.emit(ChangeEvent::PendingChanged);
+        }
+    }
+
+    /// World bbox of a slot computed directly from the library,
+    /// bypassing the derived cache (which is stale between a mutation
+    /// and its event). `None` for tombstones and unknown cells.
+    fn world_bbox_now(&self, id: InstanceId) -> Option<Rect> {
+        let inst = self.comp().instances.get(id.0)?.as_ref()?;
+        let cell = self.lib.cell(inst.cell).ok()?;
+        Some(inst.world_bbox(cell))
+    }
+
+    /// Every slot's `(world bbox, instance)` pair, for diffing around
+    /// a snapshot restore. Tombstoned slots are `None`.
+    fn slot_states(&self) -> Vec<Option<(Option<Rect>, Instance)>> {
+        self.comp()
+            .instances
+            .iter()
+            .map(|s| {
+                s.as_ref().map(|inst| {
+                    let bb = self.lib.cell(inst.cell).ok().map(|c| inst.world_bbox(c));
+                    (bb, inst.clone())
+                })
+            })
+            .collect()
     }
 
     /// Announces a change: bumps counters, invalidates the affected
@@ -531,6 +628,12 @@ impl<'a> Editor<'a> {
         self.stats.events += 1;
         mark("core.events");
         self.cache.invalidate(&event);
+        let recorded = self.damage.recorded();
+        self.damage.record(&event);
+        if self.damage.recorded() > recorded {
+            self.stats.damage_rects += 1;
+            mark("damage.rects");
+        }
         if self.events.len() >= MAX_QUEUED_EVENTS {
             let drop = self.events.len() / 2;
             self.events.drain(..drop);
@@ -538,18 +641,77 @@ impl<'a> Editor<'a> {
         self.events.push(event);
     }
 
-    /// Takes every change event queued since the last drain. A UI can
-    /// redraw only what these touch.
+    /// Takes every change event queued since the last drain, with
+    /// duplicate per-instance change events coalesced: a compound
+    /// command that moves one instance several times yields a single
+    /// [`ChangeEvent::InstanceChanged`] spanning the first `old` box
+    /// and the last `new` box, so a UI redraws once instead of N
+    /// times. Coalescing never crosses a create/delete of the same
+    /// slot (the intervening event changes what the id denotes).
     pub fn drain_events(&mut self) -> Vec<ChangeEvent> {
-        std::mem::take(&mut self.events)
+        let events = std::mem::take(&mut self.events);
+        let mut out: Vec<ChangeEvent> = Vec::with_capacity(events.len());
+        let mut changed_at: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut coalesced = 0u64;
+        for ev in events {
+            match ev {
+                ChangeEvent::InstanceChanged { id, new, .. } => {
+                    if let Some(&slot) = changed_at.get(&id.0) {
+                        if let ChangeEvent::InstanceChanged {
+                            new: merged_new, ..
+                        } = &mut out[slot]
+                        {
+                            *merged_new = new;
+                            coalesced += 1;
+                            continue;
+                        }
+                    }
+                    changed_at.insert(id.0, out.len());
+                    out.push(ev);
+                }
+                _ => {
+                    if let Some(id) = ev.instance_id() {
+                        changed_at.remove(&id.0);
+                    }
+                    out.push(ev);
+                }
+            }
+        }
+        if coalesced > 0 {
+            self.stats.damage_coalesced += coalesced;
+            if riot_trace::enabled() {
+                riot_trace::registry()
+                    .counter("damage.coalesced")
+                    .add(coalesced);
+            }
+        }
+        out
+    }
+
+    /// Acknowledges the world-space damage accumulated since the last
+    /// call (or since the session was opened/resumed). The returned
+    /// [`Damage`] covers every world coordinate that changed in that
+    /// span — the contract incremental DRC, flatten and render rely
+    /// on. Resumed sessions start with `full` damage: the consumer's
+    /// pre-suspend derived state has no valid baseline.
+    pub fn take_damage(&mut self) -> Damage {
+        self.damage.take()
+    }
+
+    /// Whether no damage has accumulated since the last
+    /// [`Editor::take_damage`].
+    pub fn damage_is_clean(&self) -> bool {
+        self.damage.is_clean()
     }
 
     /// Engine counters: commands applied, undos, rollbacks, cache
-    /// behavior.
+    /// behavior. Cache tallies are the checkpointed totals (folded in
+    /// by [`Editor::suspend`]) plus the live cache's counts.
     pub fn stats(&self) -> Stats {
         let mut s = self.stats;
-        s.cache_hits = self.cache.hits();
-        s.cache_misses = self.cache.misses();
+        s.cache_hits += self.cache.hits();
+        s.cache_misses += self.cache.misses();
         s
     }
 

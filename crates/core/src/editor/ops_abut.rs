@@ -91,11 +91,17 @@ impl Editor<'_> {
             Side::Bottom => Point::new(tb.x0 - fb.x0, tb.y1 - fb.y0),
             Side::Top => Point::new(tb.x0 - fb.x0, tb.y0 - fb.y1),
         };
+        let old = self.world_bbox_now(from_id);
         {
             let inst = self.instance_mut(from_id)?;
             inst.transform = inst.transform.translated(d);
         }
-        self.emit(ChangeEvent::InstanceChanged(from_id));
+        let new = self.world_bbox_now(from_id);
+        self.emit(ChangeEvent::InstanceChanged {
+            id: from_id,
+            old,
+            new,
+        });
         Ok(CommandEffect {
             outcome: Outcome::None,
             undo: None,
@@ -114,11 +120,13 @@ impl Editor<'_> {
         d: Point,
         pairs: &[(WorldConnector, WorldConnector)],
     ) -> Result<(), RiotError> {
+        let old = self.world_bbox_now(from);
         {
             let inst = self.instance_mut(from)?;
             inst.transform = inst.transform.translated(d);
         }
-        self.emit(ChangeEvent::InstanceChanged(from));
+        let new = self.world_bbox_now(from);
+        self.emit(ChangeEvent::InstanceChanged { id: from, old, new });
         for (fc, tc) in pairs {
             if fc.location + d != tc.location {
                 self.warnings.push(format!(

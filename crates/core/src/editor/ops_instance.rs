@@ -73,7 +73,8 @@ impl Editor<'_> {
         let comp = self.comp_mut();
         comp.instances.push(Some(inst));
         let id = InstanceId(comp.instances.len() - 1);
-        self.emit(ChangeEvent::InstanceCreated(id));
+        let at = self.world_bbox_now(id);
+        self.emit(ChangeEvent::InstanceCreated { id, at });
         Ok(CommandEffect {
             outcome: Outcome::Instance(id),
             undo: Some(UndoRecord::PopInstance),
@@ -97,7 +98,8 @@ impl Editor<'_> {
         let comp = self.comp_mut();
         comp.instances.push(Some(inst));
         let id = InstanceId(comp.instances.len() - 1);
-        self.emit(ChangeEvent::InstanceCreated(id));
+        let at = self.world_bbox_now(id);
+        self.emit(ChangeEvent::InstanceCreated { id, at });
         Ok(id)
     }
 
@@ -119,11 +121,13 @@ impl Editor<'_> {
     ) -> Result<CommandEffect, RiotError> {
         let id = self.require_instance(instance)?;
         let prev = self.instance(id)?.transform;
+        let old = self.world_bbox_now(id);
         {
             let inst = self.instance_mut(id)?;
             inst.transform = inst.transform.translated(d);
         }
-        self.emit(ChangeEvent::InstanceChanged(id));
+        let new = self.world_bbox_now(id);
+        self.emit(ChangeEvent::InstanceChanged { id, old, new });
         Ok(CommandEffect {
             outcome: Outcome::None,
             undo: Some(UndoRecord::Transform { id, prev }),
@@ -157,12 +161,14 @@ impl Editor<'_> {
     ) -> Result<CommandEffect, RiotError> {
         let id = self.require_instance(instance)?;
         let prev = self.instance(id)?.transform;
+        let old = self.world_bbox_now(id);
         {
             let inst = self.instance_mut(id)?;
             inst.transform =
                 Transform::new(inst.transform.orient.then(orient), inst.transform.offset);
         }
-        self.emit(ChangeEvent::InstanceChanged(id));
+        let new = self.world_bbox_now(id);
+        self.emit(ChangeEvent::InstanceChanged { id, old, new });
         Ok(CommandEffect {
             outcome: Outcome::None,
             undo: Some(UndoRecord::Transform { id, prev }),
@@ -205,6 +211,7 @@ impl Editor<'_> {
             return Err(RiotError::BadReplication { cols, rows });
         }
         let id = self.require_instance(instance)?;
+        let old = self.world_bbox_now(id);
         let (prev_cols, prev_rows) = {
             let inst = self.instance_mut(id)?;
             let prev = (inst.cols, inst.rows);
@@ -212,7 +219,8 @@ impl Editor<'_> {
             inst.rows = rows;
             prev
         };
-        self.emit(ChangeEvent::InstanceChanged(id));
+        let new = self.world_bbox_now(id);
+        self.emit(ChangeEvent::InstanceChanged { id, old, new });
         Ok(CommandEffect {
             outcome: Outcome::None,
             undo: Some(UndoRecord::Replicate {
@@ -250,6 +258,7 @@ impl Editor<'_> {
             return Err(RiotError::BadReplication { cols: 0, rows: 0 });
         }
         let id = self.require_instance(instance)?;
+        let old = self.world_bbox_now(id);
         let (prev_col, prev_row) = {
             let inst = self.instance_mut(id)?;
             let prev = (inst.col_spacing, inst.row_spacing);
@@ -257,7 +266,8 @@ impl Editor<'_> {
             inst.row_spacing = row;
             prev
         };
-        self.emit(ChangeEvent::InstanceChanged(id));
+        let new = self.world_bbox_now(id);
+        self.emit(ChangeEvent::InstanceChanged { id, old, new });
         Ok(CommandEffect {
             outcome: Outcome::None,
             undo: Some(UndoRecord::Spacing {
@@ -288,6 +298,7 @@ impl Editor<'_> {
     pub(crate) fn apply_delete(&mut self, instance: &str) -> Result<CommandEffect, RiotError> {
         let id = self.require_instance(instance)?;
         let removed = Box::new(self.instance(id)?.clone());
+        let old = self.world_bbox_now(id);
         let prev_pending = self.pending.clone();
         self.comp_mut().instances[id.0] = None;
         let pending_changed = {
@@ -295,7 +306,7 @@ impl Editor<'_> {
             self.pending.retain(|p| p.from != id && p.to != id);
             self.pending.len() != before
         };
-        self.emit(ChangeEvent::InstanceDeleted(id));
+        self.emit(ChangeEvent::InstanceDeleted { id, old });
         if pending_changed {
             self.emit(ChangeEvent::PendingChanged);
         }

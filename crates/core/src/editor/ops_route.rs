@@ -125,11 +125,17 @@ impl Editor<'_> {
         let route_cell = self.lib.add_sticks_cell(sticks)?;
         self.emit(ChangeEvent::CellAdded(route_cell));
         let route_inst = self.create_internal_instance(route_cell, format!("{name}i"))?;
+        let old = self.world_bbox_now(route_inst);
         {
             let inst = self.instance_mut(route_inst)?;
             inst.transform = route_transform;
         }
-        self.emit(ChangeEvent::InstanceChanged(route_inst));
+        let new = self.world_bbox_now(route_inst);
+        self.emit(ChangeEvent::InstanceChanged {
+            id: route_inst,
+            old,
+            new,
+        });
 
         if move_from {
             // Land the from connectors on the route's top pins.
@@ -235,6 +241,7 @@ impl Editor<'_> {
         let cell_id = self.lib.add_sticks_cell(cell)?;
         self.emit(ChangeEvent::CellAdded(cell_id));
         let new_inst = self.create_internal_instance(cell_id, format!("{name}i"))?;
+        let old = self.world_bbox_now(new_inst);
         let orient = match side {
             Side::Top => Orientation::R0,
             Side::Bottom => Orientation::R180,
@@ -249,7 +256,12 @@ impl Editor<'_> {
             let inst = self.instance_mut(new_inst)?;
             inst.transform = Transform::new(orient, place);
         }
-        self.emit(ChangeEvent::InstanceChanged(new_inst));
+        let new = self.world_bbox_now(new_inst);
+        self.emit(ChangeEvent::InstanceChanged {
+            id: new_inst,
+            old,
+            new,
+        });
         Ok(CommandEffect {
             outcome: Outcome::CellInstance(cell_id, new_inst),
             undo: None,

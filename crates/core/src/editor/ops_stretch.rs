@@ -104,6 +104,9 @@ impl Editor<'_> {
 
         // Swap the instance onto the new cell ("Riot then removes the
         // old instance and inserts an instance of the new cell").
+        // The old box must be computed before the swap — it depends on
+        // the old defining cell.
+        let old = self.world_bbox_now(from);
         let new_bbox = self.lib.cell(new_cell)?.bbox;
         {
             let inst = self.instance_mut(from)?;
@@ -113,7 +116,8 @@ impl Editor<'_> {
                 inst.row_spacing = new_bbox.height();
             }
         }
-        self.emit(crate::events::ChangeEvent::InstanceChanged(from));
+        let new = self.world_bbox_now(from);
+        self.emit(crate::events::ChangeEvent::InstanceChanged { id: from, old, new });
 
         // Finish with an abutment on the (recomputed) connectors.
         let new_pairs: Vec<(WorldConnector, WorldConnector)> = self

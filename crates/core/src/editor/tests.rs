@@ -510,8 +510,12 @@ fn events_report_changes() {
     let i = ed.create_instance(gate).unwrap();
     ed.translate_instance(i, Point::new(100, 0)).unwrap();
     let events = ed.drain_events();
-    assert!(events.contains(&ChangeEvent::InstanceCreated(i)));
-    assert!(events.contains(&ChangeEvent::InstanceChanged(i)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ChangeEvent::InstanceCreated { id, .. } if *id == i)));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, ChangeEvent::InstanceChanged { id, .. } if *id == i)));
     assert!(ed.drain_events().is_empty());
 }
 
@@ -703,4 +707,155 @@ fn suspend_carries_the_fault_plan() {
     });
     assert!(matches!(err, Err(RiotError::FaultInjected(_))));
     let _ = gate;
+}
+
+// ----------------------------------------------------------------------
+// Damage regions
+// ----------------------------------------------------------------------
+
+#[test]
+fn translate_damage_covers_old_and_new_boxes() {
+    let (mut lib, gate, _) = setup();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let i = ed.create_instance(gate).unwrap();
+    let before = ed.instance_bbox(i).unwrap();
+    ed.take_damage(); // acknowledge the creation
+    ed.translate_instance(i, Point::new(500, 0)).unwrap();
+    let after = ed.instance_bbox(i).unwrap();
+    let d = ed.take_damage();
+    assert!(!d.full, "a single move must not dirty the world: {d:?}");
+    let bound = d.bounding_rect().unwrap();
+    assert_eq!(bound, before.union(after));
+    assert!(ed.take_damage().is_clean());
+    assert!(ed.stats().damage_rects >= 2); // create + move
+}
+
+#[test]
+fn simple_undo_damage_is_targeted() {
+    let (mut lib, gate, _) = setup();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let i = ed.create_instance(gate).unwrap();
+    ed.translate_instance(i, Point::new(300, 0)).unwrap();
+    let moved = ed.instance_bbox(i).unwrap();
+    ed.take_damage();
+    ed.undo().unwrap();
+    let back = ed.instance_bbox(i).unwrap();
+    let d = ed.take_damage();
+    assert!(!d.full);
+    assert_eq!(d.bounding_rect().unwrap(), moved.union(back));
+}
+
+#[test]
+fn compound_undo_damage_diffs_the_snapshot() {
+    let (mut lib, gate, driver) = setup();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let g = ed.create_instance(gate).unwrap();
+    let d1 = ed.create_instance(driver).unwrap();
+    ed.translate_instance(d1, Point::new(-2000, 0)).unwrap();
+    ed.connect(g, "A", d1, "X").unwrap();
+    let g_before = ed.instance_bbox(g).unwrap();
+    let d_before = ed.instance_bbox(d1).unwrap();
+    // Abut moves `g` onto `d1`; undoing it restores via the snapshot.
+    ed.abut(AbutOptions::default()).unwrap();
+    ed.take_damage();
+    ed.undo().unwrap();
+    let dmg = ed.take_damage();
+    assert!(
+        !dmg.full,
+        "abut undo adds no cells; its snapshot restore must diff: {dmg:?}"
+    );
+    let bound = dmg.bounding_rect().unwrap();
+    // The union of everything that moved is covered.
+    assert!(bound.union(g_before.union(d_before)) == bound.union(g_before).union(d_before));
+    let _ = d_before;
+}
+
+#[test]
+fn rollback_with_added_cells_falls_back_to_full() {
+    let (mut lib, gate, driver) = setup();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let d1 = ed.create_instance(driver).unwrap();
+    let g = ed.create_instance(gate).unwrap();
+    ed.translate_instance(g, Point::new(4000, 0)).unwrap();
+    ed.connect(g, "A", d1, "X").unwrap();
+    ed.route(RouteOptions::default()).unwrap();
+    ed.take_damage();
+    // Undoing the route removes the route cell from the menu — the
+    // targeted diff cannot describe that, so damage degrades to full.
+    ed.undo().unwrap();
+    assert!(ed.take_damage().full);
+}
+
+#[test]
+fn resume_starts_with_full_damage() {
+    let (mut lib, gate, _) = setup();
+    let cp = {
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        ed.create_instance(gate).unwrap();
+        ed.suspend()
+    };
+    let mut ed = Editor::resume(&mut lib, cp).unwrap();
+    assert!(ed.take_damage().full);
+}
+
+#[test]
+fn drain_coalesces_duplicate_instance_changes() {
+    let (mut lib, gate, _) = setup();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let i = ed.create_instance(gate).unwrap();
+    let first = ed.instance_bbox(i).unwrap();
+    ed.translate_instance(i, Point::new(100, 0)).unwrap();
+    ed.translate_instance(i, Point::new(100, 0)).unwrap();
+    ed.translate_instance(i, Point::new(100, 0)).unwrap();
+    let last = ed.instance_bbox(i).unwrap();
+    let events = ed.drain_events();
+    let changes: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            ChangeEvent::InstanceChanged { id, old, new } if *id == i => Some((*old, *new)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(changes.len(), 1, "three moves coalesce to one: {events:?}");
+    assert_eq!(changes[0].0, Some(first));
+    assert_eq!(changes[0].1, Some(last));
+    assert_eq!(ed.stats().damage_coalesced, 2);
+}
+
+#[test]
+fn coalescing_does_not_cross_a_delete() {
+    let (mut lib, gate, _) = setup();
+    let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+    let i = ed.create_instance(gate).unwrap();
+    ed.translate_instance(i, Point::new(100, 0)).unwrap();
+    ed.delete_instance(i).unwrap();
+    ed.undo().unwrap(); // restores the slot
+    ed.translate_instance(i, Point::new(100, 0)).unwrap();
+    let events = ed.drain_events();
+    let changes = events
+        .iter()
+        .filter(|e| matches!(e, ChangeEvent::InstanceChanged { id, .. } if *id == i))
+        .count();
+    assert_eq!(changes, 2, "delete/restore breaks coalescing: {events:?}");
+}
+
+#[test]
+fn checkpoint_preserves_cache_counters() {
+    let (mut lib, gate, _) = setup();
+    let cp = {
+        let mut ed = Editor::open(&mut lib, "TOP").unwrap();
+        let i = ed.create_instance(gate).unwrap();
+        let _ = ed.instance_bbox(i).unwrap(); // miss
+        let _ = ed.instance_bbox(i).unwrap(); // hit
+        ed.suspend()
+    };
+    let hits = cp.stats().cache_hits;
+    let misses = cp.stats().cache_misses;
+    assert!(hits >= 1 && misses >= 1);
+    let ed = Editor::resume(&mut lib, cp).unwrap();
+    let i = ed.find_instance("I0").unwrap();
+    let _ = ed.instance_bbox(i).unwrap(); // miss in the fresh cache
+    let s = ed.stats();
+    assert_eq!(s.cache_hits, hits);
+    assert!(s.cache_misses > misses, "resume folds, not resets");
 }

@@ -66,7 +66,7 @@ pub use command::{Command, Outcome};
 pub use connection::{PendingConnection, WorldConnector};
 pub use editor::{AbutOptions, Checkpoint, Editor, RouteOptions, StretchOptions};
 pub use error::RiotError;
-pub use events::{ChangeEvent, Stats};
+pub use events::{ChangeEvent, Damage, Stats};
 pub use fault::{
     FaultPlan, FAULT_ROUTE_SOLVE, FAULT_SERVE_ACCEPT, FAULT_SERVE_FRAME_DECODE,
     FAULT_SERVE_JOURNAL_APPEND, FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT,

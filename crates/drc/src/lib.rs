@@ -39,13 +39,16 @@
 
 #[cfg(test)]
 mod differential;
+mod incremental;
 #[cfg(any(test, feature = "naive"))]
 pub mod naive;
 mod unionfind;
 
+pub use incremental::{check_incremental, DrcState};
+
 use riot_cif::{FlatShape, Geometry};
 use riot_geom::{index::SpatialIndex, par, Layer, Rect, LAMBDA};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use unionfind::UnionFind;
 
@@ -198,8 +201,12 @@ pub(crate) fn painted_rects(shape: &FlatShape) -> Vec<Rect> {
 /// rect — and the per-layer checks run on the [`par`] worker pool
 /// (`RIOT_THREADS`). The reported violation set is identical to the
 /// retained all-pairs reference ([`naive`], compiled for tests and the
-/// `naive` feature); only cross-layer ordering differs (layers are
-/// visited in [`Layer`] order rather than first-appearance order).
+/// `naive` feature) and to the incremental checker
+/// ([`check_incremental`]); only cross-layer ordering differs (layers
+/// are visited in [`Layer`] order rather than first-appearance order).
+/// Each component pair's representative rect pair is the order-free
+/// minimum by `(measured, a, b)`, so all three paths agree shape for
+/// shape.
 pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
     let mut sp = riot_trace::span!("drc.check", shapes = shapes.len() as u64);
     // Width checks per shape.
@@ -250,12 +257,79 @@ pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
     violations
 }
 
+/// A total order key for rectangles (they carry no `Ord` themselves).
+pub(crate) fn rect_key(r: Rect) -> (i64, i64, i64, i64) {
+    (r.x0, r.y0, r.x1, r.y1)
+}
+
+/// Offers one violating rect pair as the representative for a
+/// component pair, keeping the minimum by `(measured, a, b)` with the
+/// pair normalized so `a <= b`. The chosen representative is a pure
+/// function of the *set* of violating pairs — independent of
+/// discovery order — which is what lets the incremental checker patch
+/// a retained violation set and still agree with a full recompute.
+pub(crate) fn offer_representative<K: std::hash::Hash + Eq>(
+    best: &mut HashMap<K, (i64, Rect, Rect)>,
+    key: K,
+    measured: i64,
+    a: Rect,
+    b: Rect,
+) {
+    let (a, b) = if rect_key(a) <= rect_key(b) {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    match best.entry(key) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            let (m, ca, cb) = *e.get();
+            if (measured, rect_key(a), rect_key(b)) < (m, rect_key(ca), rect_key(cb)) {
+                e.insert((measured, a, b));
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert((measured, a, b));
+        }
+    }
+}
+
+/// Emits one layer's spacing representatives in canonical order
+/// (ascending `(measured, a, b)`).
+pub(crate) fn emit_spacing<K>(
+    layer: Layer,
+    space: i64,
+    best: HashMap<K, (i64, Rect, Rect)>,
+) -> Vec<Violation> {
+    let mut list: Vec<(i64, Rect, Rect)> = best.into_values().collect();
+    list.sort_unstable_by_key(|&(m, a, b)| (m, rect_key(a), rect_key(b)));
+    list.into_iter()
+        .map(|(measured, a, b)| Violation::Spacing {
+            layer,
+            a,
+            b,
+            measured,
+            required: space,
+        })
+        .collect()
+}
+
+/// The axis gaps between two rects: `(dx, dy)`, both clamped to zero.
+/// The pair violates `space` iff `dx < space && dy < space` (and the
+/// rects belong to different components); the measured separation is
+/// `dx.max(dy)`.
+pub(crate) fn axis_gaps(a: Rect, b: Rect) -> (i64, i64) {
+    let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
+    let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
+    (dx, dy)
+}
+
 /// Spacing violations on one layer, index-driven.
 ///
 /// For every rect the index yields only its neighbors with an axis gap
-/// `< space`; neighbors are visited in ascending pair order so the
-/// representative pair reported for each component pair matches the
-/// naive all-pairs scan exactly.
+/// `< space`. One violation is reported per component pair; the
+/// representative rect pair is the order-free minimum chosen by
+/// [`offer_representative`], so the result is a pure function of the
+/// geometry.
 fn layer_spacing_violations(layer: Layer, rects: &[Rect], space: i64) -> Vec<Violation> {
     if rects.len() < 2 || space <= 0 {
         return Vec::new();
@@ -263,8 +337,7 @@ fn layer_spacing_violations(layer: Layer, rects: &[Rect], space: i64) -> Vec<Vio
     let _sp = riot_trace::span!("drc.layer", rects = rects.len() as u64);
     let index = SpatialIndex::build(rects);
     let comp = components(rects, &index);
-    let mut reported = std::collections::HashSet::new();
-    let mut violations = Vec::new();
+    let mut best: HashMap<(usize, usize), (i64, Rect, Rect)> = HashMap::new();
     let mut neighbors = Vec::new();
     for i in 0..rects.len() {
         neighbors.clear();
@@ -274,28 +347,25 @@ fn layer_spacing_violations(layer: Layer, rects: &[Rect], space: i64) -> Vec<Vio
                 continue; // one conductor
             }
             let (a, b) = (rects[i], rects[j]);
-            let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
-            let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
+            let (dx, dy) = axis_gaps(a, b);
             let measured = dx.max(dy);
             debug_assert!(dx < space && dy < space, "index over-expanded");
-            if reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j]))) {
-                violations.push(Violation::Spacing {
-                    layer,
-                    a,
-                    b,
-                    measured,
-                    required: space,
-                });
-            }
+            offer_representative(
+                &mut best,
+                (comp[i].min(comp[j]), comp[i].max(comp[j])),
+                measured,
+                a,
+                b,
+            );
         }
     }
-    violations
+    emit_spacing(layer, space, best)
 }
 
 /// Connected-component labels for touching rectangles: the index turns
 /// edge discovery from all-pairs into per-rect neighborhood queries,
 /// and the union-find uses union-by-rank + path compression.
-fn components(rects: &[Rect], index: &SpatialIndex) -> Vec<usize> {
+pub(crate) fn components(rects: &[Rect], index: &SpatialIndex) -> Vec<usize> {
     let mut uf = UnionFind::new(rects.len());
     for (i, &r) in rects.iter().enumerate() {
         for j in index.query(r) {

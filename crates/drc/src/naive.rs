@@ -1,9 +1,14 @@
 //! The retained naive (all-pairs) checker.
 //!
 //! This is the original O(n²) implementation of [`crate::check`], kept
-//! verbatim as the reference oracle: the differential property tests
-//! prove the indexed checker reports the same violation set, and the
-//! `riot-bench` spatial benchmark measures the speedup against it.
+//! as the reference oracle: the differential property tests prove the
+//! indexed and incremental checkers report the same violation set, and
+//! the `riot-bench` spatial benchmark measures the speedup against it.
+//! The only departure from the original code is the shared order-free
+//! representative rule ([`crate::offer_representative`]) — both
+//! checkers must pick per-component-pair representatives that do not
+//! depend on discovery order, or incremental patching could never
+//! reproduce them.
 //! Compiled only for tests and under the `naive` cargo feature — it is
 //! not part of the production checking path.
 
@@ -59,30 +64,27 @@ pub fn check(shapes: &[FlatShape], rules: &RuleSet) -> Vec<Violation> {
     for (layer, rects) in &by_layer {
         let space = rules.rule(*layer).expect("filtered above").min_space;
         let comp = components(rects);
-        let mut reported = std::collections::HashSet::new();
+        let mut best = std::collections::HashMap::new();
         for i in 0..rects.len() {
             for j in i + 1..rects.len() {
                 if comp[i] == comp[j] {
                     continue; // one conductor
                 }
                 let (a, b) = (rects[i], rects[j]);
-                let dx = (b.x0 - a.x1).max(a.x0 - b.x1).max(0);
-                let dy = (b.y0 - a.y1).max(a.y0 - b.y1).max(0);
+                let (dx, dy) = crate::axis_gaps(a, b);
                 let measured = dx.max(dy);
-                if dx < space
-                    && dy < space
-                    && reported.insert((comp[i].min(comp[j]), comp[i].max(comp[j])))
-                {
-                    violations.push(Violation::Spacing {
-                        layer: *layer,
+                if dx < space && dy < space {
+                    crate::offer_representative(
+                        &mut best,
+                        (comp[i].min(comp[j]), comp[i].max(comp[j])),
+                        measured,
                         a,
                         b,
-                        measured,
-                        required: space,
-                    });
+                    );
                 }
             }
         }
+        violations.extend(crate::emit_spacing(*layer, space, best));
     }
     violations
 }

@@ -51,7 +51,9 @@ pub mod viewport;
 
 pub use color::Color;
 pub use device::PaletteLut;
-pub use display_list::{render_ops_banded, DisplayList, DrawOp};
+pub use display_list::{
+    op_damage_bbox, render_ops_banded, render_ops_damaged, DisplayList, DrawOp, RenderCache,
+};
 pub use framebuffer::Framebuffer;
 pub use raster::{Band, PixelSink};
 pub use viewport::Viewport;

@@ -157,6 +157,12 @@ impl<'a> Band<'a> {
     pub fn y_start(&self) -> usize {
         self.y_start
     }
+
+    /// Fills every pixel the band owns with one color — the erase step
+    /// of a dirty-band repaint.
+    pub fn clear(&mut self, color: Color) {
+        self.rows.fill(color);
+    }
 }
 
 impl PixelSink for Band<'_> {

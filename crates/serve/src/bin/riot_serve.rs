@@ -5,6 +5,7 @@
 //! riot-serve serve --socket /tmp/riot.sock --root ./riot-serve-data
 //! riot-serve bench --addr 127.0.0.1:7117 --sessions 4 --commands 1000
 //! riot-serve bench --spawn --out BENCH_serve.json
+//! riot-serve stats --socket /tmp/riot.sock [--session NAME]
 //! riot-serve shutdown --socket /tmp/riot.sock
 //! ```
 //!
@@ -25,6 +26,7 @@ riot-serve: headless multi-session composition server (RIOTSRV1)
 USAGE:
     riot-serve serve [--addr HOST:PORT | --socket PATH] [OPTIONS]
     riot-serve bench [--addr HOST:PORT | --socket PATH | --spawn] [OPTIONS]
+    riot-serve stats (--addr HOST:PORT | --socket PATH) [--session NAME]
     riot-serve shutdown (--addr HOST:PORT | --socket PATH)
 
 SERVE OPTIONS:
@@ -41,6 +43,10 @@ BENCH OPTIONS:
     --window W         pipelined requests in flight (default 32)
     --out PATH         write the JSON report here (default: stdout only)
 
+STATS OPTIONS:
+    --session NAME     one session's engine counters (cache hit rate,
+                       damage totals) instead of the pool-wide line
+
 GLOBAL:
     -h, --help         this help
     -V, --version      print version and exit
@@ -55,6 +61,7 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => cmd_serve(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
+        Some("stats") => cmd_stats(&argv[1..]),
         Some("shutdown") => cmd_shutdown(&argv[1..]),
         Some("-h") | Some("--help") => {
             print!("{USAGE}");
@@ -243,6 +250,42 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 
 /// Alias so the spawned-server tuple above reads sanely.
 type Server2 = riot_serve::ServerHandle;
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let mut target = Target {
+        addr: None,
+        socket: None,
+    };
+    let mut session: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("`{name}` needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => target.addr = Some(value("--addr")),
+            "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
+            "--session" => session = Some(value("--session")),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let result = target.connect().and_then(|mut c| match &session {
+        Some(s) => c.stats_session(s),
+        None => c.stats(),
+    });
+    match result {
+        Ok(line) => {
+            println!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("riot-serve: stats failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn cmd_shutdown(args: &[String]) -> ExitCode {
     let mut target = Target {

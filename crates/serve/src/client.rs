@@ -180,7 +180,19 @@ impl Client {
     ///
     /// The server's error message.
     pub fn stats(&mut self) -> Result<String, String> {
-        self.call(RequestBody::Stats)
+        self.call(RequestBody::Stats { session: None })
+    }
+
+    /// `stats <session>`: the session's engine counters — commands
+    /// applied, derived-cache hit rate, and damage-region totals.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message (e.g. the session does not exist).
+    pub fn stats_session(&mut self, session: &str) -> Result<String, String> {
+        self.call(RequestBody::Stats {
+            session: Some(session.to_owned()),
+        })
     }
 
     /// `shutdown`: ask the server to drain and exit.

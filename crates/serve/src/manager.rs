@@ -60,6 +60,10 @@ pub enum JobKind {
     },
     /// Flush and evict the session.
     Close,
+    /// Report the session's engine counters (cache hit rate, damage
+    /// stats). Routed to the owning worker so it reads the same
+    /// suspended checkpoint the next `Cmd` would resume.
+    SessionStats,
     /// Testing hook: hold the worker for `ms` milliseconds.
     Stall {
         /// How long to hold the worker.
@@ -320,6 +324,18 @@ fn process_batch(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
     }
 }
 
+/// The reply detail for `stats <session>`: the editor's cumulative
+/// engine counters, one `key value` pair per field clients care about.
+fn session_stats_line(s: riot_core::Stats) -> String {
+    let rate = s
+        .cache_hit_rate()
+        .map_or("n/a".to_owned(), |r| format!("{r:.3}"));
+    format!(
+        "applied {} cache_hits {} cache_misses {} hit_rate {rate} damage_rects {} damage_coalesced {}",
+        s.applied, s.cache_hits, s.cache_misses, s.damage_rects, s.damage_coalesced
+    )
+}
+
 fn send_reply(job: &Job, body: ReplyBody) {
     let nanos = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     riot_trace::registry()
@@ -388,6 +404,21 @@ fn apply_single(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>,
                     ReplyBody::Ok("closed".to_owned())
                 }
                 None => ReplyBody::Err(format!("no such session `{}`", job.session)),
+            };
+            send_reply(job, body);
+        }
+        JobKind::SessionStats => {
+            let body = match ensure_open(cfg, sessions, &job.session, None) {
+                Ok(_) => {
+                    let entry = sessions.get(&job.session).expect("ensure_open inserted");
+                    let cp = entry
+                        .cp
+                        .as_ref()
+                        .expect("session is suspended between jobs");
+                    send_reply(job, ReplyBody::Ok(session_stats_line(cp.stats())));
+                    return;
+                }
+                Err(e) => ReplyBody::Err(e),
             };
             send_reply(job, body);
         }

@@ -297,8 +297,13 @@ pub enum RequestBody {
     },
     /// Liveness probe.
     Ping,
-    /// Live-session and queue-depth gauges.
-    Stats,
+    /// Gauges: pool-wide (`stats`) or one session's engine counters
+    /// (`stats <session>` — cache hit rate and damage-region totals).
+    Stats {
+        /// `None` for the pool-wide line; `Some` routes to the session's
+        /// worker and reads its editor counters.
+        session: Option<String>,
+    },
     /// Drain every session and stop the server.
     Shutdown,
     /// Testing hook: occupy the target session's worker for the given
@@ -330,7 +335,10 @@ impl Request {
             RequestBody::Cmd { session, line } => format!("cmd {session} {line}"),
             RequestBody::Close { session } => format!("close {session}"),
             RequestBody::Ping => "ping".to_owned(),
-            RequestBody::Stats => "stats".to_owned(),
+            RequestBody::Stats { session: None } => "stats".to_owned(),
+            RequestBody::Stats {
+                session: Some(session),
+            } => format!("stats {session}"),
             RequestBody::Shutdown => "shutdown".to_owned(),
             RequestBody::Stall { session, ms } => format!("stall {session} {ms}"),
         };
@@ -371,7 +379,11 @@ impl Request {
             },
             Some("close") => return Err("`close` wants: close <session>".into()),
             Some("ping") if f.len() == 1 => RequestBody::Ping,
-            Some("stats") if f.len() == 1 => RequestBody::Stats,
+            Some("stats") if f.len() == 1 => RequestBody::Stats { session: None },
+            Some("stats") if f.len() == 2 => RequestBody::Stats {
+                session: Some(f[1].to_owned()),
+            },
+            Some("stats") => return Err("`stats` wants: stats [<session>]".into()),
             Some("shutdown") if f.len() == 1 => RequestBody::Shutdown,
             Some("stall") if f.len() == 3 => RequestBody::Stall {
                 session: f[1].to_owned(),
@@ -572,7 +584,10 @@ mod tests {
                 session: "s1".into(),
             },
             RequestBody::Ping,
-            RequestBody::Stats,
+            RequestBody::Stats { session: None },
+            RequestBody::Stats {
+                session: Some("s1".into()),
+            },
             RequestBody::Shutdown,
             RequestBody::Stall {
                 session: "s1".into(),

@@ -300,7 +300,12 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) 
     };
     match req.body {
         RequestBody::Ping => reply_now(ReplyBody::Ok("pong".to_owned())),
-        RequestBody::Stats => reply_now(ReplyBody::Ok(shared.mgr.stats_line())),
+        RequestBody::Stats { session: None } => reply_now(ReplyBody::Ok(shared.mgr.stats_line())),
+        RequestBody::Stats {
+            session: Some(session),
+        } => {
+            dispatch(shared, reply_tx, req.id, &session, JobKind::SessionStats);
+        }
         RequestBody::Shutdown => {
             shared.stop.store(true, Ordering::Relaxed);
             wake_acceptor(&shared.bound);
@@ -386,6 +391,29 @@ mod tests {
         assert_eq!(c.shutdown_server().unwrap(), "draining");
         h.wait();
         assert!(!sock.exists(), "socket file removed on drain");
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn session_stats_report_engine_counters() {
+        let root = tmp_root("sstats");
+        let h = Server::start(test_cfg(&root), &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut c = Client::connect(&h.addr()).unwrap();
+        assert_eq!(c.open("st1", "TOP").unwrap(), "created");
+        assert_eq!(c.cmd("st1", "create nand2 A").unwrap(), "instance 0");
+        assert_eq!(c.cmd("st1", "translate A 5000 0").unwrap(), "done");
+        let line = c.stats_session("st1").unwrap();
+        assert!(line.contains("applied 2"), "{line}");
+        assert!(line.contains("cache_hits"), "{line}");
+        assert!(line.contains("hit_rate"), "{line}");
+        assert!(line.contains("damage_rects"), "{line}");
+        assert!(line.contains("damage_coalesced"), "{line}");
+        // The pool-wide line still answers the bare verb.
+        assert!(c.stats().unwrap().contains("sessions"), "pool-wide stats");
+        // A session that was never opened is an error, not a panic.
+        let err = c.stats_session("never-opened").unwrap_err();
+        assert!(err.contains("no such session"), "{err}");
+        h.shutdown();
         let _ = std::fs::remove_dir_all(root);
     }
 

@@ -106,9 +106,10 @@ proptest! {
         for body in [
             RequestBody::Open { session: session.clone(), cell: "TOP".to_owned() },
             RequestBody::Cmd { session: session.clone(), line },
+            RequestBody::Stats { session: Some(session.clone()) },
             RequestBody::Close { session },
             RequestBody::Ping,
-            RequestBody::Stats,
+            RequestBody::Stats { session: None },
             RequestBody::Shutdown,
         ] {
             let req = Request { id, body };

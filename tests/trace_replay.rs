@@ -186,4 +186,61 @@ fn replay_emits_a_span_per_journaled_command_kind() {
             "no span record named {name}; have {pipeline_spans:?}"
         );
     }
+
+    // Damage-path metrics: every recorded damage rect marks
+    // `damage.rects`, duplicate instance edits drained together bump
+    // `damage.coalesced`, and an incremental DRC patch records its
+    // refreshed-pair count in the `drc.incremental.patched` histogram.
+    riot::trace::enable(true);
+    {
+        let mut lib = standard_library();
+        let sr = lib.find("shiftcell").unwrap();
+        let mut ed = Editor::open(&mut lib, "DAMAGE").unwrap();
+        let a = ed.create_instance(sr).unwrap();
+        ed.translate_instance(a, Point::new(2 * LAMBDA, 0)).unwrap();
+        ed.translate_instance(a, Point::new(2 * LAMBDA, 0)).unwrap();
+        let events = ed.drain_events();
+        assert!(!events.is_empty(), "edits queued change events");
+        assert!(!ed.take_damage().is_clean(), "edits recorded damage");
+    }
+    let before = riot::cif::flatten(
+        &riot::cif::parse("DS 1;L NM;B 400 250 200 125;B 400 250 200 1200;DF;C 1 T 0 0;E")
+            .expect("fixture parses"),
+    )
+    .expect("flatten before");
+    let after = riot::cif::flatten(
+        &riot::cif::parse("DS 1;L NM;B 400 250 700 125;B 400 250 200 1200;DF;C 1 T 0 0;E")
+            .expect("fixture parses"),
+    )
+    .expect("flatten after");
+    let rules = riot::drc::RuleSet::nmos();
+    let mut state = riot::drc::DrcState::build(&before, &rules);
+    let dirty = [
+        before[0].geometry.bounding_box(),
+        after[0].geometry.bounding_box(),
+    ];
+    riot::drc::check_incremental(&mut state, &dirty, &after);
+    riot::trace::enable(false);
+
+    let counters: std::collections::HashMap<String, u64> =
+        riot::trace::registry().counters().into_iter().collect();
+    for name in ["damage.rects", "damage.coalesced"] {
+        assert!(
+            counters.get(name).copied().unwrap_or(0) > 0,
+            "counter {name} never incremented; have {:?}",
+            counters.keys()
+        );
+    }
+    let hists: std::collections::HashMap<String, _> =
+        riot::trace::registry().histograms().into_iter().collect();
+    let patched = hists.get("drc.incremental.patched").unwrap_or_else(|| {
+        panic!(
+            "no drc.incremental.patched histogram; have {:?}",
+            hists.keys()
+        )
+    });
+    assert!(
+        patched.count() >= 1,
+        "incremental DRC recorded no patch sizes"
+    );
 }
