@@ -2,7 +2,7 @@
 //! per-command-kind latency.
 //!
 //! ```text
-//! riot-profile <journal.replay> [--json PATH] [--chrome PATH]
+//! riot-profile <journal.replay> [--json-out PATH] [--chrome PATH]
 //! riot-profile gen [PATH]
 //! ```
 //!
@@ -185,7 +185,7 @@ fn profile_json(rows: &[KindRow]) -> String {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: riot-profile <journal.replay> [--json PATH] [--chrome PATH]\n       riot-profile gen [PATH]"
+        "usage: riot-profile <journal.replay> [--json-out PATH] [--chrome PATH]\n       riot-profile gen [PATH]"
     );
     ExitCode::from(2)
 }
@@ -226,7 +226,7 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => match it.next() {
+            "--json" | "--json-out" => match it.next() {
                 Some(p) => json_path = p.clone(),
                 None => return usage(),
             },

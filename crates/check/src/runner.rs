@@ -582,6 +582,25 @@ pub fn lockstep_replay(lib: &mut Library, cmds: &[Command]) -> Result<usize, Str
     Ok(n)
 }
 
+/// [`lockstep_replay`] over text command lines — the form a flight
+/// recorder dump or a WAL tail carries. Each line is parsed with the
+/// replay grammar before the lockstep check runs; the line number in
+/// a parse error is 1-based.
+///
+/// # Errors
+///
+/// The first parse failure or lockstep divergence.
+pub fn lockstep_replay_lines(lib: &mut Library, lines: &[String]) -> Result<usize, String> {
+    let mut cmds = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        cmds.push(
+            riot_core::parse_command_line(line, i + 1)
+                .map_err(|e| format!("line {} `{line}`: {e}", i + 1))?,
+        );
+    }
+    lockstep_replay(lib, &cmds)
+}
+
 /// Replays a fixed command list under the same protocol (the shrinking
 /// predicate). Faults and crash fuzzing re-derive from `cfg.seed`, so
 /// replaying an unshrunk failure history reproduces it exactly.

@@ -6,6 +6,8 @@
 //! riot-serve bench --addr 127.0.0.1:7117 --sessions 4 --commands 1000
 //! riot-serve bench --spawn --out BENCH_serve.json
 //! riot-serve stats --socket /tmp/riot.sock [--session NAME]
+//! riot-serve telemetry --socket /tmp/riot.sock [--json]
+//! riot-serve dump --socket /tmp/riot.sock
 //! riot-serve shutdown --socket /tmp/riot.sock
 //! ```
 //!
@@ -16,17 +18,22 @@
 //! the zero-setup path CI uses. The report is schema-validated before
 //! a single number is printed or written.
 
-use riot_serve::{run_bench, BenchConfig, Bind, BoundAddr, Client, ServeConfig, Server};
+use riot_serve::{
+    run_bench, BenchConfig, Bind, BoundAddr, Client, ServeConfig, Server, TelemetryFormat,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
-riot-serve: headless multi-session composition server (RIOTSRV1)
+riot-serve: headless multi-session composition server (RIOTSRV2)
 
 USAGE:
     riot-serve serve [--addr HOST:PORT | --socket PATH] [OPTIONS]
     riot-serve bench [--addr HOST:PORT | --socket PATH | --spawn] [OPTIONS]
     riot-serve stats (--addr HOST:PORT | --socket PATH) [--session NAME]
+    riot-serve telemetry (--addr HOST:PORT | --socket PATH) [--json]
+    riot-serve dump (--addr HOST:PORT | --socket PATH)
     riot-serve shutdown (--addr HOST:PORT | --socket PATH)
 
 SERVE OPTIONS:
@@ -35,6 +42,10 @@ SERVE OPTIONS:
     --root DIR         WAL directory (default ./riot-serve-data)
     --threads N        worker threads (default: RIOT_SERVE_THREADS or
                        machine parallelism, clamped to 1..=64)
+    --telemetry-addr HOST:PORT
+                       serve /metrics, /metrics.json, /flightrec and
+                       /healthz over HTTP on this address
+    --slow-ms MS       slow-command log threshold (default 100)
 
 BENCH OPTIONS:
     --spawn            start a private Unix-socket server for the run
@@ -46,6 +57,9 @@ BENCH OPTIONS:
 STATS OPTIONS:
     --session NAME     one session's engine counters (cache hit rate,
                        damage totals) instead of the pool-wide line
+
+TELEMETRY OPTIONS:
+    --json             JSON snapshot instead of Prometheus text
 
 GLOBAL:
     -h, --help         this help
@@ -62,6 +76,8 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("stats") => cmd_stats(&argv[1..]),
+        Some("telemetry") => cmd_telemetry(&argv[1..]),
+        Some("dump") => cmd_dump(&argv[1..]),
         Some("shutdown") => cmd_shutdown(&argv[1..]),
         Some("-h") | Some("--help") => {
             print!("{USAGE}");
@@ -111,6 +127,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     };
     let mut root = PathBuf::from("./riot-serve-data");
     let mut threads = 0usize;
+    let mut telemetry_addr: Option<String> = None;
+    let mut slow_ms = 100u64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -127,11 +145,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     .parse()
                     .unwrap_or_else(|_| fail("`--threads` wants an integer"));
             }
+            "--telemetry-addr" => telemetry_addr = Some(value("--telemetry-addr")),
+            "--slow-ms" => {
+                slow_ms = value("--slow-ms")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--slow-ms` wants an integer"));
+            }
             other => fail(&format!("unknown flag `{other}`")),
         }
     }
     let mut cfg = ServeConfig::new(root);
     cfg.threads = threads;
+    cfg.telemetry_addr = telemetry_addr;
+    cfg.slow_threshold = Duration::from_millis(slow_ms);
     let bind = target.bind_or_default();
     let handle = match Server::start(cfg, &bind) {
         Ok(h) => h,
@@ -141,6 +167,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         }
     };
     eprintln!("riot-serve: listening on {}", handle.addr());
+    if let Some(t) = handle.telemetry_addr() {
+        eprintln!("riot-serve: telemetry on http://{t}/metrics");
+    }
     handle.wait();
     eprintln!("riot-serve: drained");
     riot_trace::dump_from_env();
@@ -282,6 +311,68 @@ fn cmd_stats(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("riot-serve: stats failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_telemetry(args: &[String]) -> ExitCode {
+    let mut target = Target {
+        addr: None,
+        socket: None,
+    };
+    let mut format = TelemetryFormat::Prometheus;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("`{name}` needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => target.addr = Some(value("--addr")),
+            "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
+            "--json" => format = TelemetryFormat::Json,
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    match target.connect().and_then(|mut c| c.telemetry(format)) {
+        Ok(snapshot) => {
+            println!("{snapshot}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("riot-serve: telemetry failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_dump(args: &[String]) -> ExitCode {
+    let mut target = Target {
+        addr: None,
+        socket: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("`{name}` needs a value")))
+        };
+        match flag.as_str() {
+            "--addr" => target.addr = Some(value("--addr")),
+            "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    match target.connect().and_then(|mut c| c.dump()) {
+        Ok(path) => {
+            println!("{path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("riot-serve: dump failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,5 +1,6 @@
-//! A small blocking client for the `RIOTSRV1` protocol, used by the
-//! CLI, the bench load generator and the integration tests.
+//! A small blocking client for the `RIOTSRV1`/`RIOTSRV2` protocol,
+//! used by the CLI, the bench load generator and the integration
+//! tests.
 //!
 //! Two styles compose:
 //!
@@ -9,11 +10,19 @@
 //!   [`Client::recv`] pulls replies in order. The server guarantees
 //!   per-session FIFO, so a pipelining client sees its ids echo back
 //!   in submission order.
+//!
+//! [`Client::connect`] announces `RIOTSRV2` and downgrades cleanly if
+//! the server echoes v1; [`Client::connect_v1`] pins the old dialect
+//! (compat tests, old servers). On a v2 connection,
+//! [`Client::send_traced`] attaches a [`TraceContext`] so the server
+//! continues the caller's trace through its own spans.
 
 use crate::net::{BoundAddr, Stream};
 use crate::proto::{
-    handshake_client, read_frame, write_frame, ProtoError, Reply, ReplyBody, Request, RequestBody,
+    handshake_client, handshake_client_v2, read_frame, write_frame, ProtoError, ProtoVersion,
+    Reply, ReplyBody, Request, RequestBody, TelemetryFormat,
 };
+use riot_trace::TraceContext;
 use std::io::Write;
 use std::path::Path;
 use std::time::Duration;
@@ -23,10 +32,12 @@ use std::time::Duration;
 pub struct Client {
     stream: Stream,
     next_id: u64,
+    version: ProtoVersion,
 }
 
 impl Client {
-    /// Connects and handshakes.
+    /// Connects and handshakes (v2, degrading to v1 if the server
+    /// insists).
     ///
     /// # Errors
     ///
@@ -54,9 +65,35 @@ impl Client {
         Client::finish(Stream::connect_unix(path)?)
     }
 
-    fn finish(mut stream: Stream) -> Result<Client, ProtoError> {
+    /// Connects speaking strictly `RIOTSRV1` — what a pre-revision
+    /// client does. Trace contexts are silently dropped on this
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Connect or handshake failures.
+    pub fn connect_v1(addr: &BoundAddr) -> Result<Client, ProtoError> {
+        let mut stream = Stream::connect(addr)?;
         handshake_client(&mut stream)?;
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client {
+            stream,
+            next_id: 1,
+            version: ProtoVersion::V1,
+        })
+    }
+
+    fn finish(mut stream: Stream) -> Result<Client, ProtoError> {
+        let version = handshake_client_v2(&mut stream)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            version,
+        })
+    }
+
+    /// The protocol revision this connection negotiated.
+    pub fn version(&self) -> ProtoVersion {
+        self.version
     }
 
     /// Sets the socket read timeout (`None` blocks forever).
@@ -75,10 +112,23 @@ impl Client {
     ///
     /// Socket write failures.
     pub fn send(&mut self, body: RequestBody) -> Result<u64, ProtoError> {
+        self.send_traced(body, TraceContext::NONE)
+    }
+
+    /// Queues one request carrying a trace context, so the server's
+    /// decode/queue/apply/flush spans join the caller's trace. On a v1
+    /// connection the context is dropped (the old wire form has
+    /// nowhere to put it).
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn send_traced(&mut self, body: RequestBody, ctx: TraceContext) -> Result<u64, ProtoError> {
         let id = self.next_id;
         self.next_id += 1;
         let req = Request { id, body };
-        write_frame(&mut self.stream, &req.encode())?;
+        let trace = if ctx.is_none() { None } else { Some(ctx) };
+        write_frame(&mut self.stream, &req.encode_versioned(self.version, trace))?;
         self.stream.flush()?;
         Ok(id)
     }
@@ -152,6 +202,47 @@ impl Client {
             session: session.to_owned(),
             line: line.to_owned(),
         })
+    }
+
+    /// `cmd <session> <line>` with a trace context attached: the
+    /// pipelined form tests and traced tools use. Returns the request
+    /// id; pull the reply with [`Client::recv`].
+    ///
+    /// # Errors
+    ///
+    /// Socket write failures.
+    pub fn cmd_traced(
+        &mut self,
+        session: &str,
+        line: &str,
+        ctx: TraceContext,
+    ) -> Result<u64, ProtoError> {
+        self.send_traced(
+            RequestBody::Cmd {
+                session: session.to_owned(),
+                line: line.to_owned(),
+            },
+            ctx,
+        )
+    }
+
+    /// `telemetry [prom|json]`: a metrics snapshot over the wire.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn telemetry(&mut self, format: TelemetryFormat) -> Result<String, String> {
+        self.call(RequestBody::Telemetry { format })
+    }
+
+    /// `dump`: write the flight recorder to a file under the server
+    /// root; returns the path.
+    ///
+    /// # Errors
+    ///
+    /// The server's error message.
+    pub fn dump(&mut self) -> Result<String, String> {
+        self.call(RequestBody::Dump)
     }
 
     /// `close <session>`: flush the WAL and evict the session.

@@ -8,6 +8,7 @@
 //! that decision lives in the binary, not here).
 
 use crate::fault::ServeFaults;
+use crate::flightrec::FlightRecorder;
 use riot_core::Library;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -83,6 +84,19 @@ pub struct ServeConfig {
     pub library: LibraryFactory,
     /// Fault injection for the request path (disarmed by default).
     pub faults: ServeFaults,
+    /// `host:port` for the telemetry HTTP listener (`/metrics`,
+    /// `/metrics.json`, `/flightrec`, `/healthz`). `None` (the
+    /// default) starts no listener; the `telemetry` wire verb works
+    /// regardless.
+    pub telemetry_addr: Option<String>,
+    /// Commands slower than this (enqueue → reply) are logged with
+    /// decomposed phase timings and recorded in the flight recorder.
+    pub slow_threshold: Duration,
+    /// The always-on flight recorder: shared with every worker and
+    /// connection thread, dumped on panic, fault trip, or the `dump`
+    /// wire verb. Replace with `Arc::new(FlightRecorder::new(cap))` to
+    /// change the ring size (default 4096 events).
+    pub flightrec: Arc<FlightRecorder>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -96,6 +110,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("idle_timeout", &self.idle_timeout)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
+            .field("telemetry_addr", &self.telemetry_addr)
+            .field("slow_threshold", &self.slow_threshold)
             .finish_non_exhaustive()
     }
 }
@@ -103,7 +119,9 @@ impl std::fmt::Debug for ServeConfig {
 impl ServeConfig {
     /// Defaults for `root`: 0 (auto) threads, 256-job inboxes, 64
     /// commands per batch, 20 ms ticks, 60 s idle eviction, 30 s
-    /// socket timeouts, the [`standard_library`], no faults.
+    /// socket timeouts, the [`standard_library`], no faults, no
+    /// telemetry listener, a 100 ms slow-command threshold, and a
+    /// 4096-event flight recorder.
     pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             root: root.into(),
@@ -116,6 +134,9 @@ impl ServeConfig {
             write_timeout: Duration::from_secs(30),
             library: Arc::new(standard_library),
             faults: ServeFaults::none(),
+            telemetry_addr: None,
+            slow_threshold: Duration::from_millis(100),
+            flightrec: Arc::new(FlightRecorder::new(4096)),
         }
     }
 

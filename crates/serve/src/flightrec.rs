@@ -1,0 +1,440 @@
+//! The flight recorder: an always-on bounded ring of recent protocol
+//! and session events, dumped to a JSONL file when something goes
+//! wrong.
+//!
+//! Unlike riot-trace spans (off by default, sampled into a global
+//! ring), the flight recorder is **always on** and deliberately tiny:
+//! one event per frame-level incident, applied command, fault trip, or
+//! session crash, capped at the size given to [`FlightRecorder::new`]
+//! (4096 events in the [`crate::ServeConfig`] default).
+//! Its purpose is forensic: when a worker panics, a fault trips, or an
+//! operator sends the `dump` wire verb, the recent tail is written to
+//! `<root>/flightrec-<unix-secs>-<n>.jsonl` — and because command
+//! events carry the exact replay-syntax line plus its ok/err outcome,
+//! riot-check's lockstep harness can replay the acknowledged tail and
+//! prove (or disprove) that the engine state leading up to the crash
+//! was model-equivalent.
+//!
+//! # Dump schema
+//!
+//! One JSON object per line:
+//!
+//! ```json
+//! {"seq":12,"t_ns":1723116742000000000,"worker":1,"session":"s1",
+//!  "kind":"cmd","detail":"create nand2 A","ok":true,"trace":317}
+//! ```
+//!
+//! `kind` is one of `open`, `cmd`, `fault`, `crash`, `slow`. For
+//! `open` events `detail` is the WAL head line (`edit <cell>`), so the
+//! `open`+ok-`cmd` subsequence of a dump is itself a valid replay.
+
+use riot_trace::json::Value;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// What a flight-recorder event witnessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A session was created or recovered; `detail` is the WAL head
+    /// line (`edit <cell>`).
+    Open,
+    /// A command was applied (or refused); `detail` is the replay
+    /// line, `ok` the outcome.
+    Cmd,
+    /// A fault-injection site tripped; `detail` names the site.
+    Fault,
+    /// A session crashed (torn WAL record / failed flush / panic);
+    /// `detail` describes the cause.
+    Crash,
+    /// A command exceeded the slow threshold; `detail` carries the
+    /// decomposed phase timings.
+    Slow,
+}
+
+impl FlightKind {
+    /// The stable wire name of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::Open => "open",
+            FlightKind::Cmd => "cmd",
+            FlightKind::Fault => "fault",
+            FlightKind::Crash => "crash",
+            FlightKind::Slow => "slow",
+        }
+    }
+
+    /// Parses a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<FlightKind> {
+        Some(match s {
+            "open" => FlightKind::Open,
+            "cmd" => FlightKind::Cmd,
+            "fault" => FlightKind::Fault,
+            "crash" => FlightKind::Crash,
+            "slow" => FlightKind::Slow,
+            _ => return None,
+        })
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone per-recorder sequence number (gaps mean eviction).
+    pub seq: u64,
+    /// Wall-clock nanoseconds since the Unix epoch.
+    pub t_ns: u64,
+    /// Index of the worker that recorded the event (0 for
+    /// connection-level events).
+    pub worker: u64,
+    /// Session the event concerns (empty for server-wide events).
+    pub session: String,
+    /// What happened.
+    pub kind: FlightKind,
+    /// Kind-specific payload (see module docs).
+    pub detail: String,
+    /// Whether the witnessed operation succeeded.
+    pub ok: bool,
+    /// Trace id of the request that caused the event (0 = untraced).
+    pub trace: u64,
+}
+
+struct Ring {
+    buf: VecDeque<FlightEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A bounded, always-on event ring. Cheap enough to leave running: one
+/// short mutex hold and one small allocation per recorded event.
+pub struct FlightRecorder {
+    cap: usize,
+    inner: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("cap", &self.cap)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+fn unix_nanos() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` events (min 16).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap: cap.max(16),
+            inner: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(64),
+                next_seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(
+        &self,
+        worker: u64,
+        session: &str,
+        kind: FlightKind,
+        detail: impl Into<String>,
+        ok: bool,
+        trace: u64,
+    ) {
+        let mut r = self.inner.lock().expect("flightrec lock");
+        if r.buf.len() >= self.cap {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        r.buf.push_back(FlightEvent {
+            seq,
+            t_ns: unix_nanos(),
+            worker,
+            session: session.to_owned(),
+            kind,
+            detail: detail.into(),
+            ok,
+            trace,
+        });
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.inner
+            .lock()
+            .expect("flightrec lock")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("flightrec lock").buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("flightrec lock").dropped
+    }
+
+    /// The ring rendered as JSONL (one event object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.snapshot() {
+            let _ = writeln!(
+                out,
+                "{{\"seq\":{},\"t_ns\":{},\"worker\":{},\"session\":\"{}\",\"kind\":\"{}\",\"detail\":\"{}\",\"ok\":{},\"trace\":{}}}",
+                ev.seq,
+                ev.t_ns,
+                ev.worker,
+                riot_trace::export::escape_json(&ev.session),
+                ev.kind.as_str(),
+                riot_trace::export::escape_json(&ev.detail),
+                ev.ok,
+                ev.trace,
+            );
+        }
+        out
+    }
+
+    /// Writes the ring to `<dir>/flightrec-<unix-secs>-<n>.jsonl` and
+    /// returns the path. `n` is a process-wide counter, so concurrent
+    /// dumps never collide.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures (directory missing, disk full…).
+    pub fn dump_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        static DUMP_N: AtomicU64 = AtomicU64::new(0);
+        let n = DUMP_N.fetch_add(1, Ordering::Relaxed);
+        let secs = unix_nanos() / 1_000_000_000;
+        let path = dir.join(format!("flightrec-{secs}-{n}.jsonl"));
+        std::fs::write(&path, self.to_jsonl())?;
+        riot_trace::registry()
+            .counter("serve.flightrec.dumps")
+            .inc();
+        Ok(path)
+    }
+
+    /// Parses a dump (the [`FlightRecorder::to_jsonl`] form) back into
+    /// events. Used by riot-check's replay path and the tests.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed line, with its line number.
+    pub fn parse_dump(text: &str) -> Result<Vec<FlightEvent>, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Value::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let num = |key: &str| -> Result<u64, String> {
+                v.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or(format!("line {}: missing u64 `{key}`", lineno + 1))
+            };
+            let s = |key: &str| -> Result<String, String> {
+                v.get(key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or(format!("line {}: missing string `{key}`", lineno + 1))
+            };
+            let kind_name = s("kind")?;
+            events.push(FlightEvent {
+                seq: num("seq")?,
+                t_ns: num("t_ns")?,
+                worker: num("worker")?,
+                session: s("session")?,
+                kind: FlightKind::parse(&kind_name)
+                    .ok_or(format!("line {}: unknown kind `{kind_name}`", lineno + 1))?,
+                detail: s("detail")?,
+                ok: v
+                    .get("ok")
+                    .and_then(Value::as_bool)
+                    .ok_or(format!("line {}: missing bool `ok`", lineno + 1))?,
+                trace: num("trace")?,
+            });
+        }
+        Ok(events)
+    }
+
+    /// The replayable tail for `session`: the head line of its most
+    /// recent `open` event followed by every *acknowledged* command
+    /// line after it, in order — exactly what riot-check's lockstep
+    /// harness wants.
+    pub fn replay_lines(events: &[FlightEvent], session: &str) -> Vec<String> {
+        let mut lines = Vec::new();
+        for ev in events.iter().filter(|e| e.session == session) {
+            match ev.kind {
+                FlightKind::Open => {
+                    // A re-open restarts the tail: the dump's later
+                    // commands apply to the recovered state.
+                    lines.clear();
+                    lines.push(ev.detail.clone());
+                }
+                FlightKind::Cmd if ev.ok => lines.push(ev.detail.clone()),
+                _ => {}
+            }
+        }
+        lines
+    }
+}
+
+type PanicTargets = Mutex<Vec<(PathBuf, Weak<FlightRecorder>)>>;
+
+fn panic_targets() -> &'static PanicTargets {
+    static TARGETS: OnceLock<PanicTargets> = OnceLock::new();
+    TARGETS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers `rec` to be dumped into `root` if the process panics.
+/// Installs the process-wide panic hook on first use (chaining the
+/// previous hook, so default backtraces still print). Holding only a
+/// [`Weak`] means a stopped server's recorder is skipped, not kept
+/// alive.
+pub fn register_panic_dump(root: &Path, rec: &Arc<FlightRecorder>) {
+    static INSTALL: OnceLock<()> = OnceLock::new();
+    INSTALL.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(mut targets) = panic_targets().lock() {
+                targets.retain(|(root, weak)| match weak.upgrade() {
+                    Some(rec) => {
+                        if !rec.is_empty() {
+                            if let Ok(path) = rec.dump_to(root) {
+                                eprintln!(
+                                    "riot-serve: panic — flight recorder dumped to {}",
+                                    path.display()
+                                );
+                            }
+                        }
+                        true
+                    }
+                    None => false,
+                });
+            }
+            prev(info);
+        }));
+    });
+    let mut targets = panic_targets().lock().expect("panic targets lock");
+    targets.retain(|(_, weak)| weak.strong_count() > 0);
+    targets.push((root.to_owned(), Arc::downgrade(rec)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_sequenced() {
+        let rec = FlightRecorder::new(16); // min cap
+        for i in 0..20u64 {
+            rec.record(1, "s", FlightKind::Cmd, format!("line {i}"), true, 7);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 16);
+        assert_eq!(rec.dropped(), 4);
+        assert_eq!(events.first().unwrap().seq, 4, "oldest evicted first");
+        assert_eq!(events.last().unwrap().seq, 19);
+        assert!(events.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let rec = FlightRecorder::new(64);
+        rec.record(0, "alpha", FlightKind::Open, "edit TOP", true, 11);
+        rec.record(2, "alpha", FlightKind::Cmd, "create nand2 \"A\"", true, 11);
+        rec.record(
+            2,
+            "alpha",
+            FlightKind::Fault,
+            "serve.journal.append",
+            false,
+            0,
+        );
+        rec.record(2, "alpha", FlightKind::Crash, "torn record", false, 11);
+        let parsed = FlightRecorder::parse_dump(&rec.to_jsonl()).unwrap();
+        assert_eq!(parsed, rec.snapshot());
+    }
+
+    #[test]
+    fn replay_lines_take_acknowledged_tail_after_last_open() {
+        let rec = FlightRecorder::new(64);
+        rec.record(0, "s", FlightKind::Open, "edit TOP", true, 0);
+        rec.record(0, "s", FlightKind::Cmd, "create nand2 A", true, 0);
+        rec.record(0, "s", FlightKind::Cmd, "create bogus B", false, 0);
+        rec.record(0, "other", FlightKind::Cmd, "create nand2 Z", true, 0);
+        rec.record(0, "s", FlightKind::Crash, "torn", false, 0);
+        rec.record(0, "s", FlightKind::Open, "edit TOP", true, 0);
+        rec.record(0, "s", FlightKind::Cmd, "create nand2 C", true, 0);
+        let lines = FlightRecorder::replay_lines(&rec.snapshot(), "s");
+        assert_eq!(lines, ["edit TOP", "create nand2 C"], "tail after re-open");
+    }
+
+    #[test]
+    fn dump_writes_a_parseable_file() {
+        let dir = std::env::temp_dir().join(format!("riot-flightrec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = FlightRecorder::new(32);
+        rec.record(3, "d", FlightKind::Slow, "total=9ms queue=1ms", true, 5);
+        let path = rec.dump_to(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("flightrec-"));
+        let parsed = FlightRecorder::parse_dump(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].kind, FlightKind::Slow);
+        assert_eq!(parsed[0].worker, 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn panic_hook_dumps_registered_recorders() {
+        let dir = std::env::temp_dir().join(format!("riot-flightrec-panic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = Arc::new(FlightRecorder::new(32));
+        rec.record(1, "p", FlightKind::Crash, "about to panic", false, 0);
+        register_panic_dump(&dir, &rec);
+        let res = std::thread::Builder::new()
+            .name("flightrec-panicker".into())
+            .spawn(|| panic!("deliberate test panic"))
+            .unwrap()
+            .join();
+        assert!(res.is_err(), "thread panicked as arranged");
+        let dumps: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_str().unwrap().starts_with("flightrec-"))
+            .collect();
+        assert!(!dumps.is_empty(), "panic hook wrote a dump");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -14,6 +14,9 @@
 //!   and the tests
 //! * [`bench`] — the load generator behind `riot-serve bench`
 //! * [`fault`] — request-path fault injection
+//! * [`flightrec`] — the always-on bounded ring of recent events,
+//!   dumped on panic, crash or the `dump` verb
+//! * [`telemetry`] — the `--telemetry-addr` HTTP scrape endpoint
 //!
 //! The durability contract, in one line: **an `ok` reply is released
 //! only after the command's journal record is flushed to the
@@ -25,21 +28,26 @@ pub mod bench;
 pub mod client;
 pub mod config;
 pub mod fault;
+pub mod flightrec;
 pub mod manager;
 pub mod net;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
 pub use bench::{run_bench, BenchConfig, BenchReport};
 pub use client::Client;
 pub use config::{resolve_threads, standard_library, LibraryFactory, ServeConfig};
 pub use fault::ServeFaults;
+pub use flightrec::{FlightEvent, FlightKind, FlightRecorder};
 pub use manager::{JobKind, SessionManager};
 pub use net::{Bind, BoundAddr, Listener, Stream};
 pub use proto::{
-    decode_frame_eof, encode_frame, read_frame, scan_frame, valid_session_name, write_frame,
-    FrameCorruption, FrameScan, ProtoError, Reply, ReplyBody, Request, RequestBody, SRV_MAGIC,
+    decode_frame_eof, encode_frame, handshake_client_v2, read_frame, scan_frame,
+    valid_session_name, write_frame, FrameCorruption, FrameScan, ProtoError, ProtoVersion, Reply,
+    ReplyBody, Request, RequestBody, TelemetryFormat, SRV_MAGIC, SRV_MAGIC_V2,
 };
 pub use server::{Server, ServerHandle};
 pub use session::{wal_path, OpenKind, SessionEntry};
+pub use telemetry::TelemetryServer;

@@ -32,9 +32,11 @@
 //! `cmd` or `open` transparently recovers them from the WAL.
 
 use crate::config::ServeConfig;
+use crate::flightrec::FlightKind;
 use crate::proto::{Reply, ReplyBody};
 use crate::session::{execute_line, OpenKind, SessionEntry};
 use riot_core::{Editor, FAULT_SERVE_JOURNAL_APPEND};
+use riot_trace::TraceContext;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -76,8 +78,14 @@ struct Job {
     session: String,
     kind: JobKind,
     id: u64,
+    /// The client's trace context ([`TraceContext::NONE`] for v1
+    /// connections): every server-side span for this job continues it.
+    trace: TraceContext,
     reply_tx: Sender<Reply>,
     enqueued: Instant,
+    /// Nanoseconds spent queued (stamped when the worker drains the
+    /// job; feeds the slow-command log's phase decomposition).
+    queue_ns: u64,
 }
 
 /// Shared live counters the manager exposes without a worker
@@ -130,7 +138,7 @@ impl SessionManager {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("riot-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&cfg, &rx, &shared))
+                    .spawn(move || worker_loop(&cfg, &rx, &shared, w as u64))
                     .expect("spawn worker"),
             );
         }
@@ -161,14 +169,17 @@ impl SessionManager {
         session: &str,
         kind: JobKind,
         id: u64,
+        trace: TraceContext,
         reply_tx: Sender<Reply>,
     ) -> Result<(), ReplyBody> {
         let job = Job {
             session: session.to_owned(),
             kind,
             id,
+            trace,
             reply_tx,
             enqueued: Instant::now(),
+            queue_ns: 0,
         };
         let shard = self.shard(session);
         match self.shards[shard].try_send(job) {
@@ -196,14 +207,30 @@ impl SessionManager {
         }
     }
 
-    /// One-line live stats (for the `stats` verb).
+    /// Live stats for the `stats` verb: the pool-wide gauges, then one
+    /// line per populated `serve.*` latency histogram with its
+    /// p50/p95/p99 so a plain `riot-serve stats` surfaces tail latency
+    /// without a Prometheus scrape.
     pub fn stats_line(&self) -> String {
-        format!(
+        let mut out = format!(
             "sessions {} queued {} workers {}",
             self.shared.live_sessions.load(Ordering::Relaxed),
             self.shared.queued.load(Ordering::Relaxed),
             self.threads
-        )
+        );
+        for (name, h) in riot_trace::registry().histograms() {
+            if h.count() == 0 || !name.starts_with("serve.") {
+                continue;
+            }
+            out.push_str(&format!(
+                "\n{name} count {} p50 {} p95 {} p99 {}",
+                h.count(),
+                h.p50().unwrap_or(0),
+                h.p95().unwrap_or(0),
+                h.p99().unwrap_or(0),
+            ));
+        }
+        out
     }
 
     /// Sessions currently resident in memory.
@@ -232,7 +259,7 @@ impl Drop for SessionManager {
 
 /// One worker: owns a shard of sessions, applies batches, evicts
 /// idlers, and flushes everything on drain.
-fn worker_loop(cfg: &ServeConfig, rx: &Receiver<Job>, shared: &Shared) {
+fn worker_loop(cfg: &ServeConfig, rx: &Receiver<Job>, shared: &Shared, worker: u64) {
     let mut sessions: HashMap<String, SessionEntry> = HashMap::new();
     loop {
         let first = match rx.recv_timeout(cfg.tick) {
@@ -262,10 +289,18 @@ fn worker_loop(cfg: &ServeConfig, rx: &Receiver<Job>, shared: &Shared) {
             riot_trace::registry()
                 .gauge("serve.queue.depth")
                 .set(q as i64);
-            process_batch(cfg, &mut sessions, batch);
+            // The queue-wait phase ends here: stamp it per job (it
+            // started on the submitting thread) and record the span
+            // under the client's context.
+            for job in &mut batch {
+                job.queue_ns = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                riot_trace::complete_span("serve.queue.wait", job.trace, job.enqueued, &[]);
+            }
+            process_batch(cfg, &mut sessions, batch, worker);
         }
         evict_idle(cfg, &mut sessions);
         publish_live(shared, &sessions);
+        update_slo_gauges();
     }
     // Drain: flush every hosted session before exiting.
     for (_, mut entry) in sessions.drain() {
@@ -302,7 +337,12 @@ fn publish_live(shared: &Shared, mine: &HashMap<String, SessionEntry>) {
 
 /// Applies one drained batch in arrival order, merging consecutive
 /// `Cmd` runs for the same session under a single resume + flush.
-fn process_batch(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>, batch: Vec<Job>) {
+fn process_batch(
+    cfg: &ServeConfig,
+    sessions: &mut HashMap<String, SessionEntry>,
+    batch: Vec<Job>,
+    worker: u64,
+) {
     let mut i = 0usize;
     while i < batch.len() {
         let job = &batch[i];
@@ -315,12 +355,28 @@ fn process_batch(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
             {
                 j += 1;
             }
-            apply_cmd_run(cfg, sessions, &batch[i..j]);
+            apply_cmd_run(cfg, sessions, &batch[i..j], worker);
             i = j;
         } else {
-            apply_single(cfg, sessions, &batch[i]);
+            apply_single(cfg, sessions, &batch[i], worker);
             i += 1;
         }
+    }
+}
+
+/// Refreshes the rolling SLO gauges from the registry: the p99 of the
+/// end-to-end request latency histogram and the error rate in permille
+/// of all replies sent so far. Cheap (a few atomic loads), run once
+/// per worker tick so a scrape always sees fresh values.
+fn update_slo_gauges() {
+    let reg = riot_trace::registry();
+    if let Some(p99) = reg.histogram("serve.request.latency_ns").p99() {
+        reg.gauge("serve.slo.request_p99_ns").set(p99 as i64);
+    }
+    let ok = reg.counter("serve.replies.ok").get();
+    let err = reg.counter("serve.replies.err").get();
+    if let Some(permille) = err.saturating_mul(1000).checked_div(ok + err) {
+        reg.gauge("serve.slo.error_permille").set(permille as i64);
     }
 }
 
@@ -338,9 +394,13 @@ fn session_stats_line(s: riot_core::Stats) -> String {
 
 fn send_reply(job: &Job, body: ReplyBody) {
     let nanos = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-    riot_trace::registry()
-        .histogram("serve.request.latency_ns")
-        .record(nanos);
+    let reg = riot_trace::registry();
+    reg.histogram("serve.request.latency_ns").record(nanos);
+    reg.counter(match body {
+        ReplyBody::Err(_) => "serve.replies.err",
+        _ => "serve.replies.ok",
+    })
+    .inc();
     let _ = job.reply_tx.send(Reply { id: job.id, body });
 }
 
@@ -351,6 +411,8 @@ fn ensure_open(
     sessions: &mut HashMap<String, SessionEntry>,
     session: &str,
     create_cell: Option<&str>,
+    worker: u64,
+    trace: u64,
 ) -> Result<OpenKind, String> {
     if sessions.contains_key(session) {
         return Ok(OpenKind::Recovered {
@@ -370,16 +432,43 @@ fn ensure_open(
     } else {
         return Err(format!("no such session `{session}` (open it first)"));
     };
+    // The flight recorder's `open` event carries the WAL head line
+    // (`edit <cell>`), so a dump's per-session tail is itself a valid
+    // replay for riot-check's lockstep harness.
+    let head = entry
+        .cp
+        .as_ref()
+        .and_then(|cp| {
+            cp.journal()
+                .commands()
+                .first()
+                .map(riot_core::command_to_line)
+        })
+        .unwrap_or_default();
+    cfg.flightrec
+        .record(worker, session, FlightKind::Open, head, true, trace);
     sessions.insert(session.to_owned(), entry);
     Ok(kind)
 }
 
 /// Handles `Open`, `Close` and `Stall` jobs.
-fn apply_single(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>, job: &Job) {
+fn apply_single(
+    cfg: &ServeConfig,
+    sessions: &mut HashMap<String, SessionEntry>,
+    job: &Job,
+    worker: u64,
+) {
     match &job.kind {
         JobKind::Open { cell } => {
             let attached = sessions.contains_key(&job.session);
-            let body = match ensure_open(cfg, sessions, &job.session, Some(cell)) {
+            let body = match ensure_open(
+                cfg,
+                sessions,
+                &job.session,
+                Some(cell),
+                worker,
+                job.trace.trace_id,
+            ) {
                 Ok(_) if attached => ReplyBody::Ok("attached".to_owned()),
                 Ok(OpenKind::Created) => ReplyBody::Ok("created".to_owned()),
                 Ok(OpenKind::Recovered { records, truncated }) => ReplyBody::Ok(format!(
@@ -408,7 +497,14 @@ fn apply_single(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>,
             send_reply(job, body);
         }
         JobKind::SessionStats => {
-            let body = match ensure_open(cfg, sessions, &job.session, None) {
+            let body = match ensure_open(
+                cfg,
+                sessions,
+                &job.session,
+                None,
+                worker,
+                job.trace.trace_id,
+            ) {
                 Ok(_) => {
                     let entry = sessions.get(&job.session).expect("ensure_open inserted");
                     let cp = entry
@@ -433,10 +529,30 @@ fn apply_single(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>,
 /// Applies a run of consecutive `Cmd` jobs for one session under a
 /// single resumed editor, then flushes the WAL **once** and only then
 /// releases the `ok` replies — acknowledged means durable.
-fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>, run: &[Job]) {
+fn apply_cmd_run(
+    cfg: &ServeConfig,
+    sessions: &mut HashMap<String, SessionEntry>,
+    run: &[Job],
+    worker: u64,
+) {
     let session = &run[0].session;
-    let _span = riot_trace::span!("serve.session.apply", commands = run.len() as u64);
-    if let Err(e) = ensure_open(cfg, sessions, session, None) {
+    // The run-level context: the first traced job. A pipelining client
+    // reuses one trace across its burst, so per-run spans (resume,
+    // flush) land in the trace that paid for them.
+    let run_ctx = run
+        .iter()
+        .map(|j| j.trace)
+        .find(|c| !c.is_none())
+        .unwrap_or(TraceContext::NONE);
+    let _span = {
+        let mut s = riot_trace::span_with_context("serve.session.apply", run_ctx);
+        s.field("commands", run.len() as u64);
+        s
+    };
+    riot_trace::registry()
+        .counter("serve.cmds")
+        .add(run.len() as u64);
+    if let Err(e) = ensure_open(cfg, sessions, session, None, worker, run_ctx.trace_id) {
         for job in run {
             send_reply(job, ReplyBody::Err(e.clone()));
         }
@@ -452,8 +568,10 @@ fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
     // flushed — is refused, because un-flushed acknowledgements must
     // never escape.
     let mut outcomes: Vec<Result<String, String>> = Vec::with_capacity(run.len());
+    let mut apply_ns: Vec<u64> = Vec::with_capacity(run.len());
     let mut crashed: Option<String> = None;
     {
+        let resume_start = Instant::now();
         let mut ed = match Editor::resume(&mut entry.lib, entry.cp.take().expect("suspended")) {
             Ok(ed) => ed,
             Err(e) => {
@@ -463,15 +581,36 @@ fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
                 return;
             }
         };
+        riot_trace::complete_span("serve.session.resume", run_ctx, resume_start, &[]);
         for job in run {
             let JobKind::Cmd { line } = &job.kind else {
                 unreachable!("run holds only Cmd jobs")
             };
             if cfg.faults.should_inject(FAULT_SERVE_JOURNAL_APPEND) {
+                cfg.flightrec.record(
+                    worker,
+                    session,
+                    FlightKind::Fault,
+                    "serve.journal.append",
+                    false,
+                    job.trace.trace_id,
+                );
                 crashed = Some(line.clone());
                 break;
             }
-            outcomes.push(execute_line(&mut ed, line).map_err(|e| e.to_string()));
+            let exec_start = Instant::now();
+            let outcome = execute_line(&mut ed, line).map_err(|e| e.to_string());
+            riot_trace::complete_span("serve.cmd.apply", job.trace, exec_start, &[]);
+            apply_ns.push(exec_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            cfg.flightrec.record(
+                worker,
+                session,
+                FlightKind::Cmd,
+                line.clone(),
+                outcome.is_ok(),
+                job.trace.trace_id,
+            );
+            outcomes.push(outcome);
         }
         entry.cp = Some(ed.suspend());
     }
@@ -482,6 +621,17 @@ fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
         riot_trace::registry()
             .counter("serve.session.crashed")
             .inc();
+        cfg.flightrec.record(
+            worker,
+            session,
+            FlightKind::Crash,
+            format!("fault injected at journal append before `{line}`"),
+            false,
+            run_ctx.trace_id,
+        );
+        // A fault trip is exactly what the flight recorder exists for:
+        // put the evidence on disk while the process is still healthy.
+        let _ = cfg.flightrec.dump_to(&cfg.root);
         drop(entry); // NOT reinserted — a later cmd/open recovers it.
         for job in run {
             send_reply(
@@ -497,8 +647,23 @@ fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
     }
 
     // Phase 2: flush, then release replies.
+    let flush_start = Instant::now();
     match entry.sync_journal() {
         Ok(_) => {
+            // One wal-flush span per distinct trace in the run: every
+            // client trace sees the flush its acknowledgement waited on.
+            let mut seen: Vec<u64> = Vec::new();
+            for job in run {
+                if job.trace.is_none() || seen.contains(&job.trace.trace_id) {
+                    continue;
+                }
+                seen.push(job.trace.trace_id);
+                riot_trace::complete_span("serve.wal.flush", job.trace, flush_start, &[]);
+            }
+            if seen.is_empty() {
+                riot_trace::complete_span("serve.wal.flush", TraceContext::NONE, flush_start, &[]);
+            }
+            let flush_ns = flush_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
             for (job, outcome) in run.iter().zip(outcomes) {
                 let body = match outcome {
                     Ok(detail) => ReplyBody::Ok(detail),
@@ -510,12 +675,22 @@ fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
                 .counter("serve.commands.applied")
                 .add(run.len() as u64);
             sessions.insert(session.clone(), entry);
+            log_slow_commands(cfg, run, &apply_ns, flush_ns, worker);
         }
         Err(e) => {
             // The in-memory state ran ahead of the WAL and the WAL
             // cannot catch up: drop the session rather than acknowledge
             // what is not durable. Recovery resumes from the last
             // intact prefix.
+            cfg.flightrec.record(
+                worker,
+                session,
+                FlightKind::Crash,
+                format!("WAL append failed: {e}"),
+                false,
+                run_ctx.trace_id,
+            );
+            let _ = cfg.flightrec.dump_to(&cfg.root);
             drop(entry);
             for job in run {
                 send_reply(
@@ -526,6 +701,40 @@ fn apply_cmd_run(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>
                 );
             }
         }
+    }
+}
+
+/// The slow-command log: any command whose end-to-end latency crossed
+/// [`ServeConfig::slow_threshold`] is logged to stderr with its phase
+/// decomposition (queue wait, apply, WAL flush — the same phases the
+/// trace spans measure) and recorded in the flight recorder.
+fn log_slow_commands(cfg: &ServeConfig, run: &[Job], apply_ns: &[u64], flush_ns: u64, worker: u64) {
+    let threshold_ns = cfg.slow_threshold.as_nanos().min(u128::from(u64::MAX)) as u64;
+    for (i, job) in run.iter().enumerate() {
+        let total_ns = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        if total_ns < threshold_ns {
+            continue;
+        }
+        let JobKind::Cmd { line } = &job.kind else {
+            continue;
+        };
+        let detail = format!(
+            "slow command: total {}us (queue {}us, apply {}us, wal-flush {}us): {line}",
+            total_ns / 1_000,
+            job.queue_ns / 1_000,
+            apply_ns.get(i).copied().unwrap_or(0) / 1_000,
+            flush_ns / 1_000,
+        );
+        eprintln!("riot-serve[worker {worker}] {detail}");
+        riot_trace::registry().counter("serve.slow.commands").inc();
+        cfg.flightrec.record(
+            worker,
+            &job.session,
+            FlightKind::Slow,
+            detail,
+            true,
+            job.trace.trace_id,
+        );
     }
 }
 
@@ -572,8 +781,14 @@ mod tests {
         let root = tmp_root("roundtrip");
         let mgr = SessionManager::start(test_cfg(&root)).unwrap();
         let (tx, rx) = channel();
-        mgr.submit("a", JobKind::Open { cell: "TOP".into() }, 1, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "a",
+            JobKind::Open { cell: "TOP".into() },
+            1,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         assert_eq!(
             rx.recv().unwrap(),
             Reply {
@@ -587,6 +802,7 @@ mod tests {
                 line: "create nand2 I0".into(),
             },
             2,
+            TraceContext::NONE,
             tx.clone(),
         )
         .unwrap();
@@ -596,7 +812,8 @@ mod tests {
             matches!(rep.body, ReplyBody::Ok(ref d) if d.starts_with("instance")),
             "{rep:?}"
         );
-        mgr.submit("a", JobKind::Close, 3, tx).unwrap();
+        mgr.submit("a", JobKind::Close, 3, TraceContext::NONE, tx)
+            .unwrap();
         assert_eq!(
             rx.recv().unwrap(),
             Reply {
@@ -613,8 +830,14 @@ mod tests {
         let root = tmp_root("order");
         let mgr = SessionManager::start(test_cfg(&root)).unwrap();
         let (tx, rx) = channel();
-        mgr.submit("p", JobKind::Open { cell: "TOP".into() }, 0, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "p",
+            JobKind::Open { cell: "TOP".into() },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         for i in 1..=20u64 {
             mgr.submit(
                 "p",
@@ -622,6 +845,7 @@ mod tests {
                     line: format!("create nand2 N{i}"),
                 },
                 i,
+                TraceContext::NONE,
                 tx.clone(),
             )
             .unwrap();
@@ -641,12 +865,24 @@ mod tests {
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
         // Stall the single worker so the inbox backs up.
-        mgr.submit("b", JobKind::Stall { ms: 300 }, 0, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "b",
+            JobKind::Stall { ms: 300 },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         std::thread::sleep(Duration::from_millis(50)); // let the worker pick it up
         let mut busy = 0;
         for i in 1..=50u64 {
-            match mgr.submit("b", JobKind::Stall { ms: 0 }, i, tx.clone()) {
+            match mgr.submit(
+                "b",
+                JobKind::Stall { ms: 0 },
+                i,
+                TraceContext::NONE,
+                tx.clone(),
+            ) {
                 Ok(()) => {}
                 Err(ReplyBody::Busy) => busy += 1,
                 Err(other) => panic!("unexpected {other:?}"),
@@ -670,16 +906,24 @@ mod tests {
                 line: "create nand2 X".into(),
             },
             1,
+            TraceContext::NONE,
             tx.clone(),
         )
         .unwrap();
         let rep = rx.recv().unwrap();
         assert!(matches!(rep.body, ReplyBody::Err(ref m) if m.contains("no such session")));
         // Open, close (flushes WAL), then cmd transparently recovers.
-        mgr.submit("ghost", JobKind::Open { cell: "TOP".into() }, 2, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "ghost",
+            JobKind::Open { cell: "TOP".into() },
+            2,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         rx.recv().unwrap();
-        mgr.submit("ghost", JobKind::Close, 3, tx.clone()).unwrap();
+        mgr.submit("ghost", JobKind::Close, 3, TraceContext::NONE, tx.clone())
+            .unwrap();
         rx.recv().unwrap();
         mgr.submit(
             "ghost",
@@ -687,6 +931,7 @@ mod tests {
                 line: "create nand2 X".into(),
             },
             4,
+            TraceContext::NONE,
             tx,
         )
         .unwrap();
@@ -705,8 +950,14 @@ mod tests {
         cfg.faults.arm(FAULT_SERVE_JOURNAL_APPEND, 2);
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
-        mgr.submit("f", JobKind::Open { cell: "TOP".into() }, 0, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "f",
+            JobKind::Open { cell: "TOP".into() },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         rx.recv().unwrap();
         for i in 1..=3u64 {
             mgr.submit(
@@ -715,6 +966,7 @@ mod tests {
                     line: format!("create nand2 C{i}"),
                 },
                 i,
+                TraceContext::NONE,
                 tx.clone(),
             )
             .unwrap();
@@ -731,8 +983,14 @@ mod tests {
             }
         }
         // Recovery: reopen and observe exactly the acknowledged prefix.
-        mgr.submit("f", JobKind::Open { cell: "TOP".into() }, 9, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "f",
+            JobKind::Open { cell: "TOP".into() },
+            9,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         let rep = rx.recv().unwrap();
         match rep.body {
             ReplyBody::Ok(d) => {
@@ -750,6 +1008,7 @@ mod tests {
                 line: "create nand2 C9".into(),
             },
             10,
+            TraceContext::NONE,
             tx,
         )
         .unwrap();
@@ -770,8 +1029,14 @@ mod tests {
         cfg.idle_timeout = Duration::from_millis(30);
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
-        mgr.submit("idle", JobKind::Open { cell: "TOP".into() }, 0, tx.clone())
-            .unwrap();
+        mgr.submit(
+            "idle",
+            JobKind::Open { cell: "TOP".into() },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
         rx.recv().unwrap();
         mgr.submit(
             "idle",
@@ -779,6 +1044,7 @@ mod tests {
                 line: "create nand2 A".into(),
             },
             1,
+            TraceContext::NONE,
             tx.clone(),
         )
         .unwrap();
@@ -800,6 +1066,7 @@ mod tests {
                 line: "create nand2 B".into(),
             },
             2,
+            TraceContext::NONE,
             tx,
         )
         .unwrap();

@@ -1,11 +1,14 @@
 //! The `RIOTSRV1` wire protocol: length-prefixed, checksummed binary
 //! frames carrying pipelined requests.
 //!
-//! # Connection handshake
+//! # Connection handshake and version negotiation
 //!
-//! The client opens a socket and writes the 8-byte magic
-//! [`SRV_MAGIC`]; the server verifies it and echoes the same magic
-//! back. Everything after the handshake is frames in both directions.
+//! The client opens a socket and writes an 8-byte magic — [`SRV_MAGIC`]
+//! (`RIOTSRV1`) or [`SRV_MAGIC_V2`] (`RIOTSRV2`); the server accepts
+//! either and echoes back what it received, fixing the connection's
+//! [`ProtoVersion`]. Everything after the handshake is frames in both
+//! directions. Old clients keep sending `RIOTSRV1` and notice nothing;
+//! new clients send `RIOTSRV2` to unlock the trace-context field.
 //!
 //! # Frame format
 //!
@@ -20,9 +23,14 @@
 //!
 //! # Payloads
 //!
-//! A request payload is an 8-byte little-endian **request id** (chosen
-//! by the client, echoed verbatim in the reply — this is what makes
-//! pipelining safe) followed by a UTF-8 command text:
+//! A **v1** request payload is an 8-byte little-endian **request id**
+//! (chosen by the client, echoed verbatim in the reply — this is what
+//! makes pipelining safe) followed by a UTF-8 command text. A **v2**
+//! payload inserts a flags byte after the id; when
+//! [`REQ_FLAG_TRACE`] is set, 16 bytes of trace context
+//! (`trace_id u64 LE`, `parent_span u64 LE`) precede the text, letting
+//! the server continue the client's trace through its decode → queue →
+//! apply → WAL-flush phases:
 //!
 //! ```text
 //! open <session> <cell>      create, attach or recover a session
@@ -30,6 +38,10 @@
 //! close <session>            flush the session's WAL and evict it
 //! ping                       liveness probe
 //! stats                      live session / queue-depth gauges
+//! telemetry [prom|json]      metrics registry snapshot (Prometheus
+//!                            text format or JSON)
+//! dump                       write the flight recorder to a JSONL
+//!                            file under --root, reply with its path
 //! shutdown                   ask the server to drain and exit
 //! ```
 //!
@@ -49,11 +61,38 @@
 //! ```
 
 use riot_core::crc32;
+use riot_trace::TraceContext;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Magic bytes opening every connection, in both directions.
+/// Magic bytes opening every v1 connection, in both directions.
 pub const SRV_MAGIC: &[u8; 8] = b"RIOTSRV1";
+
+/// Magic bytes opening a v2 (trace-context-capable) connection.
+pub const SRV_MAGIC_V2: &[u8; 8] = b"RIOTSRV2";
+
+/// Request-payload flag: 16 bytes of trace context follow the flags
+/// byte (v2 payloads only).
+pub const REQ_FLAG_TRACE: u8 = 0x01;
+
+/// The protocol revision a connection negotiated at handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoVersion {
+    /// `RIOTSRV1`: id + text payloads.
+    V1,
+    /// `RIOTSRV2`: id + flags (+ optional trace context) + text.
+    V2,
+}
+
+impl ProtoVersion {
+    /// The magic bytes announcing this version.
+    pub fn magic(self) -> &'static [u8; 8] {
+        match self {
+            ProtoVersion::V1 => SRV_MAGIC,
+            ProtoVersion::V2 => SRV_MAGIC_V2,
+        }
+    }
+}
 
 /// Hard cap on a frame payload. Command lines are tiny; anything
 /// approaching this is a corrupt length field or an abusive client.
@@ -304,6 +343,15 @@ pub enum RequestBody {
         /// worker and reads its editor counters.
         session: Option<String>,
     },
+    /// Live metrics exposition: a snapshot of the server's metrics
+    /// registry in the requested rendering.
+    Telemetry {
+        /// Which rendering the `ok` detail carries.
+        format: TelemetryFormat,
+    },
+    /// Write the flight recorder to a `flightrec-<ts>.jsonl` file
+    /// under the server root; the `ok` detail is the file path.
+    Dump,
     /// Drain every session and stop the server.
     Shutdown,
     /// Testing hook: occupy the target session's worker for the given
@@ -318,6 +366,16 @@ pub enum RequestBody {
     },
 }
 
+/// How a [`RequestBody::Telemetry`] snapshot should be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryFormat {
+    /// Prometheus text exposition format (the default).
+    #[default]
+    Prometheus,
+    /// One JSON object (`riot-telemetry/1` schema).
+    Json,
+}
+
 /// One pipelined request: a client-chosen id plus the body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -327,10 +385,10 @@ pub struct Request {
     pub body: RequestBody,
 }
 
-impl Request {
-    /// Serializes to a frame payload (id + text form).
-    pub fn encode(&self) -> Vec<u8> {
-        let text = match &self.body {
+impl RequestBody {
+    /// The canonical text form shared by every protocol version.
+    fn to_text(&self) -> String {
+        match self {
             RequestBody::Open { session, cell } => format!("open {session} {cell}"),
             RequestBody::Cmd { session, line } => format!("cmd {session} {line}"),
             RequestBody::Close { session } => format!("close {session}"),
@@ -339,31 +397,22 @@ impl Request {
             RequestBody::Stats {
                 session: Some(session),
             } => format!("stats {session}"),
+            RequestBody::Telemetry {
+                format: TelemetryFormat::Prometheus,
+            } => "telemetry prom".to_owned(),
+            RequestBody::Telemetry {
+                format: TelemetryFormat::Json,
+            } => "telemetry json".to_owned(),
+            RequestBody::Dump => "dump".to_owned(),
             RequestBody::Shutdown => "shutdown".to_owned(),
             RequestBody::Stall { session, ms } => format!("stall {session} {ms}"),
-        };
-        let mut out = Vec::with_capacity(8 + text.len());
-        out.extend_from_slice(&self.id.to_le_bytes());
-        out.extend_from_slice(text.as_bytes());
-        out
+        }
     }
 
-    /// Parses a frame payload into a request.
-    ///
-    /// # Errors
-    ///
-    /// A human-readable description of what is malformed.
-    pub fn decode(payload: &[u8]) -> Result<Request, String> {
-        if payload.len() < 8 {
-            return Err(format!(
-                "request payload of {} bytes cannot hold an id",
-                payload.len()
-            ));
-        }
-        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("not UTF-8: {e}"))?;
+    /// Parses the text form (shared by every protocol version).
+    fn from_text(text: &str) -> Result<RequestBody, String> {
         let f: Vec<&str> = text.split_whitespace().collect();
-        let body = match f.first().copied() {
+        Ok(match f.first().copied() {
             Some("open") if f.len() == 3 => RequestBody::Open {
                 session: f[1].to_owned(),
                 cell: f[2].to_owned(),
@@ -384,6 +433,18 @@ impl Request {
                 session: Some(f[1].to_owned()),
             },
             Some("stats") => return Err("`stats` wants: stats [<session>]".into()),
+            Some("telemetry") if f.len() == 1 => RequestBody::Telemetry {
+                format: TelemetryFormat::Prometheus,
+            },
+            Some("telemetry") if f.len() == 2 && f[1] == "prom" => RequestBody::Telemetry {
+                format: TelemetryFormat::Prometheus,
+            },
+            Some("telemetry") if f.len() == 2 && f[1] == "json" => RequestBody::Telemetry {
+                format: TelemetryFormat::Json,
+            },
+            Some("telemetry") => return Err("`telemetry` wants: telemetry [prom|json]".into()),
+            Some("dump") if f.len() == 1 => RequestBody::Dump,
+            Some("dump") => return Err("`dump` takes no arguments".into()),
             Some("shutdown") if f.len() == 1 => RequestBody::Shutdown,
             Some("stall") if f.len() == 3 => RequestBody::Stall {
                 session: f[1].to_owned(),
@@ -391,8 +452,124 @@ impl Request {
             },
             Some(other) => return Err(format!("unknown verb `{other}`")),
             None => return Err("empty request".into()),
+        })
+    }
+}
+
+impl Request {
+    /// Serializes to a v1 frame payload (id + text form).
+    pub fn encode(&self) -> Vec<u8> {
+        let text = self.body.to_text();
+        let mut out = Vec::with_capacity(8 + text.len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(text.as_bytes());
+        out
+    }
+
+    /// Parses a v1 frame payload into a request.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed.
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        if payload.len() < 8 {
+            return Err(format!(
+                "request payload of {} bytes cannot hold an id",
+                payload.len()
+            ));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("not UTF-8: {e}"))?;
+        Ok(Request {
+            id,
+            body: RequestBody::from_text(text)?,
+        })
+    }
+
+    /// Serializes to a v2 frame payload: id, flags, optional trace
+    /// context, text form. `trace: None` (or a
+    /// [`TraceContext::NONE`]) emits a zero flags byte and no context
+    /// bytes.
+    pub fn encode_v2(&self, trace: Option<TraceContext>) -> Vec<u8> {
+        let text = self.body.to_text();
+        let trace = trace.filter(|c| !c.is_none());
+        let mut out = Vec::with_capacity(9 + 16 + text.len());
+        out.extend_from_slice(&self.id.to_le_bytes());
+        match trace {
+            Some(ctx) => {
+                out.push(REQ_FLAG_TRACE);
+                out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+                out.extend_from_slice(&ctx.parent_span.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(text.as_bytes());
+        out
+    }
+
+    /// Parses a v2 frame payload into a request plus its optional
+    /// trace context.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed — including
+    /// any flag bit this revision does not know (a v2 decoder cannot
+    /// skip fields it cannot size).
+    pub fn decode_v2(payload: &[u8]) -> Result<(Request, Option<TraceContext>), String> {
+        if payload.len() < 9 {
+            return Err(format!(
+                "v2 request payload of {} bytes cannot hold id + flags",
+                payload.len()
+            ));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let flags = payload[8];
+        if flags & !REQ_FLAG_TRACE != 0 {
+            return Err(format!("unknown request flags {flags:#04x}"));
+        }
+        let mut at = 9usize;
+        let trace = if flags & REQ_FLAG_TRACE != 0 {
+            if payload.len() < at + 16 {
+                return Err("trace flag set but context bytes missing".into());
+            }
+            let trace_id = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+            let parent_span =
+                u64::from_le_bytes(payload[at + 8..at + 16].try_into().expect("8 bytes"));
+            at += 16;
+            Some(TraceContext {
+                trace_id,
+                parent_span,
+            })
+        } else {
+            None
         };
-        Ok(Request { id, body })
+        let text = std::str::from_utf8(&payload[at..]).map_err(|e| format!("not UTF-8: {e}"))?;
+        Ok((
+            Request {
+                id,
+                body: RequestBody::from_text(text)?,
+            },
+            trace,
+        ))
+    }
+
+    /// Version-dispatching decode: v1 payloads never carry a context.
+    pub fn decode_versioned(
+        payload: &[u8],
+        version: ProtoVersion,
+    ) -> Result<(Request, Option<TraceContext>), String> {
+        match version {
+            ProtoVersion::V1 => Ok((Request::decode(payload)?, None)),
+            ProtoVersion::V2 => Request::decode_v2(payload),
+        }
+    }
+
+    /// Version-dispatching encode (v1 silently drops the context).
+    pub fn encode_versioned(&self, version: ProtoVersion, trace: Option<TraceContext>) -> Vec<u8> {
+        match version {
+            ProtoVersion::V1 => self.encode(),
+            ProtoVersion::V2 => self.encode_v2(trace),
+        }
     }
 }
 
@@ -466,9 +643,10 @@ impl Reply {
     }
 }
 
-/// Server-side handshake: reads and verifies the client magic, then
-/// echoes it.
-pub fn handshake_server(stream: &mut (impl Read + Write)) -> Result<(), ProtoError> {
+/// Server-side handshake: reads the client magic (either revision),
+/// echoes it back, and returns the negotiated version. Old `RIOTSRV1`
+/// clients see exactly the pre-v2 byte exchange.
+pub fn handshake_server(stream: &mut (impl Read + Write)) -> Result<ProtoVersion, ProtoError> {
     let mut magic = [0u8; 8];
     stream.read_exact(&mut magic).map_err(|e| {
         if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -477,15 +655,19 @@ pub fn handshake_server(stream: &mut (impl Read + Write)) -> Result<(), ProtoErr
             ProtoError::Io(e)
         }
     })?;
-    if &magic != SRV_MAGIC {
+    let version = if &magic == SRV_MAGIC {
+        ProtoVersion::V1
+    } else if &magic == SRV_MAGIC_V2 {
+        ProtoVersion::V2
+    } else {
         return Err(ProtoError::Corrupt(FrameCorruption::BadMagic));
-    }
-    stream.write_all(SRV_MAGIC)?;
+    };
+    stream.write_all(version.magic())?;
     stream.flush()?;
-    Ok(())
+    Ok(version)
 }
 
-/// Client-side handshake: sends the magic and verifies the echo.
+/// Client-side v1 handshake: sends `RIOTSRV1` and verifies the echo.
 pub fn handshake_client(stream: &mut (impl Read + Write)) -> Result<(), ProtoError> {
     stream.write_all(SRV_MAGIC)?;
     stream.flush()?;
@@ -495,6 +677,24 @@ pub fn handshake_client(stream: &mut (impl Read + Write)) -> Result<(), ProtoErr
         return Err(ProtoError::Corrupt(FrameCorruption::BadMagic));
     }
     Ok(())
+}
+
+/// Client-side v2 handshake: announces `RIOTSRV2` and accepts either
+/// echo, returning the version the server committed to (an up-level
+/// server echoes v2; the negotiation degrades cleanly if a future
+/// server chooses to pin v1).
+pub fn handshake_client_v2(stream: &mut (impl Read + Write)) -> Result<ProtoVersion, ProtoError> {
+    stream.write_all(SRV_MAGIC_V2)?;
+    stream.flush()?;
+    let mut magic = [0u8; 8];
+    stream.read_exact(&mut magic)?;
+    if &magic == SRV_MAGIC_V2 {
+        Ok(ProtoVersion::V2)
+    } else if &magic == SRV_MAGIC {
+        Ok(ProtoVersion::V1)
+    } else {
+        Err(ProtoError::Corrupt(FrameCorruption::BadMagic))
+    }
 }
 
 /// Is `name` acceptable as a session name? Session names become WAL
@@ -629,6 +829,107 @@ mod tests {
         let mut p = 1u64.to_le_bytes().to_vec();
         p.extend_from_slice(b"open only_two");
         assert!(Request::decode(&p).is_err());
+    }
+
+    #[test]
+    fn v2_round_trip_with_and_without_context() {
+        let req = Request {
+            id: 99,
+            body: RequestBody::Cmd {
+                session: "s1".into(),
+                line: "create or2 G0".into(),
+            },
+        };
+        let ctx = TraceContext::new(0xABCD_EF01_2345_6789, 42);
+        let (again, trace) = Request::decode_v2(&req.encode_v2(Some(ctx))).unwrap();
+        assert_eq!(again, req);
+        assert_eq!(trace, Some(ctx));
+        let (again, trace) = Request::decode_v2(&req.encode_v2(None)).unwrap();
+        assert_eq!(again, req);
+        assert_eq!(trace, None);
+        // A NONE context is normalized away rather than wasting bytes.
+        let bytes = req.encode_v2(Some(TraceContext::NONE));
+        assert_eq!(bytes[8], 0);
+        assert_eq!(Request::decode_v2(&bytes).unwrap().1, None);
+    }
+
+    #[test]
+    fn v2_rejects_unknown_flags_and_torn_context() {
+        let req = Request {
+            id: 7,
+            body: RequestBody::Ping,
+        };
+        let mut bytes = req.encode_v2(None);
+        bytes[8] = 0x80;
+        assert!(Request::decode_v2(&bytes).is_err());
+        let mut bytes = req.encode_v2(Some(TraceContext::new(1, 2)));
+        bytes.truncate(12); // flags promise 16 context bytes
+        assert!(Request::decode_v2(&bytes).is_err());
+        assert!(Request::decode_v2(b"short").is_err());
+    }
+
+    #[test]
+    fn telemetry_and_dump_verbs_round_trip() {
+        for body in [
+            RequestBody::Telemetry {
+                format: TelemetryFormat::Prometheus,
+            },
+            RequestBody::Telemetry {
+                format: TelemetryFormat::Json,
+            },
+            RequestBody::Dump,
+        ] {
+            let req = Request { id: 5, body };
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+            let (again, trace) = Request::decode_v2(&req.encode_v2(None)).unwrap();
+            assert_eq!(again, req);
+            assert_eq!(trace, None);
+        }
+        // Bare `telemetry` defaults to Prometheus.
+        let mut p = 1u64.to_le_bytes().to_vec();
+        p.extend_from_slice(b"telemetry");
+        assert_eq!(
+            Request::decode(&p).unwrap().body,
+            RequestBody::Telemetry {
+                format: TelemetryFormat::Prometheus
+            }
+        );
+        let mut p = 1u64.to_le_bytes().to_vec();
+        p.extend_from_slice(b"telemetry xml");
+        assert!(Request::decode(&p).is_err());
+    }
+
+    #[test]
+    fn handshake_negotiates_both_versions() {
+        use std::collections::VecDeque;
+        // A loopback "socket": reads drain the front, writes append.
+        struct Pipe(VecDeque<u8>);
+        impl Read for Pipe {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = buf.len().min(self.0.len());
+                for b in buf.iter_mut().take(n) {
+                    *b = self.0.pop_front().expect("len checked");
+                }
+                Ok(n)
+            }
+        }
+        impl Write for Pipe {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.extend(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut p = Pipe(VecDeque::from(SRV_MAGIC.to_vec()));
+        assert_eq!(handshake_server(&mut p).unwrap(), ProtoVersion::V1);
+        assert_eq!(p.0.make_contiguous(), SRV_MAGIC);
+        let mut p = Pipe(VecDeque::from(SRV_MAGIC_V2.to_vec()));
+        assert_eq!(handshake_server(&mut p).unwrap(), ProtoVersion::V2);
+        assert_eq!(p.0.make_contiguous(), SRV_MAGIC_V2);
+        let mut p = Pipe(VecDeque::from(b"RIOTSRV9".to_vec()));
+        assert!(handshake_server(&mut p).is_err());
     }
 
     #[test]

@@ -21,12 +21,16 @@
 //! out before the writer threads exit.
 
 use crate::config::ServeConfig;
+use crate::flightrec::{self, FlightKind};
 use crate::manager::{JobKind, SessionManager};
 use crate::net::{Bind, BoundAddr, Listener, Stream};
 use crate::proto::{
-    handshake_server, scan_frame, write_frame, FrameScan, Reply, ReplyBody, Request, RequestBody,
+    handshake_server, scan_frame, write_frame, FrameScan, ProtoVersion, Reply, ReplyBody, Request,
+    RequestBody, TelemetryFormat,
 };
+use crate::telemetry::TelemetryServer;
 use riot_core::{FAULT_SERVE_ACCEPT, FAULT_SERVE_FRAME_DECODE};
+use riot_trace::TraceContext;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -52,6 +56,7 @@ pub struct Server;
 pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    telemetry: Option<TelemetryServer>,
 }
 
 impl Server {
@@ -64,6 +69,13 @@ impl Server {
         riot_trace::init_from_env();
         let (listener, bound) = Listener::bind(bind)?;
         let mgr = SessionManager::start(cfg.clone())?;
+        // From here on a panic anywhere in the process dumps the
+        // flight recorder next to the WALs it describes.
+        flightrec::register_panic_dump(&cfg.root, &cfg.flightrec);
+        let telemetry = match &cfg.telemetry_addr {
+            Some(addr) => Some(TelemetryServer::start(addr, Arc::clone(&cfg.flightrec))?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cfg,
             mgr,
@@ -79,6 +91,7 @@ impl Server {
         Ok(ServerHandle {
             shared,
             accept: Some(accept),
+            telemetry,
         })
     }
 }
@@ -87,6 +100,12 @@ impl ServerHandle {
     /// Where the server is listening (TCP `:0` resolved).
     pub fn addr(&self) -> BoundAddr {
         self.shared.bound.clone()
+    }
+
+    /// Where the telemetry HTTP listener is bound, if one was
+    /// configured (`:0` resolved).
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(TelemetryServer::addr)
     }
 
     /// True once a drain has been requested (flag set by the wire
@@ -128,6 +147,11 @@ impl ServerHandle {
         if let BoundAddr::Unix(path) = &self.shared.bound {
             let _ = std::fs::remove_file(path);
         }
+        // The telemetry listener outlives the wire sockets — `wait`
+        // blocks here for the server's whole life, and scrapers must
+        // see metrics while it serves. Dropping it stops and joins its
+        // thread.
+        self.telemetry.take();
         // Dropping the handle's Arc releases the manager; its Drop
         // drains the worker pool and flushes every session WAL.
     }
@@ -185,11 +209,17 @@ const POLL_TICK: Duration = Duration::from_millis(50);
 /// One connection: handshake, then a reader loop feeding the manager
 /// and a writer thread draining the reply channel.
 fn connection(mut stream: Stream, shared: &Arc<Shared>) {
-    if handshake_server(&mut stream).is_err() {
-        riot_trace::registry()
-            .counter("serve.handshake.rejected")
-            .inc();
-        return;
+    let version = match handshake_server(&mut stream) {
+        Ok(v) => v,
+        Err(_) => {
+            riot_trace::registry()
+                .counter("serve.handshake.rejected")
+                .inc();
+            return;
+        }
+    };
+    if version == ProtoVersion::V2 {
+        riot_trace::registry().counter("serve.handshake.v2").inc();
     }
     let _ = stream.set_read_timeout(Some(POLL_TICK));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
@@ -213,7 +243,7 @@ fn connection(mut stream: Stream, shared: &Arc<Shared>) {
         })
         .expect("spawn writer thread");
 
-    reader_loop(&mut stream, shared, &reply_tx);
+    reader_loop(&mut stream, shared, &reply_tx, version);
 
     // Reader done: drop our sender so the writer exits once every
     // in-flight worker reply has drained.
@@ -223,7 +253,12 @@ fn connection(mut stream: Stream, shared: &Arc<Shared>) {
 }
 
 /// Reads frames until EOF, corruption, read-timeout or server stop.
-fn reader_loop(stream: &mut Stream, shared: &Arc<Shared>, reply_tx: &Sender<Reply>) {
+fn reader_loop(
+    stream: &mut Stream,
+    shared: &Arc<Shared>,
+    reply_tx: &Sender<Reply>,
+    version: ProtoVersion,
+) {
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut tmp = [0u8; 4096];
     let mut last_byte = Instant::now();
@@ -233,7 +268,7 @@ fn reader_loop(stream: &mut Stream, shared: &Arc<Shared>, reply_tx: &Sender<Repl
             match scan_frame(&buf) {
                 FrameScan::Complete { payload, consumed } => {
                     buf.drain(..consumed);
-                    if !handle_frame(&payload, shared, reply_tx) {
+                    if !handle_frame(&payload, shared, reply_tx, version) {
                         return;
                     }
                 }
@@ -273,20 +308,32 @@ fn reader_loop(stream: &mut Stream, shared: &Arc<Shared>, reply_tx: &Sender<Repl
 
 /// Decodes and dispatches one frame. Returns `false` to close the
 /// connection.
-fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) -> bool {
+fn handle_frame(
+    payload: &[u8],
+    shared: &Arc<Shared>,
+    reply_tx: &Sender<Reply>,
+    version: ProtoVersion,
+) -> bool {
+    let decode_start = Instant::now();
     let _span = riot_trace::span!("serve.frame", bytes = payload.len() as u64);
     riot_trace::registry().counter("serve.frames").inc();
     if shared.cfg.faults.should_inject(FAULT_SERVE_FRAME_DECODE) {
         // A fault at frame decode behaves exactly like wire corruption:
-        // refuse the frame and close, before any session work happens.
+        // refuse the frame and close, before any session work happens —
+        // and leave the incident in the flight recorder, dumped.
+        shared
+            .cfg
+            .flightrec
+            .record(0, "", FlightKind::Fault, "serve.frame.decode", false, 0);
+        let _ = shared.cfg.flightrec.dump_to(&shared.cfg.root);
         let _ = reply_tx.send(Reply {
             id: u64::MAX,
             body: ReplyBody::Err("corrupt frame: injected decode fault; closing".to_owned()),
         });
         return false;
     }
-    let req = match Request::decode(payload) {
-        Ok(r) => r,
+    let (req, trace) = match Request::decode_versioned(payload, version) {
+        Ok(t) => t,
         Err(e) => {
             let _ = reply_tx.send(Reply {
                 id: u64::MAX,
@@ -295,6 +342,16 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) 
             return true; // framing is intact; only this request is bad
         }
     };
+    // The context was *inside* the bytes we just decoded, so the decode
+    // span is completed retroactively under it — the first server-side
+    // child of the client's trace.
+    let ctx = trace.unwrap_or(TraceContext::NONE);
+    riot_trace::complete_span(
+        "serve.frame.decode",
+        ctx,
+        decode_start,
+        &[("bytes", payload.len() as u64)],
+    );
     let reply_now = |body: ReplyBody| {
         let _ = reply_tx.send(Reply { id: req.id, body });
     };
@@ -304,7 +361,28 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) 
         RequestBody::Stats {
             session: Some(session),
         } => {
-            dispatch(shared, reply_tx, req.id, &session, JobKind::SessionStats);
+            dispatch(
+                shared,
+                reply_tx,
+                req.id,
+                &session,
+                JobKind::SessionStats,
+                ctx,
+            );
+        }
+        RequestBody::Telemetry { format } => {
+            // Served inline from the registry: no worker round-trip, no
+            // session state, safe even when every inbox is full.
+            reply_now(ReplyBody::Ok(match format {
+                TelemetryFormat::Prometheus => riot_trace::prometheus(),
+                TelemetryFormat::Json => riot_trace::json_snapshot(),
+            }));
+        }
+        RequestBody::Dump => {
+            reply_now(match shared.cfg.flightrec.dump_to(&shared.cfg.root) {
+                Ok(path) => ReplyBody::Ok(path.display().to_string()),
+                Err(e) => ReplyBody::Err(format!("flight recorder dump failed: {e}")),
+            });
         }
         RequestBody::Shutdown => {
             shared.stop.store(true, Ordering::Relaxed);
@@ -313,16 +391,37 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) 
             return false;
         }
         RequestBody::Open { session, cell } => {
-            dispatch(shared, reply_tx, req.id, &session, JobKind::Open { cell });
+            dispatch(
+                shared,
+                reply_tx,
+                req.id,
+                &session,
+                JobKind::Open { cell },
+                ctx,
+            );
         }
         RequestBody::Cmd { session, line } => {
-            dispatch(shared, reply_tx, req.id, &session, JobKind::Cmd { line });
+            dispatch(
+                shared,
+                reply_tx,
+                req.id,
+                &session,
+                JobKind::Cmd { line },
+                ctx,
+            );
         }
         RequestBody::Close { session } => {
-            dispatch(shared, reply_tx, req.id, &session, JobKind::Close);
+            dispatch(shared, reply_tx, req.id, &session, JobKind::Close, ctx);
         }
         RequestBody::Stall { session, ms } => {
-            dispatch(shared, reply_tx, req.id, &session, JobKind::Stall { ms });
+            dispatch(
+                shared,
+                reply_tx,
+                req.id,
+                &session,
+                JobKind::Stall { ms },
+                ctx,
+            );
         }
     }
     true
@@ -330,7 +429,14 @@ fn handle_frame(payload: &[u8], shared: &Arc<Shared>, reply_tx: &Sender<Reply>) 
 
 /// Validates the session name and submits to the manager; any refusal
 /// (invalid name, full inbox, shutdown) replies immediately.
-fn dispatch(shared: &Arc<Shared>, reply_tx: &Sender<Reply>, id: u64, session: &str, kind: JobKind) {
+fn dispatch(
+    shared: &Arc<Shared>,
+    reply_tx: &Sender<Reply>,
+    id: u64,
+    session: &str,
+    kind: JobKind,
+    trace: TraceContext,
+) {
     if !crate::proto::valid_session_name(session) {
         let _ = reply_tx.send(Reply {
             id,
@@ -340,7 +446,10 @@ fn dispatch(shared: &Arc<Shared>, reply_tx: &Sender<Reply>, id: u64, session: &s
         });
         return;
     }
-    if let Err(body) = shared.mgr.submit(session, kind, id, reply_tx.clone()) {
+    if let Err(body) = shared
+        .mgr
+        .submit(session, kind, id, trace, reply_tx.clone())
+    {
         let _ = reply_tx.send(Reply { id, body });
     }
 }

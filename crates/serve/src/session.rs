@@ -245,11 +245,14 @@ impl SessionEntry {
         for cmd in new {
             buf.extend_from_slice(&record_bytes(&command_to_line(cmd)));
         }
+        let flush_start = Instant::now();
         self.wal.write_all(&buf)?;
         self.wal.flush()?;
-        riot_trace::registry()
-            .counter("serve.wal.records")
-            .add(new.len() as u64);
+        let reg = riot_trace::registry();
+        reg.histogram("serve.wal.fsync_ns")
+            .record(flush_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        reg.counter("serve.wal.bytes").add(buf.len() as u64);
+        reg.counter("serve.wal.records").add(new.len() as u64);
         self.durable_records = cmds.len();
         Ok(new.len())
     }

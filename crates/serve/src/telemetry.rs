@@ -1,0 +1,243 @@
+//! The telemetry HTTP listener: a hand-rolled, zero-dependency
+//! HTTP/1.0 endpoint for scraping the metrics registry while a server
+//! runs.
+//!
+//! Enabled with [`crate::ServeConfig::telemetry_addr`] (the binary's
+//! `--telemetry-addr HOST:PORT`). One thread, one request per
+//! connection, `Connection: close` — exactly enough HTTP for
+//! Prometheus, `curl`, and the CI smoke job, and nothing more.
+//!
+//! # Routes
+//!
+//! | path            | body                                            |
+//! |-----------------|-------------------------------------------------|
+//! | `/metrics`      | Prometheus text format of the global registry   |
+//! | `/metrics.json` | `riot-telemetry/1` JSON snapshot                |
+//! | `/flightrec`    | current flight-recorder ring as JSONL           |
+//! | `/healthz`      | `ok` (liveness probe)                           |
+//!
+//! Anything else is a 404; non-GET methods are a 405. Requests are
+//! read with a short socket timeout so a stalled client cannot wedge
+//! the listener thread.
+
+use crate::flightrec::FlightRecorder;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running telemetry listener. Dropping the handle does **not** stop
+/// the thread; call [`TelemetryServer::stop`].
+pub struct TelemetryServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TelemetryServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9100`, port 0 for ephemeral) and
+    /// serves the routes above until [`TelemetryServer::stop`].
+    ///
+    /// # Errors
+    ///
+    /// Bind failures (port in use, bad address…).
+    pub fn start(addr: &str, flightrec: Arc<FlightRecorder>) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("riot-telemetry".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    riot_trace::registry()
+                        .counter("serve.telemetry.scrapes")
+                        .inc();
+                    // Serve inline: requests are tiny and the replies
+                    // are built from in-memory state, so one thread
+                    // keeps ordering simple and resource use bounded.
+                    let _ = serve_one(stream, &flightrec);
+                }
+            })?;
+        Ok(TelemetryServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // accept() has no timeout; poke the listener awake.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, flightrec: &FlightRecorder) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request_line = read_request_line(&mut stream)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                riot_trace::prometheus(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", riot_trace::json_snapshot()),
+            "/flightrec" => ("200 OK", "application/jsonl", flightrec.to_jsonl()),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_owned()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+        }
+    };
+    let reply = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(reply.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the whole header block (through the blank line) and returns
+/// the request line. Draining the headers before replying matters:
+/// closing a socket with unread input pending makes the kernel send
+/// RST, which truncates the response on the client side. 8 KiB is
+/// plenty for any scraper we serve.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while buf.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                buf.push(byte[0]);
+                if buf.ends_with(b"\r\n\r\n") || buf.ends_with(b"\n\n") {
+                    break;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    Ok(text
+        .lines()
+        .next()
+        .unwrap_or("")
+        .trim_end_matches('\r')
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flightrec::FlightKind;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect telemetry");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_json_flightrec_and_health() {
+        riot_trace::registry()
+            .counter("serve.telemetry.test_counter")
+            .add(5);
+        let rec = Arc::new(FlightRecorder::new(32));
+        rec.record(0, "t", FlightKind::Cmd, "create nand2 X", true, 9);
+        let mut srv = TelemetryServer::start("127.0.0.1:0", Arc::clone(&rec)).unwrap();
+
+        let (head, body) = get(srv.addr(), "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(
+            body.contains("riot_serve_telemetry_test_counter_total"),
+            "{body}"
+        );
+
+        let (_, body) = get(srv.addr(), "/metrics.json");
+        let snap = riot_trace::Snapshot::parse(&body).expect("valid snapshot json");
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "serve.telemetry.test_counter" && *v >= 5));
+
+        let (_, body) = get(srv.addr(), "/flightrec");
+        let events = FlightRecorder::parse_dump(&body).expect("valid dump");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].detail, "create nand2 X");
+
+        let (head, body) = get(srv.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"));
+        assert_eq!(body, "ok\n");
+
+        let (head, _) = get(srv.addr(), "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+
+        srv.stop();
+        srv.stop(); // idempotent
+        assert!(
+            TcpStream::connect(srv.addr()).is_err() || {
+                // The OS may briefly accept on the dead listener's backlog;
+                // a request must at least go unanswered.
+                let mut s = TcpStream::connect(srv.addr()).unwrap();
+                s.set_read_timeout(Some(Duration::from_millis(200)))
+                    .unwrap();
+                write!(s, "GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+                let mut out = String::new();
+                s.read_to_string(&mut out).unwrap_or(0) == 0
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let rec = Arc::new(FlightRecorder::new(16));
+        let mut srv = TelemetryServer::start("127.0.0.1:0", rec).unwrap();
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+        srv.stop();
+    }
+}

@@ -1,0 +1,113 @@
+//! Flight-recorder integration: a fault-injected crash mid-burst must
+//! leave a dump file under the server root whose tail — the session's
+//! last open plus every acknowledged command after it — replays
+//! model-equivalently through the riot-check lockstep harness.
+//!
+//! That is the recorder's reason to exist: after a crash in
+//! production, the dump alone reconstructs what the server actually
+//! did, and the reference model vouches for it.
+
+use riot_core::FAULT_SERVE_JOURNAL_APPEND;
+use riot_serve::{standard_library, Bind, Client, FlightKind, FlightRecorder, ServeConfig, Server};
+use std::time::Duration;
+
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("riot-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn find_dumps(root: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut dumps: Vec<_> = std::fs::read_dir(root)
+        .expect("server root exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    dumps.sort();
+    dumps
+}
+
+#[test]
+fn crash_dump_tail_replays_model_equivalent() {
+    let root = temp_root("flightrec");
+    let mut cfg = ServeConfig::new(&root);
+    cfg.threads = 1;
+    cfg.tick = Duration::from_millis(1);
+    // Trip the journal-append site mid-burst: five commands land, the
+    // sixth crashes the session and auto-dumps the flight recorder.
+    cfg.faults.arm(FAULT_SERVE_JOURNAL_APPEND, 5);
+    let faults = cfg.faults.clone();
+
+    let h = Server::start(cfg, &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+    let mut c = Client::connect(&h.addr()).unwrap();
+    c.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    assert_eq!(c.open("crashy", "TOP").unwrap(), "created");
+    let mut acknowledged = 0usize;
+    let mut crashed = false;
+    for k in 0..8 {
+        match c.cmd("crashy", &format!("create nand2 C{k}")) {
+            Ok(_) => acknowledged += 1,
+            Err(e) => {
+                assert!(e.contains("session crashed"), "unexpected error: {e}");
+                crashed = true;
+                break;
+            }
+        }
+    }
+    assert!(crashed, "the armed fault must crash the burst");
+    assert_eq!(faults.injected(), 1);
+    assert_eq!(
+        acknowledged, 5,
+        "five commands acknowledged before the crash"
+    );
+
+    // The crash path dumps the recorder without being asked.
+    let dumps = find_dumps(&root);
+    assert!(!dumps.is_empty(), "crash left no flightrec-*.jsonl in root");
+    let text = std::fs::read_to_string(&dumps[0]).unwrap();
+    let events = FlightRecorder::parse_dump(&text).expect("dump parses");
+
+    // The ring saw the whole story: the open, the applied commands,
+    // the fault, and the crash marker.
+    assert!(events.iter().any(|e| e.kind == FlightKind::Open));
+    assert!(events
+        .iter()
+        .any(|e| e.kind == FlightKind::Fault && e.detail.contains("serve.journal.append")));
+    assert!(events.iter().any(|e| e.kind == FlightKind::Crash));
+
+    // The replayable tail — last open's head plus acknowledged
+    // commands — is model-equivalent under the lockstep harness.
+    let lines = FlightRecorder::replay_lines(&events, "crashy");
+    assert_eq!(lines[0], "edit TOP", "head line: {lines:?}");
+    assert_eq!(lines.len(), 1 + acknowledged, "tail: {lines:?}");
+    let mut lib = standard_library();
+    let replayed = riot_check::lockstep_replay_lines(&mut lib, &lines)
+        .unwrap_or_else(|e| panic!("dump tail diverges from the model: {e}"));
+    assert_eq!(replayed, 1 + acknowledged);
+
+    // Recovery after the crash keeps recording into the same ring: a
+    // reopen plus more commands extend the story, and a wire `dump`
+    // written after the heal replays the longer tail.
+    assert!(c.open("crashy", "TOP").unwrap().contains("recovered"));
+    c.cmd("crashy", "create nand2 AFTER").unwrap();
+    let healed = c.dump().unwrap();
+    let events = FlightRecorder::parse_dump(&std::fs::read_to_string(healed).unwrap()).unwrap();
+    let lines = FlightRecorder::replay_lines(&events, "crashy");
+    assert!(
+        lines.iter().any(|l| l == "create nand2 AFTER"),
+        "healed tail misses post-crash work: {lines:?}"
+    );
+    let mut lib = standard_library();
+    riot_check::lockstep_replay_lines(&mut lib, &lines)
+        .unwrap_or_else(|e| panic!("healed tail diverges: {e}"));
+
+    c.shutdown_server().unwrap();
+    h.wait();
+    let _ = std::fs::remove_dir_all(root);
+}

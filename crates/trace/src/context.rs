@@ -1,0 +1,163 @@
+//! Trace context: explicit trace ids and cross-thread span handoff.
+//!
+//! A [`TraceContext`] is the pair `(trace_id, parent_span)` that lets a
+//! logical operation keep one identity while it hops threads — or
+//! machines, via the RIOTSRV1 wire protocol's optional trace-context
+//! frame field. The producer side captures a context from a live span
+//! ([`crate::Span::context`]); the consumer side either opens a span
+//! explicitly under it ([`crate::span_with_context`]) or adopts it for
+//! a scope ([`adopt`]) so every *root* span opened in that scope
+//! continues the remote trace.
+//!
+//! Ids are plain `u64`s: `0` means "no trace". A root span opened with
+//! no surrounding context starts a fresh trace whose id is the span's
+//! own id, so every recorded span always belongs to exactly one trace.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The portable identity of an in-flight trace: which trace, and which
+/// span inside it to parent the next child on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The trace this work belongs to (0 = none).
+    pub trace_id: u64,
+    /// The span to parent the continuation on (0 = root).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The absent context: no trace, no parent.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+    };
+
+    /// A context with both ids explicit.
+    pub fn new(trace_id: u64, parent_span: u64) -> TraceContext {
+        TraceContext {
+            trace_id,
+            parent_span,
+        }
+    }
+
+    /// Whether this is the absent context.
+    pub fn is_none(&self) -> bool {
+        self.trace_id == 0 && self.parent_span == 0
+    }
+}
+
+impl Default for TraceContext {
+    fn default() -> Self {
+        TraceContext::NONE
+    }
+}
+
+/// A process-unique, never-zero trace id for stamping a *new* trace at
+/// its origin (e.g. a wire client starting a request). Mixes a counter
+/// with the process id so ids from client and server processes sharing
+/// a test harness do not collide.
+pub fn fresh_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    // SplitMix64 finalizer over (pid << 32 | counter): well-spread,
+    // deterministic per process, and never 0 for n >= 1.
+    let mut z = (u64::from(std::process::id()) << 32)
+        .wrapping_add(n)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z | 1
+}
+
+thread_local! {
+    /// The context root spans on this thread continue, when set.
+    static REMOTE: Cell<TraceContext> = const { Cell::new(TraceContext::NONE) };
+}
+
+pub(crate) fn remote() -> TraceContext {
+    REMOTE.with(Cell::get)
+}
+
+/// Guard restoring the previously adopted context on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    prev: TraceContext,
+}
+
+/// Adopts `ctx` for the current scope: until the returned guard drops,
+/// every **root** span opened on this thread (one with no enclosing
+/// span) records `ctx.trace_id` as its trace and `ctx.parent_span` as
+/// its parent. Spans already nested under a local span are unaffected.
+///
+/// ```
+/// riot_trace::enable(true);
+/// let ctx = riot_trace::TraceContext::new(riot_trace::fresh_trace_id(), 0);
+/// let _g = riot_trace::adopt(ctx);
+/// let s = riot_trace::span!("work.remote");
+/// assert_eq!(s.trace_id(), ctx.trace_id);
+/// # drop(s);
+/// # riot_trace::enable(false);
+/// ```
+pub fn adopt(ctx: TraceContext) -> ContextGuard {
+    let prev = REMOTE.with(|r| r.replace(ctx));
+    ContextGuard { prev }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        REMOTE.with(|r| r.set(self.prev));
+    }
+}
+
+/// The context a child opened *right now* on this thread would
+/// continue: the innermost open span if any, else the adopted remote
+/// context, else [`TraceContext::NONE`].
+pub fn current() -> TraceContext {
+    if let Some((id, trace)) = crate::span::current_open() {
+        return TraceContext {
+            trace_id: trace,
+            parent_span: id,
+        };
+    }
+    remote()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = fresh_trace_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+        }
+    }
+
+    #[test]
+    fn adopt_nests_and_restores() {
+        assert_eq!(remote(), TraceContext::NONE);
+        let outer = TraceContext::new(7, 9);
+        let g1 = adopt(outer);
+        assert_eq!(remote(), outer);
+        {
+            let inner = TraceContext::new(8, 1);
+            let _g2 = adopt(inner);
+            assert_eq!(remote(), inner);
+        }
+        assert_eq!(remote(), outer);
+        drop(g1);
+        assert_eq!(remote(), TraceContext::NONE);
+    }
+
+    #[test]
+    fn none_is_none() {
+        assert!(TraceContext::NONE.is_none());
+        assert!(!TraceContext::new(1, 0).is_none());
+        assert_eq!(TraceContext::default(), TraceContext::NONE);
+    }
+}

@@ -117,10 +117,11 @@ pub fn summary() -> String {
 
 fn span_json(r: &SpanRecord) -> String {
     format!(
-        "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"fields\":{}}}",
+        "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"trace\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"fields\":{}}}",
         escape_json(r.name),
         r.id,
         r.parent,
+        r.trace,
         r.thread,
         r.start_ns,
         r.dur_ns,
@@ -218,6 +219,7 @@ mod tests {
             name,
             id,
             parent: 0,
+            trace: id,
             thread: 1,
             start_ns: 1_500,
             dur_ns: 2_250,

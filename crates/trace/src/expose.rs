@@ -1,0 +1,332 @@
+//! Live metrics exposition: point-in-time registry snapshots rendered
+//! as Prometheus text format or JSON.
+//!
+//! A [`Snapshot`] freezes every counter, gauge, and histogram in a
+//! [`Registry`] into plain data, then renders either way:
+//!
+//! * [`Snapshot::to_prometheus`] — the Prometheus text exposition
+//!   format, version 0.0.4: counters as `<name>_total`, gauges plain,
+//!   histograms as cumulative `_bucket{le="…"}` series over the
+//!   registry's log2 buckets plus `_sum`/`_count`. Metric names are
+//!   sanitized (`.` and any other invalid character become `_`) and
+//!   prefixed `riot_` so the whole plane lives under one namespace.
+//! * [`Snapshot::to_json`] — a single JSON object mirroring the
+//!   snapshot exactly (including percentile estimates), parseable back
+//!   via [`Snapshot::parse`]; the round trip is property-tested.
+//!
+//! The riot-serve `telemetry` wire verb and `--telemetry-addr` HTTP
+//! listener both serve these renderings of the global [`registry`].
+
+use crate::json::Value;
+use crate::metrics::{registry, Registry};
+use std::fmt::Write as _;
+
+/// Frozen statistics of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Conservative p50 estimate (0 when empty).
+    pub p50: u64,
+    /// Conservative p95 estimate (0 when empty).
+    pub p95: u64,
+    /// Conservative p99 estimate (0 when empty).
+    pub p99: u64,
+    /// Non-empty `(bucket_low, bucket_high, count)` triples,
+    /// ascending by bound.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+/// A point-in-time copy of a [`Registry`]. All lists are sorted by
+/// name, so equal registries produce identical snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, stats)` per non-empty histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Rewrites a metric name into the Prometheus alphabet
+/// (`[a-zA-Z0-9_:]`) and prefixes `riot_` unless already present:
+/// `serve.wal.fsync_ns` → `riot_serve_wal_fsync_ns`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    if !name.starts_with("riot_") && !name.starts_with("riot.") {
+        out.push_str("riot_");
+    }
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        // Prometheus names cannot start with a digit, but the riot_
+        // prefix already guarantees a letter first unless the name was
+        // pre-prefixed.
+        if ok && !(i == 0 && out.is_empty() && c.is_ascii_digit()) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Freezes `reg` (histograms with zero observations are omitted;
+    /// their Prometheus series would be all-zero noise).
+    pub fn of(reg: &Registry) -> Snapshot {
+        Snapshot {
+            counters: reg.counters(),
+            gauges: reg.gauges(),
+            histograms: reg
+                .histograms()
+                .into_iter()
+                .filter(|(_, h)| h.count() > 0)
+                .map(|(name, h)| {
+                    (
+                        name,
+                        HistogramSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            min: h.min().unwrap_or(0),
+                            max: h.max().unwrap_or(0),
+                            p50: h.p50().unwrap_or(0),
+                            p95: h.p95().unwrap_or(0),
+                            p99: h.p99().unwrap_or(0),
+                            buckets: h.nonzero_buckets(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n}_total counter");
+            let _ = writeln!(out, "{n}_total {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(_, high, count) in &h.buckets {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{high}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON object (raw names, exact
+    /// values). [`Snapshot::parse`] inverts this.
+    pub fn to_json(&self) -> String {
+        use crate::export::escape_json;
+        let mut out = String::from("{\"schema\":\"riot-telemetry/1\",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape_json(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", escape_json(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                escape_json(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99,
+            );
+            for (j, (lo, hi, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{hi},{c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a [`Snapshot::to_json`] document back into a snapshot.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let v = Value::parse(text)?;
+        if v.get("schema").and_then(Value::as_str) != Some("riot-telemetry/1") {
+            return Err(format!("bad schema: {:?}", v.get("schema")));
+        }
+        let section = |key: &str| -> Result<Vec<(String, Value)>, String> {
+            match v.get(key) {
+                Some(Value::Object(m)) => {
+                    Ok(m.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+                }
+                other => Err(format!("{key} is not an object: {other:?}")),
+            }
+        };
+        let mut counters = Vec::new();
+        for (name, val) in section("counters")? {
+            counters.push((
+                name.clone(),
+                val.as_u64().ok_or(format!("counter {name} not a u64"))?,
+            ));
+        }
+        let mut gauges = Vec::new();
+        for (name, val) in section("gauges")? {
+            gauges.push((
+                name.clone(),
+                val.as_i64().ok_or(format!("gauge {name} not an i64"))?,
+            ));
+        }
+        let mut histograms = Vec::new();
+        for (name, val) in section("histograms")? {
+            let field = |key: &str| -> Result<u64, String> {
+                val.get(key)
+                    .and_then(Value::as_u64)
+                    .ok_or(format!("histogram {name}.{key} missing or not a u64"))
+            };
+            let mut buckets = Vec::new();
+            for (i, b) in val
+                .get("buckets")
+                .and_then(Value::as_array)
+                .ok_or(format!("histogram {name}.buckets missing"))?
+                .iter()
+                .enumerate()
+            {
+                let triple = b
+                    .as_array()
+                    .filter(|a| a.len() == 3)
+                    .ok_or(format!("histogram {name}.buckets[{i}] not a triple"))?;
+                let n = |j: usize| -> Result<u64, String> {
+                    triple[j]
+                        .as_u64()
+                        .ok_or(format!("histogram {name}.buckets[{i}][{j}] not a u64"))
+                };
+                buckets.push((n(0)?, n(1)?, n(2)?));
+            }
+            histograms.push((
+                name.clone(),
+                HistogramSnapshot {
+                    count: field("count")?,
+                    sum: field("sum")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                    p50: field("p50")?,
+                    p95: field("p95")?,
+                    p99: field("p99")?,
+                    buckets,
+                },
+            ));
+        }
+        // BTreeMap iteration already sorted each section by name,
+        // matching the Registry snapshot ordering.
+        Ok(Snapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+}
+
+/// Prometheus text rendering of the global [`registry`].
+pub fn prometheus() -> String {
+    Snapshot::of(registry()).to_prometheus()
+}
+
+/// JSON snapshot of the global [`registry`].
+pub fn json_snapshot() -> String {
+    Snapshot::of(registry()).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(
+            sanitize_metric_name("serve.wal.fsync_ns"),
+            "riot_serve_wal_fsync_ns"
+        );
+        assert_eq!(sanitize_metric_name("riot_already"), "riot_already");
+        assert_eq!(sanitize_metric_name("weird-name\"x"), "riot_weird_name_x");
+        assert_eq!(sanitize_metric_name("a:b"), "riot_a:b");
+    }
+
+    #[test]
+    fn snapshot_round_trips_by_hand() {
+        let reg = Registry::default();
+        reg.counter("serve.cmds").add(200);
+        reg.gauge("serve.queue.depth").set(-3);
+        let h = reg.histogram("serve.wal.fsync_ns");
+        for v in [100u64, 120, 9000] {
+            h.record(v);
+        }
+        let snap = Snapshot::of(&reg);
+        let parsed = Snapshot::parse(&snap.to_json()).expect("parse back");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn empty_histograms_are_omitted() {
+        let reg = Registry::default();
+        reg.histogram("never.recorded");
+        reg.counter("c").inc();
+        let snap = Snapshot::of(&reg);
+        assert!(snap.histograms.is_empty());
+        assert!(!snap.to_prometheus().contains("never_recorded"));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let reg = Registry::default();
+        let h = reg.histogram("lat");
+        h.record(1); // bucket [0,1]
+        h.record(2); // bucket [2,3]
+        h.record(3); // bucket [2,3]
+        let text = Snapshot::of(&reg).to_prometheus();
+        assert!(text.contains("riot_lat_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("riot_lat_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("riot_lat_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("riot_lat_sum 6\n"), "{text}");
+        assert!(text.contains("riot_lat_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        assert!(Snapshot::parse("{\"schema\":\"bogus\"}").is_err());
+        assert!(Snapshot::parse("not json").is_err());
+    }
+}

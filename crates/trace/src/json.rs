@@ -1,0 +1,378 @@
+//! A minimal hand-rolled JSON reader for the telemetry plane.
+//!
+//! The crate emits all its JSON by hand; this is the matching reader,
+//! just big enough to parse what we emit — exposition snapshots,
+//! flight-recorder dumps, bench reports — back into a [`Value`] tree
+//! for round-trip tests and for riot-check's dump replayer. It is a
+//! strict recursive-descent parser over the full JSON grammar with two
+//! deliberate simplifications: numbers are kept as `i128` (covering
+//! the full `u64` and `i64` ranges we emit; fractions and exponents
+//! are rejected) and `\uXXXX` escapes outside the BMP surrogate
+//! mechanism are decoded individually.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (we never emit fractions).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is normalized (sorted) by the map.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// The object field `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value's elements, if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "\"{}\"", crate::export::escape_json(s)),
+            Value::Array(v) => {
+                f.write_str("[")?;
+                for (i, e) in v.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(m) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", crate::export::escape_json(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(format!("non-integer number at byte {start}"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ascii");
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "non-ascii \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(format!("bad utf-8 at byte {start}")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err("truncated utf-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| format!("bad utf-8 at byte {start}"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("42").unwrap(), Value::Int(42));
+        assert_eq!(Value::parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(
+            Value::parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(
+            Value::parse("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Value::Str("a\n\"bA".into())
+        );
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = Value::parse(r#"{"a":[1,2,{"b":"c"}],"d":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("c")
+        );
+        assert_eq!(v.get("d").unwrap(), &Value::Object(BTreeMap::new()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("1.5").is_err());
+        assert!(Value::parse("1e3").is_err());
+        assert!(Value::parse("[1,]").is_err());
+        assert!(Value::parse("{} x").is_err());
+        assert!(Value::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = r#"{"k":[1,-2,"s\n",true,null],"z":{"q":0}}"#;
+        let v = Value::parse(src).unwrap();
+        let printed = v.to_string();
+        assert_eq!(Value::parse(&printed).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = Value::parse("\"héllo ⊕\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo ⊕"));
+    }
+}

@@ -17,6 +17,14 @@
 //!   human-readable session summary, machine-readable JSON lines, and
 //!   Chrome `trace_event` JSON loadable in `chrome://tracing` or
 //!   [Perfetto](https://ui.perfetto.dev).
+//! * **Trace context** ([`TraceContext`], [`span_with_context`],
+//!   [`adopt`], [`complete_span`]) — explicit trace ids that follow a
+//!   logical operation across threads and, via the riot-serve wire
+//!   protocol, across processes; every span records the trace it
+//!   belongs to.
+//! * **Live exposition** ([`Snapshot`], [`prometheus`],
+//!   [`json_snapshot`]) — point-in-time registry snapshots rendered as
+//!   Prometheus text format or JSON, scrapeable while a server runs.
 //!
 //! # Cost model
 //!
@@ -53,15 +61,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod export;
+pub mod expose;
+pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod span;
 
+pub use context::{adopt, current, fresh_trace_id, ContextGuard, TraceContext};
 pub use export::{chrome_trace, jsonl, summary};
+pub use expose::{json_snapshot, prometheus, sanitize_metric_name, Snapshot};
 pub use metrics::{registry, Counter, Gauge, Histogram, Registry};
 pub use recorder::{recorder, Recorder, SpanRecord};
-pub use span::{span, Span};
+pub use span::{complete_span, span, span_with_context, Span};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

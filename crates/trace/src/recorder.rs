@@ -19,6 +19,9 @@ pub struct SpanRecord {
     pub id: u64,
     /// Id of the enclosing span on the same thread, or 0 for roots.
     pub parent: u64,
+    /// Trace this span belongs to (root spans start a trace named
+    /// after their own id, so this is never 0 for recorded spans).
+    pub trace: u64,
     /// Small sequential id of the recording thread.
     pub thread: u64,
     /// Start time in nanoseconds since the trace epoch.
@@ -122,6 +125,7 @@ mod tests {
             name: "test.ring",
             id,
             parent: 0,
+            trace: id,
             thread: 1,
             start_ns: id,
             dur_ns: 1,

@@ -1,0 +1,134 @@
+//! Exporter contract tests: a golden Prometheus rendering pinned
+//! byte-for-byte (scrapers parse this text — format drift is an
+//! incident, not a refactor), plus property tests that the JSON
+//! snapshot round-trips exactly through [`Snapshot::parse`].
+
+use proptest::prelude::*;
+use riot_trace::metrics::Registry;
+use riot_trace::Snapshot;
+
+/// The fixed registry behind the golden text: one counter, one gauge,
+/// one histogram spanning three log2 buckets, and one name that needs
+/// sanitizing.
+fn golden_registry() -> Registry {
+    let reg = Registry::default();
+    reg.counter("serve.cmds").add(42);
+    reg.counter("weird\"name").inc();
+    reg.gauge("serve.slo.error_permille").set(7);
+    let h = reg.histogram("serve.wal.fsync_ns");
+    for v in [1u64, 2, 3, 100] {
+        h.record(v);
+    }
+    reg
+}
+
+#[test]
+fn prometheus_text_matches_golden() {
+    let text = Snapshot::of(&golden_registry()).to_prometheus();
+    let golden = "\
+# TYPE riot_serve_cmds_total counter
+riot_serve_cmds_total 42
+# TYPE riot_weird_name_total counter
+riot_weird_name_total 1
+# TYPE riot_serve_slo_error_permille gauge
+riot_serve_slo_error_permille 7
+# TYPE riot_serve_wal_fsync_ns histogram
+riot_serve_wal_fsync_ns_bucket{le=\"1\"} 1
+riot_serve_wal_fsync_ns_bucket{le=\"3\"} 3
+riot_serve_wal_fsync_ns_bucket{le=\"127\"} 4
+riot_serve_wal_fsync_ns_bucket{le=\"+Inf\"} 4
+riot_serve_wal_fsync_ns_sum 106
+riot_serve_wal_fsync_ns_count 4
+";
+    assert_eq!(text, golden, "rendered:\n{text}");
+}
+
+#[test]
+fn golden_json_round_trips_and_escapes() {
+    let snap = Snapshot::of(&golden_registry());
+    let json = snap.to_json();
+    // The quote in `weird"name` must be escaped, never raw.
+    assert!(json.contains("weird\\\"name"), "{json}");
+    assert!(json.contains("\"schema\":\"riot-telemetry/1\""), "{json}");
+    let back = Snapshot::parse(&json).expect("golden json parses");
+    assert_eq!(back, snap);
+}
+
+/// Metric-name strategy: the characters real call sites use, plus a
+/// quote and a backslash so the JSON escaper is exercised.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._\"\\\\]{0,16}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn json_snapshot_round_trips(
+        counters in prop::collection::vec((arb_name(), 0u64..u64::MAX / 2), 0..6),
+        gauges in prop::collection::vec((arb_name(), -1_000_000i64..1_000_000), 0..6),
+        histograms in prop::collection::vec(
+            (arb_name(), prop::collection::vec(0u64..1_000_000_000, 1..40)),
+            0..4,
+        ),
+    ) {
+        let reg = Registry::default();
+        for (name, v) in &counters {
+            reg.counter(name).add(*v);
+        }
+        for (name, v) in &gauges {
+            reg.gauge(name).set(*v);
+        }
+        for (name, vals) in &histograms {
+            let h = reg.histogram(name);
+            for v in vals {
+                h.record(*v);
+            }
+        }
+        let snap = Snapshot::of(&reg);
+        let back = Snapshot::parse(&snap.to_json()).expect("round trip parses");
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed(
+        counters in prop::collection::vec((arb_name(), 0u64..1_000_000), 1..5),
+        samples in prop::collection::vec(0u64..1_000_000, 1..20),
+    ) {
+        let reg = Registry::default();
+        for (name, v) in &counters {
+            reg.counter(name).add(*v);
+        }
+        let h = reg.histogram("lat.ns");
+        for v in &samples {
+            h.record(*v);
+        }
+        let text = Snapshot::of(&reg).to_prometheus();
+        let mut last_bucket: Option<u64> = None;
+        for line in text.lines() {
+            if line.starts_with("# TYPE ") {
+                continue;
+            }
+            // Every sample line is `name{labels} value` or `name value`
+            // with a metric name in the Prometheus alphabet.
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let bare = name.split('{').next().unwrap();
+            prop_assert!(
+                bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name {bare:?}"
+            );
+            prop_assert!(value.parse::<i64>().is_ok(), "bad value in {line:?}");
+            // Cumulative bucket counts never decrease.
+            if let Some(rest) = name.strip_prefix("riot_lat_ns_bucket{le=\"") {
+                let v: u64 = value.parse().unwrap();
+                if !rest.starts_with('+') {
+                    if let Some(prev) = last_bucket {
+                        prop_assert!(v >= prev, "bucket counts regressed in {line:?}");
+                    }
+                    last_bucket = Some(v);
+                }
+            }
+        }
+        prop_assert!(text.contains("riot_lat_ns_count"), "{text}");
+    }
+}
