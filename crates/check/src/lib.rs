@@ -39,7 +39,7 @@ pub mod shrink;
 pub use generator::{Generator, SplitMix64};
 pub use model::{capture_core, Core, Model, POutcome, PredictedOk, Prediction};
 pub use runner::{
-    check_equiv, crash_check, lockstep_replay, lockstep_replay_lines, menu_library, run_check,
-    run_commands, step, CheckConfig, Failure, Report,
+    check_equiv, crash_check, lockstep_model, lockstep_replay, lockstep_replay_lines, menu_library,
+    run_check, run_commands, step, CheckConfig, Failure, Report,
 };
 pub use shrink::shrink;

@@ -564,6 +564,18 @@ pub fn run_check(cfg: &CheckConfig) -> Result<Report, Failure> {
 ///
 /// The first divergence (or replay failure), with its command index.
 pub fn lockstep_replay(lib: &mut Library, cmds: &[Command]) -> Result<usize, String> {
+    lockstep_model(lib, cmds).map(|(_, n)| n)
+}
+
+/// [`lockstep_replay`] that also hands back the final reference
+/// [`Model`], so a session recovered by some *other* route — a
+/// snapshot plus a compacted WAL tail, say — can be proved equivalent
+/// to the full-history replay with [`check_equiv`].
+///
+/// # Errors
+///
+/// The first divergence (or replay failure), with its command index.
+pub fn lockstep_model(lib: &mut Library, cmds: &[Command]) -> Result<(Model, usize), String> {
     let Some(Command::Edit { cell }) = cmds.first() else {
         return Err("journal must start with an `edit` head".into());
     };
@@ -579,7 +591,7 @@ pub fn lockstep_replay(lib: &mut Library, cmds: &[Command]) -> Result<usize, Str
             .map_err(|e| format!("after record {n} `{}`: {e}", command_to_line(cmd)))?;
         n += 1;
     }
-    Ok(n)
+    Ok((model, n))
 }
 
 /// [`lockstep_replay`] over text command lines — the form a flight

@@ -126,14 +126,24 @@ pub struct Editor<'a> {
 /// borrow-locked editor alive for each.
 #[derive(Debug)]
 pub struct Checkpoint {
-    cell: CellId,
-    pending: Vec<PendingConnection>,
-    warnings: Vec<String>,
-    journal: Journal,
-    instance_counter: usize,
-    history: History,
-    stats: Stats,
-    fault: Option<FaultPlan>,
+    /// The cell under edit. Fields are crate-visible so
+    /// `crate::persist` can serialize a suspended session to bytes and
+    /// rebuild it without replaying its history.
+    pub(crate) cell: CellId,
+    /// The pending-connection list at suspension.
+    pub(crate) pending: Vec<PendingConnection>,
+    /// Warnings accumulated but not yet drained.
+    pub(crate) warnings: Vec<String>,
+    /// Every accepted command, `edit` head first.
+    pub(crate) journal: Journal,
+    /// Next instance-name ordinal.
+    pub(crate) instance_counter: usize,
+    /// Undo/redo stacks.
+    pub(crate) history: History,
+    /// Cumulative engine counters.
+    pub(crate) stats: Stats,
+    /// Armed fault plan, if any (never serialized).
+    pub(crate) fault: Option<FaultPlan>,
 }
 
 impl Checkpoint {

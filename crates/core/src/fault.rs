@@ -37,6 +37,17 @@ pub const FAULT_SERVE_FRAME_DECODE: &str = "serve.frame.decode";
 /// server writes a deliberately torn record and crashes the session,
 /// so recovery-on-reopen must truncate cleanly.
 pub const FAULT_SERVE_JOURNAL_APPEND: &str = "serve.journal.append";
+/// The snapshot-write fault site in `riot-serve`: trips while a
+/// session snapshot is being written, leaving a deliberately torn
+/// `RIOTSNAP1` file behind. The session itself keeps running (its WAL
+/// is still intact); recovery must detect the torn snapshot and fall
+/// back to full WAL replay.
+pub const FAULT_SERVE_SNAPSHOT_WRITE: &str = "serve.snapshot.write";
+/// The group-flush fault site in `riot-serve`: trips when a worker's
+/// commit queue flushes staged WAL bytes for a session. The session
+/// crashes with its staged (never acknowledged) suffix discarded, so
+/// recovery lands exactly on the durable prefix.
+pub const FAULT_SERVE_GROUP_FLUSH: &str = "serve.group.flush";
 
 /// A seeded plan of fault injections, attached to an editing session
 /// with [`crate::Editor::set_fault_plan`].

@@ -90,8 +90,11 @@ pub(crate) struct Applied {
 /// The session's undo and redo stacks.
 #[derive(Debug, Default)]
 pub(crate) struct History {
-    undo: Vec<Applied>,
-    redo: Vec<Command>,
+    /// Applied commands with their inverses, oldest first. Crate-visible
+    /// so `crate::persist` can serialize a suspended session wholesale.
+    pub(crate) undo: Vec<Applied>,
+    /// Undone commands awaiting redo, oldest first.
+    pub(crate) redo: Vec<Command>,
 }
 
 impl History {

@@ -58,6 +58,7 @@ pub mod instance;
 pub mod library;
 pub mod measure;
 pub mod netlist;
+pub mod persist;
 pub mod replay;
 mod txn;
 
@@ -69,11 +70,13 @@ pub use error::RiotError;
 pub use events::{ChangeEvent, Damage, Stats};
 pub use fault::{
     FaultPlan, FAULT_ROUTE_SOLVE, FAULT_SERVE_ACCEPT, FAULT_SERVE_FRAME_DECODE,
-    FAULT_SERVE_JOURNAL_APPEND, FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT,
+    FAULT_SERVE_GROUP_FLUSH, FAULT_SERVE_JOURNAL_APPEND, FAULT_SERVE_SNAPSHOT_WRITE,
+    FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT,
 };
 pub use instance::{Instance, InstanceId};
 pub use library::Library;
 pub use netlist::{ConnectionLedger, ConnectionViolation, MaintainedConnection};
+pub use persist::{decode_session, encode_session, PersistError};
 pub use replay::{
     command_to_line, crc32, parse_command_line, replay, Journal, ReplayCommand, WalCorruption,
     WalRecovery, WAL_MAGIC,

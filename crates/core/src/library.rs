@@ -12,8 +12,11 @@ use riot_geom::Transform;
 /// id; ids are stable (renames keep the id).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Library {
-    cells: Vec<Cell>,
-    route_counter: usize,
+    /// The menu, in definition order. Crate-visible so
+    /// `crate::persist` can serialize and rebuild a library verbatim.
+    pub(crate) cells: Vec<Cell>,
+    /// Monotone counter behind [`Library::next_route_name`].
+    pub(crate) route_counter: usize,
 }
 
 /// A cheap rollback point for the command engine's transactions.
@@ -24,8 +27,10 @@ pub struct Library {
 /// failed compound command added to the menu.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct LibraryCheckpoint {
-    cells_len: usize,
-    route_counter: usize,
+    /// Menu length at capture. Crate-visible for `crate::persist`.
+    pub(crate) cells_len: usize,
+    /// Route-name counter at capture.
+    pub(crate) route_counter: usize,
 }
 
 impl Library {

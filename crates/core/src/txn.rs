@@ -24,9 +24,14 @@ use crate::library::{Library, LibraryCheckpoint};
 /// cell under edit and the pending list are cloned in full.
 #[derive(Debug, Clone)]
 pub(crate) struct Snapshot {
-    checkpoint: LibraryCheckpoint,
-    edit_cell: Cell,
-    pending: Vec<PendingConnection>,
+    /// The library rollback point. Fields are crate-visible so
+    /// `crate::persist` can serialize undo records for suspended
+    /// sessions.
+    pub(crate) checkpoint: LibraryCheckpoint,
+    /// Full clone of the cell under edit.
+    pub(crate) edit_cell: Cell,
+    /// The pending list at capture time.
+    pub(crate) pending: Vec<PendingConnection>,
 }
 
 impl Snapshot {

@@ -2,16 +2,35 @@
 //!
 //! Spawns `sessions` client connections (each driving its own
 //! session), pushes `commands` editor commands through each with a
-//! window of `window` requests in flight, and reports throughput plus
-//! request-latency percentiles. The report is schema-checked by
+//! window of `window` requests in flight, and reports throughput,
+//! request-latency percentiles, and **durability cost**: how many WAL
+//! fsyncs the run bought (`fsyncs_total`, read as the delta of the
+//! server's `serve.wal.fsyncs` counter over the `telemetry` wire verb)
+//! and how many fsyncs each acknowledged command cost
+//! (`fsyncs_per_cmd` — the number group commit exists to push far
+//! below 1.0). The report is schema-checked by
 //! [`BenchReport::validate`] **before** any timing claim is written —
 //! a bench that cannot vouch for its own numbers emits nothing.
+//!
+//! [`run_suite`] goes further: it spawns two private servers — one
+//! with group commit, one flushing per run — drives both with the same
+//! load, and reports the durable-throughput speedup alongside a
+//! recovery benchmark ([`run_recovery_bench`]) that times session
+//! recovery with and without a snapshot across growing WAL histories,
+//! demonstrating that snapshot recovery cost is flat in history
+//! length.
 
 use crate::client::Client;
-use crate::net::BoundAddr;
-use crate::proto::{Reply, ReplyBody, RequestBody};
-use std::collections::HashMap;
-use std::time::Instant;
+use crate::config::{standard_library, ServeConfig};
+use crate::fault::ServeFaults;
+use crate::net::{Bind, BoundAddr};
+use crate::proto::{Reply, ReplyBody, RequestBody, TelemetryFormat};
+use crate::server::Server;
+use crate::session::{execute_line, SessionEntry};
+use riot_core::Editor;
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Bench shape: how much load, how wide the pipeline.
 #[derive(Debug, Clone)]
@@ -22,6 +41,11 @@ pub struct BenchConfig {
     pub commands: usize,
     /// Pipelined requests in flight per connection.
     pub window: usize,
+    /// The driven server's group-commit window in microseconds, stamped
+    /// into the report as provenance: `Some(0)` means group commit is
+    /// off (one fsync per run), `None` means unknown (a remote server
+    /// whose configuration the bench cannot see).
+    pub group_commit_us: Option<u64>,
 }
 
 impl Default for BenchConfig {
@@ -30,6 +54,7 @@ impl Default for BenchConfig {
             sessions: 4,
             commands: 1000,
             window: 32,
+            group_commit_us: None,
         }
     }
 }
@@ -37,7 +62,7 @@ impl Default for BenchConfig {
 /// What the bench measured.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
-    /// Report schema tag, always `riot-serve-bench/1`.
+    /// Report schema tag, always `riot-serve-bench/2`.
     pub schema: String,
     /// Concurrent sessions driven.
     pub sessions: usize,
@@ -45,10 +70,18 @@ pub struct BenchReport {
     pub commands_total: usize,
     /// Pipeline window per connection.
     pub window: usize,
+    /// Group-commit window of the driven server, microseconds
+    /// (`Some(0)` = off, `None` = unknown/remote).
+    pub group_commit_us: Option<u64>,
     /// Wall-clock for the whole run, milliseconds.
     pub elapsed_ms: f64,
     /// Acknowledged commands per second (all sessions combined).
     pub cmds_per_sec: f64,
+    /// WAL fsyncs the run performed (`serve.wal.fsyncs` delta).
+    pub fsyncs_total: u64,
+    /// Fsyncs per acknowledged command — group commit's whole point is
+    /// pushing this far below 1.0.
+    pub fsyncs_per_cmd: f64,
     /// Request latency percentiles, microseconds.
     pub p50_us: u64,
     /// 95th percentile latency, microseconds.
@@ -61,14 +94,14 @@ pub struct BenchReport {
 
 impl BenchReport {
     /// Checks internal consistency: the schema tag, positive load and
-    /// timings, ordered percentiles. Run this before trusting (or
-    /// writing) any number in the report.
+    /// timings, ordered percentiles, fsync accounting. Run this before
+    /// trusting (or writing) any number in the report.
     ///
     /// # Errors
     ///
     /// A description of the first inconsistent field.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema != "riot-serve-bench/1" {
+        if self.schema != "riot-serve-bench/2" {
             return Err(format!("bad schema tag `{}`", self.schema));
         }
         if self.sessions == 0 {
@@ -96,6 +129,16 @@ impl BenchReport {
                 self.cmds_per_sec, implied
             ));
         }
+        let implied_rate = self.fsyncs_total as f64 / self.commands_total as f64;
+        if !(self.fsyncs_per_cmd.is_finite()
+            && self.fsyncs_per_cmd >= 0.0
+            && (implied_rate - self.fsyncs_per_cmd).abs() < 1e-6)
+        {
+            return Err(format!(
+                "fsyncs_per_cmd {:.4} disagrees with fsyncs/commands {:.4}",
+                self.fsyncs_per_cmd, implied_rate
+            ));
+        }
         if !(self.p50_us <= self.p95_us && self.p95_us <= self.p99_us) {
             return Err(format!(
                 "percentiles out of order: p50 {} p95 {} p99 {}",
@@ -105,22 +148,146 @@ impl BenchReport {
         Ok(())
     }
 
-    /// The report as pretty-printed JSON (`riot-serve-bench/1`).
+    /// The report as pretty-printed JSON (`riot-serve-bench/2`).
     pub fn to_json(&self) -> String {
+        let gc = match self.group_commit_us {
+            Some(us) => us.to_string(),
+            None => "null".to_owned(),
+        };
         format!(
             "{{\n  \"schema\": \"{}\",\n  \"sessions\": {},\n  \"commands_total\": {},\n  \
-             \"window\": {},\n  \"elapsed_ms\": {:.2},\n  \"cmds_per_sec\": {:.1},\n  \
+             \"window\": {},\n  \"group_commit_us\": {},\n  \"elapsed_ms\": {:.2},\n  \
+             \"cmds_per_sec\": {:.1},\n  \"fsyncs_total\": {},\n  \"fsyncs_per_cmd\": {:.4},\n  \
              \"p50_us\": {},\n  \"p95_us\": {},\n  \"p99_us\": {},\n  \"busy_retries\": {}\n}}\n",
             self.schema,
             self.sessions,
             self.commands_total,
             self.window,
+            gc,
             self.elapsed_ms,
             self.cmds_per_sec,
+            self.fsyncs_total,
+            self.fsyncs_per_cmd,
             self.p50_us,
             self.p95_us,
             self.p99_us,
             self.busy_retries
+        )
+    }
+}
+
+/// One session-recovery timing at one history length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPoint {
+    /// Commands in the session's history before recovery.
+    pub history: usize,
+    /// Recovery time with no snapshot: full-history replay, ms.
+    pub full_replay_ms: f64,
+    /// Recovery time from snapshot + WAL tail, ms.
+    pub snapshot_ms: f64,
+    /// WAL records replayed on top of the snapshot.
+    pub tail_records: usize,
+}
+
+/// A grouped-vs-baseline comparison plus the recovery curve — what
+/// `riot-serve bench --suite` writes to `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSuite {
+    /// Suite schema tag, always `riot-serve-bench-suite/1`.
+    pub schema: String,
+    /// The run against a group-committing server.
+    pub grouped: BenchReport,
+    /// The same load against a server flushing once per run.
+    pub baseline: BenchReport,
+    /// `grouped.cmds_per_sec / baseline.cmds_per_sec`.
+    pub speedup: f64,
+    /// Recovery timings across growing histories; `snapshot_ms` should
+    /// stay flat while `full_replay_ms` grows.
+    pub recovery: Vec<RecoveryPoint>,
+}
+
+impl BenchSuite {
+    /// Validates both embedded reports, the speedup arithmetic, and
+    /// the recovery curve's shape (non-empty, histories increasing,
+    /// positive timings).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first inconsistent field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != "riot-serve-bench-suite/1" {
+            return Err(format!("bad suite schema tag `{}`", self.schema));
+        }
+        self.grouped
+            .validate()
+            .map_err(|e| format!("grouped: {e}"))?;
+        self.baseline
+            .validate()
+            .map_err(|e| format!("baseline: {e}"))?;
+        let implied = self.grouped.cmds_per_sec / self.baseline.cmds_per_sec;
+        if !(self.speedup.is_finite() && (implied - self.speedup).abs() / implied < 0.01) {
+            return Err(format!(
+                "speedup {:.2} disagrees with throughput ratio {:.2}",
+                self.speedup, implied
+            ));
+        }
+        if self.recovery.is_empty() {
+            return Err("recovery curve is empty".into());
+        }
+        for pair in self.recovery.windows(2) {
+            if pair[1].history <= pair[0].history {
+                return Err("recovery histories must be strictly increasing".into());
+            }
+        }
+        for p in &self.recovery {
+            if !(p.full_replay_ms.is_finite()
+                && p.full_replay_ms > 0.0
+                && p.snapshot_ms.is_finite()
+                && p.snapshot_ms > 0.0)
+            {
+                return Err(format!("history {}: non-positive timing", p.history));
+            }
+        }
+        Ok(())
+    }
+
+    /// The suite as pretty-printed JSON (`riot-serve-bench-suite/1`).
+    pub fn to_json(&self) -> String {
+        let indent = |block: &str| -> String {
+            block
+                .trim_end()
+                .lines()
+                .enumerate()
+                .map(|(i, l)| {
+                    if i == 0 {
+                        l.to_owned()
+                    } else {
+                        format!("  {l}")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let points = self
+            .recovery
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{ \"history\": {}, \"full_replay_ms\": {:.2}, \
+                     \"snapshot_ms\": {:.2}, \"tail_records\": {} }}",
+                    p.history, p.full_replay_ms, p.snapshot_ms, p.tail_records
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"grouped\": {},\n  \"baseline\": {},\n  \
+             \"speedup\": {:.2},\n  \"recovery\": [\n{}\n  ]\n}}\n",
+            self.schema,
+            indent(&self.grouped.to_json()),
+            indent(&self.baseline.to_json()),
+            self.speedup,
+            points
         )
     }
 }
@@ -143,7 +310,31 @@ fn command_line(i: usize) -> String {
     }
 }
 
+/// Reads the server's `serve.wal.fsyncs` counter over the `telemetry`
+/// wire verb. Works the same against a spawned or a remote server; on
+/// a shared remote server other tenants' fsyncs pollute the delta,
+/// which is why CI benches against a private spawned server.
+fn wal_fsyncs(addr: &BoundAddr) -> Result<u64, String> {
+    let mut c = Client::connect(addr).map_err(|e| format!("telemetry connect: {e}"))?;
+    let text = c
+        .telemetry(TelemetryFormat::Json)
+        .map_err(|e| format!("telemetry verb: {e}"))?;
+    let snap = riot_trace::Snapshot::parse(&text).map_err(|e| format!("telemetry parse: {e}"))?;
+    Ok(snap
+        .counters
+        .iter()
+        .find(|(name, _)| name == "serve.wal.fsyncs")
+        .map_or(0, |(_, v)| *v))
+}
+
 /// Drives one session over one connection with windowed pipelining.
+///
+/// Dependency-aware: `translate G{n}` is only eligible to send once
+/// `create nand2 G{n}` is acknowledged, so a `busy` retry (which puts
+/// a command behind later sends in the server's queue) can never
+/// reorder a translate ahead of its create. Commands on *different*
+/// gates commute, so any interleaving of eligible commands reaches the
+/// same session state.
 fn drive_session(addr: &BoundAddr, session: &str, cfg: &BenchConfig) -> Result<SessionRun, String> {
     let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
     c.open(session, "TOP").map_err(|e| format!("open: {e}"))?;
@@ -153,18 +344,29 @@ fn drive_session(addr: &BoundAddr, session: &str, cfg: &BenchConfig) -> Result<S
         busy_retries: 0,
     };
     let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::new();
-    let mut next = 0usize;
+    // Every create is eligible immediately; each translate becomes
+    // eligible when its create is acknowledged.
+    let mut ready: VecDeque<usize> = (0..cfg.commands).filter(|i| i.is_multiple_of(2)).collect();
+    // After a `busy`, stop refilling until the window drains to this
+    // level — hammering a full inbox just buys more busy replies.
+    let mut cooldown: Option<usize> = None;
     while run.acked < cfg.commands {
-        // Fill the window.
-        while next < cfg.commands && in_flight.len() < cfg.window.max(1) {
+        if cooldown.is_some_and(|n| in_flight.len() <= n) {
+            cooldown = None;
+        }
+        // Fill the window from the eligible queue.
+        while cooldown.is_none() && in_flight.len() < cfg.window.max(1) {
+            let Some(i) = ready.pop_front() else { break };
             let id = c
                 .send(RequestBody::Cmd {
                     session: session.to_owned(),
-                    line: command_line(next),
+                    line: command_line(i),
                 })
                 .map_err(|e| format!("send: {e}"))?;
-            in_flight.insert(id, (next, Instant::now()));
-            next += 1;
+            in_flight.insert(id, (i, Instant::now()));
+        }
+        if in_flight.is_empty() {
+            return Err("pipeline stalled: nothing in flight, nothing eligible".into());
         }
         // Drain one reply.
         let Reply { id, body } = c.recv().map_err(|e| format!("recv: {e}"))?;
@@ -176,25 +378,32 @@ fn drive_session(addr: &BoundAddr, session: &str, cfg: &BenchConfig) -> Result<S
                 run.latencies_us
                     .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
                 run.acked += 1;
+                // The gate exists now: its translate may fly.
+                if cmd_index.is_multiple_of(2) && cmd_index + 1 < cfg.commands {
+                    ready.push_back(cmd_index + 1);
+                }
             }
             ReplyBody::Busy => {
-                // Backpressure: put the command back in the queue. The
-                // shrunken window drains before we refill.
+                // Backpressure: the command goes back to the front of
+                // the eligible queue, and half the window drains
+                // before we refill.
                 run.busy_retries += 1;
-                let id = c
-                    .send(RequestBody::Cmd {
-                        session: session.to_owned(),
-                        line: command_line(cmd_index),
-                    })
-                    .map_err(|e| format!("resend: {e}"))?;
-                in_flight.insert(id, (cmd_index, Instant::now()));
+                ready.push_front(cmd_index);
+                cooldown = Some(in_flight.len() / 2);
             }
             ReplyBody::Err(m) => return Err(format!("command {cmd_index}: {m}")),
         }
     }
-    c.close_session(session)
-        .map_err(|e| format!("close: {e}"))?;
-    Ok(run)
+    // Close politely: the inbox may still be full of other sessions'
+    // traffic, so `busy` here just means try again in a moment.
+    for _ in 0..1000 {
+        match c.close_session(session) {
+            Err(e) if e == "busy" => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) => return Err(format!("close: {e}")),
+            Ok(_) => return Ok(run),
+        }
+    }
+    Err("close: busy after 1000 retries".into())
 }
 
 /// Runs the bench against a live server and returns a **validated**
@@ -205,6 +414,7 @@ fn drive_session(addr: &BoundAddr, session: &str, cfg: &BenchConfig) -> Result<S
 /// Transport/protocol failures, lost or misordered replies, or a
 /// report that fails its own schema check.
 pub fn run_bench(addr: &BoundAddr, cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let fsyncs_before = wal_fsyncs(addr)?;
     let started = Instant::now();
     let runs: Vec<Result<SessionRun, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.sessions)
@@ -220,6 +430,7 @@ pub fn run_bench(addr: &BoundAddr, cfg: &BenchConfig) -> Result<BenchReport, Str
             .collect()
     });
     let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let fsyncs_total = wal_fsyncs(addr)?.saturating_sub(fsyncs_before);
 
     let mut latencies: Vec<u64> = Vec::new();
     let mut acked = 0usize;
@@ -239,12 +450,15 @@ pub fn run_bench(addr: &BoundAddr, cfg: &BenchConfig) -> Result<BenchReport, Str
         latencies[idx.min(latencies.len() - 1)]
     };
     let report = BenchReport {
-        schema: "riot-serve-bench/1".to_owned(),
+        schema: "riot-serve-bench/2".to_owned(),
         sessions: cfg.sessions,
         commands_total: acked,
         window: cfg.window,
+        group_commit_us: cfg.group_commit_us,
         elapsed_ms,
         cmds_per_sec: acked as f64 / (elapsed_ms / 1000.0),
+        fsyncs_total,
+        fsyncs_per_cmd: fsyncs_total as f64 / acked.max(1) as f64,
         p50_us: pct(0.50),
         p95_us: pct(0.95),
         p99_us: pct(0.99),
@@ -254,18 +468,148 @@ pub fn run_bench(addr: &BoundAddr, cfg: &BenchConfig) -> Result<BenchReport, Str
     Ok(report)
 }
 
+/// Spawns a private Unix-socket server in a fresh temp directory.
+fn spawn_server(
+    tag: &str,
+    group_commit: Option<Duration>,
+    snapshot_every: usize,
+) -> Result<(crate::server::ServerHandle, PathBuf), String> {
+    let dir = std::env::temp_dir().join(format!("riot-serve-suite-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut cfg = ServeConfig::new(dir.join("wal"));
+    cfg.group_commit = group_commit;
+    cfg.snapshot_every = snapshot_every;
+    let handle = Server::start(cfg, &Bind::Unix(dir.join("bench.sock")))
+        .map_err(|e| format!("cannot spawn {tag} server: {e}"))?;
+    Ok((handle, dir))
+}
+
+/// Applies `range` of the bench command mix directly to a session
+/// entry (resume, execute, suspend, one flush) — the recovery bench's
+/// way of building WAL history without a server in the way.
+fn apply_lines(entry: &mut SessionEntry, range: std::ops::Range<usize>) -> Result<(), String> {
+    let cp = entry.cp.take().ok_or("session has no checkpoint")?;
+    let mut ed = Editor::resume(&mut entry.lib, cp).map_err(|e| format!("resume: {e}"))?;
+    for i in range {
+        execute_line(&mut ed, &command_line(i)).map_err(|e| format!("command {i}: {e}"))?;
+    }
+    entry.cp = Some(ed.suspend());
+    entry.sync_all().map_err(|e| format!("flush: {e}"))
+}
+
+/// Times session recovery with and without a snapshot at each history
+/// length in `histories`. Each point builds a session with `history`
+/// commands, times a full-history recovery (no snapshot on disk), then
+/// cuts a snapshot, appends `tail` more commands, and times the
+/// snapshot + tail recovery. `snapshot_ms` staying flat while
+/// `full_replay_ms` grows is the O(snapshot + tail) claim, measured.
+///
+/// # Errors
+///
+/// I/O or replay failures while building or recovering the sessions.
+pub fn run_recovery_bench(histories: &[usize], tail: usize) -> Result<Vec<RecoveryPoint>, String> {
+    let faults = ServeFaults::none();
+    let mut points = Vec::new();
+    for (k, &history) in histories.iter().enumerate() {
+        let dir =
+            std::env::temp_dir().join(format!("riot-recov-{k}-{history}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+
+        let mut entry = SessionEntry::create(&dir, "rec", "TOP", standard_library())?;
+        apply_lines(&mut entry, 0..history)?;
+        drop(entry);
+
+        // No snapshot on disk yet: this is the full-history replay.
+        let t = Instant::now();
+        let (mut entry, _) = SessionEntry::recover(&dir, "rec", standard_library())?;
+        let full_replay_ms = t.elapsed().as_secs_f64() * 1000.0;
+
+        // Snapshot, compact, extend by `tail`, recover again.
+        if !entry.snapshot_now(&dir, &faults) {
+            return Err(format!("history {history}: snapshot refused"));
+        }
+        apply_lines(&mut entry, history..history + tail)?;
+        drop(entry);
+        let t = Instant::now();
+        let (entry, _) = SessionEntry::recover(&dir, "rec", standard_library())?;
+        let snapshot_ms = t.elapsed().as_secs_f64() * 1000.0;
+        drop(entry);
+
+        let _ = std::fs::remove_dir_all(&dir);
+        points.push(RecoveryPoint {
+            history,
+            full_replay_ms,
+            snapshot_ms,
+            tail_records: tail,
+        });
+    }
+    Ok(points)
+}
+
+/// Runs the full comparison suite: the same load against a
+/// group-committing server and a per-run-fsync baseline (both private,
+/// spawned, torn down), plus the recovery curve. Returns a
+/// **validated** [`BenchSuite`].
+///
+/// # Errors
+///
+/// Server spawn failures, bench failures on either server, recovery
+/// bench failures, or a suite that fails its own consistency check.
+pub fn run_suite(
+    load: &BenchConfig,
+    group_commit_us: u64,
+    snapshot_every: usize,
+    histories: &[usize],
+    tail: usize,
+) -> Result<BenchSuite, String> {
+    let mut cfg = load.clone();
+    cfg.group_commit_us = Some(group_commit_us);
+    let (handle, dir) = spawn_server(
+        "grouped",
+        Some(Duration::from_micros(group_commit_us)),
+        snapshot_every,
+    )?;
+    let grouped = run_bench(&handle.addr(), &cfg);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+    let grouped = grouped.map_err(|e| format!("grouped run: {e}"))?;
+
+    cfg.group_commit_us = Some(0);
+    let (handle, dir) = spawn_server("baseline", None, snapshot_every)?;
+    let baseline = run_bench(&handle.addr(), &cfg);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+    let baseline = baseline.map_err(|e| format!("baseline run: {e}"))?;
+
+    let suite = BenchSuite {
+        schema: "riot-serve-bench-suite/1".to_owned(),
+        speedup: grouped.cmds_per_sec / baseline.cmds_per_sec,
+        grouped,
+        baseline,
+        recovery: run_recovery_bench(histories, tail)?,
+    };
+    suite.validate()?;
+    Ok(suite)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sample() -> BenchReport {
         BenchReport {
-            schema: "riot-serve-bench/1".into(),
+            schema: "riot-serve-bench/2".into(),
             sessions: 4,
             commands_total: 200,
             window: 16,
+            group_commit_us: Some(1000),
             elapsed_ms: 20.0,
             cmds_per_sec: 10_000.0,
+            fsyncs_total: 50,
+            fsyncs_per_cmd: 0.25,
             p50_us: 50,
             p95_us: 200,
             p99_us: 400,
@@ -278,8 +622,18 @@ mod tests {
         let r = sample();
         r.validate().unwrap();
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"riot-serve-bench/1\""));
+        assert!(json.contains("\"schema\": \"riot-serve-bench/2\""));
         assert!(json.contains("\"cmds_per_sec\": 10000.0"));
+        assert!(json.contains("\"fsyncs_total\": 50"));
+        assert!(json.contains("\"fsyncs_per_cmd\": 0.2500"));
+        assert!(json.contains("\"group_commit_us\": 1000"));
+    }
+
+    #[test]
+    fn unknown_group_commit_serializes_as_null() {
+        let mut r = sample();
+        r.group_commit_us = None;
+        assert!(r.to_json().contains("\"group_commit_us\": null"));
     }
 
     #[test]
@@ -299,6 +653,67 @@ mod tests {
         let mut r = sample();
         r.cmds_per_sec = 123.0; // disagrees with commands/elapsed
         assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.fsyncs_per_cmd = 0.9; // disagrees with fsyncs/commands
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn suite_validation_checks_speedup_and_curve() {
+        let grouped = sample();
+        let mut baseline = sample();
+        baseline.group_commit_us = Some(0);
+        baseline.elapsed_ms = 40.0;
+        baseline.cmds_per_sec = 5_000.0;
+        baseline.fsyncs_total = 200;
+        baseline.fsyncs_per_cmd = 1.0;
+        let suite = BenchSuite {
+            schema: "riot-serve-bench-suite/1".into(),
+            grouped,
+            baseline,
+            speedup: 2.0,
+            recovery: vec![
+                RecoveryPoint {
+                    history: 500,
+                    full_replay_ms: 5.0,
+                    snapshot_ms: 1.0,
+                    tail_records: 64,
+                },
+                RecoveryPoint {
+                    history: 2000,
+                    full_replay_ms: 20.0,
+                    snapshot_ms: 1.1,
+                    tail_records: 64,
+                },
+            ],
+        };
+        suite.validate().unwrap();
+        let json = suite.to_json();
+        assert!(json.contains("\"schema\": \"riot-serve-bench-suite/1\""));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.contains("\"history\": 2000"));
+
+        let mut bad = suite.clone();
+        bad.speedup = 9.0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = suite.clone();
+        bad.recovery.clear();
+        assert!(bad.validate().is_err());
+
+        let mut bad = suite;
+        bad.recovery[1].history = 500; // not increasing
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_bench_measures_real_sessions() {
+        let points = run_recovery_bench(&[20], 6).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].history, 20);
+        assert_eq!(points[0].tail_records, 6);
+        assert!(points[0].full_replay_ms > 0.0 && points[0].snapshot_ms > 0.0);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! a single number is printed or written.
 
 use riot_serve::{
-    run_bench, BenchConfig, Bind, BoundAddr, Client, ServeConfig, Server, TelemetryFormat,
+    run_bench, run_suite, BenchConfig, Bind, BoundAddr, Client, ServeConfig, Server,
+    TelemetryFormat,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -46,12 +47,25 @@ SERVE OPTIONS:
                        serve /metrics, /metrics.json, /flightrec and
                        /healthz over HTTP on this address
     --slow-ms MS       slow-command log threshold (default 100)
+    --group-commit-us N
+                       group-commit window in microseconds (default
+                       1000); one fsync covers every command staged
+                       inside the window
+    --no-group-commit  fsync once per command run (the pre-group-commit
+                       behaviour; the bench baseline)
+    --snapshot-every N cut a RIOTSNAP1 snapshot and compact the WAL
+                       every N journal records (default 1000; 0 = off)
 
 BENCH OPTIONS:
     --spawn            start a private Unix-socket server for the run
+    --suite            spawn grouped + baseline servers, report the
+                       durable-throughput speedup and the recovery
+                       curve (implies --spawn)
     --sessions N       concurrent client connections (default 4)
     --commands M       commands per session (default 1000)
     --window W         pipelined requests in flight (default 32)
+    --group-commit-us N / --no-group-commit / --snapshot-every N
+                       spawned-server durability knobs (as for serve)
     --out PATH         write the JSON report here (default: stdout only)
 
 STATS OPTIONS:
@@ -120,6 +134,63 @@ impl Target {
     }
 }
 
+/// The durability knobs `serve` and `bench --spawn` share:
+/// `--group-commit-us`, `--no-group-commit`, `--snapshot-every`.
+struct DurabilityFlags {
+    group_commit_us: u64,
+    no_group_commit: bool,
+    snapshot_every: usize,
+}
+
+impl Default for DurabilityFlags {
+    fn default() -> Self {
+        DurabilityFlags {
+            group_commit_us: 1000,
+            no_group_commit: false,
+            snapshot_every: 1000,
+        }
+    }
+}
+
+impl DurabilityFlags {
+    /// Tries `flag` against the shared durability flags; returns
+    /// `false` when the flag is not one of them.
+    fn parse(&mut self, flag: &str, value: &mut dyn FnMut(&str) -> String) -> bool {
+        match flag {
+            "--group-commit-us" => {
+                self.group_commit_us = value("--group-commit-us")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--group-commit-us` wants an integer"));
+            }
+            "--no-group-commit" => self.no_group_commit = true,
+            "--snapshot-every" => {
+                self.snapshot_every = value("--snapshot-every")
+                    .parse()
+                    .unwrap_or_else(|_| fail("`--snapshot-every` wants an integer"));
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// Microseconds for the bench report: 0 = group commit off.
+    fn effective_us(&self) -> u64 {
+        if self.no_group_commit || self.group_commit_us == 0 {
+            0
+        } else {
+            self.group_commit_us
+        }
+    }
+
+    fn apply(&self, cfg: &mut ServeConfig) {
+        cfg.group_commit = match self.effective_us() {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        };
+        cfg.snapshot_every = self.snapshot_every;
+    }
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
     let mut target = Target {
         addr: None,
@@ -129,6 +200,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut threads = 0usize;
     let mut telemetry_addr: Option<String> = None;
     let mut slow_ms = 100u64;
+    let mut durability = DurabilityFlags::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -151,13 +223,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                     .parse()
                     .unwrap_or_else(|_| fail("`--slow-ms` wants an integer"));
             }
-            other => fail(&format!("unknown flag `{other}`")),
+            other => {
+                if !durability.parse(other, &mut value) {
+                    fail(&format!("unknown flag `{other}`"))
+                }
+            }
         }
     }
     let mut cfg = ServeConfig::new(root);
     cfg.threads = threads;
     cfg.telemetry_addr = telemetry_addr;
     cfg.slow_threshold = Duration::from_millis(slow_ms);
+    durability.apply(&mut cfg);
     let bind = target.bind_or_default();
     let handle = match Server::start(cfg, &bind) {
         Ok(h) => h,
@@ -183,7 +260,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     };
     let mut bench = BenchConfig::default();
     let mut spawn = false;
+    let mut suite = false;
     let mut out: Option<PathBuf> = None;
+    let mut durability = DurabilityFlags::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -195,6 +274,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             "--addr" => target.addr = Some(value("--addr")),
             "--socket" => target.socket = Some(PathBuf::from(value("--socket"))),
             "--spawn" => spawn = true,
+            "--suite" => suite = true,
             "--sessions" => {
                 bench.sessions = value("--sessions")
                     .parse()
@@ -211,8 +291,42 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                     .unwrap_or_else(|_| fail("`--window` wants an integer"));
             }
             "--out" => out = Some(PathBuf::from(value("--out"))),
-            other => fail(&format!("unknown flag `{other}`")),
+            other => {
+                if !durability.parse(other, &mut value) {
+                    fail(&format!("unknown flag `{other}`"))
+                }
+            }
         }
+    }
+
+    // The suite spawns its own grouped and baseline servers and runs
+    // the recovery curve; --addr/--socket would go unused.
+    if suite {
+        if target.addr.is_some() || target.socket.is_some() {
+            eprintln!("riot-serve: --suite spawns its own servers; drop --addr/--socket");
+            return ExitCode::from(2);
+        }
+        let gc_us = match durability.effective_us() {
+            0 => {
+                eprintln!("riot-serve: --suite compares group commit against baseline; it needs a nonzero window");
+                return ExitCode::from(2);
+            }
+            us => us,
+        };
+        let result = run_suite(
+            &bench,
+            gc_us,
+            durability.snapshot_every,
+            &[500, 2000, 8000],
+            64,
+        );
+        return match result {
+            Ok(s) => emit_json(&s.to_json(), out.as_deref()),
+            Err(e) => {
+                eprintln!("riot-serve: bench suite failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // Either drive a live server, or spawn a private one.
@@ -224,7 +338,10 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         let bind = Bind::Unix(dir.join("bench.sock"));
-        let cfg = ServeConfig::new(dir.join("wal"));
+        let mut cfg = ServeConfig::new(dir.join("wal"));
+        durability.apply(&mut cfg);
+        // We know the spawned server's window; stamp it into the report.
+        bench.group_commit_us = Some(durability.effective_us());
         match Server::start(cfg, &bind) {
             Ok(h) => {
                 let addr = h.addr();
@@ -258,23 +375,25 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let _ = std::fs::remove_dir_all(dir);
     }
     match result {
-        Ok(report) => {
-            let json = report.to_json();
-            print!("{json}");
-            if let Some(path) = out {
-                if let Err(e) = std::fs::write(&path, &json) {
-                    eprintln!("riot-serve: cannot write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-                eprintln!("riot-serve: wrote {}", path.display());
-            }
-            ExitCode::SUCCESS
-        }
+        Ok(report) => emit_json(&report.to_json(), out.as_deref()),
         Err(e) => {
             eprintln!("riot-serve: bench failed: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Prints `json` and optionally writes it to `out`.
+fn emit_json(json: &str, out: Option<&std::path::Path>) -> ExitCode {
+    print!("{json}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("riot-serve: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("riot-serve: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Alias so the spawned-server tuple above reads sanely.

@@ -19,7 +19,7 @@
 
 use crate::net::{BoundAddr, Stream};
 use crate::proto::{
-    handshake_client, handshake_client_v2, read_frame, write_frame, ProtoError, ProtoVersion,
+    handshake_client, handshake_client_v2, read_frame_into, write_frame, ProtoError, ProtoVersion,
     Reply, ReplyBody, Request, RequestBody, TelemetryFormat,
 };
 use riot_trace::TraceContext;
@@ -33,6 +33,10 @@ pub struct Client {
     stream: Stream,
     next_id: u64,
     version: ProtoVersion,
+    /// Reply-payload scratch, reused across [`Client::recv`] calls so
+    /// a pipelining client decodes replies without per-frame
+    /// allocation.
+    scratch: Vec<u8>,
 }
 
 impl Client {
@@ -79,6 +83,7 @@ impl Client {
             stream,
             next_id: 1,
             version: ProtoVersion::V1,
+            scratch: Vec::new(),
         })
     }
 
@@ -88,6 +93,7 @@ impl Client {
             stream,
             next_id: 1,
             version,
+            scratch: Vec::new(),
         })
     }
 
@@ -139,8 +145,8 @@ impl Client {
     ///
     /// Socket/framing failures or malformed reply payloads.
     pub fn recv(&mut self) -> Result<Reply, ProtoError> {
-        let payload = read_frame(&mut self.stream)?;
-        Reply::decode(&payload).map_err(ProtoError::BadPayload)
+        read_frame_into(&mut self.stream, &mut self.scratch)?;
+        Reply::decode(&self.scratch).map_err(ProtoError::BadPayload)
     }
 
     /// Sends one request and blocks for its reply, checking the echoed

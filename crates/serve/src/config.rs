@@ -76,6 +76,16 @@ pub struct ServeConfig {
     /// Sessions untouched for this long are suspended to their WAL and
     /// dropped from memory; a later `cmd` transparently reopens them.
     pub idle_timeout: Duration,
+    /// Group-commit window: command runs stage their WAL appends and a
+    /// single flush pass — one fsync per dirty WAL — covers every run
+    /// staged inside the window, releasing all their replies at once.
+    /// `None` falls back to one fsync per run (the pre-group-commit
+    /// behaviour; the bench's baseline mode).
+    pub group_commit: Option<Duration>,
+    /// Cut a `RIOTSNAP1` snapshot (and compact the WAL behind it) every
+    /// time this many journal records accumulate past the last
+    /// snapshot; idle eviction also cuts one. `0` disables snapshots.
+    pub snapshot_every: usize,
     /// Per-connection socket read timeout.
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
@@ -108,6 +118,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("batch_max", &self.batch_max)
             .field("tick", &self.tick)
             .field("idle_timeout", &self.idle_timeout)
+            .field("group_commit", &self.group_commit)
+            .field("snapshot_every", &self.snapshot_every)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
             .field("telemetry_addr", &self.telemetry_addr)
@@ -118,10 +130,11 @@ impl std::fmt::Debug for ServeConfig {
 
 impl ServeConfig {
     /// Defaults for `root`: 0 (auto) threads, 256-job inboxes, 64
-    /// commands per batch, 20 ms ticks, 60 s idle eviction, 30 s
-    /// socket timeouts, the [`standard_library`], no faults, no
-    /// telemetry listener, a 100 ms slow-command threshold, and a
-    /// 4096-event flight recorder.
+    /// commands per batch, 20 ms ticks, 60 s idle eviction, a 1 ms
+    /// group-commit window, snapshots every 1000 records, 30 s socket
+    /// timeouts, the [`standard_library`], no faults, no telemetry
+    /// listener, a 100 ms slow-command threshold, and a 4096-event
+    /// flight recorder.
     pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             root: root.into(),
@@ -130,6 +143,8 @@ impl ServeConfig {
             batch_max: 64,
             tick: Duration::from_millis(20),
             idle_timeout: Duration::from_secs(60),
+            group_commit: Some(Duration::from_millis(1)),
+            snapshot_every: 1000,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             library: Arc::new(standard_library),

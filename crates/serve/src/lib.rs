@@ -7,6 +7,8 @@
 //!
 //! * [`proto`] — frames, requests, replies, handshake
 //! * [`session`] — WAL-backed hosted sessions (durability + recovery)
+//! * [`snapshot`] — `RIOTSNAP1` session snapshots (O(tail) recovery,
+//!   WAL compaction)
 //! * [`manager`] — the sharded worker pool (batching, backpressure,
 //!   idle eviction)
 //! * [`server`] — socket accept loops, connection threads, drain
@@ -34,9 +36,12 @@ pub mod net;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod snapshot;
 pub mod telemetry;
 
-pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use bench::{
+    run_bench, run_recovery_bench, run_suite, BenchConfig, BenchReport, BenchSuite, RecoveryPoint,
+};
 pub use client::Client;
 pub use config::{resolve_threads, standard_library, LibraryFactory, ServeConfig};
 pub use fault::ServeFaults;
@@ -44,10 +49,14 @@ pub use flightrec::{FlightEvent, FlightKind, FlightRecorder};
 pub use manager::{JobKind, SessionManager};
 pub use net::{Bind, BoundAddr, Listener, Stream};
 pub use proto::{
-    decode_frame_eof, encode_frame, handshake_client_v2, read_frame, scan_frame,
+    decode_frame_eof, encode_frame, handshake_client_v2, read_frame, read_frame_into, scan_frame,
     valid_session_name, write_frame, FrameCorruption, FrameScan, ProtoError, ProtoVersion, Reply,
     ReplyBody, Request, RequestBody, TelemetryFormat, SRV_MAGIC, SRV_MAGIC_V2,
 };
 pub use server::{Server, ServerHandle};
 pub use session::{wal_path, OpenKind, SessionEntry};
+pub use snapshot::{
+    frame_snapshot, load_snapshot, parse_snapshot, snap_path, write_snapshot, SnapLoad,
+    SnapshotError, SNAP_MAGIC,
+};
 pub use telemetry::TelemetryServer;

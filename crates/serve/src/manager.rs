@@ -16,14 +16,28 @@
 //! immediate [`ReplyBody::Busy`], and the command was *not* queued.
 //! Clients own the retry; the server never buffers unboundedly.
 //!
-//! # Batching
+//! # Batching and group commit
 //!
 //! A worker drains up to `batch_max` queued jobs per scheduling tick
 //! and applies *consecutive runs* of commands for the same session
-//! under one resumed editor with **one** WAL flush at the end of the
-//! run — so a pipelining client pays the `fsync` once per batch, not
-//! per command. `ok` replies for the whole run are withheld until that
-//! flush succeeds (acknowledged ⇒ durable).
+//! under one resumed editor. With a [`ServeConfig::group_commit`]
+//! window set (the default), each run **stages** its WAL records in
+//! memory and joins the worker's commit queue; one flush pass — at
+//! most a window after the first run staged — writes and fsyncs every
+//! dirty WAL once, then releases every staged run's replies in order.
+//! Sixteen interleaved sessions therefore share sixteen fsyncs per
+//! window instead of paying one per run. With the window off, each run
+//! flushes its own WAL at the end of the run. Either way `ok` replies
+//! are withheld until the covering flush succeeds (acknowledged ⇒
+//! durable).
+//!
+//! # Snapshots
+//!
+//! After a flush, any session that accumulated
+//! [`ServeConfig::snapshot_every`] records past its last snapshot gets
+//! a new `RIOTSNAP1` cut and its WAL compacted behind it (see
+//! [`crate::snapshot`]); idle eviction cuts one too. Recovery then
+//! replays only the records past the snapshot.
 //!
 //! # Idle eviction
 //!
@@ -35,7 +49,7 @@ use crate::config::ServeConfig;
 use crate::flightrec::FlightKind;
 use crate::proto::{Reply, ReplyBody};
 use crate::session::{execute_line, OpenKind, SessionEntry};
-use riot_core::{Editor, FAULT_SERVE_JOURNAL_APPEND};
+use riot_core::{Editor, FAULT_SERVE_GROUP_FLUSH, FAULT_SERVE_JOURNAL_APPEND};
 use riot_trace::TraceContext;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -257,12 +271,59 @@ impl Drop for SessionManager {
     }
 }
 
-/// One worker: owns a shard of sessions, applies batches, evicts
-/// idlers, and flushes everything on drain.
+/// One run of commands whose WAL records are staged awaiting the
+/// worker's next group flush. Replies are held here — released, in
+/// staging order, only after the covering fsync.
+struct StagedRun {
+    jobs: Vec<Job>,
+    outcomes: Vec<Result<String, String>>,
+    apply_ns: Vec<u64>,
+}
+
+/// The worker's commit queue: every staged run since the last flush
+/// pass, plus the deadline the first of them set.
+#[derive(Default)]
+struct Pending {
+    runs: Vec<StagedRun>,
+    due: Option<Instant>,
+}
+
+impl Pending {
+    /// Fails every staged run for `session` with `msg` (crash paths:
+    /// the session's staged bytes died with its entry, so replies that
+    /// were waiting on them must refuse, never acknowledge).
+    fn fail_session(&mut self, session: &str, msg: &str) {
+        let mut kept = Vec::with_capacity(self.runs.len());
+        for run in self.runs.drain(..) {
+            if run.jobs[0].session == session {
+                for job in &run.jobs {
+                    send_reply(job, ReplyBody::Err(msg.to_owned()));
+                }
+            } else {
+                kept.push(run);
+            }
+        }
+        self.runs = kept;
+        if self.runs.is_empty() {
+            self.due = None;
+        }
+    }
+}
+
+/// One worker: owns a shard of sessions, applies batches, runs the
+/// group-commit flush pass, evicts idlers, and flushes everything on
+/// drain.
 fn worker_loop(cfg: &ServeConfig, rx: &Receiver<Job>, shared: &Shared, worker: u64) {
     let mut sessions: HashMap<String, SessionEntry> = HashMap::new();
+    let mut pending = Pending::default();
     loop {
-        let first = match rx.recv_timeout(cfg.tick) {
+        // Sleep until the next job or — when runs are staged — the
+        // group-commit deadline, whichever is sooner.
+        let timeout = pending
+            .due
+            .map_or(cfg.tick, |d| d.saturating_duration_since(Instant::now()))
+            .min(cfg.tick);
+        let first = match rx.recv_timeout(timeout) {
             Ok(job) => Some(job),
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => break,
@@ -296,13 +357,18 @@ fn worker_loop(cfg: &ServeConfig, rx: &Receiver<Job>, shared: &Shared, worker: u
                 job.queue_ns = job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                 riot_trace::complete_span("serve.queue.wait", job.trace, job.enqueued, &[]);
             }
-            process_batch(cfg, &mut sessions, batch, worker);
+            process_batch(cfg, &mut sessions, batch, worker, &mut pending);
+        }
+        if pending.due.is_some_and(|d| Instant::now() >= d) {
+            flush_pending(cfg, &mut sessions, &mut pending, worker);
         }
         evict_idle(cfg, &mut sessions);
         publish_live(shared, &sessions);
         update_slo_gauges();
     }
-    // Drain: flush every hosted session before exiting.
+    // Drain: flush staged runs, then every hosted session, before
+    // exiting.
+    flush_pending(cfg, &mut sessions, &mut pending, worker);
     for (_, mut entry) in sessions.drain() {
         let _ = entry.sync_all();
     }
@@ -336,30 +402,32 @@ fn publish_live(shared: &Shared, mine: &HashMap<String, SessionEntry>) {
 }
 
 /// Applies one drained batch in arrival order, merging consecutive
-/// `Cmd` runs for the same session under a single resume + flush.
+/// `Cmd` runs for the same session under a single resume.
 fn process_batch(
     cfg: &ServeConfig,
     sessions: &mut HashMap<String, SessionEntry>,
     batch: Vec<Job>,
     worker: u64,
+    pending: &mut Pending,
 ) {
-    let mut i = 0usize;
-    while i < batch.len() {
-        let job = &batch[i];
+    let mut iter = batch.into_iter().peekable();
+    while let Some(job) = iter.next() {
         if matches!(job.kind, JobKind::Cmd { .. }) {
-            // Find the run of consecutive Cmd jobs on the same session.
-            let mut j = i + 1;
-            while j < batch.len()
-                && batch[j].session == job.session
-                && matches!(batch[j].kind, JobKind::Cmd { .. })
-            {
-                j += 1;
+            // Collect the run of consecutive Cmd jobs on the same
+            // session.
+            let mut run = vec![job];
+            while iter.peek().is_some_and(|n| {
+                n.session == run[0].session && matches!(n.kind, JobKind::Cmd { .. })
+            }) {
+                run.push(iter.next().expect("peeked"));
             }
-            apply_cmd_run(cfg, sessions, &batch[i..j], worker);
-            i = j;
+            apply_cmd_run(cfg, sessions, run, worker, pending);
         } else {
-            apply_single(cfg, sessions, &batch[i], worker);
-            i += 1;
+            // Per-session reply FIFO: a close/open/stats reply must not
+            // overtake staged command replies, and close/stats read
+            // state the staged records are part of — flush first.
+            flush_pending(cfg, sessions, pending, worker);
+            apply_single(cfg, sessions, &job, worker);
         }
     }
 }
@@ -527,15 +595,19 @@ fn apply_single(
 }
 
 /// Applies a run of consecutive `Cmd` jobs for one session under a
-/// single resumed editor, then flushes the WAL **once** and only then
-/// releases the `ok` replies — acknowledged means durable.
+/// single resumed editor, then either stages the WAL records on the
+/// worker's commit queue (group commit — replies wait for the covering
+/// flush pass) or flushes the WAL **once** right here. Either way no
+/// `ok` escapes before its records are fsynced — acknowledged means
+/// durable.
 fn apply_cmd_run(
     cfg: &ServeConfig,
     sessions: &mut HashMap<String, SessionEntry>,
-    run: &[Job],
+    run: Vec<Job>,
     worker: u64,
+    pending: &mut Pending,
 ) {
-    let session = &run[0].session;
+    let session = run[0].session.clone();
     // The run-level context: the first traced job. A pipelining client
     // reuses one trace across its burst, so per-run spans (resume,
     // flush) land in the trace that paid for them.
@@ -552,13 +624,13 @@ fn apply_cmd_run(
     riot_trace::registry()
         .counter("serve.cmds")
         .add(run.len() as u64);
-    if let Err(e) = ensure_open(cfg, sessions, session, None, worker, run_ctx.trace_id) {
-        for job in run {
+    if let Err(e) = ensure_open(cfg, sessions, &session, None, worker, run_ctx.trace_id) {
+        for job in &run {
             send_reply(job, ReplyBody::Err(e.clone()));
         }
         return;
     }
-    let mut entry = sessions.remove(session).expect("ensure_open inserted");
+    let mut entry = sessions.remove(&session).expect("ensure_open inserted");
     entry.last_touch = Instant::now();
 
     // Phase 1: execute, buffering outcomes. A journal-append fault
@@ -575,21 +647,23 @@ fn apply_cmd_run(
         let mut ed = match Editor::resume(&mut entry.lib, entry.cp.take().expect("suspended")) {
             Ok(ed) => ed,
             Err(e) => {
-                for job in run {
-                    send_reply(job, ReplyBody::Err(format!("resume failed: {e}")));
+                let msg = format!("resume failed: {e}");
+                pending.fail_session(&session, &msg);
+                for job in &run {
+                    send_reply(job, ReplyBody::Err(msg.clone()));
                 }
                 return;
             }
         };
         riot_trace::complete_span("serve.session.resume", run_ctx, resume_start, &[]);
-        for job in run {
+        for job in &run {
             let JobKind::Cmd { line } = &job.kind else {
                 unreachable!("run holds only Cmd jobs")
             };
             if cfg.faults.should_inject(FAULT_SERVE_JOURNAL_APPEND) {
                 cfg.flightrec.record(
                     worker,
-                    session,
+                    &session,
                     FlightKind::Fault,
                     "serve.journal.append",
                     false,
@@ -604,7 +678,7 @@ fn apply_cmd_run(
             apply_ns.push(exec_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
             cfg.flightrec.record(
                 worker,
-                session,
+                &session,
                 FlightKind::Cmd,
                 line.clone(),
                 outcome.is_ok(),
@@ -623,7 +697,7 @@ fn apply_cmd_run(
             .inc();
         cfg.flightrec.record(
             worker,
-            session,
+            &session,
             FlightKind::Crash,
             format!("fault injected at journal append before `{line}`"),
             false,
@@ -633,49 +707,49 @@ fn apply_cmd_run(
         // put the evidence on disk while the process is still healthy.
         let _ = cfg.flightrec.dump_to(&cfg.root);
         drop(entry); // NOT reinserted — a later cmd/open recovers it.
-        for job in run {
-            send_reply(
-                job,
-                ReplyBody::Err(
-                    "session crashed: fault injected at journal append; \
-                     not applied — reopen to recover"
-                        .to_owned(),
-                ),
-            );
+        let msg = "session crashed: fault injected at journal append; \
+                   not applied — reopen to recover";
+        // Earlier runs staged for this session die with it: their
+        // records were never flushed, so their replies must refuse.
+        pending.fail_session(&session, msg);
+        for job in &run {
+            send_reply(job, ReplyBody::Err(msg.to_owned()));
         }
         return;
     }
 
-    // Phase 2: flush, then release replies.
+    // Phase 2: make the records durable, then release replies. With a
+    // group-commit window, durability is deferred to the worker's next
+    // flush pass — the run parks on the commit queue, replies withheld,
+    // sharing that pass's one-fsync-per-dirty-WAL with every other run
+    // staged inside the window.
+    if let Some(window) = cfg.group_commit {
+        entry.stage_journal();
+        sessions.insert(session, entry);
+        let due = Instant::now() + window;
+        pending.due = Some(pending.due.map_or(due, |d| d.min(due)));
+        pending.runs.push(StagedRun {
+            jobs: run,
+            outcomes,
+            apply_ns,
+        });
+        return;
+    }
     let flush_start = Instant::now();
     match entry.sync_journal() {
         Ok(_) => {
-            // One wal-flush span per distinct trace in the run: every
-            // client trace sees the flush its acknowledgement waited on.
-            let mut seen: Vec<u64> = Vec::new();
-            for job in run {
-                if job.trace.is_none() || seen.contains(&job.trace.trace_id) {
-                    continue;
-                }
-                seen.push(job.trace.trace_id);
-                riot_trace::complete_span("serve.wal.flush", job.trace, flush_start, &[]);
-            }
-            if seen.is_empty() {
-                riot_trace::complete_span("serve.wal.flush", TraceContext::NONE, flush_start, &[]);
-            }
-            let flush_ns = flush_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
-            for (job, outcome) in run.iter().zip(outcomes) {
-                let body = match outcome {
-                    Ok(detail) => ReplyBody::Ok(detail),
-                    Err(e) => ReplyBody::Err(e),
-                };
-                send_reply(job, body);
-            }
-            riot_trace::registry()
-                .counter("serve.commands.applied")
-                .add(run.len() as u64);
-            sessions.insert(session.clone(), entry);
-            log_slow_commands(cfg, run, &apply_ns, flush_ns, worker);
+            release_run_replies(
+                &StagedRun {
+                    jobs: run,
+                    outcomes,
+                    apply_ns,
+                },
+                flush_start,
+                cfg,
+                worker,
+            );
+            entry.maybe_snapshot(&cfg.root, cfg.snapshot_every, &cfg.faults);
+            sessions.insert(session, entry);
         }
         Err(e) => {
             // The in-memory state ran ahead of the WAL and the WAL
@@ -684,7 +758,7 @@ fn apply_cmd_run(
             // intact prefix.
             cfg.flightrec.record(
                 worker,
-                session,
+                &session,
                 FlightKind::Crash,
                 format!("WAL append failed: {e}"),
                 false,
@@ -692,7 +766,7 @@ fn apply_cmd_run(
             );
             let _ = cfg.flightrec.dump_to(&cfg.root);
             drop(entry);
-            for job in run {
+            for job in &run {
                 send_reply(
                     job,
                     ReplyBody::Err(format!(
@@ -700,6 +774,139 @@ fn apply_cmd_run(
                     )),
                 );
             }
+        }
+    }
+}
+
+/// Completes the wal-flush spans, sends the run's buffered replies in
+/// order, and feeds the slow-command log — shared by the per-run flush
+/// path and the group-commit flush pass.
+fn release_run_replies(run: &StagedRun, flush_start: Instant, cfg: &ServeConfig, worker: u64) {
+    // One wal-flush span per distinct trace in the run: every client
+    // trace sees the flush its acknowledgement waited on.
+    let mut seen: Vec<u64> = Vec::new();
+    for job in &run.jobs {
+        if job.trace.is_none() || seen.contains(&job.trace.trace_id) {
+            continue;
+        }
+        seen.push(job.trace.trace_id);
+        riot_trace::complete_span("serve.wal.flush", job.trace, flush_start, &[]);
+    }
+    if seen.is_empty() {
+        riot_trace::complete_span("serve.wal.flush", TraceContext::NONE, flush_start, &[]);
+    }
+    let flush_ns = flush_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    for (job, outcome) in run.jobs.iter().zip(&run.outcomes) {
+        let body = match outcome {
+            Ok(detail) => ReplyBody::Ok(detail.clone()),
+            Err(e) => ReplyBody::Err(e.clone()),
+        };
+        send_reply(job, body);
+    }
+    riot_trace::registry()
+        .counter("serve.commands.applied")
+        .add(run.jobs.len() as u64);
+    log_slow_commands(cfg, &run.jobs, &run.apply_ns, flush_ns, worker);
+}
+
+/// The group-commit flush pass: one write + fsync per *dirty* WAL
+/// covers every run staged since the last pass, then every staged
+/// run's replies release in staging order. A flush failure — real I/O
+/// or an injected [`FAULT_SERVE_GROUP_FLUSH`] — crashes only that
+/// session: its staged runs refuse, its entry is dropped (staged bytes
+/// and all, none of them acknowledged), and recovery resumes from the
+/// durable prefix. Sessions that crossed the snapshot interval get a
+/// snapshot cut (and their WAL compacted) after their flush.
+fn flush_pending(
+    cfg: &ServeConfig,
+    sessions: &mut HashMap<String, SessionEntry>,
+    pending: &mut Pending,
+    worker: u64,
+) {
+    if pending.runs.is_empty() {
+        pending.due = None;
+        return;
+    }
+    let runs = std::mem::take(&mut pending.runs);
+    pending.due = None;
+    let reg = riot_trace::registry();
+    let flush_start = Instant::now();
+    let mut flushed: Vec<String> = Vec::new();
+    let mut failed: HashMap<String, String> = HashMap::new();
+    for run in &runs {
+        let session = &run.jobs[0].session;
+        if flushed.iter().any(|s| s == session) || failed.contains_key(session) {
+            continue;
+        }
+        if cfg.faults.should_inject(FAULT_SERVE_GROUP_FLUSH) {
+            // Simulated crash at the covering flush: the staged suffix
+            // never reaches disk, so the session dies un-acknowledged.
+            let msg = "session crashed: fault injected at group flush; \
+                       not applied — reopen to recover";
+            cfg.flightrec.record(
+                worker,
+                session,
+                FlightKind::Fault,
+                "serve.group.flush",
+                false,
+                run.jobs[0].trace.trace_id,
+            );
+            reg.counter("serve.session.crashed").inc();
+            let _ = cfg.flightrec.dump_to(&cfg.root);
+            drop(sessions.remove(session));
+            failed.insert(session.clone(), msg.to_owned());
+            continue;
+        }
+        match sessions.get_mut(session) {
+            Some(entry) => match entry.flush_staged() {
+                Ok(_) => flushed.push(session.clone()),
+                Err(e) => {
+                    cfg.flightrec.record(
+                        worker,
+                        session,
+                        FlightKind::Crash,
+                        format!("group flush failed: {e}"),
+                        false,
+                        run.jobs[0].trace.trace_id,
+                    );
+                    reg.counter("serve.session.crashed").inc();
+                    let _ = cfg.flightrec.dump_to(&cfg.root);
+                    drop(sessions.remove(session));
+                    failed.insert(
+                        session.clone(),
+                        format!("session crashed: group flush failed ({e}); reopen to recover"),
+                    );
+                }
+            },
+            // Unreachable in practice (staged sessions are pinned in
+            // memory until flushed), but refuse rather than acknowledge.
+            None => {
+                failed.insert(
+                    session.clone(),
+                    "session no longer hosted; reopen to recover".to_owned(),
+                );
+            }
+        }
+    }
+    reg.counter("serve.group.flushes").inc();
+    for run in &runs {
+        let session = &run.jobs[0].session;
+        if let Some(msg) = failed.get(session) {
+            for job in &run.jobs {
+                send_reply(job, ReplyBody::Err(msg.clone()));
+            }
+            continue;
+        }
+        release_run_replies(run, flush_start, cfg, worker);
+    }
+    // Snapshot pass: cut + compact behind sessions that crossed the
+    // interval, and publish how far each flushed session's WAL has run
+    // past its snapshot.
+    for name in flushed {
+        if let Some(entry) = sessions.get_mut(&name) {
+            entry.maybe_snapshot(&cfg.root, cfg.snapshot_every, &cfg.faults);
+            reg.gauge("serve.snapshot.age_records")
+                .set((entry.durable_records - entry.snap_covered()) as i64);
         }
     }
 }
@@ -738,17 +945,24 @@ fn log_slow_commands(cfg: &ServeConfig, run: &[Job], apply_ns: &[u64], flush_ns:
     }
 }
 
-/// Suspend-to-WAL sessions idle past the deadline.
+/// Suspend-to-WAL sessions idle past the deadline. Sessions with
+/// staged-but-unflushed records are never evicted (their replies are
+/// still parked on the commit queue). An evicted session gets a
+/// parting snapshot so its eventual recovery is O(snapshot), not
+/// O(history).
 fn evict_idle(cfg: &ServeConfig, sessions: &mut HashMap<String, SessionEntry>) {
     let now = Instant::now();
     let idle: Vec<String> = sessions
         .iter()
-        .filter(|(_, e)| now.duration_since(e.last_touch) >= cfg.idle_timeout)
+        .filter(|(_, e)| now.duration_since(e.last_touch) >= cfg.idle_timeout && !e.has_staged())
         .map(|(n, _)| n.clone())
         .collect();
     for name in idle {
         if let Some(mut entry) = sessions.remove(&name) {
             let _ = entry.sync_all();
+            if cfg.snapshot_every > 0 {
+                entry.snapshot_now(&cfg.root, &cfg.faults);
+            }
             riot_trace::registry()
                 .counter("serve.sessions.evicted")
                 .inc();
@@ -1017,6 +1231,147 @@ mod tests {
             rep.body,
             ReplyBody::Ok("instance 2".into()),
             "acknowledged prefix only"
+        );
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn group_flush_fault_refuses_staged_runs_and_recovers() {
+        let root = tmp_root("groupfault");
+        let cfg = test_cfg(&root);
+        // Trip the first group-flush consultation: the staged run's
+        // records never reach disk, so its replies must refuse.
+        cfg.faults.arm(riot_core::FAULT_SERVE_GROUP_FLUSH, 0);
+        let mgr = SessionManager::start(cfg).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit(
+            "g",
+            JobKind::Open { cell: "TOP".into() },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
+        rx.recv().unwrap();
+        mgr.submit(
+            "g",
+            JobKind::Cmd {
+                line: "create nand2 A".into(),
+            },
+            1,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert!(
+            matches!(rep.body, ReplyBody::Err(ref m) if m.contains("group flush")),
+            "{rep:?}"
+        );
+        // Recovery sees only the durable prefix: the WAL head. The
+        // refused create never happened.
+        mgr.submit(
+            "g",
+            JobKind::Open { cell: "TOP".into() },
+            2,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert!(
+            matches!(rep.body, ReplyBody::Ok(ref d) if d.contains("recovered 1 records")),
+            "{rep:?}"
+        );
+        mgr.submit(
+            "g",
+            JobKind::Cmd {
+                line: "create nand2 A".into(),
+            },
+            3,
+            TraceContext::NONE,
+            tx,
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert_eq!(
+            rep.body,
+            ReplyBody::Ok("instance 0".into()),
+            "refused command left no trace"
+        );
+        mgr.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn snapshots_cut_at_the_interval_keep_sessions_correct() {
+        let root = tmp_root("snapint");
+        let mut cfg = test_cfg(&root);
+        cfg.snapshot_every = 4;
+        let mgr = SessionManager::start(cfg).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit(
+            "si",
+            JobKind::Open { cell: "TOP".into() },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
+        rx.recv().unwrap();
+        for i in 1..=10u64 {
+            mgr.submit(
+                "si",
+                JobKind::Cmd {
+                    line: format!("create nand2 N{i}"),
+                },
+                i,
+                TraceContext::NONE,
+                tx.clone(),
+            )
+            .unwrap();
+            let rep = rx.recv().unwrap();
+            assert!(matches!(rep.body, ReplyBody::Ok(_)), "cmd {i}: {rep:?}");
+        }
+        mgr.submit("si", JobKind::Close, 99, TraceContext::NONE, tx.clone())
+            .unwrap();
+        rx.recv().unwrap();
+        mgr.shutdown();
+        // A snapshot was cut (interval 4 < 10 commands) and the WAL
+        // compacted behind it.
+        assert!(crate::snapshot::snap_path(&root, "si").exists());
+        // Reopen from disk: snapshot + tail must equal the full state.
+        let mgr = SessionManager::start(test_cfg(&root)).unwrap();
+        let (tx, rx) = channel();
+        mgr.submit(
+            "si",
+            JobKind::Open { cell: "TOP".into() },
+            0,
+            TraceContext::NONE,
+            tx.clone(),
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert!(
+            matches!(rep.body, ReplyBody::Ok(ref d) if d.contains("recovered 11 records")),
+            "{rep:?}"
+        );
+        mgr.submit(
+            "si",
+            JobKind::Cmd {
+                line: "create nand2 X".into(),
+            },
+            1,
+            TraceContext::NONE,
+            tx,
+        )
+        .unwrap();
+        let rep = rx.recv().unwrap();
+        assert_eq!(
+            rep.body,
+            ReplyBody::Ok("instance 10".into()),
+            "all ten creates survived the snapshot round-trip"
         );
         mgr.shutdown();
         let _ = std::fs::remove_dir_all(root);

@@ -263,7 +263,25 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// Reads one frame from `r`, blocking. Returns [`ProtoError::Closed`]
 /// when the stream ends cleanly *between* frames; an EOF mid-frame is
 /// a corrupt (torn) frame.
+///
+/// Allocates a fresh payload per call; hot loops should hold a scratch
+/// buffer and call [`read_frame_into`] instead.
 pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
+    let mut payload = Vec::new();
+    read_frame_into(r, &mut payload)?;
+    Ok(payload)
+}
+
+/// Reads one frame from `r` into `scratch`, reusing its allocation.
+/// On success `scratch` holds exactly the payload bytes. A reuse —
+/// the buffer's existing capacity was enough, no allocation — counts
+/// `serve.frame.buf_reuse`.
+///
+/// # Errors
+///
+/// As [`read_frame`]: [`ProtoError::Closed`] on clean EOF between
+/// frames, torn/corrupt frames, socket errors.
+pub fn read_frame_into(r: &mut impl Read, scratch: &mut Vec<u8>) -> Result<(), ProtoError> {
     let mut header = [0u8; 8];
     let mut got = 0usize;
     while got < 8 {
@@ -284,10 +302,16 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
         return Err(ProtoError::Corrupt(FrameCorruption::TooLarge(len)));
     }
     let stored = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    let mut payload = vec![0u8; len];
+    if len > 0 && scratch.capacity() >= len {
+        riot_trace::registry()
+            .counter("serve.frame.buf_reuse")
+            .inc();
+    }
+    scratch.clear();
+    scratch.resize(len, 0);
     let mut got = 0usize;
     while got < len {
-        match r.read(&mut payload[got..]) {
+        match r.read(&mut scratch[got..]) {
             Ok(0) => {
                 return Err(ProtoError::Corrupt(FrameCorruption::TornPayload {
                     expected: len,
@@ -298,14 +322,14 @@ pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, ProtoError> {
             Err(e) => return Err(ProtoError::Io(e)),
         }
     }
-    let computed = crc32(&payload);
+    let computed = crc32(scratch);
     if computed != stored {
         return Err(ProtoError::Corrupt(FrameCorruption::BadChecksum {
             stored,
             computed,
         }));
     }
-    Ok(payload)
+    Ok(())
 }
 
 // ----------------------------------------------------------------------
@@ -950,5 +974,31 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap(), b"one");
         assert_eq!(read_frame(&mut r).unwrap(), b"two");
         assert!(matches!(read_frame(&mut r), Err(ProtoError::Closed)));
+    }
+
+    #[test]
+    fn scratch_buffer_is_reused_across_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"a long first payload").unwrap();
+        write_frame(&mut buf, b"short").unwrap();
+        write_frame(&mut buf, b"mid-sized one").unwrap();
+        let reuse = riot_trace::registry().counter("serve.frame.buf_reuse");
+        let before = reuse.get();
+        let mut r = &buf[..];
+        let mut scratch = Vec::new();
+        read_frame_into(&mut r, &mut scratch).unwrap();
+        assert_eq!(scratch, b"a long first payload");
+        let cap = scratch.capacity();
+        // The next two payloads fit in the first one's allocation.
+        read_frame_into(&mut r, &mut scratch).unwrap();
+        assert_eq!(scratch, b"short");
+        read_frame_into(&mut r, &mut scratch).unwrap();
+        assert_eq!(scratch, b"mid-sized one");
+        assert_eq!(scratch.capacity(), cap, "no reallocation");
+        assert_eq!(reuse.get() - before, 2, "two reused decodes counted");
+        assert!(matches!(
+            read_frame_into(&mut r, &mut scratch),
+            Err(ProtoError::Closed)
+        ));
     }
 }

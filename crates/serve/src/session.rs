@@ -1,5 +1,6 @@
 //! Hosted sessions: an owned [`Library`] plus a suspended editor
-//! [`Checkpoint`], backed by a per-session `RIOTWAL1` write-ahead file.
+//! [`Checkpoint`], backed by a per-session `RIOTWAL1` write-ahead file
+//! and an optional `RIOTSNAP1` snapshot.
 //!
 //! # Durability contract
 //!
@@ -10,19 +11,38 @@
 //! `<root>/<session>.wal` — the root directory is configuration, never
 //! a hardcoded path.
 //!
+//! Appends move through two watermarks: [`SessionEntry::stage_journal`]
+//! encodes fresh journal records into an in-memory staging buffer
+//! (`staged_records`), and [`SessionEntry::flush_staged`] writes that
+//! buffer and **fsyncs** (`durable_records`). The group-commit queue in
+//! [`crate::manager`] stages many runs — across sessions — and pays one
+//! fsync per dirty WAL per flush window; the per-run path
+//! ([`SessionEntry::sync_journal`]) simply does both steps at once.
+//! Every fsync the server issues, including close and idle-eviction
+//! flushes, goes through one instrumented helper so the
+//! `serve.wal.fsync_ns` histogram and `serve.wal.fsyncs` counter are
+//! the whole story.
+//!
 //! # Recovery
 //!
 //! Reopening a session whose WAL exists runs
 //! [`riot_core::Journal::recover_wal`]: the longest intact prefix is
-//! replayed through a fresh [`Editor`] (one command at a time, through
-//! the same transactional `execute` everything else uses), the file is
-//! truncated back to the recovered prefix, and the session resumes
-//! from there. A torn tail — say, from a fault injected at
-//! [`riot_core::FAULT_SERVE_JOURNAL_APPEND`] mid-append — therefore
-//! costs at most the unacknowledged suffix, never consistency.
+//! kept, and a torn tail — say, from a fault injected at
+//! [`riot_core::FAULT_SERVE_JOURNAL_APPEND`] mid-append — costs at
+//! most the unacknowledged suffix, never consistency. With a snapshot
+//! (see [`crate::snapshot`]) the session state is decoded directly and
+//! only the WAL records *past* the snapshot replay through the engine;
+//! without one (or when the snapshot is torn or fails its CRC) the
+//! whole prefix replays, one command at a time, through the same
+//! transactional `execute` everything else uses. Either way the file
+//! is truncated back to what recovered, and recovery cost is bounded
+//! by the snapshot interval instead of the session's lifetime.
 
+use crate::fault::ServeFaults;
+use crate::snapshot::{load_snapshot, write_snapshot, SnapLoad};
 use riot_core::{
-    command_to_line, crc32, Checkpoint, Command, Editor, Journal, Library, RiotError, WAL_MAGIC,
+    command_to_line, crc32, encode_session, Checkpoint, Command, Editor, Journal, Library,
+    RiotError, WAL_MAGIC,
 };
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
@@ -41,7 +61,8 @@ pub enum OpenKind {
     Created,
     /// WAL existed and was replayed.
     Recovered {
-        /// Commands recovered and replayed (including the `edit` head).
+        /// Journal records recovered, counting the `edit` head and any
+        /// records restored from a snapshot rather than replayed.
         records: usize,
         /// `true` when the WAL had a corrupt tail that was truncated.
         truncated: bool,
@@ -63,6 +84,14 @@ pub struct SessionEntry {
     pub durable_records: usize,
     /// Last time a worker touched this session (drives idle eviction).
     pub last_touch: Instant,
+    /// Encoded records staged for the next group flush.
+    staged: Vec<u8>,
+    /// Journal records encoded into `staged` (absolute watermark;
+    /// `durable_records <= staged_records <= journal length`).
+    staged_records: usize,
+    /// Journal records covered by the newest durable snapshot (0 when
+    /// no snapshot exists).
+    snap_covered: usize,
     wal: File,
     path: PathBuf,
 }
@@ -98,7 +127,7 @@ impl SessionEntry {
                     cell: cell.to_owned(),
                 })))
             })
-            .and_then(|()| wal.flush())
+            .and_then(|()| fsync_file(&mut wal))
             .map_err(|e| format!("cannot write WAL head: {e}"))?;
         riot_trace::registry()
             .counter("serve.sessions.created")
@@ -109,14 +138,21 @@ impl SessionEntry {
             cp: Some(cp),
             durable_records: 1,
             last_touch: Instant::now(),
+            staged: Vec::new(),
+            staged_records: 1,
+            snap_covered: 0,
             wal,
             path,
         })
     }
 
-    /// Recovers a session from its WAL: reads the file, keeps the
-    /// longest intact prefix, truncates the file back to it, and
-    /// replays the prefix through a fresh editor.
+    /// Recovers a session from its WAL (and snapshot, when one exists):
+    /// reads the file, keeps the longest intact prefix, and rebuilds
+    /// the session per the recovery matrix in [`crate::snapshot`] —
+    /// snapshot plus WAL-tail replay when possible, full-history replay
+    /// as the fallback, an honest error when a compacted WAL's required
+    /// snapshot is unusable. The file is truncated back to exactly what
+    /// recovered.
     ///
     /// # Errors
     ///
@@ -132,78 +168,130 @@ impl SessionEntry {
             std::fs::read(&path).map_err(|e| format!("cannot read WAL {}: {e}", path.display()))?;
         let rec = Journal::recover_wal(&bytes);
         let truncated = !rec.is_clean();
+        let reg = riot_trace::registry();
         if truncated {
-            riot_trace::registry()
-                .counter("serve.recovery.truncated")
-                .inc();
+            reg.counter("serve.recovery.truncated").inc();
         }
-        riot_trace::registry()
-            .counter("serve.recovery.sessions")
-            .inc();
+        reg.counter("serve.recovery.sessions").inc();
         let cmds = rec.journal.commands();
-        let Some(Command::Edit { cell }) = cmds.first() else {
-            return Err(format!(
-                "WAL {} has no intact `edit` head (recovered {} records{})",
-                path.display(),
-                cmds.len(),
-                rec.corruption
-                    .as_ref()
-                    .map(|c| format!("; {c}"))
-                    .unwrap_or_default(),
-            ));
-        };
-        let cell = cell.clone();
-        let mut lib = lib;
-        // Replay: every record past the head goes through the one
-        // transactional entry point. A record that fails to replay
-        // (leaf cells changed shape since the WAL was written, say)
-        // truncates the durable state at the last good record — the
-        // same discipline recover_wal applies to corrupt bytes.
-        let mut replayed = 1usize;
-        let cp = {
-            let mut ed =
-                Editor::open(&mut lib, &cell).map_err(|e| format!("recovered head: {e}"))?;
-            for cmd in &cmds[1..] {
-                match ed.execute(cmd.clone()) {
-                    Ok(_) => replayed += 1,
-                    Err(e) => {
-                        riot_trace::registry()
-                            .counter("serve.recovery.replay_stopped")
-                            .inc();
-                        let _ = e;
-                        break;
+        // `edit` only ever appears as a journal head, so *first record
+        // is `edit`* ⇔ *full-history WAL* (vs. compacted tail).
+        if let Some(Command::Edit { cell }) = cmds.first() {
+            // Fast path: an intact snapshot consistent with this WAL
+            // means only the records past it replay through the engine.
+            if let SnapLoad::Loaded {
+                covered,
+                lib: slib,
+                cp,
+            } = load_snapshot(root, name)
+            {
+                if covered >= 1 && covered <= cmds.len() && cp.journal().commands().len() == covered
+                {
+                    if let Ok((lib2, cp2, tail_ok)) =
+                        resume_and_replay(*slib, *cp, &cmds[covered..])
+                    {
+                        reg.counter("serve.recovery.snapshot_loads").inc();
+                        reg.counter("serve.recovery.replayed_records")
+                            .add(tail_ok as u64);
+                        let total = covered + tail_ok;
+                        return finish_recovery(
+                            name,
+                            path,
+                            lib2,
+                            cp2,
+                            &cmds[..total],
+                            total,
+                            covered,
+                            truncated,
+                        );
                     }
+                    // A snapshot that will not resume is as good as
+                    // corrupt — fall through to the full replay.
+                    reg.counter("serve.recovery.snapshot_corrupt").inc();
                 }
             }
-            ed.suspend()
-        };
-        // Truncate the file to exactly the replayed prefix.
-        let mut prefix = Journal::new();
-        for cmd in &cmds[..replayed] {
-            prefix.record(cmd.clone());
-        }
-        let wal_bytes = prefix.to_wal();
-        std::fs::write(&path, &wal_bytes)
-            .map_err(|e| format!("cannot rewrite WAL {}: {e}", path.display()))?;
-        let wal = OpenOptions::new()
-            .append(true)
-            .open(&path)
-            .map_err(|e| format!("cannot reopen WAL {}: {e}", path.display()))?;
-        Ok((
-            SessionEntry {
-                name: name.to_owned(),
-                lib,
-                cp: Some(cp),
-                durable_records: replayed,
-                last_touch: Instant::now(),
-                wal,
+            // Fallback: full-history replay. Every record past the head
+            // goes through the one transactional entry point. A record
+            // that fails to replay (leaf cells changed shape since the
+            // WAL was written, say) truncates the durable state at the
+            // last good record — the same discipline recover_wal
+            // applies to corrupt bytes.
+            reg.counter("serve.recovery.full_replay").inc();
+            let cell = cell.clone();
+            let mut lib = lib;
+            let mut replayed = 1usize;
+            let cp = {
+                let mut ed =
+                    Editor::open(&mut lib, &cell).map_err(|e| format!("recovered head: {e}"))?;
+                for cmd in &cmds[1..] {
+                    match ed.execute(cmd.clone()) {
+                        Ok(_) => replayed += 1,
+                        Err(e) => {
+                            reg.counter("serve.recovery.replay_stopped").inc();
+                            let _ = e;
+                            break;
+                        }
+                    }
+                }
+                ed.suspend()
+            };
+            reg.counter("serve.recovery.replayed_records")
+                .add((replayed - 1) as u64);
+            finish_recovery(
+                name,
                 path,
-            },
-            OpenKind::Recovered {
-                records: replayed,
+                lib,
+                cp,
+                &cmds[..replayed],
+                replayed,
+                0,
                 truncated,
-            },
-        ))
+            )
+        } else {
+            // Compacted WAL: the `edit` head (and everything up to
+            // `covered`) lives only in the snapshot, which compaction
+            // guarantees was durable first. Every file record replays
+            // on top of it.
+            match load_snapshot(root, name) {
+                SnapLoad::Loaded {
+                    covered,
+                    lib: slib,
+                    cp,
+                } => {
+                    if cp.journal().commands().len() != covered {
+                        return Err(format!(
+                            "snapshot for {} covers {covered} records but its journal holds {}",
+                            path.display(),
+                            cp.journal().commands().len(),
+                        ));
+                    }
+                    let (lib2, cp2, tail_ok) = resume_and_replay(*slib, *cp, cmds)
+                        .map_err(|e| format!("snapshot for {}: {e}", path.display()))?;
+                    reg.counter("serve.recovery.snapshot_loads").inc();
+                    reg.counter("serve.recovery.replayed_records")
+                        .add(tail_ok as u64);
+                    finish_recovery(
+                        name,
+                        path,
+                        lib2,
+                        cp2,
+                        &cmds[..tail_ok],
+                        covered + tail_ok,
+                        covered,
+                        truncated,
+                    )
+                }
+                SnapLoad::Missing => Err(format!(
+                    "WAL {} is compacted (no `edit` head, {} records) but no snapshot exists",
+                    path.display(),
+                    cmds.len(),
+                )),
+                SnapLoad::Corrupt(e) => Err(format!(
+                    "WAL {} is compacted but its snapshot is unusable: {e}",
+                    path.display(),
+                )),
+            }
+        }
     }
 
     /// Opens a session: recover when its WAL exists, create otherwise.
@@ -224,37 +312,160 @@ impl SessionEntry {
         }
     }
 
-    /// Appends every journal record the suspended checkpoint holds
-    /// beyond what is already durable, then flushes. Returns the number
-    /// of records appended.
+    /// Encodes every journal record the suspended checkpoint holds
+    /// beyond the staging watermark into the in-memory staging buffer.
+    /// Nothing touches the disk; a later [`SessionEntry::flush_staged`]
+    /// (typically the group-commit flush pass) makes it durable.
+    /// Returns the number of records staged.
+    pub fn stage_journal(&mut self) -> usize {
+        let Some(cp) = self.cp.as_ref() else {
+            return 0;
+        };
+        let cmds = cp.journal().commands();
+        let new = &cmds[self.staged_records.min(cmds.len())..];
+        if new.is_empty() {
+            return 0;
+        }
+        let before = self.staged.len();
+        for cmd in new {
+            self.staged
+                .extend_from_slice(&record_bytes(&command_to_line(cmd)));
+        }
+        riot_trace::registry()
+            .counter("serve.wal.staged_bytes")
+            .add((self.staged.len() - before) as u64);
+        self.staged_records = cmds.len();
+        new.len()
+    }
+
+    /// Writes the staging buffer to the WAL and fsyncs — the covering
+    /// flush that lets every staged run's reply be released. Returns
+    /// the number of records that just became durable.
+    ///
+    /// # Errors
+    ///
+    /// WAL I/O failures (the in-memory state is still intact).
+    pub fn flush_staged(&mut self) -> io::Result<usize> {
+        let newly = self.staged_records - self.durable_records;
+        if newly == 0 && self.staged.is_empty() {
+            return Ok(0);
+        }
+        self.wal.write_all(&self.staged)?;
+        let bytes = self.staged.len();
+        self.staged.clear();
+        self.fsync_wal()?;
+        let reg = riot_trace::registry();
+        reg.counter("serve.wal.bytes").add(bytes as u64);
+        reg.counter("serve.wal.records").add(newly as u64);
+        self.durable_records = self.staged_records;
+        Ok(newly)
+    }
+
+    /// Stages and flushes in one step: the per-run durability path used
+    /// when group commit is off. Returns the number of records that
+    /// became durable.
     ///
     /// # Errors
     ///
     /// WAL I/O failures (the in-memory state is still intact).
     pub fn sync_journal(&mut self) -> io::Result<usize> {
+        self.stage_journal();
+        self.flush_staged()
+    }
+
+    /// True when staged records await their covering flush.
+    pub fn has_staged(&self) -> bool {
+        !self.staged.is_empty() || self.staged_records > self.durable_records
+    }
+
+    /// Discards staged-but-unflushed records (crash path: the session
+    /// is being dropped, and unflushed work was never acknowledged).
+    pub fn discard_staged(&mut self) {
+        self.staged.clear();
+        self.staged_records = self.durable_records;
+    }
+
+    /// Records covered by the newest durable snapshot (0 when none).
+    pub fn snap_covered(&self) -> usize {
+        self.snap_covered
+    }
+
+    /// The one instrumented fsync for this session's WAL.
+    fn fsync_wal(&mut self) -> io::Result<()> {
+        fsync_file(&mut self.wal)
+    }
+
+    /// Cuts a snapshot when at least `every` records accumulated past
+    /// the last one (`every == 0` disables snapshots). Returns whether
+    /// a snapshot was written.
+    pub fn maybe_snapshot(&mut self, root: &Path, every: usize, faults: &ServeFaults) -> bool {
+        if every == 0 || self.durable_records < self.snap_covered + every {
+            return false;
+        }
+        self.snapshot_now(root, faults)
+    }
+
+    /// Cuts a snapshot covering everything durable, then compacts the
+    /// WAL behind it. Any failure — a real I/O error, an injected
+    /// [`riot_core::FAULT_SERVE_SNAPSHOT_WRITE`] tear, an armed fault
+    /// plan the codec refuses to persist — is contained: compaction is
+    /// skipped, the full WAL still holds every record, the session
+    /// keeps running, and recovery falls back to full replay.
+    pub fn snapshot_now(&mut self, root: &Path, faults: &ServeFaults) -> bool {
+        let Some(cp) = self.cp.as_ref() else {
+            return false;
+        };
+        let covered = self.durable_records;
+        if cp.journal().commands().len() != covered {
+            // Only fully-flushed states are snapshot-consistent: the
+            // snapshot's journal must equal the durable WAL prefix.
+            return false;
+        }
+        let Ok(payload) = encode_session(&self.lib, cp) else {
+            return false;
+        };
+        if write_snapshot(root, &self.name, covered as u64, &payload, faults).is_err() {
+            return false;
+        }
+        self.snap_covered = covered;
+        if let Err(_e) = self.compact_wal(covered) {
+            // Benign: the durable snapshot plus the full WAL still
+            // recover; compaction will be retried at the next cut.
+            riot_trace::registry()
+                .counter("serve.snapshot.compact_failed")
+                .inc();
+        }
+        true
+    }
+
+    /// Atomically rewrites the WAL to hold only the records past
+    /// `covered`: temp file, fsync, rename, reopen the append handle.
+    /// The tail records are acknowledged data, so the rewrite must
+    /// never be observable half-done.
+    fn compact_wal(&mut self, covered: usize) -> io::Result<()> {
         let cp = self
             .cp
             .as_ref()
-            .expect("sync_journal requires a suspended session");
+            .expect("compact_wal requires a suspended session");
         let cmds = cp.journal().commands();
-        let new = &cmds[self.durable_records.min(cmds.len())..];
-        if new.is_empty() {
-            return Ok(0);
+        let mut tail = Journal::new();
+        for cmd in &cmds[covered.min(cmds.len())..] {
+            tail.record(cmd.clone());
         }
-        let mut buf = Vec::with_capacity(new.len() * 24);
-        for cmd in new {
-            buf.extend_from_slice(&record_bytes(&command_to_line(cmd)));
+        let tmp = self.path.with_file_name(format!("{}.wal.tmp", self.name));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&tail.to_wal())?;
+        f.sync_data()?;
+        drop(f);
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            crate::snapshot::sync_dir(dir);
         }
-        let flush_start = Instant::now();
-        self.wal.write_all(&buf)?;
-        self.wal.flush()?;
-        let reg = riot_trace::registry();
-        reg.histogram("serve.wal.fsync_ns")
-            .record(flush_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
-        reg.counter("serve.wal.bytes").add(buf.len() as u64);
-        reg.counter("serve.wal.records").add(new.len() as u64);
-        self.durable_records = cmds.len();
-        Ok(new.len())
+        self.wal = OpenOptions::new().append(true).open(&self.path)?;
+        riot_trace::registry()
+            .counter("serve.wal.compactions")
+            .inc();
+        Ok(())
     }
 
     /// Simulates a crash mid-append: writes a deliberately **torn**
@@ -272,16 +483,107 @@ impl SessionEntry {
         let _ = self.wal.sync_all();
     }
 
-    /// Forces file durability (used on close/evict).
+    /// Forces file durability (used on close/evict/drain): stages and
+    /// flushes anything pending through the same instrumented fsync
+    /// every other flush uses, so `serve.wal.fsync_ns` covers these
+    /// paths too. A session with nothing pending costs no fsync — its
+    /// acknowledged records were already synced by their covering
+    /// flush.
     pub fn sync_all(&mut self) -> io::Result<()> {
-        self.wal.flush()?;
-        self.wal.sync_all()
+        self.stage_journal();
+        self.flush_staged().map(|_| ())
     }
 
     /// The WAL file path.
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Resumes a snapshot's editor state and replays `tail` through the
+/// one transactional entry point, stopping (and counting
+/// `serve.recovery.replay_stopped`) at the first record that fails.
+/// Returns the rebuilt library, the re-suspended checkpoint, and how
+/// many tail records replayed.
+fn resume_and_replay(
+    mut lib: Library,
+    cp: Checkpoint,
+    tail: &[Command],
+) -> Result<(Library, Checkpoint, usize), String> {
+    let mut ed = Editor::resume(&mut lib, cp).map_err(|e| format!("resume failed: {e}"))?;
+    let mut ok = 0usize;
+    for cmd in tail {
+        match ed.execute(cmd.clone()) {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                riot_trace::registry()
+                    .counter("serve.recovery.replay_stopped")
+                    .inc();
+                let _ = e;
+                break;
+            }
+        }
+    }
+    let cp = ed.suspend();
+    Ok((lib, cp, ok))
+}
+
+/// Rewrites the WAL to exactly `file_records` (full layout when the
+/// slice starts with the `edit` head, compacted layout otherwise),
+/// fsyncs it, and assembles the recovered [`SessionEntry`].
+#[allow(clippy::too_many_arguments)]
+fn finish_recovery(
+    name: &str,
+    path: PathBuf,
+    lib: Library,
+    cp: Checkpoint,
+    file_records: &[Command],
+    durable: usize,
+    snap_covered: usize,
+    truncated: bool,
+) -> Result<(SessionEntry, OpenKind), String> {
+    let mut prefix = Journal::new();
+    for cmd in file_records {
+        prefix.record(cmd.clone());
+    }
+    std::fs::write(&path, prefix.to_wal())
+        .map_err(|e| format!("cannot rewrite WAL {}: {e}", path.display()))?;
+    let mut wal = OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("cannot reopen WAL {}: {e}", path.display()))?;
+    fsync_file(&mut wal).map_err(|e| format!("cannot sync WAL {}: {e}", path.display()))?;
+    Ok((
+        SessionEntry {
+            name: name.to_owned(),
+            lib,
+            cp: Some(cp),
+            durable_records: durable,
+            last_touch: Instant::now(),
+            staged: Vec::new(),
+            staged_records: durable,
+            snap_covered,
+            wal,
+            path,
+        },
+        OpenKind::Recovered {
+            records: durable,
+            truncated,
+        },
+    ))
+}
+
+/// The one instrumented fsync: every WAL fsync the server issues lands
+/// in the `serve.wal.fsync_ns` histogram and `serve.wal.fsyncs`
+/// counter, so fsyncs-per-command is computable from telemetry alone.
+fn fsync_file(f: &mut File) -> io::Result<()> {
+    let start = Instant::now();
+    f.sync_data()?;
+    let reg = riot_trace::registry();
+    reg.histogram("serve.wal.fsync_ns")
+        .record(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    reg.counter("serve.wal.fsyncs").inc();
+    Ok(())
 }
 
 /// One WAL record for `line`: `u32` LE length, `u32` LE CRC-32,
@@ -392,6 +694,142 @@ mod tests {
         // And the rewritten file is now clean.
         let bytes = std::fs::read(&wal_file).unwrap();
         assert!(Journal::recover_wal(&bytes).is_clean());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn staged_records_survive_only_after_flush() {
+        let root = tmp_root("staged");
+        let (mut entry, _) = SessionEntry::open(&root, "st", "TOP", standard_library()).unwrap();
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 A").unwrap();
+            execute_line(&mut ed, "create nand2 B").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        assert_eq!(entry.stage_journal(), 2);
+        assert!(entry.has_staged());
+        assert_eq!(entry.durable_records, 1, "staging wrote nothing");
+        assert_eq!(entry.flush_staged().unwrap(), 2);
+        assert!(!entry.has_staged());
+        assert_eq!(entry.durable_records, 3);
+        assert_eq!(entry.flush_staged().unwrap(), 0, "idempotent");
+        drop(entry);
+        let (entry2, kind) = SessionEntry::open(&root, "st", "TOP", standard_library()).unwrap();
+        assert!(matches!(kind, OpenKind::Recovered { records: 3, .. }));
+        drop(entry2);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn snapshot_compacts_the_wal_and_recovers_from_the_tail() {
+        let root = tmp_root("snap");
+        let faults = crate::fault::ServeFaults::none();
+        let (mut entry, _) = SessionEntry::open(&root, "sn", "TOP", standard_library()).unwrap();
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            for name in ["A", "B", "C"] {
+                execute_line(&mut ed, &format!("create nand2 {name}")).unwrap();
+            }
+            execute_line(&mut ed, "undo").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        entry.sync_journal().unwrap();
+        assert!(!entry.maybe_snapshot(&root, 100, &faults), "below interval");
+        assert!(entry.maybe_snapshot(&root, 5, &faults), "5 durable >= 5");
+        assert_eq!(entry.snap_covered(), 5);
+        // The compacted WAL holds no records (snapshot covers them all)
+        // and no longer starts with the `edit` head.
+        let bytes = std::fs::read(entry.path()).unwrap();
+        assert_eq!(bytes, WAL_MAGIC, "fully compacted");
+        // Post-snapshot commands land in the compacted WAL's tail.
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 D").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        entry.sync_journal().unwrap();
+        drop(entry);
+
+        let replayed_before = riot_trace::registry()
+            .counter("serve.recovery.replayed_records")
+            .get();
+        let (mut entry2, kind) =
+            SessionEntry::open(&root, "sn", "TOP", standard_library()).unwrap();
+        assert_eq!(
+            kind,
+            OpenKind::Recovered {
+                records: 6,
+                truncated: false
+            }
+        );
+        let replayed = riot_trace::registry()
+            .counter("serve.recovery.replayed_records")
+            .get()
+            - replayed_before;
+        assert_eq!(replayed, 1, "only the post-snapshot tail replays");
+        let ed = Editor::resume(&mut entry2.lib, entry2.cp.take().unwrap()).unwrap();
+        assert_eq!(ed.instances().len(), 3, "A, B (C undone), D");
+        assert_eq!(ed.undo_depth(), 3, "undo stack restored from snapshot");
+        assert_eq!(ed.journal().commands().len(), 6);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_snapshot_falls_back_to_full_replay() {
+        let root = tmp_root("snapfault");
+        let faults = crate::fault::ServeFaults::none();
+        faults.arm(riot_core::FAULT_SERVE_SNAPSHOT_WRITE, 0);
+        let (mut entry, _) = SessionEntry::open(&root, "tf", "TOP", standard_library()).unwrap();
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 A").unwrap();
+            execute_line(&mut ed, "create nand2 B").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        entry.sync_journal().unwrap();
+        assert!(!entry.snapshot_now(&root, &faults), "fault tears the write");
+        assert_eq!(entry.snap_covered(), 0, "torn snapshot is not trusted");
+        // Compaction was skipped: the WAL still starts with the head.
+        let bytes = std::fs::read(entry.path()).unwrap();
+        let rec = Journal::recover_wal(&bytes);
+        assert!(matches!(
+            rec.journal.commands().first(),
+            Some(Command::Edit { .. })
+        ));
+        drop(entry);
+
+        let full_before = riot_trace::registry()
+            .counter("serve.recovery.full_replay")
+            .get();
+        let (mut entry2, kind) =
+            SessionEntry::open(&root, "tf", "TOP", standard_library()).unwrap();
+        assert!(matches!(kind, OpenKind::Recovered { records: 3, .. }));
+        let full_after = riot_trace::registry()
+            .counter("serve.recovery.full_replay")
+            .get();
+        assert_eq!(full_after - full_before, 1, "fell back to full replay");
+        let ed = Editor::resume(&mut entry2.lib, entry2.cp.take().unwrap()).unwrap();
+        assert_eq!(ed.instances().len(), 2);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn compacted_wal_without_its_snapshot_is_an_honest_error() {
+        let root = tmp_root("snapgone");
+        let faults = crate::fault::ServeFaults::none();
+        let (mut entry, _) = SessionEntry::open(&root, "sg", "TOP", standard_library()).unwrap();
+        {
+            let mut ed = Editor::resume(&mut entry.lib, entry.cp.take().unwrap()).unwrap();
+            execute_line(&mut ed, "create nand2 A").unwrap();
+            entry.cp = Some(ed.suspend());
+        }
+        entry.sync_journal().unwrap();
+        assert!(entry.snapshot_now(&root, &faults));
+        drop(entry);
+        std::fs::remove_file(crate::snapshot::snap_path(&root, "sg")).unwrap();
+        let err = SessionEntry::open(&root, "sg", "TOP", standard_library()).unwrap_err();
+        assert!(err.contains("no snapshot exists"), "{err}");
         let _ = std::fs::remove_dir_all(root);
     }
 
