@@ -48,6 +48,18 @@ pub const FAULT_SERVE_SNAPSHOT_WRITE: &str = "serve.snapshot.write";
 /// crashes with its staged (never acknowledged) suffix discarded, so
 /// recovery lands exactly on the durable prefix.
 pub const FAULT_SERVE_GROUP_FLUSH: &str = "serve.group.flush";
+/// The poll-wakeup fault site in `riot-serve`: the event loop's wakeup
+/// pipe "loses" one readiness notification — the loop must still
+/// deliver every queued reply on its next tick, proving the tick
+/// timeout is a correct fallback and no acknowledgement depends on the
+/// pipe alone.
+pub const FAULT_SERVE_POLL_WAKEUP: &str = "serve.poll.wakeup";
+/// The connection-backlog fault site in `riot-serve`: trips when a
+/// reply is queued onto a connection's bounded write backlog,
+/// simulating a client that never drains. The connection is evicted
+/// (its backlog discarded) rather than buffered unboundedly; the
+/// session WAL keeps only what was already acknowledged-durable.
+pub const FAULT_SERVE_CONN_BACKLOG: &str = "serve.conn.backlog";
 
 /// A seeded plan of fault injections, attached to an editing session
 /// with [`crate::Editor::set_fault_plan`].

@@ -21,7 +21,7 @@
 //! length.
 
 use crate::client::Client;
-use crate::config::{standard_library, ServeConfig};
+use crate::config::{standard_library, IoModel, ServeConfig};
 use crate::fault::ServeFaults;
 use crate::net::{Bind, BoundAddr};
 use crate::proto::{Reply, ReplyBody, RequestBody, TelemetryFormat};
@@ -189,11 +189,74 @@ pub struct RecoveryPoint {
     pub tail_records: usize,
 }
 
-/// A grouped-vs-baseline comparison plus the recovery curve — what
-/// `riot-serve bench --suite` writes to `BENCH_serve.json`.
+/// One connection-scaling measurement: `connections` open clients
+/// (most idle, `active` driving commands) against one io model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnScalePoint {
+    /// The io model the server ran (`poll` / `threads`).
+    pub io_model: String,
+    /// Total open connections held for the whole measurement.
+    pub connections: usize,
+    /// Connections actively driving commands (the rest sit idle).
+    pub active: usize,
+    /// Commands acknowledged across the active connections.
+    pub commands_total: usize,
+    /// Wall-clock for the active phase, milliseconds.
+    pub elapsed_ms: f64,
+    /// Acknowledged commands per second with the idle herd attached.
+    pub cmds_per_sec: f64,
+}
+
+impl ConnScalePoint {
+    fn validate(&self) -> Result<(), String> {
+        if self.io_model != "poll" && self.io_model != "threads" {
+            return Err(format!("bad io_model `{}`", self.io_model));
+        }
+        if self.active == 0 || self.connections < self.active {
+            return Err(format!(
+                "connections {} must cover active {}",
+                self.connections, self.active
+            ));
+        }
+        if self.commands_total == 0 {
+            return Err("no commands were acknowledged".into());
+        }
+        if !(self.elapsed_ms.is_finite() && self.elapsed_ms > 0.0) {
+            return Err("elapsed_ms must be positive and finite".into());
+        }
+        let implied = self.commands_total as f64 / (self.elapsed_ms / 1000.0);
+        if !(self.cmds_per_sec.is_finite()
+            && self.cmds_per_sec > 0.0
+            && (implied - self.cmds_per_sec).abs() / implied < 0.05)
+        {
+            return Err(format!(
+                "cmds_per_sec {:.0} disagrees with commands/elapsed {:.0}",
+                self.cmds_per_sec, implied
+            ));
+        }
+        Ok(())
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "    {{ \"io_model\": \"{}\", \"connections\": {}, \"active\": {}, \
+             \"commands_total\": {}, \"elapsed_ms\": {:.2}, \"cmds_per_sec\": {:.1} }}",
+            self.io_model,
+            self.connections,
+            self.active,
+            self.commands_total,
+            self.elapsed_ms,
+            self.cmds_per_sec
+        )
+    }
+}
+
+/// A grouped-vs-baseline comparison plus the recovery curve and the
+/// connection-scaling axis — what `riot-serve bench --suite` writes to
+/// `BENCH_serve.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchSuite {
-    /// Suite schema tag, always `riot-serve-bench-suite/1`.
+    /// Suite schema tag, always `riot-serve-bench-suite/2`.
     pub schema: String,
     /// The run against a group-committing server.
     pub grouped: BenchReport,
@@ -204,18 +267,25 @@ pub struct BenchSuite {
     /// Recovery timings across growing histories; `snapshot_ms` should
     /// stay flat while `full_replay_ms` grows.
     pub recovery: Vec<RecoveryPoint>,
+    /// Throughput while holding growing herds of mostly-idle
+    /// connections, per io model. The poll model's axis must extend at
+    /// least as far as the threads model's — holding more connections
+    /// than thread-per-connection can is the readiness loop's job.
+    pub conn_scaling: Vec<ConnScalePoint>,
 }
 
 impl BenchSuite {
-    /// Validates both embedded reports, the speedup arithmetic, and
-    /// the recovery curve's shape (non-empty, histories increasing,
-    /// positive timings).
+    /// Validates both embedded reports, the speedup arithmetic, the
+    /// recovery curve's shape (non-empty, histories increasing,
+    /// positive timings), and the connection-scaling axis (non-empty,
+    /// consistent points, connections increasing per io model, and the
+    /// poll model scaling at least as far as the threads model).
     ///
     /// # Errors
     ///
     /// A description of the first inconsistent field.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema != "riot-serve-bench-suite/1" {
+        if self.schema != "riot-serve-bench-suite/2" {
             return Err(format!("bad suite schema tag `{}`", self.schema));
         }
         self.grouped
@@ -248,10 +318,39 @@ impl BenchSuite {
                 return Err(format!("history {}: non-positive timing", p.history));
             }
         }
+        if self.conn_scaling.is_empty() {
+            return Err("connection-scaling axis is empty".into());
+        }
+        let mut max_conns: HashMap<&str, usize> = HashMap::new();
+        let mut last: HashMap<&str, usize> = HashMap::new();
+        for p in &self.conn_scaling {
+            p.validate()
+                .map_err(|e| format!("conn_scaling [{} @{}]: {e}", p.io_model, p.connections))?;
+            if last
+                .get(p.io_model.as_str())
+                .is_some_and(|&n| p.connections <= n)
+            {
+                return Err(format!(
+                    "{} connections must be strictly increasing",
+                    p.io_model
+                ));
+            }
+            last.insert(&p.io_model, p.connections);
+            let m = max_conns.entry(&p.io_model).or_default();
+            *m = (*m).max(p.connections);
+        }
+        let poll_max = *max_conns
+            .get("poll")
+            .ok_or("connection-scaling axis has no poll points")?;
+        if max_conns.get("threads").is_some_and(|&t| poll_max < t) {
+            return Err(format!(
+                "poll axis tops out at {poll_max} connections, below the threads axis"
+            ));
+        }
         Ok(())
     }
 
-    /// The suite as pretty-printed JSON (`riot-serve-bench-suite/1`).
+    /// The suite as pretty-printed JSON (`riot-serve-bench-suite/2`).
     pub fn to_json(&self) -> String {
         let indent = |block: &str| -> String {
             block
@@ -280,14 +379,22 @@ impl BenchSuite {
             })
             .collect::<Vec<_>>()
             .join(",\n");
+        let scaling = self
+            .conn_scaling
+            .iter()
+            .map(ConnScalePoint::to_json_line)
+            .collect::<Vec<_>>()
+            .join(",\n");
         format!(
             "{{\n  \"schema\": \"{}\",\n  \"grouped\": {},\n  \"baseline\": {},\n  \
-             \"speedup\": {:.2},\n  \"recovery\": [\n{}\n  ]\n}}\n",
+             \"speedup\": {:.2},\n  \"recovery\": [\n{}\n  ],\n  \
+             \"conn_scaling\": [\n{}\n  ]\n}}\n",
             self.schema,
             indent(&self.grouped.to_json()),
             indent(&self.baseline.to_json()),
             self.speedup,
-            points
+            points,
+            scaling
         )
     }
 }
@@ -473,6 +580,7 @@ fn spawn_server(
     tag: &str,
     group_commit: Option<Duration>,
     snapshot_every: usize,
+    io_model: IoModel,
 ) -> Result<(crate::server::ServerHandle, PathBuf), String> {
     let dir = std::env::temp_dir().join(format!("riot-serve-suite-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -480,10 +588,126 @@ fn spawn_server(
     let mut cfg = ServeConfig::new(dir.join("wal"));
     cfg.group_commit = group_commit;
     cfg.snapshot_every = snapshot_every;
+    cfg.io_model = io_model;
     let handle = Server::start(cfg, &Bind::Unix(dir.join("bench.sock")))
         .map_err(|e| format!("cannot spawn {tag} server: {e}"))?;
     Ok((handle, dir))
 }
+
+/// One connection-scaling point: holds `connections` open clients
+/// against a private `io_model` server, keeps all but `cfg.sessions`
+/// of them idle, and measures command throughput through the active
+/// ones. The idle herd is what the point is really measuring — a
+/// connection plane that degrades while merely *holding* sockets shows
+/// up as a throughput cliff along the axis.
+///
+/// # Errors
+///
+/// Server spawn, connect, or drive failures, or an internally
+/// inconsistent point.
+pub fn run_conn_point(
+    io_model: IoModel,
+    connections: usize,
+    cfg: &BenchConfig,
+    group_commit_us: u64,
+    snapshot_every: usize,
+) -> Result<ConnScalePoint, String> {
+    let active = cfg.sessions.max(1);
+    if connections < active {
+        return Err(format!(
+            "{connections} connections cannot cover {active} active sessions"
+        ));
+    }
+    let tag = format!("conns-{}-{}", io_model.as_str(), connections);
+    let (handle, dir) = spawn_server(
+        &tag,
+        Some(Duration::from_micros(group_commit_us)),
+        snapshot_every,
+        io_model,
+    )?;
+    let addr = handle.addr();
+    let run = (|| -> Result<ConnScalePoint, String> {
+        let mut idle = Vec::with_capacity(connections - active);
+        for i in 0..connections - active {
+            idle.push(
+                Client::connect(&addr)
+                    .map_err(|e| format!("idle connect {i}/{connections}: {e}"))?,
+            );
+        }
+        let started = Instant::now();
+        let runs: Vec<Result<SessionRun, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..active)
+                .map(|s| {
+                    let session = format!("scale-{s}");
+                    let addr = addr.clone();
+                    scope.spawn(move || drive_session(&addr, &session, cfg))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("worker panicked".into())))
+                .collect()
+        });
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+        drop(idle);
+        let mut acked = 0usize;
+        for run in runs {
+            acked += run?.acked;
+        }
+        let point = ConnScalePoint {
+            io_model: io_model.as_str().to_owned(),
+            connections,
+            active,
+            commands_total: acked,
+            elapsed_ms,
+            cmds_per_sec: acked as f64 / (elapsed_ms / 1000.0),
+        };
+        point.validate()?;
+        Ok(point)
+    })();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+    run.map_err(|e| format!("{tag}: {e}"))
+}
+
+/// Runs the connection-scaling axis: every count in `scales` against
+/// the poll model, and the counts up to [`THREADS_SCALE_CAP`] against
+/// the threads model (thread-per-connection at a thousand connections
+/// means two thousand OS threads — the axis documents the cliff, it
+/// does not have to fall off it).
+///
+/// # Errors
+///
+/// The first failing point.
+pub fn run_conn_scaling(
+    scales: &[usize],
+    load: &BenchConfig,
+    group_commit_us: u64,
+    snapshot_every: usize,
+) -> Result<Vec<ConnScalePoint>, String> {
+    let mut cfg = load.clone();
+    cfg.group_commit_us = Some(group_commit_us);
+    let mut points = Vec::new();
+    for model in [IoModel::Poll, IoModel::Threads] {
+        for &n in scales {
+            if model == IoModel::Threads && n > THREADS_SCALE_CAP {
+                continue;
+            }
+            points.push(run_conn_point(
+                model,
+                n,
+                &cfg,
+                group_commit_us,
+                snapshot_every,
+            )?);
+        }
+    }
+    Ok(points)
+}
+
+/// Largest herd the threads io model is asked to hold on the scaling
+/// axis (each connection costs it two OS threads).
+pub const THREADS_SCALE_CAP: usize = 256;
 
 /// Applies `range` of the bench command mix directly to a session
 /// entry (resume, execute, suspend, one flush) — the recovery bench's
@@ -551,26 +775,37 @@ pub fn run_recovery_bench(histories: &[usize], tail: usize) -> Result<Vec<Recove
 
 /// Runs the full comparison suite: the same load against a
 /// group-committing server and a per-run-fsync baseline (both private,
-/// spawned, torn down), plus the recovery curve. Returns a
-/// **validated** [`BenchSuite`].
+/// spawned, torn down, pinned to [`IoModel::Threads`] so the A/B
+/// isolates the group-commit window), plus the recovery curve and the
+/// connection-scaling axis ([`run_conn_scaling`] over `conn_scales`,
+/// which exercises both io models). Returns a **validated**
+/// [`BenchSuite`].
 ///
 /// # Errors
 ///
-/// Server spawn failures, bench failures on either server, recovery
-/// bench failures, or a suite that fails its own consistency check.
+/// Server spawn failures, bench failures on either server, recovery or
+/// scaling bench failures, or a suite that fails its own consistency
+/// check.
 pub fn run_suite(
     load: &BenchConfig,
     group_commit_us: u64,
     snapshot_every: usize,
     histories: &[usize],
     tail: usize,
+    conn_scales: &[usize],
 ) -> Result<BenchSuite, String> {
     let mut cfg = load.clone();
     cfg.group_commit_us = Some(group_commit_us);
+    // The A/B legs isolate the *group-commit* effect, so both stay
+    // pinned to the threads io-model the experiment was defined under.
+    // The poll loop's reply routing already batches worker flushes, so
+    // under it the window is neutral and the A/B would measure nothing;
+    // the poll model is covered by the connection-scaling axis instead.
     let (handle, dir) = spawn_server(
         "grouped",
         Some(Duration::from_micros(group_commit_us)),
         snapshot_every,
+        IoModel::Threads,
     )?;
     let grouped = run_bench(&handle.addr(), &cfg);
     handle.shutdown();
@@ -578,18 +813,19 @@ pub fn run_suite(
     let grouped = grouped.map_err(|e| format!("grouped run: {e}"))?;
 
     cfg.group_commit_us = Some(0);
-    let (handle, dir) = spawn_server("baseline", None, snapshot_every)?;
+    let (handle, dir) = spawn_server("baseline", None, snapshot_every, IoModel::Threads)?;
     let baseline = run_bench(&handle.addr(), &cfg);
     handle.shutdown();
     let _ = std::fs::remove_dir_all(dir);
     let baseline = baseline.map_err(|e| format!("baseline run: {e}"))?;
 
     let suite = BenchSuite {
-        schema: "riot-serve-bench-suite/1".to_owned(),
+        schema: "riot-serve-bench-suite/2".to_owned(),
         speedup: grouped.cmds_per_sec / baseline.cmds_per_sec,
         grouped,
         baseline,
         recovery: run_recovery_bench(histories, tail)?,
+        conn_scaling: run_conn_scaling(conn_scales, load, group_commit_us, snapshot_every)?,
     };
     suite.validate()?;
     Ok(suite)
@@ -659,8 +895,18 @@ mod tests {
         assert!(r.validate().is_err());
     }
 
-    #[test]
-    fn suite_validation_checks_speedup_and_curve() {
+    fn scale_point(io_model: &str, connections: usize) -> ConnScalePoint {
+        ConnScalePoint {
+            io_model: io_model.into(),
+            connections,
+            active: 4,
+            commands_total: 400,
+            elapsed_ms: 40.0,
+            cmds_per_sec: 10_000.0,
+        }
+    }
+
+    fn sample_suite() -> BenchSuite {
         let grouped = sample();
         let mut baseline = sample();
         baseline.group_commit_us = Some(0);
@@ -668,8 +914,8 @@ mod tests {
         baseline.cmds_per_sec = 5_000.0;
         baseline.fsyncs_total = 200;
         baseline.fsyncs_per_cmd = 1.0;
-        let suite = BenchSuite {
-            schema: "riot-serve-bench-suite/1".into(),
+        BenchSuite {
+            schema: "riot-serve-bench-suite/2".into(),
             grouped,
             baseline,
             speedup: 2.0,
@@ -687,12 +933,24 @@ mod tests {
                     tail_records: 64,
                 },
             ],
-        };
+            conn_scaling: vec![
+                scale_point("poll", 64),
+                scale_point("poll", 1024),
+                scale_point("threads", 64),
+                scale_point("threads", 256),
+            ],
+        }
+    }
+
+    #[test]
+    fn suite_validation_checks_speedup_and_curve() {
+        let suite = sample_suite();
         suite.validate().unwrap();
         let json = suite.to_json();
-        assert!(json.contains("\"schema\": \"riot-serve-bench-suite/1\""));
+        assert!(json.contains("\"schema\": \"riot-serve-bench-suite/2\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"history\": 2000"));
+        assert!(json.contains("\"io_model\": \"poll\", \"connections\": 1024"));
 
         let mut bad = suite.clone();
         bad.speedup = 9.0;
@@ -705,6 +963,53 @@ mod tests {
         let mut bad = suite;
         bad.recovery[1].history = 500; // not increasing
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn suite_validation_checks_the_scaling_axis() {
+        let mut bad = sample_suite();
+        bad.conn_scaling.clear();
+        assert!(bad.validate().unwrap_err().contains("scaling axis"));
+
+        let mut bad = sample_suite();
+        bad.conn_scaling[1].connections = 64; // poll axis not increasing
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample_suite();
+        bad.conn_scaling.retain(|p| p.io_model == "threads");
+        assert!(bad.validate().unwrap_err().contains("no poll points"));
+
+        // The poll axis must reach at least as far as the threads axis.
+        let mut bad = sample_suite();
+        bad.conn_scaling = vec![scale_point("poll", 64), scale_point("threads", 256)];
+        assert!(bad.validate().unwrap_err().contains("tops out"));
+
+        let mut bad = sample_suite();
+        bad.conn_scaling[0].active = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample_suite();
+        bad.conn_scaling[0].cmds_per_sec = 1.0; // disagrees with commands/elapsed
+        assert!(bad.validate().is_err());
+
+        let mut bad = sample_suite();
+        bad.conn_scaling[0].io_model = "fibers".into();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn conn_scaling_measures_a_real_herd() {
+        let cfg = BenchConfig {
+            sessions: 2,
+            commands: 40,
+            window: 8,
+            group_commit_us: Some(500),
+        };
+        let point = run_conn_point(IoModel::Poll, 16, &cfg, 500, 0).unwrap();
+        assert_eq!(point.connections, 16);
+        assert_eq!(point.active, 2);
+        assert_eq!(point.commands_total, 80);
+        assert_eq!(point.io_model, "poll");
     }
 
     #[test]

@@ -14,6 +14,43 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How the server runs its connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One readiness-driven `poll(2)` event loop owns every connection:
+    /// non-blocking sockets, zero-copy frame decode, bounded write
+    /// backlogs. The default — holds thousands of connections on a
+    /// handful of threads.
+    #[default]
+    Poll,
+    /// The original reader-thread + writer-thread per connection model
+    /// (two OS threads per client). Kept behind `--io-model threads`
+    /// as the blocking fallback.
+    Threads,
+}
+
+impl IoModel {
+    /// The CLI spelling (`poll` / `threads`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoModel::Poll => "poll",
+            IoModel::Threads => "threads",
+        }
+    }
+}
+
+impl std::str::FromStr for IoModel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<IoModel, String> {
+        match s {
+            "poll" => Ok(IoModel::Poll),
+            "threads" => Ok(IoModel::Threads),
+            other => Err(format!("unknown io model `{other}` (poll|threads)")),
+        }
+    }
+}
+
 /// Builds the library every fresh session starts from. Sessions never
 /// share a [`Library`] (each worker-owned session has its own), so the
 /// factory is called once per `open`.
@@ -90,6 +127,13 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Per-connection socket write timeout.
     pub write_timeout: Duration,
+    /// Connection plane: the readiness event loop (default) or
+    /// thread-per-connection.
+    pub io_model: IoModel,
+    /// Poll model only: most pending write-backlog bytes per
+    /// connection. Reads pause at a quarter of this; crossing it
+    /// evicts the connection (`serve.conn.evicted`).
+    pub conn_backlog_max: usize,
     /// Library every fresh session starts from.
     pub library: LibraryFactory,
     /// Fault injection for the request path (disarmed by default).
@@ -122,6 +166,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("snapshot_every", &self.snapshot_every)
             .field("read_timeout", &self.read_timeout)
             .field("write_timeout", &self.write_timeout)
+            .field("io_model", &self.io_model)
+            .field("conn_backlog_max", &self.conn_backlog_max)
             .field("telemetry_addr", &self.telemetry_addr)
             .field("slow_threshold", &self.slow_threshold)
             .finish_non_exhaustive()
@@ -132,9 +178,10 @@ impl ServeConfig {
     /// Defaults for `root`: 0 (auto) threads, 256-job inboxes, 64
     /// commands per batch, 20 ms ticks, 60 s idle eviction, a 1 ms
     /// group-commit window, snapshots every 1000 records, 30 s socket
-    /// timeouts, the [`standard_library`], no faults, no telemetry
-    /// listener, a 100 ms slow-command threshold, and a 4096-event
-    /// flight recorder.
+    /// timeouts, the poll io-model with 4 MiB write backlogs, the
+    /// [`standard_library`], no faults, no telemetry listener, a
+    /// 100 ms slow-command threshold, and a 4096-event flight
+    /// recorder.
     pub fn new(root: impl Into<PathBuf>) -> ServeConfig {
         ServeConfig {
             root: root.into(),
@@ -147,6 +194,8 @@ impl ServeConfig {
             snapshot_every: 1000,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
+            io_model: IoModel::default(),
+            conn_backlog_max: 4 << 20,
             library: Arc::new(standard_library),
             faults: ServeFaults::none(),
             telemetry_addr: None,

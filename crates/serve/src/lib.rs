@@ -11,7 +11,10 @@
 //!   WAL compaction)
 //! * [`manager`] — the sharded worker pool (batching, backpressure,
 //!   idle eviction)
-//! * [`server`] — socket accept loops, connection threads, drain
+//! * [`conn`] — the pure per-connection state machine behind the poll
+//!   io-model (zero-copy scan buffer, bounded write backlog)
+//! * [`server`] — the readiness-driven event loop (default) and the
+//!   thread-per-connection fallback, accept, drain
 //! * [`client`] — a small blocking client used by the bench, the CLI
 //!   and the tests
 //! * [`bench`] — the load generator behind `riot-serve bench`
@@ -29,6 +32,7 @@
 pub mod bench;
 pub mod client;
 pub mod config;
+pub mod conn;
 pub mod fault;
 pub mod flightrec;
 pub mod manager;
@@ -40,18 +44,21 @@ pub mod snapshot;
 pub mod telemetry;
 
 pub use bench::{
-    run_bench, run_recovery_bench, run_suite, BenchConfig, BenchReport, BenchSuite, RecoveryPoint,
+    run_bench, run_conn_point, run_conn_scaling, run_recovery_bench, run_suite, BenchConfig,
+    BenchReport, BenchSuite, ConnScalePoint, RecoveryPoint, THREADS_SCALE_CAP,
 };
 pub use client::Client;
-pub use config::{resolve_threads, standard_library, LibraryFactory, ServeConfig};
+pub use config::{resolve_threads, standard_library, IoModel, LibraryFactory, ServeConfig};
+pub use conn::{ConnEvent, ConnState, Connection, QueueOutcome, TraceEvent};
 pub use fault::ServeFaults;
 pub use flightrec::{FlightEvent, FlightKind, FlightRecorder};
-pub use manager::{JobKind, SessionManager};
-pub use net::{Bind, BoundAddr, Listener, Stream};
+pub use manager::{JobKind, ReplyTx, SessionManager};
+pub use net::{Bind, BoundAddr, Interest, Listener, PollSet, Readiness, Stream, WakePipe};
 pub use proto::{
     decode_frame_eof, encode_frame, handshake_client_v2, read_frame, read_frame_into, scan_frame,
-    valid_session_name, write_frame, FrameCorruption, FrameScan, ProtoError, ProtoVersion, Reply,
-    ReplyBody, Request, RequestBody, TelemetryFormat, SRV_MAGIC, SRV_MAGIC_V2,
+    scan_frame_ref, valid_session_name, write_frame, FrameCorruption, FrameScan, FrameScanRef,
+    ProtoError, ProtoVersion, Reply, ReplyBody, Request, RequestBody, RequestBodyRef, RequestRef,
+    TelemetryFormat, SRV_MAGIC, SRV_MAGIC_V2,
 };
 pub use server::{Server, ServerHandle};
 pub use session::{wal_path, OpenKind, SessionEntry};

@@ -87,6 +87,69 @@ pub enum JobKind {
     },
 }
 
+/// Where a job's reply goes. The thread-per-connection model hands
+/// each worker a plain channel its writer thread drains
+/// ([`ReplyTx::direct`]); the poll event loop hands out a **routed**
+/// sender ([`ReplyTx::routed`]) that tags each reply with the
+/// connection's token and then kicks the loop's wakeup pipe, so a
+/// blocked `poll(2)` learns immediately that a reply is ready to
+/// write. Cloning is cheap either way (a channel sender plus, for the
+/// routed form, an `Arc`).
+#[derive(Clone)]
+pub struct ReplyTx(ReplyTxInner);
+
+#[derive(Clone)]
+enum ReplyTxInner {
+    Direct(Sender<Reply>),
+    Routed {
+        tx: Sender<(u64, Reply)>,
+        token: u64,
+        wake: Arc<crate::net::WakePipe>,
+    },
+}
+
+impl ReplyTx {
+    /// Replies go straight to `tx` (a dedicated writer thread drains
+    /// it).
+    pub fn direct(tx: Sender<Reply>) -> ReplyTx {
+        ReplyTx(ReplyTxInner::Direct(tx))
+    }
+
+    /// Replies go to the event loop's shared channel tagged with
+    /// `token`, and `wake` is kicked after every send.
+    pub fn routed(
+        tx: Sender<(u64, Reply)>,
+        token: u64,
+        wake: Arc<crate::net::WakePipe>,
+    ) -> ReplyTx {
+        ReplyTx(ReplyTxInner::Routed { tx, token, wake })
+    }
+
+    /// Delivers one reply. A gone receiver (connection already closed)
+    /// is not an error — the reply is simply dropped, exactly like the
+    /// old writer-thread channel.
+    pub fn send(&self, reply: Reply) {
+        match &self.0 {
+            ReplyTxInner::Direct(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplyTxInner::Routed { tx, token, wake } => {
+                let _ = tx.send((*token, reply));
+                wake.wake();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplyTx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            ReplyTxInner::Direct(_) => f.write_str("ReplyTx::Direct"),
+            ReplyTxInner::Routed { token, .. } => write!(f, "ReplyTx::Routed({token})"),
+        }
+    }
+}
+
 /// One queued unit of work.
 struct Job {
     session: String,
@@ -95,7 +158,7 @@ struct Job {
     /// The client's trace context ([`TraceContext::NONE`] for v1
     /// connections): every server-side span for this job continues it.
     trace: TraceContext,
-    reply_tx: Sender<Reply>,
+    reply_tx: ReplyTx,
     enqueued: Instant,
     /// Nanoseconds spent queued (stamped when the worker drains the
     /// job; feeds the slow-command log's phase decomposition).
@@ -184,7 +247,7 @@ impl SessionManager {
         kind: JobKind,
         id: u64,
         trace: TraceContext,
-        reply_tx: Sender<Reply>,
+        reply_tx: ReplyTx,
     ) -> Result<(), ReplyBody> {
         let job = Job {
             session: session.to_owned(),
@@ -469,7 +532,7 @@ fn send_reply(job: &Job, body: ReplyBody) {
         _ => "serve.replies.ok",
     })
     .inc();
-    let _ = job.reply_tx.send(Reply { id: job.id, body });
+    job.reply_tx.send(Reply { id: job.id, body });
 }
 
 /// Brings `session` into memory if it is not already hosted: recovers
@@ -995,6 +1058,7 @@ mod tests {
         let root = tmp_root("roundtrip");
         let mgr = SessionManager::start(test_cfg(&root)).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "a",
             JobKind::Open { cell: "TOP".into() },
@@ -1044,6 +1108,7 @@ mod tests {
         let root = tmp_root("order");
         let mgr = SessionManager::start(test_cfg(&root)).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "p",
             JobKind::Open { cell: "TOP".into() },
@@ -1078,6 +1143,7 @@ mod tests {
         cfg.inbox_cap = 4;
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         // Stall the single worker so the inbox backs up.
         mgr.submit(
             "b",
@@ -1114,6 +1180,7 @@ mod tests {
         let root = tmp_root("lazy");
         let mgr = SessionManager::start(test_cfg(&root)).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "ghost",
             JobKind::Cmd {
@@ -1164,6 +1231,7 @@ mod tests {
         cfg.faults.arm(FAULT_SERVE_JOURNAL_APPEND, 2);
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "f",
             JobKind::Open { cell: "TOP".into() },
@@ -1245,6 +1313,7 @@ mod tests {
         cfg.faults.arm(riot_core::FAULT_SERVE_GROUP_FLUSH, 0);
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "g",
             JobKind::Open { cell: "TOP".into() },
@@ -1311,6 +1380,7 @@ mod tests {
         cfg.snapshot_every = 4;
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "si",
             JobKind::Open { cell: "TOP".into() },
@@ -1344,6 +1414,7 @@ mod tests {
         // Reopen from disk: snapshot + tail must equal the full state.
         let mgr = SessionManager::start(test_cfg(&root)).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "si",
             JobKind::Open { cell: "TOP".into() },
@@ -1384,6 +1455,7 @@ mod tests {
         cfg.idle_timeout = Duration::from_millis(30);
         let mgr = SessionManager::start(cfg).unwrap();
         let (tx, rx) = channel();
+        let tx = ReplyTx::direct(tx);
         mgr.submit(
             "idle",
             JobKind::Open { cell: "TOP".into() },

@@ -204,33 +204,68 @@ pub enum FrameScan {
     Corrupt(FrameCorruption),
 }
 
-/// Scans `buf` for one frame at offset 0 without consuming input.
+/// The outcome of the zero-copy scan: like [`FrameScan`], but a
+/// complete frame's payload **borrows** the scanned buffer instead of
+/// copying it — the event loop decodes requests straight out of each
+/// connection's receive buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameScanRef<'a> {
+    /// A complete, intact frame: its payload (borrowed, in place) and
+    /// the total bytes consumed (header + payload).
+    Complete {
+        /// The verified payload, borrowed from the scanned buffer.
+        payload: &'a [u8],
+        /// Header + payload length in bytes.
+        consumed: usize,
+    },
+    /// More bytes are needed; nothing was consumed.
+    Incomplete,
+    /// The buffer head is not a valid frame.
+    Corrupt(FrameCorruption),
+}
+
+/// Scans `buf` for one frame at offset 0 without consuming input and
+/// without copying the payload.
 ///
 /// Unlike the streaming [`read_frame`], this never blocks: partial
-/// frames report [`FrameScan::Incomplete`]. A length field beyond
+/// frames report [`FrameScanRef::Incomplete`]. A length field beyond
 /// [`MAX_FRAME_PAYLOAD`] and a checksum mismatch are immediately
-/// [`FrameScan::Corrupt`] — a decoder must not wait for a 4 GiB
+/// [`FrameScanRef::Corrupt`] — a decoder must not wait for a 4 GiB
 /// payload that a flipped length bit promised.
-pub fn scan_frame(buf: &[u8]) -> FrameScan {
+pub fn scan_frame_ref(buf: &[u8]) -> FrameScanRef<'_> {
     if buf.len() < 8 {
-        return FrameScan::Incomplete;
+        return FrameScanRef::Incomplete;
     }
     let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
     if len > MAX_FRAME_PAYLOAD {
-        return FrameScan::Corrupt(FrameCorruption::TooLarge(len));
+        return FrameScanRef::Corrupt(FrameCorruption::TooLarge(len));
     }
     let stored = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
     if buf.len() - 8 < len {
-        return FrameScan::Incomplete;
+        return FrameScanRef::Incomplete;
     }
     let payload = &buf[8..8 + len];
     let computed = crc32(payload);
     if computed != stored {
-        return FrameScan::Corrupt(FrameCorruption::BadChecksum { stored, computed });
+        return FrameScanRef::Corrupt(FrameCorruption::BadChecksum { stored, computed });
     }
-    FrameScan::Complete {
-        payload: payload.to_vec(),
+    FrameScanRef::Complete {
+        payload,
         consumed: 8 + len,
+    }
+}
+
+/// Copying variant of [`scan_frame_ref`], kept for callers that need
+/// the payload to outlive the buffer (the threads io-model's reader
+/// drains its buffer before dispatching).
+pub fn scan_frame(buf: &[u8]) -> FrameScan {
+    match scan_frame_ref(buf) {
+        FrameScanRef::Complete { payload, consumed } => FrameScan::Complete {
+            payload: payload.to_vec(),
+            consumed,
+        },
+        FrameScanRef::Incomplete => FrameScan::Incomplete,
+        FrameScanRef::Corrupt(c) => FrameScan::Corrupt(c),
     }
 }
 
@@ -434,49 +469,252 @@ impl RequestBody {
     }
 
     /// Parses the text form (shared by every protocol version).
-    fn from_text(text: &str) -> Result<RequestBody, String> {
-        let f: Vec<&str> = text.split_whitespace().collect();
+    /// Convenience over the zero-copy [`RequestBodyRef::parse`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed.
+    pub fn from_text(text: &str) -> Result<RequestBody, String> {
+        RequestBodyRef::parse(text).map(RequestBodyRef::to_owned)
+    }
+}
+
+/// A zero-copy view of a [`RequestBody`]: every field borrows the
+/// frame payload it was decoded from. The event loop parses requests
+/// in place over a connection's receive buffer and only materializes
+/// owned strings ([`RequestBodyRef::to_owned`]) for verbs that cross a
+/// thread boundary into the worker pool — `ping`, `stats`, `telemetry`,
+/// `dump` and `shutdown` never allocate at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestBodyRef<'a> {
+    /// See [`RequestBody::Open`].
+    Open {
+        /// Session name, borrowed from the payload.
+        session: &'a str,
+        /// Composition cell, borrowed from the payload.
+        cell: &'a str,
+    },
+    /// See [`RequestBody::Cmd`]. `line` is the raw tail after the
+    /// session token — interior whitespace is normalized only when the
+    /// command is materialized for dispatch.
+    Cmd {
+        /// Target session, borrowed from the payload.
+        session: &'a str,
+        /// The command tail, borrowed from the payload.
+        line: &'a str,
+    },
+    /// See [`RequestBody::Close`].
+    Close {
+        /// Target session, borrowed from the payload.
+        session: &'a str,
+    },
+    /// See [`RequestBody::Ping`].
+    Ping,
+    /// See [`RequestBody::Stats`].
+    Stats {
+        /// `None` for the pool-wide line.
+        session: Option<&'a str>,
+    },
+    /// See [`RequestBody::Telemetry`].
+    Telemetry {
+        /// Which rendering the reply carries.
+        format: TelemetryFormat,
+    },
+    /// See [`RequestBody::Dump`].
+    Dump,
+    /// See [`RequestBody::Shutdown`].
+    Shutdown,
+    /// See [`RequestBody::Stall`].
+    Stall {
+        /// Session whose worker to stall.
+        session: &'a str,
+        /// Milliseconds to hold the worker.
+        ms: u64,
+    },
+}
+
+impl<'a> RequestBodyRef<'a> {
+    /// Parses the canonical text form without copying any field.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed (identical to
+    /// the owned parser's messages).
+    pub fn parse(text: &'a str) -> Result<RequestBodyRef<'a>, String> {
+        let f: Vec<&'a str> = text.split_whitespace().collect();
         Ok(match f.first().copied() {
-            Some("open") if f.len() == 3 => RequestBody::Open {
-                session: f[1].to_owned(),
-                cell: f[2].to_owned(),
+            Some("open") if f.len() == 3 => RequestBodyRef::Open {
+                session: f[1],
+                cell: f[2],
             },
             Some("open") => return Err("`open` wants: open <session> <cell>".into()),
-            Some("cmd") if f.len() >= 3 => RequestBody::Cmd {
-                session: f[1].to_owned(),
-                line: f[2..].join(" "),
-            },
+            Some("cmd") if f.len() >= 3 => {
+                // The line is the raw tail starting at the third token:
+                // borrowed, not joined — normalization happens only if
+                // the command is materialized.
+                let off = f[2].as_ptr() as usize - text.as_ptr() as usize;
+                RequestBodyRef::Cmd {
+                    session: f[1],
+                    line: text[off..].trim_end(),
+                }
+            }
             Some("cmd") => return Err("`cmd` wants: cmd <session> <command…>".into()),
-            Some("close") if f.len() == 2 => RequestBody::Close {
-                session: f[1].to_owned(),
-            },
+            Some("close") if f.len() == 2 => RequestBodyRef::Close { session: f[1] },
             Some("close") => return Err("`close` wants: close <session>".into()),
-            Some("ping") if f.len() == 1 => RequestBody::Ping,
-            Some("stats") if f.len() == 1 => RequestBody::Stats { session: None },
-            Some("stats") if f.len() == 2 => RequestBody::Stats {
-                session: Some(f[1].to_owned()),
+            Some("ping") if f.len() == 1 => RequestBodyRef::Ping,
+            Some("stats") if f.len() == 1 => RequestBodyRef::Stats { session: None },
+            Some("stats") if f.len() == 2 => RequestBodyRef::Stats {
+                session: Some(f[1]),
             },
             Some("stats") => return Err("`stats` wants: stats [<session>]".into()),
-            Some("telemetry") if f.len() == 1 => RequestBody::Telemetry {
+            Some("telemetry") if f.len() == 1 => RequestBodyRef::Telemetry {
                 format: TelemetryFormat::Prometheus,
             },
-            Some("telemetry") if f.len() == 2 && f[1] == "prom" => RequestBody::Telemetry {
+            Some("telemetry") if f.len() == 2 && f[1] == "prom" => RequestBodyRef::Telemetry {
                 format: TelemetryFormat::Prometheus,
             },
-            Some("telemetry") if f.len() == 2 && f[1] == "json" => RequestBody::Telemetry {
+            Some("telemetry") if f.len() == 2 && f[1] == "json" => RequestBodyRef::Telemetry {
                 format: TelemetryFormat::Json,
             },
             Some("telemetry") => return Err("`telemetry` wants: telemetry [prom|json]".into()),
-            Some("dump") if f.len() == 1 => RequestBody::Dump,
+            Some("dump") if f.len() == 1 => RequestBodyRef::Dump,
             Some("dump") => return Err("`dump` takes no arguments".into()),
-            Some("shutdown") if f.len() == 1 => RequestBody::Shutdown,
-            Some("stall") if f.len() == 3 => RequestBody::Stall {
-                session: f[1].to_owned(),
+            Some("shutdown") if f.len() == 1 => RequestBodyRef::Shutdown,
+            Some("stall") if f.len() == 3 => RequestBodyRef::Stall {
+                session: f[1],
                 ms: f[2].parse().map_err(|_| "stall wants integer ms")?,
             },
             Some(other) => return Err(format!("unknown verb `{other}`")),
             None => return Err("empty request".into()),
         })
+    }
+
+    /// Materializes owned strings (normalizing a `cmd` line's interior
+    /// whitespace exactly like the owned parser always has).
+    pub fn to_owned(self) -> RequestBody {
+        match self {
+            RequestBodyRef::Open { session, cell } => RequestBody::Open {
+                session: session.to_owned(),
+                cell: cell.to_owned(),
+            },
+            RequestBodyRef::Cmd { session, line } => RequestBody::Cmd {
+                session: session.to_owned(),
+                line: line.split_whitespace().collect::<Vec<_>>().join(" "),
+            },
+            RequestBodyRef::Close { session } => RequestBody::Close {
+                session: session.to_owned(),
+            },
+            RequestBodyRef::Ping => RequestBody::Ping,
+            RequestBodyRef::Stats { session } => RequestBody::Stats {
+                session: session.map(str::to_owned),
+            },
+            RequestBodyRef::Telemetry { format } => RequestBody::Telemetry { format },
+            RequestBodyRef::Dump => RequestBody::Dump,
+            RequestBodyRef::Shutdown => RequestBody::Shutdown,
+            RequestBodyRef::Stall { session, ms } => RequestBody::Stall {
+                session: session.to_owned(),
+                ms,
+            },
+        }
+    }
+}
+
+/// One pipelined request decoded in place: the id plus a borrowed body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRef<'a> {
+    /// Echoed verbatim in the reply.
+    pub id: u64,
+    /// What to do, borrowing the frame payload.
+    pub body: RequestBodyRef<'a>,
+}
+
+impl<'a> RequestRef<'a> {
+    /// Parses a v1 frame payload without copying.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is malformed.
+    pub fn decode(payload: &'a [u8]) -> Result<RequestRef<'a>, String> {
+        if payload.len() < 8 {
+            return Err(format!(
+                "request payload of {} bytes cannot hold an id",
+                payload.len()
+            ));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("not UTF-8: {e}"))?;
+        Ok(RequestRef {
+            id,
+            body: RequestBodyRef::parse(text)?,
+        })
+    }
+
+    /// Parses a v2 frame payload without copying: id, flags, optional
+    /// trace context, text form.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::decode_v2`].
+    pub fn decode_v2(payload: &'a [u8]) -> Result<(RequestRef<'a>, Option<TraceContext>), String> {
+        if payload.len() < 9 {
+            return Err(format!(
+                "v2 request payload of {} bytes cannot hold id + flags",
+                payload.len()
+            ));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let flags = payload[8];
+        if flags & !REQ_FLAG_TRACE != 0 {
+            return Err(format!("unknown request flags {flags:#04x}"));
+        }
+        let mut at = 9usize;
+        let trace = if flags & REQ_FLAG_TRACE != 0 {
+            if payload.len() < at + 16 {
+                return Err("trace flag set but context bytes missing".into());
+            }
+            let trace_id = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
+            let parent_span =
+                u64::from_le_bytes(payload[at + 8..at + 16].try_into().expect("8 bytes"));
+            at += 16;
+            Some(TraceContext {
+                trace_id,
+                parent_span,
+            })
+        } else {
+            None
+        };
+        let text = std::str::from_utf8(&payload[at..]).map_err(|e| format!("not UTF-8: {e}"))?;
+        Ok((
+            RequestRef {
+                id,
+                body: RequestBodyRef::parse(text)?,
+            },
+            trace,
+        ))
+    }
+
+    /// Version-dispatching zero-copy decode: v1 payloads never carry a
+    /// context.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestRef::decode`] / [`RequestRef::decode_v2`].
+    pub fn decode_versioned(
+        payload: &'a [u8],
+        version: ProtoVersion,
+    ) -> Result<(RequestRef<'a>, Option<TraceContext>), String> {
+        match version {
+            ProtoVersion::V1 => Ok((RequestRef::decode(payload)?, None)),
+            ProtoVersion::V2 => RequestRef::decode_v2(payload),
+        }
+    }
+
+    /// Materializes an owned [`Request`].
+    pub fn to_owned(self) -> Request {
+        Request {
+            id: self.id,
+            body: self.body.to_owned(),
+        }
     }
 }
 
@@ -496,18 +734,7 @@ impl Request {
     ///
     /// A human-readable description of what is malformed.
     pub fn decode(payload: &[u8]) -> Result<Request, String> {
-        if payload.len() < 8 {
-            return Err(format!(
-                "request payload of {} bytes cannot hold an id",
-                payload.len()
-            ));
-        }
-        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        let text = std::str::from_utf8(&payload[8..]).map_err(|e| format!("not UTF-8: {e}"))?;
-        Ok(Request {
-            id,
-            body: RequestBody::from_text(text)?,
-        })
+        Ok(RequestRef::decode(payload)?.to_owned())
     }
 
     /// Serializes to a v2 frame payload: id, flags, optional trace
@@ -540,41 +767,8 @@ impl Request {
     /// any flag bit this revision does not know (a v2 decoder cannot
     /// skip fields it cannot size).
     pub fn decode_v2(payload: &[u8]) -> Result<(Request, Option<TraceContext>), String> {
-        if payload.len() < 9 {
-            return Err(format!(
-                "v2 request payload of {} bytes cannot hold id + flags",
-                payload.len()
-            ));
-        }
-        let id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-        let flags = payload[8];
-        if flags & !REQ_FLAG_TRACE != 0 {
-            return Err(format!("unknown request flags {flags:#04x}"));
-        }
-        let mut at = 9usize;
-        let trace = if flags & REQ_FLAG_TRACE != 0 {
-            if payload.len() < at + 16 {
-                return Err("trace flag set but context bytes missing".into());
-            }
-            let trace_id = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8 bytes"));
-            let parent_span =
-                u64::from_le_bytes(payload[at + 8..at + 16].try_into().expect("8 bytes"));
-            at += 16;
-            Some(TraceContext {
-                trace_id,
-                parent_span,
-            })
-        } else {
-            None
-        };
-        let text = std::str::from_utf8(&payload[at..]).map_err(|e| format!("not UTF-8: {e}"))?;
-        Ok((
-            Request {
-                id,
-                body: RequestBody::from_text(text)?,
-            },
-            trace,
-        ))
+        let (req, trace) = RequestRef::decode_v2(payload)?;
+        Ok((req.to_owned(), trace))
     }
 
     /// Version-dispatching decode: v1 payloads never carry a context.

@@ -1,50 +1,81 @@
-//! The server: accept loops, connection threads, and graceful drain.
+//! The server: the readiness-driven connection plane (default) and the
+//! thread-per-connection fallback, plus graceful drain.
 //!
-//! # Threading model
+//! # Io models
 //!
-//! One accept thread per server; one reader thread plus one writer
-//! thread per connection; the fixed worker pool
-//! ([`crate::SessionManager`]) behind them. The reader never blocks on
-//! session work — it decodes frames, answers `ping`/`stats`/`shutdown`
-//! inline, and hands everything session-shaped to the manager with a
-//! clone of the writer's channel. Per-session FIFO ordering plus the
-//! single writer per connection means pipelined replies can never be
-//! misordered.
+//! **`poll` (default).** One event-loop thread owns every connection:
+//! the listener, a wakeup pipe and each connection's socket are
+//! multiplexed through `poll(2)` ([`crate::net::PollSet`]). Sockets are
+//! non-blocking; each connection is a pure [`Connection`] state machine
+//! (`handshaking → reading ⇄ backlogged → draining → closed`) that
+//! scans frames **in place** over its receive scratch — request decode
+//! borrows the payload bytes ([`RequestRef`]) and only dispatch
+//! materializes owned strings. Replies come back from the worker pool
+//! over one routed channel tagged with the connection token
+//! ([`ReplyTx::routed`]); every send kicks the wakeup pipe so a blocked
+//! `poll(2)` learns immediately. Write backlogs are bounded: past a
+//! quarter of [`crate::ServeConfig::conn_backlog_max`] the connection
+//! stops reading (slow readers throttle themselves), past the cap it is
+//! evicted (`serve.conn.evicted`).
+//!
+//! **`threads`.** The original model — one reader thread plus one
+//! writer thread per connection — kept behind `--io-model threads` as
+//! the blocking fallback. Its reader also scans frames in place now;
+//! only dispatch copies.
+//!
+//! Per-session FIFO ordering in the manager, plus a single writer per
+//! connection (the event loop's backlog or the writer thread), means
+//! pipelined replies can never be misordered.
 //!
 //! # Shutdown
 //!
-//! `shutdown` (the wire verb) or [`ServerHandle::shutdown`] sets the
-//! stop flag and wakes the acceptor with a loopback connection. The
-//! acceptor stops; connection readers notice the flag at their next
-//! poll tick and close; the manager drains its workers, flushing every
-//! session's WAL. Nothing is dropped: replies already queued still go
-//! out before the writer threads exit.
+//! `shutdown` (the wire verb) or [`ServerHandle::shutdown`] calls
+//! [`request_stop`]: the stop flag is set and the wakeup pipe kicked,
+//! so the poll loop wakes **immediately** (no tick worst-case), drains
+//! every connection's queued replies and exits once the last one
+//! closes. Under the threads model the acceptor is woken with a
+//! loopback connection and every connection's read side is shut down —
+//! blocked readers return instantly instead of waiting out their poll
+//! tick. Nothing is dropped either way: replies already queued still go
+//! out before the sockets close.
 
-use crate::config::ServeConfig;
+use crate::config::{IoModel, ServeConfig};
+use crate::conn::{ConnEvent, Connection, QueueOutcome};
 use crate::flightrec::{self, FlightKind};
-use crate::manager::{JobKind, SessionManager};
-use crate::net::{Bind, BoundAddr, Listener, Stream};
+use crate::manager::{JobKind, ReplyTx, SessionManager};
+use crate::net::{Bind, BoundAddr, Interest, Listener, PollSet, Stream, WakePipe};
 use crate::proto::{
-    handshake_server, scan_frame, write_frame, FrameScan, ProtoVersion, Reply, ReplyBody, Request,
-    RequestBody, TelemetryFormat,
+    scan_frame_ref, write_frame, FrameScanRef, ProtoVersion, Reply, ReplyBody, RequestBodyRef,
+    RequestRef, TelemetryFormat, SRV_MAGIC, SRV_MAGIC_V2,
 };
 use crate::telemetry::TelemetryServer;
-use riot_core::{FAULT_SERVE_ACCEPT, FAULT_SERVE_FRAME_DECODE};
+use riot_core::{
+    FAULT_SERVE_ACCEPT, FAULT_SERVE_CONN_BACKLOG, FAULT_SERVE_FRAME_DECODE, FAULT_SERVE_POLL_WAKEUP,
+};
 use riot_trace::TraceContext;
-use std::io::{Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Sender};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// State shared by the accept loop and every connection thread.
+/// State shared by the accept/event-loop thread and every connection.
 struct Shared {
     cfg: ServeConfig,
     mgr: SessionManager,
     stop: AtomicBool,
     bound: BoundAddr,
+    /// Event-loop wakeup pipe: kicked on shutdown and by every routed
+    /// reply becoming ready.
+    wake: Arc<WakePipe>,
+    /// Threads model: connection-thread join handles.
     conns: Mutex<Vec<JoinHandle<()>>>,
+    /// Threads model: one cloned stream per live connection so
+    /// [`request_stop`] can shut their read sides down immediately.
+    conn_streams: Mutex<HashMap<u64, Stream>>,
+    next_conn: AtomicU64,
 }
 
 /// A running server. Obtain with [`Server::start`]; stop with
@@ -60,14 +91,17 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds `bind`, starts the worker pool and the accept thread.
+    /// Binds `bind`, starts the worker pool and the io thread (the
+    /// poll event loop, or the accept thread under `--io-model
+    /// threads`).
     ///
     /// # Errors
     ///
-    /// Bind or WAL-root creation failures.
+    /// Bind, wakeup-pipe, or WAL-root creation failures.
     pub fn start(cfg: ServeConfig, bind: &Bind) -> std::io::Result<ServerHandle> {
         riot_trace::init_from_env();
         let (listener, bound) = Listener::bind(bind)?;
+        let wake = Arc::new(WakePipe::new()?);
         let mgr = SessionManager::start(cfg.clone())?;
         // From here on a panic anywhere in the process dumps the
         // flight recorder next to the WALs it describes.
@@ -76,18 +110,25 @@ impl Server {
             Some(addr) => Some(TelemetryServer::start(addr, Arc::clone(&cfg.flightrec))?),
             None => None,
         };
+        let io_model = cfg.io_model;
         let shared = Arc::new(Shared {
             cfg,
             mgr,
             stop: AtomicBool::new(false),
             bound,
+            wake,
             conns: Mutex::new(Vec::new()),
+            conn_streams: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(1),
         });
-        let accept_shared = Arc::clone(&shared);
+        let io_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
-            .name("riot-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept thread");
+            .name("riot-serve-io".into())
+            .spawn(move || match io_model {
+                IoModel::Poll => poll_loop(listener, &io_shared),
+                IoModel::Threads => accept_loop(&listener, &io_shared),
+            })
+            .expect("spawn io thread");
         Ok(ServerHandle {
             shared,
             accept: Some(accept),
@@ -115,10 +156,10 @@ impl ServerHandle {
     }
 
     /// Requests a drain and blocks until the server is fully stopped:
-    /// acceptor joined, every connection closed, every session flushed.
+    /// io thread joined, every connection closed, every session
+    /// flushed.
     pub fn shutdown(mut self) {
-        self.shared.stop.store(true, Ordering::Relaxed);
-        wake_acceptor(&self.shared.bound);
+        request_stop(&self.shared);
         self.join_everything();
     }
 
@@ -160,9 +201,29 @@ impl ServerHandle {
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         if self.accept.is_some() {
-            self.shared.stop.store(true, Ordering::Relaxed);
-            wake_acceptor(&self.shared.bound);
+            request_stop(&self.shared);
             self.join_everything();
+        }
+    }
+}
+
+/// Sets the stop flag and wakes whoever is blocked on io: the poll
+/// loop via its wakeup pipe; under the threads model also the blocked
+/// `accept(2)` (loopback poke) and every connection reader (read-side
+/// shutdown — their next read returns immediately, while queued
+/// replies still flush out the intact write side).
+fn request_stop(shared: &Shared) {
+    shared.stop.store(true, Ordering::Relaxed);
+    shared.wake.wake();
+    if shared.cfg.io_model == IoModel::Threads {
+        wake_acceptor(&shared.bound);
+        for s in shared
+            .conn_streams
+            .lock()
+            .expect("conn streams lock")
+            .values()
+        {
+            s.shutdown_read();
         }
     }
 }
@@ -174,6 +235,329 @@ fn wake_acceptor(bound: &BoundAddr) {
     }
 }
 
+// ----------------------------------------------------------------------
+// The poll io-model: one readiness event loop owns every connection
+// ----------------------------------------------------------------------
+
+/// One live connection inside the event loop.
+struct PollConn {
+    stream: Stream,
+    conn: Connection,
+    reply: ReplyTx,
+    /// Last byte of progress in either direction — read or write —
+    /// for timeout eviction.
+    last_progress: Instant,
+}
+
+/// The readiness-driven event loop: listener, wakeup pipe and every
+/// connection multiplexed through one `poll(2)` set.
+fn poll_loop(listener: Listener, shared: &Arc<Shared>) {
+    let reg = riot_trace::registry();
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let (reply_tx, reply_rx) = channel::<(u64, Reply)>();
+    let mut conns: HashMap<u64, PollConn> = HashMap::new();
+    let mut next_token: u64 = 1;
+    let mut pollset = PollSet::new();
+    let mut tmp = [0u8; 16 * 1024];
+    let mut stopping = false;
+    loop {
+        let iter_start = Instant::now();
+        if !stopping && shared.stop.load(Ordering::Relaxed) {
+            stopping = true;
+            for pc in conns.values_mut() {
+                pc.conn.begin_drain();
+            }
+        }
+        conns.retain(|_, pc| {
+            if pc.conn.is_closed() {
+                pc.stream.shutdown_both();
+                false
+            } else {
+                true
+            }
+        });
+        if stopping && conns.is_empty() {
+            break;
+        }
+
+        // Build this iteration's poll set: wakeup pipe, listener
+        // (unless draining), and every connection by current interest.
+        pollset.clear();
+        let wake_idx = pollset.register(shared.wake.read_fd(), Interest::READ);
+        let listen_idx = if stopping {
+            None
+        } else {
+            Some(pollset.register(listener.raw_fd(), Interest::READ))
+        };
+        let mut regs: Vec<(u64, usize)> = Vec::with_capacity(conns.len());
+        for (tok, pc) in &conns {
+            let interest = Interest {
+                read: pc.conn.wants_read(),
+                write: pc.conn.wants_write(),
+            };
+            if interest.read || interest.write {
+                regs.push((*tok, pollset.register(pc.stream.raw_fd(), interest)));
+            }
+        }
+        let _ = pollset.wait(Some(shared.cfg.tick));
+
+        // Wakeup pipe: worker replies became ready or a stop was
+        // requested. The fault site models a *lost* wakeup — the pipe
+        // stays undrained and reply routing is skipped one iteration,
+        // so delivery must ride the tick fallback instead.
+        let mut route_replies = true;
+        if pollset.readiness(wake_idx).readable {
+            if shared.cfg.faults.should_inject(FAULT_SERVE_POLL_WAKEUP) {
+                shared.cfg.flightrec.record(
+                    0,
+                    "",
+                    FlightKind::Fault,
+                    "serve.poll.wakeup",
+                    false,
+                    0,
+                );
+                reg.counter("serve.poll.wakeup.lost").inc();
+                route_replies = false;
+            } else {
+                shared.wake.drain();
+                reg.counter("serve.poll.wakeups").inc();
+            }
+        }
+        if route_replies {
+            while let Ok((tok, reply)) = reply_rx.try_recv() {
+                let Some(pc) = conns.get_mut(&tok) else {
+                    continue; // connection evicted while the job ran
+                };
+                if shared.cfg.faults.should_inject(FAULT_SERVE_CONN_BACKLOG) {
+                    // The injected "client that never drains": evict
+                    // rather than buffer unboundedly. Durability is
+                    // untouched — what was acknowledged is on disk.
+                    shared.cfg.flightrec.record(
+                        reply.id,
+                        "",
+                        FlightKind::Fault,
+                        "serve.conn.backlog",
+                        false,
+                        0,
+                    );
+                    reg.counter("serve.conn.evicted").inc();
+                    pc.conn.force_close();
+                    continue;
+                }
+                if pc.conn.deliver_reply(&reply) == QueueOutcome::Overflow {
+                    reg.counter("serve.conn.evicted").inc();
+                }
+            }
+        }
+
+        // Accept everything pending.
+        if listen_idx.is_some_and(|idx| pollset.readiness(idx).readable) {
+            accept_ready(&listener, shared, &reply_tx, &mut next_token, &mut conns);
+        }
+
+        // Per-connection readiness: pull bytes, then scan/dispatch.
+        for (tok, idx) in &regs {
+            let r = pollset.readiness(*idx);
+            let Some(pc) = conns.get_mut(tok) else {
+                continue;
+            };
+            if r.error && !r.readable {
+                pc.conn.force_close();
+                continue;
+            }
+            if r.readable && pc.conn.wants_read() {
+                read_ready(pc, &mut tmp);
+            }
+        }
+
+        // Scan/dispatch for every connection — not just the ones that
+        // read this iteration: a connection leaving `backlogged` must
+        // resume dispatching its already-buffered frames.
+        for pc in conns.values_mut() {
+            process_events(shared, pc);
+            flush_writes(pc);
+        }
+
+        evict_stalled(shared, &mut conns);
+
+        let mut backlog_total = 0usize;
+        for pc in conns.values() {
+            backlog_total += pc.conn.backlog_bytes();
+        }
+        reg.gauge("serve.conns.open").set(conns.len() as i64);
+        reg.gauge("serve.conn.backlog_bytes")
+            .set(backlog_total as i64);
+        reg.histogram("serve.poll.loop_iter_ns")
+            .record(iter_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    reg.gauge("serve.conns.open").set(0);
+    reg.gauge("serve.conn.backlog_bytes").set(0);
+}
+
+/// Drains the listener's accept queue (non-blocking).
+fn accept_ready(
+    listener: &Listener,
+    shared: &Arc<Shared>,
+    reply_tx: &Sender<(u64, Reply)>,
+    next_token: &mut u64,
+    conns: &mut HashMap<u64, PollConn>,
+) {
+    loop {
+        match listener.accept() {
+            Ok(stream) => {
+                if shared.cfg.faults.should_inject(FAULT_SERVE_ACCEPT) {
+                    // A fault at accept: the connection is dropped
+                    // before the handshake, exactly like a dying
+                    // network. No session state is involved yet.
+                    stream.shutdown_both();
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    stream.shutdown_both();
+                    continue;
+                }
+                riot_trace::registry().counter("serve.connections").inc();
+                let token = *next_token;
+                *next_token += 1;
+                let reply = ReplyTx::routed(reply_tx.clone(), token, Arc::clone(&shared.wake));
+                conns.insert(
+                    token,
+                    PollConn {
+                        stream,
+                        conn: Connection::new(shared.cfg.conn_backlog_max),
+                        reply,
+                        last_progress: Instant::now(),
+                    },
+                );
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Pulls every available byte off a readable socket into the
+/// connection's scratch buffer.
+fn read_ready(pc: &mut PollConn, tmp: &mut [u8]) {
+    loop {
+        match pc.stream.read(tmp) {
+            Ok(0) => {
+                // Peer closed cleanly: no more requests, but in-flight
+                // replies still flush before the socket closes.
+                pc.conn.begin_drain();
+                break;
+            }
+            Ok(n) => {
+                pc.conn.ingest(&tmp[..n]);
+                pc.last_progress = Instant::now();
+                if n < tmp.len() {
+                    break;
+                }
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => {
+                pc.conn.force_close();
+                break;
+            }
+        }
+    }
+}
+
+/// Scans buffered bytes into handshake/frame events and dispatches
+/// them. Zero-copy: each frame's payload is decoded in place.
+fn process_events(shared: &Arc<Shared>, pc: &mut PollConn) {
+    let reg = riot_trace::registry();
+    loop {
+        match pc.conn.next_event() {
+            None => return,
+            Some(ConnEvent::Handshake(v)) => {
+                if v == ProtoVersion::V2 {
+                    reg.counter("serve.handshake.v2").inc();
+                }
+            }
+            Some(ConnEvent::BadMagic) => {
+                reg.counter("serve.handshake.rejected").inc();
+                return;
+            }
+            Some(ConnEvent::Frame { off, len }) => {
+                reg.counter("serve.conn.decode.in_place").inc();
+                pc.conn.note_dispatched();
+                let version = pc.conn.version().unwrap_or(ProtoVersion::V1);
+                let keep =
+                    handle_frame(pc.conn.frame_payload(off, len), shared, &pc.reply, version);
+                if !keep {
+                    pc.conn.begin_drain();
+                    return;
+                }
+            }
+            Some(ConnEvent::Corrupt(c)) => {
+                reg.counter("serve.frame.corrupt").inc();
+                if pc.conn.queue_reply(&Reply {
+                    id: u64::MAX,
+                    body: ReplyBody::Err(format!("corrupt frame: {c}; closing")),
+                }) == QueueOutcome::Overflow
+                {
+                    reg.counter("serve.conn.evicted").inc();
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Writes backlog bytes until the socket would block.
+fn flush_writes(pc: &mut PollConn) {
+    while pc.conn.wants_write() {
+        match pc.stream.write(pc.conn.writable_bytes()) {
+            Ok(0) => {
+                pc.conn.force_close();
+                break;
+            }
+            Ok(n) => {
+                pc.conn.advance_write(n);
+                pc.last_progress = Instant::now();
+            }
+            Err(ref e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => {
+                pc.conn.force_close();
+                break;
+            }
+        }
+    }
+}
+
+/// Evicts connections that made no progress in either direction for
+/// too long: half-open peers that never handshook, idle readers past
+/// `read_timeout`, and backlogged peers that never drain.
+fn evict_stalled(shared: &Arc<Shared>, conns: &mut HashMap<u64, PollConn>) {
+    let reg = riot_trace::registry();
+    let now = Instant::now();
+    for pc in conns.values_mut() {
+        if pc.conn.is_closed() {
+            continue;
+        }
+        let reading = pc.conn.wants_read();
+        let limit = if reading {
+            shared.cfg.read_timeout
+        } else {
+            shared.cfg.write_timeout.max(shared.cfg.read_timeout)
+        };
+        if now.duration_since(pc.last_progress) >= limit {
+            if reading {
+                reg.counter("serve.read.timeout").inc();
+            }
+            reg.counter("serve.conn.evicted").inc();
+            pc.conn.force_close();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The threads io-model: reader + writer thread per connection
+// ----------------------------------------------------------------------
+
 fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
     loop {
         let stream = match listener.accept() {
@@ -184,45 +568,54 @@ fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
             break;
         }
         if shared.cfg.faults.should_inject(FAULT_SERVE_ACCEPT) {
-            // A fault at accept: the connection is dropped before the
-            // handshake, exactly like a dying network. No session state
-            // is involved yet, so nothing can corrupt.
             stream.shutdown_both();
             continue;
         }
         riot_trace::registry().counter("serve.connections").inc();
+        let token = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conn_streams
+                .lock()
+                .expect("conn streams lock")
+                .insert(token, clone);
+        }
         let conn_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name("riot-serve-conn".into())
             .spawn(move || {
                 let _span = riot_trace::span!("serve.accept");
                 connection(stream, &conn_shared);
+                conn_shared
+                    .conn_streams
+                    .lock()
+                    .expect("conn streams lock")
+                    .remove(&token);
             })
             .expect("spawn connection thread");
         shared.conns.lock().expect("conns lock").push(handle);
     }
 }
 
-/// How often a blocked reader wakes to check the stop flag.
+/// How often a blocked reader wakes to check the stop flag. Shutdown
+/// no longer waits on this — [`request_stop`] shuts read sides down —
+/// but idle-timeout accounting still ticks at this rate.
 const POLL_TICK: Duration = Duration::from_millis(50);
 
 /// One connection: handshake, then a reader loop feeding the manager
 /// and a writer thread draining the reply channel.
 fn connection(mut stream: Stream, shared: &Arc<Shared>) {
-    let version = match handshake_server(&mut stream) {
-        Ok(v) => v,
-        Err(_) => {
-            riot_trace::registry()
-                .counter("serve.handshake.rejected")
-                .inc();
-            return;
-        }
+    // Timeouts go on *before* the handshake: a half-open peer that
+    // never sends its magic is evicted by the deadline in
+    // `read_magic`, instead of pinning this thread forever.
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+    let Some(version) = read_magic(&mut stream, shared) else {
+        return;
     };
     if version == ProtoVersion::V2 {
         riot_trace::registry().counter("serve.handshake.v2").inc();
     }
-    let _ = stream.set_read_timeout(Some(POLL_TICK));
-    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -230,19 +623,10 @@ fn connection(mut stream: Stream, shared: &Arc<Shared>) {
     let (reply_tx, reply_rx) = channel::<Reply>();
     let writer = std::thread::Builder::new()
         .name("riot-serve-writer".into())
-        .spawn(move || {
-            let mut out = std::io::BufWriter::new(writer_stream);
-            while let Ok(reply) = reply_rx.recv() {
-                if write_frame(&mut out, &reply.encode()).is_err() || out.flush().is_err() {
-                    break;
-                }
-            }
-            if let Ok(inner) = out.into_inner() {
-                inner.shutdown_write();
-            }
-        })
+        .spawn(move || writer_loop(writer_stream, &reply_rx))
         .expect("spawn writer thread");
 
+    let reply_tx = ReplyTx::direct(reply_tx);
     reader_loop(&mut stream, shared, &reply_tx, version);
 
     // Reader done: drop our sender so the writer exits once every
@@ -252,11 +636,62 @@ fn connection(mut stream: Stream, shared: &Arc<Shared>) {
     stream.shutdown_both();
 }
 
+fn writer_loop(stream: Stream, reply_rx: &Receiver<Reply>) {
+    let mut out = std::io::BufWriter::new(stream);
+    while let Ok(reply) = reply_rx.recv() {
+        if write_frame(&mut out, &reply.encode()).is_err() || out.flush().is_err() {
+            break;
+        }
+    }
+    if let Ok(inner) = out.into_inner() {
+        inner.shutdown_write();
+    }
+}
+
+/// Reads the 8-byte magic with a deadline, checking the stop flag each
+/// poll tick, and echoes it back. `None` means evict the connection
+/// (EOF, timeout, stop, io error, or unknown magic).
+fn read_magic(stream: &mut Stream, shared: &Shared) -> Option<ProtoVersion> {
+    let mut magic = [0u8; 8];
+    let mut got = 0usize;
+    let deadline = Instant::now() + shared.cfg.read_timeout;
+    while got < 8 {
+        if shared.stop.load(Ordering::Relaxed) {
+            return None;
+        }
+        match stream.read(&mut magic[got..]) {
+            Ok(0) => return None,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if Instant::now() >= deadline {
+                    riot_trace::registry().counter("serve.read.timeout").inc();
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    let version = if &magic == SRV_MAGIC {
+        ProtoVersion::V1
+    } else if &magic == SRV_MAGIC_V2 {
+        ProtoVersion::V2
+    } else {
+        riot_trace::registry()
+            .counter("serve.handshake.rejected")
+            .inc();
+        return None;
+    };
+    stream.write_all(version.magic()).ok()?;
+    Some(version)
+}
+
 /// Reads frames until EOF, corruption, read-timeout or server stop.
+/// Frames are scanned in place — the payload handed to `handle_frame`
+/// borrows the receive buffer; only dispatch copies.
 fn reader_loop(
     stream: &mut Stream,
     shared: &Arc<Shared>,
-    reply_tx: &Sender<Reply>,
+    reply_tx: &ReplyTx,
     version: ProtoVersion,
 ) {
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
@@ -265,22 +700,26 @@ fn reader_loop(
     loop {
         // Drain every complete frame already buffered.
         loop {
-            match scan_frame(&buf) {
-                FrameScan::Complete { payload, consumed } => {
-                    buf.drain(..consumed);
-                    if !handle_frame(&payload, shared, reply_tx, version) {
-                        return;
-                    }
+            let (keep, consumed) = match scan_frame_ref(&buf) {
+                FrameScanRef::Complete { payload, consumed } => {
+                    riot_trace::registry()
+                        .counter("serve.conn.decode.in_place")
+                        .inc();
+                    (handle_frame(payload, shared, reply_tx, version), consumed)
                 }
-                FrameScan::Incomplete => break,
-                FrameScan::Corrupt(c) => {
+                FrameScanRef::Incomplete => break,
+                FrameScanRef::Corrupt(c) => {
                     riot_trace::registry().counter("serve.frame.corrupt").inc();
-                    let _ = reply_tx.send(Reply {
+                    reply_tx.send(Reply {
                         id: u64::MAX,
                         body: ReplyBody::Err(format!("corrupt frame: {c}; closing")),
                     });
                     return;
                 }
+            };
+            buf.drain(..consumed);
+            if !keep {
+                return;
             }
         }
         if shared.stop.load(Ordering::Relaxed) {
@@ -306,12 +745,18 @@ fn reader_loop(
     }
 }
 
+// ----------------------------------------------------------------------
+// Frame handling (shared by both io models)
+// ----------------------------------------------------------------------
+
 /// Decodes and dispatches one frame. Returns `false` to close the
-/// connection.
+/// connection. Decode is zero-copy ([`RequestRef`] borrows `payload`);
+/// only the dispatch arms materialize owned strings for the worker
+/// pool.
 fn handle_frame(
     payload: &[u8],
     shared: &Arc<Shared>,
-    reply_tx: &Sender<Reply>,
+    reply_tx: &ReplyTx,
     version: ProtoVersion,
 ) -> bool {
     let decode_start = Instant::now();
@@ -326,16 +771,16 @@ fn handle_frame(
             .flightrec
             .record(0, "", FlightKind::Fault, "serve.frame.decode", false, 0);
         let _ = shared.cfg.flightrec.dump_to(&shared.cfg.root);
-        let _ = reply_tx.send(Reply {
+        reply_tx.send(Reply {
             id: u64::MAX,
             body: ReplyBody::Err("corrupt frame: injected decode fault; closing".to_owned()),
         });
         return false;
     }
-    let (req, trace) = match Request::decode_versioned(payload, version) {
+    let (req, trace) = match RequestRef::decode_versioned(payload, version) {
         Ok(t) => t,
         Err(e) => {
-            let _ = reply_tx.send(Reply {
+            reply_tx.send(Reply {
                 id: u64::MAX,
                 body: ReplyBody::Err(format!("bad request: {e}")),
             });
@@ -352,25 +797,21 @@ fn handle_frame(
         decode_start,
         &[("bytes", payload.len() as u64)],
     );
+    let id = req.id;
     let reply_now = |body: ReplyBody| {
-        let _ = reply_tx.send(Reply { id: req.id, body });
+        reply_tx.send(Reply { id, body });
     };
     match req.body {
-        RequestBody::Ping => reply_now(ReplyBody::Ok("pong".to_owned())),
-        RequestBody::Stats { session: None } => reply_now(ReplyBody::Ok(shared.mgr.stats_line())),
-        RequestBody::Stats {
+        RequestBodyRef::Ping => reply_now(ReplyBody::Ok("pong".to_owned())),
+        RequestBodyRef::Stats { session: None } => {
+            reply_now(ReplyBody::Ok(shared.mgr.stats_line()));
+        }
+        RequestBodyRef::Stats {
             session: Some(session),
         } => {
-            dispatch(
-                shared,
-                reply_tx,
-                req.id,
-                &session,
-                JobKind::SessionStats,
-                ctx,
-            );
+            dispatch(shared, reply_tx, id, session, JobKind::SessionStats, ctx);
         }
-        RequestBody::Telemetry { format } => {
+        RequestBodyRef::Telemetry { format } => {
             // Served inline from the registry: no worker round-trip, no
             // session state, safe even when every inbox is full.
             reply_now(ReplyBody::Ok(match format {
@@ -378,50 +819,46 @@ fn handle_frame(
                 TelemetryFormat::Json => riot_trace::json_snapshot(),
             }));
         }
-        RequestBody::Dump => {
+        RequestBodyRef::Dump => {
             reply_now(match shared.cfg.flightrec.dump_to(&shared.cfg.root) {
                 Ok(path) => ReplyBody::Ok(path.display().to_string()),
                 Err(e) => ReplyBody::Err(format!("flight recorder dump failed: {e}")),
             });
         }
-        RequestBody::Shutdown => {
-            shared.stop.store(true, Ordering::Relaxed);
-            wake_acceptor(&shared.bound);
+        RequestBodyRef::Shutdown => {
+            request_stop(shared);
             reply_now(ReplyBody::Ok("draining".to_owned()));
             return false;
         }
-        RequestBody::Open { session, cell } => {
+        RequestBodyRef::Open { session, cell } => {
             dispatch(
                 shared,
                 reply_tx,
-                req.id,
-                &session,
-                JobKind::Open { cell },
+                id,
+                session,
+                JobKind::Open {
+                    cell: cell.to_owned(),
+                },
                 ctx,
             );
         }
-        RequestBody::Cmd { session, line } => {
+        RequestBodyRef::Cmd { session, line } => {
             dispatch(
                 shared,
                 reply_tx,
-                req.id,
-                &session,
-                JobKind::Cmd { line },
+                id,
+                session,
+                JobKind::Cmd {
+                    line: line.split_whitespace().collect::<Vec<_>>().join(" "),
+                },
                 ctx,
             );
         }
-        RequestBody::Close { session } => {
-            dispatch(shared, reply_tx, req.id, &session, JobKind::Close, ctx);
+        RequestBodyRef::Close { session } => {
+            dispatch(shared, reply_tx, id, session, JobKind::Close, ctx);
         }
-        RequestBody::Stall { session, ms } => {
-            dispatch(
-                shared,
-                reply_tx,
-                req.id,
-                &session,
-                JobKind::Stall { ms },
-                ctx,
-            );
+        RequestBodyRef::Stall { session, ms } => {
+            dispatch(shared, reply_tx, id, session, JobKind::Stall { ms }, ctx);
         }
     }
     true
@@ -431,14 +868,14 @@ fn handle_frame(
 /// (invalid name, full inbox, shutdown) replies immediately.
 fn dispatch(
     shared: &Arc<Shared>,
-    reply_tx: &Sender<Reply>,
+    reply_tx: &ReplyTx,
     id: u64,
     session: &str,
     kind: JobKind,
     trace: TraceContext,
 ) {
     if !crate::proto::valid_session_name(session) {
-        let _ = reply_tx.send(Reply {
+        reply_tx.send(Reply {
             id,
             body: ReplyBody::Err(format!(
                 "invalid session name `{session}` (want [A-Za-z0-9_-]{{1,64}})"
@@ -450,7 +887,7 @@ fn dispatch(
         .mgr
         .submit(session, kind, id, trace, reply_tx.clone())
     {
-        let _ = reply_tx.send(Reply { id, body });
+        reply_tx.send(Reply { id, body });
     }
 }
 
@@ -458,6 +895,7 @@ fn dispatch(
 mod tests {
     use super::*;
     use crate::client::Client;
+    use crate::proto::{decode_frame_eof, encode_frame, Request, RequestBody};
     use std::path::{Path, PathBuf};
 
     fn tmp_root(tag: &str) -> PathBuf {
@@ -483,6 +921,22 @@ mod tests {
         assert_eq!(c.cmd("t1", "create nand2 A").unwrap(), "instance 0");
         assert_eq!(c.cmd("t1", "translate A 5000 0").unwrap(), "done");
         assert_eq!(c.close_session("t1").unwrap(), "closed");
+        drop(c);
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn threads_model_still_serves() {
+        let root = tmp_root("thr");
+        let mut cfg = test_cfg(&root);
+        cfg.io_model = IoModel::Threads;
+        let h = Server::start(cfg, &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut c = Client::connect(&h.addr()).unwrap();
+        assert_eq!(c.ping().unwrap(), "pong");
+        assert_eq!(c.open("t2", "TOP").unwrap(), "created");
+        assert_eq!(c.cmd("t2", "create nand2 A").unwrap(), "instance 0");
+        assert_eq!(c.close_session("t2").unwrap(), "closed");
         drop(c);
         h.shutdown();
         let _ = std::fs::remove_dir_all(root);
@@ -535,6 +989,38 @@ mod tests {
         let mut b = [0u8; 1];
         // Server closes without echoing the magic.
         assert!(matches!(s.read(&mut b), Ok(0) | Err(_)));
+        h.shutdown();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_frame_gets_an_error_reply_then_close() {
+        let root = tmp_root("corrupt");
+        let h = Server::start(test_cfg(&root), &Bind::Tcp("127.0.0.1:0".into())).unwrap();
+        let mut s = Stream::connect(&h.addr()).unwrap();
+        s.write_all(SRV_MAGIC).unwrap();
+        let mut echo = [0u8; 8];
+        s.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, SRV_MAGIC);
+        let mut frame = encode_frame(
+            &Request {
+                id: 1,
+                body: RequestBody::Ping,
+            }
+            .encode(),
+        );
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40; // bad checksum
+        s.write_all(&frame).unwrap();
+        let mut wire = Vec::new();
+        s.read_to_end(&mut wire).unwrap(); // server replies, then closes
+        let (payload, _) = decode_frame_eof(&wire).unwrap();
+        let reply = Reply::decode(&payload).unwrap();
+        assert_eq!(reply.id, u64::MAX);
+        assert!(
+            matches!(reply.body, ReplyBody::Err(ref m) if m.contains("corrupt frame")),
+            "{reply:?}"
+        );
         h.shutdown();
         let _ = std::fs::remove_dir_all(root);
     }
