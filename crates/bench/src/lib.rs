@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use riot::geom::Layer;
+use riot::geom::{Layer, Rect};
 use riot::route::{RouteProblem, RouterOptions, Terminal};
 
 /// A deterministic RNG for workload generation.
@@ -41,6 +41,61 @@ pub fn route_problem_with_capacity(n: usize, shift: i64, cap: usize, seed: u64) 
         tracks_per_channel: cap,
         ..RouterOptions::new()
     })
+}
+
+/// The grid-router channel height used by [`grid_route_workload`].
+pub const GRID_WORKLOAD_HEIGHT: i64 = 48;
+
+/// A synthetic chip channel the river router **cannot route at all**:
+/// every net changes layers between its bottom and top terminal
+/// (bottom on diffusion/poly/metal, top on a different routable
+/// layer), so the river router's single-layer precondition fails on
+/// net 0 — only the A* grid router, with vias, can solve it. Terminals
+/// sit on jittered ~10λ columns with small top-edge jogs; the channel
+/// height is pinned to [`GRID_WORKLOAD_HEIGHT`] so the obstacle field
+/// from [`grid_route_obstacles`] stays clear of the terminal rows.
+pub fn grid_route_workload(n: usize, seed: u64) -> RouteProblem {
+    let mut r = rng(seed);
+    let mut bottom = Vec::with_capacity(n);
+    let mut top = Vec::with_capacity(n);
+    let mut x = 0i64;
+    for i in 0..n {
+        x += 10 + r.gen_range(0..5);
+        let blayer = Layer::ROUTABLE[r.gen_range(0..Layer::ROUTABLE.len())];
+        let others: Vec<Layer> = Layer::ROUTABLE
+            .iter()
+            .copied()
+            .filter(|l| *l != blayer)
+            .collect();
+        let tlayer = others[r.gen_range(0..others.len())];
+        let jog = r.gen_range(-2..3);
+        bottom.push(Terminal::new(format!("n{i}"), x, blayer, 2));
+        top.push(Terminal::new(format!("n{i}"), x + jog, tlayer, 2));
+    }
+    RouteProblem::new(bottom, top).with_options(RouterOptions {
+        exact_height: Some(GRID_WORKLOAD_HEIGHT),
+        ..RouterOptions::new()
+    })
+}
+
+/// The obstacle field that goes with [`grid_route_workload`]: `count`
+/// blocks on random routable layers scattered across the channel's
+/// mid-band (clear of both terminal escape zones), in channel-local
+/// lambda. Dense enough to force detours and layer hops; sparse enough
+/// that every net still has a path.
+pub fn grid_route_obstacles(n: usize, count: usize, seed: u64) -> Vec<(Layer, Rect)> {
+    let mut r = rng(seed ^ 0x0B57_AC1E);
+    let span = 15 * n as i64 + 10;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let layer = Layer::ROUTABLE[r.gen_range(0..Layer::ROUTABLE.len())];
+        let x0 = r.gen_range(0..span);
+        let y0 = r.gen_range(14..33);
+        let w = r.gen_range(3..7);
+        let h = r.gen_range(2..5);
+        out.push((layer, Rect::new(x0, y0, x0 + w, y0 + h)));
+    }
+    out
 }
 
 /// A comb cell with `n` left-edge pins for stretch benchmarks, plus a
@@ -240,6 +295,22 @@ mod tests {
                 assert_eq!(r.wires().len(), n);
             }
         }
+    }
+
+    #[test]
+    fn grid_workload_routes_where_the_river_cannot() {
+        let p = grid_route_workload(24, 7);
+        let obstacles = grid_route_obstacles(24, 24, 7);
+        assert!(
+            matches!(
+                riot::route::river_route(&p),
+                Err(riot::route::RouteError::LayerMismatch { .. })
+            ),
+            "the workload must defeat the river router"
+        );
+        let route = riot::route::grid_route(&p, &obstacles).expect("grid routes it");
+        assert_eq!(route.wires().len(), 24);
+        riot::route::grid::verify_clearance(&route, &obstacles).unwrap();
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::model::Model;
 use riot_core::Command;
 use riot_geom::{Orientation, Point, Side, LAMBDA};
 use riot_rest::SolveMode;
-use riot_route::RouterOptions;
+use riot_route::{RouterEngine, RouterOptions};
 
 /// SplitMix64: a tiny, seedable, statistically solid generator — the
 /// same family the core fault plan uses, with a different stream.
@@ -224,10 +224,13 @@ impl Generator {
             0..=11 => self.gen_create(model),
             12..=27 => {
                 // MOVE: lambda-grid deltas keep stretch/route targets
-                // on-grid most of the time.
+                // on-grid most of the time. A third of the moves are
+                // small nudges, which packs instances close together —
+                // obstacle-dense placements for the grid router.
+                let reach = if self.rng.chance(0.33) { 8 } else { 24 };
                 let d = Point::new(
-                    self.rng.range(-24, 24) * LAMBDA,
-                    self.rng.range(-24, 24) * LAMBDA,
+                    self.rng.range(-reach, reach) * LAMBDA,
+                    self.rng.range(-reach, reach) * LAMBDA,
                 );
                 Command::Translate {
                     instance: self.some_instance(model),
@@ -275,7 +278,16 @@ impl Generator {
             },
             78..=83 => Command::Route {
                 move_from: self.rng.chance(0.8),
-                router: RouterOptions::default(),
+                // Half the routes pick the grid engine explicitly;
+                // the river half can still fall back to it.
+                router: RouterOptions {
+                    engine: if self.rng.chance(0.5) {
+                        RouterEngine::Grid
+                    } else {
+                        RouterEngine::River
+                    },
+                    ..RouterOptions::default()
+                },
             },
             84..=87 => Command::Stretch {
                 mode: if self.rng.chance(0.5) {

@@ -10,9 +10,10 @@
 //! depths. Three layers of adversity are stacked on top:
 //!
 //! * **fault injection** — a [`riot_core::FaultPlan`] trips the
-//!   `txn.commit`, `route.solve`, and `stretch.solve` sites at a
-//!   configurable rate; every injected fault must roll the editor back
-//!   to a state the model recognizes (see [`runner`]);
+//!   `txn.commit`, `route.solve`, `route.grid.solve`, and
+//!   `stretch.solve` sites at a configurable rate; every injected
+//!   fault must roll the editor back to a state the model recognizes
+//!   (see [`runner`]);
 //! * **crash recovery** — at intervals the session's journal is
 //!   serialized to the crash-safe WAL format, deliberately corrupted
 //!   (torn tails, bit flips, garbage), recovered with

@@ -9,16 +9,20 @@
 //! **fully predicted**: [`Model::apply`] either mutates the model and
 //! names the exact [`Outcome`] the editor must report, or names the
 //! exact [`RiotError`] the editor must raise. The solver-backed
-//! commands (ROUTE, STRETCH, BRING-OUT) are **observed**: the model
-//! verifies their post-conditions against the real editor and then
-//! adopts the new solver-produced cells verbatim.
+//! commands (ROUTE, STRETCH, BRING-OUT) are **observed** on success:
+//! the model verifies their post-conditions against the real editor
+//! and then adopts the new solver-produced cells verbatim. ROUTE's
+//! *failures* are fully predicted: the model runs the shared planner
+//! in [`riot_core::routeplan`] over its own recomputed state, so
+//! precondition and solver errors must match exactly.
 //!
 //! The conformance claim the harness proves is therefore: after every
 //! command, fault, undo, redo, and crash-recovery replay, the editor is
 //! in a state this model either predicted or can explain.
 
-use riot_core::{Command, Editor, Outcome, RiotError};
+use riot_core::{routeplan, Command, Editor, Outcome, RiotError, WorldConnector};
 use riot_geom::{Layer, Point, Rect, Side, Transform};
+use riot_route::RouterOptions;
 
 /// A connector of a model cell (the model's copy of
 /// `riot_core::Connector`).
@@ -486,9 +490,8 @@ impl Model {
             Command::ClearPending => self.apply_clear_pending(),
             Command::Abut { overlap } => self.apply_abut(*overlap),
             Command::AbutInstances { from, to } => self.apply_abut_instances(from, to),
-            Command::Route { .. } | Command::Stretch { .. } | Command::BringOut { .. } => {
-                Prediction::Observe
-            }
+            Command::Route { move_from, router } => self.apply_route(*move_from, *router),
+            Command::Stretch { .. } | Command::BringOut { .. } => Prediction::Observe,
             Command::Finish => self.apply_finish(),
         }
     }
@@ -703,6 +706,58 @@ impl Model {
         let inst = self.core.slots[from_slot].as_mut().expect("live");
         inst.transform = inst.transform.translated(d);
         Prediction::Ok(PredictedOk::default())
+    }
+
+    /// ROUTE is *exactly* predicted on the error side: the model runs
+    /// the same shared planner ([`riot_core::routeplan`]) over its own
+    /// recomputed world connectors and bystander bboxes, so every
+    /// precondition failure — pending-list errors, ragged channel
+    /// edges, router validation, an unroutable grid — must surface from
+    /// the editor as the identical [`RiotError`]. A successful solve
+    /// stays [`Prediction::Observe`]: the route *cell* the editor
+    /// synthesizes is adopted after post-condition checks.
+    fn apply_route(&self, move_from: bool, router: RouterOptions) -> Prediction {
+        let (from, pairs) = match self.resolve_pending() {
+            Ok(r) => r,
+            Err(e) => return Prediction::Err(e),
+        };
+        let wpairs: Vec<(WorldConnector, WorldConnector)> = pairs
+            .iter()
+            .map(|(fc, tc)| {
+                let wc = |m: &MWorld| WorldConnector {
+                    instance_name: m.instance_name.clone(),
+                    name: m.name.clone(),
+                    location: m.location,
+                    layer: m.layer,
+                    width: m.width,
+                    side: m.side,
+                };
+                (wc(fc), wc(tc))
+            })
+            .collect();
+        let plan = match routeplan::plan_route(&wpairs, move_from, router) {
+            Ok(p) => p,
+            Err(e) => return Prediction::Err(e),
+        };
+        // Bystander bboxes, excluding the from and to instances —
+        // the same set the editor rasterizes into the obstacle grid.
+        let mut exclude = vec![from];
+        for p in &self.core.pending {
+            if !exclude.contains(&p.to) {
+                exclude.push(p.to);
+            }
+        }
+        let bystanders: Vec<Rect> = self
+            .live()
+            .iter()
+            .filter(|(slot, _)| !exclude.contains(slot))
+            .map(|(slot, _)| self.world_bbox(*slot))
+            .collect();
+        let obstacles = routeplan::channel_obstacles(plan.to_side, plan.edge, &bystanders);
+        match routeplan::solve_route(&plan.problem, &obstacles, || Ok(())) {
+            Ok(_) => Prediction::Observe,
+            Err(e) => Prediction::Err(e),
+        }
     }
 
     fn apply_finish(&mut self) -> Prediction {

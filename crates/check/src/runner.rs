@@ -16,9 +16,10 @@
 //!      model pushes undo history;
 //!    * **predicted error** — the editor must fail with *exactly* the
 //!      predicted [`RiotError`];
-//!    * **observed command** (ROUTE/STRETCH/BRING-OUT) — solver
-//!      post-conditions are checked and the model adopts the editor's
-//!      new cells verbatim;
+//!    * **observed command** (successful ROUTE/STRETCH/BRING-OUT) —
+//!      solver post-conditions are checked and the model adopts the
+//!      editor's new cells verbatim (ROUTE failures are exactly
+//!      predicted, not observed);
 //! 5. assert full equivalence: captured state, independently
 //!    recomputed world connectors and bounding boxes for every live
 //!    instance, and undo/redo depth parity.
@@ -637,6 +638,95 @@ mod tests {
         assert_eq!(report.steps, 60);
         assert_eq!(report.faults_injected, 0);
         assert!(report.crash_checks >= 1);
+    }
+
+    #[test]
+    fn grid_solver_fault_site_rolls_back() {
+        use riot_route::{RouterEngine, RouterOptions};
+
+        // Build a session whose next ROUTE will reach the grid engine,
+        // then arm a plan that passes `route.solve` and trips
+        // `route.grid.solve` — its first two consults must be
+        // [false, true], found by scanning seeds (deterministic).
+        let seed = (0u64..10_000)
+            .find(|&s| {
+                let mut p = FaultPlan::new(s, 0.5);
+                !p.should_inject(riot_core::FAULT_ROUTE_SOLVE)
+                    && p.should_inject(riot_core::FAULT_ROUTE_GRID_SOLVE)
+            })
+            .expect("some seed starts [false, true]");
+
+        let mut lib = menu_library();
+        let mut ed = Editor::open(&mut lib, "TOP").expect("TOP opens");
+        let mut model = Model::from_editor(&ed);
+        let setup = [
+            Command::Create {
+                cell: "nand2".into(),
+                instance: "I0".into(),
+            },
+            Command::Create {
+                cell: "nand2".into(),
+                instance: "I1".into(),
+            },
+            Command::Translate {
+                instance: "I1".into(),
+                d: riot_geom::Point::new(0, 60 * riot_geom::LAMBDA),
+            },
+        ];
+        for cmd in setup {
+            step(&mut ed, &mut model, &cmd).unwrap_or_else(|e| panic!("{e}"));
+        }
+        // A layer-matched, opposed from(I1)/to(I0) connector pair.
+        let (fc, tc) = model
+            .world_connectors(1)
+            .iter()
+            .flat_map(|f| {
+                model
+                    .world_connectors(0)
+                    .into_iter()
+                    .map(move |t| (f.clone(), t))
+            })
+            .find(|(f, t)| {
+                f.layer == t.layer
+                    && matches!(
+                        (f.side, t.side),
+                        (Some(a), Some(b)) if a.opposes(b)
+                    )
+            })
+            .map(|(f, t)| (f.name, t.name))
+            .expect("stacked nand2s expose an opposed pair");
+        step(
+            &mut ed,
+            &mut model,
+            &Command::Connect {
+                from: "I1".into(),
+                from_connector: fc,
+                to: "I0".into(),
+                to_connector: tc,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+
+        ed.set_fault_plan(FaultPlan::new(seed, 0.5));
+        let err = ed
+            .execute(Command::Route {
+                move_from: true,
+                router: riot_route::RouterOptions {
+                    engine: RouterEngine::Grid,
+                    ..RouterOptions::new()
+                },
+            })
+            .expect_err("the armed plan must trip the grid solver site");
+        assert_eq!(
+            err,
+            RiotError::FaultInjected("route.grid.solve".into()),
+            "the grid site, not route.solve, must have tripped"
+        );
+        let plan = ed.fault_plan().expect("plan was set");
+        assert_eq!(plan.by_site(), &[("route.grid.solve", 1)]);
+        // The rollback proof: the editor is exactly where the
+        // untouched model stands — menu, slots, pending, geometry.
+        check_equiv(&ed, &model).unwrap_or_else(|e| panic!("rollback diverged: {e}"));
     }
 
     #[test]

@@ -112,8 +112,10 @@ pub enum Command {
     Route {
         /// Whether the from instance moves against the route.
         move_from: bool,
-        /// River-router tuning. Not serialized: the journal text keeps
-        /// only `move|stay`, and parsing restores the defaults.
+        /// Router tuning. The journal text keeps `move|stay` plus the
+        /// engine choice when it is the grid router (`route move
+        /// grid`); the remaining tuning fields are not serialized and
+        /// parsing restores their defaults.
         router: RouterOptions,
     },
     /// The STRETCH connection command.

@@ -306,7 +306,8 @@ impl<'a> Editor<'a> {
     // ------------------------------------------------------------------
 
     /// Arms a [`FaultPlan`] on this session: the named fault sites
-    /// (`txn.commit`, `route.solve`, `stretch.solve`) consult the plan
+    /// (`txn.commit`, `route.solve`, `route.grid.solve`,
+    /// `stretch.solve`) consult the plan
     /// and raise [`RiotError::FaultInjected`] when it trips, taking the
     /// exact rollback path a real failure would. Used by `riot-check`.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {

@@ -8,9 +8,10 @@ use crate::connection::WorldConnector;
 use crate::error::RiotError;
 use crate::events::ChangeEvent;
 use crate::instance::InstanceId;
+use crate::routeplan;
 use crate::CellId;
-use riot_geom::{Orientation, Point, Side, Transform, LAMBDA};
-use riot_route::{RouteProblem, Terminal};
+use riot_geom::{Orientation, Point, Rect, Side, Transform, LAMBDA};
+use riot_route::Terminal;
 
 impl Editor<'_> {
     /// The ROUTE command: river-routes the pending connections, adds
@@ -43,81 +44,30 @@ impl Editor<'_> {
     ) -> Result<CommandEffect, RiotError> {
         let (from, pairs) = self.resolve_pending()?;
 
-        // All to-connectors must sit on one side and one edge line.
-        let to_side = pairs[0].1.side.expect("connect() checked sides");
-        let edge = to_side.across(pairs[0].1.location);
-        for (_, tc) in &pairs {
-            if tc.side != Some(to_side) {
-                return Err(RiotError::NotOpposed {
-                    from: pairs[0].1.side,
-                    to: tc.side,
-                });
-            }
-            let across = to_side.across(tc.location);
-            if across != edge {
-                return Err(RiotError::RaggedChannelEdge {
-                    expected: edge,
-                    found: across,
-                });
-            }
-        }
-        // The channel grows away from the to instance, i.e. out of the
-        // to-connectors' side.
-        let project = |p: Point| -> i64 {
-            match to_side {
-                Side::Top => p.x,
-                Side::Bottom => -p.x,
-                Side::Right => -p.y,
-                Side::Left => p.y,
-            }
-        };
-        let orient = match to_side {
-            Side::Top => Orientation::R0,
-            Side::Bottom => Orientation::R180,
-            Side::Right => Orientation::R270,
-            Side::Left => Orientation::R90,
-        };
-        let place = match to_side {
-            Side::Top | Side::Bottom => Point::new(0, edge),
-            Side::Left | Side::Right => Point::new(edge, 0),
-        };
-        let route_transform = Transform::new(orient, place);
+        let plan = routeplan::plan_route(&pairs, move_from, router_options)?;
+        self.warnings.extend(plan.warnings.iter().cloned());
+        let route_transform = plan.transform;
 
-        let mut bottom = Vec::new();
-        let mut top = Vec::new();
-        for (fc, tc) in &pairs {
-            bottom.push(Terminal::new(
-                tc.name.clone(),
-                self.snap_lambda(project(tc.location))?,
-                tc.layer,
-                self.snap_lambda(tc.width.max(1))?.max(1),
-            ));
-            top.push(Terminal::new(
-                fc.name.clone(),
-                self.snap_lambda(project(fc.location))?,
-                fc.layer,
-                self.snap_lambda(fc.width.max(1))?.max(1),
-            ));
+        // Bystander bboxes become grid-router obstacles: everything
+        // live except the from instance (it moves with the route) and
+        // the to instances (they host the channel's bottom edge).
+        let mut exclude: Vec<InstanceId> = vec![from];
+        for p in &self.pending {
+            if !exclude.contains(&p.to) {
+                exclude.push(p.to);
+            }
         }
+        let bystanders: Vec<Rect> = self
+            .instances()
+            .iter()
+            .filter(|(id, _)| !exclude.contains(id))
+            .filter_map(|(id, _)| self.world_bbox_now(*id))
+            .collect();
+        let obstacles = routeplan::channel_obstacles(plan.to_side, plan.edge, &bystanders);
 
-        let mut router = router_options;
-        if !move_from {
-            // The route must exactly fill the existing gap.
-            let from_edge = to_side.across(pairs[0].0.location);
-            let gap = (from_edge - edge).abs();
-            router.exact_height = Some(self.snap_lambda(gap)?);
-        }
-        let problem = RouteProblem {
-            bottom,
-            top,
-            options: router,
-        };
         self.fault_trip(crate::fault::FAULT_ROUTE_SOLVE)?;
-        let route = riot_route::river_route(&problem).map_err(|e| match e {
-            riot_route::RouteError::ChannelTooTight { needed, available } => {
-                RiotError::ChannelTooTight { needed, available }
-            }
-            other => RiotError::Route(other),
+        let route = routeplan::solve_route(&plan.problem, &obstacles, || {
+            self.fault_trip(crate::fault::FAULT_ROUTE_GRID_SOLVE)
         })?;
 
         let name = self.lib.next_route_name();
@@ -140,14 +90,15 @@ impl Editor<'_> {
         if move_from {
             // Land the from connectors on the route's top pins.
             let (fc0, _) = &pairs[0];
-            let top0 = route.wires()[0].path.end();
-            let world_top = route_transform.apply(Point::new(top0.x * LAMBDA, top0.y * LAMBDA));
+            let tops = route.top_ends();
+            let world_top =
+                route_transform.apply(Point::new(tops[0].x * LAMBDA, tops[0].y * LAMBDA));
             let d = world_top - fc0.location;
             let pairs_for_verify: Vec<(WorldConnector, WorldConnector)> = pairs
                 .iter()
                 .enumerate()
                 .map(|(i, (fc, _))| {
-                    let t = route.wires()[i].path.end();
+                    let t = tops[i];
                     let mut target = fc.clone();
                     target.location = route_transform.apply(Point::new(t.x * LAMBDA, t.y * LAMBDA));
                     (fc.clone(), target)

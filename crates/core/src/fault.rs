@@ -2,8 +2,9 @@
 //!
 //! A [`FaultPlan`] is a seeded stream of yes/no decisions consumed at
 //! named **fault sites** inside the command engine: right before the
-//! transactional commit (`txn.commit`), before the river router runs
-//! (`route.solve` — also armed for BRING-OUT's straight router), and
+//! transactional commit (`txn.commit`), before any router runs
+//! (`route.solve` — also armed for BRING-OUT's straight router), before
+//! the grid maze router runs (`route.grid.solve`), and
 //! before the REST solver runs (`stretch.solve`). When a site trips,
 //! the engine raises [`crate::RiotError::FaultInjected`] and takes the
 //! exact same rollback path a real failure would, so the `riot-check`
@@ -22,6 +23,12 @@ use std::fmt;
 pub const FAULT_TXN_COMMIT: &str = "txn.commit";
 /// The route-solving fault site (ROUTE and BRING-OUT).
 pub const FAULT_ROUTE_SOLVE: &str = "route.solve";
+/// The grid-router fault site: trips right before the A* maze solver
+/// runs — either because the CONNECT asked for the grid engine or
+/// because the river router's preconditions failed and the route is
+/// falling back. Proves the grid path rolls back exactly like a real
+/// solver failure.
+pub const FAULT_ROUTE_GRID_SOLVE: &str = "route.grid.solve";
 /// The stretch-solving fault site (STRETCH).
 pub const FAULT_STRETCH_SOLVE: &str = "stretch.solve";
 /// The connection-accept fault site in `riot-serve`: trips right after

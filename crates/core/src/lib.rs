@@ -60,6 +60,7 @@ pub mod measure;
 pub mod netlist;
 pub mod persist;
 pub mod replay;
+pub mod routeplan;
 mod txn;
 
 pub use cell::{Cell, CellId, CellKind, Connector, LeafSource};
@@ -69,9 +70,10 @@ pub use editor::{AbutOptions, Checkpoint, Editor, RouteOptions, StretchOptions};
 pub use error::RiotError;
 pub use events::{ChangeEvent, Damage, Stats};
 pub use fault::{
-    FaultPlan, FAULT_ROUTE_SOLVE, FAULT_SERVE_ACCEPT, FAULT_SERVE_CONN_BACKLOG,
-    FAULT_SERVE_FRAME_DECODE, FAULT_SERVE_GROUP_FLUSH, FAULT_SERVE_JOURNAL_APPEND,
-    FAULT_SERVE_POLL_WAKEUP, FAULT_SERVE_SNAPSHOT_WRITE, FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT,
+    FaultPlan, FAULT_ROUTE_GRID_SOLVE, FAULT_ROUTE_SOLVE, FAULT_SERVE_ACCEPT,
+    FAULT_SERVE_CONN_BACKLOG, FAULT_SERVE_FRAME_DECODE, FAULT_SERVE_GROUP_FLUSH,
+    FAULT_SERVE_JOURNAL_APPEND, FAULT_SERVE_POLL_WAKEUP, FAULT_SERVE_SNAPSHOT_WRITE,
+    FAULT_STRETCH_SOLVE, FAULT_TXN_COMMIT,
 };
 pub use instance::{Instance, InstanceId};
 pub use library::Library;

@@ -65,8 +65,11 @@ impl Journal {
 
     /// Serializes to the replay file format.
     ///
-    /// `Route`'s router tuning is not serialized: the text keeps only
-    /// `move|stay` and parsing restores the defaults.
+    /// `Route` serializes `move|stay` plus the engine choice when it is
+    /// not the default river engine (`route move grid`); the rest of
+    /// the router tuning is not serialized and parsing restores the
+    /// defaults. River routes keep the historical two-field form
+    /// byte-for-byte.
     pub fn to_text(&self) -> String {
         let mut out = String::from("riot replay v1\n");
         for cmd in &self.commands {
@@ -150,8 +153,11 @@ pub fn command_to_line(cmd: &Command) -> String {
         Command::AbutInstances { from, to } => {
             let _ = write!(out, "abutinst {from} {to}");
         }
-        Command::Route { move_from, .. } => {
+        Command::Route { move_from, router } => {
             let _ = write!(out, "route {}", if *move_from { "move" } else { "stay" });
+            if router.engine == riot_route::RouterEngine::Grid {
+                out.push_str(" grid");
+            }
         }
         Command::Stretch { mode } => match mode {
             SolveMode::PreserveGaps => out.push_str("stretch"),
@@ -285,14 +291,21 @@ pub fn parse_command_line(line: &str, n: usize) -> Result<Command, RiotError> {
                 }
             }
             "route" => {
-                need(2)?;
+                let engine = match f.len() {
+                    2 => riot_route::RouterEngine::River,
+                    3 if f[2] == "grid" => riot_route::RouterEngine::Grid,
+                    _ => return Err(perr(n, "route wants move|stay [grid]")),
+                };
                 Command::Route {
                     move_from: match f[1] {
                         "move" => true,
                         "stay" => false,
                         _ => return Err(perr(n, "route wants move|stay")),
                     },
-                    router: RouterOptions::new(),
+                    router: RouterOptions {
+                        engine,
+                        ..RouterOptions::new()
+                    },
                 }
             }
             "stretch" => {
@@ -581,6 +594,13 @@ mod tests {
             move_from: false,
             router: RouterOptions::new(),
         });
+        j.record(ReplayCommand::Route {
+            move_from: true,
+            router: RouterOptions {
+                engine: riot_route::RouterEngine::Grid,
+                ..RouterOptions::new()
+            },
+        });
         j.record(ReplayCommand::Stretch {
             mode: SolveMode::DesignRules,
         });
@@ -601,6 +621,30 @@ mod tests {
         let text = j.to_text();
         let again = Journal::parse(&text).unwrap();
         assert_eq!(j, again);
+    }
+
+    #[test]
+    fn route_engine_serialization() {
+        // The river form stays byte-identical to the historical two
+        // field record; the grid engine rides in an optional third
+        // field and survives the round trip.
+        let river = ReplayCommand::Route {
+            move_from: true,
+            router: RouterOptions::new(),
+        };
+        assert_eq!(command_to_line(&river), "route move");
+        let grid = ReplayCommand::Route {
+            move_from: false,
+            router: RouterOptions {
+                engine: riot_route::RouterEngine::Grid,
+                ..RouterOptions::new()
+            },
+        };
+        assert_eq!(command_to_line(&grid), "route stay grid");
+        let j = Journal::parse("riot replay v1\nroute move\nroute stay grid\n").unwrap();
+        assert_eq!(j.commands(), &[river, grid]);
+        assert!(Journal::parse("riot replay v1\nroute move river\n").is_err());
+        assert!(Journal::parse("riot replay v1\nroute\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Shared CONNECT route planning.
+//!
+//! The ROUTE command turns the pending connection list into a channel
+//! routing problem, solves it, and places the resulting route cell.
+//! This module holds the *planning* half — channel orientation, the
+//! terminal lists, obstacle mapping, and the engine dispatch — as pure
+//! functions over public data, so the `riot-check` reference model can
+//! run the exact same computation and predict routing errors
+//! bit-for-bit instead of merely observing them.
+//!
+//! Obstacles are the world bounding boxes of **bystander** instances:
+//! every live instance that is neither the *from* instance (it moves
+//! with the route) nor one of the *to* instances (they host the bottom
+//! channel edge). Riot composes opaque cells, so routing treats a
+//! bystander's full extent as blocked on every routable layer — exactly
+//! what the reference model can recompute from its mirrored state.
+
+use crate::connection::WorldConnector;
+use crate::error::RiotError;
+use riot_geom::{Layer, Orientation, Point, Rect, Side, Transform, LAMBDA};
+use riot_route::{RouteError, RouteProblem, RouteResult, RouterEngine, RouterOptions, Terminal};
+
+/// A fully planned (but unsolved) CONNECT route.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    /// The channel routing problem, in lambda.
+    pub problem: RouteProblem,
+    /// The world side of the *to* instance(s) the channel grows out of.
+    pub to_side: Side,
+    /// World coordinate of the channel's bottom edge line (centimicrons).
+    pub edge: i64,
+    /// Placement of the route cell: channel-local lambda × [`LAMBDA`]
+    /// through this transform gives world centimicrons.
+    pub transform: Transform,
+    /// Off-grid rounding warnings, in the order the editor reports them.
+    pub warnings: Vec<String>,
+}
+
+/// Projects a world point onto the channel's x axis for `to_side`.
+fn project(to_side: Side, p: Point) -> i64 {
+    match to_side {
+        Side::Top => p.x,
+        Side::Bottom => -p.x,
+        Side::Right => -p.y,
+        Side::Left => p.y,
+    }
+}
+
+fn snap(cm: i64, warnings: &mut Vec<String>) -> i64 {
+    if cm % LAMBDA != 0 {
+        warnings.push(format!(
+            "coordinate {cm} is off the lambda grid; rounding to {}",
+            (cm + LAMBDA / 2).div_euclid(LAMBDA) * LAMBDA
+        ));
+    }
+    (cm + LAMBDA / 2).div_euclid(LAMBDA)
+}
+
+/// Builds the routing problem for the resolved pending pairs, exactly
+/// as the editor's ROUTE command does: all *to* connectors must share
+/// one side and one edge line, the channel grows out of that side, and
+/// coordinates snap to the lambda grid (collecting the same warnings
+/// the editor pushes).
+///
+/// # Errors
+///
+/// [`RiotError::NotOpposed`] when a *to* connector sits on a different
+/// side than the first; [`RiotError::RaggedChannelEdge`] when the *to*
+/// edge lines disagree.
+pub fn plan_route(
+    pairs: &[(WorldConnector, WorldConnector)],
+    move_from: bool,
+    router_options: RouterOptions,
+) -> Result<RoutePlan, RiotError> {
+    let to_side = pairs[0].1.side.expect("connect() checked sides");
+    let edge = to_side.across(pairs[0].1.location);
+    for (_, tc) in pairs {
+        if tc.side != Some(to_side) {
+            return Err(RiotError::NotOpposed {
+                from: pairs[0].1.side,
+                to: tc.side,
+            });
+        }
+        let across = to_side.across(tc.location);
+        if across != edge {
+            return Err(RiotError::RaggedChannelEdge {
+                expected: edge,
+                found: across,
+            });
+        }
+    }
+    let orient = match to_side {
+        Side::Top => Orientation::R0,
+        Side::Bottom => Orientation::R180,
+        Side::Right => Orientation::R270,
+        Side::Left => Orientation::R90,
+    };
+    let place = match to_side {
+        Side::Top | Side::Bottom => Point::new(0, edge),
+        Side::Left | Side::Right => Point::new(edge, 0),
+    };
+
+    let mut warnings = Vec::new();
+    let mut bottom = Vec::new();
+    let mut top = Vec::new();
+    for (fc, tc) in pairs {
+        bottom.push(Terminal::new(
+            tc.name.clone(),
+            snap(project(to_side, tc.location), &mut warnings),
+            tc.layer,
+            snap(tc.width.max(1), &mut warnings).max(1),
+        ));
+        top.push(Terminal::new(
+            fc.name.clone(),
+            snap(project(to_side, fc.location), &mut warnings),
+            fc.layer,
+            snap(fc.width.max(1), &mut warnings).max(1),
+        ));
+    }
+
+    let mut router = router_options;
+    if !move_from {
+        // The route must exactly fill the existing gap.
+        let from_edge = to_side.across(pairs[0].0.location);
+        let gap = (from_edge - edge).abs();
+        router.exact_height = Some(snap(gap, &mut warnings));
+    }
+    Ok(RoutePlan {
+        problem: RouteProblem {
+            bottom,
+            top,
+            options: router,
+        },
+        to_side,
+        edge,
+        transform: Transform::new(orient, place),
+        warnings,
+    })
+}
+
+/// Maps bystander world rectangles (centimicrons) into channel-local
+/// lambda obstacles, blocking every routable layer. Rounding is
+/// conservative: obstacle edges push *outward* to the next lambda line,
+/// so a route can never cut a corner the world geometry occupies.
+pub fn channel_obstacles(to_side: Side, edge: i64, bystanders: &[Rect]) -> Vec<(Layer, Rect)> {
+    let local_y = |p: Point| -> i64 {
+        match to_side {
+            Side::Top | Side::Right => to_side.across(p) - edge,
+            Side::Bottom | Side::Left => edge - to_side.across(p),
+        }
+    };
+    let floor_l = |v: i64| v.div_euclid(LAMBDA);
+    let ceil_l = |v: i64| -(-v).div_euclid(LAMBDA);
+    let mut out = Vec::with_capacity(bystanders.len() * Layer::ROUTABLE.len());
+    for &r in bystanders {
+        let a = Point::new(r.x0, r.y0);
+        let b = Point::new(r.x1, r.y1);
+        let (xa, xb) = (project(to_side, a), project(to_side, b));
+        let (ya, yb) = (local_y(a), local_y(b));
+        let local = Rect::new(
+            floor_l(xa.min(xb)),
+            floor_l(ya.min(yb)),
+            ceil_l(xa.max(xb)),
+            ceil_l(ya.max(yb)),
+        );
+        for &layer in &Layer::ROUTABLE {
+            out.push((layer, local));
+        }
+    }
+    out
+}
+
+/// Solves a planned route with the engine named in the options,
+/// mirroring [`riot_route::solve`] but with a hook called right before
+/// the grid router runs — the editor trips the
+/// [`crate::fault::FAULT_ROUTE_GRID_SOLVE`] site there, the reference
+/// model passes `|| Ok(())`.
+///
+/// # Errors
+///
+/// [`RiotError::ChannelTooTight`] for the exact-height failure,
+/// [`RiotError::Route`] for every other router error, or whatever the
+/// hook raises.
+pub fn solve_route(
+    problem: &RouteProblem,
+    obstacles: &[(Layer, Rect)],
+    mut before_grid: impl FnMut() -> Result<(), RiotError>,
+) -> Result<RouteResult, RiotError> {
+    let map = |e: RouteError| match e {
+        RouteError::ChannelTooTight { needed, available } => {
+            RiotError::ChannelTooTight { needed, available }
+        }
+        other => RiotError::Route(other),
+    };
+    match problem.options.engine {
+        RouterEngine::Grid => {
+            before_grid()?;
+            riot_route::grid_route(problem, obstacles)
+                .map(RouteResult::Grid)
+                .map_err(map)
+        }
+        RouterEngine::River => match riot_route::river_route(problem) {
+            Ok(r) => Ok(RouteResult::River(r)),
+            Err(RouteError::LayerMismatch { .. }) | Err(RouteError::NotRiverRoutable { .. }) => {
+                if riot_trace::enabled() {
+                    riot_trace::registry().counter("route.grid.fallbacks").inc();
+                }
+                before_grid()?;
+                riot_route::grid_route(problem, obstacles)
+                    .map(RouteResult::Grid)
+                    .map_err(map)
+            }
+            Err(e) => Err(map(e)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wc(name: &str, x: i64, y: i64, side: Side) -> WorldConnector {
+        WorldConnector {
+            instance_name: "I".into(),
+            name: name.into(),
+            location: Point::new(x, y),
+            layer: Layer::Metal,
+            width: 3 * LAMBDA,
+            side: Some(side),
+        }
+    }
+
+    #[test]
+    fn plan_matches_editor_shape() {
+        let pairs = vec![(
+            wc("a", 2 * LAMBDA, 40 * LAMBDA, Side::Bottom),
+            wc("a", 2 * LAMBDA, 10 * LAMBDA, Side::Top),
+        )];
+        let plan = plan_route(&pairs, true, RouterOptions::new()).unwrap();
+        assert_eq!(plan.to_side, Side::Top);
+        assert_eq!(plan.edge, 10 * LAMBDA);
+        assert_eq!(plan.problem.bottom[0].offset, 2);
+        assert_eq!(plan.problem.top[0].offset, 2);
+        assert!(plan.warnings.is_empty());
+        assert!(plan.problem.options.exact_height.is_none());
+    }
+
+    #[test]
+    fn stay_pins_exact_height() {
+        let pairs = vec![(
+            wc("a", 0, 40 * LAMBDA, Side::Bottom),
+            wc("a", 0, 10 * LAMBDA, Side::Top),
+        )];
+        let plan = plan_route(&pairs, false, RouterOptions::new()).unwrap();
+        assert_eq!(plan.problem.options.exact_height, Some(30));
+    }
+
+    #[test]
+    fn off_grid_coordinates_warn() {
+        let pairs = vec![(
+            wc("a", LAMBDA + 10, 40 * LAMBDA, Side::Bottom),
+            wc("a", 0, 10 * LAMBDA, Side::Top),
+        )];
+        let plan = plan_route(&pairs, true, RouterOptions::new()).unwrap();
+        assert_eq!(plan.warnings.len(), 1);
+        assert!(plan.warnings[0].contains("off the lambda grid"));
+    }
+
+    #[test]
+    fn obstacles_map_conservatively_per_side() {
+        // A world rect just past the top-side channel edge.
+        let world = Rect::new(LAMBDA, 12 * LAMBDA + 10, 5 * LAMBDA, 20 * LAMBDA);
+        let obs = channel_obstacles(Side::Top, 10 * LAMBDA, &[world]);
+        assert_eq!(obs.len(), Layer::ROUTABLE.len());
+        let (_, r) = obs[0];
+        assert_eq!(r, Rect::new(1, 2, 5, 10));
+        // Bottom side flips both axes.
+        let obs = channel_obstacles(Side::Bottom, 22 * LAMBDA, &[world]);
+        let (_, r) = obs[0];
+        assert_eq!(r, Rect::new(-5, 2, -1, 10));
+    }
+
+    #[test]
+    fn solve_route_falls_back_and_maps_errors() {
+        let pairs = vec![(
+            wc("a", 0, 40 * LAMBDA, Side::Bottom),
+            wc("a", 0, 10 * LAMBDA, Side::Top),
+        )];
+        let mut plan = plan_route(&pairs, true, RouterOptions::new()).unwrap();
+        plan.problem.top[0].layer = Layer::Poly;
+        let mut grid_hook = 0;
+        let r = solve_route(&plan.problem, &[], || {
+            grid_hook += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(r.engine(), RouterEngine::Grid);
+        assert_eq!(grid_hook, 1);
+        // The hook's error wins over the grid solve.
+        let err = solve_route(&plan.problem, &[], || {
+            Err(RiotError::FaultInjected("route.grid.solve".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, RiotError::FaultInjected(_)));
+    }
+}

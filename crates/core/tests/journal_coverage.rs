@@ -11,6 +11,7 @@ use riot_core::{
     replay, AbutOptions, Editor, Library, ReplayCommand, RiotError, RouteOptions, StretchOptions,
 };
 use riot_geom::{Orientation, Point, Side, LAMBDA};
+use riot_route::{RouterEngine, RouterOptions};
 
 const GATE: &str = "\
 sticks gate
@@ -105,6 +106,31 @@ fn connection_commands_replay_identically() {
         ed.connect(g, "A", d, "X")?;
         ed.connect(g, "B", d, "Y")?;
         ed.route(RouteOptions::default())?;
+        ed.finish()?;
+        Ok(())
+    });
+}
+
+#[test]
+fn grid_engine_route_replays_identically() {
+    // ROUTE journals its engine choice: a session routed with the grid
+    // maze router must replay through the grid maze router, not the
+    // river default, or the reproduced geometry diverges.
+    assert_replay_equality(|ed| {
+        let gate = ed.library().find("gate").unwrap();
+        let driver = ed.library().find("driver").unwrap();
+        let g = ed.create_instance(gate)?;
+        let d = ed.create_instance(driver)?;
+        ed.translate_instance(g, Point::new(40 * LAMBDA, 3 * LAMBDA))?;
+        ed.connect(g, "A", d, "X")?;
+        ed.connect(g, "B", d, "Y")?;
+        ed.route(RouteOptions {
+            router: RouterOptions {
+                engine: RouterEngine::Grid,
+                ..RouterOptions::new()
+            },
+            ..RouteOptions::default()
+        })?;
         ed.finish()?;
         Ok(())
     });

@@ -56,6 +56,18 @@ pub enum RouteError {
         /// Lambda available.
         available: i64,
     },
+    /// The grid router exhausted the maze: no obstacle-free path exists
+    /// for the net inside the channel window (or the search hit its
+    /// deterministic expansion cap).
+    Unroutable {
+        /// Net index.
+        net: usize,
+    },
+    /// The grid router's options are unusable (non-positive pitch).
+    BadPitch {
+        /// Offending pitch.
+        pitch: i64,
+    },
     /// A router invariant failed while emitting geometry. This is a bug
     /// in the router, not in the input — but it surfaces as an error so
     /// a malformed problem can never panic an interactive session.
@@ -97,6 +109,12 @@ impl fmt::Display for RouteError {
                 f,
                 "route needs a {needed} lambda channel but only {available} is available"
             ),
+            RouteError::Unroutable { net } => {
+                write!(f, "net {net} has no obstacle-free path through the channel")
+            }
+            RouteError::BadPitch { pitch } => {
+                write!(f, "grid pitch must be positive, got {pitch}")
+            }
             RouteError::Internal { context } => {
                 write!(f, "router invariant violated ({context}); please report")
             }

@@ -56,11 +56,159 @@
 
 pub mod cellgen;
 pub mod error;
+pub mod grid;
 pub mod river;
 pub mod straight;
 pub mod terminal;
 
 pub use error::RouteError;
+pub use grid::{grid_route, GridRoute, GridStats, GridVia, GridWire};
 pub use river::{river_route, RiverRoute, RoutedWire};
 pub use straight::straight_route;
-pub use terminal::{RouteProblem, RouterOptions, Terminal};
+pub use terminal::{RouteProblem, RouterEngine, RouterOptions, Terminal};
+
+use riot_geom::{Layer, Point, Rect};
+use riot_sticks::SticksCell;
+
+/// A route produced by [`solve`]: whichever engine ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteResult {
+    /// The river router solved it (fast path).
+    River(RiverRoute),
+    /// The grid router solved it (explicit choice or fallback).
+    Grid(GridRoute),
+}
+
+impl RouteResult {
+    /// Which engine produced the route.
+    pub fn engine(&self) -> RouterEngine {
+        match self {
+            RouteResult::River(_) => RouterEngine::River,
+            RouteResult::Grid(_) => RouterEngine::Grid,
+        }
+    }
+
+    /// Channel height in lambda.
+    pub fn height(&self) -> i64 {
+        match self {
+            RouteResult::River(r) => r.height(),
+            RouteResult::Grid(g) => g.height(),
+        }
+    }
+
+    /// Number of routed nets.
+    pub fn net_count(&self) -> usize {
+        match self {
+            RouteResult::River(r) => r.wires().len(),
+            RouteResult::Grid(g) => g.wires().len(),
+        }
+    }
+
+    /// Where each net lands on the top channel edge, in net order.
+    pub fn top_ends(&self) -> Vec<Point> {
+        match self {
+            RouteResult::River(r) => r.wires().iter().map(|w| w.path.end()).collect(),
+            RouteResult::Grid(g) => g.wires().iter().map(|w| w.top_end()).collect(),
+        }
+    }
+
+    /// Builds the Sticks route cell.
+    pub fn to_sticks_cell(&self, name: impl Into<String>) -> SticksCell {
+        match self {
+            RouteResult::River(r) => r.to_sticks_cell(name),
+            RouteResult::Grid(g) => g.to_sticks_cell(name),
+        }
+    }
+}
+
+/// Solves the problem with the engine named in
+/// [`RouterOptions::engine`]. [`RouterEngine::River`] tries the river
+/// router first and falls back to the grid router exactly when a river
+/// *precondition* fails — a layer-changing net
+/// ([`RouteError::LayerMismatch`]) or a same-layer crossing
+/// ([`RouteError::NotRiverRoutable`]). Validation errors
+/// (count/width/spacing) and [`RouteError::ChannelTooTight`] never fall
+/// back: both engines would reject the same input, and a too-tight
+/// exact height is a placement fact, not an engine limitation.
+/// [`RouterEngine::Grid`] skips the river router entirely.
+///
+/// # Errors
+///
+/// Whatever the selected engine (or the fallback) reports.
+pub fn solve(
+    problem: &RouteProblem,
+    obstacles: &[(Layer, Rect)],
+) -> Result<RouteResult, RouteError> {
+    match problem.options.engine {
+        RouterEngine::Grid => grid_route(problem, obstacles).map(RouteResult::Grid),
+        RouterEngine::River => match river_route(problem) {
+            Ok(r) => Ok(RouteResult::River(r)),
+            Err(RouteError::LayerMismatch { .. }) | Err(RouteError::NotRiverRoutable { .. }) => {
+                grid_route(problem, obstacles).map(RouteResult::Grid)
+            }
+            Err(e) => Err(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod solve_tests {
+    use super::*;
+
+    fn t(name: &str, offset: i64, layer: Layer) -> Terminal {
+        Terminal::new(name, offset, layer, 3)
+    }
+
+    #[test]
+    fn river_stays_the_fast_path() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+            vec![t("a", 8, Layer::Metal), t("b", 18, Layer::Metal)],
+        );
+        let r = solve(&p, &[]).unwrap();
+        assert_eq!(r.engine(), RouterEngine::River);
+        assert_eq!(r.net_count(), 2);
+        assert_eq!(r.top_ends()[0], Point::new(8, r.height()));
+    }
+
+    #[test]
+    fn falls_back_to_grid_on_layer_mismatch() {
+        let p = RouteProblem::new(vec![t("a", 0, Layer::Poly)], vec![t("a", 0, Layer::Metal)]);
+        let r = solve(&p, &[]).unwrap();
+        assert_eq!(r.engine(), RouterEngine::Grid);
+    }
+
+    #[test]
+    fn falls_back_to_grid_on_crossing() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 12, Layer::Metal)],
+            vec![t("a", 12, Layer::Metal), t("b", 0, Layer::Metal)],
+        );
+        let r = solve(&p, &[]).unwrap();
+        assert_eq!(r.engine(), RouterEngine::Grid);
+        assert_eq!(r.top_ends().len(), 2);
+    }
+
+    #[test]
+    fn explicit_grid_skips_the_river() {
+        let p = RouteProblem::new(
+            vec![t("a", 0, Layer::Metal), t("b", 10, Layer::Metal)],
+            vec![t("a", 8, Layer::Metal), t("b", 18, Layer::Metal)],
+        )
+        .with_options(RouterOptions {
+            engine: RouterEngine::Grid,
+            ..RouterOptions::new()
+        });
+        let r = solve(&p, &[]).unwrap();
+        assert_eq!(r.engine(), RouterEngine::Grid);
+    }
+
+    #[test]
+    fn validation_errors_do_not_fall_back() {
+        let p = RouteProblem::new(vec![t("a", 0, Layer::Metal)], vec![]);
+        assert!(matches!(
+            solve(&p, &[]),
+            Err(RouteError::CountMismatch { .. })
+        ));
+    }
+}

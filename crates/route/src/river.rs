@@ -292,7 +292,7 @@ fn span(n: &Net) -> (i64, i64) {
     (n.xb.min(n.xt), n.xb.max(n.xt))
 }
 
-fn check_edge_spacing<I: IntoIterator<Item = (i64, i64)>>(
+pub(crate) fn check_edge_spacing<I: IntoIterator<Item = (i64, i64)>>(
     layer: Layer,
     spacing: i64,
     terminals: I,

@@ -29,6 +29,22 @@ impl Terminal {
     }
 }
 
+/// Which routing engine a CONNECT should solve with.
+///
+/// The river router is the paper's fast path: one layer per net, no
+/// corners, obstacles ignored. The grid router is the obstacle-aware
+/// fallback: A* maze search over a per-layer grid with vias, reached
+/// either explicitly or automatically when the river router's
+/// preconditions (no layer change, no crossing) fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterEngine {
+    /// The paper's river router ([`crate::river_route`]).
+    #[default]
+    River,
+    /// The obstacle-aware A* grid router ([`crate::grid_route`]).
+    Grid,
+}
+
 /// Router tuning knobs — Riot's textual commands "set defaults for
 /// routing operations"; these are those defaults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,19 +60,27 @@ pub struct RouterOptions {
     /// *from* instance must not move: the route has to fill the existing
     /// gap. Routing fails when the tracks need more height than this.
     pub exact_height: Option<i64>,
+    /// Which engine solves the problem ([`RouterEngine::River`] falls
+    /// back to the grid when its preconditions fail).
+    pub engine: RouterEngine,
+    /// Grid-router node pitch in lambda (terminal columns always get a
+    /// grid line of their own, so a coarse pitch never strands a pin).
+    pub grid_pitch: i64,
 }
 
 impl RouterOptions {
     /// The defaults Riot-era channels used: 8 tracks per channel, 3λ
     /// margins (connector end caps poke half a wire width into the
     /// channel, and the poly spacing rule must still hold), 2λ between
-    /// channels.
+    /// channels, river engine, 1λ grid pitch.
     pub fn new() -> Self {
         RouterOptions {
             tracks_per_channel: 8,
             margin: 3,
             channel_gap: 2,
             exact_height: None,
+            engine: RouterEngine::River,
+            grid_pitch: 1,
         }
     }
 }

@@ -425,7 +425,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 ///
 /// A description of the malformed digit or length.
 pub fn from_hex(s: &str) -> Result<Vec<u8>, String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err(format!("odd hex length {}", s.len()));
     }
     let digits = s.as_bytes();

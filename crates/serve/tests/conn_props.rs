@@ -94,7 +94,7 @@ proptest! {
                 c.ingest(&wire[off..end]);
                 off = end;
             }
-            pump(&mut c, &mut seen, &mut pending).map_err(|e| TestCaseError::fail(e))?;
+            pump(&mut c, &mut seen, &mut pending).map_err(TestCaseError::fail)?;
             // Replies arrive with a bounded lag while bytes keep
             // flowing; once the wire is spent everything outstanding
             // must come home.

@@ -1,0 +1,53 @@
+//! Golden-file pin of a routed cell: a small layer-mixed channel with
+//! one obstacle, solved by the grid router and emitted as mask CIF.
+//! The fixture is checked in byte-identically, so any change to the
+//! cost model, rasterization, or CIF emission shows up as a diff —
+//! intentional changes rerun the ignored regenerator below.
+
+use riot::geom::{Layer, Rect};
+use riot::route::{grid_route, RouteProblem, Terminal};
+use std::path::PathBuf;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/grid_route.cif")
+}
+
+/// The pinned problem: four nets, two of which change layers (river
+/// router territory ends here), detouring around a metal block.
+fn golden_route_cif() -> String {
+    let problem = RouteProblem::new(
+        vec![
+            Terminal::new("a", 10, Layer::Poly, 2),
+            Terminal::new("b", 22, Layer::Metal, 3),
+            Terminal::new("c", 34, Layer::Diffusion, 2),
+            Terminal::new("d", 46, Layer::Metal, 3),
+        ],
+        vec![
+            Terminal::new("a", 12, Layer::Metal, 3),
+            Terminal::new("b", 22, Layer::Metal, 3),
+            Terminal::new("c", 32, Layer::Poly, 2),
+            Terminal::new("d", 48, Layer::Metal, 3),
+        ],
+    );
+    let obstacles = vec![(Layer::Metal, Rect::new(16, 12, 28, 15))];
+    let route = grid_route(&problem, &obstacles).expect("golden problem routes");
+    let cell = route.to_sticks_cell("grid_golden");
+    riot::cif::write::to_text(&riot::sticks::mask::to_cif_file(&cell))
+}
+
+#[test]
+fn routed_cell_matches_golden_cif() {
+    let expected = std::fs::read_to_string(fixture_path()).expect("examples/grid_route.cif");
+    let actual = golden_route_cif();
+    assert_eq!(
+        actual, expected,
+        "grid route CIF diverged from the golden fixture; if the \
+         change is intentional run the ignored regenerate_fixture test"
+    );
+}
+
+#[test]
+#[ignore = "rewrites the checked-in fixture"]
+fn regenerate_fixture() {
+    std::fs::write(fixture_path(), golden_route_cif()).expect("write fixture");
+}
